@@ -1,0 +1,146 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! - `ablation_segmentation` — cost of finer wire segmentation (the
+//!   accuracy side is asserted in the test suite: Elmore is
+//!   segmentation-invariant, transient delay shifts by < a few percent),
+//! - `ablation_oracle` — LDRG runtime under transient vs moment vs
+//!   tree-Elmore-per-candidate oracles,
+//! - `ablation_integrator` — Backward Euler vs trapezoidal stepping,
+//! - `ablation_inductance` — RC vs RLC wire models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntr_bench::bench_net;
+use ntr_circuit::{extract, ExtractOptions, Segmentation, Technology};
+use ntr_core::{
+    ldrg, wire_size, wire_size_guided, LdrgOptions, MomentMetric, MomentOracle, TransientOracle,
+    TreeElmoreOracle, WireSizeOptions,
+};
+use ntr_graph::prim_mst;
+use ntr_spice::{sink_delays, Integrator, SimConfig};
+use std::hint::black_box;
+
+fn ablation_segmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_segmentation");
+    let tech = Technology::date94();
+    let net = bench_net(10);
+    let mst = prim_mst(&net);
+    for segs in [1usize, 2, 4, 8, 16] {
+        let extracted = extract(
+            &mst,
+            &tech,
+            &ExtractOptions {
+                segmentation: Segmentation::PerEdge(segs),
+                include_inductance: false,
+            },
+        )
+        .expect("mst spans");
+        group.bench_with_input(BenchmarkId::from_parameter(segs), &extracted, |b, ex| {
+            b.iter(|| sink_delays(black_box(ex), &SimConfig::fast()).expect("measured"))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_oracle_ldrg");
+    group.sample_size(10);
+    let tech = Technology::date94();
+    let net = bench_net(10);
+    let mst = prim_mst(&net);
+    let opts = LdrgOptions {
+        max_added_edges: 1,
+        ..Default::default()
+    };
+
+    let transient = TransientOracle::fast(tech);
+    group.bench_function("transient_fast", |b| {
+        b.iter(|| ldrg(black_box(&mst), &transient, &opts).expect("ldrg runs"))
+    });
+    let transient_fine = TransientOracle::new(tech);
+    group.bench_function("transient_fine", |b| {
+        b.iter(|| ldrg(black_box(&mst), &transient_fine, &opts).expect("ldrg runs"))
+    });
+    let elmore = MomentOracle::new(tech);
+    group.bench_function("moment_elmore", |b| {
+        b.iter(|| ldrg(black_box(&mst), &elmore, &opts).expect("ldrg runs"))
+    });
+    let d2m = MomentOracle {
+        metric: MomentMetric::D2m,
+        ..MomentOracle::new(tech)
+    };
+    group.bench_function("moment_d2m", |b| {
+        b.iter(|| ldrg(black_box(&mst), &d2m, &opts).expect("ldrg runs"))
+    });
+    group.finish();
+}
+
+fn ablation_integrator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_integrator");
+    let tech = Technology::date94();
+    let net = bench_net(15);
+    let mst = prim_mst(&net);
+    let extracted = extract(&mst, &tech, &ExtractOptions::default()).expect("mst spans");
+    for (label, integrator) in [
+        ("backward_euler", Integrator::BackwardEuler),
+        ("trapezoidal", Integrator::Trapezoidal),
+    ] {
+        let config = SimConfig {
+            integrator,
+            ..SimConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            b.iter(|| sink_delays(black_box(&extracted), cfg).expect("measured"))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_inductance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_inductance");
+    let tech = Technology::date94();
+    let net = bench_net(10);
+    let mst = prim_mst(&net);
+    for (label, include) in [("rc", false), ("rlc", true)] {
+        let extracted = extract(
+            &mst,
+            &tech,
+            &ExtractOptions {
+                segmentation: Segmentation::MaxLength(500.0),
+                include_inductance: include,
+            },
+        )
+        .expect("mst spans");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &extracted, |b, ex| {
+            b.iter(|| sink_delays(black_box(ex), &SimConfig::default()).expect("measured"))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_wire_sizing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_wire_sizing");
+    group.sample_size(10);
+    let tech = Technology::date94();
+    let net = bench_net(15);
+    let mst = prim_mst(&net);
+    let oracle = TreeElmoreOracle::new(tech);
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| wire_size(black_box(&mst), &oracle, &WireSizeOptions::default()).expect("sizes"))
+    });
+    group.bench_function("gradient_guided", |b| {
+        b.iter(|| {
+            wire_size_guided(black_box(&mst), &tech, &WireSizeOptions::default()).expect("sizes")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_segmentation,
+    ablation_oracle,
+    ablation_integrator,
+    ablation_inductance,
+    ablation_wire_sizing
+);
+criterion_main!(benches);

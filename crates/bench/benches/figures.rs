@@ -1,0 +1,30 @@
+//! Benchmarks of the figure demonstrations (1, 2, 3, 5). Figures 2/3/5
+//! include their deterministic seed scans, so these also measure how
+//! quickly a qualifying example net is found.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntr_eval::{run_fig1, run_fig2, run_fig3, run_fig5, EvalConfig};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let config = EvalConfig::full();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig1_single_edge", |b| {
+        b.iter(|| run_fig1(black_box(&config)).expect("fig1 runs"))
+    });
+    group.bench_function("fig2_random_single_edge", |b| {
+        b.iter(|| run_fig2(black_box(&config)).expect("fig2 runs"))
+    });
+    group.bench_function("fig3_ldrg_trace", |b| {
+        b.iter(|| run_fig3(black_box(&config)).expect("fig3 runs"))
+    });
+    group.bench_function("fig5_sldrg", |b| {
+        b.iter(|| run_fig5(black_box(&config)).expect("fig5 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Substrate microbenchmarks: the building blocks every experiment leans
+//! on. These quantify the claims in the docs — near-linear sparse LU on
+//! tree-structured matrices, O(k) Elmore, sub-millisecond ERT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntr_bench::bench_net;
+use ntr_circuit::{extract, ExtractOptions, Segmentation, Technology};
+use ntr_elmore::ElmoreAnalysis;
+use ntr_ert::{elmore_routing_tree, steiner_elmore_routing_tree, ErtOptions};
+use ntr_graph::{prim_mst, prim_mst_cost, TreeView};
+use ntr_sparse::{DenseMatrix, Ordering, SparseLu, TripletMatrix};
+use ntr_spice::{sink_delays, AdaptiveOptions, Integrator, Moments, SimConfig, TransientSim};
+use ntr_steiner::{batched_one_steiner, iterated_one_steiner, SteinerOptions};
+use std::hint::black_box;
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst_prim");
+    for size in [10usize, 50, 200] {
+        let net = bench_net(size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &net, |b, net| {
+            b.iter(|| prim_mst_cost(black_box(net.pins())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_elmore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elmore_tree");
+    let tech = Technology::date94();
+    for size in [10usize, 30, 100] {
+        let net = bench_net(size);
+        let mst = prim_mst(&net);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &mst, |b, mst| {
+            b.iter(|| {
+                let tree = TreeView::new(black_box(mst)).expect("mst is a tree");
+                ElmoreAnalysis::compute(&tree, &tech).max_sink_delay()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Tree-structured (RC-chain) system: sparse LU should stay near-linear
+/// while dense LU grows cubically.
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_rc_chain");
+    for n in [50usize, 200] {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.5);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        let csc = t.to_csc();
+        let dense = t.to_dense();
+        let b_vec = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::new("sparse", n), &csc, |b, a| {
+            b.iter(|| {
+                SparseLu::factor(black_box(a), Ordering::MinDegree)
+                    .expect("nonsingular")
+                    .solve(&b_vec)
+                    .expect("dims match")
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dense", n),
+            &dense,
+            |b, a: &DenseMatrix| {
+                b.iter(|| {
+                    a.lu()
+                        .expect("nonsingular")
+                        .solve(&b_vec)
+                        .expect("dims match")
+                })
+            },
+        );
+        let lu = SparseLu::factor(&csc, Ordering::MinDegree).expect("nonsingular");
+        group.bench_with_input(BenchmarkId::new("refactor", n), &csc, |b, a| {
+            b.iter(|| lu.refactor(black_box(a)).expect("same pattern"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_sink_delays");
+    let tech = Technology::date94();
+    for size in [10usize, 30] {
+        let net = bench_net(size);
+        let mst = prim_mst(&net);
+        let extracted = extract(
+            &mst,
+            &tech,
+            &ExtractOptions {
+                segmentation: Segmentation::PerEdge(1),
+                include_inductance: false,
+            },
+        )
+        .expect("mst spans the net");
+        group.bench_with_input(BenchmarkId::from_parameter(size), &extracted, |b, ex| {
+            b.iter(|| sink_delays(black_box(ex), &SimConfig::fast()).expect("delays measured"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let tech = Technology::date94();
+    let net = bench_net(30);
+    let mst = prim_mst(&net);
+    let extracted = extract(&mst, &tech, &ExtractOptions::default()).expect("mst spans");
+    c.bench_function("moments_order2_30pin", |b| {
+        b.iter(|| Moments::compute(black_box(&extracted.circuit), 2).expect("nonsingular"))
+    });
+}
+
+fn bench_steiner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner");
+    group.sample_size(10);
+    for size in [10usize, 20] {
+        let net = bench_net(size);
+        group.bench_with_input(BenchmarkId::new("i1s", size), &net, |b, net| {
+            b.iter(|| iterated_one_steiner(black_box(net), &SteinerOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("b1s", size), &net, |b, net| {
+            b.iter(|| batched_one_steiner(black_box(net), &SteinerOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_adaptive_vs_fixed");
+    let tech = Technology::date94();
+    let net = bench_net(15);
+    let mst = prim_mst(&net);
+    let extracted = extract(&mst, &tech, &ExtractOptions::default()).expect("mst spans");
+    let moments = Moments::compute(&extracted.circuit, 1).expect("nonsingular");
+    let tau = extracted
+        .sink_nodes
+        .iter()
+        .map(|&n| moments.elmore_of_node(n).unwrap_or(0.0))
+        .fold(1e-15, f64::max);
+    group.bench_function("fixed", |b| {
+        b.iter(|| {
+            let mut sim =
+                TransientSim::new(&extracted.circuit, Integrator::Trapezoidal).expect("mna ok");
+            sim.run(tau / 100.0, 10.0 * tau, &extracted.sink_nodes)
+                .expect("runs")
+        })
+    });
+    group.bench_function("adaptive", |b| {
+        b.iter(|| {
+            let mut sim =
+                TransientSim::new(&extracted.circuit, Integrator::Trapezoidal).expect("mna ok");
+            sim.run_adaptive(
+                10.0 * tau,
+                &extracted.sink_nodes,
+                &AdaptiveOptions::for_time_scale(tau),
+            )
+            .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+fn bench_ert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ert_build");
+    group.sample_size(10);
+    let tech = Technology::date94();
+    for size in [10usize, 30] {
+        let net = bench_net(size);
+        group.bench_with_input(BenchmarkId::new("ert", size), &net, |b, net| {
+            b.iter(|| {
+                elmore_routing_tree(black_box(net), &tech, &ErtOptions::default())
+                    .expect("valid net")
+            })
+        });
+        if size <= 10 {
+            group.bench_with_input(BenchmarkId::new("sert", size), &net, |b, net| {
+                b.iter(|| steiner_elmore_routing_tree(black_box(net), &tech))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mst,
+    bench_elmore,
+    bench_lu,
+    bench_transient,
+    bench_moments,
+    bench_steiner,
+    bench_adaptive,
+    bench_ert
+);
+criterion_main!(benches);

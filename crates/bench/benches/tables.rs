@@ -1,0 +1,45 @@
+//! One benchmark per paper table, exercising the identical experiment
+//! code the `repro` binary runs, on a reduced sweep (size 10, 3 nets).
+//!
+//! These measure the end-to-end cost of regenerating each table row:
+//! workload generation + tree construction + greedy search + transient
+//! delay measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntr_bench::bench_config;
+use ntr_eval::{
+    run_table2, run_table3, run_table4, run_table5_h2, run_table5_h3, run_table6, run_table7,
+};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+
+    group.bench_function("table2_ldrg", |b| {
+        b.iter(|| run_table2(black_box(&config)).expect("table2 runs"))
+    });
+    group.bench_function("table3_sldrg", |b| {
+        b.iter(|| run_table3(black_box(&config)).expect("table3 runs"))
+    });
+    group.bench_function("table4_h1", |b| {
+        b.iter(|| run_table4(black_box(&config)).expect("table4 runs"))
+    });
+    group.bench_function("table5_h2", |b| {
+        b.iter(|| run_table5_h2(black_box(&config)).expect("table5 h2 runs"))
+    });
+    group.bench_function("table5_h3", |b| {
+        b.iter(|| run_table5_h3(black_box(&config)).expect("table5 h3 runs"))
+    });
+    group.bench_function("table6_ert", |b| {
+        b.iter(|| run_table6(black_box(&config)).expect("table6 runs"))
+    });
+    group.bench_function("table7_ert_ldrg", |b| {
+        b.iter(|| run_table7(black_box(&config)).expect("table7 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

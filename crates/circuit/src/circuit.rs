@@ -1,0 +1,414 @@
+use std::error::Error;
+use std::fmt;
+
+/// A source waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// A constant value.
+    Dc(f64),
+    /// An ideal step from 0 to `level` at `t = 0`.
+    Step {
+        /// Final level (V or A).
+        level: f64,
+    },
+    /// A piecewise-linear waveform through `(time, value)` breakpoints
+    /// (SPICE `PWL`); the value holds flat before the first and after the
+    /// last breakpoint.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// The waveform value at time `t` (seconds).
+    #[must_use]
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Step { level } => {
+                if t >= 0.0 {
+                    *level
+                } else {
+                    0.0
+                }
+            }
+            Waveform::Pwl(points) => match points.as_slice() {
+                [] => 0.0,
+                [(_, v)] => *v,
+                points => {
+                    if t <= points[0].0 {
+                        return points[0].1;
+                    }
+                    for pair in points.windows(2) {
+                        let ((t0, v0), (t1, v1)) = (pair[0], pair[1]);
+                        if t <= t1 {
+                            if t1 <= t0 {
+                                return v1;
+                            }
+                            return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                        }
+                    }
+                    points[points.len() - 1].1
+                }
+            },
+        }
+    }
+
+    /// The steady-state (t → ∞) value.
+    #[must_use]
+    pub fn final_value(&self) -> f64 {
+        match self {
+            Waveform::Dc(v) | Waveform::Step { level: v } => *v,
+            Waveform::Pwl(points) => points.last().map_or(0.0, |&(_, v)| v),
+        }
+    }
+}
+
+/// A circuit element between two nodes (node 0 is ground).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// A resistor of `ohms` between `a` and `b`.
+    Resistor {
+        /// First terminal node.
+        a: usize,
+        /// Second terminal node.
+        b: usize,
+        /// Resistance in Ω (positive).
+        ohms: f64,
+    },
+    /// A capacitor of `farads` between `a` and `b`.
+    Capacitor {
+        /// First terminal node.
+        a: usize,
+        /// Second terminal node.
+        b: usize,
+        /// Capacitance in F (positive).
+        farads: f64,
+    },
+    /// An inductor of `henries` between `a` and `b`.
+    Inductor {
+        /// First terminal node.
+        a: usize,
+        /// Second terminal node.
+        b: usize,
+        /// Inductance in H (positive).
+        henries: f64,
+    },
+    /// An independent voltage source driving `pos` relative to `neg`.
+    VoltageSource {
+        /// Positive terminal node.
+        pos: usize,
+        /// Negative terminal node.
+        neg: usize,
+        /// Source waveform.
+        waveform: Waveform,
+    },
+    /// An independent current source pushing current out of `from` and
+    /// into `into` (SPICE convention: positive current flows through the
+    /// source from `from` to `into`).
+    CurrentSource {
+        /// Node the current leaves.
+        from: usize,
+        /// Node the current enters.
+        into: usize,
+        /// Source waveform (amperes).
+        waveform: Waveform,
+    },
+}
+
+/// Errors raised while assembling a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum BuildCircuitError {
+    /// An element references a node that was never allocated.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+        /// Number of allocated nodes (including ground).
+        count: usize,
+    },
+    /// Element values must be positive and finite.
+    InvalidValue {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Both terminals of an element are the same node.
+    ShortedElement {
+        /// The node both terminals land on.
+        node: usize,
+    },
+}
+
+impl fmt::Display for BuildCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildCircuitError::UnknownNode { node, count } => {
+                write!(f, "node {node} does not exist (circuit has {count} nodes)")
+            }
+            BuildCircuitError::InvalidValue { value } => {
+                write!(f, "element value must be positive and finite, got {value}")
+            }
+            BuildCircuitError::ShortedElement { node } => {
+                write!(f, "element terminals must differ, both on node {node}")
+            }
+        }
+    }
+}
+
+impl Error for BuildCircuitError {}
+
+/// A linear circuit: nodes (0 = ground) plus R, C, L and voltage-source
+/// elements.
+///
+/// Built by the extractor (see [`extract`](crate::extract)) and consumed by
+/// the `ntr-spice` simulator.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_circuit::{Circuit, Waveform};
+/// # fn main() -> Result<(), ntr_circuit::BuildCircuitError> {
+/// let mut c = Circuit::new();
+/// let n1 = c.add_node();
+/// let n2 = c.add_node();
+/// c.add_voltage_source(n1, Circuit::GROUND, Waveform::Step { level: 1.0 })?;
+/// c.add_resistor(n1, n2, 100.0)?;
+/// c.add_capacitor(n2, Circuit::GROUND, 1.0e-12)?;
+/// assert_eq!(c.node_count(), 3);
+/// assert_eq!(c.elements().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Circuit {
+    /// Number of nodes including ground.
+    node_count: usize,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// The ground node index.
+    pub const GROUND: usize = 0;
+
+    /// Creates an empty circuit containing only the ground node.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            node_count: 1,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Allocates a new node and returns its index.
+    pub fn add_node(&mut self) -> usize {
+        let id = self.node_count;
+        self.node_count += 1;
+        id
+    }
+
+    /// Number of nodes, including ground.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The element list, in insertion order.
+    #[must_use]
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Number of voltage sources (each takes one MNA branch variable).
+    #[must_use]
+    pub fn voltage_source_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::VoltageSource { .. }))
+            .count()
+    }
+
+    /// Number of inductors (each takes one MNA branch variable).
+    #[must_use]
+    pub fn inductor_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::Inductor { .. }))
+            .count()
+    }
+
+    /// Sum of all capacitances to any node, in F.
+    #[must_use]
+    pub fn total_capacitance(&self) -> f64 {
+        self.elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::Capacitor { farads, .. } => Some(*farads),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError`] for unknown nodes, non-positive values
+    /// or shorted terminals.
+    pub fn add_resistor(&mut self, a: usize, b: usize, ohms: f64) -> Result<(), BuildCircuitError> {
+        self.check_two_terminal(a, b, ohms)?;
+        self.elements.push(Element::Resistor { a, b, ohms });
+        Ok(())
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError`] for unknown nodes, non-positive values
+    /// or shorted terminals.
+    pub fn add_capacitor(
+        &mut self,
+        a: usize,
+        b: usize,
+        farads: f64,
+    ) -> Result<(), BuildCircuitError> {
+        self.check_two_terminal(a, b, farads)?;
+        self.elements.push(Element::Capacitor { a, b, farads });
+        Ok(())
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError`] for unknown nodes, non-positive values
+    /// or shorted terminals.
+    pub fn add_inductor(
+        &mut self,
+        a: usize,
+        b: usize,
+        henries: f64,
+    ) -> Result<(), BuildCircuitError> {
+        self.check_two_terminal(a, b, henries)?;
+        self.elements.push(Element::Inductor { a, b, henries });
+        Ok(())
+    }
+
+    /// Adds an independent voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError`] for unknown nodes or shorted terminals.
+    pub fn add_voltage_source(
+        &mut self,
+        pos: usize,
+        neg: usize,
+        waveform: Waveform,
+    ) -> Result<(), BuildCircuitError> {
+        self.check_node(pos)?;
+        self.check_node(neg)?;
+        if pos == neg {
+            return Err(BuildCircuitError::ShortedElement { node: pos });
+        }
+        self.elements
+            .push(Element::VoltageSource { pos, neg, waveform });
+        Ok(())
+    }
+
+    /// Adds an independent current source (no MNA branch variable; it
+    /// contributes only to the right-hand side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError`] for unknown nodes or shorted terminals.
+    pub fn add_current_source(
+        &mut self,
+        from: usize,
+        into: usize,
+        waveform: Waveform,
+    ) -> Result<(), BuildCircuitError> {
+        self.check_node(from)?;
+        self.check_node(into)?;
+        if from == into {
+            return Err(BuildCircuitError::ShortedElement { node: from });
+        }
+        self.elements.push(Element::CurrentSource {
+            from,
+            into,
+            waveform,
+        });
+        Ok(())
+    }
+
+    fn check_node(&self, n: usize) -> Result<(), BuildCircuitError> {
+        if n < self.node_count {
+            Ok(())
+        } else {
+            Err(BuildCircuitError::UnknownNode {
+                node: n,
+                count: self.node_count,
+            })
+        }
+    }
+
+    fn check_two_terminal(&self, a: usize, b: usize, value: f64) -> Result<(), BuildCircuitError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(BuildCircuitError::ShortedElement { node: a });
+        }
+        if !(value.is_finite() && value > 0.0) {
+            return Err(BuildCircuitError::InvalidValue { value });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveform_values() {
+        let step = Waveform::Step { level: 2.5 };
+        assert_eq!(step.value_at(-1.0), 0.0);
+        assert_eq!(step.value_at(0.0), 2.5);
+        assert_eq!(step.final_value(), 2.5);
+        assert_eq!(Waveform::Dc(1.0).value_at(-5.0), 1.0);
+    }
+
+    #[test]
+    fn rc_circuit_assembles() {
+        let mut c = Circuit::new();
+        let n = c.add_node();
+        c.add_voltage_source(n, Circuit::GROUND, Waveform::Step { level: 1.0 })
+            .unwrap();
+        let m = c.add_node();
+        c.add_resistor(n, m, 50.0).unwrap();
+        c.add_capacitor(m, Circuit::GROUND, 2.0e-12).unwrap();
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.voltage_source_count(), 1);
+        assert_eq!(c.inductor_count(), 0);
+        assert!((c.total_capacitance() - 2.0e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn invalid_elements_are_rejected() {
+        let mut c = Circuit::new();
+        let n = c.add_node();
+        assert!(matches!(
+            c.add_resistor(n, 9, 1.0),
+            Err(BuildCircuitError::UnknownNode { node: 9, .. })
+        ));
+        assert!(matches!(
+            c.add_resistor(n, n, 1.0),
+            Err(BuildCircuitError::ShortedElement { .. })
+        ));
+        assert!(matches!(
+            c.add_capacitor(n, Circuit::GROUND, -1.0),
+            Err(BuildCircuitError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            c.add_inductor(n, Circuit::GROUND, f64::INFINITY),
+            Err(BuildCircuitError::InvalidValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,381 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{BuildCircuitError, Circuit, Waveform};
+
+/// Errors raised while parsing a SPICE deck.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseDeckError {
+    /// A card has too few fields.
+    TooFewFields {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A numeric value (possibly with a SPICE suffix) failed to parse.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// An unsupported element or card was encountered.
+    Unsupported {
+        /// 1-based line number.
+        line: usize,
+        /// The card's leading token.
+        card: String,
+    },
+    /// A source specification was malformed.
+    BadSource {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The parsed element was rejected by the circuit builder.
+    Build {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying builder error.
+        source: BuildCircuitError,
+    },
+}
+
+impl fmt::Display for ParseDeckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDeckError::TooFewFields { line } => {
+                write!(f, "line {line}: element card has too few fields")
+            }
+            ParseDeckError::BadValue { line, token } => {
+                write!(f, "line {line}: cannot parse value {token:?}")
+            }
+            ParseDeckError::Unsupported { line, card } => {
+                write!(f, "line {line}: unsupported card {card:?}")
+            }
+            ParseDeckError::BadSource { line } => {
+                write!(f, "line {line}: malformed source specification")
+            }
+            ParseDeckError::Build { line, source } => {
+                write!(f, "line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for ParseDeckError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseDeckError::Build { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The result of [`parse_spice_deck`]: the circuit plus the deck's title
+/// and the mapping from deck node names to circuit node indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedDeck {
+    /// The assembled circuit.
+    pub circuit: Circuit,
+    /// The title line (first line of the deck), if any.
+    pub title: String,
+    /// Deck node name → circuit node index (`"0"` maps to ground).
+    pub nodes: HashMap<String, usize>,
+}
+
+/// Parses a SPICE value with an optional engineering suffix
+/// (`f p n u m k meg g t`, case-insensitive; `mil` is unsupported).
+///
+/// # Examples
+///
+/// ```
+/// use ntr_circuit::parse_spice_value;
+/// let v = parse_spice_value("15.3f").unwrap();
+/// assert!((v - 15.3e-15).abs() < 1e-27);
+/// assert_eq!(parse_spice_value("1.2K"), Some(1200.0));
+/// assert_eq!(parse_spice_value("3meg"), Some(3.0e6));
+/// assert_eq!(parse_spice_value("2.5e-9"), Some(2.5e-9));
+/// assert_eq!(parse_spice_value("oops"), None);
+/// ```
+#[must_use]
+pub fn parse_spice_value(token: &str) -> Option<f64> {
+    let t = token.trim().to_ascii_lowercase();
+    if t.is_empty() {
+        return None;
+    }
+    // Longest suffix first.
+    const SUFFIXES: [(&str, f64); 9] = [
+        ("meg", 1e6),
+        ("f", 1e-15),
+        ("p", 1e-12),
+        ("n", 1e-9),
+        ("u", 1e-6),
+        ("m", 1e-3),
+        ("k", 1e3),
+        ("g", 1e9),
+        ("t", 1e12),
+    ];
+    for (suffix, scale) in SUFFIXES {
+        if let Some(stripped) = t.strip_suffix(suffix) {
+            // Avoid mis-parsing exponents like "1e-3" where "m"/"g" etc.
+            // are not present; strip only when the remainder parses.
+            if let Ok(v) = stripped.parse::<f64>() {
+                return Some(v * scale);
+            }
+        }
+    }
+    t.parse::<f64>().ok()
+}
+
+/// Parses a SPICE-format netlist deck into a [`Circuit`].
+///
+/// Supported cards: `R` / `C` / `L` two-terminal elements, `V` / `I`
+/// sources with `DC x` or `PWL(t0 v0 t1 v1 ...)` specifications, comment
+/// lines (`*`), continuation-free dot cards (`.tran`, `.print`, `.end`,
+/// ignored), and blank lines. Node `0` is ground; other node names may be
+/// arbitrary identifiers and are assigned circuit indices in order of
+/// first appearance.
+///
+/// Together with [`to_spice_deck`](crate::to_spice_deck) this gives a
+/// lossless round trip for the circuits this workspace produces, enabling
+/// differential testing against an external SPICE.
+///
+/// # Errors
+///
+/// Returns [`ParseDeckError`] for malformed cards, unsupported elements,
+/// or element values the circuit builder rejects.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_circuit::parse_spice_deck;
+/// # fn main() -> Result<(), ntr_circuit::ParseDeckError> {
+/// let deck = "\
+/// * rc lowpass
+/// V1 in 0 PWL(0 0 1p 1)
+/// R1 in out 1k
+/// C1 out 0 1p
+/// .tran 1p 10n
+/// .end
+/// ";
+/// let parsed = parse_spice_deck(deck)?;
+/// assert_eq!(parsed.title, "rc lowpass");
+/// assert_eq!(parsed.circuit.node_count(), 3); // ground + in + out
+/// assert_eq!(parsed.circuit.elements().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_spice_deck(deck: &str) -> Result<ParsedDeck, ParseDeckError> {
+    let mut circuit = Circuit::new();
+    let mut nodes: HashMap<String, usize> = HashMap::new();
+    nodes.insert("0".to_owned(), Circuit::GROUND);
+    let mut title = String::new();
+    let mut saw_title = false;
+
+    for (idx, raw) in deck.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('*') {
+            if !saw_title {
+                title = comment.trim().to_owned();
+                saw_title = true;
+            }
+            continue;
+        }
+        if line.starts_with('.') {
+            continue; // .tran/.print/.end and friends: analysis cards
+        }
+        let mut fields = line.split_whitespace();
+        let name = fields.next().expect("non-empty line has a first token");
+        let kind = name
+            .chars()
+            .next()
+            .expect("token is non-empty")
+            .to_ascii_uppercase();
+        let rest: Vec<&str> = fields.collect();
+        if rest.len() < 2 {
+            return Err(ParseDeckError::TooFewFields { line: line_no });
+        }
+        let mut node_of = |label: &str, circuit: &mut Circuit| -> usize {
+            *nodes
+                .entry(label.to_owned())
+                .or_insert_with(|| circuit.add_node())
+        };
+        let a = node_of(rest[0], &mut circuit);
+        let b = node_of(rest[1], &mut circuit);
+        let build = |e: BuildCircuitError| ParseDeckError::Build {
+            line: line_no,
+            source: e,
+        };
+
+        match kind {
+            'R' | 'C' | 'L' => {
+                let token = rest
+                    .get(2)
+                    .ok_or(ParseDeckError::TooFewFields { line: line_no })?;
+                let value = parse_spice_value(token).ok_or_else(|| ParseDeckError::BadValue {
+                    line: line_no,
+                    token: (*token).to_owned(),
+                })?;
+                match kind {
+                    'R' => circuit.add_resistor(a, b, value).map_err(build)?,
+                    'C' => circuit.add_capacitor(a, b, value).map_err(build)?,
+                    _ => circuit.add_inductor(a, b, value).map_err(build)?,
+                }
+            }
+            'V' | 'I' => {
+                let spec = rest[2..].join(" ");
+                let waveform = parse_source_spec(&spec, line_no)?;
+                if kind == 'V' {
+                    circuit.add_voltage_source(a, b, waveform).map_err(build)?;
+                } else {
+                    circuit.add_current_source(a, b, waveform).map_err(build)?;
+                }
+            }
+            _ => {
+                return Err(ParseDeckError::Unsupported {
+                    line: line_no,
+                    card: name.to_owned(),
+                })
+            }
+        }
+    }
+    Ok(ParsedDeck {
+        circuit,
+        title,
+        nodes,
+    })
+}
+
+/// Parses `DC x`, a bare numeric value, or `PWL(t v t v ...)`.
+fn parse_source_spec(spec: &str, line: usize) -> Result<Waveform, ParseDeckError> {
+    let s = spec.trim();
+    let upper = s.to_ascii_uppercase();
+    if let Some(value) = upper.strip_prefix("DC") {
+        let v = parse_spice_value(value.trim()).ok_or_else(|| ParseDeckError::BadValue {
+            line,
+            token: value.trim().to_owned(),
+        })?;
+        return Ok(Waveform::Dc(v));
+    }
+    if upper.starts_with("PWL") {
+        let open = s.find('(').ok_or(ParseDeckError::BadSource { line })?;
+        let close = s.rfind(')').ok_or(ParseDeckError::BadSource { line })?;
+        if close <= open {
+            return Err(ParseDeckError::BadSource { line });
+        }
+        let body = &s[open + 1..close];
+        let tokens: Vec<&str> = body.split_whitespace().collect();
+        if tokens.is_empty() || !tokens.len().is_multiple_of(2) {
+            return Err(ParseDeckError::BadSource { line });
+        }
+        let mut points = Vec::with_capacity(tokens.len() / 2);
+        for pair in tokens.chunks(2) {
+            let t = parse_spice_value(pair[0]).ok_or_else(|| ParseDeckError::BadValue {
+                line,
+                token: pair[0].to_owned(),
+            })?;
+            let v = parse_spice_value(pair[1]).ok_or_else(|| ParseDeckError::BadValue {
+                line,
+                token: pair[1].to_owned(),
+            })?;
+            points.push((t, v));
+        }
+        return Ok(Waveform::Pwl(points));
+    }
+    // Bare value = DC.
+    parse_spice_value(s)
+        .map(Waveform::Dc)
+        .ok_or(ParseDeckError::BadSource { line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Element;
+
+    #[test]
+    fn suffixes_parse_correctly() {
+        assert_eq!(parse_spice_value("0.03"), Some(0.03));
+        assert_eq!(parse_spice_value("492F"), Some(492e-15));
+        assert_eq!(parse_spice_value("100"), Some(100.0));
+        assert_eq!(parse_spice_value("1meg"), Some(1e6));
+        assert_eq!(parse_spice_value("2n"), Some(2e-9));
+        let five_micro = parse_spice_value("5u").unwrap();
+        assert!((five_micro - 5e-6).abs() < 1e-18);
+        assert_eq!(parse_spice_value("7t"), Some(7e12));
+        // Exponent forms must not be eaten by suffix logic.
+        assert_eq!(parse_spice_value("1e-3"), Some(1e-3));
+        assert_eq!(parse_spice_value("2.5E6"), Some(2.5e6));
+        assert_eq!(parse_spice_value(""), None);
+        assert_eq!(parse_spice_value("x1"), None);
+    }
+
+    #[test]
+    fn parses_all_supported_cards() {
+        let deck = "* title here\n\
+                    V1 vdd 0 DC 1.0\n\
+                    I1 0 load PWL(0 0 1n 1m)\n\
+                    R1 vdd load 1k\n\
+                    L1 load tail 1n\n\
+                    C1 tail 0 15.3f\n\
+                    .end\n";
+        let parsed = parse_spice_deck(deck).unwrap();
+        assert_eq!(parsed.title, "title here");
+        assert_eq!(parsed.circuit.elements().len(), 5);
+        assert_eq!(parsed.circuit.node_count(), 4); // ground, vdd, load, tail
+        assert!(matches!(
+            parsed.circuit.elements()[2],
+            Element::Resistor { ohms, .. } if (ohms - 1000.0).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn pwl_source_round_trips_values() {
+        let parsed = parse_spice_deck("V1 a 0 PWL(0 0 1p 1 2p 0.5)\nR1 a 0 1\n").unwrap();
+        let Element::VoltageSource { waveform, .. } = &parsed.circuit.elements()[0] else {
+            panic!("expected voltage source");
+        };
+        assert_eq!(
+            *waveform,
+            Waveform::Pwl(vec![(0.0, 0.0), (1e-12, 1.0), (2e-12, 0.5)])
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(
+            parse_spice_deck("R1 a\n").unwrap_err(),
+            ParseDeckError::TooFewFields { line: 1 }
+        );
+        assert!(matches!(
+            parse_spice_deck("* t\nR1 a 0 bogus\n").unwrap_err(),
+            ParseDeckError::BadValue { line: 2, .. }
+        ));
+        assert!(matches!(
+            parse_spice_deck("Q1 a 0 b model\n").unwrap_err(),
+            ParseDeckError::Unsupported { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_spice_deck("V1 a 0 PWL(0 0 1p)\n").unwrap_err(),
+            ParseDeckError::BadSource { line: 1 }
+        ));
+        assert!(matches!(
+            parse_spice_deck("R1 a a 1k\n").unwrap_err(),
+            ParseDeckError::Build { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn bare_value_sources_are_dc() {
+        let parsed = parse_spice_deck("V1 a 0 3.3\nR1 a 0 1\n").unwrap();
+        assert!(matches!(
+            parsed.circuit.elements()[0],
+            Element::VoltageSource { waveform: Waveform::Dc(v), .. } if (v - 3.3).abs() < 1e-12
+        ));
+    }
+}

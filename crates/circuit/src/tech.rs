@@ -1,0 +1,117 @@
+/// Electrical parameters of an interconnect technology.
+///
+/// A passive parameter bundle: resistance in ohms, capacitance in farads,
+/// inductance in henries, lengths in micrometers. The values of
+/// [`Technology::date94`] reproduce Table 1 of the paper.
+///
+/// Wire width scaling (for the WSORG extension) follows the standard
+/// first-order model: a wire of width multiplier `w` has resistance
+/// `r/w` per unit length and (area-dominated) capacitance `c·w` per unit
+/// length; inductance is treated as width-independent.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_circuit::Technology;
+/// let tech = Technology::date94();
+/// assert_eq!(tech.driver_resistance, 100.0);
+/// // 1 mm of nominal wire:
+/// assert!((tech.wire_resistance(1000.0, 1.0) - 30.0).abs() < 1e-12);
+/// assert!((tech.wire_capacitance(1000.0, 1.0) - 0.352e-12).abs() < 1e-24);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Output driver resistance at the net source, in Ω.
+    pub driver_resistance: f64,
+    /// Wire resistance per unit length, in Ω/µm.
+    pub wire_resistance_per_um: f64,
+    /// Wire capacitance per unit length, in F/µm.
+    pub wire_capacitance_per_um: f64,
+    /// Wire inductance per unit length, in H/µm.
+    pub wire_inductance_per_um: f64,
+    /// Loading capacitance at each sink pin, in F.
+    pub sink_capacitance: f64,
+    /// Supply/step voltage used for delay thresholds, in V.
+    pub supply_voltage: f64,
+}
+
+impl Technology {
+    /// The 0.8 µm CMOS parameters of the paper's Table 1.
+    ///
+    /// | parameter | value |
+    /// |---|---|
+    /// | driver resistance | 100 Ω |
+    /// | wire resistance | 0.03 Ω/µm |
+    /// | wire capacitance | 0.352 fF/µm |
+    /// | wire inductance | 492 fH/µm |
+    /// | sink loading capacitance | 15.3 fF |
+    #[must_use]
+    pub fn date94() -> Self {
+        Self {
+            driver_resistance: 100.0,
+            wire_resistance_per_um: 0.03,
+            wire_capacitance_per_um: 0.352e-15,
+            wire_inductance_per_um: 492e-18,
+            sink_capacitance: 15.3e-15,
+            supply_voltage: 1.0,
+        }
+    }
+
+    /// Total resistance of a wire of `length_um` and width multiplier
+    /// `width`, in Ω.
+    #[must_use]
+    pub fn wire_resistance(&self, length_um: f64, width: f64) -> f64 {
+        self.wire_resistance_per_um * length_um / width
+    }
+
+    /// Total capacitance of a wire of `length_um` and width multiplier
+    /// `width`, in F.
+    #[must_use]
+    pub fn wire_capacitance(&self, length_um: f64, width: f64) -> f64 {
+        self.wire_capacitance_per_um * length_um * width
+    }
+
+    /// Total inductance of a wire of `length_um`, in H (width-independent
+    /// to first order).
+    #[must_use]
+    pub fn wire_inductance(&self, length_um: f64) -> f64 {
+        self.wire_inductance_per_um * length_um
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::date94()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date94_matches_table_1() {
+        let t = Technology::date94();
+        assert_eq!(t.driver_resistance, 100.0);
+        assert_eq!(t.wire_resistance_per_um, 0.03);
+        assert_eq!(t.wire_capacitance_per_um, 0.352e-15);
+        assert_eq!(t.wire_inductance_per_um, 492e-18);
+        assert_eq!(t.sink_capacitance, 15.3e-15);
+    }
+
+    #[test]
+    fn width_scales_r_down_and_c_up() {
+        let t = Technology::date94();
+        let r1 = t.wire_resistance(100.0, 1.0);
+        let r2 = t.wire_resistance(100.0, 2.0);
+        assert!((r2 - r1 / 2.0).abs() < 1e-12);
+        let c1 = t.wire_capacitance(100.0, 1.0);
+        let c2 = t.wire_capacitance(100.0, 2.0);
+        assert!((c2 - 2.0 * c1).abs() < 1e-27);
+    }
+
+    #[test]
+    fn default_is_date94() {
+        assert_eq!(Technology::default(), Technology::date94());
+    }
+}

@@ -1,0 +1,49 @@
+//! Robustness tests: the text parsers must return errors, never panic,
+//! on arbitrary input — and must round-trip everything this workspace
+//! generates.
+
+use ntr_circuit::{parse_spice_deck, parse_spice_value};
+use ntr_geom::{net_from_str, Netlist};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text never panics the deck parser.
+    #[test]
+    fn deck_parser_never_panics(text in "\\PC*{0,200}") {
+        let _ = parse_spice_deck(&text);
+    }
+
+    /// Arbitrary "almost-deck" lines never panic the deck parser.
+    #[test]
+    fn structured_junk_never_panics(
+        kind in "[RCLVIQXq.*#]",
+        a in "[a-z0-9]{0,4}",
+        b in "[a-z0-9]{0,4}",
+        v in "[0-9a-zA-Z.+-]{0,8}",
+    ) {
+        let deck = format!("{kind}1 {a} {b} {v}\n");
+        let _ = parse_spice_deck(&deck);
+    }
+
+    /// Arbitrary tokens never panic the value parser, and valid floats
+    /// always parse to themselves.
+    #[test]
+    fn value_parser_total(token in "\\PC{0,12}") {
+        let _ = parse_spice_value(&token);
+    }
+
+    #[test]
+    fn plain_floats_parse_exactly(v in -1e12f64..1e12) {
+        let parsed = parse_spice_value(&format!("{v}")).unwrap();
+        prop_assert!((parsed - v).abs() <= 1e-9 * v.abs());
+    }
+
+    /// Net and netlist parsers are total functions on arbitrary text.
+    #[test]
+    fn net_parsers_never_panic(text in "\\PC*{0,200}") {
+        let _ = net_from_str(&text);
+        let _ = Netlist::from_text(&text);
+    }
+}

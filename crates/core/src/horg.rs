@@ -1,0 +1,133 @@
+use ntr_geom::Net;
+use ntr_steiner::SteinerOptions;
+
+use crate::{ldrg, wire_size, DelayOracle, LdrgOptions, OracleError, WireSizeOptions};
+
+/// Options for the [`horg`] pipeline: Steiner construction, non-tree edge
+/// addition, and wire sizing, all under one (possibly criticality-
+/// weighted) objective.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HorgOptions {
+    /// Iterated 1-Steiner options for the base tree.
+    pub steiner: SteinerOptions,
+    /// LDRG options; set `objective` to
+    /// [`Objective::Weighted`](crate::Objective::Weighted) for the
+    /// critical-sink form.
+    pub ldrg: LdrgOptions,
+    /// Wire-sizing options (its objective is overridden by the LDRG
+    /// objective so the whole pipeline optimizes one quantity).
+    pub sizing: WireSizeOptions,
+}
+
+/// The result of a [`horg`] run, with the objective value after each
+/// stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HorgResult {
+    /// The final routing graph: Steiner nodes, extra edges, sized wires.
+    pub graph: ntr_graph::RoutingGraph,
+    /// Objective of the initial Steiner tree (seconds).
+    pub steiner_delay: f64,
+    /// Objective after the LDRG stage (seconds).
+    pub after_ldrg_delay: f64,
+    /// Objective after wire sizing (seconds).
+    pub final_delay: f64,
+    /// Wirelength of the final graph (µm).
+    pub final_cost: f64,
+}
+
+/// The Hybrid Optimal Routing Graph (HORG) pipeline — the paper's §5.3
+/// combination that "subsumes all the other formulations": Steiner points
+/// + non-tree edges + wire widths under a criticality-weighted objective.
+///
+/// Stage order follows the paper's constructions: build the Steiner tree
+/// (SORG), run the greedy LDRG edge addition (ORG/CSORG depending on the
+/// objective), merge any parallel wires into wider ones, then greedily
+/// size widths (WSORG).
+///
+/// # Errors
+///
+/// Propagates [`OracleError`] from the oracle.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_circuit::Technology;
+/// use ntr_core::{horg, HorgOptions, MomentOracle};
+/// use ntr_geom::{Layout, NetGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = NetGenerator::new(Layout::date94(), 2).random_net(8)?;
+/// let oracle = MomentOracle::new(Technology::date94());
+/// let result = horg(&net, &oracle, &HorgOptions::default())?;
+/// assert!(result.final_delay <= result.steiner_delay);
+/// # Ok(())
+/// # }
+/// ```
+pub fn horg(
+    net: &Net,
+    oracle: &dyn DelayOracle,
+    opts: &HorgOptions,
+) -> Result<HorgResult, OracleError> {
+    let base = ntr_steiner::iterated_one_steiner(net, &opts.steiner);
+    let ldrg_result = ldrg(&base, oracle, &opts.ldrg)?;
+    let steiner_delay = ldrg_result.initial_delay;
+    let after_ldrg_delay = ldrg_result.final_delay();
+
+    let mut graph = ldrg_result.graph;
+    graph.merge_parallel_edges();
+
+    let sizing = WireSizeOptions {
+        objective: opts.ldrg.objective.clone(),
+        ..opts.sizing.clone()
+    };
+    let sized = wire_size(&graph, oracle, &sizing)?;
+
+    Ok(HorgResult {
+        final_cost: sized.graph.total_cost(),
+        final_delay: sized.final_delay,
+        graph: sized.graph,
+        steiner_delay,
+        after_ldrg_delay,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MomentOracle, Objective};
+    use ntr_circuit::Technology;
+    use ntr_geom::{Layout, NetGenerator};
+
+    #[test]
+    fn stages_improve_monotonically() {
+        let oracle = MomentOracle::new(Technology::date94());
+        for seed in 0..5 {
+            let net = NetGenerator::new(Layout::date94(), seed)
+                .random_net(9)
+                .unwrap();
+            let res = horg(&net, &oracle, &HorgOptions::default()).unwrap();
+            assert!(res.after_ldrg_delay <= res.steiner_delay);
+            assert!(res.final_delay <= res.after_ldrg_delay + 1e-18);
+            assert!(res.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn weighted_horg_runs_end_to_end() {
+        let oracle = MomentOracle::new(Technology::date94());
+        let net = NetGenerator::new(Layout::date94(), 12)
+            .random_net(6)
+            .unwrap();
+        let mut alphas = vec![0.0; net.sink_count()];
+        alphas[0] = 1.0;
+        let opts = HorgOptions {
+            ldrg: LdrgOptions {
+                objective: Objective::Weighted(alphas),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let res = horg(&net, &oracle, &opts).unwrap();
+        assert!(res.final_delay <= res.steiner_delay);
+    }
+}

@@ -1,0 +1,411 @@
+use ntr_graph::{EdgeId, NodeId, RoutingGraph};
+
+use crate::{DelayOracle, Objective, OracleError};
+
+/// Options for the [`ldrg`] greedy loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdrgOptions {
+    /// Stop after this many added edges (0 = iterate until no improvement,
+    /// the paper's termination rule).
+    pub max_added_edges: usize,
+    /// Minimum relative improvement for an edge to be accepted; guards
+    /// against numerical churn. Default `1e-6`.
+    pub min_improvement: f64,
+    /// The objective to minimize ([`Objective::MaxDelay`] = ORG,
+    /// [`Objective::Weighted`] = CSORG).
+    pub objective: Objective,
+}
+
+impl Default for LdrgOptions {
+    fn default() -> Self {
+        Self {
+            max_added_edges: 0,
+            min_improvement: 1e-6,
+            objective: Objective::MaxDelay,
+        }
+    }
+}
+
+/// One committed LDRG iteration: the edge added and the resulting state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// Endpoints of the added edge.
+    pub added: (NodeId, NodeId),
+    /// Id of the added edge in the result graph.
+    pub edge: EdgeId,
+    /// Objective value after adding the edge (seconds).
+    pub delay: f64,
+    /// Total wirelength after adding the edge (µm).
+    pub cost: f64,
+}
+
+/// The result of an [`ldrg`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdrgResult {
+    /// The final routing graph (the input plus all committed edges).
+    pub graph: RoutingGraph,
+    /// Objective value of the starting graph (seconds).
+    pub initial_delay: f64,
+    /// Wirelength of the starting graph (µm).
+    pub initial_cost: f64,
+    /// Committed iterations, in order.
+    pub iterations: Vec<IterationRecord>,
+}
+
+impl LdrgResult {
+    /// Objective value of the final graph.
+    #[must_use]
+    pub fn final_delay(&self) -> f64 {
+        self.iterations
+            .last()
+            .map_or(self.initial_delay, |it| it.delay)
+    }
+
+    /// Wirelength of the final graph.
+    #[must_use]
+    pub fn final_cost(&self) -> f64 {
+        self.iterations
+            .last()
+            .map_or(self.initial_cost, |it| it.cost)
+    }
+
+    /// Delay and cost after iteration `k` (`k = 0` is the initial graph;
+    /// past the last iteration the final values repeat, matching how the
+    /// paper reports "iteration two" on nets where only one edge helped).
+    #[must_use]
+    pub fn state_after(&self, k: usize) -> (f64, f64) {
+        if k == 0 || self.iterations.is_empty() {
+            return if k == 0 {
+                (self.initial_delay, self.initial_cost)
+            } else {
+                (self.final_delay(), self.final_cost())
+            };
+        }
+        let idx = k.min(self.iterations.len()) - 1;
+        (self.iterations[idx].delay, self.iterations[idx].cost)
+    }
+}
+
+/// The Low Delay Routing Graph algorithm (paper Figure 4).
+///
+/// Starting from any spanning routing (the paper uses the MST; Table 7
+/// starts from an ERT; SLDRG starts from a Steiner tree), repeatedly:
+///
+/// 1. evaluate every candidate edge `e_{ij} ∈ N×N` not already present,
+/// 2. commit the edge that reduces the objective the most,
+/// 3. stop when no candidate improves (or `max_added_edges` is reached).
+///
+/// Each iteration costs O(|N|²) oracle calls; with the
+/// [`TransientOracle`](crate::TransientOracle) this is the paper's
+/// "quadratic number of calls to SPICE".
+///
+/// # Errors
+///
+/// Propagates [`OracleError`] from the oracle (e.g. a disconnected input
+/// graph).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub fn ldrg(
+    initial: &RoutingGraph,
+    oracle: &dyn DelayOracle,
+    opts: &LdrgOptions,
+) -> Result<LdrgResult, OracleError> {
+    let mut graph = initial.clone();
+    let initial_report = oracle.evaluate(&graph)?;
+    let initial_delay = opts.objective.score(&initial_report);
+    let initial_cost = graph.total_cost();
+
+    let mut iterations = Vec::new();
+    let mut current = initial_delay;
+    let max_edges = if opts.max_added_edges == 0 {
+        usize::MAX
+    } else {
+        opts.max_added_edges
+    };
+
+    while iterations.len() < max_edges {
+        let mut best: Option<(f64, NodeId, NodeId)> = None;
+        let nodes: Vec<NodeId> = graph.node_ids().collect();
+        for (ai, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[ai + 1..] {
+                if graph.has_edge(a, b) {
+                    continue;
+                }
+                let edge = graph.add_edge(a, b).expect("distinct valid nodes");
+                let score = opts.objective.score(&oracle.evaluate(&graph)?);
+                graph.remove_edge(edge).expect("edge was just added");
+                if score < current && best.is_none_or(|(s, _, _)| score < s) {
+                    best = Some((score, a, b));
+                }
+            }
+        }
+        match best {
+            Some((score, a, b)) if score < current * (1.0 - opts.min_improvement) => {
+                let edge = graph.add_edge(a, b).expect("distinct valid nodes");
+                current = score;
+                iterations.push(IterationRecord {
+                    added: (a, b),
+                    edge,
+                    delay: score,
+                    cost: graph.total_cost(),
+                });
+            }
+            _ => break,
+        }
+    }
+
+    Ok(LdrgResult {
+        graph,
+        initial_delay,
+        initial_cost,
+        iterations,
+    })
+}
+
+/// Two-stage LDRG: rank all candidate edges with a **cheap prefilter
+/// oracle** (typically [`MomentOracle`](crate::MomentOracle)), then
+/// evaluate only the `shortlist` best of them with the expensive search
+/// oracle (typically a fine [`TransientOracle`](crate::TransientOracle)).
+///
+/// This is the production form of the paper's LDRG: the quadratic
+/// candidate sweep runs against one-sparse-solve evaluations, and full
+/// transient simulation is reserved for the handful of candidates that
+/// might actually win. With `shortlist >= the candidate count` this
+/// degenerates to plain [`ldrg`] under the search oracle.
+///
+/// # Errors
+///
+/// Propagates [`OracleError`] from either oracle.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_circuit::Technology;
+/// use ntr_core::{ldrg_prefiltered, LdrgOptions, MomentOracle, TransientOracle};
+/// use ntr_geom::{Layout, NetGenerator};
+/// use ntr_graph::prim_mst;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = NetGenerator::new(Layout::date94(), 4).random_net(12)?;
+/// let mst = prim_mst(&net);
+/// let tech = Technology::date94();
+/// let result = ldrg_prefiltered(
+///     &mst,
+///     &TransientOracle::new(tech),
+///     &MomentOracle::new(tech),
+///     8,
+///     &LdrgOptions::default(),
+/// )?;
+/// assert!(result.final_delay() <= result.initial_delay);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ldrg_prefiltered(
+    initial: &RoutingGraph,
+    search: &dyn DelayOracle,
+    prefilter: &dyn DelayOracle,
+    shortlist: usize,
+    opts: &LdrgOptions,
+) -> Result<LdrgResult, OracleError> {
+    let mut graph = initial.clone();
+    let initial_delay = opts.objective.score(&search.evaluate(&graph)?);
+    let initial_cost = graph.total_cost();
+
+    let mut iterations = Vec::new();
+    let mut current = initial_delay;
+    let max_edges = if opts.max_added_edges == 0 {
+        usize::MAX
+    } else {
+        opts.max_added_edges
+    };
+    let shortlist = shortlist.max(1);
+
+    while iterations.len() < max_edges {
+        // Stage 1: cheap ranking of every candidate edge.
+        let mut ranked: Vec<(f64, NodeId, NodeId)> = Vec::new();
+        let nodes: Vec<NodeId> = graph.node_ids().collect();
+        for (ai, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[ai + 1..] {
+                if graph.has_edge(a, b) {
+                    continue;
+                }
+                let edge = graph.add_edge(a, b).expect("distinct valid nodes");
+                let score = opts.objective.score(&prefilter.evaluate(&graph)?);
+                graph.remove_edge(edge).expect("edge was just added");
+                ranked.push((score, a, b));
+            }
+        }
+        ranked.sort_by(|x, y| x.0.total_cmp(&y.0));
+        ranked.truncate(shortlist);
+
+        // Stage 2: expensive evaluation of the shortlist only.
+        let mut best: Option<(f64, NodeId, NodeId)> = None;
+        for (_, a, b) in ranked {
+            let edge = graph.add_edge(a, b).expect("distinct valid nodes");
+            let score = opts.objective.score(&search.evaluate(&graph)?);
+            graph.remove_edge(edge).expect("edge was just added");
+            if score < current && best.is_none_or(|(s, _, _)| score < s) {
+                best = Some((score, a, b));
+            }
+        }
+        match best {
+            Some((score, a, b)) if score < current * (1.0 - opts.min_improvement) => {
+                let edge = graph.add_edge(a, b).expect("distinct valid nodes");
+                current = score;
+                iterations.push(IterationRecord {
+                    added: (a, b),
+                    edge,
+                    delay: score,
+                    cost: graph.total_cost(),
+                });
+            }
+            _ => break,
+        }
+    }
+    Ok(LdrgResult {
+        graph,
+        initial_delay,
+        initial_cost,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MomentOracle, TransientOracle};
+    use ntr_circuit::Technology;
+    use ntr_geom::{Layout, NetGenerator};
+    use ntr_graph::prim_mst;
+
+    fn mst(seed: u64, size: usize) -> RoutingGraph {
+        let net = NetGenerator::new(Layout::date94(), seed)
+            .random_net(size)
+            .unwrap();
+        prim_mst(&net)
+    }
+
+    #[test]
+    fn ldrg_never_worsens_the_objective() {
+        let oracle = MomentOracle::new(Technology::date94());
+        for seed in 0..8 {
+            let g = mst(seed, 9);
+            let res = ldrg(&g, &oracle, &LdrgOptions::default()).unwrap();
+            assert!(res.final_delay() <= res.initial_delay);
+            assert!(res.graph.is_connected());
+            // Monotone improvement per iteration.
+            let mut prev = res.initial_delay;
+            for it in &res.iterations {
+                assert!(it.delay < prev);
+                prev = it.delay;
+            }
+            // Cost grows with each added edge.
+            assert!(res.final_cost() >= res.initial_cost);
+        }
+    }
+
+    #[test]
+    fn max_added_edges_caps_iterations() {
+        let oracle = MomentOracle::new(Technology::date94());
+        let g = mst(4, 12);
+        let capped = ldrg(
+            &g,
+            &oracle,
+            &LdrgOptions {
+                max_added_edges: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(capped.iterations.len() <= 1);
+        let free = ldrg(&g, &oracle, &LdrgOptions::default()).unwrap();
+        assert!(free.final_delay() <= capped.final_delay() + 1e-18);
+    }
+
+    #[test]
+    fn transient_oracle_improves_most_20_pin_nets() {
+        // Small smoke-scale version of Table 2's "percent winners" claim.
+        let oracle = TransientOracle::fast(Technology::date94());
+        let mut winners = 0;
+        for seed in 0..5 {
+            let g = mst(100 + seed, 20);
+            let res = ldrg(
+                &g,
+                &oracle,
+                &LdrgOptions {
+                    max_added_edges: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            if res.final_delay() < res.initial_delay {
+                winners += 1;
+            }
+        }
+        assert!(winners >= 3, "only {winners}/5 improved");
+    }
+
+    #[test]
+    fn prefiltered_tracks_exhaustive_quality() {
+        let tech = Technology::date94();
+        let search = crate::TransientOracle::fast(tech);
+        let prefilter = MomentOracle::new(tech);
+        let mut sum_exhaustive = 0.0;
+        let mut sum_filtered = 0.0;
+        for seed in 0..6 {
+            let g = mst(seed, 10);
+            let exhaustive = ldrg(&g, &search, &LdrgOptions::default()).unwrap();
+            let filtered =
+                super::ldrg_prefiltered(&g, &search, &prefilter, 6, &LdrgOptions::default())
+                    .unwrap();
+            sum_exhaustive += exhaustive.final_delay() / exhaustive.initial_delay;
+            sum_filtered += filtered.final_delay() / filtered.initial_delay;
+            // The shortlist can only restrict, never invent, improvements.
+            assert!(filtered.final_delay() <= filtered.initial_delay);
+        }
+        // Within 3% mean quality of the exhaustive search.
+        assert!(
+            sum_filtered <= sum_exhaustive + 0.03 * 6.0,
+            "filtered {sum_filtered} vs exhaustive {sum_exhaustive}"
+        );
+    }
+
+    #[test]
+    fn huge_shortlist_degenerates_to_plain_ldrg() {
+        let g = mst(9, 8);
+        let oracle = MomentOracle::new(Technology::date94());
+        let plain = ldrg(&g, &oracle, &LdrgOptions::default()).unwrap();
+        let filtered =
+            super::ldrg_prefiltered(&g, &oracle, &oracle, usize::MAX, &LdrgOptions::default())
+                .unwrap();
+        assert_eq!(plain.final_delay(), filtered.final_delay());
+        assert_eq!(plain.iterations.len(), filtered.iterations.len());
+    }
+
+    #[test]
+    fn state_after_clamps_to_final() {
+        let oracle = MomentOracle::new(Technology::date94());
+        let g = mst(2, 10);
+        let res = ldrg(&g, &oracle, &LdrgOptions::default()).unwrap();
+        assert_eq!(res.state_after(0), (res.initial_delay, res.initial_cost));
+        assert_eq!(res.state_after(99), (res.final_delay(), res.final_cost()));
+    }
+
+    #[test]
+    fn weighted_objective_runs() {
+        let g = mst(6, 6);
+        let alphas = vec![1.0, 0.0, 0.0, 0.0, 0.0];
+        let oracle = MomentOracle::new(Technology::date94());
+        let res = ldrg(
+            &g,
+            &oracle,
+            &LdrgOptions {
+                objective: Objective::Weighted(alphas),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(res.final_delay() <= res.initial_delay);
+    }
+}

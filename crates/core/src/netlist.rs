@@ -1,0 +1,173 @@
+use ntr_geom::Netlist;
+use ntr_graph::{prim_mst, RoutingGraph};
+
+use crate::{
+    ldrg, trim_redundant_edges, DelayOracle, LdrgOptions, Objective, OracleError, TrimOptions,
+};
+
+/// Options for [`route_netlist`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistRouteOptions {
+    /// Only nets whose MST delay exceeds this target (seconds) receive the
+    /// non-tree treatment; `None` optimizes every net. Spending extra wire
+    /// only on failing nets is how a timing-driven flow would deploy the
+    /// paper's method.
+    pub timing_target: Option<f64>,
+    /// LDRG options for the optimized nets.
+    pub ldrg: LdrgOptions,
+    /// Run the redundant-edge trim pass after LDRG.
+    pub trim: bool,
+}
+
+impl Default for NetlistRouteOptions {
+    fn default() -> Self {
+        Self {
+            timing_target: None,
+            ldrg: LdrgOptions::default(),
+            trim: true,
+        }
+    }
+}
+
+/// One routed net of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedNet {
+    /// The net's name.
+    pub name: String,
+    /// The final routing.
+    pub graph: RoutingGraph,
+    /// Max sink delay of the MST baseline (seconds).
+    pub mst_delay: f64,
+    /// Max sink delay of the final routing (seconds).
+    pub delay: f64,
+    /// Whether the net received the non-tree optimization.
+    pub optimized: bool,
+}
+
+/// Routes every net of a netlist: MST baseline everywhere, LDRG (+ optional
+/// trim) on the nets that miss the timing target — the miniature
+/// timing-driven flow of the paper's motivation, as a library call.
+///
+/// Nets are routed independently (the ORG problem is per-net; the paper's
+/// §5.1 notes cross-net objectives are future work).
+///
+/// # Errors
+///
+/// Propagates [`OracleError`] from delay evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_circuit::Technology;
+/// use ntr_core::{route_netlist, NetlistRouteOptions, TransientOracle};
+/// use ntr_geom::{Layout, NetGenerator, Netlist};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut generator = NetGenerator::new(Layout::date94(), 1);
+/// let mut netlist = Netlist::new();
+/// netlist.push("a", generator.random_net(8)?);
+/// netlist.push("b", generator.random_net(4)?);
+/// let oracle = TransientOracle::fast(Technology::date94());
+/// let routed = route_netlist(&netlist, &oracle, &NetlistRouteOptions::default())?;
+/// assert_eq!(routed.len(), 2);
+/// assert!(routed.iter().all(|r| r.delay <= r.mst_delay));
+/// # Ok(())
+/// # }
+/// ```
+pub fn route_netlist(
+    netlist: &Netlist,
+    oracle: &dyn DelayOracle,
+    opts: &NetlistRouteOptions,
+) -> Result<Vec<RoutedNet>, OracleError> {
+    let mut routed = Vec::with_capacity(netlist.len());
+    for (name, net) in netlist.iter() {
+        let mst = prim_mst(net);
+        let mst_delay = Objective::MaxDelay.score(&oracle.evaluate(&mst)?);
+        let needs_work = opts.timing_target.is_none_or(|target| mst_delay > target);
+        let (graph, delay, optimized) = if needs_work {
+            let result = ldrg(&mst, oracle, &opts.ldrg)?;
+            let (graph, delay) = if opts.trim {
+                let trim_opts = TrimOptions {
+                    objective: opts.ldrg.objective.clone(),
+                    ..TrimOptions::default()
+                };
+                let trimmed = trim_redundant_edges(&result.graph, oracle, &trim_opts)?;
+                let delay = trimmed.final_delay;
+                (trimmed.graph, delay)
+            } else {
+                (result.graph.clone(), result.final_delay())
+            };
+            (graph, delay, true)
+        } else {
+            (mst, mst_delay, false)
+        };
+        routed.push(RoutedNet {
+            name: name.to_owned(),
+            graph,
+            mst_delay,
+            delay,
+            optimized,
+        });
+    }
+    Ok(routed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MomentOracle;
+    use ntr_circuit::Technology;
+    use ntr_geom::{Layout, NetGenerator};
+
+    fn sample_netlist() -> Netlist {
+        let mut generator = NetGenerator::new(Layout::date94(), 99);
+        let mut netlist = Netlist::new();
+        netlist.push("big", generator.random_net(14).unwrap());
+        netlist.push("small", generator.random_net(3).unwrap());
+        netlist
+    }
+
+    #[test]
+    fn all_nets_routed_and_never_worse_than_mst() {
+        let oracle = MomentOracle::new(Technology::date94());
+        let routed =
+            route_netlist(&sample_netlist(), &oracle, &NetlistRouteOptions::default()).unwrap();
+        assert_eq!(routed.len(), 2);
+        for r in &routed {
+            assert!(r.graph.is_connected());
+            assert!(r.delay <= r.mst_delay + 1e-18, "{}", r.name);
+            assert!(r.optimized);
+        }
+        assert_eq!(routed[0].name, "big");
+    }
+
+    #[test]
+    fn timing_target_gates_the_optimization() {
+        let oracle = MomentOracle::new(Technology::date94());
+        // An impossible target: everything is "fast enough" already.
+        let opts = NetlistRouteOptions {
+            timing_target: Some(f64::INFINITY),
+            ..NetlistRouteOptions::default()
+        };
+        let routed = route_netlist(&sample_netlist(), &oracle, &opts).unwrap();
+        for r in &routed {
+            assert!(!r.optimized);
+            assert!(r.graph.is_tree());
+            assert_eq!(r.delay, r.mst_delay);
+        }
+        // A zero target: everything gets optimized.
+        let opts = NetlistRouteOptions {
+            timing_target: Some(0.0),
+            ..NetlistRouteOptions::default()
+        };
+        let routed = route_netlist(&sample_netlist(), &oracle, &opts).unwrap();
+        assert!(routed.iter().all(|r| r.optimized));
+    }
+
+    #[test]
+    fn empty_netlist_is_fine() {
+        let oracle = MomentOracle::new(Technology::date94());
+        let routed =
+            route_netlist(&Netlist::new(), &oracle, &NetlistRouteOptions::default()).unwrap();
+        assert!(routed.is_empty());
+    }
+}

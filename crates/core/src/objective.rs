@@ -1,0 +1,74 @@
+use crate::DelayReport;
+
+/// The scalar objective a routing algorithm minimizes over a
+/// [`DelayReport`].
+///
+/// [`Objective::MaxDelay`] is the ORG problem (`t(G) = max_i t(n_i)`);
+/// [`Objective::Weighted`] is the critical-sink CSORG generalization
+/// (`Σ αᵢ·t(nᵢ)`), which subsumes average-delay minimization (all `αᵢ`
+/// equal) and the single-critical-sink case (one `αᵢ = 1`, rest 0).
+///
+/// # Examples
+///
+/// ```
+/// use ntr_core::{DelayReport, Objective};
+/// let report = DelayReport::new(vec![1.0, 4.0, 2.0]);
+/// assert_eq!(Objective::MaxDelay.score(&report), 4.0);
+/// assert_eq!(Objective::Weighted(vec![1.0, 0.0, 1.0]).score(&report), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub enum Objective {
+    /// Minimize the maximum source-sink delay (the ORG problem).
+    #[default]
+    MaxDelay,
+    /// Minimize the criticality-weighted sum of sink delays (CSORG); one
+    /// weight per sink in pin order.
+    Weighted(Vec<f64>),
+}
+
+impl Objective {
+    /// Scores a delay report (lower is better).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a weighted objective's length does not match the report.
+    #[must_use]
+    pub fn score(&self, report: &DelayReport) -> f64 {
+        match self {
+            Objective::MaxDelay => report.max(),
+            Objective::Weighted(alphas) => {
+                assert_eq!(
+                    alphas.len(),
+                    report.per_sink().len(),
+                    "one criticality per sink required"
+                );
+                report
+                    .per_sink()
+                    .iter()
+                    .zip(alphas)
+                    .map(|(d, a)| d * a)
+                    .sum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_and_weighted_scores() {
+        let r = DelayReport::new(vec![2.0, 5.0]);
+        assert_eq!(Objective::MaxDelay.score(&r), 5.0);
+        assert_eq!(Objective::Weighted(vec![0.5, 0.5]).score(&r), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one criticality per sink")]
+    fn weighted_length_is_checked() {
+        let r = DelayReport::new(vec![1.0]);
+        let _ = Objective::Weighted(vec![1.0, 2.0]).score(&r);
+    }
+}

@@ -1,0 +1,308 @@
+use std::error::Error;
+use std::fmt;
+
+use ntr_circuit::{extract, ExtractError, ExtractOptions, Technology};
+use ntr_elmore::ElmoreAnalysis;
+use ntr_graph::{NotATreeError, RoutingGraph, TreeView};
+use ntr_spice::{d2m_delay, elmore_delays, sink_delays, SimConfig, SimError};
+
+/// Per-sink delays of a routing evaluated by some [`DelayOracle`].
+///
+/// Delays are in seconds, in net pin order (`n_1..n_k`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayReport {
+    per_sink: Vec<f64>,
+}
+
+impl DelayReport {
+    /// Wraps per-sink delays.
+    #[must_use]
+    pub fn new(per_sink: Vec<f64>) -> Self {
+        Self { per_sink }
+    }
+
+    /// The per-sink delays.
+    #[must_use]
+    pub fn per_sink(&self) -> &[f64] {
+        &self.per_sink
+    }
+
+    /// The maximum sink delay — the ORG objective `t(G)`.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.per_sink.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Index of the sink with the largest delay (pin `n_{i+1}`).
+    #[must_use]
+    pub fn argmax(&self) -> Option<usize> {
+        self.per_sink
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Errors raised by delay oracles.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OracleError {
+    /// A tree-only oracle was applied to a non-tree graph.
+    NotATree(NotATreeError),
+    /// Circuit extraction failed.
+    Extract(ExtractError),
+    /// Simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::NotATree(e) => write!(f, "tree-only oracle on a non-tree graph: {e}"),
+            OracleError::Extract(e) => write!(f, "extraction failed: {e}"),
+            OracleError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for OracleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OracleError::NotATree(e) => Some(e),
+            OracleError::Extract(e) => Some(e),
+            OracleError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<NotATreeError> for OracleError {
+    fn from(e: NotATreeError) -> Self {
+        OracleError::NotATree(e)
+    }
+}
+impl From<ExtractError> for OracleError {
+    fn from(e: ExtractError) -> Self {
+        OracleError::Extract(e)
+    }
+}
+impl From<SimError> for OracleError {
+    fn from(e: SimError) -> Self {
+        OracleError::Sim(e)
+    }
+}
+
+/// A delay model for routing graphs.
+///
+/// Oracles are the `t(·)` of the ORG problem statement: they take a
+/// spanning routing graph and return the source-to-sink delays. The greedy
+/// algorithms ([`ldrg`](crate::ldrg), [`h1`](crate::h1), …) are generic
+/// over this trait so the paper's SPICE-based and Elmore-based variants
+/// share one implementation.
+pub trait DelayOracle {
+    /// Evaluates the per-sink delays of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError`] when the graph cannot be evaluated under
+    /// this model (not spanning, not a tree for tree-only oracles, or a
+    /// numerical failure).
+    fn evaluate(&self, graph: &RoutingGraph) -> Result<DelayReport, OracleError>;
+}
+
+/// The "SPICE" oracle: full transient simulation of the extracted RC(L)
+/// circuit, measuring interpolated 50 % threshold crossings.
+///
+/// Works on arbitrary graphs. This is the oracle of the LDRG algorithm and
+/// of heuristic H1 in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientOracle {
+    /// Interconnect technology.
+    pub tech: Technology,
+    /// Extraction (wire segmentation) options.
+    pub extract: ExtractOptions,
+    /// Simulation configuration.
+    pub sim: SimConfig,
+}
+
+impl TransientOracle {
+    /// A transient oracle with default extraction and simulation settings.
+    #[must_use]
+    pub fn new(tech: Technology) -> Self {
+        Self {
+            tech,
+            extract: ExtractOptions::default(),
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// A cheaper configuration for inner greedy loops: lumped one-segment
+    /// wires and the fast Backward-Euler settings. Delay *ratios* under
+    /// this model track the fine model within a few percent.
+    #[must_use]
+    pub fn fast(tech: Technology) -> Self {
+        Self {
+            tech,
+            extract: ExtractOptions {
+                segmentation: ntr_circuit::Segmentation::PerEdge(1),
+                include_inductance: false,
+            },
+            sim: SimConfig::fast(),
+        }
+    }
+}
+
+impl DelayOracle for TransientOracle {
+    fn evaluate(&self, graph: &RoutingGraph) -> Result<DelayReport, OracleError> {
+        let extracted = extract(graph, &self.tech, &self.extract)?;
+        Ok(DelayReport::new(sink_delays(&extracted, &self.sim)?))
+    }
+}
+
+/// Which moment-based metric a [`MomentOracle`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum MomentMetric {
+    /// The exact first moment (graph Elmore delay).
+    #[default]
+    Elmore,
+    /// The D2M two-moment estimate of the 50 % delay.
+    D2m,
+}
+
+/// The moment-analysis oracle: graph Elmore (or D2M) delay via one sparse
+/// factorization — valid on cyclic graphs, ~100× cheaper than transient
+/// simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentOracle {
+    /// Interconnect technology.
+    pub tech: Technology,
+    /// Extraction options.
+    pub extract: ExtractOptions,
+    /// Which metric to report.
+    pub metric: MomentMetric,
+}
+
+impl MomentOracle {
+    /// A graph-Elmore oracle with default extraction.
+    #[must_use]
+    pub fn new(tech: Technology) -> Self {
+        Self {
+            tech,
+            extract: ExtractOptions::default(),
+            metric: MomentMetric::Elmore,
+        }
+    }
+}
+
+impl DelayOracle for MomentOracle {
+    fn evaluate(&self, graph: &RoutingGraph) -> Result<DelayReport, OracleError> {
+        let extracted = extract(graph, &self.tech, &self.extract)?;
+        let delays = match self.metric {
+            MomentMetric::Elmore => elmore_delays(&extracted)?,
+            MomentMetric::D2m => d2m_delay(&extracted)?,
+        };
+        Ok(DelayReport::new(delays))
+    }
+}
+
+/// The O(k) tree-only Elmore oracle (Rubinstein–Penfield–Horowitz), the
+/// model behind heuristics H2 and H3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeElmoreOracle {
+    /// Interconnect technology.
+    pub tech: Technology,
+}
+
+impl TreeElmoreOracle {
+    /// A tree-Elmore oracle over `tech`.
+    #[must_use]
+    pub fn new(tech: Technology) -> Self {
+        Self { tech }
+    }
+}
+
+impl DelayOracle for TreeElmoreOracle {
+    fn evaluate(&self, graph: &RoutingGraph) -> Result<DelayReport, OracleError> {
+        let tree = TreeView::new(graph)?;
+        Ok(DelayReport::new(
+            ElmoreAnalysis::compute(&tree, &self.tech).sink_delays(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntr_geom::{Layout, NetGenerator};
+    use ntr_graph::prim_mst;
+
+    fn mst(seed: u64, size: usize) -> RoutingGraph {
+        let net = NetGenerator::new(Layout::date94(), seed)
+            .random_net(size)
+            .unwrap();
+        prim_mst(&net)
+    }
+
+    #[test]
+    fn report_accessors() {
+        let r = DelayReport::new(vec![1.0, 3.0, 2.0]);
+        assert_eq!(r.max(), 3.0);
+        assert_eq!(r.argmax(), Some(1));
+        assert_eq!(r.per_sink().len(), 3);
+    }
+
+    #[test]
+    fn tree_oracle_matches_moment_oracle_on_trees() {
+        let g = mst(3, 8);
+        let tech = Technology::date94();
+        let a = TreeElmoreOracle::new(tech).evaluate(&g).unwrap();
+        let b = MomentOracle::new(tech).evaluate(&g).unwrap();
+        for (x, y) in a.per_sink().iter().zip(b.per_sink()) {
+            assert!((x - y).abs() < 1e-9 * y, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn tree_oracle_rejects_cycles() {
+        let mut g = mst(3, 5);
+        let last = g.node_ids().last().unwrap();
+        if !g.has_edge(g.source(), last) {
+            g.add_edge(g.source(), last).unwrap();
+        } else {
+            g.add_edge(g.node_ids().nth(1).unwrap(), last).ok();
+        }
+        let tech = Technology::date94();
+        assert!(matches!(
+            TreeElmoreOracle::new(tech).evaluate(&g),
+            Err(OracleError::NotATree(_))
+        ));
+        // Moment and transient oracles handle the same graph fine.
+        assert!(MomentOracle::new(tech).evaluate(&g).is_ok());
+        assert!(TransientOracle::fast(tech).evaluate(&g).is_ok());
+    }
+
+    #[test]
+    fn transient_delays_below_elmore() {
+        let g = mst(11, 10);
+        let tech = Technology::date94();
+        let sim = TransientOracle::new(tech).evaluate(&g).unwrap();
+        let elm = TreeElmoreOracle::new(tech).evaluate(&g).unwrap();
+        // 50% delay sits below the Elmore bound sink by sink.
+        for (s, e) in sim.per_sink().iter().zip(elm.per_sink()) {
+            assert!(s <= e, "{s} > {e}");
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_is_an_extract_error() {
+        let net = NetGenerator::new(Layout::date94(), 0)
+            .random_net(4)
+            .unwrap();
+        let g = RoutingGraph::from_net(&net);
+        assert!(matches!(
+            MomentOracle::new(Technology::date94()).evaluate(&g),
+            Err(OracleError::Extract(_))
+        ));
+    }
+}

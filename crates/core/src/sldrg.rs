@@ -1,0 +1,103 @@
+use ntr_geom::Net;
+use ntr_steiner::{iterated_one_steiner, SteinerOptions};
+
+use crate::{ldrg, DelayOracle, LdrgOptions, LdrgResult, OracleError};
+
+/// The Steiner Low Delay Routing Graph algorithm (paper Figure 6).
+///
+/// Step 1 computes a rectilinear Steiner tree over the net with the
+/// Iterated 1-Steiner heuristic; step 2 runs the [`ldrg`] greedy loop over
+/// it, with Steiner points eligible as endpoints of the added edges.
+///
+/// The returned [`LdrgResult`]'s `initial_delay`/`initial_cost` describe
+/// the Steiner tree — Table 3 of the paper normalizes to exactly these.
+///
+/// # Errors
+///
+/// Propagates [`OracleError`] from the oracle.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_circuit::Technology;
+/// use ntr_core::{sldrg, LdrgOptions, TransientOracle};
+/// use ntr_geom::{Layout, NetGenerator};
+/// use ntr_steiner::SteinerOptions;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = NetGenerator::new(Layout::date94(), 3).random_net(10)?;
+/// let oracle = TransientOracle::fast(Technology::date94());
+/// let result = sldrg(&net, &SteinerOptions::default(), &oracle, &LdrgOptions::default())?;
+/// assert!(result.final_delay() <= result.initial_delay);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sldrg(
+    net: &Net,
+    steiner: &SteinerOptions,
+    oracle: &dyn DelayOracle,
+    opts: &LdrgOptions,
+) -> Result<LdrgResult, OracleError> {
+    let base = iterated_one_steiner(net, steiner);
+    ldrg(&base, oracle, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MomentOracle;
+    use ntr_circuit::Technology;
+    use ntr_geom::{Layout, NetGenerator};
+    use ntr_graph::prim_mst_cost;
+
+    #[test]
+    fn sldrg_starts_from_a_steiner_tree() {
+        let net = NetGenerator::new(Layout::date94(), 9)
+            .random_net(10)
+            .unwrap();
+        let oracle = MomentOracle::new(Technology::date94());
+        let res = sldrg(
+            &net,
+            &SteinerOptions::default(),
+            &oracle,
+            &LdrgOptions {
+                max_added_edges: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // The starting cost is the Steiner cost: <= MST cost.
+        assert!(res.initial_cost <= prim_mst_cost(net.pins()) + 1e-9);
+        assert!(res.final_delay() <= res.initial_delay);
+        assert!(res.graph.is_connected());
+    }
+
+    #[test]
+    fn added_edges_may_touch_steiner_nodes() {
+        // Over several seeds, at least one committed SLDRG edge should use
+        // a Steiner endpoint — they are first-class candidates.
+        let oracle = MomentOracle::new(Technology::date94());
+        let mut saw_steiner_endpoint = false;
+        for seed in 0..15 {
+            let net = NetGenerator::new(Layout::date94(), seed)
+                .random_net(12)
+                .unwrap();
+            let res = sldrg(
+                &net,
+                &SteinerOptions::default(),
+                &oracle,
+                &LdrgOptions::default(),
+            )
+            .unwrap();
+            for it in &res.iterations {
+                let (a, b) = it.added;
+                let ka = res.graph.kind(a).unwrap();
+                let kb = res.graph.kind(b).unwrap();
+                if !ka.is_pin() || !kb.is_pin() {
+                    saw_steiner_endpoint = true;
+                }
+            }
+        }
+        assert!(saw_steiner_endpoint);
+    }
+}

@@ -1,0 +1,50 @@
+//! The Elmore delay engine for routing trees.
+//!
+//! Implements the Rubinstein–Penfield–Horowitz O(k) evaluation of the
+//! Elmore delay formula the paper uses inside its H2/H3 heuristics and the
+//! ERT baseline (equation (1) of the paper):
+//!
+//! ```text
+//! t_ED(n_i) = r_d·C(T) + Σ_{e_j ∈ path(n_0, n_i)} r_j·(c_j/2 + C_j)
+//! ```
+//!
+//! where `r_d` is the driver resistance, `C(T)` the total tree capacitance,
+//! and `C_j` the capacitance of the subtree hanging below edge `e_j`.
+//!
+//! Two entry points:
+//!
+//! - [`ElmoreAnalysis::compute`] — on a validated
+//!   [`TreeView`](ntr_graph::TreeView) of a routing graph,
+//! - [`elmore_parent_array`] — on a raw parent-array tree, the form the
+//!   ERT constructor grows incrementally.
+//!
+//! The Elmore model is defined **only for trees**; for non-tree routing
+//! graphs use the moment analysis in `ntr-spice`
+//! (`Moments::elmore_of_node`), which this crate's tests cross-validate
+//! against to 10⁻⁹ relative error.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntr_circuit::Technology;
+//! use ntr_elmore::ElmoreAnalysis;
+//! use ntr_geom::{Net, Point};
+//! use ntr_graph::{prim_mst, TreeView};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(5000.0, 0.0)])?;
+//! let mst = prim_mst(&net);
+//! let tree = TreeView::new(&mst)?;
+//! let analysis = ElmoreAnalysis::compute(&tree, &Technology::date94());
+//! assert!(analysis.max_sink_delay() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod analysis;
+mod parent_array;
+mod sensitivity;
+
+pub use analysis::ElmoreAnalysis;
+pub use parent_array::{elmore_parent_array, ParentArrayError};
+pub use sensitivity::elmore_width_gradient;

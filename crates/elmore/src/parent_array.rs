@@ -1,0 +1,252 @@
+use std::error::Error;
+use std::fmt;
+
+use ntr_circuit::Technology;
+
+/// Errors raised by [`elmore_parent_array`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParentArrayError {
+    /// The arrays have inconsistent lengths.
+    LengthMismatch,
+    /// A parent index is out of range.
+    BadParent {
+        /// The node with the bad parent pointer.
+        node: usize,
+    },
+    /// The parent pointers contain a cycle (or no root is reachable).
+    Cyclic,
+    /// Exactly one root (node with no parent) is required.
+    RootCount {
+        /// Number of parentless nodes found.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ParentArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParentArrayError::LengthMismatch => {
+                write!(
+                    f,
+                    "parent, length, width and sink arrays must have equal lengths"
+                )
+            }
+            ParentArrayError::BadParent { node } => {
+                write!(f, "node {node} has an out-of-range parent")
+            }
+            ParentArrayError::Cyclic => write!(f, "parent pointers contain a cycle"),
+            ParentArrayError::RootCount { got } => {
+                write!(f, "exactly one root required, found {got}")
+            }
+        }
+    }
+}
+
+impl Error for ParentArrayError {}
+
+/// Elmore delays of a tree given in parent-array form.
+///
+/// This is the representation the ERT constructor grows one node at a
+/// time: `parent[i]` is `None` for the root (the driver-connected source)
+/// and `Some(p)` otherwise; `edge_len[i]`/`edge_width[i]` describe the edge
+/// from `i` to its parent (ignored for the root); `is_sink[i]` marks nodes
+/// carrying the sink loading capacitance.
+///
+/// Returns the per-node Elmore delay in seconds.
+///
+/// # Errors
+///
+/// Returns [`ParentArrayError`] for inconsistent lengths, out-of-range
+/// parents, multiple roots, or cyclic parent pointers.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_circuit::Technology;
+/// use ntr_elmore::elmore_parent_array;
+/// # fn main() -> Result<(), ntr_elmore::ParentArrayError> {
+/// // source(0) -> sink(1), 1 mm apart
+/// let delays = elmore_parent_array(
+///     &[None, Some(0)],
+///     &[0.0, 1000.0],
+///     &[1.0, 1.0],
+///     &[false, true],
+///     &Technology::date94(),
+/// )?;
+/// assert!(delays[1] > delays[0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn elmore_parent_array(
+    parent: &[Option<usize>],
+    edge_len: &[f64],
+    edge_width: &[f64],
+    is_sink: &[bool],
+    tech: &Technology,
+) -> Result<Vec<f64>, ParentArrayError> {
+    let n = parent.len();
+    if edge_len.len() != n || edge_width.len() != n || is_sink.len() != n {
+        return Err(ParentArrayError::LengthMismatch);
+    }
+    let roots = parent.iter().filter(|p| p.is_none()).count();
+    if roots != 1 {
+        return Err(ParentArrayError::RootCount { got: roots });
+    }
+    for (i, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            if *p >= n {
+                return Err(ParentArrayError::BadParent { node: i });
+            }
+        }
+    }
+
+    // Topological order root-first by repeated depth resolution.
+    let mut depth = vec![usize::MAX; n];
+    for i in 0..n {
+        // Walk up until a node with known depth (or the root).
+        let mut chain = Vec::new();
+        let mut cur = i;
+        while depth[cur] == usize::MAX {
+            chain.push(cur);
+            match parent[cur] {
+                None => {
+                    depth[cur] = 0;
+                    chain.pop();
+                    break;
+                }
+                Some(p) => {
+                    if chain.len() > n {
+                        return Err(ParentArrayError::Cyclic);
+                    }
+                    cur = p;
+                }
+            }
+        }
+        for &node in chain.iter().rev() {
+            depth[node] = depth[parent[node].expect("non-root in chain")] + 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| depth[i]);
+
+    // Leaves-first: subtree capacitance.
+    let mut subtree_cap: Vec<f64> = is_sink
+        .iter()
+        .map(|&s| if s { tech.sink_capacitance } else { 0.0 })
+        .collect();
+    for &i in order.iter().rev() {
+        if let Some(p) = parent[i] {
+            let edge_cap = tech.wire_capacitance(edge_len[i], edge_width[i]);
+            subtree_cap[p] += subtree_cap[i] + edge_cap;
+        }
+    }
+    let root = order[0];
+
+    // Root-first: delays.
+    let mut delay = vec![0.0f64; n];
+    delay[root] = tech.driver_resistance * subtree_cap[root];
+    for &i in &order {
+        if let Some(p) = parent[i] {
+            let r = tech.wire_resistance(edge_len[i], edge_width[i]);
+            let c = tech.wire_capacitance(edge_len[i], edge_width[i]);
+            delay[i] = delay[p] + r * (c / 2.0 + subtree_cap[i]);
+        }
+    }
+    Ok(delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ElmoreAnalysis;
+    use ntr_geom::{Layout, NetGenerator};
+    use ntr_graph::{prim_mst, TreeView};
+
+    /// The parent-array evaluation agrees exactly with the TreeView-based
+    /// analysis on random MSTs.
+    #[test]
+    fn agrees_with_tree_view_analysis() {
+        let tech = Technology::date94();
+        for seed in 0..20 {
+            let net = NetGenerator::new(Layout::date94(), seed)
+                .random_net(12)
+                .unwrap();
+            let mst = prim_mst(&net);
+            let tree = TreeView::new(&mst).unwrap();
+            let reference = ElmoreAnalysis::compute(&tree, &tech);
+
+            let n = mst.node_count();
+            let mut parent = vec![None; n];
+            let mut edge_len = vec![0.0; n];
+            let mut edge_width = vec![1.0; n];
+            let is_sink: Vec<bool> = (0..n).map(|i| i != 0).collect();
+            for node in mst.node_ids() {
+                if let Some((p, e)) = tree.parent(node) {
+                    parent[node.index()] = Some(p.index());
+                    edge_len[node.index()] = mst.edge(e).unwrap().length();
+                    edge_width[node.index()] = mst.edge(e).unwrap().width();
+                }
+            }
+            let delays =
+                elmore_parent_array(&parent, &edge_len, &edge_width, &is_sink, &tech).unwrap();
+            for node in mst.node_ids() {
+                let a = reference.delay(node);
+                let b = delays[node.index()];
+                assert!((a - b).abs() <= 1e-18 + 1e-12 * a.abs(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let err = elmore_parent_array(
+            &[None, Some(2), Some(1)],
+            &[0.0, 1.0, 1.0],
+            &[1.0, 1.0, 1.0],
+            &[false, true, true],
+            &Technology::date94(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ParentArrayError::Cyclic);
+    }
+
+    #[test]
+    fn root_count_is_validated() {
+        let err = elmore_parent_array(
+            &[None, None],
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            &[false, true],
+            &Technology::date94(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ParentArrayError::RootCount { got: 2 });
+    }
+
+    #[test]
+    fn length_mismatch_is_validated() {
+        let err = elmore_parent_array(
+            &[None],
+            &[0.0, 1.0],
+            &[1.0],
+            &[false],
+            &Technology::date94(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ParentArrayError::LengthMismatch);
+    }
+
+    #[test]
+    fn bad_parent_is_validated() {
+        let err = elmore_parent_array(
+            &[None, Some(9)],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[false, true],
+            &Technology::date94(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ParentArrayError::BadParent { node: 1 });
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-validation of the O(k) tree Elmore engine against the moment
+//! analysis of the MNA simulator — two completely independent
+//! implementations of the same quantity.
+
+use ntr_circuit::{extract, ExtractOptions, Segmentation, Technology};
+use ntr_elmore::ElmoreAnalysis;
+use ntr_geom::{Layout, NetGenerator};
+use ntr_graph::{prim_mst, TreeView};
+use ntr_spice::Moments;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On random MSTs, RPH tree Elmore equals the first moment of the MNA
+    /// system to 1e-9 relative — for any wire segmentation, because the
+    /// Elmore delay of a uniform RC line is segmentation-invariant.
+    #[test]
+    fn tree_elmore_equals_mna_first_moment(
+        seed in 0u64..500,
+        size in 2usize..20,
+        segs in 1usize..6,
+    ) {
+        let net = NetGenerator::new(Layout::date94(), seed).random_net(size).unwrap();
+        let mst = prim_mst(&net);
+        let tech = Technology::date94();
+
+        let tree = TreeView::new(&mst).unwrap();
+        let rph = ElmoreAnalysis::compute(&tree, &tech).sink_delays();
+
+        let opts = ExtractOptions {
+            segmentation: Segmentation::PerEdge(segs),
+            include_inductance: false,
+        };
+        let extracted = extract(&mst, &tech, &opts).unwrap();
+        let moments = Moments::compute(&extracted.circuit, 1).unwrap();
+        for (i, &node) in extracted.sink_nodes.iter().enumerate() {
+            let m1 = moments.elmore_of_node(node).unwrap();
+            let rel = (rph[i] - m1).abs() / m1.max(1e-30);
+            prop_assert!(rel < 1e-9, "sink {i}: rph={} mna={} rel={rel}", rph[i], m1);
+        }
+    }
+
+    /// Elmore monotonicity: inflating the sink loads never reduces any
+    /// sink's delay.
+    #[test]
+    fn extra_load_never_helps(seed in 0u64..300, size in 2usize..15, factor in 1.0f64..5.0) {
+        let net = NetGenerator::new(Layout::date94(), seed).random_net(size).unwrap();
+        let mst = prim_mst(&net);
+        let tree = TreeView::new(&mst).unwrap();
+        let mut tech = Technology::date94();
+        let base = ElmoreAnalysis::compute(&tree, &tech).sink_delays();
+        tech.sink_capacitance *= factor;
+        let loaded = ElmoreAnalysis::compute(&tree, &tech).sink_delays();
+        for (b, l) in base.iter().zip(&loaded) {
+            prop_assert!(l >= b);
+        }
+    }
+
+    /// The non-tree moment engine is segmentation-invariant: after adding
+    /// the H2 shortcut edge (a cycle), the per-sink graph Elmore delays are
+    /// identical under 1-segment and 5-segment wire models. This exercises
+    /// the non-tree code path the RPH formula cannot reach.
+    #[test]
+    fn graph_elmore_is_segmentation_invariant(seed in 0u64..200) {
+        let net = NetGenerator::new(Layout::date94(), seed).random_net(12).unwrap();
+        let mut g = prim_mst(&net);
+        let tech = Technology::date94();
+        let tree = TreeView::new(&g).unwrap();
+        let analysis = ElmoreAnalysis::compute(&tree, &tech);
+        let worst = analysis.max_sink().unwrap();
+        drop(tree);
+        prop_assume!(!g.has_edge(g.source(), worst));
+        g.add_edge(g.source(), worst).unwrap();
+        assert!(!g.is_tree());
+
+        let delays = |segs: usize| -> Vec<f64> {
+            let opts = ExtractOptions {
+                segmentation: Segmentation::PerEdge(segs),
+                include_inductance: false,
+            };
+            let ex = extract(&g, &tech, &opts).unwrap();
+            let m = Moments::compute(&ex.circuit, 1).unwrap();
+            ex.sink_nodes.iter().map(|&n| m.elmore_of_node(n).unwrap()).collect()
+        };
+        let coarse = delays(1);
+        let fine = delays(5);
+        for (a, b) in coarse.iter().zip(&fine) {
+            let rel = (a - b).abs() / b.max(1e-30);
+            prop_assert!(rel < 1e-9, "{a} vs {b}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Rectilinear embedding (inserting loadless bend nodes) leaves every
+    /// sink's Elmore delay exactly unchanged — the RPH formula is
+    /// invariant under splitting wires at zero-capacitance junctions.
+    #[test]
+    fn embedding_preserves_elmore(seed in 0u64..300, size in 2usize..15) {
+        use ntr_graph::{embed_rectilinear, BendStyle};
+        let net = NetGenerator::new(Layout::date94(), seed).random_net(size).unwrap();
+        let mst = prim_mst(&net);
+        let tech = Technology::date94();
+        let before = {
+            let tree = TreeView::new(&mst).unwrap();
+            ElmoreAnalysis::compute(&tree, &tech).sink_delays()
+        };
+        for style in [BendStyle::HorizontalFirst, BendStyle::VerticalFirst] {
+            let embedded = embed_rectilinear(&mst, style);
+            let tree = TreeView::new(&embedded).unwrap();
+            let after = ElmoreAnalysis::compute(&tree, &tech).sink_delays();
+            for (a, b) in before.iter().zip(&after) {
+                prop_assert!((a - b).abs() < 1e-18 + 1e-12 * a, "{a} vs {b}");
+            }
+        }
+    }
+}

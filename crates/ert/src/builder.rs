@@ -1,0 +1,290 @@
+use std::error::Error;
+use std::fmt;
+
+use ntr_circuit::Technology;
+use ntr_elmore::elmore_parent_array;
+use ntr_geom::Net;
+use ntr_graph::RoutingGraph;
+
+/// The objective the greedy ERT construction minimizes at every step.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub enum ErtObjective {
+    /// Minimize the maximum sink Elmore delay (the plain ERT of Table 6).
+    #[default]
+    MaxDelay,
+    /// Minimize `Σ αᵢ·t(nᵢ)` over connected sinks — the critical-sink
+    /// formulation; `alphas[i]` is the criticality of sink `n_{i+1}`.
+    Weighted(Vec<f64>),
+}
+
+/// Options for [`elmore_routing_tree`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ErtOptions {
+    /// Objective to minimize greedily.
+    pub objective: ErtObjective,
+}
+
+/// Errors raised by ERT construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildErtError {
+    /// A weighted objective needs exactly one criticality per sink.
+    AlphaCount {
+        /// Criticalities supplied.
+        got: usize,
+        /// Sinks in the net.
+        sinks: usize,
+    },
+}
+
+impl fmt::Display for BuildErtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildErtError::AlphaCount { got, sinks } => {
+                write!(
+                    f,
+                    "weighted objective needs {sinks} criticalities, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for BuildErtError {}
+
+/// Builds an Elmore Routing Tree over `net`.
+///
+/// Greedy construction: the tree starts as the source alone; each of the
+/// `k` steps evaluates every `(tree node, unconnected sink)` pair by the
+/// objective of the tree that pair would create (an O(k) Elmore
+/// evaluation), and commits the best pair. Total complexity O(k⁴), which
+/// for the paper's net sizes (≤ 30 pins) is well under a millisecond.
+///
+/// # Errors
+///
+/// Returns [`BuildErtError::AlphaCount`] when a weighted objective's
+/// criticality vector does not match the sink count.
+pub fn elmore_routing_tree(
+    net: &Net,
+    tech: &Technology,
+    opts: &ErtOptions,
+) -> Result<RoutingGraph, BuildErtError> {
+    let pins = net.pins();
+    let k = pins.len() - 1;
+    if let ErtObjective::Weighted(alphas) = &opts.objective {
+        if alphas.len() != k {
+            return Err(BuildErtError::AlphaCount {
+                got: alphas.len(),
+                sinks: k,
+            });
+        }
+    }
+
+    // parent[i] over pin indices; usize::MAX = unconnected.
+    const UNSET: usize = usize::MAX;
+    let mut parent = vec![UNSET; pins.len()];
+    let mut connected = vec![0usize]; // pin indices in the tree
+    parent[0] = 0; // root marker (self-parent, translated later)
+
+    // Scores a tentative tree (the current one plus `sink` hung on `at`).
+    // Returns (objective, max delay): the max delay breaks ties so that a
+    // sparse criticality vector (zeros for most sinks) still grows a
+    // sensible tree before the critical sinks connect.
+    let score = |parent: &[usize], connected: &[usize], at: usize, sink: usize| -> (f64, f64) {
+        // Compact the connected set + candidate into a dense parent array.
+        let mut dense_of = vec![UNSET; pins.len()];
+        let total = connected.len() + 1;
+        for (d, &p) in connected.iter().enumerate() {
+            dense_of[p] = d;
+        }
+        dense_of[sink] = total - 1;
+        let mut dparent: Vec<Option<usize>> = Vec::with_capacity(total);
+        let mut dlen = Vec::with_capacity(total);
+        let mut dsink = Vec::with_capacity(total);
+        for &p in connected.iter() {
+            if p == 0 {
+                dparent.push(None);
+                dlen.push(0.0);
+            } else {
+                dparent.push(Some(dense_of[parent[p]]));
+                dlen.push(pins[p].manhattan(pins[parent[p]]));
+            }
+            dsink.push(p != 0);
+        }
+        dparent.push(Some(dense_of[at]));
+        dlen.push(pins[sink].manhattan(pins[at]));
+        dsink.push(true);
+        let widths = vec![1.0; total];
+        let delays = elmore_parent_array(&dparent, &dlen, &widths, &dsink, tech)
+            .expect("constructed parent array is a valid tree");
+        let max_delay = delays
+            .iter()
+            .zip(&dsink)
+            .filter(|&(_, &s)| s)
+            .map(|(&d, _)| d)
+            .fold(0.0, f64::max);
+        let objective = match &opts.objective {
+            ErtObjective::MaxDelay => max_delay,
+            ErtObjective::Weighted(alphas) => {
+                let mut sum = 0.0;
+                for (d, &p) in connected.iter().enumerate() {
+                    if p != 0 {
+                        sum += alphas[p - 1] * delays[d];
+                    }
+                }
+                sum + alphas[sink - 1] * delays[total - 1]
+            }
+        };
+        (objective, max_delay)
+    };
+
+    for _ in 0..k {
+        let mut best: Option<((f64, f64), usize, usize)> = None;
+        for sink in 1..pins.len() {
+            if parent[sink] != UNSET {
+                continue;
+            }
+            for &at in &connected {
+                let s = score(&parent, &connected, at, sink);
+                let better = match best {
+                    None => true,
+                    Some((b, _, _)) => {
+                        s.0 < b.0 - 1e-18 || ((s.0 - b.0).abs() <= 1e-18 && s.1 < b.1)
+                    }
+                };
+                if better {
+                    best = Some((s, at, sink));
+                }
+            }
+        }
+        let (_, at, sink) = best.expect("an unconnected sink always remains inside the loop");
+        parent[sink] = at;
+        connected.push(sink);
+    }
+
+    let mut graph = RoutingGraph::from_net(net);
+    let ids: Vec<_> = graph.node_ids().collect();
+    for pin in 1..pins.len() {
+        graph
+            .add_edge(ids[parent[pin]], ids[pin])
+            .expect("ert edges connect distinct valid pins");
+    }
+    debug_assert!(graph.is_tree());
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntr_elmore::ElmoreAnalysis;
+    use ntr_geom::{Layout, NetGenerator, Point};
+    use ntr_graph::{prim_mst, TreeView};
+
+    fn max_elmore(graph: &RoutingGraph, tech: &Technology) -> f64 {
+        let tree = TreeView::new(graph).unwrap();
+        ElmoreAnalysis::compute(&tree, tech).max_sink_delay()
+    }
+
+    #[test]
+    fn two_pin_net_is_direct_edge() {
+        let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(100.0, 0.0)]).unwrap();
+        let ert = elmore_routing_tree(&net, &Technology::date94(), &ErtOptions::default()).unwrap();
+        assert_eq!(ert.edge_count(), 1);
+        assert!(ert.has_edge(ert.source(), ert.node_ids().nth(1).unwrap()));
+    }
+
+    /// On a chain where MST routes serially, ERT may star-connect far sinks
+    /// and must never be (much) worse than the MST in its own model; over
+    /// random nets it wins on average (the paper's Table 6 shows ~0.71–0.94).
+    #[test]
+    fn ert_beats_mst_elmore_on_average() {
+        let tech = Technology::date94();
+        let mut ratios = Vec::new();
+        for seed in 0..30 {
+            let net = NetGenerator::new(Layout::date94(), seed)
+                .random_net(10)
+                .unwrap();
+            let mst = prim_mst(&net);
+            let ert = elmore_routing_tree(&net, &tech, &ErtOptions::default()).unwrap();
+            assert!(ert.is_tree());
+            ratios.push(max_elmore(&ert, &tech) / max_elmore(&mst, &tech));
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(mean < 1.0, "mean ERT/MST Elmore ratio {mean}");
+        // No instance should be dramatically worse.
+        assert!(ratios.iter().all(|r| *r < 1.15));
+    }
+
+    /// ERT costs at least as much wirelength as the MST (it trades wire for
+    /// delay), typically ~1.2x per the paper.
+    #[test]
+    fn ert_cost_is_at_least_mst_cost() {
+        let tech = Technology::date94();
+        for seed in 0..20 {
+            let net = NetGenerator::new(Layout::date94(), seed)
+                .random_net(8)
+                .unwrap();
+            let mst = prim_mst(&net);
+            let ert = elmore_routing_tree(&net, &tech, &ErtOptions::default()).unwrap();
+            assert!(ert.total_cost() >= mst.total_cost() - 1e-9);
+        }
+    }
+
+    /// The critical-sink variant lowers the critical sink's delay relative
+    /// to the max-objective tree, on average.
+    #[test]
+    fn critical_sink_objective_favors_its_sink() {
+        let tech = Technology::date94();
+        let mut improved = 0;
+        let mut total = 0;
+        for seed in 0..25 {
+            let net = NetGenerator::new(Layout::date94(), seed)
+                .random_net(9)
+                .unwrap();
+            let k = net.sink_count();
+            // Make the last sink critical.
+            let mut alphas = vec![0.0; k];
+            alphas[k - 1] = 1.0;
+            let plain = elmore_routing_tree(&net, &tech, &ErtOptions::default()).unwrap();
+            let cs = elmore_routing_tree(
+                &net,
+                &tech,
+                &ErtOptions {
+                    objective: ErtObjective::Weighted(alphas),
+                },
+            )
+            .unwrap();
+            let d_plain = {
+                let tree = TreeView::new(&plain).unwrap();
+                ElmoreAnalysis::compute(&tree, &tech).sink_delays()[k - 1]
+            };
+            let d_cs = {
+                let tree = TreeView::new(&cs).unwrap();
+                ElmoreAnalysis::compute(&tree, &tech).sink_delays()[k - 1]
+            };
+            total += 1;
+            if d_cs <= d_plain + 1e-15 {
+                improved += 1;
+            }
+        }
+        assert!(
+            improved * 10 >= total * 8,
+            "critical sink improved in only {improved}/{total} cases"
+        );
+    }
+
+    #[test]
+    fn alpha_count_is_validated() {
+        let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(1.0, 0.0)]).unwrap();
+        let err = elmore_routing_tree(
+            &net,
+            &Technology::date94(),
+            &ErtOptions {
+                objective: ErtObjective::Weighted(vec![1.0, 2.0]),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, BuildErtError::AlphaCount { got: 2, sinks: 1 });
+    }
+}

@@ -1,0 +1,35 @@
+//! Elmore Routing Tree (ERT) construction — the strongest tree baseline
+//! the paper compares against.
+//!
+//! Boese, Kahng, McCoy & Robins ("Towards Optimal Routing Trees", 1993)
+//! grow a routing tree greedily in the Elmore delay model: starting from
+//! the source alone, each step connects one unconnected sink to one tree
+//! node, choosing the pair that minimizes the resulting tree's objective
+//! (maximum sink Elmore delay, or a criticality-weighted sum for the
+//! critical-sink variant of Boese–Kahng–Robins 1993). The paper's Table 6
+//! reports this ERT against the MST, and Table 7 runs LDRG on top of it.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntr_circuit::Technology;
+//! use ntr_ert::{elmore_routing_tree, ErtObjective, ErtOptions};
+//! use ntr_geom::{Net, Point};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = Net::new(
+//!     Point::new(0.0, 0.0),
+//!     vec![Point::new(5000.0, 0.0), Point::new(5000.0, 3000.0)],
+//! )?;
+//! let ert = elmore_routing_tree(&net, &Technology::date94(), &ErtOptions::default())?;
+//! assert!(ert.is_tree());
+//! assert_eq!(ert.node_count(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+mod builder;
+mod sert;
+
+pub use builder::{elmore_routing_tree, BuildErtError, ErtObjective, ErtOptions};
+pub use sert::steiner_elmore_routing_tree;

@@ -1,0 +1,281 @@
+use ntr_circuit::Technology;
+use ntr_elmore::elmore_parent_array;
+use ntr_geom::{Net, Point};
+use ntr_graph::RoutingGraph;
+
+/// Clamps `s` into the bounding box of `a`–`b`: the closest point of the
+/// edge's Manhattan embedding to `s`. Any point inside the box lies on
+/// *some* monotone staircase between the endpoints, so splitting there
+/// costs no extra wirelength.
+fn closest_point_on_edge(a: Point, b: Point, s: Point) -> Point {
+    Point::new(
+        s.x.clamp(a.x.min(b.x), a.x.max(b.x)),
+        s.y.clamp(a.y.min(b.y), a.y.max(b.y)),
+    )
+}
+
+/// Builds a **Steiner Elmore Routing Tree** (SERT, Boese et al.): like the
+/// node-to-node ERT of [`elmore_routing_tree`](crate::elmore_routing_tree),
+/// but each new sink may also connect to the **closest point of an
+/// existing tree edge**, introducing a Steiner node there. The connection
+/// (edge point or tree node) minimizing the resulting maximum sink Elmore
+/// delay is committed at every step.
+///
+/// Because edge connections strictly enlarge the candidate set, SERT's
+/// greedy objective at each step is at most the plain ERT's; on random
+/// nets it produces equal-or-better trees at equal-or-lower wirelength.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_circuit::Technology;
+/// use ntr_ert::steiner_elmore_routing_tree;
+/// use ntr_geom::{Net, Point};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Net::new(
+///     Point::new(0.0, 0.0),
+///     vec![Point::new(4000.0, 0.0), Point::new(2000.0, 1500.0)],
+/// )?;
+/// let sert = steiner_elmore_routing_tree(&net, &Technology::date94());
+/// assert!(sert.is_tree());
+/// // The second sink taps the first wire at x = 2000 instead of running
+/// // all the way from a pin.
+/// assert!(sert.node_count() >= net.len());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn steiner_elmore_routing_tree(net: &Net, tech: &Technology) -> RoutingGraph {
+    // Internal growing tree over points; index 0 = source.
+    let mut points: Vec<Point> = vec![net.source()];
+    let mut parent: Vec<Option<usize>> = vec![None];
+    let mut is_sink: Vec<bool> = vec![false];
+    let mut pin_of: Vec<Option<usize>> = vec![Some(0)];
+
+    let mut unconnected: Vec<usize> = (1..net.len()).collect();
+
+    let objective = |points: &[Point], parent: &[Option<usize>], is_sink: &[bool]| -> f64 {
+        let lens: Vec<f64> = parent
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.map_or(0.0, |p| points[i].manhattan(points[p])))
+            .collect();
+        let widths = vec![1.0; points.len()];
+        let delays = elmore_parent_array(parent, &lens, &widths, is_sink, tech)
+            .expect("growing tree stays a valid parent array");
+        delays
+            .iter()
+            .zip(is_sink)
+            .filter(|&(_, &s)| s)
+            .map(|(&d, _)| d)
+            .fold(0.0, f64::max)
+    };
+
+    while !unconnected.is_empty() {
+        // (score, sink pin, attach node or edge split)
+        struct Candidate {
+            score: f64,
+            pin: usize,
+            /// Node to attach to directly, or edge (child) to split with
+            /// the split point.
+            attach: Attachment,
+        }
+        enum Attachment {
+            Node(usize),
+            Split { child: usize, at: Point },
+        }
+        let mut best: Option<Candidate> = None;
+
+        for &pin in &unconnected {
+            let s = net.pins()[pin];
+            // Node attachments.
+            for node in 0..points.len() {
+                let mut p2 = parent.to_vec();
+                let mut pts2 = points.clone();
+                let mut sk2 = is_sink.clone();
+                pts2.push(s);
+                p2.push(Some(node));
+                sk2.push(true);
+                let score = objective(&pts2, &p2, &sk2);
+                if best.as_ref().is_none_or(|b| score < b.score) {
+                    best = Some(Candidate {
+                        score,
+                        pin,
+                        attach: Attachment::Node(node),
+                    });
+                }
+            }
+            // Edge-split attachments.
+            for child in 1..points.len() {
+                let Some(par) = parent[child] else { continue };
+                let q = closest_point_on_edge(points[par], points[child], s);
+                if q == points[par] || q == points[child] {
+                    continue; // degenerates to a node attachment
+                }
+                let mut pts2 = points.clone();
+                let mut p2 = parent.to_vec();
+                let mut sk2 = is_sink.clone();
+                let q_idx = pts2.len();
+                pts2.push(q);
+                p2.push(Some(par));
+                sk2.push(false);
+                p2[child] = Some(q_idx);
+                pts2.push(s);
+                p2.push(Some(q_idx));
+                sk2.push(true);
+                let score = objective(&pts2, &p2, &sk2);
+                if best.as_ref().is_none_or(|b| score < b.score) {
+                    best = Some(Candidate {
+                        score,
+                        pin,
+                        attach: Attachment::Split { child, at: q },
+                    });
+                }
+            }
+        }
+
+        let chosen = best.expect("unconnected sinks always have candidates");
+        let s = net.pins()[chosen.pin];
+        match chosen.attach {
+            Attachment::Node(node) => {
+                points.push(s);
+                parent.push(Some(node));
+                is_sink.push(true);
+                pin_of.push(Some(chosen.pin));
+            }
+            Attachment::Split { child, at } => {
+                let q_idx = points.len();
+                let par = parent[child].expect("split child has a parent");
+                points.push(at);
+                parent.push(Some(par));
+                is_sink.push(false);
+                pin_of.push(None);
+                parent[child] = Some(q_idx);
+                points.push(s);
+                parent.push(Some(q_idx));
+                is_sink.push(true);
+                pin_of.push(Some(chosen.pin));
+            }
+        }
+        unconnected.retain(|&p| p != chosen.pin);
+    }
+
+    // Materialize: pins first (graph node i = pin i), then Steiner nodes.
+    let mut graph = RoutingGraph::from_net(net);
+    let graph_ids: Vec<_> = graph.node_ids().collect();
+    let mut graph_node_of = vec![usize::MAX; points.len()];
+    for (i, pin) in pin_of.iter().enumerate() {
+        if let Some(pin) = pin {
+            graph_node_of[i] = graph_ids[*pin].index();
+        }
+    }
+    for (i, pin) in pin_of.iter().enumerate() {
+        if pin.is_none() {
+            graph_node_of[i] = graph.add_steiner(points[i]).index();
+        }
+    }
+    let all_ids: Vec<_> = graph.node_ids().collect();
+    for (i, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            graph
+                .add_edge(all_ids[graph_node_of[*p]], all_ids[graph_node_of[i]])
+                .expect("sert edges connect distinct nodes");
+        }
+    }
+    debug_assert!(graph.is_tree());
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{elmore_routing_tree, ErtOptions};
+    use ntr_elmore::ElmoreAnalysis;
+    use ntr_geom::{Layout, NetGenerator};
+    use ntr_graph::TreeView;
+
+    fn max_elmore(graph: &RoutingGraph, tech: &Technology) -> f64 {
+        let tree = TreeView::new(graph).unwrap();
+        ElmoreAnalysis::compute(&tree, tech).max_sink_delay()
+    }
+
+    #[test]
+    fn closest_point_clamps_into_bbox() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 4.0);
+        assert_eq!(
+            closest_point_on_edge(a, b, Point::new(5.0, 20.0)),
+            Point::new(5.0, 4.0)
+        );
+        assert_eq!(
+            closest_point_on_edge(a, b, Point::new(-3.0, 2.0)),
+            Point::new(0.0, 2.0)
+        );
+        assert_eq!(
+            closest_point_on_edge(a, b, Point::new(7.0, 2.0)),
+            Point::new(7.0, 2.0)
+        );
+    }
+
+    #[test]
+    fn split_preserves_wirelength_on_t_shape() {
+        // Source --- sink1 horizontal; sink2 below the middle: SERT should
+        // tap the wire, costing exactly the vertical drop.
+        let net = Net::new(
+            Point::new(0.0, 0.0),
+            vec![Point::new(4000.0, 0.0), Point::new(2000.0, 1500.0)],
+        )
+        .unwrap();
+        let sert = steiner_elmore_routing_tree(&net, &Technology::date94());
+        assert!(sert.is_tree());
+        assert!(
+            (sert.total_cost() - 5500.0).abs() < 1e-9,
+            "cost {}",
+            sert.total_cost()
+        );
+        assert_eq!(sert.node_count(), 4); // 3 pins + 1 Steiner tap
+    }
+
+    #[test]
+    fn sert_is_no_worse_than_ert_on_average() {
+        let tech = Technology::date94();
+        let mut sum_ratio = 0.0;
+        let trials = 15;
+        for seed in 0..trials {
+            let net = NetGenerator::new(Layout::date94(), seed)
+                .random_net(9)
+                .unwrap();
+            let ert = elmore_routing_tree(&net, &tech, &ErtOptions::default()).unwrap();
+            let sert = steiner_elmore_routing_tree(&net, &tech);
+            assert!(sert.is_tree());
+            sum_ratio += max_elmore(&sert, &tech) / max_elmore(&ert, &tech);
+        }
+        let mean = sum_ratio / trials as f64;
+        assert!(mean <= 1.01, "mean SERT/ERT Elmore ratio {mean}");
+    }
+
+    #[test]
+    fn sert_cost_is_no_more_than_ert_cost_on_average() {
+        let tech = Technology::date94();
+        let mut sum = 0.0;
+        let trials = 15;
+        for seed in 100..100 + trials {
+            let net = NetGenerator::new(Layout::date94(), seed)
+                .random_net(9)
+                .unwrap();
+            let ert = elmore_routing_tree(&net, &tech, &ErtOptions::default()).unwrap();
+            let sert = steiner_elmore_routing_tree(&net, &tech);
+            sum += sert.total_cost() / ert.total_cost();
+        }
+        let mean = sum / trials as f64;
+        assert!(mean <= 1.0 + 1e-9, "mean SERT/ERT cost ratio {mean}");
+    }
+
+    #[test]
+    fn two_pin_net_has_no_steiner_nodes() {
+        let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(100.0, 100.0)]).unwrap();
+        let sert = steiner_elmore_routing_tree(&net, &Technology::date94());
+        assert_eq!(sert.node_count(), 2);
+        assert_eq!(sert.edge_count(), 1);
+    }
+}

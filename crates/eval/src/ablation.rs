@@ -1,0 +1,154 @@
+use std::time::Instant;
+
+use ntr_core::{
+    ldrg, DelayOracle, LdrgOptions, MomentMetric, MomentOracle, Objective, TransientOracle,
+};
+use ntr_graph::prim_mst;
+
+use crate::experiments::EvalError;
+use crate::EvalConfig;
+
+/// One row of the oracle ablation: which delay model drove the LDRG
+/// search, and what quality/runtime it delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleAblationRow {
+    /// Oracle name.
+    pub oracle: &'static str,
+    /// Mean final/initial delay ratio, **measured by the reference
+    /// oracle** (high-accuracy transient) regardless of the search oracle.
+    pub mean_delay_ratio: f64,
+    /// Mean final/initial wirelength ratio.
+    pub mean_cost_ratio: f64,
+    /// Mean edges added per net.
+    pub mean_edges_added: f64,
+    /// Total search wall-clock seconds over the batch.
+    pub seconds: f64,
+}
+
+/// The oracle-choice ablation called out in DESIGN.md: how much result
+/// quality does the cheap moment oracle give up versus full transient
+/// simulation inside the LDRG loop — and what does the accurate transient
+/// configuration cost?
+///
+/// All result graphs are re-measured with the *same* high-accuracy
+/// reference oracle, so the quality column is apples-to-apples; the
+/// runtime column shows what each search oracle cost.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when generation or simulation fails.
+pub fn run_oracle_ablation(config: &EvalConfig) -> Result<Vec<OracleAblationRow>, EvalError> {
+    let size = 10;
+    let nets = config
+        .generator_for(size)
+        .random_nets(size, config.nets_per_size)?;
+    let reference = TransientOracle::new(config.tech);
+
+    let oracles: Vec<(&'static str, Box<dyn DelayOracle>)> = vec![
+        (
+            "transient (fine)",
+            Box::new(TransientOracle::new(config.tech)),
+        ),
+        (
+            "transient (fast)",
+            Box::new(TransientOracle::fast(config.tech)),
+        ),
+        ("moment (elmore)", Box::new(MomentOracle::new(config.tech))),
+        (
+            "moment (d2m)",
+            Box::new(MomentOracle {
+                metric: MomentMetric::D2m,
+                ..MomentOracle::new(config.tech)
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::with_capacity(oracles.len());
+    for (name, oracle) in &oracles {
+        let started = Instant::now();
+        let mut sum_delay = 0.0;
+        let mut sum_cost = 0.0;
+        let mut sum_edges = 0.0;
+        for net in &nets {
+            let mst = prim_mst(net);
+            let result = ldrg(&mst, oracle.as_ref(), &LdrgOptions::default())?;
+            let base = Objective::MaxDelay.score(&reference.evaluate(&mst)?);
+            let final_delay = Objective::MaxDelay.score(&reference.evaluate(&result.graph)?);
+            sum_delay += final_delay / base;
+            sum_cost += result.final_cost() / result.initial_cost;
+            sum_edges += result.iterations.len() as f64;
+        }
+        let n = nets.len() as f64;
+        rows.push(OracleAblationRow {
+            oracle: name,
+            mean_delay_ratio: sum_delay / n,
+            mean_cost_ratio: sum_cost / n,
+            mean_edges_added: sum_edges / n,
+            seconds: started.elapsed().as_secs_f64(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the oracle ablation as a text table.
+#[must_use]
+pub fn render_oracle_ablation(rows: &[OracleAblationRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "LDRG oracle ablation (quality measured by fine transient oracle)"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<18} {:>11} {:>10} {:>7} {:>9}",
+        "search oracle", "delay ratio", "cost ratio", "edges", "seconds"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>11.3} {:>10.3} {:>7.2} {:>9.3}",
+            row.oracle,
+            row.mean_delay_ratio,
+            row.mean_cost_ratio,
+            row.mean_edges_added,
+            row.seconds
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_compares_all_four_oracles() {
+        let config = EvalConfig {
+            sizes: vec![10],
+            nets_per_size: 3,
+            ..EvalConfig::full()
+        };
+        let rows = run_oracle_ablation(&config).unwrap();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            // Every oracle's LDRG must improve on the MST on average.
+            assert!(
+                row.mean_delay_ratio < 1.0,
+                "{}: {}",
+                row.oracle,
+                row.mean_delay_ratio
+            );
+            assert!(row.mean_cost_ratio >= 1.0);
+        }
+        // Moment oracles must be much faster than fine transient.
+        let fine = rows
+            .iter()
+            .find(|r| r.oracle == "transient (fine)")
+            .unwrap();
+        let elmore = rows.iter().find(|r| r.oracle == "moment (elmore)").unwrap();
+        assert!(elmore.seconds < fine.seconds);
+        let text = render_oracle_ablation(&rows);
+        assert!(text.contains("moment (d2m)"));
+    }
+}

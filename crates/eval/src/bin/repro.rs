@@ -1,0 +1,200 @@
+//! Regenerates every table and figure of McCoy & Robins (DATE 1994).
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] [--nets N] [--sizes 5,10,20,30] [--seed S] [EXPERIMENT...]
+//! ```
+//!
+//! `EXPERIMENT` is any of `table2 table3 table4 table5 table6 table7 fig1
+//! fig2 fig3 fig5` or `all` (the default). `--quick` runs a reduced sweep
+//! for smoke testing; `--svg-dir DIR` additionally writes the figure
+//! scenarios as SVG drawings.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ntr_eval::{
+    figure_svgs, render_csorg, render_figure, render_horg_stages, render_oracle_ablation,
+    render_scaling, render_sert, render_table, run_csorg, run_fig1, run_fig2, run_fig3, run_fig5,
+    run_horg_stages, run_oracle_ablation, run_scaling, run_sert_comparison, run_table2, run_table3,
+    run_table4, run_table5_h2, run_table5_h3, run_table6, run_table7, EvalConfig,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--nets N] [--sizes 5,10,20,30] [--seed S] [EXPERIMENT...]\n\
+         experiments: table2 table3 table4 table5 table6 table7 fig1 fig2 fig3 fig5\n\
+                      ablation scaling csorg horg sert all\n\
+         flags: --svg-dir DIR writes figure SVGs, --csv-dir DIR writes table CSVs"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = EvalConfig::full();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut svg_dir: Option<std::path::PathBuf> = None;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                config = EvalConfig {
+                    sizes: config.sizes,
+                    ..EvalConfig::quick()
+                }
+            }
+            "--nets" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.nets_per_size = n,
+                None => usage(),
+            },
+            "--sizes" => match args.next() {
+                Some(v) => {
+                    let parsed: Option<Vec<usize>> =
+                        v.split(',').map(|s| s.trim().parse().ok()).collect();
+                    match parsed {
+                        Some(sizes) if !sizes.is_empty() => config.sizes = sizes,
+                        _ => usage(),
+                    }
+                }
+                None => usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => config.base_seed = s,
+                None => usage(),
+            },
+            "--svg-dir" => match args.next() {
+                Some(dir) => svg_dir = Some(dir.into()),
+                None => usage(),
+            },
+            "--csv-dir" => match args.next() {
+                Some(dir) => csv_dir = Some(dir.into()),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => wanted.push(other.to_owned()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "fig1", "fig2", "fig3", "fig5", "table2", "table3", "table4", "table5", "table6",
+            "table7",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    }
+
+    println!(
+        "non-tree routing reproduction | sizes {:?} | {} nets/size | seed {}",
+        config.sizes, config.nets_per_size, config.base_seed
+    );
+    println!("(each table prints measured columns next to the paper's P.* columns)\n");
+
+    for experiment in &wanted {
+        let started = Instant::now();
+        // Renders a table and, when requested, writes its CSV alongside.
+        let emit = |tables: Vec<ntr_eval::ExperimentTable>| -> Result<String, String> {
+            let mut text = String::new();
+            for table in &tables {
+                if !text.is_empty() {
+                    text.push('\n');
+                }
+                text.push_str(&render_table(table));
+                if let Some(dir) = &csv_dir {
+                    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                    let path = dir.join(format!("{}.csv", table.id));
+                    std::fs::write(&path, ntr_eval::table_to_csv(table))
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            Ok(text)
+        };
+        let outcome: Result<String, String> = match experiment.as_str() {
+            "table2" => run_table2(&config)
+                .map_err(|e| e.to_string())
+                .and_then(|t| emit(vec![t])),
+            "table3" => run_table3(&config)
+                .map_err(|e| e.to_string())
+                .and_then(|t| emit(vec![t])),
+            "table4" => run_table4(&config)
+                .map_err(|e| e.to_string())
+                .and_then(|t| emit(vec![t])),
+            "table5" => run_table5_h2(&config)
+                .and_then(|h2| run_table5_h3(&config).map(|h3| (h2, h3)))
+                .map_err(|e| e.to_string())
+                .and_then(|(h2, h3)| emit(vec![h2, h3])),
+            "table6" => run_table6(&config)
+                .map_err(|e| e.to_string())
+                .and_then(|t| emit(vec![t])),
+            "table7" => run_table7(&config)
+                .map_err(|e| e.to_string())
+                .and_then(|t| emit(vec![t])),
+            "ablation" => run_oracle_ablation(&config)
+                .map(|rows| render_oracle_ablation(&rows))
+                .map_err(|e| e.to_string()),
+            "scaling" => run_scaling(&config)
+                .map(|rows| render_scaling(&rows))
+                .map_err(|e| e.to_string()),
+            "csorg" => run_csorg(&config)
+                .map(|rows| render_csorg(&rows))
+                .map_err(|e| e.to_string()),
+            "horg" => run_horg_stages(&config)
+                .map(|rows| render_horg_stages(&rows))
+                .map_err(|e| e.to_string()),
+            "sert" => run_sert_comparison(&config)
+                .map(|rows| render_sert(&rows))
+                .map_err(|e| e.to_string()),
+            "fig1" => run_fig1(&config)
+                .map(|f| render_figure(&f))
+                .map_err(|e| e.to_string()),
+            "fig2" => run_fig2(&config)
+                .map(|f| render_figure(&f))
+                .map_err(|e| e.to_string()),
+            "fig3" => run_fig3(&config)
+                .map(|f| render_figure(&f))
+                .map_err(|e| e.to_string()),
+            "fig5" => run_fig5(&config)
+                .map(|f| render_figure(&f))
+                .map_err(|e| e.to_string()),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                return ExitCode::from(2);
+            }
+        };
+        match outcome {
+            Ok(text) => {
+                println!("{text}  [{experiment} took {:.1?}]\n", started.elapsed());
+            }
+            Err(message) => {
+                eprintln!("{experiment} failed: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(dir) = svg_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        match figure_svgs(&config) {
+            Ok(svgs) => {
+                for (name, svg) in svgs {
+                    let path = dir.join(name);
+                    if let Err(e) = std::fs::write(&path, svg) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("figure svg generation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

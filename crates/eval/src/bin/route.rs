@@ -1,0 +1,324 @@
+//! Command-line router: reads a net file, builds the requested routing,
+//! reports delays, and optionally writes an SVG drawing and a SPICE deck.
+//!
+//! Usage:
+//!
+//! ```text
+//! route --net FILE [--algorithm ALGO] [--svg FILE] [--deck FILE]
+//!       [--waveforms FILE] [--trim]
+//! route --random SIZE --seed S ...
+//! route --netlist FILE [--target NS]      # whole-netlist flow
+//! ```
+//!
+//! Algorithms: `mst`, `steiner`, `ert`, `sert`, `h1`, `h2`, `h3`, `ldrg`
+//! (default), `sldrg`, `ert-ldrg`, `horg`.
+
+use std::process::ExitCode;
+
+use ntr_circuit::{extract, to_spice_deck, ExtractOptions, Technology};
+use ntr_core::{
+    h1, h2, h3, horg, ldrg, route_netlist, sldrg, trim_redundant_edges, HorgOptions, LdrgOptions,
+    NetlistRouteOptions, TransientOracle, TrimOptions,
+};
+use ntr_ert::{elmore_routing_tree, steiner_elmore_routing_tree, ErtOptions};
+use ntr_eval::EvalConfig;
+use ntr_geom::{net_from_str, Net};
+use ntr_graph::{prim_mst, render_svg, RoutingGraph, SvgOptions};
+use ntr_spice::{sink_delays, SimConfig};
+use ntr_steiner::{iterated_one_steiner, SteinerOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: route (--net FILE | --random SIZE | --netlist FILE) [--seed S]\n\
+         \x20             [--algorithm ALGO] [--svg FILE] [--deck FILE]\n\
+         \x20             [--waveforms FILE] [--trim] [--target NS]\n\
+         algorithms: mst steiner ert sert h1 h2 h3 ldrg sldrg ert-ldrg horg"
+    );
+    std::process::exit(2);
+}
+
+fn build(algorithm: &str, net: &Net, tech: Technology) -> Result<RoutingGraph, String> {
+    let oracle = TransientOracle::fast(tech);
+    let err = |e: ntr_core::OracleError| e.to_string();
+    Ok(match algorithm {
+        "mst" => prim_mst(net),
+        "steiner" => iterated_one_steiner(net, &SteinerOptions::default()),
+        "ert" => {
+            elmore_routing_tree(net, &tech, &ErtOptions::default()).map_err(|e| e.to_string())?
+        }
+        "sert" => steiner_elmore_routing_tree(net, &tech),
+        "h1" => h1(&prim_mst(net), &oracle, 0).map_err(err)?.graph,
+        "h2" => h2(&prim_mst(net), &tech).map_err(err)?.graph,
+        "h3" => h3(&prim_mst(net), &tech).map_err(err)?.graph,
+        "ldrg" => {
+            ldrg(&prim_mst(net), &oracle, &LdrgOptions::default())
+                .map_err(err)?
+                .graph
+        }
+        "sldrg" => {
+            sldrg(
+                net,
+                &SteinerOptions::default(),
+                &oracle,
+                &LdrgOptions::default(),
+            )
+            .map_err(err)?
+            .graph
+        }
+        "ert-ldrg" => {
+            let base = elmore_routing_tree(net, &tech, &ErtOptions::default())
+                .map_err(|e| e.to_string())?;
+            ldrg(&base, &oracle, &LdrgOptions::default())
+                .map_err(err)?
+                .graph
+        }
+        "horg" => {
+            horg(net, &oracle, &HorgOptions::default())
+                .map_err(err)?
+                .graph
+        }
+        other => return Err(format!("unknown algorithm: {other}")),
+    })
+}
+
+fn main() -> ExitCode {
+    let mut net_path: Option<String> = None;
+    let mut netlist_path: Option<String> = None;
+    let mut target_ns: Option<f64> = None;
+    let mut waveform_path: Option<String> = None;
+    let mut random_size: Option<usize> = None;
+    let mut seed = 1994u64;
+    let mut algorithm = "ldrg".to_owned();
+    let mut svg_path: Option<String> = None;
+    let mut deck_path: Option<String> = None;
+    let mut trim = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--net" => net_path = args.next().or_else(|| usage()),
+            "--netlist" => netlist_path = args.next().or_else(|| usage()),
+            "--target" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ns) => target_ns = Some(ns),
+                None => usage(),
+            },
+            "--waveforms" => waveform_path = args.next().or_else(|| usage()),
+            "--random" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => random_size = Some(n),
+                None => usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => usage(),
+            },
+            "--algorithm" | "-a" => algorithm = args.next().unwrap_or_else(|| usage()),
+            "--svg" => svg_path = args.next().or_else(|| usage()),
+            "--deck" => deck_path = args.next().or_else(|| usage()),
+            "--trim" => trim = true,
+            _ => usage(),
+        }
+    }
+
+    let config = EvalConfig::full();
+
+    // Whole-netlist mode: route everything, print the flow table, exit.
+    if let Some(path) = netlist_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let netlist = match ntr_geom::Netlist::from_text(&text) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let oracle = TransientOracle::fast(config.tech);
+        let opts = NetlistRouteOptions {
+            timing_target: target_ns.map(|ns| ns * 1e-9),
+            trim,
+            ..NetlistRouteOptions::default()
+        };
+        match route_netlist(&netlist, &oracle, &opts) {
+            Ok(routed) => {
+                println!(
+                    "{:<12} {:>9} {:>9} {:>8}  optimized",
+                    "net", "mst(ns)", "final(ns)", "cost"
+                );
+                for r in &routed {
+                    println!(
+                        "{:<12} {:>9.3} {:>9.3} {:>8.0}  {}",
+                        r.name,
+                        r.mst_delay * 1e9,
+                        r.delay * 1e9,
+                        r.graph.total_cost(),
+                        r.optimized,
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("netlist routing failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let net = match (net_path, random_size) {
+        (Some(path), None) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match net_from_str(&text) {
+                Ok(net) => net,
+                Err(e) => {
+                    eprintln!("cannot parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (None, Some(size)) => {
+            match ntr_geom::NetGenerator::new(config.layout, seed).random_net(size) {
+                Ok(net) => net,
+                Err(e) => {
+                    eprintln!("cannot generate net: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => usage(),
+    };
+
+    let tech = config.tech;
+    let mut graph = match build(&algorithm, &net, tech) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if trim {
+        let oracle = TransientOracle::fast(tech);
+        match trim_redundant_edges(&graph, &oracle, &TrimOptions::default()) {
+            Ok(res) => {
+                if res.removed > 0 {
+                    println!(
+                        "trimmed {} edge(s), recovering {:.0} um",
+                        res.removed, res.cost_saved
+                    );
+                }
+                graph = res.graph;
+            }
+            Err(e) => {
+                eprintln!("trim failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Report.
+    let mst_cost = ntr_graph::prim_mst_cost(net.pins());
+    println!(
+        "{algorithm}: {} nodes ({} Steiner), {} edges, cost {:.0} um ({:.2}x MST), tree: {}",
+        graph.node_count(),
+        graph.node_count() - graph.pin_count(),
+        graph.edge_count(),
+        graph.total_cost(),
+        graph.total_cost() / mst_cost,
+        graph.is_tree(),
+    );
+    let extracted = match extract(&graph, &tech, &ExtractOptions::default()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("extraction failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match sink_delays(&extracted, &SimConfig::default()) {
+        Ok(delays) => {
+            let max = delays.iter().copied().fold(0.0, f64::max);
+            println!("max sink delay: {:.3} ns", max * 1e9);
+            for (i, d) in delays.iter().enumerate() {
+                println!("  sink n{}: {:.3} ns", i + 1, d * 1e9);
+            }
+        }
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = waveform_path {
+        use ntr_spice::{Integrator, Moments, TransientSim};
+        let tau = Moments::compute(&extracted.circuit, 1)
+            .ok()
+            .map(|m| {
+                extracted
+                    .sink_nodes
+                    .iter()
+                    .map(|&n| m.elmore_of_node(n).unwrap_or(0.0))
+                    .fold(1e-15, f64::max)
+            })
+            .unwrap_or(1e-9);
+        let waveforms = TransientSim::new(&extracted.circuit, Integrator::Trapezoidal)
+            .and_then(|mut sim| sim.run(tau / 100.0, 10.0 * tau, &extracted.sink_nodes));
+        match waveforms {
+            Ok(result) => {
+                let labels: Vec<String> = (1..=extracted.sink_nodes.len())
+                    .map(|i| format!("n{i}"))
+                    .collect();
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                if let Err(e) = std::fs::write(&path, result.to_csv(&refs)) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("waveform simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = svg_path {
+        let svg = render_svg(&graph, &SvgOptions::default());
+        if let Err(e) = std::fs::write(&path, svg) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = deck_path {
+        let moments = ntr_spice::Moments::compute(&extracted.circuit, 1);
+        let tau = moments
+            .ok()
+            .and_then(|m| {
+                extracted
+                    .sink_nodes
+                    .iter()
+                    .map(|&n| m.elmore_of_node(n).unwrap_or(0.0))
+                    .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.max(v))))
+            })
+            .unwrap_or(1e-9);
+        let deck = to_spice_deck(
+            &extracted.circuit,
+            &format!("{algorithm} routing of a {}-pin net", net.len()),
+            10.0 * tau,
+            &extracted.sink_nodes,
+        );
+        if let Err(e) = std::fs::write(&path, deck) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,400 @@
+use std::error::Error;
+use std::fmt;
+
+use ntr_core::{
+    h1, h2, h3, ldrg, sldrg, DelayOracle, LdrgOptions, Objective, OracleError, TransientOracle,
+};
+use ntr_ert::{elmore_routing_tree, BuildErtError, ErtOptions};
+use ntr_geom::{GenerateNetError, Net};
+use ntr_graph::{prim_mst, RoutingGraph};
+use ntr_steiner::SteinerOptions;
+
+use crate::paper::{self, PaperRow};
+use crate::{aggregate, EvalConfig, ExperimentTable, RatioSample};
+
+/// Errors raised while running experiments.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// Delay evaluation failed.
+    Oracle(OracleError),
+    /// ERT construction failed.
+    Ert(BuildErtError),
+    /// Net generation failed.
+    Generate(GenerateNetError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Oracle(e) => write!(f, "oracle failed: {e}"),
+            EvalError::Ert(e) => write!(f, "ert construction failed: {e}"),
+            EvalError::Generate(e) => write!(f, "net generation failed: {e}"),
+        }
+    }
+}
+
+impl Error for EvalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvalError::Oracle(e) => Some(e),
+            EvalError::Ert(e) => Some(e),
+            EvalError::Generate(e) => Some(e),
+        }
+    }
+}
+
+impl From<OracleError> for EvalError {
+    fn from(e: OracleError) -> Self {
+        EvalError::Oracle(e)
+    }
+}
+impl From<BuildErtError> for EvalError {
+    fn from(e: BuildErtError) -> Self {
+        EvalError::Ert(e)
+    }
+}
+impl From<GenerateNetError> for EvalError {
+    fn from(e: GenerateNetError) -> Self {
+        EvalError::Generate(e)
+    }
+}
+
+/// The measurement oracle used throughout the harness: the fast transient
+/// configuration (lumped wires, Backward Euler), playing SPICE's role.
+fn measurement_oracle(config: &EvalConfig) -> TransientOracle {
+    TransientOracle::fast(config.tech)
+}
+
+fn nets_for(config: &EvalConfig, size: usize) -> Result<Vec<Net>, EvalError> {
+    Ok(config
+        .generator_for(size)
+        .random_nets(size, config.nets_per_size)?)
+}
+
+fn measure(oracle: &dyn DelayOracle, graph: &RoutingGraph) -> Result<(f64, f64), EvalError> {
+    let delay = Objective::MaxDelay.score(&oracle.evaluate(graph)?);
+    Ok((delay, graph.total_cost()))
+}
+
+/// Runs a two-iteration greedy experiment (LDRG or H1) and aggregates its
+/// iteration-one (vs baseline) and iteration-two (vs iteration one) rows.
+fn run_iterated<F>(
+    config: &EvalConfig,
+    id: &'static str,
+    title: &str,
+    paper_iter1: &[PaperRow],
+    paper_iter2: &[PaperRow],
+    mut run: F,
+) -> Result<ExperimentTable, EvalError>
+where
+    F: FnMut(&Net, &TransientOracle) -> Result<ntr_core::LdrgResult, OracleError>,
+{
+    let oracle = measurement_oracle(config);
+    let mut iter1_rows = Vec::new();
+    let mut iter2_rows = Vec::new();
+    for &size in &config.sizes {
+        let mut s1 = Vec::new();
+        let mut s2 = Vec::new();
+        for net in nets_for(config, size)? {
+            let res = run(&net, &oracle)?;
+            let (d0, c0) = (res.initial_delay, res.initial_cost);
+            let (d1, c1) = res.state_after(1);
+            let (d2, c2) = res.state_after(2);
+            s1.push(RatioSample {
+                delay: d1 / d0,
+                cost: c1 / c0,
+            });
+            s2.push(RatioSample {
+                delay: d2 / d1,
+                cost: c2 / c1,
+            });
+        }
+        iter1_rows.push((
+            aggregate(size, "iter 1", &s1),
+            paper::paper_row(paper_iter1, size),
+        ));
+        iter2_rows.push((
+            aggregate(size, "iter 2", &s2),
+            paper::paper_row(paper_iter2, size),
+        ));
+    }
+    iter1_rows.extend(iter2_rows);
+    Ok(ExperimentTable {
+        id,
+        title: title.to_owned(),
+        baseline: "MST",
+        rows: iter1_rows,
+    })
+}
+
+/// **Table 2** — the LDRG algorithm vs the MST: delay/cost ratios over 50
+/// random nets per size, for the first and second greedy iterations.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when generation or simulation fails.
+pub fn run_table2(config: &EvalConfig) -> Result<ExperimentTable, EvalError> {
+    run_iterated(
+        config,
+        "table2",
+        "LDRG Algorithm Statistics (vs MST)",
+        &paper::TABLE2_ITER1,
+        &paper::TABLE2_ITER2,
+        |net, oracle| {
+            let mst = prim_mst(net);
+            ldrg(
+                &mst,
+                oracle,
+                &LdrgOptions {
+                    max_added_edges: 2,
+                    ..Default::default()
+                },
+            )
+        },
+    )
+}
+
+/// **Table 3** — the SLDRG algorithm vs its Steiner starting tree, run to
+/// convergence.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when generation or simulation fails.
+pub fn run_table3(config: &EvalConfig) -> Result<ExperimentTable, EvalError> {
+    let oracle = measurement_oracle(config);
+    let mut rows = Vec::new();
+    for &size in &config.sizes {
+        let mut samples = Vec::new();
+        for net in nets_for(config, size)? {
+            let res = sldrg(
+                &net,
+                &SteinerOptions::default(),
+                &oracle,
+                &LdrgOptions::default(),
+            )?;
+            samples.push(RatioSample {
+                delay: res.final_delay() / res.initial_delay,
+                cost: res.final_cost() / res.initial_cost,
+            });
+        }
+        rows.push((
+            aggregate(size, "", &samples),
+            paper::paper_row(&paper::TABLE3, size),
+        ));
+    }
+    Ok(ExperimentTable {
+        id: "table3",
+        title: "SLDRG Algorithm Statistics (vs Steiner tree)".to_owned(),
+        baseline: "Steiner tree",
+        rows,
+    })
+}
+
+/// **Table 4** — heuristic H1 vs the MST, iterations one and two.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when generation or simulation fails.
+pub fn run_table4(config: &EvalConfig) -> Result<ExperimentTable, EvalError> {
+    run_iterated(
+        config,
+        "table4",
+        "H1 Heuristic Statistics (vs MST)",
+        &paper::TABLE4_ITER1,
+        &paper::TABLE4_ITER2,
+        |net, oracle| {
+            let mst = prim_mst(net);
+            h1(&mst, oracle, 2)
+        },
+    )
+}
+
+/// Shared runner for the single-shot Elmore heuristics H2 and H3.
+fn run_h_heuristic(
+    config: &EvalConfig,
+    id: &'static str,
+    title: &str,
+    paper_table: &[PaperRow],
+    use_h3: bool,
+) -> Result<ExperimentTable, EvalError> {
+    let oracle = measurement_oracle(config);
+    let mut rows = Vec::new();
+    for &size in &config.sizes {
+        let mut samples = Vec::new();
+        for net in nets_for(config, size)? {
+            let mst = prim_mst(&net);
+            let (d0, c0) = measure(&oracle, &mst)?;
+            let hres = if use_h3 {
+                h3(&mst, &config.tech)?
+            } else {
+                h2(&mst, &config.tech)?
+            };
+            let (d1, c1) = measure(&oracle, &hres.graph)?;
+            samples.push(RatioSample {
+                delay: d1 / d0,
+                cost: c1 / c0,
+            });
+        }
+        rows.push((
+            aggregate(size, "", &samples),
+            paper::paper_row(paper_table, size),
+        ));
+    }
+    Ok(ExperimentTable {
+        id,
+        title: title.to_owned(),
+        baseline: "MST",
+        rows,
+    })
+}
+
+/// **Table 5 (top)** — heuristic H2 vs the MST.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when generation or simulation fails.
+pub fn run_table5_h2(config: &EvalConfig) -> Result<ExperimentTable, EvalError> {
+    run_h_heuristic(
+        config,
+        "table5_h2",
+        "H2 Heuristic Statistics (vs MST)",
+        &paper::TABLE5_H2,
+        false,
+    )
+}
+
+/// **Table 5 (bottom)** — heuristic H3 vs the MST.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when generation or simulation fails.
+pub fn run_table5_h3(config: &EvalConfig) -> Result<ExperimentTable, EvalError> {
+    run_h_heuristic(
+        config,
+        "table5_h3",
+        "H3 Heuristic Statistics (vs MST)",
+        &paper::TABLE5_H3,
+        true,
+    )
+}
+
+/// **Table 6** — the Elmore Routing Tree baseline vs the MST.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when generation, ERT construction or simulation
+/// fails.
+pub fn run_table6(config: &EvalConfig) -> Result<ExperimentTable, EvalError> {
+    let oracle = measurement_oracle(config);
+    let mut rows = Vec::new();
+    for &size in &config.sizes {
+        let mut samples = Vec::new();
+        for net in nets_for(config, size)? {
+            let mst = prim_mst(&net);
+            let (d0, c0) = measure(&oracle, &mst)?;
+            let ert = elmore_routing_tree(&net, &config.tech, &ErtOptions::default())?;
+            let (d1, c1) = measure(&oracle, &ert)?;
+            samples.push(RatioSample {
+                delay: d1 / d0,
+                cost: c1 / c0,
+            });
+        }
+        rows.push((
+            aggregate(size, "", &samples),
+            paper::paper_row(&paper::TABLE6, size),
+        ));
+    }
+    Ok(ExperimentTable {
+        id: "table6",
+        title: "Elmore Routing Tree Statistics (vs MST)".to_owned(),
+        baseline: "MST",
+        rows,
+    })
+}
+
+/// **Table 7** — LDRG run on top of the ERT, normalized to the ERT: the
+/// experiment showing that non-tree routings beat even near-optimal trees.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when generation, ERT construction or simulation
+/// fails.
+pub fn run_table7(config: &EvalConfig) -> Result<ExperimentTable, EvalError> {
+    let oracle = measurement_oracle(config);
+    let mut rows = Vec::new();
+    for &size in &config.sizes {
+        let mut samples = Vec::new();
+        for net in nets_for(config, size)? {
+            let ert = elmore_routing_tree(&net, &config.tech, &ErtOptions::default())?;
+            let res = ldrg(&ert, &oracle, &LdrgOptions::default())?;
+            samples.push(RatioSample {
+                delay: res.final_delay() / res.initial_delay,
+                cost: res.final_cost() / res.initial_cost,
+            });
+        }
+        rows.push((
+            aggregate(size, "", &samples),
+            paper::paper_row(&paper::TABLE7, size),
+        ));
+    }
+    Ok(ExperimentTable {
+        id: "table7",
+        title: "ERT-Based LDRG Algorithm Statistics (vs ERT)".to_owned(),
+        baseline: "ERT",
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EvalConfig {
+        EvalConfig {
+            sizes: vec![5],
+            nets_per_size: 3,
+            ..EvalConfig::full()
+        }
+    }
+
+    #[test]
+    fn table2_shape_and_sanity() {
+        let t = run_table2(&tiny()).unwrap();
+        assert_eq!(t.rows.len(), 2); // iter1 + iter2 for one size
+        let (row, paper) = &t.rows[0];
+        assert_eq!(row.samples, 3);
+        assert!(
+            row.all_delay <= 1.0 + 1e-9,
+            "LDRG cannot worsen: {}",
+            row.all_delay
+        );
+        assert!(row.all_cost >= 1.0 - 1e-9);
+        assert!(paper.is_some());
+    }
+
+    #[test]
+    fn table6_runs_and_compares() {
+        let t = run_table6(&tiny()).unwrap();
+        assert_eq!(t.rows.len(), 1);
+        let (row, _) = &t.rows[0];
+        // ERT spends at least MST wirelength.
+        assert!(row.all_cost >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn table5_h2_always_pays_wirelength() {
+        let t = run_table5_h2(&tiny()).unwrap();
+        let (row, _) = &t.rows[0];
+        // H2 adds an edge unconditionally (when not source-adjacent), so
+        // mean cost ratio is >= 1.
+        assert!(row.all_cost >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn determinism_same_config_same_table() {
+        let a = run_table5_h3(&tiny()).unwrap();
+        let b = run_table5_h3(&tiny()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,398 @@
+//! Extension experiments beyond the paper's published tables: runtime
+//! scaling (its efficiency claims), the critical-sink CSORG variant
+//! (§5.1), and the staged HORG pipeline (§5.3).
+
+use std::time::Instant;
+
+use ntr_core::{
+    h1, h2, h3, horg, ldrg, DelayOracle, HorgOptions, LdrgOptions, MomentOracle, Objective,
+    TransientOracle,
+};
+use ntr_ert::{elmore_routing_tree, steiner_elmore_routing_tree, ErtOptions};
+use ntr_graph::prim_mst;
+use ntr_steiner::{iterated_one_steiner, SteinerOptions};
+
+use crate::experiments::EvalError;
+use crate::EvalConfig;
+
+/// Mean per-net runtime of each construction at one net size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Net size.
+    pub size: usize,
+    /// `(algorithm, mean seconds per net)` pairs.
+    pub seconds: Vec<(&'static str, f64)>,
+}
+
+/// Measures mean per-net runtime of every construction across the
+/// configured sizes — the quantitative form of the paper's efficiency
+/// claims ("the time complexity of both H2 and H3 is linear if the MST is
+/// provided", "LDRG makes a quadratic number of calls to SPICE").
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when generation or simulation fails.
+pub fn run_scaling(config: &EvalConfig) -> Result<Vec<ScalingRow>, EvalError> {
+    let oracle = TransientOracle::fast(config.tech);
+    let mut rows = Vec::new();
+    for &size in &config.sizes {
+        let nets = config
+            .generator_for(size)
+            .random_nets(size, config.nets_per_size)?;
+        let n = nets.len() as f64;
+        let mut seconds: Vec<(&'static str, f64)> = Vec::new();
+
+        macro_rules! time_algo {
+            ($name:literal, $body:expr) => {{
+                let started = Instant::now();
+                for net in &nets {
+                    #[allow(clippy::redundant_closure_call)]
+                    ($body)(net)?;
+                }
+                seconds.push(($name, started.elapsed().as_secs_f64() / n));
+            }};
+        }
+
+        time_algo!("mst", |net| -> Result<(), EvalError> {
+            let _ = prim_mst(net);
+            Ok(())
+        });
+        time_algo!("steiner_i1s", |net| -> Result<(), EvalError> {
+            let _ = iterated_one_steiner(net, &SteinerOptions::default());
+            Ok(())
+        });
+        time_algo!("ert", |net| -> Result<(), EvalError> {
+            let _ = elmore_routing_tree(net, &config.tech, &ErtOptions::default())?;
+            Ok(())
+        });
+        time_algo!("h2", |net| -> Result<(), EvalError> {
+            let _ = h2(&prim_mst(net), &config.tech)?;
+            Ok(())
+        });
+        time_algo!("h3", |net| -> Result<(), EvalError> {
+            let _ = h3(&prim_mst(net), &config.tech)?;
+            Ok(())
+        });
+        time_algo!("h1", |net| -> Result<(), EvalError> {
+            let _ = h1(&prim_mst(net), &oracle, 0)?;
+            Ok(())
+        });
+        time_algo!("ldrg", |net| -> Result<(), EvalError> {
+            let _ = ldrg(&prim_mst(net), &oracle, &LdrgOptions::default())?;
+            Ok(())
+        });
+        rows.push(ScalingRow { size, seconds });
+    }
+    Ok(rows)
+}
+
+/// Renders the scaling experiment as a text table (microseconds per net).
+#[must_use]
+pub fn render_scaling(rows: &[ScalingRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Runtime scaling (mean us per net)");
+    if let Some(first) = rows.first() {
+        let _ = write!(out, "  {:<5}", "size");
+        for (name, _) in &first.seconds {
+            let _ = write!(out, " {name:>12}");
+        }
+        let _ = writeln!(out);
+    }
+    for row in rows {
+        let _ = write!(out, "  {:<5}", row.size);
+        for (_, secs) in &row.seconds {
+            let _ = write!(out, " {:>12.1}", secs * 1e6);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// One row of the CSORG experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsorgRow {
+    /// Net size.
+    pub size: usize,
+    /// Mean critical-sink delay ratio: CS-weighted LDRG vs plain LDRG
+    /// (both measured on the critical sink, < 1 means the weighting pays).
+    pub critical_ratio: f64,
+    /// Mean max-delay ratio of the CS-weighted result vs plain LDRG (the
+    /// price other sinks pay), usually >= 1.
+    pub max_ratio: f64,
+}
+
+/// The critical-sink (CSORG, §5.1) experiment: mark the worst MST sink of
+/// every net as the single critical sink and compare criticality-weighted
+/// LDRG against plain LDRG on that sink's delay.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when generation or simulation fails.
+pub fn run_csorg(config: &EvalConfig) -> Result<Vec<CsorgRow>, EvalError> {
+    let oracle = TransientOracle::fast(config.tech);
+    let mut rows = Vec::new();
+    for &size in &config.sizes {
+        let mut sum_crit = 0.0;
+        let mut sum_max = 0.0;
+        let nets = config
+            .generator_for(size)
+            .random_nets(size, config.nets_per_size)?;
+        for net in &nets {
+            let mst = prim_mst(net);
+            let report = oracle.evaluate(&mst)?;
+            let critical = report.argmax().expect("nets have sinks");
+            let mut alphas = vec![0.0; net.sink_count()];
+            alphas[critical] = 1.0;
+
+            let plain = ldrg(&mst, &oracle, &LdrgOptions::default())?;
+            let plain_report = oracle.evaluate(&plain.graph)?;
+
+            let weighted = ldrg(
+                &mst,
+                &oracle,
+                &LdrgOptions {
+                    objective: Objective::Weighted(alphas),
+                    ..Default::default()
+                },
+            )?;
+            let weighted_report = oracle.evaluate(&weighted.graph)?;
+
+            sum_crit += weighted_report.per_sink()[critical] / plain_report.per_sink()[critical];
+            sum_max += weighted_report.max() / plain_report.max();
+        }
+        let n = nets.len() as f64;
+        rows.push(CsorgRow {
+            size,
+            critical_ratio: sum_crit / n,
+            max_ratio: sum_max / n,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the CSORG experiment as a text table.
+#[must_use]
+pub fn render_csorg(rows: &[CsorgRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "CSORG: criticality-weighted LDRG vs plain LDRG");
+    let _ = writeln!(
+        out,
+        "  {:<5} {:>15} {:>13}",
+        "size", "critical delay", "max delay"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>15.3} {:>13.3}",
+            row.size, row.critical_ratio, row.max_ratio
+        );
+    }
+    out
+}
+
+/// One row of the HORG staged-pipeline experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HorgRow {
+    /// Net size.
+    pub size: usize,
+    /// Mean delay after LDRG, relative to the Steiner tree.
+    pub after_edges: f64,
+    /// Mean delay after wire sizing, relative to the Steiner tree.
+    pub after_sizing: f64,
+}
+
+/// The HORG (§5.3) staged experiment: how much each pipeline stage
+/// (non-tree edges, then wire sizing) contributes on top of the Steiner
+/// tree, under the graph-Elmore oracle.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when generation or simulation fails.
+pub fn run_horg_stages(config: &EvalConfig) -> Result<Vec<HorgRow>, EvalError> {
+    let oracle = MomentOracle::new(config.tech);
+    let mut rows = Vec::new();
+    for &size in &config.sizes {
+        let nets = config
+            .generator_for(size)
+            .random_nets(size, config.nets_per_size)?;
+        let mut sum_edges = 0.0;
+        let mut sum_sizing = 0.0;
+        for net in &nets {
+            let result = horg(net, &oracle, &HorgOptions::default())?;
+            sum_edges += result.after_ldrg_delay / result.steiner_delay;
+            sum_sizing += result.final_delay / result.steiner_delay;
+        }
+        let n = nets.len() as f64;
+        rows.push(HorgRow {
+            size,
+            after_edges: sum_edges / n,
+            after_sizing: sum_sizing / n,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the HORG staged experiment as a text table.
+#[must_use]
+pub fn render_horg_stages(rows: &[HorgRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "HORG stages (delay vs Steiner tree, graph-Elmore oracle)"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<5} {:>12} {:>13}",
+        "size", "after edges", "after sizing"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>12.3} {:>13.3}",
+            row.size, row.after_edges, row.after_sizing
+        );
+    }
+    out
+}
+
+/// One row of the SERT-vs-ERT comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SertRow {
+    /// Net size.
+    pub size: usize,
+    /// Mean simulated delay ratio SERT / ERT.
+    pub delay_ratio: f64,
+    /// Mean wirelength ratio SERT / ERT.
+    pub cost_ratio: f64,
+    /// Percent of nets where SERT strictly beats ERT on delay.
+    pub percent_winners: f64,
+}
+
+/// Compares the Steiner-ERT (edge-tapping) construction against the plain
+/// node-to-node ERT under transient measurement — quantifying what the
+/// Steiner connection freedom buys.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when generation, construction or simulation fails.
+pub fn run_sert_comparison(config: &EvalConfig) -> Result<Vec<SertRow>, EvalError> {
+    let oracle = TransientOracle::fast(config.tech);
+    let mut rows = Vec::new();
+    for &size in &config.sizes {
+        let nets = config
+            .generator_for(size)
+            .random_nets(size, config.nets_per_size)?;
+        let mut sum_delay = 0.0;
+        let mut sum_cost = 0.0;
+        let mut winners = 0usize;
+        for net in &nets {
+            let ert = elmore_routing_tree(net, &config.tech, &ErtOptions::default())?;
+            let sert = steiner_elmore_routing_tree(net, &config.tech);
+            let d_ert = oracle.evaluate(&ert)?.max();
+            let d_sert = oracle.evaluate(&sert)?.max();
+            sum_delay += d_sert / d_ert;
+            sum_cost += sert.total_cost() / ert.total_cost();
+            if d_sert < d_ert * (1.0 - 1e-3) {
+                winners += 1;
+            }
+        }
+        let n = nets.len() as f64;
+        rows.push(SertRow {
+            size,
+            delay_ratio: sum_delay / n,
+            cost_ratio: sum_cost / n,
+            percent_winners: 100.0 * winners as f64 / n,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the SERT comparison as a text table.
+#[must_use]
+pub fn render_sert(rows: &[SertRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "SERT vs ERT (simulated delay and wirelength ratios)");
+    let _ = writeln!(
+        out,
+        "  {:<5} {:>11} {:>10} {:>6}",
+        "size", "delay ratio", "cost ratio", "win%"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>11.3} {:>10.3} {:>6.0}",
+            row.size, row.delay_ratio, row.cost_ratio, row.percent_winners
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EvalConfig {
+        EvalConfig {
+            sizes: vec![8],
+            nets_per_size: 4,
+            ..EvalConfig::full()
+        }
+    }
+
+    #[test]
+    fn scaling_measures_every_algorithm() {
+        let rows = run_scaling(&tiny()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].seconds.len(), 7);
+        // LDRG (quadratic oracle calls) costs more than H2 (one Elmore).
+        let get = |name: &str| {
+            rows[0]
+                .seconds
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, s)| *s)
+                .expect("algorithm measured")
+        };
+        assert!(get("ldrg") > get("h2"));
+        let text = render_scaling(&rows);
+        assert!(text.contains("ldrg"));
+    }
+
+    #[test]
+    fn csorg_weighting_helps_the_critical_sink() {
+        let rows = run_csorg(&tiny()).unwrap();
+        assert!(
+            rows[0].critical_ratio <= 1.0 + 1e-9,
+            "ratio {}",
+            rows[0].critical_ratio
+        );
+        // The weighted objective typically sacrifices some max delay.
+        assert!(rows[0].max_ratio >= 0.9);
+        assert!(render_csorg(&rows).contains("critical"));
+    }
+
+    #[test]
+    fn sert_comparison_runs_and_sert_saves_wire() {
+        let rows = run_sert_comparison(&tiny()).unwrap();
+        assert_eq!(rows.len(), 1);
+        // SERT taps wires instead of running new ones: cost <= ERT's.
+        assert!(
+            rows[0].cost_ratio <= 1.0 + 1e-9,
+            "cost ratio {}",
+            rows[0].cost_ratio
+        );
+        assert!(render_sert(&rows).contains("SERT"));
+    }
+
+    #[test]
+    fn horg_stages_improve_monotonically() {
+        let rows = run_horg_stages(&tiny()).unwrap();
+        assert!(rows[0].after_edges <= 1.0 + 1e-9);
+        assert!(rows[0].after_sizing <= rows[0].after_edges + 1e-9);
+        assert!(render_horg_stages(&rows).contains("after sizing"));
+    }
+}

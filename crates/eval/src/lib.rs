@@ -1,0 +1,57 @@
+//! Experiment harness reproducing every table and figure of
+//! *Non-Tree Routing* (McCoy & Robins, DATE 1994).
+//!
+//! The paper's methodology (§4): for each net size in {5, 10, 20, 30},
+//! generate 50 random nets with pins uniform in a 10 mm × 10 mm layout,
+//! run each algorithm, and report delay and wirelength **normalized to the
+//! baseline routing** (MST for Tables 2, 4, 5; the Steiner tree for
+//! Table 3; the ERT for Table 7), split into:
+//!
+//! - **All Cases** — mean ratios over all 50 nets,
+//! - **Percent Winners** — how often the algorithm strictly improved,
+//! - **Winners Only** — mean ratios over the improving nets.
+//!
+//! Iterated algorithms (LDRG, H1) report *iteration two* relative to the
+//! *iteration-one* result — the normalization that makes the paper's
+//! numbers internally consistent (e.g. Table 2, size 10, iteration two:
+//! 90 % of nets unchanged at ratio 1.0 plus 10 % winners at 0.79 gives the
+//! reported all-cases 0.98).
+//!
+//! Entry points: one `run_table*`/`run_fig*` function per experiment, a
+//! [`render`](render_table) routine that prints measured values next to
+//! the paper's, and the `repro` binary that drives them all.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use ntr_eval::{run_table6, EvalConfig};
+//! let table = run_table6(&EvalConfig::quick()).unwrap();
+//! println!("{}", ntr_eval::render_table(&table));
+//! ```
+
+mod ablation;
+mod config;
+mod experiments;
+mod extensions;
+mod figures;
+mod paper;
+mod render;
+mod stats;
+
+pub use ablation::{render_oracle_ablation, run_oracle_ablation, OracleAblationRow};
+pub use config::EvalConfig;
+pub use experiments::{
+    run_table2, run_table3, run_table4, run_table5_h2, run_table5_h3, run_table6, run_table7,
+    EvalError,
+};
+pub use extensions::{
+    render_csorg, render_horg_stages, render_scaling, render_sert, run_csorg, run_horg_stages,
+    run_scaling, run_sert_comparison, CsorgRow, HorgRow, ScalingRow, SertRow,
+};
+pub use figures::{
+    figure_svgs, run_fig1, run_fig2, run_fig3, run_fig5, verify_fig1_with_reference_oracle,
+    FigureReport,
+};
+pub use paper::{paper_row, PaperRow};
+pub use render::{render_figure, render_table, table_to_csv};
+pub use stats::{aggregate, ExperimentTable, RatioSample, StatsRow};

@@ -1,0 +1,179 @@
+//! The published numbers of every table in the paper, for side-by-side
+//! rendering against measured values.
+
+/// One published table row: normalized delay/cost, percent winners,
+/// winners-only delay/cost (`None` where the paper prints "NA").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Net size.
+    pub size: usize,
+    /// All-cases mean delay ratio.
+    pub all_delay: f64,
+    /// All-cases mean cost ratio.
+    pub all_cost: f64,
+    /// Percent of nets improved.
+    pub percent_winners: f64,
+    /// Winners-only mean delay ratio.
+    pub winners_delay: Option<f64>,
+    /// Winners-only mean cost ratio.
+    pub winners_cost: Option<f64>,
+}
+
+const fn row(size: usize, all_delay: f64, all_cost: f64, pct: f64, wd: f64, wc: f64) -> PaperRow {
+    PaperRow {
+        size,
+        all_delay,
+        all_cost,
+        percent_winners: pct,
+        winners_delay: Some(wd),
+        winners_cost: Some(wc),
+    }
+}
+
+/// Table 2, LDRG iteration one (normalized to MST).
+pub const TABLE2_ITER1: [PaperRow; 4] = [
+    row(5, 0.94, 1.22, 52.0, 0.88, 1.44),
+    row(10, 0.84, 1.23, 90.0, 0.82, 1.25),
+    row(20, 0.81, 1.16, 100.0, 0.81, 1.16),
+    row(30, 0.76, 1.11, 100.0, 0.76, 1.11),
+];
+
+/// Table 2, LDRG iteration two (normalized to the iteration-one result;
+/// size 5 is "NA" in the paper — no net accepted a second edge).
+///
+/// Note: the paper prints all-cases cost 1.53 for size 30, which is
+/// inconsistent with its own winners-only decomposition
+/// (0.32·1.0 + 0.68·1.23 ≈ 1.16) and is almost certainly a typo for 1.15.
+pub const TABLE2_ITER2: [PaperRow; 3] = [
+    row(10, 0.98, 1.04, 10.0, 0.79, 1.40),
+    row(20, 0.91, 1.13, 42.0, 0.78, 1.30),
+    row(30, 0.83, 1.53, 68.0, 0.75, 1.23),
+];
+
+/// Table 3, SLDRG (normalized to the Steiner tree).
+pub const TABLE3: [PaperRow; 4] = [
+    row(5, 0.99, 1.02, 4.0, 0.94, 1.59),
+    row(10, 0.91, 1.20, 66.0, 0.87, 1.30),
+    row(20, 0.79, 1.17, 94.0, 0.77, 1.18),
+    row(30, 0.77, 1.10, 100.0, 0.77, 1.10),
+];
+
+/// Table 4, H1 iteration one (normalized to MST).
+pub const TABLE4_ITER1: [PaperRow; 4] = [
+    row(5, 0.98, 1.10, 20.0, 0.90, 1.49),
+    row(10, 0.93, 1.17, 48.0, 0.84, 1.35),
+    row(20, 0.88, 1.16, 68.0, 0.82, 1.24),
+    row(30, 0.83, 1.17, 82.0, 0.80, 1.17),
+];
+
+/// Table 4, H1 iteration two (normalized to the iteration-one result).
+pub const TABLE4_ITER2: [PaperRow; 3] = [
+    row(10, 0.98, 1.03, 10.0, 0.81, 1.34),
+    row(20, 0.99, 1.02, 6.0, 0.87, 1.26),
+    row(30, 0.95, 1.04, 24.0, 0.80, 1.18),
+];
+
+/// Table 5, H2 (normalized to MST).
+pub const TABLE5_H2: [PaperRow; 4] = [
+    row(5, 1.14, 1.64, 18.0, 0.89, 1.48),
+    row(10, 0.99, 1.42, 47.0, 0.82, 1.34),
+    row(20, 0.91, 1.29, 68.0, 0.83, 1.24),
+    row(30, 0.84, 1.23, 80.0, 0.79, 1.21),
+];
+
+/// Table 5, H3 (normalized to MST; size 5 has zero winners — "NA").
+pub const TABLE5_H3: [PaperRow; 4] = [
+    PaperRow {
+        size: 5,
+        all_delay: 1.10,
+        all_cost: 1.59,
+        percent_winners: 0.0,
+        winners_delay: None,
+        winners_cost: None,
+    },
+    row(10, 0.93, 1.33, 64.0, 0.84, 1.29),
+    row(20, 0.85, 1.20, 92.0, 0.83, 1.19),
+    row(30, 0.77, 1.13, 90.0, 0.76, 1.13),
+];
+
+/// Table 6, ERT (normalized to MST).
+pub const TABLE6: [PaperRow; 4] = [
+    row(5, 0.94, 1.22, 54.0, 0.92, 1.14),
+    row(10, 0.85, 1.27, 78.0, 0.84, 1.19),
+    row(20, 0.80, 1.26, 92.0, 0.79, 1.22),
+    row(30, 0.71, 1.21, 97.0, 0.71, 1.21),
+];
+
+/// Table 7, ERT-based LDRG (normalized to the ERT).
+pub const TABLE7: [PaperRow; 4] = [
+    row(5, 0.99, 1.38, 8.0, 0.92, 1.31),
+    row(10, 0.99, 1.22, 22.0, 0.96, 1.21),
+    row(20, 0.98, 1.13, 44.0, 0.96, 1.12),
+    row(30, 0.97, 1.12, 56.0, 0.96, 1.12),
+];
+
+/// Looks up a paper row by size in a table slice.
+#[must_use]
+pub fn paper_row(table: &[PaperRow], size: usize) -> Option<PaperRow> {
+    table.iter().find(|r| r.size == size).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every "All Cases" value must be consistent with its winners-only
+    /// decomposition (non-winners contribute ratio 1.0) — a sanity check
+    /// on the transcription. Table 2 iteration two, size 30 cost is the
+    /// paper's known typo and is exempted.
+    #[test]
+    fn paper_rows_are_internally_consistent() {
+        let tables: [&[PaperRow]; 7] = [
+            &TABLE2_ITER2,
+            &TABLE3,
+            &TABLE4_ITER1,
+            &TABLE4_ITER2,
+            &TABLE5_H3,
+            &TABLE6,
+            &TABLE7,
+        ];
+        for table in tables {
+            for r in table {
+                let (Some(wd), Some(wc)) = (r.winners_delay, r.winners_cost) else {
+                    continue;
+                };
+                let f = r.percent_winners / 100.0;
+                let recon_delay = (1.0 - f) + f * wd;
+                // H2/H3/ERT/Table3/Table7 add wire even on losses, so only
+                // the *iterated* tables (2 and 4, iteration two) satisfy
+                // the strict reconstruction; allow slack elsewhere.
+                let strict = std::ptr::eq(table.as_ptr(), TABLE2_ITER2.as_ptr())
+                    || std::ptr::eq(table.as_ptr(), TABLE4_ITER2.as_ptr());
+                if strict {
+                    assert!(
+                        (recon_delay - r.all_delay).abs() < 0.015,
+                        "size {}: delay {} vs reconstructed {recon_delay}",
+                        r.size,
+                        r.all_delay
+                    );
+                    let recon_cost = (1.0 - f) + f * wc;
+                    let known_typo = r.size == 30 && (r.all_cost - 1.53).abs() < 1e-9;
+                    if !known_typo {
+                        assert!(
+                            (recon_cost - r.all_cost).abs() < 0.015,
+                            "size {}: cost {} vs reconstructed {recon_cost}",
+                            r.size,
+                            r.all_cost
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_size() {
+        assert_eq!(paper_row(&TABLE6, 30).unwrap().all_delay, 0.71);
+        assert!(paper_row(&TABLE2_ITER2, 5).is_none());
+    }
+}

@@ -1,0 +1,229 @@
+use std::fmt::Write as _;
+
+use crate::{ExperimentTable, FigureReport};
+
+fn opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "  NA".to_owned(), |x| format!("{x:4.2}"))
+}
+
+/// Renders an [`ExperimentTable`] as a fixed-width text table with the
+/// paper's published values alongside the measured ones.
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn main() -> Result<(), ntr_eval::EvalError> {
+/// let table = ntr_eval::run_table6(&ntr_eval::EvalConfig::quick())?;
+/// println!("{}", ntr_eval::render_table(&table));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn render_table(table: &ExperimentTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} [{}]", table.title, table.id);
+    let _ = writeln!(
+        out,
+        "  (ratios vs {}; 'all' over every net, 'win' over improving nets)",
+        table.baseline
+    );
+    let _ = writeln!(
+        out,
+        "  {:<4} {:<7} | {:>9} {:>8} {:>5} {:>9} {:>8} | {:>9} {:>8} {:>5} {:>9} {:>8}",
+        "size",
+        "stage",
+        "all.delay",
+        "all.cost",
+        "win%",
+        "win.delay",
+        "win.cost",
+        "P.delay",
+        "P.cost",
+        "P.w%",
+        "P.w.dly",
+        "P.w.cst"
+    );
+    let _ = writeln!(out, "  {}", "-".repeat(116));
+    for (row, paper) in &table.rows {
+        let _ = write!(
+            out,
+            "  {:<4} {:<7} | {:>9.2} {:>8.2} {:>5.0} {:>9} {:>8}",
+            row.size,
+            row.label,
+            row.all_delay,
+            row.all_cost,
+            row.percent_winners,
+            opt(row.winners_delay),
+            opt(row.winners_cost),
+        );
+        match paper {
+            Some(p) => {
+                let _ = writeln!(
+                    out,
+                    " | {:>9.2} {:>8.2} {:>5.0} {:>9} {:>8}",
+                    p.all_delay,
+                    p.all_cost,
+                    p.percent_winners,
+                    opt(p.winners_delay),
+                    opt(p.winners_cost),
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    " | {:>9} {:>8} {:>5} {:>9} {:>8}",
+                    "-", "-", "-", "-", "-"
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders a [`FigureReport`] as text, with the paper's caption numbers
+/// for comparison.
+#[must_use]
+pub fn render_figure(fig: &FigureReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} [{}]", fig.title, fig.id);
+    let _ = writeln!(
+        out,
+        "  delay: {:.3} ns -> {:.3} ns  ({:+.1}% vs paper's -{:.1}%)",
+        fig.delay_before * 1e9,
+        fig.delay_after * 1e9,
+        -fig.delay_improvement_pct(),
+        fig.paper_delay_improvement_pct,
+    );
+    let _ = writeln!(
+        out,
+        "  wirelength: {:.0} um -> {:.0} um  ({:+.1}% vs paper's +{:.1}%), {} edge(s) added",
+        fig.cost_before,
+        fig.cost_after,
+        fig.cost_penalty_pct(),
+        fig.paper_cost_penalty_pct,
+        fig.edges_added,
+    );
+    for note in &fig.notes {
+        let _ = writeln!(out, "  note: {note}");
+    }
+    out
+}
+
+/// Renders an [`ExperimentTable`] as CSV (one row per measured size/stage,
+/// paper values in trailing columns; empty cells for "NA").
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn main() -> Result<(), ntr_eval::EvalError> {
+/// let table = ntr_eval::run_table6(&ntr_eval::EvalConfig::quick())?;
+/// let csv = ntr_eval::table_to_csv(&table);
+/// assert!(csv.starts_with("experiment,size,stage"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn table_to_csv(table: &ExperimentTable) -> String {
+    let cell = |v: Option<f64>| v.map_or_else(String::new, |x| format!("{x:.4}"));
+    let mut out = String::from(
+        "experiment,size,stage,samples,all_delay,all_cost,percent_winners,\
+         winners_delay,winners_cost,paper_all_delay,paper_all_cost,\
+         paper_percent_winners,paper_winners_delay,paper_winners_cost\n",
+    );
+    for (row, paper) in &table.rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.4},{:.4},{:.1},{},{},{},{},{},{},{}",
+            table.id,
+            row.size,
+            row.label,
+            row.samples,
+            row.all_delay,
+            row.all_cost,
+            row.percent_winners,
+            cell(row.winners_delay),
+            cell(row.winners_cost),
+            cell(paper.map(|p| p.all_delay)),
+            cell(paper.map(|p| p.all_cost)),
+            cell(paper.map(|p| p.percent_winners)),
+            cell(paper.and_then(|p| p.winners_delay)),
+            cell(paper.and_then(|p| p.winners_cost)),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{aggregate, RatioSample};
+
+    #[test]
+    fn csv_has_one_line_per_row_plus_header() {
+        let row = aggregate(
+            10,
+            "iter 1",
+            &[RatioSample {
+                delay: 0.8,
+                cost: 1.2,
+            }],
+        );
+        let table = ExperimentTable {
+            id: "tablex",
+            title: "Demo".to_owned(),
+            baseline: "MST",
+            rows: vec![(row, None)],
+        };
+        let csv = table_to_csv(&table);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("tablex,10,iter 1,1,0.8000,1.2000"));
+    }
+
+    #[test]
+    fn table_rendering_includes_paper_columns() {
+        let row = aggregate(
+            10,
+            "iter 1",
+            &[RatioSample {
+                delay: 0.8,
+                cost: 1.2,
+            }],
+        );
+        let table = ExperimentTable {
+            id: "tablex",
+            title: "Demo".to_owned(),
+            baseline: "MST",
+            rows: vec![(
+                row,
+                crate::paper::paper_row(&crate::paper::TABLE2_ITER1, 10),
+            )],
+        };
+        let text = render_table(&table);
+        assert!(text.contains("Demo"));
+        assert!(text.contains("0.80"));
+        assert!(text.contains("0.84")); // paper value
+    }
+
+    #[test]
+    fn figure_rendering_mentions_ns() {
+        let fig = FigureReport {
+            id: "figx",
+            title: "Demo fig".to_owned(),
+            delay_before: 2e-9,
+            delay_after: 1.5e-9,
+            cost_before: 1000.0,
+            cost_after: 1100.0,
+            edges_added: 1,
+            paper_delay_improvement_pct: 23.0,
+            paper_cost_penalty_pct: 9.0,
+            notes: vec!["n".to_owned()],
+        };
+        let text = render_figure(&fig);
+        assert!(text.contains("2.000 ns"));
+        assert!(text.contains("-25.0%"));
+    }
+}

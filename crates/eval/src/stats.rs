@@ -1,0 +1,131 @@
+use crate::PaperRow;
+
+/// One net's outcome relative to its baseline routing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioSample {
+    /// `delay(result) / delay(baseline)`.
+    pub delay: f64,
+    /// `cost(result) / cost(baseline)`.
+    pub cost: f64,
+}
+
+/// Relative improvement below which a net does not count as a winner
+/// (guards against simulator noise on ties).
+const WIN_EPS: f64 = 1e-3;
+
+/// One row of a paper-style statistics table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsRow {
+    /// Net size (pin count).
+    pub size: usize,
+    /// Stage label, e.g. `"iter 1"`, or empty for single-stage tables.
+    pub label: String,
+    /// Mean delay ratio over all nets.
+    pub all_delay: f64,
+    /// Mean cost ratio over all nets.
+    pub all_cost: f64,
+    /// Percentage of nets where the algorithm strictly improved delay.
+    pub percent_winners: f64,
+    /// Mean delay ratio over winners (`None` when there were none — the
+    /// paper prints "NA").
+    pub winners_delay: Option<f64>,
+    /// Mean cost ratio over winners.
+    pub winners_cost: Option<f64>,
+    /// Number of nets aggregated.
+    pub samples: usize,
+}
+
+/// Aggregates per-net ratios into a [`StatsRow`], mirroring the paper's
+/// "All Cases / Percent Winners / Winners Only" columns.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_eval::{aggregate, RatioSample};
+/// let samples = [
+///     RatioSample { delay: 0.8, cost: 1.2 },
+///     RatioSample { delay: 1.0, cost: 1.0 },
+/// ];
+/// let row = aggregate(10, "iter 1", &samples);
+/// assert_eq!(row.percent_winners, 50.0);
+/// assert_eq!(row.winners_delay, Some(0.8));
+/// assert!((row.all_delay - 0.9).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn aggregate(size: usize, label: &str, samples: &[RatioSample]) -> StatsRow {
+    let n = samples.len();
+    let mean = |f: fn(&RatioSample) -> f64, set: &[&RatioSample]| -> f64 {
+        if set.is_empty() {
+            f64::NAN
+        } else {
+            set.iter().map(|s| f(s)).sum::<f64>() / set.len() as f64
+        }
+    };
+    let all: Vec<&RatioSample> = samples.iter().collect();
+    let winners: Vec<&RatioSample> = samples.iter().filter(|s| s.delay < 1.0 - WIN_EPS).collect();
+    let percent = if n == 0 {
+        0.0
+    } else {
+        100.0 * winners.len() as f64 / n as f64
+    };
+    StatsRow {
+        size,
+        label: label.to_owned(),
+        all_delay: mean(|s| s.delay, &all),
+        all_cost: mean(|s| s.cost, &all),
+        percent_winners: percent,
+        winners_delay: (!winners.is_empty()).then(|| mean(|s| s.delay, &winners)),
+        winners_cost: (!winners.is_empty()).then(|| mean(|s| s.cost, &winners)),
+        samples: n,
+    }
+}
+
+/// A reproduced table: measured rows, each optionally paired with the
+/// paper's published row for side-by-side rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentTable {
+    /// Experiment id (`"table2"`, …).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// What the ratios are normalized to (`"MST"`, `"Steiner tree"`,
+    /// `"ERT"`).
+    pub baseline: &'static str,
+    /// Measured rows with the corresponding paper rows.
+    pub rows: Vec<(StatsRow, Option<PaperRow>)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_winners_yields_none() {
+        let samples = [RatioSample {
+            delay: 1.0,
+            cost: 1.0,
+        }; 3];
+        let row = aggregate(5, "", &samples);
+        assert_eq!(row.percent_winners, 0.0);
+        assert_eq!(row.winners_delay, None);
+        assert_eq!(row.winners_cost, None);
+        assert_eq!(row.samples, 3);
+    }
+
+    #[test]
+    fn near_ties_do_not_count_as_wins() {
+        let samples = [RatioSample {
+            delay: 0.9999,
+            cost: 1.0,
+        }];
+        let row = aggregate(5, "", &samples);
+        assert_eq!(row.percent_winners, 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_nan_but_safe() {
+        let row = aggregate(5, "", &[]);
+        assert!(row.all_delay.is_nan());
+        assert_eq!(row.percent_winners, 0.0);
+    }
+}

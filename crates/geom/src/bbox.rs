@@ -1,0 +1,125 @@
+use crate::Point;
+
+/// An axis-aligned bounding box in the Manhattan plane.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::{BoundingBox, Point};
+/// let bb = BoundingBox::of_points([Point::new(1.0, 5.0), Point::new(4.0, 2.0)]).unwrap();
+/// assert_eq!(bb.width(), 3.0);
+/// assert_eq!(bb.height(), 3.0);
+/// assert_eq!(bb.half_perimeter(), 6.0);
+/// assert!(bb.contains(Point::new(2.0, 3.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    min: Point,
+    max: Point,
+}
+
+impl BoundingBox {
+    /// Builds the box with the given opposite corners, normalizing order.
+    #[must_use]
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The tightest box containing every point of the iterator, or `None`
+    /// when the iterator is empty.
+    pub fn of_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = BoundingBox::new(first, first);
+        for p in it {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box (in place) to contain `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min = Point::new(self.min.x.min(p.x), self.min.y.min(p.y));
+        self.max = Point::new(self.max.x.max(p.x), self.max.y.max(p.y));
+    }
+
+    /// Lower-left corner.
+    #[must_use]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right corner.
+    #[must_use]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Horizontal extent.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Vertical extent.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Half the perimeter — the classical HPWL net-length estimate.
+    #[must_use]
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// True when `p` lies inside or on the border of the box.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Geometric center of the box.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_are_normalized() {
+        let bb = BoundingBox::new(Point::new(5.0, 1.0), Point::new(2.0, 7.0));
+        assert_eq!(bb.min(), Point::new(2.0, 1.0));
+        assert_eq!(bb.max(), Point::new(5.0, 7.0));
+    }
+
+    #[test]
+    fn of_points_empty_is_none() {
+        assert!(BoundingBox::of_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn expand_grows_monotonically() {
+        let mut bb = BoundingBox::new(Point::origin(), Point::origin());
+        bb.expand(Point::new(-3.0, 4.0));
+        assert_eq!(bb.width(), 3.0);
+        assert_eq!(bb.height(), 4.0);
+        assert!(bb.contains(Point::new(-1.0, 2.0)));
+        assert!(!bb.contains(Point::new(1.0, 2.0)));
+    }
+
+    #[test]
+    fn single_point_box_is_degenerate() {
+        let bb = BoundingBox::of_points([Point::new(2.0, 2.0)]).unwrap();
+        assert_eq!(bb.half_perimeter(), 0.0);
+        assert_eq!(bb.center(), Point::new(2.0, 2.0));
+        assert!(bb.contains(Point::new(2.0, 2.0)));
+    }
+}

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`Net`](crate::Net) cannot be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildNetError {
+    /// A net needs a source and at least one sink.
+    TooFewPins {
+        /// Number of pins supplied.
+        got: usize,
+    },
+    /// Two pins occupy the same location.
+    DuplicatePin {
+        /// Index of the first pin of the coincident pair.
+        first: usize,
+        /// Index of the second pin of the coincident pair.
+        second: usize,
+    },
+}
+
+impl fmt::Display for BuildNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildNetError::TooFewPins { got } => {
+                write!(f, "a net needs at least 2 pins (source + sink), got {got}")
+            }
+            BuildNetError::DuplicatePin { first, second } => {
+                write!(f, "pins {first} and {second} occupy the same location")
+            }
+        }
+    }
+}
+
+impl Error for BuildNetError {}
+
+/// Error returned when random net generation is requested with invalid
+/// parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GenerateNetError {
+    /// The requested net size is below the 2-pin minimum.
+    SizeTooSmall {
+        /// Requested number of pins.
+        got: usize,
+    },
+}
+
+impl fmt::Display for GenerateNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateNetError::SizeTooSmall { got } => {
+                write!(f, "random nets need at least 2 pins, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for GenerateNetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = BuildNetError::TooFewPins { got: 1 };
+        assert!(e.to_string().contains("at least 2"));
+        let e = BuildNetError::DuplicatePin {
+            first: 0,
+            second: 3,
+        };
+        assert!(e.to_string().contains("0"));
+        assert!(e.to_string().contains("3"));
+        let e = GenerateNetError::SizeTooSmall { got: 0 };
+        assert!(e.to_string().contains("2 pins"));
+    }
+}

@@ -1,0 +1,161 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::{BuildNetError, Net, Point};
+
+/// Errors raised while parsing the net interchange format.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseNetError {
+    /// A pin line did not contain two numbers.
+    BadPin {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The pins do not form a valid net.
+    Invalid(BuildNetError),
+}
+
+impl fmt::Display for ParseNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetError::BadPin { line } => {
+                write!(f, "line {line}: expected two coordinates")
+            }
+            ParseNetError::Invalid(e) => write!(f, "invalid net: {e}"),
+        }
+    }
+}
+
+impl Error for ParseNetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseNetError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildNetError> for ParseNetError {
+    fn from(e: BuildNetError) -> Self {
+        ParseNetError::Invalid(e)
+    }
+}
+
+/// Serializes a net in the plain-text interchange format: one `x y` pin
+/// per line (µm), source first, `#` comments allowed.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::{net_to_string, Net, Point};
+/// # fn main() -> Result<(), ntr_geom::BuildNetError> {
+/// let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(10.0, 5.0)])?;
+/// let text = net_to_string(&net);
+/// assert!(text.contains("0 0"));
+/// assert!(text.contains("10 5"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn net_to_string(net: &Net) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("# non-tree-routing net: source pin first, coordinates in um\n");
+    for p in net.pins() {
+        let _ = writeln!(out, "{} {}", p.x, p.y);
+    }
+    out
+}
+
+/// Parses a net from the plain-text interchange format (see
+/// [`net_to_string`]). Blank lines and `#` comments are skipped; the first
+/// pin is the source.
+///
+/// # Errors
+///
+/// Returns [`ParseNetError::BadPin`] for malformed lines and
+/// [`ParseNetError::Invalid`] when the pins violate net invariants
+/// (fewer than two pins, duplicates).
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::net_from_str;
+/// # fn main() -> Result<(), ntr_geom::ParseNetError> {
+/// let net = net_from_str("# a net\n0 0\n100 50\n")?;
+/// assert_eq!(net.len(), 2);
+/// assert_eq!(net.source().x, 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn net_from_str(text: &str) -> Result<Net, ParseNetError> {
+    let mut pins = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(xs), Some(ys), None) = (it.next(), it.next(), it.next()) else {
+            return Err(ParseNetError::BadPin { line: idx + 1 });
+        };
+        let (Ok(x), Ok(y)) = (xs.parse::<f64>(), ys.parse::<f64>()) else {
+            return Err(ParseNetError::BadPin { line: idx + 1 });
+        };
+        if !(x.is_finite() && y.is_finite()) {
+            return Err(ParseNetError::BadPin { line: idx + 1 });
+        }
+        pins.push(Point::new(x, y));
+    }
+    Ok(Net::from_points(pins)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_the_net() {
+        let net = Net::new(
+            Point::new(1.5, 2.0),
+            vec![Point::new(100.0, 0.0), Point::new(0.0, 250.5)],
+        )
+        .unwrap();
+        let parsed = net_from_str(&net_to_string(&net)).unwrap();
+        assert_eq!(parsed, net);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let net = net_from_str("\n# header\n0 0  # source\n\n5 5\n").unwrap();
+        assert_eq!(net.len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        assert_eq!(
+            net_from_str("0 0\noops\n").unwrap_err(),
+            ParseNetError::BadPin { line: 2 }
+        );
+        assert_eq!(
+            net_from_str("0 0\n1 2 3\n").unwrap_err(),
+            ParseNetError::BadPin { line: 2 }
+        );
+        assert_eq!(
+            net_from_str("0 0\nnan 1\n").unwrap_err(),
+            ParseNetError::BadPin { line: 2 }
+        );
+    }
+
+    #[test]
+    fn net_invariants_are_enforced() {
+        assert!(matches!(
+            net_from_str("0 0\n"),
+            Err(ParseNetError::Invalid(_))
+        ));
+        assert!(matches!(
+            net_from_str("0 0\n0 0\n"),
+            Err(ParseNetError::Invalid(_))
+        ));
+    }
+}

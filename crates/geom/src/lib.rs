@@ -1,0 +1,61 @@
+//! Manhattan-plane geometry for VLSI routing.
+//!
+//! This crate provides the geometric substrate of the non-tree routing
+//! reproduction: points in the Manhattan (rectilinear) plane, signal nets
+//! with a designated source pin, bounding boxes, and a deterministic random
+//! net generator matching the benchmark methodology of McCoy & Robins
+//! (*Non-Tree Routing*, DATE 1994): pin locations drawn uniformly from a
+//! square layout region.
+//!
+//! All coordinates are in **micrometers** (µm); the paper's layout region is
+//! 10 mm × 10 mm (`10^2 mm^2` in its Table 1), i.e. 10 000 µm on a side.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntr_geom::{Layout, NetGenerator, Point};
+//!
+//! let p = Point::new(0.0, 0.0);
+//! let q = Point::new(30.0, 40.0);
+//! assert_eq!(p.manhattan(q), 70.0);
+//!
+//! let mut gen = NetGenerator::new(Layout::date94(), 42);
+//! let net = gen.random_net(10).expect("valid size");
+//! assert_eq!(net.len(), 10);
+//! assert_eq!(net.sink_count(), 9);
+//! ```
+
+mod bbox;
+mod error;
+mod io;
+mod net;
+mod netlist;
+mod point;
+mod random;
+
+pub use bbox::BoundingBox;
+pub use error::{BuildNetError, GenerateNetError};
+pub use io::{net_from_str, net_to_string, ParseNetError};
+pub use net::Net;
+pub use netlist::{Netlist, ParseNetlistError};
+pub use point::Point;
+pub use random::{Layout, NetGenerator};
+
+/// Half-perimeter wirelength (HPWL) of a set of points, a classical lower
+/// bound on the wirelength of any routing that spans them.
+///
+/// Returns `0.0` for fewer than two points.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::{hpwl, Point};
+/// let pts = [Point::new(0.0, 0.0), Point::new(3.0, 4.0), Point::new(1.0, 1.0)];
+/// assert_eq!(hpwl(&pts), 7.0);
+/// ```
+pub fn hpwl(points: &[Point]) -> f64 {
+    match BoundingBox::of_points(points.iter().copied()) {
+        Some(bb) if points.len() >= 2 => bb.half_perimeter(),
+        _ => 0.0,
+    }
+}

@@ -1,0 +1,189 @@
+use crate::{BoundingBox, BuildNetError, Point};
+
+/// A signal net: a source pin and one or more sink pins in the Manhattan
+/// plane.
+///
+/// Following the paper's formulation, a net is `N = {n_0, n_1, ..., n_k}`
+/// where `n_0` is the **source** (signal origin) and `n_1..n_k` are the
+/// **sinks**. Pin 0 is always the source.
+///
+/// Invariants: at least two pins; no two pins coincide (coincident pins
+/// would create zero-length edges and degenerate circuit nodes).
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::{Net, Point};
+/// # fn main() -> Result<(), ntr_geom::BuildNetError> {
+/// let net = Net::new(
+///     Point::new(0.0, 0.0),
+///     vec![Point::new(100.0, 0.0), Point::new(0.0, 250.0)],
+/// )?;
+/// assert_eq!(net.sink_count(), 2);
+/// assert_eq!(net.source(), Point::new(0.0, 0.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    pins: Vec<Point>,
+}
+
+impl Net {
+    /// Builds a net from a source pin and sink pins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildNetError::TooFewPins`] when `sinks` is empty, or
+    /// [`BuildNetError::DuplicatePin`] when any two pins coincide.
+    pub fn new(source: Point, sinks: Vec<Point>) -> Result<Self, BuildNetError> {
+        let mut pins = Vec::with_capacity(sinks.len() + 1);
+        pins.push(source);
+        pins.extend(sinks);
+        Self::from_points(pins)
+    }
+
+    /// Builds a net from a pin list whose first element is the source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildNetError::TooFewPins`] for fewer than two pins, or
+    /// [`BuildNetError::DuplicatePin`] when two pins coincide.
+    pub fn from_points(pins: Vec<Point>) -> Result<Self, BuildNetError> {
+        if pins.len() < 2 {
+            return Err(BuildNetError::TooFewPins { got: pins.len() });
+        }
+        for i in 0..pins.len() {
+            for j in (i + 1)..pins.len() {
+                if pins[i] == pins[j] {
+                    return Err(BuildNetError::DuplicatePin {
+                        first: i,
+                        second: j,
+                    });
+                }
+            }
+        }
+        Ok(Self { pins })
+    }
+
+    /// Number of pins (source + sinks). The paper calls a net of `k+1` pins
+    /// a "net of size k+1"; its benchmark sizes {5, 10, 20, 30} count all
+    /// pins including the source.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// A net is never empty; provided for API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The source pin `n_0`.
+    #[must_use]
+    pub fn source(&self) -> Point {
+        self.pins[0]
+    }
+
+    /// Number of sink pins (`k`).
+    #[must_use]
+    pub fn sink_count(&self) -> usize {
+        self.pins.len() - 1
+    }
+
+    /// All pins, source first.
+    #[must_use]
+    pub fn pins(&self) -> &[Point] {
+        &self.pins
+    }
+
+    /// The sink pins `n_1..n_k`.
+    #[must_use]
+    pub fn sinks(&self) -> &[Point] {
+        &self.pins[1..]
+    }
+
+    /// Iterator over all pins, source first.
+    pub fn iter(&self) -> std::slice::Iter<'_, Point> {
+        self.pins.iter()
+    }
+
+    /// The bounding box of all pins.
+    #[must_use]
+    pub fn bounding_box(&self) -> BoundingBox {
+        BoundingBox::of_points(self.pins.iter().copied())
+            .expect("net invariant guarantees at least two pins")
+    }
+
+    /// Half-perimeter wirelength of the net's bounding box, a lower bound on
+    /// the cost of any spanning routing.
+    #[must_use]
+    pub fn hpwl(&self) -> f64 {
+        self.bounding_box().half_perimeter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Net {
+    type Item = &'a Point;
+    type IntoIter = std::slice::Iter<'a, Point>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.pins.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Net {
+        Net::from_points(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 20.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let net = sample();
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.sink_count(), 2);
+        assert_eq!(net.source(), Point::new(0.0, 0.0));
+        assert_eq!(net.sinks().len(), 2);
+        assert_eq!(net.iter().count(), 3);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn one_pin_is_rejected() {
+        let err = Net::from_points(vec![Point::origin()]).unwrap_err();
+        assert_eq!(err, BuildNetError::TooFewPins { got: 1 });
+    }
+
+    #[test]
+    fn duplicate_pins_are_rejected() {
+        let err = Net::from_points(vec![
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 1.0),
+        ])
+        .unwrap_err();
+        assert_eq!(
+            err,
+            BuildNetError::DuplicatePin {
+                first: 0,
+                second: 2
+            }
+        );
+    }
+
+    #[test]
+    fn hpwl_matches_bbox() {
+        let net = sample();
+        assert_eq!(net.hpwl(), 30.0);
+        assert_eq!(net.bounding_box().width(), 10.0);
+    }
+}

@@ -1,0 +1,249 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::io::ParseNetError;
+use crate::{net_from_str, net_to_string, Net};
+
+/// A named collection of signal nets — the unit a timing-driven layout
+/// flow routes, one net at a time.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::{Net, Netlist, Point};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut netlist = Netlist::new();
+/// netlist.push("clk", Net::new(Point::new(0.0, 0.0), vec![Point::new(10.0, 0.0)])?);
+/// assert_eq!(netlist.len(), 1);
+/// assert_eq!(netlist.iter().next().unwrap().0, "clk");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Netlist {
+    nets: Vec<(String, Net)>,
+}
+
+/// Errors raised while parsing a netlist file.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseNetlistError {
+    /// A net body failed to parse.
+    Net {
+        /// The net's name.
+        name: String,
+        /// The underlying error.
+        source: ParseNetError,
+    },
+    /// Pin lines appeared before any `net` header.
+    PinsBeforeHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Two nets share a name.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetlistError::Net { name, source } => write!(f, "net {name:?}: {source}"),
+            ParseNetlistError::PinsBeforeHeader { line } => {
+                write!(f, "line {line}: pin before any 'net NAME' header")
+            }
+            ParseNetlistError::DuplicateName { name } => {
+                write!(f, "duplicate net name {name:?}")
+            }
+        }
+    }
+}
+
+impl Error for ParseNetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseNetlistError::Net { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// True when no nets have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Appends a named net.
+    pub fn push(&mut self, name: impl Into<String>, net: Net) {
+        self.nets.push((name.into(), net));
+    }
+
+    /// Iterator over `(name, net)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Net)> {
+        self.nets.iter().map(|(name, net)| (name.as_str(), net))
+    }
+
+    /// Looks up a net by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Net> {
+        self.nets
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, net)| net)
+    }
+
+    /// Serializes in the netlist interchange format: `net NAME` headers
+    /// followed by one `x y` pin per line.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("# non-tree-routing netlist\n");
+        for (name, net) in &self.nets {
+            let _ = writeln!(out, "net {name}");
+            // Reuse the single-net serializer, dropping its header comment.
+            for line in net_to_string(net).lines().skip(1) {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        out
+    }
+
+    /// Parses the netlist interchange format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNetlistError`] for structural problems or invalid
+    /// nets.
+    pub fn from_text(text: &str) -> Result<Self, ParseNetlistError> {
+        let mut netlist = Netlist::new();
+        let mut current: Option<(String, String)> = None; // (name, pin lines)
+        let flush = |current: &mut Option<(String, String)>,
+                     netlist: &mut Netlist|
+         -> Result<(), ParseNetlistError> {
+            if let Some((name, body)) = current.take() {
+                if netlist.get(&name).is_some() {
+                    return Err(ParseNetlistError::DuplicateName { name });
+                }
+                let net = net_from_str(&body).map_err(|source| ParseNetlistError::Net {
+                    name: name.clone(),
+                    source,
+                })?;
+                netlist.push(name, net);
+            }
+            Ok(())
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("net ") {
+                flush(&mut current, &mut netlist)?;
+                current = Some((name.trim().to_owned(), String::new()));
+            } else {
+                match &mut current {
+                    None => return Err(ParseNetlistError::PinsBeforeHeader { line: idx + 1 }),
+                    Some((_, body)) => {
+                        body.push_str(line);
+                        body.push('\n');
+                    }
+                }
+            }
+        }
+        flush(&mut current, &mut netlist)?;
+        Ok(netlist)
+    }
+}
+
+impl FromIterator<(String, Net)> for Netlist {
+    fn from_iter<I: IntoIterator<Item = (String, Net)>>(iter: I) -> Self {
+        Self {
+            nets: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new();
+        nl.push(
+            "clk",
+            Net::new(Point::new(0.0, 0.0), vec![Point::new(10.0, 5.0)]).unwrap(),
+        );
+        nl.push(
+            "data",
+            Net::new(
+                Point::new(5.0, 5.0),
+                vec![Point::new(1.0, 2.0), Point::new(7.0, 9.0)],
+            )
+            .unwrap(),
+        );
+        nl
+    }
+
+    #[test]
+    fn round_trip_preserves_names_and_nets() {
+        let nl = sample();
+        let parsed = Netlist::from_text(&nl.to_text()).unwrap();
+        assert_eq!(parsed, nl);
+        assert_eq!(parsed.get("data").unwrap().sink_count(), 2);
+        assert!(parsed.get("missing").is_none());
+    }
+
+    #[test]
+    fn pins_before_header_are_rejected() {
+        assert_eq!(
+            Netlist::from_text("0 0\n").unwrap_err(),
+            ParseNetlistError::PinsBeforeHeader { line: 1 }
+        );
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let text = "net a\n0 0\n1 1\nnet a\n0 0\n2 2\n";
+        assert_eq!(
+            Netlist::from_text(text).unwrap_err(),
+            ParseNetlistError::DuplicateName {
+                name: "a".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_net_body_names_the_net() {
+        let text = "net broken\n0 0\n";
+        assert!(matches!(
+            Netlist::from_text(text).unwrap_err(),
+            ParseNetlistError::Net { name, .. } if name == "broken"
+        ));
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let nl: Netlist = sample()
+            .iter()
+            .map(|(n, net)| (n.to_owned(), net.clone()))
+            .collect();
+        assert_eq!(nl.len(), 2);
+    }
+}

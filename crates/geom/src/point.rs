@@ -1,0 +1,146 @@
+use std::fmt;
+
+/// A point in the Manhattan plane, in micrometers.
+///
+/// Coordinates are finite `f64` values; constructors in this crate never
+/// produce NaN or infinite coordinates, and [`Point::new`] panics on them so
+/// the invariant holds throughout the routing stack.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::Point;
+/// let a = Point::new(1.0, 2.0);
+/// let b = Point::new(4.0, 6.0);
+/// assert_eq!(a.manhattan(b), 7.0);
+/// assert_eq!(a.euclidean(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate in µm.
+    pub x: f64,
+    /// Vertical coordinate in µm.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from finite coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is NaN or infinite.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        assert!(
+            x.is_finite() && y.is_finite(),
+            "point coordinates must be finite, got ({x}, {y})"
+        );
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[must_use]
+    pub fn origin() -> Self {
+        Self { x: 0.0, y: 0.0 }
+    }
+
+    /// Manhattan (rectilinear, L1) distance to `other`, the edge-cost metric
+    /// of the paper's routing graphs.
+    #[must_use]
+    pub fn manhattan(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean (L2) distance to `other`.
+    #[must_use]
+    pub fn euclidean(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Chebyshev (L∞) distance to `other`.
+    #[must_use]
+    pub fn chebyshev(self, other: Point) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// True when both coordinate differences are within `tol`.
+    #[must_use]
+    pub fn approx_eq(self, other: Point, tol: f64) -> bool {
+        (self.x - other.x).abs() <= tol && (self.y - other.y).abs() <= tol
+    }
+
+    /// The component-wise midpoint of `self` and `other`.
+    #[must_use]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point {
+            x: 0.5 * (self.x + other.x),
+            y: 0.5 * (self.y + other.y),
+        }
+    }
+}
+
+impl Default for Point {
+    fn default() -> Self {
+        Self::origin()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(3.0, -2.0);
+        let b = Point::new(-1.0, 5.0);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0.0);
+        assert_eq!(a.manhattan(b), 11.0);
+    }
+
+    #[test]
+    fn euclidean_never_exceeds_manhattan() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(7.0, 24.0);
+        assert!(a.euclidean(b) <= a.manhattan(b));
+        assert_eq!(a.euclidean(b), 25.0);
+    }
+
+    #[test]
+    fn chebyshev_is_the_smallest_of_the_three() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 9.0);
+        assert!(a.chebyshev(b) <= a.euclidean(b));
+        assert_eq!(a.chebyshev(b), 8.0);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let m = Point::new(0.0, 0.0).midpoint(Point::new(4.0, 8.0));
+        assert_eq!(m, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_coordinates_are_rejected() {
+        let _ = Point::new(f64::NAN, 0.0);
+    }
+
+    #[test]
+    fn display_and_from_tuple() {
+        let p: Point = (1.5, 2.5).into();
+        assert_eq!(p.to_string(), "(1.5, 2.5)");
+    }
+}

@@ -1,0 +1,208 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{GenerateNetError, Net, Point};
+
+/// A rectangular layout region, in micrometers.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::Layout;
+/// let layout = Layout::date94();
+/// assert_eq!(layout.width_um(), 10_000.0);
+/// assert_eq!(layout.area_mm2(), 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Layout {
+    width_um: f64,
+    height_um: f64,
+}
+
+impl Layout {
+    /// Creates a layout region of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is not strictly positive and finite.
+    #[must_use]
+    pub fn new(width_um: f64, height_um: f64) -> Self {
+        assert!(
+            width_um.is_finite() && width_um > 0.0 && height_um.is_finite() && height_um > 0.0,
+            "layout dimensions must be positive and finite"
+        );
+        Self {
+            width_um,
+            height_um,
+        }
+    }
+
+    /// The paper's layout region: a square of area 10² mm² (Table 1), i.e.
+    /// 10 mm × 10 mm.
+    #[must_use]
+    pub fn date94() -> Self {
+        Self::new(10_000.0, 10_000.0)
+    }
+
+    /// Width in µm.
+    #[must_use]
+    pub fn width_um(&self) -> f64 {
+        self.width_um
+    }
+
+    /// Height in µm.
+    #[must_use]
+    pub fn height_um(&self) -> f64 {
+        self.height_um
+    }
+
+    /// Area in mm².
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        self.width_um * self.height_um / 1.0e6
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self::date94()
+    }
+}
+
+/// Deterministic generator of random benchmark nets.
+///
+/// Pin locations are drawn independently from a uniform distribution over
+/// the layout region, the methodology of the paper's Section 4 ("pin
+/// locations were randomly chosen from a uniform distribution in a square
+/// layout region"). Coordinates are snapped to a 1 µm grid so that
+/// coincident-pin rejection and Hanan-grid construction are exact; draws
+/// that would duplicate an existing pin are redrawn.
+///
+/// The generator is seeded, so experiment tables are exactly reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::{Layout, NetGenerator};
+/// let mut a = NetGenerator::new(Layout::date94(), 7);
+/// let mut b = NetGenerator::new(Layout::date94(), 7);
+/// assert_eq!(a.random_net(5).unwrap(), b.random_net(5).unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetGenerator {
+    layout: Layout,
+    rng: StdRng,
+}
+
+impl NetGenerator {
+    /// Creates a generator over `layout` with the given seed.
+    #[must_use]
+    pub fn new(layout: Layout, seed: u64) -> Self {
+        Self {
+            layout,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The layout region nets are drawn from.
+    #[must_use]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Draws one uniformly distributed grid point.
+    fn random_point(&mut self) -> Point {
+        let x = self.rng.gen_range(0.0..=self.layout.width_um).round();
+        let y = self.rng.gen_range(0.0..=self.layout.height_um).round();
+        Point::new(x, y)
+    }
+
+    /// Generates a random net with `size` pins (source + `size - 1` sinks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateNetError::SizeTooSmall`] when `size < 2`.
+    pub fn random_net(&mut self, size: usize) -> Result<Net, GenerateNetError> {
+        if size < 2 {
+            return Err(GenerateNetError::SizeTooSmall { got: size });
+        }
+        let mut pins: Vec<Point> = Vec::with_capacity(size);
+        while pins.len() < size {
+            let p = self.random_point();
+            if !pins.contains(&p) {
+                pins.push(p);
+            }
+        }
+        Ok(Net::from_points(pins).expect("generator guarantees net invariants"))
+    }
+
+    /// Generates a batch of `count` random nets of the same size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateNetError::SizeTooSmall`] when `size < 2`.
+    pub fn random_nets(&mut self, size: usize, count: usize) -> Result<Vec<Net>, GenerateNetError> {
+        (0..count).map(|_| self.random_net(size)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_stay_inside_layout() {
+        let layout = Layout::new(100.0, 50.0);
+        let mut gen = NetGenerator::new(layout, 1);
+        for _ in 0..20 {
+            let net = gen.random_net(8).unwrap();
+            for p in &net {
+                assert!(p.x >= 0.0 && p.x <= 100.0);
+                assert!(p.y >= 0.0 && p.y <= 50.0);
+            }
+        }
+    }
+
+    #[test]
+    fn coordinates_are_grid_snapped() {
+        let mut gen = NetGenerator::new(Layout::date94(), 3);
+        let net = gen.random_net(10).unwrap();
+        for p in &net {
+            assert_eq!(p.x, p.x.round());
+            assert_eq!(p.y, p.y.round());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_nets_different_seed_different_nets() {
+        let mut a = NetGenerator::new(Layout::date94(), 11);
+        let mut b = NetGenerator::new(Layout::date94(), 11);
+        let mut c = NetGenerator::new(Layout::date94(), 12);
+        let na = a.random_net(20).unwrap();
+        assert_eq!(na, b.random_net(20).unwrap());
+        assert_ne!(na, c.random_net(20).unwrap());
+    }
+
+    #[test]
+    fn size_below_two_is_an_error() {
+        let mut gen = NetGenerator::new(Layout::date94(), 0);
+        assert_eq!(
+            gen.random_net(1).unwrap_err(),
+            GenerateNetError::SizeTooSmall { got: 1 }
+        );
+    }
+
+    #[test]
+    fn batch_generation_produces_distinct_nets() {
+        let mut gen = NetGenerator::new(Layout::date94(), 5);
+        let nets = gen.random_nets(10, 4).unwrap();
+        assert_eq!(nets.len(), 4);
+        assert_ne!(nets[0], nets[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sized_layout_is_rejected() {
+        let _ = Layout::new(0.0, 10.0);
+    }
+}

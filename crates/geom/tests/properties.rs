@@ -1,0 +1,59 @@
+//! Property-based tests for the geometry substrate.
+
+use ntr_geom::{hpwl, BoundingBox, Layout, Net, NetGenerator, Point};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1.0e6..1.0e6f64, -1.0e6..1.0e6f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// Manhattan distance is a metric: non-negative, symmetric, triangular.
+    #[test]
+    fn manhattan_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.manhattan(b) >= 0.0);
+        prop_assert!((a.manhattan(b) - b.manhattan(a)).abs() < 1e-9);
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c) + 1e-6);
+    }
+
+    /// The three norms are ordered: Chebyshev <= Euclidean <= Manhattan.
+    #[test]
+    fn norms_are_ordered(a in arb_point(), b in arb_point()) {
+        let tol = 1e-9 * (1.0 + a.manhattan(b));
+        prop_assert!(a.chebyshev(b) <= a.euclidean(b) + tol);
+        prop_assert!(a.euclidean(b) <= a.manhattan(b) + tol);
+    }
+
+    /// A bounding box contains every point it was built from.
+    #[test]
+    fn bbox_contains_inputs(pts in proptest::collection::vec(arb_point(), 1..40)) {
+        let bb = BoundingBox::of_points(pts.iter().copied()).unwrap();
+        for p in &pts {
+            prop_assert!(bb.contains(*p));
+        }
+        prop_assert!(bb.half_perimeter() >= 0.0);
+    }
+
+    /// HPWL lower-bounds the length of any spanning path over the points.
+    #[test]
+    fn hpwl_lower_bounds_chain_length(pts in proptest::collection::vec(arb_point(), 2..20)) {
+        let chain: f64 = pts.windows(2).map(|w| w[0].manhattan(w[1])).sum();
+        prop_assert!(hpwl(&pts) <= chain + 1e-6);
+    }
+
+    /// Random nets respect their requested size and layout bounds.
+    #[test]
+    fn random_nets_are_well_formed(seed in 0u64..1_000, size in 2usize..40) {
+        let layout = Layout::date94();
+        let mut gen = NetGenerator::new(layout, seed);
+        let net = gen.random_net(size).unwrap();
+        prop_assert_eq!(net.len(), size);
+        for p in &net {
+            prop_assert!(p.x >= 0.0 && p.x <= layout.width_um());
+            prop_assert!(p.y >= 0.0 && p.y <= layout.height_um());
+        }
+        // Round-trip through from_points preserves the net.
+        let rebuilt = Net::from_points(net.pins().to_vec()).unwrap();
+        prop_assert_eq!(rebuilt, net);
+    }
+}

@@ -1,0 +1,118 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{GraphError, NodeId, RoutingGraph};
+
+/// Entry in the Dijkstra priority queue, ordered by smallest distance.
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want the min distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.index().cmp(&self.node.index()))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest-path distances (by wirelength) from `from` to every node of the
+/// graph, `f64::INFINITY` for unreachable nodes.
+///
+/// Works on arbitrary routing graphs, including cyclic ones; in a tree the
+/// distance to a node is exactly the paper's "pathlength".
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfRange`] when `from` is not a node of the
+/// graph.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::{Net, Point};
+/// use ntr_graph::{prim_mst, shortest_path_lengths};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(5.0, 0.0), Point::new(5.0, 5.0)])?;
+/// let mst = prim_mst(&net);
+/// let dist = shortest_path_lengths(&mst, mst.source())?;
+/// assert_eq!(dist[2], 10.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn shortest_path_lengths(graph: &RoutingGraph, from: NodeId) -> Result<Vec<f64>, GraphError> {
+    graph.point(from)?;
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[from.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: from,
+    });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for &(v, e) in graph.neighbors(u)? {
+            let nd = d + graph.edge(e)?.length();
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntr_geom::{Net, Point};
+
+    #[test]
+    fn shortcut_edge_shortens_distance() {
+        let net = Net::new(
+            Point::new(0.0, 0.0),
+            vec![Point::new(10.0, 0.0), Point::new(10.0, 10.0)],
+        )
+        .unwrap();
+        let mut g = crate::prim_mst(&net);
+        let far = NodeId(2);
+        let chained = shortest_path_lengths(&g, g.source()).unwrap()[2];
+        assert_eq!(chained, 20.0);
+        g.add_edge(g.source(), far).unwrap();
+        let direct = shortest_path_lengths(&g, g.source()).unwrap()[2];
+        assert_eq!(direct, 20.0); // Manhattan direct == chained here
+        assert!(direct <= chained);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(1.0, 0.0)]).unwrap();
+        let g = crate::RoutingGraph::from_net(&net);
+        let dist = shortest_path_lengths(&g, g.source()).unwrap();
+        assert_eq!(dist[0], 0.0);
+        assert!(dist[1].is_infinite());
+    }
+
+    #[test]
+    fn foreign_source_is_an_error() {
+        let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(1.0, 0.0)]).unwrap();
+        let g = crate::RoutingGraph::from_net(&net);
+        assert!(shortest_path_lengths(&g, NodeId(7)).is_err());
+    }
+}

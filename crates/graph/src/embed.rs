@@ -1,0 +1,125 @@
+use ntr_geom::Point;
+
+use crate::{NodeId, RoutingGraph};
+
+/// Which corner an L-shaped wire bends through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BendStyle {
+    /// Horizontal first from the lower-indexed endpoint, then vertical.
+    #[default]
+    HorizontalFirst,
+    /// Vertical first from the lower-indexed endpoint, then horizontal.
+    VerticalFirst,
+}
+
+/// Produces a **rectilinear embedding** of a routing graph: every edge
+/// whose endpoints differ in both coordinates is replaced by two
+/// axis-parallel segments joined at a bend (a zero-capacitance Steiner
+/// node).
+///
+/// Total wirelength is exactly preserved (the L has the same Manhattan
+/// length), and so are all Elmore delays — the RPH formula is invariant
+/// under splitting a uniform wire at a loadless junction (see the
+/// `ntr-elmore` tests). Edge widths carry over to both halves.
+///
+/// The embedded graph is what a detailed router or a GDS writer would
+/// consume; it is also closer to the wire shapes the paper's figures draw.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::{Net, Point};
+/// use ntr_graph::{embed_rectilinear, prim_mst, BendStyle};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(30.0, 40.0)])?;
+/// let mst = prim_mst(&net);
+/// let embedded = embed_rectilinear(&mst, BendStyle::HorizontalFirst);
+/// assert_eq!(embedded.node_count(), 3); // bend inserted
+/// assert_eq!(embedded.total_cost(), mst.total_cost());
+/// // All remaining edges are axis-parallel.
+/// for (_, e) in embedded.edges() {
+///     let a = embedded.point(e.a())?;
+///     let b = embedded.point(e.b())?;
+///     assert!(a.x == b.x || a.y == b.y);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn embed_rectilinear(graph: &RoutingGraph, style: BendStyle) -> RoutingGraph {
+    let mut out = graph.without_edges();
+    let point_of = |n: NodeId| graph.point(n).expect("iterating source graph nodes");
+    for (_, edge) in graph.edges() {
+        let (a, b) = (edge.a(), edge.b());
+        let (pa, pb) = (point_of(a), point_of(b));
+        if pa.x == pb.x || pa.y == pb.y {
+            out.add_edge_with_width(a, b, edge.width())
+                .expect("nodes copied verbatim");
+            continue;
+        }
+        let corner = match style {
+            BendStyle::HorizontalFirst => Point::new(pb.x, pa.y),
+            BendStyle::VerticalFirst => Point::new(pa.x, pb.y),
+        };
+        let bend = out.add_steiner(corner);
+        out.add_edge_with_width(a, bend, edge.width())
+            .expect("nodes exist");
+        out.add_edge_with_width(bend, b, edge.width())
+            .expect("nodes exist");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prim_mst;
+    use ntr_geom::{Layout, Net, NetGenerator};
+
+    #[test]
+    fn axis_parallel_edges_pass_through_unchanged() {
+        let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(10.0, 0.0)]).unwrap();
+        let mst = prim_mst(&net);
+        let embedded = embed_rectilinear(&mst, BendStyle::default());
+        assert_eq!(embedded.node_count(), 2);
+        assert_eq!(embedded.edge_count(), 1);
+    }
+
+    #[test]
+    fn bend_styles_choose_opposite_corners() {
+        let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(10.0, 20.0)]).unwrap();
+        let mst = prim_mst(&net);
+        let h = embed_rectilinear(&mst, BendStyle::HorizontalFirst);
+        let v = embed_rectilinear(&mst, BendStyle::VerticalFirst);
+        let corner = |g: &RoutingGraph| {
+            g.node_ids()
+                .find(|&n| g.kind(n).unwrap() == crate::NodeKind::Steiner)
+                .map(|n| g.point(n).unwrap())
+                .unwrap()
+        };
+        assert_eq!(corner(&h), Point::new(10.0, 0.0));
+        assert_eq!(corner(&v), Point::new(0.0, 20.0));
+    }
+
+    #[test]
+    fn embedding_preserves_cost_connectivity_and_widths() {
+        let net = NetGenerator::new(Layout::date94(), 42)
+            .random_net(12)
+            .unwrap();
+        let mut g = prim_mst(&net);
+        let far = g.node_ids().last().unwrap();
+        if !g.has_edge(g.source(), far) {
+            let e = g.add_edge(g.source(), far).unwrap();
+            g.set_width(e, 2.0).unwrap();
+        }
+        let embedded = embed_rectilinear(&g, BendStyle::default());
+        assert!((embedded.total_cost() - g.total_cost()).abs() < 1e-9);
+        assert!((embedded.total_wire_area() - g.total_wire_area()).abs() < 1e-9);
+        assert!(embedded.is_connected());
+        for (_, e) in embedded.edges() {
+            let a = embedded.point(e.a()).unwrap();
+            let b = embedded.point(e.b()).unwrap();
+            assert!(a.x == b.x || a.y == b.y, "edge not axis-parallel");
+        }
+    }
+}

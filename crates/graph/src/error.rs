@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::{EdgeId, NodeId};
+
+/// Errors raised by [`RoutingGraph`](crate::RoutingGraph) mutations and
+/// queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id does not refer to a node of this graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// Self-loop edges are not meaningful in a routing.
+    SelfLoop {
+        /// The node the edge would loop on.
+        node: NodeId,
+    },
+    /// An edge id does not refer to an edge of this graph.
+    EdgeOutOfRange {
+        /// The offending edge id.
+        edge: EdgeId,
+        /// Number of edge slots in the graph.
+        len: usize,
+    },
+    /// The edge was already removed.
+    EdgeRemoved {
+        /// The offending edge id.
+        edge: EdgeId,
+    },
+    /// Edge widths must be strictly positive.
+    InvalidWidth {
+        /// The rejected width value.
+        width: f64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node:?} out of range for graph with {len} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node:?} is not a valid routing edge")
+            }
+            GraphError::EdgeOutOfRange { edge, len } => {
+                write!(
+                    f,
+                    "edge {edge:?} out of range for graph with {len} edge slots"
+                )
+            }
+            GraphError::EdgeRemoved { edge } => write!(f, "edge {edge:?} was already removed"),
+            GraphError::InvalidWidth { width } => {
+                write!(f, "edge width must be positive and finite, got {width}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Error returned when a [`TreeView`](crate::TreeView) is requested for a
+/// graph that is not a spanning tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NotATreeError {
+    /// The graph is not connected.
+    Disconnected {
+        /// Number of nodes reachable from the source.
+        reachable: usize,
+        /// Total number of nodes.
+        total: usize,
+    },
+    /// The graph has more edges than a tree allows (it contains a cycle).
+    HasCycle {
+        /// Number of live edges.
+        edges: usize,
+        /// Number of nodes.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for NotATreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NotATreeError::Disconnected { reachable, total } => write!(
+                f,
+                "graph is disconnected: {reachable} of {total} nodes reachable from source"
+            ),
+            NotATreeError::HasCycle { edges, nodes } => write!(
+                f,
+                "graph has {edges} edges over {nodes} nodes and therefore contains a cycle"
+            ),
+        }
+    }
+}
+
+impl Error for NotATreeError {}

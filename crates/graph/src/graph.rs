@@ -1,0 +1,603 @@
+use ntr_geom::{Net, Point};
+
+use crate::GraphError;
+
+/// Identifier of a node in a [`RoutingGraph`].
+///
+/// Node 0 is always the net's source pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of an edge in a [`RoutingGraph`].
+///
+/// Edge ids are stable across removals (removed edges leave a tombstone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) usize);
+
+impl EdgeId {
+    /// The dense index of this edge slot.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a routing-graph node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A pin of the signal net; `pin` is the index into the net's pin list
+    /// (0 = source).
+    Pin {
+        /// Index into [`Net::pins`](ntr_geom::Net::pins).
+        pin: usize,
+    },
+    /// A Steiner (via) node introduced by a Steiner-tree or SERT algorithm.
+    Steiner,
+}
+
+impl NodeKind {
+    /// True for pin nodes.
+    #[must_use]
+    pub fn is_pin(self) -> bool {
+        matches!(self, NodeKind::Pin { .. })
+    }
+}
+
+/// A wire between two nodes.
+///
+/// The `length` is the Manhattan distance between the endpoints (the
+/// paper's edge cost `d_ij`); `width` is a multiplier on the nominal wire
+/// width, used by the wire-sized (WSORG) extension. Width scales electrical
+/// properties — resistance as `1/width`, capacitance as `width` — but not
+/// the routing cost reported by [`RoutingGraph::total_cost`], which follows
+/// the paper in counting wirelength. Use
+/// [`RoutingGraph::total_wire_area`] for a width-weighted cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    a: NodeId,
+    b: NodeId,
+    length: f64,
+    width: f64,
+}
+
+impl Edge {
+    /// First endpoint.
+    #[must_use]
+    pub fn a(&self) -> NodeId {
+        self.a
+    }
+
+    /// Second endpoint.
+    #[must_use]
+    pub fn b(&self) -> NodeId {
+        self.b
+    }
+
+    /// Manhattan length in µm.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Width multiplier (1.0 = nominal).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The endpoint opposite to `n`, or `None` when `n` is not an endpoint.
+    #[must_use]
+    pub fn other(&self, n: NodeId) -> Option<NodeId> {
+        if n == self.a {
+            Some(self.b)
+        } else if n == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// A routing topology over a signal net: the graph `G = (N, E)` of the
+/// Optimal Routing Graph (ORG) problem.
+///
+/// Nodes are net pins (node 0 = source) plus optional Steiner nodes; edges
+/// carry Manhattan length and a width multiplier. Cycles are allowed —
+/// that is the premise of non-tree routing.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::{Net, Point};
+/// use ntr_graph::RoutingGraph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(10.0, 0.0)])?;
+/// let mut g = RoutingGraph::from_net(&net);
+/// let (s, t) = (g.source(), g.node_ids().nth(1).unwrap());
+/// let e = g.add_edge(s, t)?;
+/// assert_eq!(g.edge(e)?.length(), 10.0);
+/// assert!(g.is_tree());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingGraph {
+    points: Vec<Point>,
+    kinds: Vec<NodeKind>,
+    edges: Vec<Option<Edge>>,
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    live_edges: usize,
+    pin_count: usize,
+}
+
+impl RoutingGraph {
+    /// Creates an edgeless routing graph whose nodes are the pins of `net`
+    /// (node `i` = pin `i`, so node 0 is the source).
+    #[must_use]
+    pub fn from_net(net: &Net) -> Self {
+        let points: Vec<Point> = net.pins().to_vec();
+        let kinds = (0..points.len()).map(|pin| NodeKind::Pin { pin }).collect();
+        let n = points.len();
+        Self {
+            points,
+            kinds,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            live_edges: 0,
+            pin_count: n,
+        }
+    }
+
+    /// A copy of this graph with the same nodes (pins and Steiner points)
+    /// but no edges — the blank slate for exhaustive-topology searches.
+    #[must_use]
+    pub fn without_edges(&self) -> Self {
+        Self {
+            points: self.points.clone(),
+            kinds: self.kinds.clone(),
+            edges: Vec::new(),
+            adj: vec![Vec::new(); self.points.len()],
+            live_edges: 0,
+            pin_count: self.pin_count,
+        }
+    }
+
+    /// The source node (always node 0).
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes (pins + Steiner nodes).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of pin nodes (the original net size).
+    #[must_use]
+    pub fn pin_count(&self) -> usize {
+        self.pin_count
+    }
+
+    /// Number of live (non-removed) edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Iterator over all node ids, source first.
+    pub fn node_ids(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator {
+        (0..self.points.len()).map(NodeId)
+    }
+
+    /// Iterator over the pin nodes only (node id, pin index).
+    pub fn pin_nodes(&self) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        self.kinds.iter().enumerate().filter_map(|(i, k)| match k {
+            NodeKind::Pin { pin } => Some((NodeId(i), *pin)),
+            NodeKind::Steiner => None,
+        })
+    }
+
+    /// Iterator over the sink pin nodes (every pin except the source).
+    pub fn sink_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.pin_nodes()
+            .filter(|&(n, _)| n != NodeId(0))
+            .map(|(n, _)| n)
+    }
+
+    /// Iterator over live edges as `(EdgeId, &Edge)`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (EdgeId(i), e)))
+    }
+
+    /// The location of node `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for a foreign node id.
+    pub fn point(&self, n: NodeId) -> Result<Point, GraphError> {
+        self.check_node(n)?;
+        Ok(self.points[n.0])
+    }
+
+    /// The kind of node `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for a foreign node id.
+    pub fn kind(&self, n: NodeId) -> Result<NodeKind, GraphError> {
+        self.check_node(n)?;
+        Ok(self.kinds[n.0])
+    }
+
+    /// The edge stored at `e`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeOutOfRange`] for a foreign id and
+    /// [`GraphError::EdgeRemoved`] for a tombstoned one.
+    pub fn edge(&self, e: EdgeId) -> Result<&Edge, GraphError> {
+        match self.edges.get(e.0) {
+            None => Err(GraphError::EdgeOutOfRange {
+                edge: e,
+                len: self.edges.len(),
+            }),
+            Some(None) => Err(GraphError::EdgeRemoved { edge: e }),
+            Some(Some(edge)) => Ok(edge),
+        }
+    }
+
+    /// Adds a Steiner node at `p` and returns its id.
+    pub fn add_steiner(&mut self, p: Point) -> NodeId {
+        let id = NodeId(self.points.len());
+        self.points.push(p);
+        self.kinds.push(NodeKind::Steiner);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds a nominal-width edge between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] when `a == b` and
+    /// [`GraphError::NodeOutOfRange`] for foreign ids. Parallel edges are
+    /// allowed (the paper's wire-sizing discussion treats parallel wires as
+    /// one wider wire; see [`RoutingGraph::merge_parallel_edges`]).
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<EdgeId, GraphError> {
+        self.add_edge_with_width(a, b, 1.0)
+    }
+
+    /// Adds an edge with an explicit width multiplier.
+    ///
+    /// # Errors
+    ///
+    /// As [`RoutingGraph::add_edge`], plus [`GraphError::InvalidWidth`] for
+    /// non-positive or non-finite widths.
+    pub fn add_edge_with_width(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        width: f64,
+    ) -> Result<EdgeId, GraphError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        if !(width.is_finite() && width > 0.0) {
+            return Err(GraphError::InvalidWidth { width });
+        }
+        let length = self.points[a.0].manhattan(self.points[b.0]);
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Some(Edge {
+            a,
+            b,
+            length,
+            width,
+        }));
+        self.adj[a.0].push((b, id));
+        self.adj[b.0].push((a, id));
+        self.live_edges += 1;
+        Ok(id)
+    }
+
+    /// Removes edge `e`, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeOutOfRange`] or [`GraphError::EdgeRemoved`].
+    pub fn remove_edge(&mut self, e: EdgeId) -> Result<Edge, GraphError> {
+        let edge = *self.edge(e)?;
+        self.edges[e.0] = None;
+        self.adj[edge.a.0].retain(|&(_, id)| id != e);
+        self.adj[edge.b.0].retain(|&(_, id)| id != e);
+        self.live_edges -= 1;
+        Ok(edge)
+    }
+
+    /// Sets the width multiplier of edge `e`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidWidth`] for non-positive widths, and the
+    /// usual edge-id errors.
+    pub fn set_width(&mut self, e: EdgeId, width: f64) -> Result<(), GraphError> {
+        if !(width.is_finite() && width > 0.0) {
+            return Err(GraphError::InvalidWidth { width });
+        }
+        self.edge(e)?;
+        if let Some(Some(edge)) = self.edges.get_mut(e.0) {
+            edge.width = width;
+        }
+        Ok(())
+    }
+
+    /// True when a live edge directly connects `a` and `b`.
+    #[must_use]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj
+            .get(a.0)
+            .is_some_and(|nbrs| nbrs.iter().any(|&(n, _)| n == b))
+    }
+
+    /// Neighbors of `n` as `(neighbor, edge)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for a foreign node id.
+    pub fn neighbors(&self, n: NodeId) -> Result<&[(NodeId, EdgeId)], GraphError> {
+        self.check_node(n)?;
+        Ok(&self.adj[n.0])
+    }
+
+    /// Degree of node `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for a foreign node id.
+    pub fn degree(&self, n: NodeId) -> Result<usize, GraphError> {
+        Ok(self.neighbors(n)?.len())
+    }
+
+    /// Total wirelength: the sum of live edge lengths, the paper's routing
+    /// cost.
+    #[must_use]
+    pub fn total_cost(&self) -> f64 {
+        self.edges().map(|(_, e)| e.length).sum()
+    }
+
+    /// Width-weighted wirelength (`Σ length × width`), the area cost
+    /// relevant under wire sizing.
+    #[must_use]
+    pub fn total_wire_area(&self) -> f64 {
+        self.edges().map(|(_, e)| e.length * e.width).sum()
+    }
+
+    /// True when every node is reachable from the source via live edges.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.reachable_from_source() == self.node_count()
+    }
+
+    /// Number of nodes reachable from the source.
+    #[must_use]
+    pub fn reachable_from_source(&self) -> usize {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 0;
+        while let Some(u) = stack.pop() {
+            count += 1;
+            for &(v, _) in &self.adj[u.0] {
+                if !seen[v.0] {
+                    seen[v.0] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        count
+    }
+
+    /// True when the graph is a spanning tree (connected, `|E| = |N| − 1`).
+    #[must_use]
+    pub fn is_tree(&self) -> bool {
+        self.live_edges + 1 == self.node_count() && self.is_connected()
+    }
+
+    /// Merges parallel edges between the same endpoints into one edge whose
+    /// width is the sum of the merged widths, reflecting the paper's
+    /// observation that "two separate parallel wires of width w ... is
+    /// equivalent to having a single wire of width 2w". Returns the number
+    /// of edges removed.
+    pub fn merge_parallel_edges(&mut self) -> usize {
+        use std::collections::HashMap;
+        let mut first: HashMap<(usize, usize), EdgeId> = HashMap::new();
+        let mut to_merge: Vec<(EdgeId, EdgeId)> = Vec::new();
+        for (id, e) in self.edges() {
+            let key = (e.a.0.min(e.b.0), e.a.0.max(e.b.0));
+            match first.entry(key) {
+                std::collections::hash_map::Entry::Occupied(kept) => {
+                    to_merge.push((*kept.get(), id));
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(id);
+                }
+            }
+        }
+        let merged = to_merge.len();
+        for (kept, dup) in to_merge {
+            let extra = self.remove_edge(dup).expect("edge listed as live").width;
+            if let Some(Some(e)) = self.edges.get_mut(kept.0) {
+                e.width += extra;
+            }
+        }
+        merged
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), GraphError> {
+        if n.0 < self.points.len() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange {
+                node: n,
+                len: self.points.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (RoutingGraph, NodeId, NodeId, NodeId) {
+        let net = Net::new(
+            Point::new(0.0, 0.0),
+            vec![Point::new(10.0, 0.0), Point::new(0.0, 10.0)],
+        )
+        .unwrap();
+        let g = RoutingGraph::from_net(&net);
+        (g, NodeId(0), NodeId(1), NodeId(2))
+    }
+
+    #[test]
+    fn from_net_has_pins_and_no_edges() {
+        let (g, s, _, _) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.pin_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.source(), s);
+        assert!(g.kind(s).unwrap().is_pin());
+        assert_eq!(g.sink_nodes().count(), 2);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn edges_have_manhattan_length() {
+        let (mut g, s, a, b) = triangle();
+        let e1 = g.add_edge(s, a).unwrap();
+        let e2 = g.add_edge(a, b).unwrap();
+        assert_eq!(g.edge(e1).unwrap().length(), 10.0);
+        assert_eq!(g.edge(e2).unwrap().length(), 20.0);
+        assert_eq!(g.total_cost(), 30.0);
+        assert!(g.is_tree());
+    }
+
+    #[test]
+    fn cycle_is_detected_by_is_tree_not_by_connectivity() {
+        let (mut g, s, a, b) = triangle();
+        g.add_edge(s, a).unwrap();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, s).unwrap();
+        assert!(g.is_connected());
+        assert!(!g.is_tree());
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let (mut g, s, _, _) = triangle();
+        assert_eq!(
+            g.add_edge(s, s).unwrap_err(),
+            GraphError::SelfLoop { node: s }
+        );
+    }
+
+    #[test]
+    fn foreign_ids_are_rejected() {
+        let (g, _, _, _) = triangle();
+        let bad = NodeId(99);
+        assert!(matches!(
+            g.point(bad),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.edge(EdgeId(0)),
+            Err(GraphError::EdgeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_edge_leaves_stable_ids() {
+        let (mut g, s, a, b) = triangle();
+        let e1 = g.add_edge(s, a).unwrap();
+        let e2 = g.add_edge(a, b).unwrap();
+        let removed = g.remove_edge(e1).unwrap();
+        assert_eq!(removed.length(), 10.0);
+        assert_eq!(g.edge_count(), 1);
+        assert!(matches!(g.edge(e1), Err(GraphError::EdgeRemoved { .. })));
+        assert_eq!(g.edge(e2).unwrap().length(), 20.0);
+        assert!(!g.has_edge(s, a));
+        assert!(g.has_edge(a, b));
+    }
+
+    #[test]
+    fn steiner_nodes_extend_the_graph() {
+        let (mut g, s, a, _) = triangle();
+        let st = g.add_steiner(Point::new(5.0, 5.0));
+        assert_eq!(g.kind(st).unwrap(), NodeKind::Steiner);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.pin_count(), 3);
+        g.add_edge(s, st).unwrap();
+        g.add_edge(st, a).unwrap();
+        assert_eq!(g.degree(st).unwrap(), 2);
+    }
+
+    #[test]
+    fn width_validation_and_area_cost() {
+        let (mut g, s, a, _) = triangle();
+        let e = g.add_edge_with_width(s, a, 2.0).unwrap();
+        assert_eq!(g.total_cost(), 10.0);
+        assert_eq!(g.total_wire_area(), 20.0);
+        assert!(matches!(
+            g.set_width(e, -1.0),
+            Err(GraphError::InvalidWidth { .. })
+        ));
+        g.set_width(e, 3.0).unwrap();
+        assert_eq!(g.total_wire_area(), 30.0);
+        assert!(matches!(
+            g.add_edge_with_width(s, a, f64::NAN),
+            Err(GraphError::InvalidWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_parallel_edges_sums_widths() {
+        let (mut g, s, a, _) = triangle();
+        g.add_edge(s, a).unwrap();
+        g.add_edge(a, s).unwrap();
+        g.add_edge_with_width(s, a, 0.5).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        let merged = g.merge_parallel_edges();
+        assert_eq!(merged, 2);
+        assert_eq!(g.edge_count(), 1);
+        let (_, e) = g.edges().next().unwrap();
+        assert!((e.width() - 2.5).abs() < 1e-12);
+        // Cost counts wirelength once after merging.
+        assert_eq!(g.total_cost(), 10.0);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let (mut g, s, a, b) = triangle();
+        let e = g.add_edge(s, a).unwrap();
+        let edge = *g.edge(e).unwrap();
+        assert_eq!(edge.other(s), Some(a));
+        assert_eq!(edge.other(a), Some(s));
+        assert_eq!(edge.other(b), None);
+    }
+}

@@ -1,0 +1,59 @@
+//! Routing-graph topologies for non-tree routing.
+//!
+//! The central type is [`RoutingGraph`]: a set of nodes (the pins of a
+//! [`Net`](ntr_geom::Net) plus optional Steiner nodes) connected by edges
+//! whose cost is the Manhattan distance between their endpoints, exactly the
+//! routing-graph formulation `G = (N, E)` of McCoy & Robins. Unlike
+//! classical routers, a `RoutingGraph` is *not* restricted to a tree —
+//! cycles are first-class, which is the whole point of the paper.
+//!
+//! The crate also provides:
+//!
+//! - [`prim_mst`] — the minimum spanning tree every algorithm in the paper
+//!   starts from,
+//! - [`TreeView`] — a rooted, validated view of a graph that *is* a tree
+//!   (needed by the Elmore delay engine, which is tree-only),
+//! - [`shortest_path_lengths`] — Dijkstra distances used for graph radius
+//!   and pathlength-based heuristics.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntr_geom::{Net, Point};
+//! use ntr_graph::{prim_mst, RoutingGraph, TreeView};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = Net::new(
+//!     Point::new(0.0, 0.0),
+//!     vec![Point::new(100.0, 0.0), Point::new(100.0, 100.0)],
+//! )?;
+//! let mut graph = prim_mst(&net);
+//! assert!(graph.is_tree());
+//! assert_eq!(graph.total_cost(), 200.0);
+//!
+//! // Non-tree routing: add the cycle-forming edge source -> far sink.
+//! let far = graph.node_ids().last().unwrap();
+//! graph.add_edge(graph.source(), far)?;
+//! assert!(!graph.is_tree());
+//! assert!(graph.is_connected());
+//! # Ok(())
+//! # }
+//! ```
+
+mod dijkstra;
+mod embed;
+mod error;
+mod graph;
+mod metrics;
+mod mst;
+mod svg;
+mod tree;
+
+pub use dijkstra::shortest_path_lengths;
+pub use embed::{embed_rectilinear, BendStyle};
+pub use error::{GraphError, NotATreeError};
+pub use graph::{Edge, EdgeId, NodeId, NodeKind, RoutingGraph};
+pub use metrics::GraphMetrics;
+pub use mst::{prim_mst, prim_mst_cost, prim_mst_edges};
+pub use svg::{render_svg, SvgOptions};
+pub use tree::TreeView;

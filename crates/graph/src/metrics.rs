@@ -1,0 +1,147 @@
+use crate::{shortest_path_lengths, GraphError, RoutingGraph};
+
+/// Summary metrics of a routing topology.
+///
+/// These are the classical quantities of the performance-driven routing
+/// literature the paper builds on: total **cost** (wirelength), **radius**
+/// (longest source–sink shortest path — the quantity the cost/radius
+/// tradeoff constructions of Cong et al. bound), the **cycle count**
+/// (`|E| − |N| + 1`, zero exactly for trees — the paper's entire point is
+/// letting this exceed zero), and the **mean detour** (ratio of routed
+/// source–sink distance to the direct Manhattan distance, 1.0 = every
+/// sink connected as directly as geometrically possible).
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::{Net, Point};
+/// use ntr_graph::{prim_mst, GraphMetrics};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(10.0, 0.0), Point::new(20.0, 0.0)])?;
+/// let mut graph = prim_mst(&net);
+/// let tree = GraphMetrics::compute(&graph)?;
+/// assert_eq!(tree.cycles, 0);
+/// assert_eq!(tree.radius, 20.0);
+/// let far = graph.node_ids().last().unwrap();
+/// graph.add_edge(graph.source(), far)?;
+/// let cyclic = GraphMetrics::compute(&graph)?;
+/// assert_eq!(cyclic.cycles, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphMetrics {
+    /// Total wirelength (µm).
+    pub cost: f64,
+    /// Longest source-to-node shortest-path distance (µm).
+    pub radius: f64,
+    /// Independent cycle count `|E| − |N| + 1` (0 for trees).
+    pub cycles: usize,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Mean over sinks of `shortest_path(source, sink) / direct_distance`.
+    pub mean_detour: f64,
+}
+
+impl GraphMetrics {
+    /// Computes the metrics of a connected routing graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] when the graph is malformed (propagated from
+    /// traversal); an unconnected graph yields infinite radius/detour
+    /// rather than an error, letting callers detect it.
+    pub fn compute(graph: &RoutingGraph) -> Result<Self, GraphError> {
+        let dist = shortest_path_lengths(graph, graph.source())?;
+        let radius = dist.iter().copied().fold(0.0, f64::max);
+        let mut max_degree = 0;
+        for n in graph.node_ids() {
+            max_degree = max_degree.max(graph.degree(n)?);
+        }
+        let source_pt = graph.point(graph.source())?;
+        let mut detour_sum = 0.0;
+        let mut sink_count = 0usize;
+        for sink in graph.sink_nodes() {
+            let direct = source_pt.manhattan(graph.point(sink)?);
+            if direct > 0.0 {
+                detour_sum += dist[sink.index()] / direct;
+                sink_count += 1;
+            }
+        }
+        Ok(Self {
+            cost: graph.total_cost(),
+            radius,
+            cycles: (graph.edge_count() + 1).saturating_sub(graph.node_count()),
+            max_degree,
+            mean_detour: if sink_count == 0 {
+                1.0
+            } else {
+                detour_sum / sink_count as f64
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prim_mst;
+    use ntr_geom::{Net, Point};
+
+    fn l_net() -> Net {
+        Net::new(
+            Point::new(0.0, 0.0),
+            vec![Point::new(10.0, 0.0), Point::new(10.0, 10.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tree_metrics() {
+        let mst = prim_mst(&l_net());
+        let m = GraphMetrics::compute(&mst).unwrap();
+        assert_eq!(m.cycles, 0);
+        assert_eq!(m.cost, 20.0);
+        assert_eq!(m.radius, 20.0);
+        assert_eq!(m.max_degree, 2);
+        // Sink 1 direct, sink 2 detour 20/20 = 1.0.
+        assert!((m.mean_detour - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shortcut_reduces_radius_and_adds_cycle() {
+        let mut g = prim_mst(&l_net());
+        let far = g.node_ids().last().unwrap();
+        g.add_edge(g.source(), far).unwrap();
+        let m = GraphMetrics::compute(&g).unwrap();
+        assert_eq!(m.cycles, 1);
+        assert_eq!(m.radius, 20.0); // direct Manhattan == old path here
+        assert!(m.cost > 20.0);
+    }
+
+    #[test]
+    fn disconnected_graph_reports_infinite_radius() {
+        let g = crate::RoutingGraph::from_net(&l_net());
+        let m = GraphMetrics::compute(&g).unwrap();
+        assert!(m.radius.is_infinite());
+    }
+
+    #[test]
+    fn detour_exceeds_one_on_indirect_routes() {
+        // U-shaped chain: the last sink is near the source geometrically
+        // but the MST routes it the long way around.
+        let net = Net::new(
+            Point::new(0.0, 0.0),
+            vec![
+                Point::new(10.0, 0.0),
+                Point::new(10.0, 10.0),
+                Point::new(2.0, 10.0),
+            ],
+        )
+        .unwrap();
+        let mst = prim_mst(&net);
+        let m = GraphMetrics::compute(&mst).unwrap();
+        // (2,10): 28 um of wire vs 12 um direct => detour 2.33; mean 1.44.
+        assert!(m.mean_detour > 1.3, "detour {}", m.mean_detour);
+    }
+}

@@ -1,0 +1,172 @@
+use ntr_geom::{Net, Point};
+
+use crate::{NodeId, RoutingGraph};
+
+/// Builds the minimum spanning tree of `net` under the Manhattan metric
+/// using Prim's algorithm (O(n²), exact).
+///
+/// The MST is the starting topology of the LDRG algorithm and the
+/// normalization baseline of every table in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::{Net, Point};
+/// use ntr_graph::prim_mst;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Net::new(
+///     Point::new(0.0, 0.0),
+///     vec![Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+/// )?;
+/// let mst = prim_mst(&net);
+/// assert!(mst.is_tree());
+/// assert_eq!(mst.total_cost(), 20.0);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn prim_mst(net: &Net) -> RoutingGraph {
+    let mut graph = RoutingGraph::from_net(net);
+    for (a, b) in prim_mst_edges(net.pins()) {
+        graph
+            .add_edge(NodeId(a), NodeId(b))
+            .expect("mst edges connect valid distinct nodes");
+    }
+    graph
+}
+
+/// Returns the MST edges over an arbitrary point set as index pairs
+/// `(parent, child)` into `points`, rooted at point 0.
+///
+/// Returns an empty vector for fewer than two points.
+#[must_use]
+pub fn prim_mst_edges(points: &[Point]) -> Vec<(usize, usize)> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_from = vec![0usize; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        best_dist[j] = points[0].manhattan(points[j]);
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for _ in 1..n {
+        let mut u = usize::MAX;
+        let mut du = f64::INFINITY;
+        for j in 0..n {
+            if !in_tree[j] && best_dist[j] < du {
+                du = best_dist[j];
+                u = j;
+            }
+        }
+        debug_assert!(u != usize::MAX, "point set is always fully connectable");
+        in_tree[u] = true;
+        edges.push((best_from[u], u));
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = points[u].manhattan(points[j]);
+                if d < best_dist[j] {
+                    best_dist[j] = d;
+                    best_from[j] = u;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Total Manhattan MST cost of a point set, without materializing a graph.
+///
+/// This is the inner evaluation of the Iterated 1-Steiner heuristic, which
+/// calls it once per Hanan-grid candidate per round.
+#[must_use]
+pub fn prim_mst_cost(points: &[Point]) -> f64 {
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        best_dist[j] = points[0].manhattan(points[j]);
+    }
+    let mut total = 0.0;
+    for _ in 1..n {
+        let mut u = usize::MAX;
+        let mut du = f64::INFINITY;
+        for j in 0..n {
+            if !in_tree[j] && best_dist[j] < du {
+                du = best_dist[j];
+                u = j;
+            }
+        }
+        in_tree[u] = true;
+        total += du;
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = points[u].manhattan(points[j]);
+                if d < best_dist[j] {
+                    best_dist[j] = d;
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collinear_points_form_a_chain() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(30.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(20.0, 0.0),
+        ];
+        assert_eq!(prim_mst_cost(&pts), 30.0);
+        let net = Net::from_points(pts).unwrap();
+        let mst = prim_mst(&net);
+        assert!(mst.is_tree());
+        assert_eq!(mst.total_cost(), 30.0);
+    }
+
+    #[test]
+    fn mst_cost_matches_edge_list() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 40.0),
+            Point::new(5.0, 90.0),
+            Point::new(60.0, 60.0),
+            Point::new(90.0, 5.0),
+        ];
+        let edges = prim_mst_edges(&pts);
+        assert_eq!(edges.len(), 4);
+        let listed: f64 = edges.iter().map(|&(a, b)| pts[a].manhattan(pts[b])).sum();
+        assert!((listed - prim_mst_cost(&pts)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_point_sets() {
+        assert_eq!(prim_mst_cost(&[]), 0.0);
+        assert_eq!(prim_mst_cost(&[Point::origin()]), 0.0);
+        assert!(prim_mst_edges(&[Point::origin()]).is_empty());
+    }
+
+    #[test]
+    fn square_mst_uses_three_sides() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ];
+        assert_eq!(prim_mst_cost(&pts), 30.0);
+    }
+}

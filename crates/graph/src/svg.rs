@@ -1,0 +1,216 @@
+use std::fmt::Write as _;
+
+use ntr_geom::BoundingBox;
+
+use crate::{EdgeId, NodeKind, RoutingGraph};
+
+/// Styling options for [`render_svg`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgOptions {
+    /// Output image width in pixels (height follows the aspect ratio).
+    pub width_px: f64,
+    /// Edges drawn highlighted (e.g. the wires LDRG added), in red.
+    pub highlight: Vec<EdgeId>,
+    /// Draw edges as rectilinear L-shapes (horizontal then vertical), the
+    /// way the paper's figures depict Manhattan wires. When `false`, edges
+    /// are straight lines.
+    pub rectilinear: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width_px: 480.0,
+            highlight: Vec::new(),
+            rectilinear: true,
+        }
+    }
+}
+
+/// Renders a routing graph as an SVG drawing in the visual language of the
+/// paper's figures: the source as a filled black circle, sinks as hollow
+/// circles, Steiner points as small squares, wires as rectilinear paths,
+/// and highlighted (added) wires in red.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::{Net, Point};
+/// use ntr_graph::{prim_mst, render_svg, SvgOptions};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(100.0, 50.0)])?;
+/// let svg = render_svg(&prim_mst(&net), &SvgOptions::default());
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("<circle"));
+/// assert!(svg.trim_end().ends_with("</svg>"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn render_svg(graph: &RoutingGraph, opts: &SvgOptions) -> String {
+    let points: Vec<_> = graph
+        .node_ids()
+        .map(|n| graph.point(n).expect("iterating own nodes"))
+        .collect();
+    let bb = BoundingBox::of_points(points.iter().copied())
+        .unwrap_or_else(|| BoundingBox::new(ntr_geom::Point::origin(), ntr_geom::Point::origin()));
+    let margin = 0.06 * bb.half_perimeter().max(1.0);
+    let min_x = bb.min().x - margin;
+    let min_y = bb.min().y - margin;
+    let span_x = bb.width() + 2.0 * margin;
+    let span_y = bb.height() + 2.0 * margin;
+    let scale = opts.width_px / span_x.max(1e-9);
+    let height_px = span_y * scale;
+    // SVG y grows downward; flip so the layout reads like a floorplan.
+    let tx = |x: f64| (x - min_x) * scale;
+    let ty = |y: f64| height_px - (y - min_y) * scale;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+         viewBox=\"0 0 {:.1} {:.1}\">",
+        opts.width_px, height_px, opts.width_px, height_px
+    );
+    let _ = writeln!(
+        out,
+        "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>"
+    );
+
+    // Wires first so pins draw on top.
+    for (id, edge) in graph.edges() {
+        let a = points[edge.a().index()];
+        let b = points[edge.b().index()];
+        let highlighted = opts.highlight.contains(&id);
+        let stroke = if highlighted { "#cc2222" } else { "#222222" };
+        let width = 1.2 + edge.width().ln_1p();
+        if opts.rectilinear && a.x != b.x && a.y != b.y {
+            let _ = writeln!(
+                out,
+                "  <polyline points=\"{:.1},{:.1} {:.1},{:.1} {:.1},{:.1}\" fill=\"none\" \
+                 stroke=\"{stroke}\" stroke-width=\"{width:.1}\"/>",
+                tx(a.x),
+                ty(a.y),
+                tx(b.x),
+                ty(a.y),
+                tx(b.x),
+                ty(b.y)
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  <line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" \
+                 stroke=\"{stroke}\" stroke-width=\"{width:.1}\"/>",
+                tx(a.x),
+                ty(a.y),
+                tx(b.x),
+                ty(b.y)
+            );
+        }
+    }
+
+    for node in graph.node_ids() {
+        let p = points[node.index()];
+        match graph.kind(node).expect("iterating own nodes") {
+            NodeKind::Pin { pin: 0 } => {
+                let _ = writeln!(
+                    out,
+                    "  <circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"6\" fill=\"black\">\
+                     <title>source n0</title></circle>",
+                    tx(p.x),
+                    ty(p.y)
+                );
+            }
+            NodeKind::Pin { pin } => {
+                let _ = writeln!(
+                    out,
+                    "  <circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"5\" fill=\"white\" \
+                     stroke=\"black\" stroke-width=\"1.5\"><title>sink n{pin}</title></circle>",
+                    tx(p.x),
+                    ty(p.y)
+                );
+            }
+            NodeKind::Steiner => {
+                let _ = writeln!(
+                    out,
+                    "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"7\" height=\"7\" fill=\"#666666\">\
+                     <title>steiner</title></rect>",
+                    tx(p.x) - 3.5,
+                    ty(p.y) - 3.5
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prim_mst;
+    use ntr_geom::{Net, Point};
+
+    fn sample() -> RoutingGraph {
+        let net = Net::new(
+            Point::new(0.0, 0.0),
+            vec![Point::new(100.0, 0.0), Point::new(100.0, 80.0)],
+        )
+        .unwrap();
+        prim_mst(&net)
+    }
+
+    #[test]
+    fn svg_contains_all_nodes_and_edges() {
+        let g = sample();
+        let svg = render_svg(&g, &SvgOptions::default());
+        assert_eq!(svg.matches("<circle").count(), 3);
+        // Two edges: one straight (shared y), one straight (shared x).
+        assert_eq!(
+            svg.matches("<line").count() + svg.matches("<polyline").count(),
+            2
+        );
+        assert!(svg.contains("source n0"));
+    }
+
+    #[test]
+    fn highlight_marks_added_edges_red() {
+        let mut g = sample();
+        let far = g.node_ids().last().unwrap();
+        let added = g.add_edge(g.source(), far).unwrap();
+        let svg = render_svg(
+            &g,
+            &SvgOptions {
+                highlight: vec![added],
+                ..Default::default()
+            },
+        );
+        assert!(svg.contains("#cc2222"));
+        // Diagonal edge rendered as an L in rectilinear mode.
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn steiner_nodes_are_squares() {
+        let mut g = sample();
+        g.add_steiner(Point::new(50.0, 40.0));
+        let svg = render_svg(&g, &SvgOptions::default());
+        assert!(svg.contains("steiner"));
+        assert!(svg.matches("<rect").count() >= 2); // background + steiner
+    }
+
+    #[test]
+    fn straight_line_mode_avoids_polylines() {
+        let mut g = sample();
+        let far = g.node_ids().last().unwrap();
+        g.add_edge(g.source(), far).unwrap();
+        let svg = render_svg(
+            &g,
+            &SvgOptions {
+                rectilinear: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+}

@@ -1,0 +1,237 @@
+use crate::{EdgeId, NodeId, NotATreeError, RoutingGraph};
+
+/// A validated, rooted view of a [`RoutingGraph`] that is a spanning tree.
+///
+/// The Elmore delay model is defined only for trees; [`TreeView`] is the
+/// proof-carrying handle the Elmore engine (and the tree-based heuristics
+/// H2/H3) require. It is rooted at the graph's source and caches the
+/// parent relation, a root-first traversal order, and root-to-node
+/// pathlengths.
+///
+/// The view borrows the graph immutably, so the topology cannot change
+/// underneath it.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::{Net, Point};
+/// use ntr_graph::{prim_mst, TreeView};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(4.0, 0.0), Point::new(4.0, 3.0)])?;
+/// let mst = prim_mst(&net);
+/// let tree = TreeView::new(&mst)?;
+/// let far = mst.node_ids().last().unwrap();
+/// assert_eq!(tree.path_length(far), 7.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeView<'g> {
+    graph: &'g RoutingGraph,
+    parent: Vec<Option<(NodeId, EdgeId)>>,
+    order: Vec<NodeId>,
+    depth_length: Vec<f64>,
+}
+
+impl<'g> TreeView<'g> {
+    /// Validates that `graph` is a spanning tree and builds the rooted view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotATreeError::Disconnected`] when some node is not
+    /// reachable from the source and [`NotATreeError::HasCycle`] when the
+    /// edge count exceeds `nodes − 1`.
+    pub fn new(graph: &'g RoutingGraph) -> Result<Self, NotATreeError> {
+        let n = graph.node_count();
+        if graph.edge_count() + 1 > n {
+            return Err(NotATreeError::HasCycle {
+                edges: graph.edge_count(),
+                nodes: n,
+            });
+        }
+        let mut parent: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+        let mut depth_length = vec![0.0; n];
+        let mut seen = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let root = graph.source();
+        seen[root.index()] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &(v, e) in graph.neighbors(u).expect("bfs visits valid nodes") {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    parent[v.index()] = Some((u, e));
+                    depth_length[v.index()] = depth_length[u.index()]
+                        + graph.edge(e).expect("adjacency lists live edges").length();
+                    queue.push_back(v);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(NotATreeError::Disconnected {
+                reachable: order.len(),
+                total: n,
+            });
+        }
+        Ok(Self {
+            graph,
+            parent,
+            order,
+            depth_length,
+        })
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &'g RoutingGraph {
+        self.graph
+    }
+
+    /// The root (the net source).
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.graph.source()
+    }
+
+    /// Parent of `n` and the connecting edge, or `None` for the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of the underlying graph.
+    #[must_use]
+    pub fn parent(&self, n: NodeId) -> Option<(NodeId, EdgeId)> {
+        self.parent[n.index()]
+    }
+
+    /// Nodes in root-first (BFS) order: every node appears after its parent.
+    #[must_use]
+    pub fn root_first_order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Nodes in leaves-first order: every node appears before its parent.
+    pub fn leaves_first_order(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.order.iter().rev().copied()
+    }
+
+    /// Wirelength of the unique root-to-`n` path — the paper's
+    /// "pathlength" used by heuristic H3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of the underlying graph.
+    #[must_use]
+    pub fn path_length(&self, n: NodeId) -> f64 {
+        self.depth_length[n.index()]
+    }
+
+    /// The tree radius: the longest root-to-node pathlength.
+    #[must_use]
+    pub fn radius(&self) -> f64 {
+        self.depth_length.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The nodes of the unique path from the root to `n`, inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of the underlying graph.
+    #[must_use]
+    pub fn path_from_root(&self, n: NodeId) -> Vec<NodeId> {
+        let mut path = vec![n];
+        let mut cur = n;
+        while let Some((p, _)) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prim_mst;
+    use ntr_geom::{Net, Point};
+
+    fn chain() -> RoutingGraph {
+        let net = Net::new(
+            Point::new(0.0, 0.0),
+            vec![
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+                Point::new(30.0, 0.0),
+            ],
+        )
+        .unwrap();
+        prim_mst(&net)
+    }
+
+    #[test]
+    fn orders_respect_parenthood() {
+        let g = chain();
+        let t = TreeView::new(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; g.node_count()];
+            for (i, n) in t.root_first_order().iter().enumerate() {
+                pos[n.index()] = i;
+            }
+            pos
+        };
+        for n in g.node_ids() {
+            if let Some((p, _)) = t.parent(n) {
+                assert!(pos[p.index()] < pos[n.index()]);
+            }
+        }
+        let leaves_first: Vec<NodeId> = t.leaves_first_order().collect();
+        assert_eq!(leaves_first.len(), g.node_count());
+        assert_eq!(*leaves_first.last().unwrap(), t.root());
+    }
+
+    #[test]
+    fn path_lengths_accumulate() {
+        let g = chain();
+        let t = TreeView::new(&g).unwrap();
+        assert_eq!(t.path_length(t.root()), 0.0);
+        assert_eq!(t.path_length(NodeId(3)), 30.0);
+        assert_eq!(t.radius(), 30.0);
+        assert_eq!(
+            t.path_from_root(NodeId(3)),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn cyclic_graph_is_rejected() {
+        let mut g = chain();
+        g.add_edge(NodeId(0), NodeId(3)).unwrap();
+        assert!(matches!(
+            TreeView::new(&g),
+            Err(NotATreeError::HasCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_graph_is_rejected() {
+        let net = Net::new(
+            Point::new(0.0, 0.0),
+            vec![Point::new(1.0, 0.0), Point::new(2.0, 0.0)],
+        )
+        .unwrap();
+        let mut g = RoutingGraph::from_net(&net);
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        assert!(matches!(
+            TreeView::new(&g),
+            Err(NotATreeError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn root_has_no_parent() {
+        let g = chain();
+        let t = TreeView::new(&g).unwrap();
+        assert!(t.parent(t.root()).is_none());
+    }
+}

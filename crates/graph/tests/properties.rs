@@ -1,0 +1,86 @@
+//! Property-based tests for routing graphs, MST optimality and tree views.
+
+use ntr_geom::{Layout, NetGenerator};
+use ntr_graph::{prim_mst, prim_mst_cost, shortest_path_lengths, NodeId, RoutingGraph, TreeView};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_net(seed: u64, size: usize) -> ntr_geom::Net {
+    NetGenerator::new(Layout::date94(), seed)
+        .random_net(size)
+        .unwrap()
+}
+
+fn node(g: &RoutingGraph, i: usize) -> NodeId {
+    g.node_ids().nth(i).expect("index within node count")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Prim MST spans the net, is a tree, and costs no more than any random
+    /// spanning tree over the same pins.
+    #[test]
+    fn mst_is_optimal_among_random_spanning_trees(seed in 0u64..500, size in 2usize..25) {
+        let net = random_net(seed, size);
+        let mst = prim_mst(&net);
+        prop_assert!(mst.is_tree());
+        prop_assert_eq!(mst.node_count(), size);
+        prop_assert!((mst.total_cost() - prim_mst_cost(net.pins())).abs() < 1e-9);
+
+        // Random spanning tree: attach each pin to a random already-attached pin.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+        let mut graph = RoutingGraph::from_net(&net);
+        for j in 1..size {
+            let attach = rng.gen_range(0..j);
+            graph.add_edge(node(&graph, attach), node(&graph, j)).unwrap();
+        }
+        prop_assert!(graph.is_tree());
+        prop_assert!(mst.total_cost() <= graph.total_cost() + 1e-9);
+    }
+
+    /// Adding any extra edge to the MST keeps it connected, makes it cyclic,
+    /// and never lengthens shortest paths.
+    #[test]
+    fn extra_edges_only_shorten_paths(seed in 0u64..500, size in 3usize..20, pick in any::<(usize, usize)>()) {
+        let net = random_net(seed, size);
+        let mut g = prim_mst(&net);
+        let before = shortest_path_lengths(&g, g.source()).unwrap();
+        let a = node(&g, pick.0 % size);
+        let b = node(&g, pick.1 % size);
+        if a != b && !g.has_edge(a, b) {
+            g.add_edge(a, b).unwrap();
+            prop_assert!(g.is_connected());
+            prop_assert!(!g.is_tree());
+            let after = shortest_path_lengths(&g, g.source()).unwrap();
+            for (d0, d1) in before.iter().zip(&after) {
+                prop_assert!(d1 <= &(d0 + 1e-9));
+            }
+        }
+    }
+
+    /// TreeView pathlengths agree with Dijkstra on trees.
+    #[test]
+    fn tree_pathlengths_match_dijkstra(seed in 0u64..500, size in 2usize..25) {
+        let net = random_net(seed, size);
+        let mst = prim_mst(&net);
+        let tree = TreeView::new(&mst).unwrap();
+        let dist = shortest_path_lengths(&mst, mst.source()).unwrap();
+        for n in mst.node_ids() {
+            prop_assert!((tree.path_length(n) - dist[n.index()]).abs() < 1e-9);
+        }
+        prop_assert!((tree.radius() - dist.iter().copied().fold(0.0, f64::max)).abs() < 1e-9);
+    }
+
+    /// Removing an MST edge always disconnects the tree.
+    #[test]
+    fn removing_tree_edge_disconnects(seed in 0u64..200, size in 2usize..15, which in any::<usize>()) {
+        let net = random_net(seed, size);
+        let mut mst = prim_mst(&net);
+        let ids: Vec<_> = mst.edges().map(|(id, _)| id).collect();
+        let victim = ids[which % ids.len()];
+        mst.remove_edge(victim).unwrap();
+        prop_assert!(!mst.is_connected());
+    }
+}

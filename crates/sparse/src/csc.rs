@@ -1,0 +1,212 @@
+use crate::SolveError;
+
+/// A compressed sparse column (CSC) matrix.
+///
+/// Within each column, row indices are strictly increasing and values are
+/// nonzero; construct through [`TripletMatrix`](crate::TripletMatrix),
+/// which guarantees both.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_sparse::TripletMatrix;
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 2.0);
+/// t.push(1, 1, 3.0);
+/// let a = t.to_csc();
+/// assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Assembles a CSC matrix from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parts are structurally inconsistent (wrong pointer
+    /// length, unsorted or out-of-range row indices, length mismatch).
+    #[must_use]
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(col_ptr.len(), cols + 1, "col_ptr must have cols+1 entries");
+        assert_eq!(row_idx.len(), values.len(), "row/value length mismatch");
+        assert_eq!(
+            *col_ptr.last().unwrap_or(&0),
+            row_idx.len(),
+            "col_ptr end mismatch"
+        );
+        for c in 0..cols {
+            let span = &row_idx[col_ptr[c]..col_ptr[c + 1]];
+            for w in span.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "row indices must be strictly increasing per column"
+                );
+            }
+            if let Some(&last) = span.last() {
+                assert!(last < rows, "row index {last} out of range");
+            }
+        }
+        Self {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(row, value)` pairs of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c >= cols`.
+    pub fn col(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(c < self.cols, "column {c} out of range");
+        let span = self.col_ptr[c]..self.col_ptr[c + 1];
+        self.row_idx[span.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[span].iter().copied())
+    }
+
+    /// Value at `(row, col)`; zero when not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the position is out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row}, {col}) out of bounds"
+        );
+        let span = self.col_ptr[col]..self.col_ptr[col + 1];
+        match self.row_idx[span.clone()].binary_search(&row) {
+            Ok(k) => self.values[span.start + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, SolveError> {
+        if x.len() != self.cols {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for c in 0..self.cols {
+            let xc = x[c];
+            if xc != 0.0 {
+                for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                    y[self.row_idx[k]] += self.values[k] * xc;
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// The symmetric adjacency structure of `A + Aᵀ` (excluding the
+    /// diagonal), used by fill-reducing orderings.
+    #[must_use]
+    pub fn symmetric_adjacency(&self) -> Vec<Vec<usize>> {
+        let n = self.rows.max(self.cols);
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for c in 0..self.cols {
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                let r = self.row_idx[k];
+                if r != c {
+                    adj[r].push(c);
+                    adj[c].push(r);
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn sample() -> CscMatrix {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(2, 0, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(0, 2, 4.0);
+        t.to_csc()
+    }
+
+    #[test]
+    fn get_and_col_agree() {
+        let a = sample();
+        assert_eq!(a.get(2, 0), 2.0);
+        assert_eq!(a.get(1, 0), 0.0);
+        let col0: Vec<_> = a.col(0).collect();
+        assert_eq!(col0, vec![(0, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let a = sample();
+        let y = a.matvec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![1.0 + 12.0, 6.0, 2.0]);
+    }
+
+    #[test]
+    fn symmetric_adjacency_includes_both_directions() {
+        let a = sample();
+        let adj = a.symmetric_adjacency();
+        assert!(adj[0].contains(&2));
+        assert!(adj[2].contains(&0));
+        assert!(!adj[1].contains(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_rows_are_rejected() {
+        let _ = CscMatrix::from_parts(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,326 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::SolveError;
+
+/// A dense row-major matrix of `f64`.
+///
+/// Used as the reference implementation for validating the sparse solver
+/// and for small systems where dense factorization is fastest.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_sparse::DenseMatrix;
+/// # fn main() -> Result<(), ntr_sparse::SolveError> {
+/// let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]])?;
+/// let lu = a.lu()?;
+/// let mut x = vec![9.0, 13.0];
+/// lu.solve_in_place(&mut x)?;
+/// assert!((x[0] - 1.4).abs() < 1e-12);
+/// assert!((x[1] - 3.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix of the given shape.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of order `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] when rows have unequal
+    /// lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, SolveError> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(SolveError::DimensionMismatch {
+                    expected: c,
+                    got: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, SolveError> {
+        if x.len() != self.cols {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// LU factorization with partial (row) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotSquare`] for non-square input and
+    /// [`SolveError::Singular`] when a pivot column is numerically zero.
+    pub fn lu(&self) -> Result<DenseLu, SolveError> {
+        if self.rows != self.cols {
+            return Err(SolveError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Select the largest-magnitude pivot in column k at or below row k.
+            let mut piv = k;
+            let mut max = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > max {
+                    max = v;
+                    piv = i;
+                }
+            }
+            if max == 0.0 || !max.is_finite() {
+                return Err(SolveError::Singular { step: k });
+            }
+            if piv != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, piv * n + j);
+                }
+                perm.swap(k, piv);
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        lu[i * n + j] -= factor * lu[k * n + j];
+                    }
+                }
+            }
+        }
+        Ok(DenseLu { n, lu, perm })
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds"
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds"
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:12.5e}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The LU factorization `P·A = L·U` of a [`DenseMatrix`].
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    n: usize,
+    /// Packed L (unit lower, below diagonal) and U (upper, incl. diagonal).
+    lu: Vec<f64>,
+    /// `perm[k]` = original row index now in position `k`.
+    perm: Vec<usize>,
+}
+
+impl DenseLu {
+    /// Order of the factored matrix.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b` in place (`b` becomes `x`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] when `b.len() != order`.
+    pub fn solve_in_place(&self, b: &mut [f64]) -> Result<(), SolveError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(SolveError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
+        }
+        // Apply the row permutation.
+        let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution with unit lower triangular L.
+        for i in 1..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.lu[i * n + j] * y[j];
+            }
+            y[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.lu[i * n + j] * y[j];
+            }
+            y[i] = s / self.lu[i * n + i];
+        }
+        b.copy_from_slice(&y);
+        Ok(())
+    }
+
+    /// Solves `A·x = b`, returning `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] when `b.len() != order`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let lu = DenseMatrix::identity(4).lu().unwrap();
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(lu.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // a11 = 0 forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.lu().unwrap().solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(a.lu(), Err(SolveError::Singular { .. })));
+    }
+
+    #[test]
+    fn not_square_is_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert_eq!(
+            a.lu().unwrap_err(),
+            SolveError::NotSquare { rows: 2, cols: 3 }
+        );
+    }
+
+    #[test]
+    fn residual_is_tiny_on_a_3x3() {
+        let a = DenseMatrix::from_rows(&[&[3.0, -1.0, 2.0], &[1.0, 4.0, 0.5], &[-2.0, 1.5, 5.0]])
+            .unwrap();
+        let x_true = [1.0, -2.0, 0.25];
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matvec_checks_dimensions() {
+        let a = DenseMatrix::zeros(2, 2);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        assert!(DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0]]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_panics_out_of_bounds() {
+        let a = DenseMatrix::zeros(1, 1);
+        let _ = a[(1, 0)];
+    }
+}

@@ -1,0 +1,45 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by factorization and solve routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The matrix is structurally or numerically singular.
+    Singular {
+        /// Elimination step (column) at which no usable pivot was found.
+        step: usize,
+    },
+    /// Operand dimensions do not agree.
+    DimensionMismatch {
+        /// Expected length/size.
+        expected: usize,
+        /// Received length/size.
+        got: usize,
+    },
+    /// Factorization requires a square matrix.
+    NotSquare {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Singular { step } => {
+                write!(f, "matrix is singular at elimination step {step}")
+            }
+            SolveError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            SolveError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}

@@ -1,0 +1,194 @@
+use crate::{CscMatrix, DenseMatrix};
+
+/// A coordinate-format (COO) sparse matrix builder.
+///
+/// Entries may be pushed in any order; **duplicate entries are summed**
+/// when compiling to CSC, which is exactly the semantics of MNA stamping:
+/// each circuit element adds its contribution to the same matrix position.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_sparse::TripletMatrix;
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // stamped twice: sums to 3.0
+/// let a = t.to_csc();
+/// assert_eq!(a.get(0, 0), 3.0);
+/// assert_eq!(a.nnz(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TripletMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty builder with the given shape.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`. Zero values are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the position is out of bounds or the value is not finite.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "entry ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        assert!(
+            value.is_finite(),
+            "matrix entries must be finite, got {value}"
+        );
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Clears all entries, keeping the shape (for matrix re-assembly).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Compiles to compressed sparse column form, summing duplicates.
+    #[must_use]
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut col_counts = vec![0usize; self.cols + 1];
+        for &(_, c, _) in &self.entries {
+            col_counts[c + 1] += 1;
+        }
+        for c in 0..self.cols {
+            col_counts[c + 1] += col_counts[c];
+        }
+        // Scatter into per-column buckets, then sort each by row and merge
+        // duplicates.
+        let mut buckets: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.cols];
+        for &(r, c, v) in &self.entries {
+            buckets[c].push((r, v));
+        }
+        let mut col_ptr = Vec::with_capacity(self.cols + 1);
+        let mut row_idx = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        col_ptr.push(0);
+        for bucket in &mut buckets {
+            bucket.sort_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < bucket.len() {
+                let r = bucket[i].0;
+                let mut v = bucket[i].1;
+                i += 1;
+                while i < bucket.len() && bucket[i].0 == r {
+                    v += bucket[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix::from_parts(self.rows, self.cols, col_ptr, row_idx, values)
+    }
+
+    /// Compiles to a dense matrix (testing/debugging aid).
+    #[must_use]
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for &(r, c, v) in &self.entries {
+            m[(r, c)] += v;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_sum_and_zeros_drop() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(1, 2, 5.0);
+        t.push(1, 2, -5.0); // cancels to zero: dropped in CSC
+        t.push(0, 0, 1.0);
+        t.push(0, 0, 0.0); // explicit zero: skipped
+        let a = t.to_csc();
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn csc_matches_dense() {
+        let mut t = TripletMatrix::new(3, 2);
+        t.push(2, 0, 4.0);
+        t.push(0, 1, -1.0);
+        t.push(2, 0, 0.5);
+        let d = t.to_dense();
+        let s = t.to_csc();
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(s.get(i, j), d[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn clear_resets_entries_only() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_push_panics() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(1, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_push_panics() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(0, 0, f64::NAN);
+    }
+}

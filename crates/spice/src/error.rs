@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+use ntr_sparse::SolveError;
+
+/// Errors raised by simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The circuit has no non-ground nodes to solve for.
+    EmptyCircuit,
+    /// The MNA system could not be factored or solved.
+    Solve(SolveError),
+    /// Invalid time-stepping parameters.
+    InvalidTimeStep {
+        /// The rejected step (seconds).
+        dt: f64,
+    },
+    /// A probed node never reached the measurement threshold within the
+    /// simulation horizon.
+    ThresholdNotReached {
+        /// Circuit node that failed to cross.
+        node: usize,
+    },
+    /// A probe refers to a node the circuit does not have.
+    UnknownProbe {
+        /// The offending node.
+        node: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyCircuit => write!(f, "circuit has no non-ground nodes"),
+            SimError::Solve(e) => write!(f, "linear solve failed: {e}"),
+            SimError::InvalidTimeStep { dt } => {
+                write!(f, "time step must be positive and finite, got {dt}")
+            }
+            SimError::ThresholdNotReached { node } => {
+                write!(f, "node {node} never crossed the measurement threshold")
+            }
+            SimError::UnknownProbe { node } => write!(f, "probe node {node} does not exist"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for SimError {
+    fn from(e: SolveError) -> Self {
+        SimError::Solve(e)
+    }
+}

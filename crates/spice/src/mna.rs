@@ -1,0 +1,308 @@
+use ntr_circuit::{Circuit, Element, Waveform};
+use ntr_sparse::{CscMatrix, TripletMatrix};
+
+use crate::SimError;
+
+/// The modified nodal analysis (MNA) descriptor form of a circuit:
+///
+/// ```text
+/// A_static · x(t) + A_dynamic · dx/dt = b(t)
+/// ```
+///
+/// where the unknown vector `x` holds the non-ground node voltages followed
+/// by one branch current per voltage source and per inductor. `A_static`
+/// carries conductances and incidence rows; `A_dynamic` carries
+/// capacitances (KCL rows) and `−L` (inductor branch rows); `b(t)` is zero
+/// except in voltage-source rows, which carry the source waveforms.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_circuit::{Circuit, Waveform};
+/// use ntr_spice::Mna;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = Circuit::new();
+/// let n = c.add_node();
+/// c.add_voltage_source(n, Circuit::GROUND, Waveform::Dc(1.0))?;
+/// c.add_resistor(n, Circuit::GROUND, 100.0)?;
+/// let mna = Mna::build(&c)?;
+/// assert_eq!(mna.unknowns(), 2); // one node voltage + one branch current
+/// let x = mna.dc_operating_point()?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mna {
+    node_count: usize,
+    unknowns: usize,
+    a_static: CscMatrix,
+    a_dynamic: CscMatrix,
+    /// `(row, waveform)` of each voltage source.
+    sources: Vec<(usize, Waveform)>,
+    /// `(pos unknown, neg unknown, waveform)` of each current source.
+    current_sources: Vec<(Option<usize>, Option<usize>, Waveform)>,
+}
+
+impl Mna {
+    /// Stamps `circuit` into MNA descriptor form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyCircuit`] when the circuit has no non-ground
+    /// nodes.
+    pub fn build(circuit: &Circuit) -> Result<Self, SimError> {
+        let node_count = circuit.node_count();
+        if node_count <= 1 {
+            return Err(SimError::EmptyCircuit);
+        }
+        let n_v = node_count - 1; // voltage unknowns (ground eliminated)
+        let n_branch = circuit.voltage_source_count() + circuit.inductor_count();
+        let n = n_v + n_branch;
+
+        // Ground maps to None; node k (k >= 1) maps to unknown k-1.
+        let vidx = |node: usize| -> Option<usize> { node.checked_sub(1) };
+
+        let mut a_s = TripletMatrix::new(n, n);
+        let mut a_d = TripletMatrix::new(n, n);
+        let mut sources = Vec::new();
+        let mut current_sources = Vec::new();
+        let mut next_branch = n_v;
+
+        for element in circuit.elements() {
+            match element.clone() {
+                Element::Resistor { a, b, ohms } => {
+                    let g = 1.0 / ohms;
+                    stamp_conductance(&mut a_s, vidx(a), vidx(b), g);
+                }
+                Element::Capacitor { a, b, farads } => {
+                    stamp_conductance(&mut a_d, vidx(a), vidx(b), farads);
+                }
+                Element::Inductor { a, b, henries } => {
+                    let row = next_branch;
+                    next_branch += 1;
+                    // Branch equation: v_a − v_b − L·di/dt = 0.
+                    if let Some(ia) = vidx(a) {
+                        a_s.push(row, ia, 1.0);
+                        a_s.push(ia, row, 1.0);
+                    }
+                    if let Some(ib) = vidx(b) {
+                        a_s.push(row, ib, -1.0);
+                        a_s.push(ib, row, -1.0);
+                    }
+                    a_d.push(row, row, -henries);
+                }
+                Element::VoltageSource { pos, neg, waveform } => {
+                    let row = next_branch;
+                    next_branch += 1;
+                    if let Some(ip) = vidx(pos) {
+                        a_s.push(row, ip, 1.0);
+                        a_s.push(ip, row, 1.0);
+                    }
+                    if let Some(ineg) = vidx(neg) {
+                        a_s.push(row, ineg, -1.0);
+                        a_s.push(ineg, row, -1.0);
+                    }
+                    sources.push((row, waveform));
+                }
+                Element::CurrentSource {
+                    from,
+                    into,
+                    waveform,
+                } => {
+                    current_sources.push((vidx(into), vidx(from), waveform));
+                }
+            }
+        }
+
+        Ok(Self {
+            node_count,
+            unknowns: n,
+            a_static: a_s.to_csc(),
+            a_dynamic: a_d.to_csc(),
+            sources,
+            current_sources,
+        })
+    }
+
+    /// Number of unknowns (node voltages + branch currents).
+    #[must_use]
+    pub fn unknowns(&self) -> usize {
+        self.unknowns
+    }
+
+    /// Number of circuit nodes, including ground.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The static (resistive/incidence) system matrix.
+    #[must_use]
+    pub fn a_static(&self) -> &CscMatrix {
+        &self.a_static
+    }
+
+    /// The dynamic (capacitive/inductive) system matrix.
+    #[must_use]
+    pub fn a_dynamic(&self) -> &CscMatrix {
+        &self.a_dynamic
+    }
+
+    /// The unknown index of a node's voltage, or `None` for ground.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProbe`] for an out-of-range node.
+    pub fn voltage_index(&self, node: usize) -> Result<Option<usize>, SimError> {
+        if node >= self.node_count {
+            return Err(SimError::UnknownProbe { node });
+        }
+        Ok(node.checked_sub(1))
+    }
+
+    /// Writes `b(t)` into `rhs` (which must be zeroed or is overwritten).
+    pub fn rhs_at(&self, t: f64, rhs: &mut [f64]) {
+        rhs.fill(0.0);
+        for (row, waveform) in &self.sources {
+            rhs[*row] = waveform.value_at(t);
+        }
+        // Current sources: +I into the receiving node, -I out of the other.
+        for (into, from, waveform) in &self.current_sources {
+            let i = waveform.value_at(t);
+            if let Some(p) = into {
+                rhs[*p] += i;
+            }
+            if let Some(m) = from {
+                rhs[*m] -= i;
+            }
+        }
+    }
+
+    /// Solves the DC operating point `A_static·x = b(∞)` (capacitors open,
+    /// inductors short, sources at their final values).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Solve`] when the static system is singular.
+    pub fn dc_operating_point(&self) -> Result<Vec<f64>, SimError> {
+        let lu = ntr_sparse::SparseLu::factor(&self.a_static, ntr_sparse::Ordering::MinDegree)?;
+        let mut b = vec![0.0; self.unknowns];
+        for (row, waveform) in &self.sources {
+            b[*row] = waveform.final_value();
+        }
+        for (into, from, waveform) in &self.current_sources {
+            let i = waveform.final_value();
+            if let Some(p) = into {
+                b[*p] += i;
+            }
+            if let Some(m) = from {
+                b[*m] -= i;
+            }
+        }
+        lu.solve_in_place(&mut b)?;
+        Ok(b)
+    }
+}
+
+/// Stamps a two-terminal conductance-like value `g` between unknowns `a`
+/// and `b` (`None` = ground).
+fn stamp_conductance(m: &mut TripletMatrix, a: Option<usize>, b: Option<usize>, g: f64) {
+    if let Some(i) = a {
+        m.push(i, i, g);
+    }
+    if let Some(j) = b {
+        m.push(j, j, g);
+    }
+    if let (Some(i), Some(j)) = (a, b) {
+        m.push(i, j, -g);
+        m.push(j, i, -g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Voltage divider: V=2 through 100 + 300 to ground; mid node = 1.5 V.
+    #[test]
+    fn dc_voltage_divider() {
+        let mut c = Circuit::new();
+        let top = c.add_node();
+        let mid = c.add_node();
+        c.add_voltage_source(top, Circuit::GROUND, Waveform::Dc(2.0))
+            .unwrap();
+        c.add_resistor(top, mid, 100.0).unwrap();
+        c.add_resistor(mid, Circuit::GROUND, 300.0).unwrap();
+        let mna = Mna::build(&c).unwrap();
+        let x = mna.dc_operating_point().unwrap();
+        let mid_idx = mna.voltage_index(mid).unwrap().unwrap();
+        assert!((x[mid_idx] - 1.5).abs() < 1e-12);
+    }
+
+    /// At DC an inductor is a short: both terminals equal.
+    #[test]
+    fn dc_inductor_is_short() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        c.add_voltage_source(a, Circuit::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        c.add_inductor(a, b, 1e-9).unwrap();
+        c.add_resistor(b, Circuit::GROUND, 50.0).unwrap();
+        let mna = Mna::build(&c).unwrap();
+        let x = mna.dc_operating_point().unwrap();
+        assert!((x[0] - x[1]).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    /// Capacitors are open at DC: the capacitive branch carries no current,
+    /// so a series R sees no drop.
+    #[test]
+    fn dc_capacitor_is_open() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        c.add_voltage_source(a, Circuit::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        c.add_resistor(a, b, 1000.0).unwrap();
+        c.add_capacitor(b, Circuit::GROUND, 1e-12).unwrap();
+        let mna = Mna::build(&c).unwrap();
+        let x = mna.dc_operating_point().unwrap();
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_circuit_is_rejected() {
+        let c = Circuit::new();
+        assert_eq!(Mna::build(&c).unwrap_err(), SimError::EmptyCircuit);
+    }
+
+    #[test]
+    fn rhs_follows_waveform() {
+        let mut c = Circuit::new();
+        let n = c.add_node();
+        c.add_voltage_source(n, Circuit::GROUND, Waveform::Step { level: 3.0 })
+            .unwrap();
+        c.add_resistor(n, Circuit::GROUND, 1.0).unwrap();
+        let mna = Mna::build(&c).unwrap();
+        let mut rhs = vec![0.0; mna.unknowns()];
+        mna.rhs_at(-1.0, &mut rhs);
+        assert_eq!(rhs, vec![0.0, 0.0]);
+        mna.rhs_at(1.0, &mut rhs);
+        assert_eq!(rhs, vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn unknown_probe_is_reported() {
+        let mut c = Circuit::new();
+        let n = c.add_node();
+        c.add_resistor(n, Circuit::GROUND, 1.0).unwrap();
+        let mna = Mna::build(&c).unwrap();
+        assert!(matches!(
+            mna.voltage_index(5),
+            Err(SimError::UnknownProbe { node: 5 })
+        ));
+        assert_eq!(mna.voltage_index(0).unwrap(), None);
+    }
+}

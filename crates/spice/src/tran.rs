@@ -1,0 +1,450 @@
+use ntr_circuit::Circuit;
+use ntr_sparse::{Ordering, SparseLu, TripletMatrix};
+
+use crate::{Mna, SimError};
+
+/// Time-integration scheme for [`TransientSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Integrator {
+    /// Backward Euler: first order, L-stable, damps everything. The safe
+    /// default for step-response delay measurement.
+    #[default]
+    BackwardEuler,
+    /// Trapezoidal rule: second order, A-stable. More accurate per step on
+    /// smooth waveforms; the first step is taken with Backward Euler to
+    /// absorb the step-input discontinuity.
+    Trapezoidal,
+}
+
+/// A waveform record from a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientResult {
+    /// Sample times, starting at `dt` (the initial state at `t = 0` is the
+    /// all-zero vector and is not stored).
+    pub times: Vec<f64>,
+    /// One voltage waveform per probe, in probe order.
+    pub probes: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// The last recorded value of probe `p`, or `None` when nothing was
+    /// recorded (zero-length run) or the probe index is out of range.
+    #[must_use]
+    pub fn final_value(&self, p: usize) -> Option<f64> {
+        self.probes.get(p).and_then(|w| w.last().copied())
+    }
+
+    /// Linearly interpolated value of probe `p` at time `t` (clamping to
+    /// the recorded range; the implicit `(0, 0)` initial sample anchors
+    /// times before the first step). Returns `None` for a bad probe index
+    /// or an empty record.
+    #[must_use]
+    pub fn sample_at(&self, p: usize, t: f64) -> Option<f64> {
+        let wave = self.probes.get(p)?;
+        if wave.is_empty() {
+            return None;
+        }
+        if t <= 0.0 {
+            return Some(0.0);
+        }
+        let mut t_prev = 0.0;
+        let mut v_prev = 0.0;
+        for (&ti, &vi) in self.times.iter().zip(wave) {
+            if t <= ti {
+                if ti <= t_prev {
+                    return Some(vi);
+                }
+                return Some(v_prev + (vi - v_prev) * (t - t_prev) / (ti - t_prev));
+            }
+            t_prev = ti;
+            v_prev = vi;
+        }
+        wave.last().copied()
+    }
+
+    /// Renders the waveforms as CSV (`time` column plus one column per
+    /// probe), ready for plotting.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `labels.len()` differs from the probe count.
+    #[must_use]
+    pub fn to_csv(&self, labels: &[&str]) -> String {
+        use std::fmt::Write as _;
+        assert_eq!(
+            labels.len(),
+            self.probes.len(),
+            "one label per probe required"
+        );
+        let mut out = String::from("time");
+        for label in labels {
+            out.push(',');
+            out.push_str(label);
+        }
+        out.push('\n');
+        for (i, t) in self.times.iter().enumerate() {
+            let _ = write!(out, "{t:e}");
+            for wave in &self.probes {
+                let _ = write!(out, ",{:e}", wave[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A fixed-step transient simulator over an [`Mna`] system.
+///
+/// The companion matrix `A_static + A_dynamic/dt` (Backward Euler) or
+/// `A_static + 2·A_dynamic/dt` (trapezoidal) is factored **once** with the
+/// sparse LU; every time step is a matrix–vector product plus two
+/// triangular solves, the same cost profile as SPICE's transient loop with
+/// a fixed step.
+///
+/// # Examples
+///
+/// RC low-pass step response matches the analytic `1 − e^{−t/RC}`:
+///
+/// ```
+/// use ntr_circuit::{Circuit, Waveform};
+/// use ntr_spice::{Integrator, TransientSim};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = Circuit::new();
+/// let inp = c.add_node();
+/// let out = c.add_node();
+/// c.add_voltage_source(inp, Circuit::GROUND, Waveform::Step { level: 1.0 })?;
+/// c.add_resistor(inp, out, 1000.0)?;
+/// c.add_capacitor(out, Circuit::GROUND, 1e-12)?; // tau = 1 ns
+/// let mut sim = TransientSim::new(&c, Integrator::Trapezoidal)?;
+/// let result = sim.run(1e-12, 5e-9, &[out])?;
+/// let last = *result.probes[0].last().unwrap();
+/// assert!((last - 1.0).abs() < 1e-2); // settled
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TransientSim {
+    mna: Mna,
+    integrator: Integrator,
+}
+
+impl TransientSim {
+    /// Builds a simulator for `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyCircuit`] for a ground-only circuit.
+    pub fn new(circuit: &Circuit, integrator: Integrator) -> Result<Self, SimError> {
+        Ok(Self {
+            mna: Mna::build(circuit)?,
+            integrator,
+        })
+    }
+
+    /// The underlying MNA system.
+    #[must_use]
+    pub fn mna(&self) -> &Mna {
+        &self.mna
+    }
+
+    /// Runs a step-response transient from the all-zero initial state.
+    ///
+    /// Simulates `0 < t <= t_stop` with step `dt`, recording the voltages of
+    /// `probe_nodes` at every step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTimeStep`] for a non-positive `dt` or
+    /// `t_stop`, [`SimError::UnknownProbe`] for a bad probe, and
+    /// [`SimError::Solve`] when the companion matrix is singular.
+    pub fn run(
+        &mut self,
+        dt: f64,
+        t_stop: f64,
+        probe_nodes: &[usize],
+    ) -> Result<TransientResult, SimError> {
+        self.run_until(dt, t_stop, probe_nodes, |_, _| false)
+    }
+
+    /// Like [`TransientSim::run`], but stops early once
+    /// `stop(times, probes)` returns true (checked every 32 steps).
+    ///
+    /// Early stopping is what makes the greedy LDRG loop affordable: delay
+    /// measurement only needs the waveforms up to their 50 % crossings.
+    ///
+    /// # Errors
+    ///
+    /// As [`TransientSim::run`].
+    pub fn run_until<F>(
+        &mut self,
+        dt: f64,
+        t_stop: f64,
+        probe_nodes: &[usize],
+        mut stop: F,
+    ) -> Result<TransientResult, SimError>
+    where
+        F: FnMut(&[f64], &[Vec<f64>]) -> bool,
+    {
+        if !(dt.is_finite() && dt > 0.0 && t_stop.is_finite() && t_stop > 0.0) {
+            return Err(SimError::InvalidTimeStep { dt });
+        }
+        let probe_idx: Vec<usize> = probe_nodes
+            .iter()
+            .map(|&node| {
+                self.mna
+                    .voltage_index(node)?
+                    .ok_or(SimError::UnknownProbe { node })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let n = self.mna.unknowns();
+        let a_s = self.mna.a_static();
+        let a_d = self.mna.a_dynamic();
+
+        // Companion matrices. `alpha` multiplies A_dynamic.
+        let build = |alpha: f64| -> TripletMatrix {
+            let mut t = TripletMatrix::new(n, n);
+            for c in 0..n {
+                for (r, v) in a_s.col(c) {
+                    t.push(r, c, v);
+                }
+                for (r, v) in a_d.col(c) {
+                    t.push(r, c, v * alpha);
+                }
+            }
+            t
+        };
+        let lu_be = SparseLu::factor(&build(1.0 / dt).to_csc(), Ordering::MinDegree)?;
+        let lu_main = match self.integrator {
+            Integrator::BackwardEuler => None,
+            Integrator::Trapezoidal => Some(SparseLu::factor(
+                &build(2.0 / dt).to_csc(),
+                Ordering::MinDegree,
+            )?),
+        };
+
+        let steps = (t_stop / dt).ceil() as usize;
+        let mut x = vec![0.0f64; n];
+        let mut rhs = vec![0.0f64; n];
+        let mut b_prev = vec![0.0f64; n];
+        self.mna.rhs_at(0.0, &mut b_prev);
+
+        let mut times = Vec::with_capacity(steps);
+        let mut probes: Vec<Vec<f64>> = vec![Vec::with_capacity(steps); probe_idx.len()];
+
+        for step in 1..=steps {
+            let t1 = step as f64 * dt;
+            match (&lu_main, step) {
+                // Backward Euler (always used for the first step):
+                // (A_s + A_d/dt)·x1 = b(t1) + (A_d/dt)·x0
+                (None, _) | (Some(_), 1) => {
+                    let adx = a_d.matvec(&x)?;
+                    self.mna.rhs_at(t1, &mut rhs);
+                    for i in 0..n {
+                        rhs[i] += adx[i] / dt;
+                    }
+                    lu_be.solve_in_place(&mut rhs)?;
+                }
+                // Trapezoidal:
+                // (A_s + 2A_d/dt)·x1 = b(t0) + b(t1) + (2A_d/dt)·x0 − A_s·x0
+                (Some(lu), _) => {
+                    let adx = a_d.matvec(&x)?;
+                    let asx = a_s.matvec(&x)?;
+                    self.mna.rhs_at(t1, &mut rhs);
+                    for i in 0..n {
+                        rhs[i] += b_prev[i] + 2.0 * adx[i] / dt - asx[i];
+                    }
+                    lu.solve_in_place(&mut rhs)?;
+                }
+            }
+            std::mem::swap(&mut x, &mut rhs);
+            self.mna.rhs_at(t1, &mut b_prev);
+
+            times.push(t1);
+            for (probe, &idx) in probes.iter_mut().zip(&probe_idx) {
+                probe.push(x[idx]);
+            }
+            if step % 32 == 0 && stop(&times, &probes) {
+                break;
+            }
+        }
+        Ok(TransientResult { times, probes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntr_circuit::Waveform;
+
+    fn rc_circuit(r: f64, c: f64) -> (Circuit, usize) {
+        let mut ckt = Circuit::new();
+        let inp = ckt.add_node();
+        let out = ckt.add_node();
+        ckt.add_voltage_source(inp, Circuit::GROUND, Waveform::Step { level: 1.0 })
+            .unwrap();
+        ckt.add_resistor(inp, out, r).unwrap();
+        ckt.add_capacitor(out, Circuit::GROUND, c).unwrap();
+        (ckt, out)
+    }
+
+    /// Single-pole RC: compare against 1 - exp(-t/RC) pointwise.
+    #[test]
+    fn rc_step_matches_analytic() {
+        let tau = 1e-9;
+        let (ckt, out) = rc_circuit(1000.0, 1e-12);
+        for integrator in [Integrator::BackwardEuler, Integrator::Trapezoidal] {
+            let mut sim = TransientSim::new(&ckt, integrator).unwrap();
+            let res = sim.run(tau / 1000.0, 5.0 * tau, &[out]).unwrap();
+            let tol = match integrator {
+                Integrator::BackwardEuler => 2e-3,
+                Integrator::Trapezoidal => 2e-5,
+            };
+            for (t, v) in res.times.iter().zip(&res.probes[0]) {
+                let expect = 1.0 - (-t / tau).exp();
+                assert!(
+                    (v - expect).abs() < tol,
+                    "{integrator:?} at t={t}: {v} vs {expect}"
+                );
+            }
+        }
+    }
+
+    /// Trapezoidal converges at second order: quartering dt cuts the error
+    /// by ~16x (we assert at least 8x to allow constant factors).
+    #[test]
+    fn trapezoidal_is_second_order() {
+        let tau = 1e-9;
+        let (ckt, out) = rc_circuit(1000.0, 1e-12);
+        let err = |dt: f64| -> f64 {
+            let mut sim = TransientSim::new(&ckt, Integrator::Trapezoidal).unwrap();
+            let res = sim.run(dt, 2.0 * tau, &[out]).unwrap();
+            res.times
+                .iter()
+                .zip(&res.probes[0])
+                .skip(2) // the BE start step dominates the first samples
+                .map(|(t, v)| (v - (1.0 - (-t / tau).exp())).abs())
+                .fold(0.0, f64::max)
+        };
+        let e1 = err(tau / 50.0);
+        let e2 = err(tau / 200.0);
+        assert!(e2 < e1 / 8.0, "e1={e1}, e2={e2}");
+    }
+
+    /// RLC with small L still settles to the DC value.
+    #[test]
+    fn rlc_settles_to_dc() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.add_node();
+        let mid = ckt.add_node();
+        let out = ckt.add_node();
+        ckt.add_voltage_source(inp, Circuit::GROUND, Waveform::Step { level: 1.0 })
+            .unwrap();
+        ckt.add_resistor(inp, mid, 100.0).unwrap();
+        ckt.add_inductor(mid, out, 5e-9).unwrap();
+        ckt.add_capacitor(out, Circuit::GROUND, 1e-12).unwrap();
+        let mut sim = TransientSim::new(&ckt, Integrator::BackwardEuler).unwrap();
+        let res = sim.run(1e-12, 20e-9, &[out]).unwrap();
+        let last = *res.probes[0].last().unwrap();
+        assert!((last - 1.0).abs() < 1e-3, "settled to {last}");
+    }
+
+    #[test]
+    fn early_stop_truncates_run() {
+        let (ckt, out) = rc_circuit(1000.0, 1e-12);
+        let mut sim = TransientSim::new(&ckt, Integrator::BackwardEuler).unwrap();
+        let res = sim
+            .run_until(1e-12, 100e-9, &[out], |_, probes| {
+                probes[0].last().is_some_and(|&v| v > 0.9)
+            })
+            .unwrap();
+        assert!(
+            res.times.len() < 5000,
+            "stopped after {} steps",
+            res.times.len()
+        );
+        assert!(*res.probes[0].last().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        let (ckt, out) = rc_circuit(1.0, 1e-12);
+        let mut sim = TransientSim::new(&ckt, Integrator::BackwardEuler).unwrap();
+        assert!(matches!(
+            sim.run(0.0, 1e-9, &[out]),
+            Err(SimError::InvalidTimeStep { .. })
+        ));
+        assert!(matches!(
+            sim.run(1e-12, 1e-9, &[99]),
+            Err(SimError::UnknownProbe { .. })
+        ));
+        // Ground is not probe-able (it has no unknown).
+        assert!(matches!(
+            sim.run(1e-12, 1e-9, &[0]),
+            Err(SimError::UnknownProbe { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod result_tests {
+    use super::*;
+
+    fn sample_result() -> TransientResult {
+        TransientResult {
+            times: vec![1.0, 2.0, 3.0],
+            probes: vec![vec![0.1, 0.3, 0.4]],
+        }
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let r = sample_result();
+        let csv = r.to_csv(&["out"]);
+        assert!(csv.starts_with("time,out\n"));
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.contains("2e0,3e-1"));
+    }
+
+    #[test]
+    fn sample_at_interpolates_and_clamps() {
+        let r = sample_result();
+        assert_eq!(r.sample_at(0, -1.0), Some(0.0));
+        assert!((r.sample_at(0, 0.5).unwrap() - 0.05).abs() < 1e-12);
+        assert!((r.sample_at(0, 1.5).unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(r.sample_at(0, 99.0), Some(0.4));
+        assert_eq!(r.sample_at(1, 1.0), None);
+        assert_eq!(r.final_value(0), Some(0.4));
+        assert_eq!(r.final_value(1), None);
+    }
+
+    /// Charge conservation: for a step-driven RC circuit, the charge that
+    /// flowed into the caps equals the integral of source current, i.e.
+    /// at steady state every capacitor holds C*V_final. We verify via the
+    /// DC solution matching the transient tail.
+    #[test]
+    fn transient_tail_matches_dc_operating_point() {
+        use ntr_circuit::{Circuit, Waveform};
+        let mut c = Circuit::new();
+        let inp = c.add_node();
+        let a = c.add_node();
+        let b = c.add_node();
+        c.add_voltage_source(inp, Circuit::GROUND, Waveform::Step { level: 0.7 })
+            .unwrap();
+        c.add_resistor(inp, a, 220.0).unwrap();
+        c.add_resistor(a, b, 330.0).unwrap();
+        c.add_resistor(b, Circuit::GROUND, 470.0).unwrap();
+        c.add_capacitor(a, Circuit::GROUND, 2e-12).unwrap();
+        c.add_capacitor(b, Circuit::GROUND, 3e-12).unwrap();
+        let mut sim = TransientSim::new(&c, Integrator::Trapezoidal).unwrap();
+        let res = sim.run(1e-12, 30e-9, &[a, b]).unwrap();
+        let dc = sim.mna().dc_operating_point().unwrap();
+        let ia = sim.mna().voltage_index(a).unwrap().unwrap();
+        let ib = sim.mna().voltage_index(b).unwrap().unwrap();
+        assert!((res.final_value(0).unwrap() - dc[ia]).abs() < 1e-6);
+        assert!((res.final_value(1).unwrap() - dc[ib]).abs() < 1e-6);
+        // The resistive divider puts b below a.
+        assert!(dc[ib] < dc[ia]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Differential test of the deck exporter/parser pair: a routing circuit
+//! exported to SPICE text and parsed back must simulate identically.
+
+use ntr_circuit::{
+    extract, parse_spice_deck, to_spice_deck, Circuit, ExtractOptions, Technology, Waveform,
+};
+use ntr_geom::{Layout, NetGenerator};
+use ntr_graph::prim_mst;
+use ntr_spice::{sink_delays, Integrator, Mna, SimConfig, TransientSim};
+
+#[test]
+fn routing_deck_round_trips_through_text() {
+    let net = NetGenerator::new(Layout::date94(), 17)
+        .random_net(8)
+        .unwrap();
+    let mst = prim_mst(&net);
+    let tech = Technology::date94();
+    let extracted = extract(&mst, &tech, &ExtractOptions::default()).unwrap();
+
+    let original_delays = sink_delays(&extracted, &SimConfig::default()).unwrap();
+    let horizon = original_delays.iter().copied().fold(0.0, f64::max) * 10.0;
+
+    let deck = to_spice_deck(
+        &extracted.circuit,
+        "roundtrip",
+        horizon,
+        &extracted.sink_nodes,
+    );
+    let parsed = parse_spice_deck(&deck).unwrap();
+    assert_eq!(parsed.title, "roundtrip");
+    assert_eq!(
+        parsed.circuit.elements().len(),
+        extracted.circuit.elements().len()
+    );
+    assert_eq!(parsed.circuit.node_count(), extracted.circuit.node_count());
+
+    // Node labels in the deck are the original circuit indices, so probe
+    // nodes translate through the parser's node map.
+    let translated: Vec<usize> = extracted
+        .sink_nodes
+        .iter()
+        .map(|n| parsed.nodes[&n.to_string()])
+        .collect();
+
+    // Simulate both circuits step-for-step and compare waveforms. The
+    // exporter renders the ideal step as a very fast PWL ramp, so allow a
+    // small tolerance.
+    let dt = horizon / 2000.0;
+    let mut sim_a = TransientSim::new(&extracted.circuit, Integrator::Trapezoidal).unwrap();
+    let mut sim_b = TransientSim::new(&parsed.circuit, Integrator::Trapezoidal).unwrap();
+    let ra = sim_a.run(dt, horizon / 2.0, &extracted.sink_nodes).unwrap();
+    let rb = sim_b.run(dt, horizon / 2.0, &translated).unwrap();
+    for (wa, wb) in ra.probes.iter().zip(&rb.probes) {
+        for (a, b) in wa.iter().zip(wb) {
+            assert!((a - b).abs() < 2e-3, "waveforms diverge: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn pwl_driven_circuit_simulates_the_ramp() {
+    // A slow PWL ramp through an RC: the output tracks the ramp with lag.
+    let mut c = Circuit::new();
+    let inp = c.add_node();
+    let out = c.add_node();
+    c.add_voltage_source(
+        inp,
+        Circuit::GROUND,
+        Waveform::Pwl(vec![(0.0, 0.0), (5e-9, 1.0)]),
+    )
+    .unwrap();
+    c.add_resistor(inp, out, 100.0).unwrap();
+    c.add_capacitor(out, Circuit::GROUND, 1e-12).unwrap();
+    let mut sim = TransientSim::new(&c, Integrator::Trapezoidal).unwrap();
+    let res = sim.run(1e-12, 10e-9, &[inp, out]).unwrap();
+    // Input at 2.5 ns is 0.5 V by construction.
+    let i_mid = res.times.iter().position(|&t| t >= 2.5e-9).unwrap();
+    assert!((res.probes[0][i_mid] - 0.5).abs() < 1e-3);
+    // Output lags the input during the ramp, then settles to 1 V.
+    assert!(res.probes[1][i_mid] < res.probes[0][i_mid]);
+    assert!((res.probes[1].last().unwrap() - 1.0).abs() < 1e-3);
+}
+
+#[test]
+fn current_source_into_resistor_matches_ohms_law() {
+    let mut c = Circuit::new();
+    let n = c.add_node();
+    c.add_current_source(Circuit::GROUND, n, Waveform::Dc(2e-3))
+        .unwrap();
+    c.add_resistor(n, Circuit::GROUND, 500.0).unwrap();
+    let mna = Mna::build(&c).unwrap();
+    let x = mna.dc_operating_point().unwrap();
+    // 2 mA into 500 ohms = 1 V.
+    assert!((x[0] - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn current_source_step_charges_capacitor_linearly() {
+    // I = C dV/dt: a 1 uA step into 1 pF ramps at 1 V/us.
+    let mut c = Circuit::new();
+    let n = c.add_node();
+    c.add_current_source(Circuit::GROUND, n, Waveform::Step { level: 1e-6 })
+        .unwrap();
+    c.add_capacitor(n, Circuit::GROUND, 1e-12).unwrap();
+    // A huge bleed resistor keeps the DC system nonsingular.
+    c.add_resistor(n, Circuit::GROUND, 1e12).unwrap();
+    let mut sim = TransientSim::new(&c, Integrator::Trapezoidal).unwrap();
+    let res = sim.run(1e-9, 1e-6, &[n]).unwrap();
+    let v_end = *res.probes[0].last().unwrap();
+    assert!(
+        (v_end - 1.0).abs() < 1e-2,
+        "expected ~1 V after 1 us, got {v_end}"
+    );
+}

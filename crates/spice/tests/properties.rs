@@ -1,0 +1,186 @@
+//! Property-based cross-validation of the simulator against closed forms
+//! and against moment analysis, on randomly generated routing circuits.
+
+use ntr_circuit::{extract, Circuit, ExtractOptions, Segmentation, Technology, Waveform};
+use ntr_geom::{Layout, NetGenerator};
+use ntr_graph::prim_mst;
+use ntr_spice::{elmore_delays, sink_delays, Integrator, Moments, SimConfig, TransientSim};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Single-pole RC: simulated waveform matches 1 - exp(-t/RC) for random
+    /// R, C over several decades.
+    #[test]
+    fn rc_matches_analytic(r_exp in 1.0f64..4.0, c_exp in -14.0f64..-11.0) {
+        let r = 10f64.powf(r_exp);
+        let c = 10f64.powf(c_exp);
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let inp = ckt.add_node();
+        let out = ckt.add_node();
+        ckt.add_voltage_source(inp, Circuit::GROUND, Waveform::Step { level: 1.0 }).unwrap();
+        ckt.add_resistor(inp, out, r).unwrap();
+        ckt.add_capacitor(out, Circuit::GROUND, c).unwrap();
+        let mut sim = TransientSim::new(&ckt, Integrator::Trapezoidal).unwrap();
+        let res = sim.run(tau / 200.0, 3.0 * tau, &[out]).unwrap();
+        for (t, v) in res.times.iter().zip(&res.probes[0]) {
+            let expect = 1.0 - (-t / tau).exp();
+            prop_assert!((v - expect).abs() < 5e-4, "t={t}: {v} vs {expect}");
+        }
+    }
+
+    /// On random MSTs, the simulated 50% delay of every sink lies within
+    /// the classical bounds relative to its Elmore delay (0.35..1.1), and
+    /// the DC solution reaches the supply everywhere.
+    #[test]
+    fn mst_delay_brackets_elmore(seed in 0u64..300, size in 2usize..12) {
+        let net = NetGenerator::new(Layout::date94(), seed).random_net(size).unwrap();
+        let mst = prim_mst(&net);
+        let tech = Technology::date94();
+        let extracted = extract(&mst, &tech, &ExtractOptions::default()).unwrap();
+        let delays = sink_delays(&extracted, &SimConfig::default()).unwrap();
+        let elmores = elmore_delays(&extracted).unwrap();
+        for (d, e) in delays.iter().zip(&elmores) {
+            prop_assert!(*d > 0.0 && *e > 0.0);
+            // Near-source sinks see the fast initial RC-diffusion rise, so
+            // their 50% delay can sit well below their Elmore value; 1.0 is
+            // the upper bound (Elmore over-estimates the median delay).
+            let ratio = d / e;
+            prop_assert!(ratio > 0.05 && ratio < 1.1, "50% / Elmore ratio {ratio}");
+        }
+        // DC: every node charges to the supply.
+        let m = Moments::compute(&extracted.circuit, 1).unwrap();
+        for &node in &extracted.sink_nodes {
+            prop_assert!((m.dc_of_node(node).unwrap() - tech.supply_voltage).abs() < 1e-9);
+        }
+    }
+
+    /// Adding a shortcut edge from source to a sink never increases that
+    /// sink's simulated delay... is false in general (capacitance loading),
+    /// but the *Elmore* delay of the far sink always decreases when the
+    /// shortcut halves its path resistance and the added wire is short.
+    /// Here we check the simulator and moment engine move in the same
+    /// direction on the same edit.
+    #[test]
+    fn simulator_and_moments_agree_on_improvement_direction(seed in 0u64..100) {
+        let net = NetGenerator::new(Layout::date94(), seed).random_net(8).unwrap();
+        let mut g = prim_mst(&net);
+        let tech = Technology::date94();
+        let opts = ExtractOptions {
+            segmentation: Segmentation::MaxLength(500.0),
+            include_inductance: false,
+        };
+        let cfg = SimConfig::default();
+
+        let before = extract(&g, &tech, &opts).unwrap();
+        let d_before = sink_delays(&before, &cfg).unwrap();
+        let e_before = elmore_delays(&before).unwrap();
+        let max_d_before = d_before.iter().copied().fold(0.0, f64::max);
+        let max_e_before = e_before.iter().copied().fold(0.0, f64::max);
+
+        // Shortcut to the max-Elmore sink (heuristic H2's edge).
+        let worst = e_before
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        let sink_node = g.sink_nodes().nth(worst).unwrap();
+        if !g.has_edge(g.source(), sink_node) {
+            g.add_edge(g.source(), sink_node).unwrap();
+            let after = extract(&g, &tech, &opts).unwrap();
+            let d_after = sink_delays(&after, &cfg).unwrap();
+            let e_after = elmore_delays(&after).unwrap();
+            let max_d_after = d_after.iter().copied().fold(0.0, f64::max);
+            let max_e_after = e_after.iter().copied().fold(0.0, f64::max);
+            let sim_improved = max_d_after < max_d_before;
+            let elm_improved = max_e_after < max_e_before;
+            // The two delay models must agree on clear-cut cases: when they
+            // disagree the change must be small (within 12%).
+            if sim_improved != elm_improved {
+                let sim_change = (max_d_after - max_d_before).abs() / max_d_before;
+                prop_assert!(sim_change < 0.12, "models disagree on a {sim_change} change");
+            }
+        }
+    }
+
+    /// Moment engine m1 is additive: doubling all capacitance doubles the
+    /// Elmore delay of every node (G fixed).
+    #[test]
+    fn elmore_scales_linearly_with_cap(seed in 0u64..100, size in 2usize..10) {
+        let net = NetGenerator::new(Layout::date94(), seed).random_net(size).unwrap();
+        let mst = prim_mst(&net);
+        let mut tech = Technology::date94();
+        let opts = ExtractOptions::default();
+        let e1 = elmore_delays(&extract(&mst, &tech, &opts).unwrap()).unwrap();
+        tech.wire_capacitance_per_um *= 2.0;
+        tech.sink_capacitance *= 2.0;
+        let e2 = elmore_delays(&extract(&mst, &tech, &opts).unwrap()).unwrap();
+        for (a, b) in e1.iter().zip(&e2) {
+            prop_assert!((b / a - 2.0).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The moment-based threshold bounds bracket the simulated delay on
+    /// random routings — trees and non-trees alike — at several thresholds.
+    #[test]
+    fn moment_bounds_bracket_simulated_delay(seed in 0u64..150, add_edge in proptest::bool::ANY) {
+        let net = NetGenerator::new(Layout::date94(), seed).random_net(9).unwrap();
+        let mut g = prim_mst(&net);
+        if add_edge {
+            let far = g.node_ids().last().unwrap();
+            if !g.has_edge(g.source(), far) {
+                g.add_edge(g.source(), far).unwrap();
+            }
+        }
+        let tech = Technology::date94();
+        let extracted = extract(&g, &tech, &ExtractOptions::default()).unwrap();
+        let moments = Moments::compute(&extracted.circuit, 2).unwrap();
+
+        for &threshold in &[0.3, 0.5, 0.8] {
+            let cfg = SimConfig { threshold, steps_per_tau: 128, ..SimConfig::default() };
+            let delays = sink_delays(&extracted, &cfg).unwrap();
+            for (i, &node) in extracted.sink_nodes.iter().enumerate() {
+                let lo = moments.threshold_lower_bound(node, threshold).unwrap();
+                let hi = moments.threshold_upper_bound(node, threshold).unwrap();
+                let d = delays[i];
+                // Tolerate integration error at the bound edges.
+                prop_assert!(d >= lo * 0.99 - 1e-13, "t{threshold}: {d} < lower {lo}");
+                prop_assert!(d <= hi * 1.01 + 1e-13, "t{threshold}: {d} > upper {hi}");
+                prop_assert!(lo <= hi + 1e-18);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For RC circuits the step-response expansion coefficients alternate
+    /// in sign at every node (all poles are real and negative): m1 < 0 <
+    /// m2, m3 < 0, ... for any node with nonzero DC value.
+    #[test]
+    fn rc_moments_alternate_in_sign(seed in 0u64..150, size in 2usize..10) {
+        let net = NetGenerator::new(Layout::date94(), seed).random_net(size).unwrap();
+        let mst = prim_mst(&net);
+        let tech = Technology::date94();
+        let extracted = extract(&mst, &tech, &ExtractOptions::default()).unwrap();
+        let moments = Moments::compute(&extracted.circuit, 4).unwrap();
+        for &node in &extracted.sink_nodes {
+            for k in 1..=4usize {
+                let m = moments.normalized_moment(node, k).unwrap();
+                if k % 2 == 1 {
+                    prop_assert!(m < 0.0, "m{k} = {m} should be negative");
+                } else {
+                    prop_assert!(m > 0.0, "m{k} = {m} should be positive");
+                }
+            }
+        }
+    }
+}

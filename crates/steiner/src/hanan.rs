@@ -1,0 +1,75 @@
+use ntr_geom::Point;
+
+/// The Hanan grid of a point set: every intersection of a horizontal and a
+/// vertical line through some input point, excluding the input points
+/// themselves.
+///
+/// Hanan's theorem guarantees an optimal rectilinear Steiner tree using
+/// only these locations, which makes the grid the canonical candidate set
+/// for the Iterated 1-Steiner heuristic.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_geom::Point;
+/// use ntr_steiner::hanan_grid;
+/// let pts = [Point::new(0.0, 0.0), Point::new(10.0, 20.0)];
+/// let grid = hanan_grid(&pts);
+/// assert_eq!(grid, vec![Point::new(0.0, 20.0), Point::new(10.0, 0.0)]);
+/// ```
+#[must_use]
+pub fn hanan_grid(points: &[Point]) -> Vec<Point> {
+    let mut xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+    let mut ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    ys.sort_by(f64::total_cmp);
+    ys.dedup();
+    let mut grid = Vec::with_capacity(xs.len() * ys.len());
+    for &x in &xs {
+        for &y in &ys {
+            let candidate = Point::new(x, y);
+            if !points.contains(&candidate) {
+                grid.push(candidate);
+            }
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collinear_points_have_empty_grid() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(9.0, 0.0),
+        ];
+        assert!(hanan_grid(&pts).is_empty());
+    }
+
+    #[test]
+    fn grid_size_is_product_minus_inputs() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 5.0),
+            Point::new(20.0, 15.0),
+        ];
+        // 3 distinct xs x 3 distinct ys = 9 intersections, minus 3 inputs.
+        assert_eq!(hanan_grid(&pts).len(), 6);
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_deduplicated() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 10.0),
+            Point::new(10.0, 0.0),
+        ];
+        // xs {0,10}, ys {0,10}: 4 intersections, 3 are inputs.
+        assert_eq!(hanan_grid(&pts), vec![Point::new(10.0, 10.0)]);
+    }
+}

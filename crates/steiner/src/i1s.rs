@@ -1,0 +1,207 @@
+use ntr_geom::{Net, Point};
+use ntr_graph::{prim_mst_cost, prim_mst_edges, NodeKind, RoutingGraph};
+
+use crate::hanan_grid;
+
+/// Options for [`iterated_one_steiner`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteinerOptions {
+    /// Maximum number of Steiner points added (0 = unlimited, bounded by
+    /// the classical `k − 2` maximum useful count).
+    pub max_steiner_points: usize,
+    /// Minimum cost gain (µm) for a candidate to be accepted; guards
+    /// against floating-point churn on ties. Default `1e-9`.
+    pub min_gain: f64,
+}
+
+impl Default for SteinerOptions {
+    fn default() -> Self {
+        Self {
+            max_steiner_points: 0,
+            min_gain: 1e-9,
+        }
+    }
+}
+
+/// Builds a rectilinear Steiner tree with the Iterated 1-Steiner heuristic
+/// of Kahng and Robins.
+///
+/// Each round evaluates every Hanan-grid candidate `x` by the MST-cost
+/// saving `ΔMST(P ∪ S, x)` and greedily inserts the best strictly
+/// improving candidate; afterwards, Steiner points of degree ≤ 2 in the
+/// final MST are removed whenever their removal does not increase cost.
+/// Terminates when no candidate improves, returning the MST over
+/// `pins ∪ S` as a routing graph with Steiner nodes marked.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[must_use]
+pub fn iterated_one_steiner(net: &Net, opts: &SteinerOptions) -> RoutingGraph {
+    let pins = net.pins();
+    let max_points = if opts.max_steiner_points == 0 {
+        pins.len().saturating_sub(2)
+    } else {
+        opts.max_steiner_points
+    };
+
+    let mut chosen: Vec<Point> = Vec::new();
+    while chosen.len() < max_points {
+        let mut all: Vec<Point> = pins.to_vec();
+        all.extend_from_slice(&chosen);
+        let base = prim_mst_cost(&all);
+        let mut best: Option<(f64, Point)> = None;
+        for candidate in hanan_grid(&all) {
+            all.push(candidate);
+            let gain = base - prim_mst_cost(&all);
+            all.pop();
+            if gain > opts.min_gain && best.is_none_or(|(g, _)| gain > g) {
+                best = Some((gain, candidate));
+            }
+        }
+        match best {
+            Some((_, point)) => chosen.push(point),
+            None => break,
+        }
+    }
+
+    materialize(net, chosen)
+}
+
+/// Shared final step of the Steiner heuristics: sweep away Steiner points
+/// of degree <= 2 whose removal does not increase the spanning cost, then
+/// materialize the MST over `pins + chosen` as a routing graph.
+pub(crate) fn materialize(net: &Net, mut chosen: Vec<Point>) -> RoutingGraph {
+    let pins = net.pins();
+    loop {
+        let mut all: Vec<Point> = pins.to_vec();
+        all.extend_from_slice(&chosen);
+        let cost = prim_mst_cost(&all);
+        let edges = prim_mst_edges(&all);
+        let mut degree = vec![0usize; all.len()];
+        for &(a, b) in &edges {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        let mut removed_one = false;
+        for si in 0..chosen.len() {
+            if degree[pins.len() + si] <= 2 {
+                let mut trimmed: Vec<Point> = pins.to_vec();
+                trimmed.extend(
+                    chosen
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != si)
+                        .map(|(_, p)| *p),
+                );
+                if prim_mst_cost(&trimmed) <= cost + 1e-9 {
+                    chosen.remove(si);
+                    removed_one = true;
+                    break;
+                }
+            }
+        }
+        if !removed_one {
+            break;
+        }
+    }
+
+    let mut graph = RoutingGraph::from_net(net);
+    for &p in &chosen {
+        graph.add_steiner(p);
+    }
+    let mut all: Vec<Point> = pins.to_vec();
+    all.extend_from_slice(&chosen);
+    let ids: Vec<_> = graph.node_ids().collect();
+    for (a, b) in prim_mst_edges(&all) {
+        graph.add_edge(ids[a], ids[b]).expect("mst edges are valid");
+    }
+    debug_assert!(graph.is_tree());
+    graph
+}
+
+/// Counts the Steiner nodes of a routing graph (testing helper shared with
+/// downstream crates through the public API of `ntr-graph`).
+#[must_use]
+#[allow(dead_code)]
+pub(crate) fn steiner_count(graph: &RoutingGraph) -> usize {
+    graph
+        .node_ids()
+        .filter(|&n| graph.kind(n).expect("iterating own nodes") == NodeKind::Steiner)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_configuration_finds_center() {
+        let net = Net::new(
+            Point::new(5.0, 10.0),
+            vec![
+                Point::new(0.0, 5.0),
+                Point::new(5.0, 0.0),
+                Point::new(10.0, 5.0),
+            ],
+        )
+        .unwrap();
+        let tree = iterated_one_steiner(&net, &SteinerOptions::default());
+        assert_eq!(tree.total_cost(), 20.0);
+        assert_eq!(steiner_count(&tree), 1);
+        assert!(tree.is_tree());
+    }
+
+    #[test]
+    fn collinear_net_needs_no_steiner_points() {
+        let net = Net::new(
+            Point::new(0.0, 0.0),
+            vec![Point::new(10.0, 0.0), Point::new(25.0, 0.0)],
+        )
+        .unwrap();
+        let tree = iterated_one_steiner(&net, &SteinerOptions::default());
+        assert_eq!(steiner_count(&tree), 0);
+        assert_eq!(tree.total_cost(), 25.0);
+    }
+
+    #[test]
+    fn l_shaped_three_pins_gains_a_corner() {
+        // (0,0), (10,8), (2, 9): the Hanan corner saves wirelength.
+        let net = Net::new(
+            Point::new(0.0, 0.0),
+            vec![Point::new(10.0, 8.0), Point::new(2.0, 9.0)],
+        )
+        .unwrap();
+        let mst = prim_mst_cost(net.pins());
+        let tree = iterated_one_steiner(&net, &SteinerOptions::default());
+        assert!(tree.total_cost() <= mst);
+        assert!(tree.is_tree());
+    }
+
+    #[test]
+    fn max_steiner_points_is_respected() {
+        let net = Net::new(
+            Point::new(5.0, 10.0),
+            vec![
+                Point::new(0.0, 5.0),
+                Point::new(5.0, 0.0),
+                Point::new(10.0, 5.0),
+            ],
+        )
+        .unwrap();
+        let opts = SteinerOptions {
+            max_steiner_points: 0,
+            min_gain: 1e-9,
+        };
+        let unlimited = iterated_one_steiner(&net, &opts);
+        assert!(steiner_count(&unlimited) <= net.len() - 2);
+    }
+
+    #[test]
+    fn two_pin_net_is_a_single_edge() {
+        let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(3.0, 4.0)]).unwrap();
+        let tree = iterated_one_steiner(&net, &SteinerOptions::default());
+        assert_eq!(tree.edge_count(), 1);
+        assert_eq!(tree.total_cost(), 7.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Rectilinear Steiner trees via the Iterated 1-Steiner heuristic.
+//!
+//! The SLDRG algorithm of the paper starts from a Steiner tree computed
+//! with "an efficient implementation of the Iterated 1-Steiner algorithm
+//! of Kahng and Robins". This crate provides that substrate:
+//!
+//! - [`hanan_grid`] — the candidate Steiner locations (intersections of
+//!   horizontal/vertical lines through the pins), which are known to
+//!   contain an optimal rectilinear Steiner tree,
+//! - [`iterated_one_steiner`] — the greedy loop: repeatedly add the single
+//!   Hanan candidate that reduces the MST cost the most, then sweep away
+//!   Steiner points that stopped paying for themselves.
+//!
+//! The result is a [`RoutingGraph`](ntr_graph::RoutingGraph) whose extra
+//! nodes are marked [`NodeKind::Steiner`](ntr_graph::NodeKind::Steiner).
+//!
+//! # Examples
+//!
+//! The classic "plus" configuration: four pins at the compass points admit
+//! a Steiner point in the middle, cutting cost from 30 to 20:
+//!
+//! ```
+//! use ntr_geom::{Net, Point};
+//! use ntr_graph::prim_mst_cost;
+//! use ntr_steiner::{iterated_one_steiner, SteinerOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = Net::new(
+//!     Point::new(5.0, 10.0),
+//!     vec![Point::new(0.0, 5.0), Point::new(5.0, 0.0), Point::new(10.0, 5.0)],
+//! )?;
+//! assert_eq!(prim_mst_cost(net.pins()), 30.0);
+//! let tree = iterated_one_steiner(&net, &SteinerOptions::default());
+//! assert_eq!(tree.total_cost(), 20.0);
+//! assert!(tree.is_tree());
+//! # Ok(())
+//! # }
+//! ```
+
+mod b1s;
+mod hanan;
+mod i1s;
+
+pub use b1s::batched_one_steiner;
+pub use hanan::hanan_grid;
+pub use i1s::{iterated_one_steiner, SteinerOptions};

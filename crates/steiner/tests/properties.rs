@@ -1,0 +1,66 @@
+//! Property-based tests of the Iterated 1-Steiner heuristic.
+
+use ntr_geom::{Layout, NetGenerator};
+use ntr_graph::{prim_mst_cost, NodeKind};
+use ntr_steiner::{hanan_grid, iterated_one_steiner, SteinerOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Steiner tree spans the net, is a tree, and never costs more than
+    /// the MST; by the Hwang bound it cannot cost less than 2/3 of it.
+    #[test]
+    fn steiner_cost_is_bracketed(seed in 0u64..300, size in 2usize..12) {
+        let net = NetGenerator::new(Layout::date94(), seed).random_net(size).unwrap();
+        let mst_cost = prim_mst_cost(net.pins());
+        let tree = iterated_one_steiner(&net, &SteinerOptions::default());
+        prop_assert!(tree.is_tree());
+        prop_assert!(tree.total_cost() <= mst_cost + 1e-9);
+        prop_assert!(tree.total_cost() >= (2.0 / 3.0) * mst_cost - 1e-9);
+        // All pins present, Steiner nodes within the pin bounding box.
+        prop_assert_eq!(tree.pin_count(), size);
+        let bb = net.bounding_box();
+        for n in tree.node_ids() {
+            if tree.kind(n).unwrap() == NodeKind::Steiner {
+                prop_assert!(bb.contains(tree.point(n).unwrap()));
+            }
+        }
+    }
+
+    /// Every Hanan-grid point lies on a line through an input point.
+    #[test]
+    fn hanan_points_share_a_coordinate(seed in 0u64..300, size in 2usize..10) {
+        let net = NetGenerator::new(Layout::date94(), seed).random_net(size).unwrap();
+        for g in hanan_grid(net.pins()) {
+            let on_x = net.pins().iter().any(|p| p.x == g.x);
+            let on_y = net.pins().iter().any(|p| p.y == g.y);
+            prop_assert!(on_x && on_y);
+        }
+    }
+
+    /// Steiner points in the output have degree >= 3 or pay for themselves
+    /// (the cleanup invariant): removing any single Steiner point must not
+    /// reduce cost.
+    #[test]
+    fn remaining_steiner_points_are_useful(seed in 0u64..200, size in 3usize..10) {
+        let net = NetGenerator::new(Layout::date94(), seed).random_net(size).unwrap();
+        let tree = iterated_one_steiner(&net, &SteinerOptions::default());
+        let steiner: Vec<_> = tree
+            .node_ids()
+            .filter(|&n| tree.kind(n).unwrap() == NodeKind::Steiner)
+            .collect();
+        let mut points: Vec<_> = net.pins().to_vec();
+        points.extend(steiner.iter().map(|&n| tree.point(n).unwrap()));
+        let full = prim_mst_cost(&points);
+        for skip in net.len()..points.len() {
+            let trimmed: Vec<_> = points
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, p)| *p)
+                .collect();
+            prop_assert!(prim_mst_cost(&trimmed) >= full - 1e-9);
+        }
+    }
+}

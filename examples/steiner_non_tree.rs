@@ -1,0 +1,66 @@
+//! The SLDRG flow (paper Figure 6): Steiner tree first, then non-tree
+//! edges — and a comparison of all the paper's constructions on one net.
+//!
+//! Run with: `cargo run --release --example steiner_non_tree`
+
+use non_tree_routing::circuit::Technology;
+use non_tree_routing::core::{h1, h2, h3, ldrg, sldrg, DelayOracle, LdrgOptions, TransientOracle};
+use non_tree_routing::ert::{elmore_routing_tree, ErtOptions};
+use non_tree_routing::geom::{Layout, NetGenerator};
+use non_tree_routing::graph::{prim_mst, RoutingGraph};
+use non_tree_routing::steiner::{iterated_one_steiner, SteinerOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = NetGenerator::new(Layout::date94(), 1994).random_net(20)?;
+    let tech = Technology::date94();
+    let oracle = TransientOracle::fast(tech);
+
+    let mst = prim_mst(&net);
+    let mst_report = oracle.evaluate(&mst)?;
+    let (d0, c0) = (mst_report.max(), mst.total_cost());
+    println!(
+        "20-pin net | MST delay {:.3} ns, cost {:.0} um (baseline 1.00/1.00)\n",
+        d0 * 1e9,
+        c0
+    );
+
+    let show = |label: &str, graph: &RoutingGraph| -> Result<(), Box<dyn std::error::Error>> {
+        let r = oracle.evaluate(graph)?;
+        println!(
+            "{label:<18} delay {:.2}x  cost {:.2}x  (tree: {})",
+            r.max() / d0,
+            graph.total_cost() / c0,
+            graph.is_tree(),
+        );
+        Ok(())
+    };
+
+    // Tree constructions.
+    let steiner = iterated_one_steiner(&net, &SteinerOptions::default());
+    show("Steiner (I1S)", &steiner)?;
+    let ert = elmore_routing_tree(&net, &tech, &ErtOptions::default())?;
+    show("ERT", &ert)?;
+
+    // Non-tree constructions.
+    show("H2", &h2(&mst, &tech)?.graph)?;
+    show("H3", &h3(&mst, &tech)?.graph)?;
+    show("H1", &h1(&mst, &oracle, 0)?.graph)?;
+    let ldrg_run = ldrg(&mst, &oracle, &LdrgOptions::default())?;
+    show("LDRG", &ldrg_run.graph)?;
+    let sldrg_run = sldrg(
+        &net,
+        &SteinerOptions::default(),
+        &oracle,
+        &LdrgOptions::default(),
+    )?;
+    show("SLDRG", &sldrg_run.graph)?;
+    let ert_ldrg = ldrg(&ert, &oracle, &LdrgOptions::default())?;
+    show("ERT + LDRG", &ert_ldrg.graph)?;
+
+    println!(
+        "\nSLDRG added {} edge(s) on top of a Steiner tree with {} Steiner point(s)",
+        sldrg_run.iterations.len(),
+        sldrg_run.graph.node_count() - sldrg_run.graph.pin_count(),
+    );
+    Ok(())
+}

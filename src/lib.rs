@@ -1,0 +1,59 @@
+//! # non-tree-routing
+//!
+//! A full reproduction of **McCoy & Robins, “Non-Tree Routing” (DATE
+//! 1994)**: routing topologies for VLSI signal nets that deliberately
+//! contain cycles, because an extra wire can cut source–sink *resistance*
+//! by more than its added *capacitance* costs.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`geom`] | Manhattan geometry, nets, random benchmark generation |
+//! | [`graph`] | routing graphs, Prim MST, tree views, shortest paths |
+//! | [`sparse`] | dense + Gilbert–Peierls sparse LU solvers |
+//! | [`circuit`] | RC(L) extraction, Table-1 technology, SPICE-deck export |
+//! | [`spice`] | MNA transient simulator, delay measurement, moments |
+//! | [`elmore`] | O(k) tree Elmore delay (Rubinstein–Penfield–Horowitz) |
+//! | [`steiner`] | Iterated 1-Steiner rectilinear Steiner trees |
+//! | [`ert`] | Elmore Routing Tree baseline (Boese et al.) |
+//! | [`core`] | LDRG, SLDRG, H1–H3, CSORG, WSORG, HORG |
+//! | [`eval`] | the table/figure reproduction harness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use non_tree_routing::circuit::Technology;
+//! use non_tree_routing::core::{ldrg, LdrgOptions, TransientOracle};
+//! use non_tree_routing::geom::{Layout, NetGenerator};
+//! use non_tree_routing::graph::prim_mst;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A random 10-pin net in the paper's 10 mm x 10 mm layout.
+//! let net = NetGenerator::new(Layout::date94(), 42).random_net(10)?;
+//!
+//! // Start from the minimum spanning tree, then let LDRG add wires.
+//! let mst = prim_mst(&net);
+//! let oracle = TransientOracle::fast(Technology::date94());
+//! let routed = ldrg(&mst, &oracle, &LdrgOptions::default())?;
+//!
+//! println!(
+//!     "delay {:.2} ns -> {:.2} ns (+{:.0}% wire)",
+//!     routed.initial_delay * 1e9,
+//!     routed.final_delay() * 1e9,
+//!     100.0 * (routed.final_cost() / routed.initial_cost - 1.0),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ntr_circuit as circuit;
+pub use ntr_core as core;
+pub use ntr_elmore as elmore;
+pub use ntr_ert as ert;
+pub use ntr_eval as eval;
+pub use ntr_geom as geom;
+pub use ntr_graph as graph;
+pub use ntr_sparse as sparse;
+pub use ntr_spice as spice;
+pub use ntr_steiner as steiner;

@@ -1,0 +1,91 @@
+//! Error-path coverage across crate boundaries: every public error type
+//! displays a useful lowercase message, chains its source, and surfaces
+//! through the layered APIs the way a caller would encounter it.
+
+use std::error::Error as _;
+
+use non_tree_routing::circuit::{extract, ExtractError, ExtractOptions, Technology};
+use non_tree_routing::core::{
+    ldrg, DelayOracle, LdrgOptions, MomentOracle, OracleError, TransientOracle,
+};
+use non_tree_routing::geom::{net_from_str, Layout, Net, NetGenerator, Point};
+use non_tree_routing::graph::{RoutingGraph, TreeView};
+use non_tree_routing::spice::{sink_delays, SimConfig};
+
+/// A disconnected graph fails extraction, and the failure propagates
+/// through the oracle and algorithm layers with its context intact.
+#[test]
+fn disconnection_propagates_through_every_layer() {
+    let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(10.0, 0.0)]).unwrap();
+    let graph = RoutingGraph::from_net(&net);
+    let tech = Technology::date94();
+
+    // Layer 1: extraction.
+    let extract_err = extract(&graph, &tech, &ExtractOptions::default()).unwrap_err();
+    assert!(matches!(
+        extract_err,
+        ExtractError::Disconnected {
+            reachable: 1,
+            total: 2
+        }
+    ));
+    assert!(extract_err.to_string().contains("span"));
+
+    // Layer 2: oracle.
+    let oracle_err = MomentOracle::new(tech).evaluate(&graph).unwrap_err();
+    assert!(matches!(oracle_err, OracleError::Extract(_)));
+    assert!(
+        oracle_err.source().is_some(),
+        "oracle error must chain its source"
+    );
+
+    // Layer 3: algorithm.
+    let algo_err = ldrg(
+        &graph,
+        &TransientOracle::fast(tech),
+        &LdrgOptions::default(),
+    )
+    .unwrap_err();
+    assert!(algo_err.to_string().contains("reachable"));
+}
+
+/// Tree-only analyses reject cyclic graphs with a message naming the
+/// violation, not a panic.
+#[test]
+fn cyclic_graph_errors_are_descriptive() {
+    let net = NetGenerator::new(Layout::date94(), 7)
+        .random_net(5)
+        .unwrap();
+    let mut graph = non_tree_routing::graph::prim_mst(&net);
+    let last = graph.node_ids().last().unwrap();
+    if !graph.has_edge(graph.source(), last) {
+        graph.add_edge(graph.source(), last).unwrap();
+    }
+    let err = TreeView::new(&graph).unwrap_err();
+    assert!(err.to_string().contains("cycle"));
+}
+
+/// Parse errors carry line positions end to end.
+#[test]
+fn parse_errors_carry_positions() {
+    let err = net_from_str("0 0\nbroken line\n").unwrap_err();
+    assert!(err.to_string().contains("line 2"));
+
+    let err = non_tree_routing::circuit::parse_spice_deck("* t\nR1 a 0 zzz\n").unwrap_err();
+    assert!(err.to_string().contains("line 2"));
+    assert!(err.to_string().contains("zzz"));
+}
+
+/// Simulation parameter validation is reachable from the public pipeline.
+#[test]
+fn bad_sim_config_is_rejected_cleanly() {
+    let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(100.0, 0.0)]).unwrap();
+    let mst = non_tree_routing::graph::prim_mst(&net);
+    let extracted = extract(&mst, &Technology::date94(), &ExtractOptions::default()).unwrap();
+    let bad = SimConfig {
+        steps_per_tau: 0,
+        ..SimConfig::default()
+    };
+    let err = sink_delays(&extracted, &bad).unwrap_err();
+    assert!(err.to_string().contains("time step"), "got: {err}");
+}
