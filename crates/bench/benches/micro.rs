@@ -5,9 +5,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ntr_bench::bench_net;
 use ntr_circuit::{extract, ExtractOptions, Segmentation, Technology};
+use ntr_core::{
+    candidate_oracle_for, sweep_candidates, Candidate, CandidateOracle, MomentOracle, Objective,
+    ScratchOracle,
+};
 use ntr_elmore::ElmoreAnalysis;
 use ntr_ert::{elmore_routing_tree, steiner_elmore_routing_tree, ErtOptions};
-use ntr_graph::{prim_mst, prim_mst_cost, TreeView};
+use ntr_graph::{prim_mst, prim_mst_cost, NodeId, RoutingGraph, TreeView};
 use ntr_sparse::{DenseMatrix, Ordering, SparseLu, TripletMatrix};
 use ntr_spice::{sink_delays, AdaptiveOptions, Integrator, Moments, SimConfig, TransientSim};
 use ntr_steiner::{batched_one_steiner, iterated_one_steiner, SteinerOptions};
@@ -187,6 +191,109 @@ fn bench_ert(c: &mut Criterion) {
     group.finish();
 }
 
+/// All node pairs a full LDRG iteration would trial on `graph`.
+fn ldrg_candidates(graph: &RoutingGraph) -> Vec<Candidate> {
+    let nodes: Vec<NodeId> = graph.node_ids().collect();
+    let mut out = Vec::new();
+    for (ai, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[ai + 1..] {
+            if !graph.has_edge(a, b) {
+                out.push(Candidate::AddEdge(a, b));
+            }
+        }
+    }
+    out
+}
+
+/// Median wall time of one full LDRG iteration (prepare + sweep every
+/// candidate) over `runs` repetitions.
+fn time_iteration(
+    engine: &mut dyn CandidateOracle,
+    graph: &RoutingGraph,
+    candidates: &[Candidate],
+    parallelism: usize,
+    runs: usize,
+) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            engine.prepare(graph).expect("graph extracts");
+            sweep_candidates(engine, candidates, &Objective::MaxDelay, parallelism)
+                .expect("candidates score");
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// One full LDRG iteration on a 30-pin net: the quadratic candidate
+/// sweep scored from scratch (extract + factor per candidate), through
+/// the incremental rank-1 engine, and incrementally across all cores.
+/// Writes the measured per-iteration speedups to
+/// `results/micro_incremental.json`.
+fn bench_ldrg_iteration(c: &mut Criterion) {
+    let tech = Technology::date94();
+    let net = bench_net(30);
+    let mst = prim_mst(&net);
+    let oracle = MomentOracle::new(tech);
+    let candidates = ldrg_candidates(&mst);
+
+    let mut group = c.benchmark_group("ldrg_iteration_30pin");
+    group.sample_size(10);
+    group.bench_function("from_scratch", |b| {
+        let mut engine = ScratchOracle::new(&oracle);
+        b.iter(|| {
+            engine.prepare(&mst).expect("graph extracts");
+            sweep_candidates(&engine, &candidates, &Objective::MaxDelay, 1).expect("scores")
+        })
+    });
+    group.bench_function("incremental", |b| {
+        let mut engine = candidate_oracle_for(&oracle);
+        b.iter(|| {
+            engine.prepare(&mst).expect("graph extracts");
+            sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 1).expect("scores")
+        })
+    });
+    group.bench_function("incremental_parallel", |b| {
+        let mut engine = candidate_oracle_for(&oracle);
+        b.iter(|| {
+            engine.prepare(&mst).expect("graph extracts");
+            sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 0).expect("scores")
+        })
+    });
+    group.finish();
+
+    // Independent median measurement for the committed JSON artifact.
+    let runs = 5;
+    let mut scratch_engine = ScratchOracle::new(&oracle);
+    let scratch = time_iteration(&mut scratch_engine, &mst, &candidates, 1, runs);
+    let mut inc_engine = candidate_oracle_for(&oracle);
+    let incremental = time_iteration(inc_engine.as_mut(), &mst, &candidates, 1, runs);
+    let parallel = time_iteration(inc_engine.as_mut(), &mst, &candidates, 0, runs);
+    let n = candidates.len() as f64;
+    let json = format!(
+        "{{\n  \"benchmark\": \"ldrg_iteration_30pin\",\n  \"candidates\": {},\n  \
+         \"from_scratch_s\": {:.6e},\n  \"incremental_s\": {:.6e},\n  \
+         \"incremental_parallel_s\": {:.6e},\n  \"per_candidate_from_scratch_s\": {:.6e},\n  \
+         \"per_candidate_incremental_s\": {:.6e},\n  \"speedup_incremental\": {:.2},\n  \
+         \"speedup_incremental_parallel\": {:.2}\n}}\n",
+        candidates.len(),
+        scratch,
+        incremental,
+        parallel,
+        scratch / n,
+        incremental / n,
+        scratch / incremental,
+        scratch / parallel,
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/micro_incremental.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("could not write {}: {e}", path.display());
+    }
+}
+
 criterion_group!(
     benches,
     bench_mst,
@@ -196,6 +303,7 @@ criterion_group!(
     bench_moments,
     bench_steiner,
     bench_adaptive,
-    bench_ert
+    bench_ert,
+    bench_ldrg_iteration
 );
 criterion_main!(benches);

@@ -216,6 +216,13 @@ impl Circuit {
         &self.elements
     }
 
+    /// Mutable element access for in-crate value patching (extraction's
+    /// incremental width rescaling). Kept crate-private so the public API
+    /// cannot invalidate element invariants.
+    pub(crate) fn elements_mut(&mut self) -> &mut [Element] {
+        &mut self.elements
+    }
+
     /// Number of voltage sources (each takes one MNA branch variable).
     #[must_use]
     pub fn voltage_source_count(&self) -> usize {

@@ -1,9 +1,10 @@
 use std::error::Error;
 use std::fmt;
+use std::ops::Range;
 
-use ntr_graph::{NodeId, RoutingGraph};
+use ntr_graph::{EdgeId, NodeId, RoutingGraph};
 
-use crate::{BuildCircuitError, Circuit, Technology, Waveform};
+use crate::{BuildCircuitError, Circuit, Element, Technology, Waveform};
 
 /// How wires are split into distributed π-segments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +63,16 @@ pub enum ExtractError {
     InvalidSegmentation,
     /// Circuit assembly failed (propagated element error).
     Build(BuildCircuitError),
+    /// A routing-graph node index outside the extracted graph.
+    UnknownGraphNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// An edge id with no recorded element span in this extraction.
+    UnknownEdge {
+        /// The offending edge index.
+        edge: usize,
+    },
 }
 
 impl fmt::Display for ExtractError {
@@ -75,6 +86,18 @@ impl fmt::Display for ExtractError {
                 write!(f, "segmentation parameters must be positive")
             }
             ExtractError::Build(e) => write!(f, "circuit assembly failed: {e}"),
+            ExtractError::UnknownGraphNode { node } => {
+                write!(
+                    f,
+                    "routing-graph node {node} is not part of this extraction"
+                )
+            }
+            ExtractError::UnknownEdge { edge } => {
+                write!(
+                    f,
+                    "edge {edge} has no recorded element span in this extraction"
+                )
+            }
         }
     }
 }
@@ -107,6 +130,12 @@ pub struct Extracted {
     pub graph_nodes: Vec<usize>,
     /// Circuit nodes of the sink pins, in net pin order `n_1..n_k`.
     pub sink_nodes: Vec<usize>,
+    /// For each extracted edge, the contiguous range of
+    /// [`Circuit::elements`] indices holding its wire stamps (π-segment
+    /// R/C/L elements), in the edge-iteration order of the extraction.
+    /// Lets incremental re-evaluation patch one edge's values in place
+    /// instead of re-running extraction.
+    pub edge_spans: Vec<(EdgeId, Range<usize>)>,
 }
 
 /// Extracts the RC(L) circuit of a routing graph under a technology.
@@ -161,7 +190,9 @@ pub fn extract(
     circuit.add_resistor(input_node, graph_nodes[0], tech.driver_resistance)?;
 
     // Wires as π-segment chains.
-    for (_, edge) in graph.edges() {
+    let mut edge_spans = Vec::new();
+    for (edge_id, edge) in graph.edges() {
+        let span_start = circuit.elements().len();
         let k = opts.segmentation.segments_for(edge.length());
         let seg_len = edge.length() / k as f64;
         if seg_len == 0.0 {
@@ -172,6 +203,7 @@ pub fn extract(
                 graph_nodes[edge.b().index()],
                 1e-6,
             )?;
+            edge_spans.push((edge_id, span_start..circuit.elements().len()));
             continue;
         }
         let seg_r = tech.wire_resistance(seg_len, edge.width());
@@ -195,6 +227,7 @@ pub fn extract(
             circuit.add_capacitor(next, Circuit::GROUND, seg_c_half)?;
             prev = next;
         }
+        edge_spans.push((edge_id, span_start..circuit.elements().len()));
     }
 
     // Sink loads, in pin order.
@@ -215,7 +248,211 @@ pub fn extract(
         input_node,
         graph_nodes,
         sink_nodes,
+        edge_spans,
     })
+}
+
+/// The electrical delta of one **trial wire** between two already-extracted
+/// routing-graph nodes, described as stamps rather than a rebuilt circuit.
+///
+/// Produced by [`Extracted::candidate_wire`]; consumed either by
+/// [`Extracted::with_candidate_edge`] (materialize the stamps into a full
+/// circuit) or by incremental evaluators that apply the delta analytically
+/// (chain reduction + rank-1 matrix update) without touching the circuit
+/// at all.
+///
+/// The wire follows the same RC π-segment model as [`extract`]: `segments`
+/// series resistors of `seg_resistance` each, with `seg_cap_half` to
+/// ground at both ends of every segment. A zero-length wire degenerates to
+/// a single tiny resistor ("short") with no capacitance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateWire {
+    /// Circuit node of endpoint `a`.
+    pub node_a: usize,
+    /// Circuit node of endpoint `b`.
+    pub node_b: usize,
+    /// Number of π-segments `k ≥ 1`.
+    pub segments: usize,
+    /// Series resistance per segment (Ω).
+    pub seg_resistance: f64,
+    /// Grounded capacitance at each segment end (F); `0.0` for a short.
+    pub seg_cap_half: f64,
+    /// Wire length (µm).
+    pub length: f64,
+    /// Width multiplier.
+    pub width: f64,
+}
+
+impl CandidateWire {
+    /// Conductance of one segment, `1 / seg_resistance` (S).
+    #[must_use]
+    pub fn seg_conductance(&self) -> f64 {
+        1.0 / self.seg_resistance
+    }
+
+    /// Effective end-to-end conductance of the whole series chain (S).
+    #[must_use]
+    pub fn chain_conductance(&self) -> f64 {
+        self.seg_conductance() / self.segments as f64
+    }
+
+    /// Whether this is a zero-length short (no capacitance, one segment).
+    #[must_use]
+    pub fn is_short(&self) -> bool {
+        self.seg_cap_half == 0.0
+    }
+
+    /// Total added capacitance, `2·k·seg_cap_half` (F).
+    #[must_use]
+    pub fn total_capacitance(&self) -> f64 {
+        2.0 * self.segments as f64 * self.seg_cap_half
+    }
+}
+
+impl Extracted {
+    /// Describes the trial wire `(a, b)` as a [`CandidateWire`] delta
+    /// without rebuilding anything — the incremental counterpart of
+    /// re-running [`extract`] on a graph with the edge added.
+    ///
+    /// The wire uses the same segmentation policy and RC model as the
+    /// original extraction (inductance is not modeled on candidate wires;
+    /// incremental evaluation is RC-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::UnknownGraphNode`] when either endpoint is
+    /// outside the extracted graph and [`ExtractError::Build`] for a
+    /// non-positive width.
+    pub fn candidate_wire(
+        &self,
+        graph: &RoutingGraph,
+        tech: &Technology,
+        opts: &ExtractOptions,
+        a: NodeId,
+        b: NodeId,
+        width: f64,
+    ) -> Result<CandidateWire, ExtractError> {
+        if a.index() >= self.graph_nodes.len() {
+            return Err(ExtractError::UnknownGraphNode { node: a.index() });
+        }
+        if b.index() >= self.graph_nodes.len() {
+            return Err(ExtractError::UnknownGraphNode { node: b.index() });
+        }
+        if !(width.is_finite() && width > 0.0) {
+            return Err(ExtractError::Build(BuildCircuitError::InvalidValue {
+                value: width,
+            }));
+        }
+        let pa = graph
+            .point(a)
+            .map_err(|_| ExtractError::UnknownGraphNode { node: a.index() })?;
+        let pb = graph
+            .point(b)
+            .map_err(|_| ExtractError::UnknownGraphNode { node: b.index() })?;
+        let length = pa.manhattan(pb);
+        let k = opts.segmentation.segments_for(length);
+        let seg_len = length / k as f64;
+        let (segments, seg_resistance, seg_cap_half) = if seg_len == 0.0 {
+            // Same short model as extract(): one tiny resistor, no caps.
+            (1, 1e-6, 0.0)
+        } else {
+            (
+                k,
+                tech.wire_resistance(seg_len, width),
+                tech.wire_capacitance(seg_len, width) / 2.0,
+            )
+        };
+        Ok(CandidateWire {
+            node_a: self.graph_nodes[a.index()],
+            node_b: self.graph_nodes[b.index()],
+            segments,
+            seg_resistance,
+            seg_cap_half,
+            length,
+            width,
+        })
+    }
+
+    /// Materializes a candidate wire: clones this extraction and appends
+    /// the trial stamps (π-segment chain between the wire's endpoints) to
+    /// the cloned circuit, avoiding a full re-extraction of the graph.
+    ///
+    /// The result is electrically identical to extracting the graph with
+    /// the edge committed; only element order and internal-node numbering
+    /// differ. The appended stamps occupy
+    /// `elements()[base.circuit.elements().len()..]` of the clone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::Build`] when a stamp references an unknown
+    /// node (a [`CandidateWire`] not produced for this extraction).
+    pub fn with_candidate_edge(&self, wire: &CandidateWire) -> Result<Extracted, ExtractError> {
+        let mut out = self.clone();
+        if wire.is_short() {
+            out.circuit
+                .add_resistor(wire.node_a, wire.node_b, wire.seg_resistance)?;
+            return Ok(out);
+        }
+        let mut prev = wire.node_a;
+        for s in 0..wire.segments {
+            let next = if s + 1 == wire.segments {
+                wire.node_b
+            } else {
+                out.circuit.add_node()
+            };
+            out.circuit
+                .add_capacitor(prev, Circuit::GROUND, wire.seg_cap_half)?;
+            out.circuit.add_resistor(prev, next, wire.seg_resistance)?;
+            out.circuit
+                .add_capacitor(next, Circuit::GROUND, wire.seg_cap_half)?;
+            prev = next;
+        }
+        Ok(out)
+    }
+
+    /// Rescales one extracted edge's wire stamps for a width change, in
+    /// place: resistances divide by `new_width / old_width`, capacitances
+    /// multiply by it (inductance is width-independent, as is the tiny
+    /// resistor modeling a zero-length short).
+    ///
+    /// Because the element *pattern* is untouched, the resulting circuit
+    /// assembles an MNA matrix with the identical sparsity structure —
+    /// exactly what a numeric-only refactorization needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::UnknownEdge`] for an edge without a
+    /// recorded span and [`ExtractError::Build`] for a non-positive ratio.
+    pub fn rescale_edge_width(&mut self, edge: EdgeId, ratio: f64) -> Result<(), ExtractError> {
+        if !(ratio.is_finite() && ratio > 0.0) {
+            return Err(ExtractError::Build(BuildCircuitError::InvalidValue {
+                value: ratio,
+            }));
+        }
+        let span = self
+            .edge_spans
+            .iter()
+            .find(|(id, _)| *id == edge)
+            .map(|(_, span)| span.clone())
+            .ok_or(ExtractError::UnknownEdge { edge: edge.index() })?;
+        let elements = self.circuit.elements_mut();
+        // A zero-length short is a single nominal resistor whose value
+        // does not model the wire geometry; leave it untouched.
+        let is_short = !elements[span.clone()]
+            .iter()
+            .any(|e| matches!(e, Element::Capacitor { .. }));
+        if is_short {
+            return Ok(());
+        }
+        for element in &mut elements[span] {
+            match element {
+                Element::Resistor { ohms, .. } => *ohms /= ratio,
+                Element::Capacitor { farads, .. } => *farads *= ratio,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The circuit node carrying a given routing-graph node's voltage.
@@ -312,6 +549,141 @@ mod tests {
                 Err(ExtractError::InvalidSegmentation)
             ));
         }
+    }
+
+    #[test]
+    fn edge_spans_cover_all_wire_stamps() {
+        let net = Net::new(
+            Point::new(0.0, 0.0),
+            vec![Point::new(1200.0, 0.0), Point::new(0.0, 700.0)],
+        )
+        .unwrap();
+        let g = prim_mst(&net);
+        let ex = extract(&g, &Technology::date94(), &ExtractOptions::default()).unwrap();
+        assert_eq!(ex.edge_spans.len(), g.edges().count());
+        // Spans are contiguous, non-overlapping, and bound by the element list.
+        let mut covered = 0usize;
+        for (_, span) in &ex.edge_spans {
+            assert!(span.start <= span.end && span.end <= ex.circuit.elements().len());
+            covered += span.len();
+            for e in &ex.circuit.elements()[span.clone()] {
+                assert!(matches!(
+                    e,
+                    Element::Resistor { .. } | Element::Capacitor { .. } | Element::Inductor { .. }
+                ));
+            }
+        }
+        // Everything except driver source+resistor and the two sink loads.
+        assert_eq!(covered, ex.circuit.elements().len() - 4);
+    }
+
+    #[test]
+    fn candidate_wire_matches_committed_extraction() {
+        let net = Net::new(
+            Point::new(0.0, 0.0),
+            vec![Point::new(1200.0, 0.0), Point::new(0.0, 700.0)],
+        )
+        .unwrap();
+        let g = prim_mst(&net);
+        let tech = Technology::date94();
+        let opts = ExtractOptions::default();
+        let ex = extract(&g, &tech, &opts).unwrap();
+        let nodes: Vec<_> = g.node_ids().collect();
+        let wire = ex
+            .candidate_wire(&g, &tech, &opts, nodes[1], nodes[2], 1.0)
+            .unwrap();
+        let trial = ex.with_candidate_edge(&wire).unwrap();
+
+        let mut committed = g.clone();
+        committed.add_edge(nodes[1], nodes[2]).unwrap();
+        let full = extract(&committed, &tech, &opts).unwrap();
+        // Same node count and the same total capacitance either way.
+        assert_eq!(trial.circuit.node_count(), full.circuit.node_count());
+        assert!(
+            (trial.circuit.total_capacitance() - full.circuit.total_capacitance()).abs() < 1e-24
+        );
+        assert_eq!(wire.length, 1900.0);
+        assert!((wire.total_capacitance() - tech.wire_capacitance(1900.0, 1.0)).abs() < 1e-24);
+    }
+
+    #[test]
+    fn candidate_wire_zero_length_is_short() {
+        let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(1000.0, 0.0)]).unwrap();
+        let mut g = prim_mst(&net);
+        // A Steiner point coincident with the source.
+        let s = g.add_steiner(Point::new(0.0, 0.0));
+        g.add_edge(g.source(), s).unwrap();
+        let tech = Technology::date94();
+        let opts = ExtractOptions::default();
+        let ex = extract(&g, &tech, &opts).unwrap();
+        let wire = ex
+            .candidate_wire(&g, &tech, &opts, g.source(), s, 1.0)
+            .unwrap();
+        assert!(wire.is_short());
+        assert_eq!(wire.segments, 1);
+        assert_eq!(wire.total_capacitance(), 0.0);
+        let trial = ex.with_candidate_edge(&wire).unwrap();
+        assert_eq!(
+            trial.circuit.elements().len(),
+            ex.circuit.elements().len() + 1
+        );
+    }
+
+    #[test]
+    fn candidate_wire_rejects_unknown_node() {
+        let g = two_pin_mm();
+        let tech = Technology::date94();
+        let opts = ExtractOptions::default();
+        let ex = extract(&g, &tech, &opts).unwrap();
+        // A node added after extraction is unknown to it.
+        let mut grown = g.clone();
+        let extra = grown.add_steiner(Point::new(5.0, 5.0));
+        assert!(matches!(
+            ex.candidate_wire(&grown, &tech, &opts, grown.source(), extra, 1.0),
+            Err(ExtractError::UnknownGraphNode { .. })
+        ));
+    }
+
+    #[test]
+    fn rescale_edge_width_matches_reextraction() {
+        let net = Net::new(Point::new(0.0, 0.0), vec![Point::new(1000.0, 0.0)]).unwrap();
+        let g = prim_mst(&net);
+        let tech = Technology::date94();
+        let opts = ExtractOptions::default();
+        let mut ex = extract(&g, &tech, &opts).unwrap();
+        let (edge_id, _) = g.edges().next().unwrap();
+
+        let mut wide = g.clone();
+        wide.set_width(edge_id, 3.0).unwrap();
+        let fresh = extract(&wide, &tech, &opts).unwrap();
+
+        ex.rescale_edge_width(edge_id, 3.0).unwrap();
+        assert_eq!(ex.circuit.elements().len(), fresh.circuit.elements().len());
+        for (a, b) in ex.circuit.elements().iter().zip(fresh.circuit.elements()) {
+            match (a, b) {
+                (Element::Resistor { ohms: x, .. }, Element::Resistor { ohms: y, .. }) => {
+                    assert!((x - y).abs() < 1e-12 * y.abs().max(1.0), "{x} vs {y}");
+                }
+                (Element::Capacitor { farads: x, .. }, Element::Capacitor { farads: y, .. }) => {
+                    assert!((x - y).abs() < 1e-27, "{x} vs {y}");
+                }
+                _ => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn rescale_unknown_edge_is_rejected() {
+        let g = two_pin_mm();
+        let tech = Technology::date94();
+        let mut ex = extract(&g, &tech, &ExtractOptions::default()).unwrap();
+        let mut grown = g.clone();
+        let s = grown.add_steiner(Point::new(1.0, 1.0));
+        let new_edge = grown.add_edge(grown.source(), s).unwrap();
+        assert!(matches!(
+            ex.rescale_edge_width(new_edge, 2.0),
+            Err(ExtractError::UnknownEdge { .. })
+        ));
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod tech;
 pub use circuit::{BuildCircuitError, Circuit, Element, Waveform};
 pub use deck::to_spice_deck;
 pub use extract::{
-    circuit_node_of, extract, ExtractError, ExtractOptions, Extracted, Segmentation,
+    circuit_node_of, extract, CandidateWire, ExtractError, ExtractOptions, Extracted, Segmentation,
 };
 pub use parse::{parse_spice_deck, parse_spice_value, ParseDeckError, ParsedDeck};
 pub use tech::Technology;

@@ -2,7 +2,10 @@ use ntr_circuit::Technology;
 use ntr_elmore::ElmoreAnalysis;
 use ntr_graph::{NodeId, RoutingGraph, TreeView};
 
-use crate::{DelayOracle, IterationRecord, LdrgOptions, LdrgResult, Objective, OracleError};
+use crate::sweep::{candidate_oracle_for, sweep_candidates};
+use crate::{
+    Candidate, DelayOracle, IterationRecord, LdrgOptions, LdrgResult, Objective, OracleError,
+};
 
 /// Outcome of the single-edge heuristics H2 and H3: the (possibly
 /// unchanged) graph and the edge that was added.
@@ -64,13 +67,13 @@ pub fn h1(
     let opts = LdrgOptions::default();
     let mut graph = initial.clone();
     let sinks = sink_node_by_pin(&graph);
-    let initial_report = oracle.evaluate(&graph)?;
-    let initial_delay = Objective::MaxDelay.score(&initial_report);
+    let mut engine = candidate_oracle_for(oracle);
+    let mut report = engine.prepare(&graph)?;
+    let initial_delay = Objective::MaxDelay.score(&report);
     let initial_cost = graph.total_cost();
 
     let mut iterations = Vec::new();
     let mut current = initial_delay;
-    let mut report = initial_report;
     let cap = if max_iterations == 0 {
         usize::MAX
     } else {
@@ -84,30 +87,32 @@ pub fn h1(
         if graph.has_edge(source, target) {
             break;
         }
-        let edge = graph
-            .add_edge(source, target)
-            .expect("source and sink are distinct");
-        let candidate_report = oracle.evaluate(&graph)?;
-        let score = Objective::MaxDelay.score(&candidate_report);
-        if score < current * (1.0 - opts.min_improvement) {
-            current = score;
-            report = candidate_report;
+        // One candidate per iteration, still through the shared kernel.
+        let candidates = [Candidate::AddEdge(source, target)];
+        let scores = sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 1)?;
+        if scores[0] < current * (1.0 - opts.min_improvement) {
+            let edge = graph
+                .add_edge(source, target)
+                .expect("source and sink are distinct");
+            current = scores[0];
+            report = engine.prepare(&graph)?;
             iterations.push(IterationRecord {
                 added: (source, target),
                 edge,
-                delay: score,
+                delay: current,
                 cost: graph.total_cost(),
             });
         } else {
-            graph.remove_edge(edge).expect("edge was just added");
             break;
         }
     }
+    let stats = engine.stats();
     Ok(LdrgResult {
         graph,
         initial_delay,
         initial_cost,
         iterations,
+        stats,
     })
 }
 

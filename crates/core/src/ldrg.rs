@@ -1,6 +1,7 @@
 use ntr_graph::{EdgeId, NodeId, RoutingGraph};
 
-use crate::{DelayOracle, Objective, OracleError};
+use crate::sweep::{best_below, candidate_oracle_for, missing_edge_candidates, sweep_candidates};
+use crate::{Candidate, DelayOracle, Objective, OracleError, OracleStats};
 
 /// Options for the [`ldrg`] greedy loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,6 +15,9 @@ pub struct LdrgOptions {
     /// The objective to minimize ([`Objective::MaxDelay`] = ORG,
     /// [`Objective::Weighted`] = CSORG).
     pub objective: Objective,
+    /// Worker threads for the candidate sweep (0 = one per available
+    /// core). The committed edge sequence is identical at every setting.
+    pub parallelism: usize,
 }
 
 impl Default for LdrgOptions {
@@ -22,6 +26,7 @@ impl Default for LdrgOptions {
             max_added_edges: 0,
             min_improvement: 1e-6,
             objective: Objective::MaxDelay,
+            parallelism: 0,
         }
     }
 }
@@ -50,6 +55,9 @@ pub struct LdrgResult {
     pub initial_cost: f64,
     /// Committed iterations, in order.
     pub iterations: Vec<IterationRecord>,
+    /// Search-cost counters of the candidate engine(s) that ran the
+    /// sweeps (for [`ldrg_prefiltered`], prefilter + search merged).
+    pub stats: OracleStats,
 }
 
 impl LdrgResult {
@@ -95,9 +103,12 @@ impl LdrgResult {
 /// 2. commit the edge that reduces the objective the most,
 /// 3. stop when no candidate improves (or `max_added_edges` is reached).
 ///
-/// Each iteration costs O(|N|²) oracle calls; with the
+/// Each iteration costs O(|N|²) candidate scores, evaluated through the
+/// shared [`sweep_candidates`] kernel: with the
 /// [`TransientOracle`](crate::TransientOracle) this is the paper's
-/// "quadratic number of calls to SPICE".
+/// "quadratic number of calls to SPICE"; with the
+/// [`MomentOracle`](crate::MomentOracle) each score is a rank-1 update
+/// of one cached factorization per iteration.
 ///
 /// # Errors
 ///
@@ -113,8 +124,8 @@ pub fn ldrg(
     opts: &LdrgOptions,
 ) -> Result<LdrgResult, OracleError> {
     let mut graph = initial.clone();
-    let initial_report = oracle.evaluate(&graph)?;
-    let initial_delay = opts.objective.score(&initial_report);
+    let mut engine = candidate_oracle_for(oracle);
+    let initial_delay = opts.objective.score(&engine.prepare(&graph)?);
     let initial_cost = graph.total_cost();
 
     let mut iterations = Vec::new();
@@ -126,41 +137,39 @@ pub fn ldrg(
     };
 
     while iterations.len() < max_edges {
-        let mut best: Option<(f64, NodeId, NodeId)> = None;
-        let nodes: Vec<NodeId> = graph.node_ids().collect();
-        for (ai, &a) in nodes.iter().enumerate() {
-            for &b in &nodes[ai + 1..] {
-                if graph.has_edge(a, b) {
-                    continue;
-                }
+        let candidates = missing_edge_candidates(&graph);
+        let scores = sweep_candidates(
+            engine.as_ref(),
+            &candidates,
+            &opts.objective,
+            opts.parallelism,
+        )?;
+        match best_below(&scores, current) {
+            Some(i) if scores[i] < current * (1.0 - opts.min_improvement) => {
+                let Candidate::AddEdge(a, b) = candidates[i] else {
+                    unreachable!("ldrg sweeps edge candidates only")
+                };
                 let edge = graph.add_edge(a, b).expect("distinct valid nodes");
-                let score = opts.objective.score(&oracle.evaluate(&graph)?);
-                graph.remove_edge(edge).expect("edge was just added");
-                if score < current && best.is_none_or(|(s, _, _)| score < s) {
-                    best = Some((score, a, b));
-                }
-            }
-        }
-        match best {
-            Some((score, a, b)) if score < current * (1.0 - opts.min_improvement) => {
-                let edge = graph.add_edge(a, b).expect("distinct valid nodes");
-                current = score;
+                current = scores[i];
                 iterations.push(IterationRecord {
                     added: (a, b),
                     edge,
-                    delay: score,
+                    delay: current,
                     cost: graph.total_cost(),
                 });
+                engine.prepare(&graph)?;
             }
             _ => break,
         }
     }
 
+    let stats = engine.stats();
     Ok(LdrgResult {
         graph,
         initial_delay,
         initial_cost,
         iterations,
+        stats,
     })
 }
 
@@ -209,7 +218,9 @@ pub fn ldrg_prefiltered(
     opts: &LdrgOptions,
 ) -> Result<LdrgResult, OracleError> {
     let mut graph = initial.clone();
-    let initial_delay = opts.objective.score(&search.evaluate(&graph)?);
+    let mut search_engine = candidate_oracle_for(search);
+    let mut pre_engine = candidate_oracle_for(prefilter);
+    let initial_delay = opts.objective.score(&search_engine.prepare(&graph)?);
     let initial_cost = graph.total_cost();
 
     let mut iterations = Vec::new();
@@ -223,51 +234,53 @@ pub fn ldrg_prefiltered(
 
     while iterations.len() < max_edges {
         // Stage 1: cheap ranking of every candidate edge.
-        let mut ranked: Vec<(f64, NodeId, NodeId)> = Vec::new();
-        let nodes: Vec<NodeId> = graph.node_ids().collect();
-        for (ai, &a) in nodes.iter().enumerate() {
-            for &b in &nodes[ai + 1..] {
-                if graph.has_edge(a, b) {
-                    continue;
-                }
-                let edge = graph.add_edge(a, b).expect("distinct valid nodes");
-                let score = opts.objective.score(&prefilter.evaluate(&graph)?);
-                graph.remove_edge(edge).expect("edge was just added");
-                ranked.push((score, a, b));
-            }
-        }
+        let candidates = missing_edge_candidates(&graph);
+        pre_engine.prepare(&graph)?;
+        let pre_scores = sweep_candidates(
+            pre_engine.as_ref(),
+            &candidates,
+            &opts.objective,
+            opts.parallelism,
+        )?;
+        let mut ranked: Vec<(f64, Candidate)> = pre_scores.into_iter().zip(candidates).collect();
+        // Stable sort: ties keep candidate-scan order, so a shortlist of
+        // everything reproduces plain `ldrg` exactly.
         ranked.sort_by(|x, y| x.0.total_cmp(&y.0));
         ranked.truncate(shortlist);
+        let short: Vec<Candidate> = ranked.into_iter().map(|(_, c)| c).collect();
 
         // Stage 2: expensive evaluation of the shortlist only.
-        let mut best: Option<(f64, NodeId, NodeId)> = None;
-        for (_, a, b) in ranked {
-            let edge = graph.add_edge(a, b).expect("distinct valid nodes");
-            let score = opts.objective.score(&search.evaluate(&graph)?);
-            graph.remove_edge(edge).expect("edge was just added");
-            if score < current && best.is_none_or(|(s, _, _)| score < s) {
-                best = Some((score, a, b));
-            }
-        }
-        match best {
-            Some((score, a, b)) if score < current * (1.0 - opts.min_improvement) => {
+        let scores = sweep_candidates(
+            search_engine.as_ref(),
+            &short,
+            &opts.objective,
+            opts.parallelism,
+        )?;
+        match best_below(&scores, current) {
+            Some(i) if scores[i] < current * (1.0 - opts.min_improvement) => {
+                let Candidate::AddEdge(a, b) = short[i] else {
+                    unreachable!("ldrg sweeps edge candidates only")
+                };
                 let edge = graph.add_edge(a, b).expect("distinct valid nodes");
-                current = score;
+                current = scores[i];
                 iterations.push(IterationRecord {
                     added: (a, b),
                     edge,
-                    delay: score,
+                    delay: current,
                     cost: graph.total_cost(),
                 });
+                search_engine.prepare(&graph)?;
             }
             _ => break,
         }
     }
+    let stats = search_engine.stats().merged(pre_engine.stats());
     Ok(LdrgResult {
         graph,
         initial_delay,
         initial_cost,
         iterations,
+        stats,
     })
 }
 

@@ -60,6 +60,7 @@ mod netlist;
 mod objective;
 mod oracle;
 mod sldrg;
+mod sweep;
 mod trim;
 mod wsorg;
 
@@ -74,5 +75,9 @@ pub use oracle::{
     TreeElmoreOracle,
 };
 pub use sldrg::sldrg;
+pub use sweep::{
+    best_below, candidate_oracle_for, sweep_candidates, Candidate, CandidateOracle,
+    IncrementalMomentOracle, OracleStats, ScratchOracle,
+};
 pub use trim::{trim_redundant_edges, TrimOptions, TrimResult};
 pub use wsorg::{wire_size, wire_size_guided, WireSizeOptions, WireSizeResult};

@@ -30,11 +30,25 @@ pub enum Objective {
 impl Objective {
     /// Scores a delay report (lower is better).
     ///
+    /// A zero-sink report (a source-only net) deliberately scores `0.0`
+    /// under both objectives: there is no sink to delay, so every routing
+    /// of such a net is equally (vacuously) optimal and the greedy loops
+    /// terminate immediately instead of chasing `-inf`.
+    ///
     /// # Panics
     ///
     /// Panics when a weighted objective's length does not match the report.
     #[must_use]
     pub fn score(&self, report: &DelayReport) -> f64 {
+        if report.is_empty() {
+            match self {
+                Objective::MaxDelay => return 0.0,
+                Objective::Weighted(alphas) => {
+                    assert!(alphas.is_empty(), "one criticality per sink required");
+                    return 0.0;
+                }
+            }
+        }
         match self {
             Objective::MaxDelay => report.max(),
             Objective::Weighted(alphas) => {
@@ -70,5 +84,19 @@ mod tests {
     fn weighted_length_is_checked() {
         let r = DelayReport::new(vec![1.0]);
         let _ = Objective::Weighted(vec![1.0, 2.0]).score(&r);
+    }
+
+    #[test]
+    fn zero_sink_nets_score_zero_deliberately() {
+        let empty = DelayReport::new(vec![]);
+        assert_eq!(Objective::MaxDelay.score(&empty), 0.0);
+        assert_eq!(Objective::Weighted(vec![]).score(&empty), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one criticality per sink")]
+    fn zero_sink_weighted_still_checks_lengths() {
+        let empty = DelayReport::new(vec![]);
+        let _ = Objective::Weighted(vec![1.0]).score(&empty);
     }
 }

@@ -6,6 +6,8 @@ use ntr_elmore::ElmoreAnalysis;
 use ntr_graph::{NotATreeError, RoutingGraph, TreeView};
 use ntr_spice::{d2m_delay, elmore_delays, sink_delays, SimConfig, SimError};
 
+use crate::sweep::CandidateOracle;
+
 /// Per-sink delays of a routing evaluated by some [`DelayOracle`].
 ///
 /// Delays are in seconds, in net pin order (`n_1..n_k`).
@@ -27,10 +29,33 @@ impl DelayReport {
         &self.per_sink
     }
 
+    /// Number of sinks in the report.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.per_sink.len()
+    }
+
+    /// Whether the report covers zero sinks (a source-only net).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.per_sink.is_empty()
+    }
+
     /// The maximum sink delay — the ORG objective `t(G)`.
+    ///
+    /// A zero-sink report deliberately scores `0.0`: a net with no sinks
+    /// has nothing to delay. Non-empty reports return their true maximum
+    /// (folding over [`f64::NEG_INFINITY`]), so an all-negative report is
+    /// no longer silently clamped to zero.
     #[must_use]
     pub fn max(&self) -> f64 {
-        self.per_sink.iter().copied().fold(0.0, f64::max)
+        if self.per_sink.is_empty() {
+            return 0.0;
+        }
+        self.per_sink
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Index of the sink with the largest delay (pin `n_{i+1}`).
@@ -99,7 +124,12 @@ impl From<SimError> for OracleError {
 /// algorithms ([`ldrg`](crate::ldrg), [`h1`](crate::h1), …) are generic
 /// over this trait so the paper's SPICE-based and Elmore-based variants
 /// share one implementation.
-pub trait DelayOracle {
+///
+/// The [`Sync`] bound lets [`sweep_candidates`](crate::sweep_candidates)
+/// share an oracle across scoring threads; delay models are plain data
+/// (technology constants and options), so this costs implementors
+/// nothing.
+pub trait DelayOracle: Sync {
     /// Evaluates the per-sink delays of `graph`.
     ///
     /// # Errors
@@ -108,6 +138,15 @@ pub trait DelayOracle {
     /// this model (not spanning, not a tree for tree-only oracles, or a
     /// numerical failure).
     fn evaluate(&self, graph: &RoutingGraph) -> Result<DelayReport, OracleError>;
+
+    /// An incremental candidate engine for this oracle, if it has one.
+    ///
+    /// The default is `None`, which makes every oracle sweepable through
+    /// the from-scratch [`ScratchOracle`](crate::ScratchOracle) fallback.
+    /// [`MomentOracle`] overrides this with its rank-1 update engine.
+    fn incremental(&self) -> Option<Box<dyn CandidateOracle + '_>> {
+        None
+    }
 }
 
 /// The "SPICE" oracle: full transient simulation of the extracted RC(L)
@@ -204,6 +243,10 @@ impl DelayOracle for MomentOracle {
         };
         Ok(DelayReport::new(delays))
     }
+
+    fn incremental(&self) -> Option<Box<dyn CandidateOracle + '_>> {
+        Some(Box::new(crate::sweep::IncrementalMomentOracle::new(self)))
+    }
 }
 
 /// The O(k) tree-only Elmore oracle (Rubinstein–Penfield–Horowitz), the
@@ -250,6 +293,24 @@ mod tests {
         assert_eq!(r.max(), 3.0);
         assert_eq!(r.argmax(), Some(1));
         assert_eq!(r.per_sink().len(), 3);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn empty_report_max_is_deliberate_zero() {
+        let r = DelayReport::new(vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.max(), 0.0);
+        assert_eq!(r.argmax(), None);
+    }
+
+    #[test]
+    fn max_no_longer_clamps_negative_reports_to_zero() {
+        // Regression: the old fold over 0.0 reported 0.0 here.
+        let r = DelayReport::new(vec![-2.0, -1.0, -3.0]);
+        assert_eq!(r.max(), -1.0);
+        assert_eq!(r.argmax(), Some(1));
     }
 
     #[test]

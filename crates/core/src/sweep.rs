@@ -1,0 +1,454 @@
+//! The shared candidate-evaluation engine.
+//!
+//! Every greedy loop in this crate — [`ldrg`](crate::ldrg),
+//! [`ldrg_prefiltered`](crate::ldrg_prefiltered), [`h1`](crate::h1) and
+//! [`wire_size`](crate::wire_size) — has the same inner shape: take the
+//! committed routing, enumerate trial modifications, score each one, and
+//! keep the best. This module factors that shape into one kernel:
+//!
+//! - [`Candidate`] — a trial modification (add an edge, widen a wire),
+//! - [`CandidateOracle`] — a scorer that is **prepared once** per
+//!   committed routing and then evaluates candidates against that
+//!   prepared state,
+//! - [`sweep_candidates`] — the kernel: scores a candidate list, fanning
+//!   the work across [`std::thread::scope`] workers,
+//! - [`OracleStats`] — evaluation/factorization/rank-1 counters so the
+//!   search cost is observable on results.
+//!
+//! Two oracle implementations exist. [`ScratchOracle`] is the blanket
+//! fallback that works for *any* [`DelayOracle`]: it clones the graph,
+//! applies the candidate, and re-evaluates from scratch — `O(n^{1.5})`
+//! sparse work per candidate. [`IncrementalMomentOracle`] (reached via
+//! [`DelayOracle::incremental`] on a [`MomentOracle`]) extracts and
+//! factors the committed routing **once** in `prepare` and then scores
+//! each candidate with a Sherman–Morrison rank-1 update of the cached
+//! factorization — `O(n)` triangular-solve work per candidate, no
+//! re-extraction and no refactorization.
+//!
+//! Determinism: [`sweep_candidates`] returns scores *indexed by
+//! candidate*, so selection (`best_below`) is independent of thread
+//! scheduling — the parallel sweep commits exactly the edge sequence the
+//! serial sweep commits.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use ntr_circuit::{extract, Extracted};
+use ntr_graph::{EdgeId, NodeId, RoutingGraph};
+use ntr_sparse::SolveError;
+use ntr_spice::{MomentEngine, Moments, SimError};
+
+use crate::{DelayOracle, DelayReport, MomentMetric, MomentOracle, Objective, OracleError};
+
+/// One trial modification of the committed routing graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Candidate {
+    /// Add a unit-width wire between two nodes (the LDRG/H1 move).
+    AddEdge(NodeId, NodeId),
+    /// Set an existing edge's width multiplier (the WSORG move).
+    SetWidth(EdgeId, f64),
+}
+
+/// Search-cost counters accumulated by a [`CandidateOracle`].
+///
+/// `wall_nanos` covers the time spent inside `prepare` and `score` only
+/// (candidate enumeration and selection are excluded); under a parallel
+/// sweep it is summed across workers, so it can exceed elapsed time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OracleStats {
+    /// Delay-report computations: one per `prepare` plus one per `score`.
+    pub evaluations: u64,
+    /// From-scratch or same-pattern matrix factorizations performed.
+    pub factorizations: u64,
+    /// Candidates scored through a rank-1 (Sherman–Morrison) update of a
+    /// cached factorization instead of a fresh one.
+    pub rank1_solves: u64,
+    /// Nanoseconds spent inside `prepare`/`score`.
+    pub wall_nanos: u64,
+}
+
+impl OracleStats {
+    /// The accumulated oracle time as a [`Duration`].
+    #[must_use]
+    pub fn wall(&self) -> Duration {
+        Duration::from_nanos(self.wall_nanos)
+    }
+
+    /// Field-wise sum of two counters (e.g. prefilter + search oracle).
+    #[must_use]
+    pub fn merged(self, other: OracleStats) -> OracleStats {
+        OracleStats {
+            evaluations: self.evaluations + other.evaluations,
+            factorizations: self.factorizations + other.factorizations,
+            rank1_solves: self.rank1_solves + other.rank1_solves,
+            wall_nanos: self.wall_nanos + other.wall_nanos,
+        }
+    }
+}
+
+/// Interior-mutable counters shared across sweep workers via `&self`.
+#[derive(Debug, Default)]
+struct SharedStats {
+    evaluations: AtomicU64,
+    factorizations: AtomicU64,
+    rank1_solves: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> OracleStats {
+        OracleStats {
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            factorizations: self.factorizations.load(Ordering::Relaxed),
+            rank1_solves: self.rank1_solves.load(Ordering::Relaxed),
+            wall_nanos: self.wall_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record(&self, start: Instant, factorizations: u64, rank1: u64) {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.factorizations
+            .fetch_add(factorizations, Ordering::Relaxed);
+        self.rank1_solves.fetch_add(rank1, Ordering::Relaxed);
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.wall_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+/// A candidate scorer bound to one committed routing.
+///
+/// The contract is *prepare once, score many*: `prepare` is called with
+/// the committed graph at the start of every greedy iteration (and after
+/// every commit), `score` is then called for each trial candidate —
+/// possibly concurrently from several threads, hence the [`Sync`] bound
+/// and the `&self` receiver.
+pub trait CandidateOracle: Sync {
+    /// Binds the oracle to `graph` (extraction, factorization, …) and
+    /// returns the committed graph's own delay report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError`] when the committed graph cannot be
+    /// evaluated.
+    fn prepare(&mut self, graph: &RoutingGraph) -> Result<DelayReport, OracleError>;
+
+    /// Scores one trial candidate against the prepared graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError`] when the modified graph cannot be
+    /// evaluated.
+    ///
+    /// # Panics
+    ///
+    /// May panic if called before [`CandidateOracle::prepare`].
+    fn score(&self, candidate: &Candidate) -> Result<DelayReport, OracleError>;
+
+    /// Snapshot of the counters accumulated so far.
+    fn stats(&self) -> OracleStats;
+}
+
+/// The incremental engine for `oracle` if it has one, else the
+/// [`ScratchOracle`] fallback.
+#[must_use]
+pub fn candidate_oracle_for(oracle: &dyn DelayOracle) -> Box<dyn CandidateOracle + '_> {
+    oracle
+        .incremental()
+        .unwrap_or_else(|| Box::new(ScratchOracle::new(oracle)))
+}
+
+/// Scores every candidate with `oracle`, fanning the work across up to
+/// `parallelism` scoped threads (`0` = one per available core).
+///
+/// Returns one objective score per candidate, **in candidate order** —
+/// thread scheduling cannot influence which candidate a caller selects,
+/// so parallel and serial sweeps commit identical edge sequences. When
+/// several candidates fail, the error of the earliest one is returned.
+///
+/// # Errors
+///
+/// Propagates the first (lowest-index) scoring failure.
+pub fn sweep_candidates(
+    oracle: &dyn CandidateOracle,
+    candidates: &[Candidate],
+    objective: &Objective,
+    parallelism: usize,
+) -> Result<Vec<f64>, OracleError> {
+    let workers = match parallelism {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        n => n,
+    }
+    .min(candidates.len());
+
+    if workers <= 1 {
+        return candidates
+            .iter()
+            .map(|c| Ok(objective.score(&oracle.score(c)?)))
+            .collect();
+    }
+
+    let chunk = candidates.len().div_ceil(workers);
+    let outs: Vec<Vec<Result<f64, OracleError>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|ch| {
+                s.spawn(move || {
+                    ch.iter()
+                        .map(|c| oracle.score(c).map(|r| objective.score(&r)))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut scores = Vec::with_capacity(candidates.len());
+    for out in outs {
+        for r in out {
+            scores.push(r?);
+        }
+    }
+    Ok(scores)
+}
+
+/// Index of the smallest score strictly below `threshold`; ties keep the
+/// earliest candidate (the tie-break every greedy loop here historically
+/// used).
+#[must_use]
+pub fn best_below(scores: &[f64], threshold: f64) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, &s) in scores.iter().enumerate() {
+        if s < threshold && best.is_none_or(|b| s < scores[b]) {
+            best = Some(i);
+        }
+    }
+    best
+}
+
+/// Every node pair not already joined by an edge, as `AddEdge`
+/// candidates in the scan order of the original double loop.
+pub(crate) fn missing_edge_candidates(graph: &RoutingGraph) -> Vec<Candidate> {
+    let nodes: Vec<NodeId> = graph.node_ids().collect();
+    let mut out = Vec::new();
+    for (ai, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[ai + 1..] {
+            if !graph.has_edge(a, b) {
+                out.push(Candidate::AddEdge(a, b));
+            }
+        }
+    }
+    out
+}
+
+/// The blanket [`CandidateOracle`]: clones the graph, applies the
+/// candidate, and runs the wrapped [`DelayOracle`] from scratch.
+///
+/// Correct for every oracle, including transient simulation; the cost is
+/// a full extraction + evaluation per candidate.
+pub struct ScratchOracle<'a> {
+    oracle: &'a dyn DelayOracle,
+    graph: Option<RoutingGraph>,
+    stats: SharedStats,
+}
+
+impl<'a> ScratchOracle<'a> {
+    /// Wraps `oracle` as a from-scratch candidate scorer.
+    #[must_use]
+    pub fn new(oracle: &'a dyn DelayOracle) -> Self {
+        Self {
+            oracle,
+            graph: None,
+            stats: SharedStats::default(),
+        }
+    }
+}
+
+impl CandidateOracle for ScratchOracle<'_> {
+    fn prepare(&mut self, graph: &RoutingGraph) -> Result<DelayReport, OracleError> {
+        let start = Instant::now();
+        let report = self.oracle.evaluate(graph)?;
+        self.graph = Some(graph.clone());
+        self.stats.record(start, 1, 0);
+        Ok(report)
+    }
+
+    fn score(&self, candidate: &Candidate) -> Result<DelayReport, OracleError> {
+        let start = Instant::now();
+        let base = self.graph.as_ref().expect("prepare before score");
+        let mut trial = base.clone();
+        match *candidate {
+            Candidate::AddEdge(a, b) => {
+                trial.add_edge(a, b).expect("candidate endpoints are live");
+            }
+            Candidate::SetWidth(e, w) => {
+                trial.set_width(e, w).expect("candidate edge is live");
+            }
+        }
+        let report = self.oracle.evaluate(&trial)?;
+        self.stats.record(start, 1, 0);
+        Ok(report)
+    }
+
+    fn stats(&self) -> OracleStats {
+        self.stats.snapshot()
+    }
+}
+
+/// The prepared state of an [`IncrementalMomentOracle`].
+struct PreparedMoments {
+    graph: RoutingGraph,
+    extracted: Extracted,
+    engine: MomentEngine,
+}
+
+/// The incremental [`CandidateOracle`] behind [`MomentOracle`].
+///
+/// `prepare` extracts the committed routing and factors its static MNA
+/// matrix once. Each `AddEdge` candidate is then scored by the exact
+/// Sherman–Morrison rank-1 identity (a trial wire's π-chain reduces to a
+/// rank-1 conductance between its endpoints; its distributed capacitance
+/// enters the moment recursion through boundary-weighted right-hand
+/// sides) — two triangular solves per moment order instead of a fresh
+/// factorization. `SetWidth` candidates rescale the stamped R/C values
+/// of one edge in place and reuse the cached **symbolic** analysis via
+/// `refactor_with_same_pattern` — numeric-only refactorization, no
+/// ordering or elimination-tree work.
+pub struct IncrementalMomentOracle<'a> {
+    oracle: &'a MomentOracle,
+    state: Option<PreparedMoments>,
+    stats: SharedStats,
+}
+
+impl<'a> IncrementalMomentOracle<'a> {
+    /// An unprepared incremental engine over `oracle`'s technology,
+    /// extraction options, and metric.
+    #[must_use]
+    pub fn new(oracle: &'a MomentOracle) -> Self {
+        Self {
+            oracle,
+            state: None,
+            stats: SharedStats::default(),
+        }
+    }
+
+    fn order(&self) -> usize {
+        match self.oracle.metric {
+            MomentMetric::Elmore => 1,
+            MomentMetric::D2m => 2,
+        }
+    }
+
+    fn report_from_moments(
+        &self,
+        moments: &Moments,
+        sinks: &[usize],
+    ) -> Result<DelayReport, SimError> {
+        let mut delays = Vec::with_capacity(sinks.len());
+        for &node in sinks {
+            delays.push(match self.oracle.metric {
+                MomentMetric::Elmore => moments.elmore_of_node(node)?,
+                MomentMetric::D2m => moments.d2m_of_node(node)?,
+            });
+        }
+        Ok(DelayReport::new(delays))
+    }
+}
+
+impl CandidateOracle for IncrementalMomentOracle<'_> {
+    fn prepare(&mut self, graph: &RoutingGraph) -> Result<DelayReport, OracleError> {
+        let start = Instant::now();
+        let extracted = extract(graph, &self.oracle.tech, &self.oracle.extract)?;
+        let engine =
+            MomentEngine::new(&extracted.circuit, self.order()).map_err(OracleError::Sim)?;
+        let probes = engine
+            .base_probe_moments(&extracted.sink_nodes)
+            .map_err(OracleError::Sim)?;
+        let report = DelayReport::new(
+            probes
+                .iter()
+                .map(|p| match self.oracle.metric {
+                    MomentMetric::Elmore => p.elmore(),
+                    MomentMetric::D2m => p.d2m(),
+                })
+                .collect(),
+        );
+        self.state = Some(PreparedMoments {
+            graph: graph.clone(),
+            extracted,
+            engine,
+        });
+        self.stats.record(start, 1, 0);
+        Ok(report)
+    }
+
+    fn score(&self, candidate: &Candidate) -> Result<DelayReport, OracleError> {
+        let start = Instant::now();
+        let state = self.state.as_ref().expect("prepare before score");
+        match *candidate {
+            Candidate::AddEdge(a, b) => {
+                // New edges default to unit width (RoutingGraph::add_edge).
+                let wire = state.extracted.candidate_wire(
+                    &state.graph,
+                    &self.oracle.tech,
+                    &self.oracle.extract,
+                    a,
+                    b,
+                    1.0,
+                )?;
+                let probes = state
+                    .engine
+                    .wire_moments(&wire, &state.extracted.sink_nodes)
+                    .map_err(OracleError::Sim)?;
+                let report = DelayReport::new(
+                    probes
+                        .iter()
+                        .map(|p| match self.oracle.metric {
+                            MomentMetric::Elmore => p.elmore(),
+                            MomentMetric::D2m => p.d2m(),
+                        })
+                        .collect(),
+                );
+                self.stats.record(start, 0, 1);
+                Ok(report)
+            }
+            Candidate::SetWidth(e, w) => {
+                let old = state
+                    .graph
+                    .edge(e)
+                    .map_err(|_| {
+                        OracleError::Extract(ntr_circuit::ExtractError::UnknownEdge {
+                            edge: e.index(),
+                        })
+                    })?
+                    .width();
+                let mut trial = state.extracted.clone();
+                trial.rescale_edge_width(e, w / old)?;
+                let moments = match state.engine.moments_with_same_pattern(&trial.circuit) {
+                    Ok(m) => m,
+                    // Rescaling never changes the pattern, but stay correct
+                    // if a zero width product ever cancels an entry.
+                    Err(SimError::Solve(SolveError::PatternMismatch { .. })) => {
+                        Moments::compute(&trial.circuit, state.engine.order())
+                            .map_err(OracleError::Sim)?
+                    }
+                    Err(err) => return Err(OracleError::Sim(err)),
+                };
+                let report = self
+                    .report_from_moments(&moments, &trial.sink_nodes)
+                    .map_err(OracleError::Sim)?;
+                self.stats.record(start, 1, 0);
+                Ok(report)
+            }
+        }
+    }
+
+    fn stats(&self) -> OracleStats {
+        self.stats.snapshot()
+    }
+}

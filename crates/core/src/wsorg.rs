@@ -1,6 +1,7 @@
 use ntr_graph::RoutingGraph;
 
-use crate::{DelayOracle, Objective, OracleError};
+use crate::sweep::{best_below, candidate_oracle_for, sweep_candidates};
+use crate::{Candidate, DelayOracle, Objective, OracleError, OracleStats};
 
 /// Options for the [`wire_size`] greedy widener (the WSORG extension,
 /// paper §5.2).
@@ -16,6 +17,10 @@ pub struct WireSizeOptions {
     pub min_improvement: f64,
     /// Maximum number of committed widenings (0 = until no improvement).
     pub max_changes: usize,
+    /// Worker threads for the candidate sweep (0 = one per available
+    /// core). The committed widening sequence is identical at every
+    /// setting.
+    pub parallelism: usize,
 }
 
 impl Default for WireSizeOptions {
@@ -25,6 +30,7 @@ impl Default for WireSizeOptions {
             objective: Objective::MaxDelay,
             min_improvement: 1e-6,
             max_changes: 0,
+            parallelism: 0,
         }
     }
 }
@@ -42,6 +48,8 @@ pub struct WireSizeResult {
     pub changes: usize,
     /// Number of oracle evaluations spent (the search cost).
     pub evaluations: usize,
+    /// Search-cost counters of the candidate engine that ran the sweeps.
+    pub stats: OracleStats,
 }
 
 /// Greedy wire sizing: repeatedly bump the single edge/width step that
@@ -98,7 +106,8 @@ pub fn wire_size(
     opts: &WireSizeOptions,
 ) -> Result<WireSizeResult, OracleError> {
     let mut graph = initial.clone();
-    let initial_delay = opts.objective.score(&oracle.evaluate(&graph)?);
+    let mut engine = candidate_oracle_for(oracle);
+    let initial_delay = opts.objective.score(&engine.prepare(&graph)?);
     let mut current = initial_delay;
     let mut changes = 0usize;
     let mut evaluations = 1usize;
@@ -109,38 +118,49 @@ pub fn wire_size(
     };
 
     while changes < cap {
-        let mut best: Option<(f64, ntr_graph::EdgeId, f64)> = None;
-        let edges: Vec<(ntr_graph::EdgeId, f64)> =
-            graph.edges().map(|(id, e)| (id, e.width())).collect();
-        for (id, width) in edges {
-            // The next width up in the allowed ladder.
-            let Some(&next) = opts.widths.iter().find(|&&w| w > width) else {
-                continue;
-            };
-            graph.set_width(id, next).expect("edge is live");
-            let score = opts.objective.score(&oracle.evaluate(&graph)?);
-            evaluations += 1;
-            graph.set_width(id, width).expect("edge is live");
-            if score < current && best.is_none_or(|(s, _, _)| score < s) {
-                best = Some((score, id, next));
-            }
+        // One candidate per edge: the next width up in the allowed ladder.
+        let candidates: Vec<Candidate> = graph
+            .edges()
+            .filter_map(|(id, e)| {
+                opts.widths
+                    .iter()
+                    .find(|&&w| w > e.width())
+                    .map(|&next| Candidate::SetWidth(id, next))
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
         }
-        match best {
-            Some((score, id, next)) if score < current * (1.0 - opts.min_improvement) => {
+        let scores = sweep_candidates(
+            engine.as_ref(),
+            &candidates,
+            &opts.objective,
+            opts.parallelism,
+        )?;
+        evaluations += scores.len();
+        match best_below(&scores, current) {
+            Some(i) if scores[i] < current * (1.0 - opts.min_improvement) => {
+                let Candidate::SetWidth(id, next) = candidates[i] else {
+                    unreachable!("wire_size sweeps width candidates only")
+                };
                 graph.set_width(id, next).expect("edge is live");
-                current = score;
+                current = scores[i];
                 changes += 1;
+                engine.prepare(&graph)?;
+                evaluations += 1;
             }
             _ => break,
         }
     }
 
+    let stats = engine.stats();
     Ok(WireSizeResult {
         graph,
         initial_delay,
         final_delay: current,
         changes,
         evaluations,
+        stats,
     })
 }
 
@@ -222,6 +242,12 @@ pub fn wire_size_guided(
         final_delay: current,
         changes,
         evaluations,
+        // The guided search runs the analytic tree formula directly, not
+        // a candidate engine; only its evaluation count is meaningful.
+        stats: OracleStats {
+            evaluations: evaluations as u64,
+            ..OracleStats::default()
+        },
     })
 }
 

@@ -1,0 +1,221 @@
+//! Cross-layer guarantees of the incremental candidate-evaluation engine:
+//!
+//! - **exactness** — rank-1 / same-pattern incremental scores equal the
+//!   from-scratch oracle to 1e-9 relative, on trees and on cyclic graphs,
+//!   for both edge-addition and width candidates, under both moment
+//!   metrics;
+//! - **determinism** — the parallel sweep commits exactly the edge (and
+//!   widening) sequence the serial sweep commits;
+//! - **observability** — the stats counters distinguish the rank-1 path
+//!   from the from-scratch fallback.
+
+use ntr_circuit::Technology;
+use ntr_core::{
+    candidate_oracle_for, ldrg, sweep_candidates, wire_size, Candidate, DelayOracle, LdrgOptions,
+    MomentMetric, MomentOracle, Objective, TransientOracle, WireSizeOptions,
+};
+use ntr_geom::{Layout, NetGenerator};
+use ntr_graph::{prim_mst, NodeId, RoutingGraph};
+use proptest::prelude::*;
+
+fn random_graph(seed: u64, size: usize, extra_edges: usize) -> RoutingGraph {
+    let net = NetGenerator::new(Layout::date94(), seed)
+        .random_net(size)
+        .unwrap();
+    let mut g = prim_mst(&net);
+    // Close cycles deterministically: connect node pairs by stride.
+    let nodes: Vec<NodeId> = g.node_ids().collect();
+    let mut added = 0;
+    'outer: for stride in 2..nodes.len() {
+        for i in 0..nodes.len().saturating_sub(stride) {
+            if added == extra_edges {
+                break 'outer;
+            }
+            let (a, b) = (nodes[i], nodes[i + stride]);
+            if !g.has_edge(a, b) {
+                g.add_edge(a, b).unwrap();
+                added += 1;
+            }
+        }
+    }
+    g
+}
+
+fn from_scratch_added(oracle: &MomentOracle, graph: &RoutingGraph, a: NodeId, b: NodeId) -> f64 {
+    let mut trial = graph.clone();
+    trial.add_edge(a, b).unwrap();
+    Objective::MaxDelay.score(&oracle.evaluate(&trial).unwrap())
+}
+
+fn from_scratch_widened(
+    oracle: &MomentOracle,
+    graph: &RoutingGraph,
+    e: ntr_graph::EdgeId,
+    w: f64,
+) -> f64 {
+    let mut trial = graph.clone();
+    trial.set_width(e, w).unwrap();
+    Objective::MaxDelay.score(&oracle.evaluate(&trial).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Incremental `score` equals from-scratch `evaluate` on random nets,
+    /// both trees (`extra = 0`) and cyclic graphs (`extra > 0`).
+    #[test]
+    fn incremental_add_edge_matches_from_scratch(
+        seed in 0u64..300,
+        size in 3usize..10,
+        extra in 0usize..3,
+    ) {
+        let graph = random_graph(seed, size, extra);
+        for metric in [MomentMetric::Elmore, MomentMetric::D2m] {
+            let oracle = MomentOracle {
+                metric,
+                ..MomentOracle::new(Technology::date94())
+            };
+            let mut engine = oracle.incremental().unwrap();
+            engine.prepare(&graph).unwrap();
+            let nodes: Vec<NodeId> = graph.node_ids().collect();
+            for (ai, &a) in nodes.iter().enumerate() {
+                for &b in &nodes[ai + 1..] {
+                    if graph.has_edge(a, b) {
+                        continue;
+                    }
+                    let inc = Objective::MaxDelay
+                        .score(&engine.score(&Candidate::AddEdge(a, b)).unwrap());
+                    let scratch = from_scratch_added(&oracle, &graph, a, b);
+                    prop_assert!(
+                        (inc - scratch).abs() <= 1e-9 * scratch.abs(),
+                        "add ({a:?},{b:?}) {metric:?}: incremental {inc} vs scratch {scratch}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same exactness for width-rescaling candidates (the WSORG move,
+    /// scored through the same-pattern numeric refactorization).
+    #[test]
+    fn incremental_set_width_matches_from_scratch(
+        seed in 0u64..300,
+        size in 3usize..10,
+        extra in 0usize..3,
+    ) {
+        let graph = random_graph(seed, size, extra);
+        let oracle = MomentOracle::new(Technology::date94());
+        let mut engine = oracle.incremental().unwrap();
+        engine.prepare(&graph).unwrap();
+        for (id, edge) in graph.edges() {
+            let next = edge.width() * 2.0;
+            let inc = Objective::MaxDelay
+                .score(&engine.score(&Candidate::SetWidth(id, next)).unwrap());
+            let scratch = from_scratch_widened(&oracle, &graph, id, next);
+            prop_assert!(
+                (inc - scratch).abs() <= 1e-9 * scratch.abs(),
+                "widen {id:?}: incremental {inc} vs scratch {scratch}"
+            );
+        }
+    }
+
+    /// The parallel sweep returns candidate-indexed scores, so `ldrg`
+    /// commits the same edge sequence (bitwise-identical delays) at any
+    /// worker count.
+    #[test]
+    fn parallel_ldrg_commits_serial_edge_sequence(seed in 0u64..200, size in 4usize..9) {
+        let graph = random_graph(seed, size, 0);
+        let oracle = MomentOracle::new(Technology::date94());
+        let serial = ldrg(&graph, &oracle, &LdrgOptions { parallelism: 1, ..Default::default() })
+            .unwrap();
+        for workers in [2usize, 4, 0] {
+            let par = ldrg(
+                &graph,
+                &oracle,
+                &LdrgOptions { parallelism: workers, ..Default::default() },
+            )
+            .unwrap();
+            prop_assert_eq!(serial.iterations.len(), par.iterations.len());
+            for (s, p) in serial.iterations.iter().zip(&par.iterations) {
+                prop_assert_eq!(s.added, p.added);
+                prop_assert_eq!(s.delay, p.delay);
+            }
+        }
+    }
+
+    /// Same determinism for the width-sizing sweep.
+    #[test]
+    fn parallel_wire_size_commits_serial_sequence(seed in 0u64..200, size in 4usize..9) {
+        let graph = random_graph(seed, size, 1);
+        let oracle = MomentOracle::new(Technology::date94());
+        let serial = wire_size(
+            &graph,
+            &oracle,
+            &WireSizeOptions { parallelism: 1, ..Default::default() },
+        )
+        .unwrap();
+        let par = wire_size(
+            &graph,
+            &oracle,
+            &WireSizeOptions { parallelism: 4, ..Default::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(serial.changes, par.changes);
+        prop_assert_eq!(serial.final_delay, par.final_delay);
+        for (s, p) in serial.graph.edges().zip(par.graph.edges()) {
+            prop_assert_eq!(s.1.width(), p.1.width());
+        }
+    }
+}
+
+#[test]
+fn moment_ldrg_runs_on_the_rank1_path() {
+    let graph = random_graph(7, 10, 0);
+    let oracle = MomentOracle::new(Technology::date94());
+    let res = ldrg(&graph, &oracle, &LdrgOptions::default()).unwrap();
+    // Every candidate score went through a rank-1 solve; factorizations
+    // happen once per prepared (committed) routing only.
+    assert!(res.stats.rank1_solves > 0);
+    assert!(res.stats.factorizations <= 2 + res.stats.rank1_solves / 10);
+    assert_eq!(
+        res.stats.evaluations,
+        res.stats.factorizations + res.stats.rank1_solves
+    );
+    assert!(res.stats.wall_nanos > 0);
+}
+
+#[test]
+fn transient_ldrg_runs_on_the_scratch_fallback() {
+    let graph = random_graph(3, 6, 0);
+    let oracle = TransientOracle::fast(Technology::date94());
+    let res = ldrg(
+        &graph,
+        &oracle,
+        &LdrgOptions {
+            max_added_edges: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(res.stats.rank1_solves, 0);
+    assert_eq!(res.stats.evaluations, res.stats.factorizations);
+    assert!(res.stats.evaluations > 1);
+}
+
+#[test]
+fn sweep_kernel_scores_mixed_candidates_in_order() {
+    let graph = random_graph(11, 7, 0);
+    let oracle = MomentOracle::new(Technology::date94());
+    let mut engine = candidate_oracle_for(&oracle);
+    engine.prepare(&graph).unwrap();
+
+    let nodes: Vec<NodeId> = graph.node_ids().collect();
+    let (a, b) = (nodes[0], *nodes.last().unwrap());
+    let edge = graph.edges().next().unwrap().0;
+    let candidates = vec![Candidate::AddEdge(a, b), Candidate::SetWidth(edge, 2.0)];
+
+    let serial = sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 1).unwrap();
+    let parallel = sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 2).unwrap();
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.len(), candidates.len());
+}

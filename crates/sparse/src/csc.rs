@@ -131,8 +131,7 @@ impl CscMatrix {
             });
         }
         let mut y = vec![0.0; self.rows];
-        for c in 0..self.cols {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             if xc != 0.0 {
                 for k in self.col_ptr[c]..self.col_ptr[c + 1] {
                     y[self.row_idx[k]] += self.values[k] * xc;

@@ -101,9 +101,9 @@ impl DenseMatrix {
             });
         }
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         Ok(y)
     }
@@ -230,18 +230,14 @@ impl DenseLu {
         let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
         // Forward substitution with unit lower triangular L.
         for i in 1..n {
-            let mut s = y[i];
-            for j in 0..i {
-                s -= self.lu[i * n + j] * y[j];
-            }
+            let row = &self.lu[i * n..i * n + i];
+            let s = y[i] - row.iter().zip(&y[..i]).map(|(l, v)| l * v).sum::<f64>();
             y[i] = s;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
-            let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.lu[i * n + j] * y[j];
-            }
+            let row = &self.lu[i * n + i + 1..(i + 1) * n];
+            let s = y[i] - row.iter().zip(&y[i + 1..]).map(|(u, v)| u * v).sum::<f64>();
             y[i] = s / self.lu[i * n + i];
         }
         b.copy_from_slice(&y);

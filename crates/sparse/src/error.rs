@@ -24,6 +24,12 @@ pub enum SolveError {
         /// Column count.
         cols: usize,
     },
+    /// A pattern-reusing refactorization met a nonzero outside the
+    /// sparsity pattern of the cached factorization.
+    PatternMismatch {
+        /// Elimination step (column) at which the stray entry appeared.
+        step: usize,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -37,6 +43,12 @@ impl fmt::Display for SolveError {
             }
             SolveError::NotSquare { rows, cols } => {
                 write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            SolveError::PatternMismatch { step } => {
+                write!(
+                    f,
+                    "matrix entry outside the cached sparsity pattern at elimination step {step}"
+                )
             }
         }
     }

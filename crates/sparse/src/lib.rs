@@ -42,6 +42,7 @@ mod dense;
 mod error;
 mod lu;
 mod ordering;
+mod rank1;
 mod refine;
 mod triplet;
 
@@ -50,4 +51,5 @@ pub use dense::{DenseLu, DenseMatrix};
 pub use error::SolveError;
 pub use lu::SparseLu;
 pub use ordering::{min_degree_ordering, Ordering};
+pub use rank1::Rank1Update;
 pub use triplet::TripletMatrix;

@@ -264,6 +264,133 @@ impl SparseLu {
                 .ok_or(SolveError::Singular { step: k })
         })
     }
+
+    /// Numeric-only refactorization: reuses this factorization's **entire
+    /// symbolic structure** — column order, pivot sequence, and the exact
+    /// nonzero patterns of `L` and `U` — and merely recomputes the stored
+    /// values for a matrix whose pattern is a subset of the original's.
+    ///
+    /// Unlike [`SparseLu::refactor`], no depth-first reach is performed:
+    /// each column is a straight replay of the recorded update sequence,
+    /// so the cost is exactly one traversal of the stored factors. This is
+    /// the fast path for candidate sweeps where only element *values*
+    /// change (e.g. wire-width perturbations that rescale existing R/C
+    /// stamps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotSquare`]/[`SolveError::DimensionMismatch`]
+    /// for a differently-shaped matrix, [`SolveError::PatternMismatch`]
+    /// when `a` has a structural nonzero outside the cached pattern, and
+    /// [`SolveError::Singular`] when a reused pivot vanishes numerically.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ntr_sparse::{Ordering, SparseLu, TripletMatrix};
+    /// # fn main() -> Result<(), ntr_sparse::SolveError> {
+    /// let build = |g: f64| {
+    ///     let mut t = TripletMatrix::new(2, 2);
+    ///     t.push(0, 0, 1.0 + g);
+    ///     t.push(1, 1, 1.0 + g);
+    ///     t.push(0, 1, -g);
+    ///     t.push(1, 0, -g);
+    ///     t.to_csc()
+    /// };
+    /// let lu = SparseLu::factor(&build(1.0), Ordering::MinDegree)?;
+    /// let fast = lu.refactor_with_same_pattern(&build(4.0))?;
+    /// let x = fast.solve(&[1.0, 0.0])?;
+    /// assert!((x[0] - 5.0 / 9.0).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn refactor_with_same_pattern(&self, a: &CscMatrix) -> Result<SparseLu, SolveError> {
+        if a.rows() != a.cols() {
+            return Err(SolveError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        if a.rows() != self.n {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.n,
+                got: a.rows(),
+            });
+        }
+        let n = self.n;
+        let mut l_vals = vec![0.0f64; self.l_vals.len()];
+        let mut u_vals = vec![0.0f64; self.u_vals.len()];
+        // Workspace over pivot-position row space, plus a per-column stamp
+        // recording which positions belong to the cached pattern.
+        let mut xp = vec![0.0f64; n];
+        const UNSET: usize = usize::MAX;
+        let mut mark = vec![UNSET; n];
+        for k in 0..n {
+            let u_start = self.u_colptr[k];
+            let diag_idx = self.u_colptr[k + 1] - 1;
+            let l_start = self.l_colptr[k];
+            let l_end = self.l_colptr[k + 1];
+            for idx in u_start..=diag_idx {
+                mark[self.u_rows[idx]] = k;
+            }
+            for idx in l_start..l_end {
+                mark[self.l_rows[idx]] = k;
+            }
+            // Scatter P·a_col; any entry outside the cached pattern would
+            // silently be dropped by the replay below, so reject it.
+            for (i, v) in a.col(self.q[k]) {
+                let p = self.pinv[i];
+                if mark[p] != k {
+                    return Err(SolveError::PatternMismatch { step: k });
+                }
+                xp[p] = v;
+            }
+            // Replay the recorded updates. The cached U rows of a column
+            // are stored in the topological order the original elimination
+            // discovered, so processing them in storage order applies every
+            // update before the updated entry is consumed. Fill generated
+            // by these updates always lands inside the cached pattern
+            // (the pattern is closed under the reach that produced it).
+            for (&j, u_val) in self.u_rows[u_start..diag_idx]
+                .iter()
+                .zip(&mut u_vals[u_start..diag_idx])
+            {
+                let val = xp[j];
+                xp[j] = 0.0;
+                *u_val = val;
+                if val != 0.0 {
+                    for l_idx in (self.l_colptr[j] + 1)..self.l_colptr[j + 1] {
+                        xp[self.l_rows[l_idx]] -= l_vals[l_idx] * val;
+                    }
+                }
+            }
+            let pivot = xp[k];
+            xp[k] = 0.0;
+            if pivot == 0.0 || !pivot.is_finite() {
+                return Err(SolveError::Singular { step: k });
+            }
+            u_vals[diag_idx] = pivot;
+            l_vals[l_start] = 1.0;
+            for (&p, l_val) in self.l_rows[l_start + 1..l_end]
+                .iter()
+                .zip(&mut l_vals[l_start + 1..l_end])
+            {
+                *l_val = xp[p] / pivot;
+                xp[p] = 0.0;
+            }
+        }
+        Ok(SparseLu {
+            n,
+            l_colptr: self.l_colptr.clone(),
+            l_rows: self.l_rows.clone(),
+            l_vals,
+            u_colptr: self.u_colptr.clone(),
+            u_rows: self.u_rows.clone(),
+            u_vals,
+            pinv: self.pinv.clone(),
+            q: self.q.clone(),
+        })
+    }
 }
 
 /// Core left-looking factorization with a pluggable pivot rule.
@@ -295,8 +422,7 @@ where
     let mut dfs_stack: Vec<(usize, usize)> = Vec::with_capacity(n);
     let mut candidates: Vec<(usize, f64)> = Vec::with_capacity(n);
 
-    for k in 0..n {
-        let col = q[k];
+    for (k, &col) in q.iter().enumerate() {
         let mut top = n;
         for (i, _) in a.col(col) {
             if visited[i] == k {
@@ -332,8 +458,7 @@ where
         for (i, v) in a.col(col) {
             x[i] = v;
         }
-        for p in top..n {
-            let i = xi[p];
+        for &i in &xi[top..n] {
             let jj = pinv[i];
             if jj == UNSET {
                 continue;
@@ -346,15 +471,13 @@ where
             }
         }
         candidates.clear();
-        for p in top..n {
-            let i = xi[p];
+        for &i in &xi[top..n] {
             if pinv[i] == UNSET {
                 candidates.push((i, x[i]));
             }
         }
         let (ipiv, pivot) = choose_pivot(col, &candidates, k)?;
-        for p in top..n {
-            let i = xi[p];
+        for &i in &xi[top..n] {
             if pinv[i] != UNSET && x[i] != 0.0 {
                 u_rows.push(pinv[i]);
                 u_vals.push(x[i]);
@@ -366,8 +489,7 @@ where
         pinv[ipiv] = k;
         l_rows.push(ipiv);
         l_vals.push(1.0);
-        for p in top..n {
-            let i = xi[p];
+        for &i in &xi[top..n] {
             if pinv[i] == UNSET && x[i] != 0.0 {
                 l_rows.push(i);
                 l_vals.push(x[i] / pivot);
@@ -589,6 +711,114 @@ mod refactor_tests {
             lu.refactor(&t3.to_csc()),
             Err(SolveError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn same_pattern_matches_fresh_factorization() {
+        let n = 40;
+        let base = rc_chain(n, 1.0);
+        let lu = SparseLu::factor(&base, Ordering::MinDegree).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        for scale in [0.5, 2.0, 10.0] {
+            let a2 = rc_chain(n, scale);
+            let fresh = SparseLu::factor(&a2, Ordering::MinDegree)
+                .unwrap()
+                .solve(&b)
+                .unwrap();
+            let reused = lu
+                .refactor_with_same_pattern(&a2)
+                .unwrap()
+                .solve(&b)
+                .unwrap();
+            for (x, y) in fresh.iter().zip(&reused) {
+                assert!((x - y).abs() < 1e-10 * (1.0 + y.abs()), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_pattern_accepts_structural_subset() {
+        // Dropping an off-diagonal pair (pattern subset) must still work.
+        let n = 10;
+        let lu = SparseLu::factor(&rc_chain(n, 1.0), Ordering::MinDegree).unwrap();
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.5);
+            // Couple only even edges: a strict subset of the chain pattern.
+            if i + 1 < n && i % 2 == 0 {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        let a2 = t.to_csc();
+        let b = vec![1.0; n];
+        let fresh = SparseLu::factor(&a2, Ordering::MinDegree)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        let reused = lu
+            .refactor_with_same_pattern(&a2)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        for (x, y) in fresh.iter().zip(&reused) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn same_pattern_rejects_new_nonzero() {
+        let n = 10;
+        let lu = SparseLu::factor(&rc_chain(n, 1.0), Ordering::MinDegree).unwrap();
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.5);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        // A long-range coupling absent from the chain pattern.
+        t.push(0, n - 1, -0.1);
+        t.push(n - 1, 0, -0.1);
+        assert!(matches!(
+            lu.refactor_with_same_pattern(&t.to_csc()),
+            Err(SolveError::PatternMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn same_pattern_reports_vanished_pivot() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let lu = SparseLu::factor(&t.to_csc(), Ordering::Natural).unwrap();
+        let mut t2 = TripletMatrix::new(2, 2);
+        t2.push(0, 0, 1.0);
+        t2.push(1, 1, 1.0);
+        t2.push(1, 1, -1.0); // cancels to a dropped zero => missing pivot
+        assert!(matches!(
+            lu.refactor_with_same_pattern(&t2.to_csc()),
+            Err(SolveError::Singular { step: 1 })
+        ));
+    }
+
+    #[test]
+    fn same_pattern_handles_row_pivoted_patterns() {
+        let build = |v: f64| {
+            let mut t = TripletMatrix::new(2, 2);
+            t.push(0, 1, v);
+            t.push(1, 0, 2.0 * v);
+            t.to_csc()
+        };
+        let lu = SparseLu::factor(&build(1.0), Ordering::Natural).unwrap();
+        let x = lu
+            .refactor_with_same_pattern(&build(3.0))
+            .unwrap()
+            .solve(&[6.0, 12.0])
+            .unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
     }
 
     #[test]

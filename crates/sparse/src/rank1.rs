@@ -1,0 +1,274 @@
+use crate::{SolveError, SparseLu};
+
+/// Sherman–Morrison solver for a rank-1 perturbed system
+/// `(A + g·u·uᵀ)·x = b`, reusing a cached factorization of `A`.
+///
+/// The identity
+///
+/// ```text
+/// (A + g·u·uᵀ)⁻¹·b = A⁻¹·b − (g·uᵀ(A⁻¹·b)) / (1 + g·uᵀ·w) · w,
+/// w = A⁻¹·u
+/// ```
+///
+/// turns each perturbed solve into one solve against the *unmodified*
+/// factors plus two sparse dot products and an axpy — no refactorization.
+/// Constructing the update performs the single solve for `w`; every
+/// subsequent [`Rank1Update::solve`] against the same perturbation is then
+/// one triangular solve plus `O(n)` vector work.
+///
+/// This is the algebraic core of incremental candidate evaluation: adding
+/// a resistive wire of conductance `g` between circuit unknowns `i` and
+/// `j` perturbs the MNA matrix by exactly `g·u·uᵀ` with `u = e_i − e_j`
+/// (see [`Rank1Update::edge`]).
+///
+/// # Examples
+///
+/// ```
+/// use ntr_sparse::{Ordering, Rank1Update, SparseLu, TripletMatrix};
+/// # fn main() -> Result<(), ntr_sparse::SolveError> {
+/// // Grounded two-node ladder; then add a 1 S bridge between the nodes.
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 2.0);
+/// t.push(1, 1, 3.0);
+/// let lu = SparseLu::factor(&t.to_csc(), Ordering::Natural)?;
+/// let bridged = Rank1Update::edge(&lu, 0, 1, 1.0)?;
+/// let x = bridged.solve(&[1.0, 0.0])?;
+/// // Dense check: [3 -1; -1 4]⁻¹·[1;0] = [4/11, 1/11].
+/// assert!((x[0] - 4.0 / 11.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0 / 11.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Rank1Update<'a> {
+    lu: &'a SparseLu,
+    /// Sparse perturbation direction `u` as `(index, value)` pairs.
+    u: Vec<(usize, f64)>,
+    /// Perturbation gain `g`.
+    g: f64,
+    /// `w = A⁻¹·u`, computed once at construction.
+    w: Vec<f64>,
+    /// `1 + g·uᵀ·w` — the Sherman–Morrison denominator.
+    denom: f64,
+}
+
+impl<'a> Rank1Update<'a> {
+    /// Prepares the update `A + g·u·uᵀ` for a sparse direction `u` given
+    /// as `(index, value)` pairs (duplicate indices are summed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] when an index is out of
+    /// range and [`SolveError::Singular`] when the perturbed matrix is
+    /// singular (vanishing Sherman–Morrison denominator).
+    pub fn new(lu: &'a SparseLu, u: &[(usize, f64)], g: f64) -> Result<Self, SolveError> {
+        let n = lu.order();
+        let mut w = vec![0.0f64; n];
+        for &(i, ui) in u {
+            if i >= n {
+                return Err(SolveError::DimensionMismatch {
+                    expected: n,
+                    got: i + 1,
+                });
+            }
+            w[i] += ui;
+        }
+        lu.solve_in_place(&mut w)?;
+        let ut_w: f64 = u.iter().map(|&(i, ui)| ui * w[i]).sum();
+        let denom = 1.0 + g * ut_w;
+        if !denom.is_finite() || denom == 0.0 {
+            return Err(SolveError::Singular { step: n });
+        }
+        Ok(Self {
+            lu,
+            u: u.to_vec(),
+            g,
+            w,
+            denom,
+        })
+    }
+
+    /// Prepares the update for a resistive edge of conductance `g` between
+    /// unknowns `i` and `j`: `u = e_i − e_j`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Rank1Update::new`].
+    pub fn edge(lu: &'a SparseLu, i: usize, j: usize, g: f64) -> Result<Self, SolveError> {
+        Self::new(lu, &[(i, 1.0), (j, -1.0)], g)
+    }
+
+    /// The perturbation gain `g`.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.g
+    }
+
+    /// `w = A⁻¹·u` — the solved perturbation direction.
+    #[must_use]
+    pub fn w(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Solves `(A + g·u·uᵀ)·x = b` in place (`b` becomes `x`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] when `b.len()` differs
+    /// from the matrix order.
+    pub fn solve_in_place(&self, b: &mut [f64]) -> Result<(), SolveError> {
+        self.lu.solve_in_place(b)?;
+        self.correct_in_place(b)
+    }
+
+    /// Solves `(A + g·u·uᵀ)·x = b`, returning `x`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Rank1Update::solve_in_place`].
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Applies the Sherman–Morrison correction to an **already-solved**
+    /// base solution: given `y = A⁻¹·b`, rewrites it into
+    /// `(A + g·u·uᵀ)⁻¹·b` with two dot products and an axpy — no
+    /// triangular solve at all.
+    ///
+    /// This is the hot path when the unperturbed solution is cached (for
+    /// instance, base circuit moments reused across a candidate sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] when `y.len()` differs
+    /// from the matrix order.
+    pub fn correct_in_place(&self, y: &mut [f64]) -> Result<(), SolveError> {
+        let n = self.lu.order();
+        if y.len() != n {
+            return Err(SolveError::DimensionMismatch {
+                expected: n,
+                got: y.len(),
+            });
+        }
+        let ut_y: f64 = self.u.iter().map(|&(i, ui)| ui * y[i]).sum();
+        let alpha = self.g * ut_y / self.denom;
+        if alpha != 0.0 {
+            for (yi, wi) in y.iter_mut().zip(&self.w) {
+                *yi -= alpha * wi;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ordering, TripletMatrix};
+
+    /// Grounded Laplacian of a path with shunts — RC-chain structure.
+    fn chain(n: usize) -> TripletMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0 + 0.1 * i as f64);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn matches_explicitly_perturbed_factorization() {
+        let n = 30;
+        let (i, j, g) = (4, 27, 2.5);
+        let base = chain(n);
+        let lu = SparseLu::factor(&base.to_csc(), Ordering::MinDegree).unwrap();
+        let up = Rank1Update::edge(&lu, i, j, g).unwrap();
+
+        let mut pert = chain(n);
+        pert.push(i, i, g);
+        pert.push(j, j, g);
+        pert.push(i, j, -g);
+        pert.push(j, i, -g);
+        let full = SparseLu::factor(&pert.to_csc(), Ordering::MinDegree).unwrap();
+
+        let b: Vec<f64> = (0..n).map(|k| (k as f64 * 0.7).sin()).collect();
+        let x_sm = up.solve(&b).unwrap();
+        let x_full = full.solve(&b).unwrap();
+        for (a, c) in x_sm.iter().zip(&x_full) {
+            assert!((a - c).abs() < 1e-10 * (1.0 + c.abs()), "{a} vs {c}");
+        }
+    }
+
+    #[test]
+    fn correct_in_place_matches_fresh_solve() {
+        let n = 12;
+        let lu = SparseLu::factor(&chain(n).to_csc(), Ordering::MinDegree).unwrap();
+        let up = Rank1Update::edge(&lu, 0, n - 1, 0.8).unwrap();
+        let b: Vec<f64> = (0..n).map(|k| 1.0 / (1.0 + k as f64)).collect();
+        let via_solve = up.solve(&b).unwrap();
+        let mut via_correct = lu.solve(&b).unwrap();
+        up.correct_in_place(&mut via_correct).unwrap();
+        for (a, c) in via_solve.iter().zip(&via_correct) {
+            assert!((a - c).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn general_direction_with_duplicates() {
+        let n = 6;
+        let lu = SparseLu::factor(&chain(n).to_csc(), Ordering::Natural).unwrap();
+        // u with a duplicated index: (2, 1.0) + (2, 0.5) = e2·1.5 − e5.
+        let up = Rank1Update::new(&lu, &[(2, 1.0), (2, 0.5), (5, -1.0)], 1.2).unwrap();
+        let mut pert = chain(n);
+        let (g, u2, u5) = (1.2, 1.5, -1.0);
+        pert.push(2, 2, g * u2 * u2);
+        pert.push(2, 5, g * u2 * u5);
+        pert.push(5, 2, g * u5 * u2);
+        pert.push(5, 5, g * u5 * u5);
+        let full = SparseLu::factor(&pert.to_csc(), Ordering::Natural).unwrap();
+        let b = vec![1.0; n];
+        let x_sm = up.solve(&b).unwrap();
+        let x_full = full.solve(&b).unwrap();
+        for (a, c) in x_sm.iter().zip(&x_full) {
+            assert!((a - c).abs() < 1e-11, "{a} vs {c}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_index_is_rejected() {
+        let lu = SparseLu::factor(&chain(3).to_csc(), Ordering::Natural).unwrap();
+        assert!(matches!(
+            Rank1Update::new(&lu, &[(3, 1.0)], 1.0),
+            Err(SolveError::DimensionMismatch { expected: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn singular_perturbation_is_detected() {
+        // A = I (2x2); g·u·uᵀ with u = e0, g = −1 zeroes the (0,0) entry.
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let lu = SparseLu::factor(&t.to_csc(), Ordering::Natural).unwrap();
+        assert!(matches!(
+            Rank1Update::new(&lu, &[(0, 1.0)], -1.0),
+            Err(SolveError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_gain_is_identity() {
+        let n = 5;
+        let lu = SparseLu::factor(&chain(n).to_csc(), Ordering::MinDegree).unwrap();
+        let up = Rank1Update::edge(&lu, 1, 3, 0.0).unwrap();
+        let b = vec![2.0; n];
+        let x = up.solve(&b).unwrap();
+        let y = lu.solve(&b).unwrap();
+        assert_eq!(x, y);
+    }
+}

@@ -47,6 +47,7 @@
 
 mod adaptive;
 mod delay;
+mod engine;
 mod error;
 mod mna;
 mod moments;
@@ -54,6 +55,7 @@ mod tran;
 
 pub use adaptive::AdaptiveOptions;
 pub use delay::{measure_threshold_crossing, sink_delays, SimConfig};
+pub use engine::{MomentEngine, ProbeMoments};
 pub use error::SimError;
 pub use mna::Mna;
 pub use moments::{d2m_delay, elmore_delays, Moments};

@@ -80,6 +80,12 @@ impl Moments {
         Ok(Self { mna, dc, orders })
     }
 
+    /// Assembles a `Moments` from already-computed parts (the incremental
+    /// engine's refactorization path).
+    pub(crate) fn from_parts(mna: Mna, dc: Vec<f64>, orders: Vec<Vec<f64>>) -> Self {
+        Self { mna, dc, orders }
+    }
+
     /// Highest computed order.
     #[must_use]
     pub fn order(&self) -> usize {

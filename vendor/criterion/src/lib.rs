@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a minimal wall-clock harness with the same API shape: benchmark groups,
+//! [`BenchmarkId`]s, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. There is no statistical analysis — each
+//! benchmark is warmed up once, timed over an adaptive number of
+//! iterations, and its mean iteration time printed.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and an input parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from the input parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// Times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u64,
+    /// Mean time per iteration of the last `iter` call.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup call, also used to scale the iteration count so a
+        // sample stays near ~100 ms of total work.
+        let warm = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let budget = Duration::from_millis(100);
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, self.samples as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.last_mean = start.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX);
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.samples,
+            last_mean: Duration::ZERO,
+        };
+        routine(&mut bencher, input);
+        report(&self.name, &id.name, bencher.last_mean);
+        self
+    }
+
+    /// Benchmarks a routine with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.samples,
+            last_mean: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        report(&self.name, &id.name, bencher.last_mean);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, mean: Duration) {
+    println!("{group}/{id:<40} time: {mean:>12.3?}");
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 100,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: 100,
+            last_mean: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        report("bench", name, bencher.last_mean);
+        self
+    }
+}
+
+/// Re-export matching real criterion's helper.
+pub use std::hint::black_box;
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` over group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter(3), |b| b.iter(|| 3 * 3));
+        group.finish();
+        assert!(runs >= 1);
+    }
+}
