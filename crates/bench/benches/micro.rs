@@ -218,7 +218,7 @@ fn time_iteration(
         .map(|_| {
             let start = std::time::Instant::now();
             engine.prepare(graph).expect("graph extracts");
-            sweep_candidates(engine, candidates, &Objective::MaxDelay, parallelism)
+            sweep_candidates(engine, candidates, &Objective::MaxDelay, parallelism, None)
                 .expect("candidates score");
             start.elapsed().as_secs_f64()
         })
@@ -245,21 +245,23 @@ fn bench_ldrg_iteration(c: &mut Criterion) {
         let mut engine = ScratchOracle::new(&oracle);
         b.iter(|| {
             engine.prepare(&mst).expect("graph extracts");
-            sweep_candidates(&engine, &candidates, &Objective::MaxDelay, 1).expect("scores")
+            sweep_candidates(&engine, &candidates, &Objective::MaxDelay, 1, None).expect("scores")
         })
     });
     group.bench_function("incremental", |b| {
         let mut engine = candidate_oracle_for(&oracle);
         b.iter(|| {
             engine.prepare(&mst).expect("graph extracts");
-            sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 1).expect("scores")
+            sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 1, None)
+                .expect("scores")
         })
     });
     group.bench_function("incremental_parallel", |b| {
         let mut engine = candidate_oracle_for(&oracle);
         b.iter(|| {
             engine.prepare(&mst).expect("graph extracts");
-            sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 0).expect("scores")
+            sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 0, None)
+                .expect("scores")
         })
     });
     group.finish();

@@ -1,0 +1,217 @@
+//! Canonical, content-addressed hashing of routing problems.
+//!
+//! A long-lived routing service sees the same net more than once — the
+//! same macro instantiated across a design, retries, or clients that
+//! simply re-submit. Serving those from a cache requires a **canonical**
+//! key: two requests that describe the same routing problem must hash
+//! equal even if they list the sink pins in a different order, and two
+//! requests that differ in any input the router actually reads (a pin
+//! coordinate, a technology constant) must hash differently.
+//!
+//! [`canonical_net_hash`] provides that key for a `(net, technology)`
+//! pair; callers mix in their own algorithm/options fingerprint with the
+//! exposed [`Fnv64`] hasher. FNV-1a is hand-rolled here (64-bit) so the
+//! key is stable across runs and platforms — unlike
+//! [`std::collections::hash_map::DefaultHasher`], which is seeded per
+//! process and documented as unstable across releases.
+
+use ntr_circuit::Technology;
+use ntr_geom::Net;
+
+/// A streaming 64-bit FNV-1a hasher with a stable, documented output.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_core::Fnv64;
+/// let mut h = Fnv64::new();
+/// h.write_str("ldrg");
+/// h.write_u64(4);
+/// let a = h.finish();
+/// let mut h2 = Fnv64::new();
+/// h2.write_str("ldrg");
+/// h2.write_u64(4);
+/// assert_eq!(a, h2.finish()); // deterministic across runs
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by bit pattern, normalizing `-0.0` to `+0.0` so
+    /// numerically equal coordinates hash equal.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(canonical_bits(v));
+    }
+
+    /// Absorbs a string with a length prefix (so `"ab","c"` and
+    /// `"a","bc"` differ).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The accumulated hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bit pattern used for hashing coordinates: `-0.0` folds onto `+0.0`
+/// (IEEE `-0.0 + 0.0 == +0.0`), everything else is the raw pattern.
+fn canonical_bits(v: f64) -> u64 {
+    (v + 0.0).to_bits()
+}
+
+/// The canonical content hash of a routing problem: the net's pin set
+/// plus every [`Technology`] constant the delay models read.
+///
+/// Canonicalization: the source pin is kept distinguished (pin `n_0` is
+/// semantically different from a sink at the same location), the sink
+/// pins are sorted by coordinate before hashing — so any reordering of
+/// the sink list yields the same key, while changing any coordinate or
+/// technology constant yields (with FNV's collision probability) a
+/// different one.
+///
+/// This hashes the routing *problem*, not the *request*: algorithm and
+/// option choices are deliberately excluded so callers can mix them into
+/// a wider key with [`Fnv64`] as their cache granularity requires.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_circuit::Technology;
+/// use ntr_core::canonical_net_hash;
+/// use ntr_geom::{Net, Point};
+/// # fn main() -> Result<(), ntr_geom::BuildNetError> {
+/// let a = Net::new(Point::new(0.0, 0.0), vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)])?;
+/// let b = Net::new(Point::new(0.0, 0.0), vec![Point::new(3.0, 4.0), Point::new(1.0, 2.0)])?;
+/// let tech = Technology::date94();
+/// assert_eq!(canonical_net_hash(&a, &tech), canonical_net_hash(&b, &tech));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn canonical_net_hash(net: &Net, tech: &Technology) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("ntr-net-v1");
+    for t in [
+        tech.driver_resistance,
+        tech.wire_resistance_per_um,
+        tech.wire_capacitance_per_um,
+        tech.wire_inductance_per_um,
+        tech.sink_capacitance,
+        tech.supply_voltage,
+    ] {
+        h.write_f64(t);
+    }
+    let source = net.source();
+    h.write_f64(source.x);
+    h.write_f64(source.y);
+    let mut sinks: Vec<(u64, u64)> = net
+        .sinks()
+        .iter()
+        .map(|p| (canonical_bits(p.x), canonical_bits(p.y)))
+        .collect();
+    sinks.sort_unstable();
+    h.write_u64(sinks.len() as u64);
+    for (x, y) in sinks {
+        h.write_u64(x);
+        h.write_u64(y);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntr_geom::Point;
+
+    fn net(source: (f64, f64), sinks: &[(f64, f64)]) -> Net {
+        Net::new(
+            Point::new(source.0, source.1),
+            sinks.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sink_order_does_not_matter() {
+        let tech = Technology::date94();
+        let a = net((0.0, 0.0), &[(1.0, 1.0), (2.0, 5.0), (9.0, 3.0)]);
+        let b = net((0.0, 0.0), &[(9.0, 3.0), (1.0, 1.0), (2.0, 5.0)]);
+        assert_eq!(canonical_net_hash(&a, &tech), canonical_net_hash(&b, &tech));
+    }
+
+    #[test]
+    fn coordinates_matter() {
+        let tech = Technology::date94();
+        let a = net((0.0, 0.0), &[(1.0, 1.0), (2.0, 5.0)]);
+        let b = net((0.0, 0.0), &[(1.0, 1.0), (2.0, 6.0)]);
+        let c = net((0.0, 1.0), &[(1.0, 1.0), (2.0, 5.0)]);
+        assert_ne!(canonical_net_hash(&a, &tech), canonical_net_hash(&b, &tech));
+        assert_ne!(canonical_net_hash(&a, &tech), canonical_net_hash(&c, &tech));
+    }
+
+    #[test]
+    fn source_is_distinguished_from_sinks() {
+        let tech = Technology::date94();
+        // Same pin *set*, different source designation.
+        let a = net((0.0, 0.0), &[(1.0, 1.0), (2.0, 2.0)]);
+        let b = net((1.0, 1.0), &[(0.0, 0.0), (2.0, 2.0)]);
+        assert_ne!(canonical_net_hash(&a, &tech), canonical_net_hash(&b, &tech));
+    }
+
+    #[test]
+    fn technology_matters() {
+        let a = net((0.0, 0.0), &[(1.0, 1.0), (2.0, 5.0)]);
+        let t1 = Technology::date94();
+        let mut t2 = t1;
+        t2.driver_resistance *= 2.0;
+        assert_ne!(canonical_net_hash(&a, &t1), canonical_net_hash(&a, &t2));
+    }
+
+    #[test]
+    fn negative_zero_folds_onto_zero() {
+        let tech = Technology::date94();
+        let a = net((0.0, 0.0), &[(1.0, 1.0), (2.0, 5.0)]);
+        let b = net((-0.0, -0.0), &[(1.0, 1.0), (2.0, 5.0)]);
+        assert_eq!(canonical_net_hash(&a, &tech), canonical_net_hash(&b, &tech));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c (published test vector).
+        let mut h = Fnv64::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

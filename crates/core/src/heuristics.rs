@@ -4,7 +4,8 @@ use ntr_graph::{NodeId, RoutingGraph, TreeView};
 
 use crate::sweep::{candidate_oracle_for, sweep_candidates};
 use crate::{
-    Candidate, DelayOracle, IterationRecord, LdrgOptions, LdrgResult, Objective, OracleError,
+    CancelToken, Candidate, DelayOracle, IterationRecord, LdrgOptions, LdrgResult, Objective,
+    OracleError,
 };
 
 /// Outcome of the single-edge heuristics H2 and H3: the (possibly
@@ -64,6 +65,23 @@ pub fn h1(
     oracle: &dyn DelayOracle,
     max_iterations: usize,
 ) -> Result<LdrgResult, OracleError> {
+    h1_with(initial, oracle, max_iterations, None)
+}
+
+/// [`h1`] with cooperative cancellation: `cancel` is checked at every
+/// iteration boundary and candidate score, the hook a serving layer uses
+/// to enforce per-request deadlines.
+///
+/// # Errors
+///
+/// Propagates [`OracleError`] from the oracle, or
+/// [`OracleError::Cancelled`] when the token trips mid-search.
+pub fn h1_with(
+    initial: &RoutingGraph,
+    oracle: &dyn DelayOracle,
+    max_iterations: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<LdrgResult, OracleError> {
     let opts = LdrgOptions::default();
     let mut graph = initial.clone();
     let sinks = sink_node_by_pin(&graph);
@@ -81,6 +99,9 @@ pub fn h1(
     };
 
     while iterations.len() < cap {
+        if let Some(token) = cancel {
+            token.check()?;
+        }
         let Some(worst) = report.argmax() else { break };
         let target = sinks[worst];
         let source = graph.source();
@@ -89,7 +110,13 @@ pub fn h1(
         }
         // One candidate per iteration, still through the shared kernel.
         let candidates = [Candidate::AddEdge(source, target)];
-        let scores = sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 1)?;
+        let scores = sweep_candidates(
+            engine.as_ref(),
+            &candidates,
+            &Objective::MaxDelay,
+            1,
+            cancel,
+        )?;
         if scores[0] < current * (1.0 - opts.min_improvement) {
             let edge = graph
                 .add_edge(source, target)

@@ -1,7 +1,7 @@
 use ntr_graph::{EdgeId, NodeId, RoutingGraph};
 
 use crate::sweep::{best_below, candidate_oracle_for, missing_edge_candidates, sweep_candidates};
-use crate::{Candidate, DelayOracle, Objective, OracleError, OracleStats};
+use crate::{CancelToken, Candidate, DelayOracle, Objective, OracleError, OracleStats};
 
 /// Options for the [`ldrg`] greedy loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +18,10 @@ pub struct LdrgOptions {
     /// Worker threads for the candidate sweep (0 = one per available
     /// core). The committed edge sequence is identical at every setting.
     pub parallelism: usize,
+    /// Cooperative cancellation: checked once per candidate score and at
+    /// every iteration boundary; a tripped token aborts the search with
+    /// [`OracleError::Cancelled`]. The default token never trips.
+    pub cancel: CancelToken,
 }
 
 impl Default for LdrgOptions {
@@ -27,6 +31,7 @@ impl Default for LdrgOptions {
             min_improvement: 1e-6,
             objective: Objective::MaxDelay,
             parallelism: 0,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -137,12 +142,14 @@ pub fn ldrg(
     };
 
     while iterations.len() < max_edges {
+        opts.cancel.check()?;
         let candidates = missing_edge_candidates(&graph);
         let scores = sweep_candidates(
             engine.as_ref(),
             &candidates,
             &opts.objective,
             opts.parallelism,
+            Some(&opts.cancel),
         )?;
         match best_below(&scores, current) {
             Some(i) if scores[i] < current * (1.0 - opts.min_improvement) => {
@@ -233,6 +240,7 @@ pub fn ldrg_prefiltered(
     let shortlist = shortlist.max(1);
 
     while iterations.len() < max_edges {
+        opts.cancel.check()?;
         // Stage 1: cheap ranking of every candidate edge.
         let candidates = missing_edge_candidates(&graph);
         pre_engine.prepare(&graph)?;
@@ -241,6 +249,7 @@ pub fn ldrg_prefiltered(
             &candidates,
             &opts.objective,
             opts.parallelism,
+            Some(&opts.cancel),
         )?;
         let mut ranked: Vec<(f64, Candidate)> = pre_scores.into_iter().zip(candidates).collect();
         // Stable sort: ties keep candidate-scan order, so a shortlist of
@@ -255,6 +264,7 @@ pub fn ldrg_prefiltered(
             &short,
             &opts.objective,
             opts.parallelism,
+            Some(&opts.cancel),
         )?;
         match best_below(&scores, current) {
             Some(i) if scores[i] < current * (1.0 - opts.min_improvement) => {

@@ -52,7 +52,9 @@
 //! # }
 //! ```
 
+mod cancel;
 mod exact;
+mod hashkey;
 mod heuristics;
 mod horg;
 mod ldrg;
@@ -64,8 +66,10 @@ mod sweep;
 mod trim;
 mod wsorg;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use exact::{exact_org, ExactOrgError};
-pub use heuristics::{h1, h2, h3, HeuristicResult};
+pub use hashkey::{canonical_net_hash, Fnv64};
+pub use heuristics::{h1, h1_with, h2, h3, HeuristicResult};
 pub use horg::{horg, HorgOptions, HorgResult};
 pub use ldrg::{ldrg, ldrg_prefiltered, IterationRecord, LdrgOptions, LdrgResult};
 pub use netlist::{route_netlist, NetlistRouteOptions, RoutedNet};

@@ -6,6 +6,7 @@ use ntr_elmore::ElmoreAnalysis;
 use ntr_graph::{NotATreeError, RoutingGraph, TreeView};
 use ntr_spice::{d2m_delay, elmore_delays, sink_delays, SimConfig, SimError};
 
+use crate::cancel::Cancelled;
 use crate::sweep::CandidateOracle;
 
 /// Per-sink delays of a routing evaluated by some [`DelayOracle`].
@@ -79,6 +80,9 @@ pub enum OracleError {
     Extract(ExtractError),
     /// Simulation failed.
     Sim(SimError),
+    /// The search observed a tripped [`CancelToken`](crate::CancelToken)
+    /// (explicit cancellation or an expired deadline) and stopped early.
+    Cancelled(Cancelled),
 }
 
 impl fmt::Display for OracleError {
@@ -87,6 +91,7 @@ impl fmt::Display for OracleError {
             OracleError::NotATree(e) => write!(f, "tree-only oracle on a non-tree graph: {e}"),
             OracleError::Extract(e) => write!(f, "extraction failed: {e}"),
             OracleError::Sim(e) => write!(f, "simulation failed: {e}"),
+            OracleError::Cancelled(e) => write!(f, "{e}"),
         }
     }
 }
@@ -97,6 +102,7 @@ impl Error for OracleError {
             OracleError::NotATree(e) => Some(e),
             OracleError::Extract(e) => Some(e),
             OracleError::Sim(e) => Some(e),
+            OracleError::Cancelled(e) => Some(e),
         }
     }
 }
@@ -114,6 +120,11 @@ impl From<ExtractError> for OracleError {
 impl From<SimError> for OracleError {
     fn from(e: SimError) -> Self {
         OracleError::Sim(e)
+    }
+}
+impl From<Cancelled> for OracleError {
+    fn from(e: Cancelled) -> Self {
+        OracleError::Cancelled(e)
     }
 }
 

@@ -38,7 +38,9 @@ use ntr_graph::{EdgeId, NodeId, RoutingGraph};
 use ntr_sparse::SolveError;
 use ntr_spice::{MomentEngine, Moments, SimError};
 
-use crate::{DelayOracle, DelayReport, MomentMetric, MomentOracle, Objective, OracleError};
+use crate::{
+    CancelToken, DelayOracle, DelayReport, MomentMetric, MomentOracle, Objective, OracleError,
+};
 
 /// One trial modification of the committed routing graph.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,6 +85,21 @@ impl OracleStats {
             rank1_solves: self.rank1_solves + other.rank1_solves,
             wall_nanos: self.wall_nanos + other.wall_nanos,
         }
+    }
+}
+
+/// One-line human-readable form:
+/// `"184 evaluations, 4 factorizations, 180 rank-1 solves, 2.173 ms"`.
+impl std::fmt::Display for OracleStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} evaluations, {} factorizations, {} rank-1 solves, {:.3} ms",
+            self.evaluations,
+            self.factorizations,
+            self.rank1_solves,
+            self.wall().as_secs_f64() * 1e3,
+        )
     }
 }
 
@@ -165,14 +182,20 @@ pub fn candidate_oracle_for(oracle: &dyn DelayOracle) -> Box<dyn CandidateOracle
 /// so parallel and serial sweeps commit identical edge sequences. When
 /// several candidates fail, the error of the earliest one is returned.
 ///
+/// `cancel` is checked once per candidate (on every worker): a tripped
+/// token aborts the sweep with [`OracleError::Cancelled`] within one
+/// candidate-scoring latency. Pass `None` for an uncancellable sweep.
+///
 /// # Errors
 ///
-/// Propagates the first (lowest-index) scoring failure.
+/// Propagates the first (lowest-index) scoring failure, or
+/// [`OracleError::Cancelled`] when `cancel` trips mid-sweep.
 pub fn sweep_candidates(
     oracle: &dyn CandidateOracle,
     candidates: &[Candidate],
     objective: &Objective,
     parallelism: usize,
+    cancel: Option<&CancelToken>,
 ) -> Result<Vec<f64>, OracleError> {
     let workers = match parallelism {
         0 => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
@@ -180,11 +203,15 @@ pub fn sweep_candidates(
     }
     .min(candidates.len());
 
+    let score_one = |c: &Candidate| -> Result<f64, OracleError> {
+        if let Some(token) = cancel {
+            token.check()?;
+        }
+        Ok(objective.score(&oracle.score(c)?))
+    };
+
     if workers <= 1 {
-        return candidates
-            .iter()
-            .map(|c| Ok(objective.score(&oracle.score(c)?)))
-            .collect();
+        return candidates.iter().map(score_one).collect();
     }
 
     let chunk = candidates.len().div_ceil(workers);
@@ -192,11 +219,8 @@ pub fn sweep_candidates(
         let handles: Vec<_> = candidates
             .chunks(chunk)
             .map(|ch| {
-                s.spawn(move || {
-                    ch.iter()
-                        .map(|c| oracle.score(c).map(|r| objective.score(&r)))
-                        .collect()
-                })
+                let score_one = &score_one;
+                s.spawn(move || ch.iter().map(score_one).collect())
             })
             .collect();
         handles

@@ -136,6 +136,7 @@ pub fn wire_size(
             &candidates,
             &opts.objective,
             opts.parallelism,
+            None,
         )?;
         evaluations += scores.len();
         match best_below(&scores, current) {

@@ -214,8 +214,10 @@ fn sweep_kernel_scores_mixed_candidates_in_order() {
     let edge = graph.edges().next().unwrap().0;
     let candidates = vec![Candidate::AddEdge(a, b), Candidate::SetWidth(edge, 2.0)];
 
-    let serial = sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 1).unwrap();
-    let parallel = sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 2).unwrap();
+    let serial =
+        sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 1, None).unwrap();
+    let parallel =
+        sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 2, None).unwrap();
     assert_eq!(serial, parallel);
     assert_eq!(serial.len(), candidates.len());
 }

@@ -8,10 +8,15 @@
 //!       [--waveforms FILE] [--trim]
 //! route --random SIZE --seed S ...
 //! route --netlist FILE [--target NS]      # whole-netlist flow
+//! route --netlist FILE --jobs N           # parallel, through the server pool
 //! ```
 //!
 //! Algorithms: `mst`, `steiner`, `ert`, `sert`, `h1`, `h2`, `h3`, `ldrg`
 //! (default), `sldrg`, `ert-ldrg`, `horg`.
+//!
+//! `--jobs N` routes the netlist through the same bounded-queue worker
+//! pool that `ntr-serve` uses (N workers, result cache on), so repeated
+//! nets in the netlist are routed once.
 
 use std::process::ExitCode;
 
@@ -31,54 +36,158 @@ fn usage() -> ! {
     eprintln!(
         "usage: route (--net FILE | --random SIZE | --netlist FILE) [--seed S]\n\
          \x20             [--algorithm ALGO] [--svg FILE] [--deck FILE]\n\
-         \x20             [--waveforms FILE] [--trim] [--target NS]\n\
-         algorithms: mst steiner ert sert h1 h2 h3 ldrg sldrg ert-ldrg horg"
+         \x20             [--waveforms FILE] [--trim] [--target NS] [--jobs N]\n\
+         algorithms: mst steiner ert sert h1 h2 h3 ldrg sldrg ert-ldrg horg\n\
+         (--jobs routes a netlist in parallel; algorithms limited to\n\
+         \x20 mst h1 h2 h3 ldrg ert ert-ldrg)"
     );
     std::process::exit(2);
 }
 
-fn build(algorithm: &str, net: &Net, tech: Technology) -> Result<RoutingGraph, String> {
+/// Builds the routing and, for the greedy searches, returns the
+/// search-cost counters of the candidate engine that ran the sweeps.
+fn build(
+    algorithm: &str,
+    net: &Net,
+    tech: Technology,
+) -> Result<(RoutingGraph, Option<ntr_core::OracleStats>), String> {
     let oracle = TransientOracle::fast(tech);
     let err = |e: ntr_core::OracleError| e.to_string();
     Ok(match algorithm {
-        "mst" => prim_mst(net),
-        "steiner" => iterated_one_steiner(net, &SteinerOptions::default()),
-        "ert" => {
-            elmore_routing_tree(net, &tech, &ErtOptions::default()).map_err(|e| e.to_string())?
+        "mst" => (prim_mst(net), None),
+        "steiner" => (iterated_one_steiner(net, &SteinerOptions::default()), None),
+        "ert" => (
+            elmore_routing_tree(net, &tech, &ErtOptions::default()).map_err(|e| e.to_string())?,
+            None,
+        ),
+        "sert" => (steiner_elmore_routing_tree(net, &tech), None),
+        "h1" => {
+            let r = h1(&prim_mst(net), &oracle, 0).map_err(err)?;
+            (r.graph, Some(r.stats))
         }
-        "sert" => steiner_elmore_routing_tree(net, &tech),
-        "h1" => h1(&prim_mst(net), &oracle, 0).map_err(err)?.graph,
-        "h2" => h2(&prim_mst(net), &tech).map_err(err)?.graph,
-        "h3" => h3(&prim_mst(net), &tech).map_err(err)?.graph,
+        "h2" => (h2(&prim_mst(net), &tech).map_err(err)?.graph, None),
+        "h3" => (h3(&prim_mst(net), &tech).map_err(err)?.graph, None),
         "ldrg" => {
-            ldrg(&prim_mst(net), &oracle, &LdrgOptions::default())
-                .map_err(err)?
-                .graph
+            let r = ldrg(&prim_mst(net), &oracle, &LdrgOptions::default()).map_err(err)?;
+            (r.graph, Some(r.stats))
         }
         "sldrg" => {
-            sldrg(
+            let r = sldrg(
                 net,
                 &SteinerOptions::default(),
                 &oracle,
                 &LdrgOptions::default(),
             )
-            .map_err(err)?
-            .graph
+            .map_err(err)?;
+            (r.graph, Some(r.stats))
         }
         "ert-ldrg" => {
             let base = elmore_routing_tree(net, &tech, &ErtOptions::default())
                 .map_err(|e| e.to_string())?;
-            ldrg(&base, &oracle, &LdrgOptions::default())
-                .map_err(err)?
-                .graph
+            let r = ldrg(&base, &oracle, &LdrgOptions::default()).map_err(err)?;
+            (r.graph, Some(r.stats))
         }
-        "horg" => {
+        "horg" => (
             horg(net, &oracle, &HorgOptions::default())
                 .map_err(err)?
-                .graph
-        }
+                .graph,
+            None,
+        ),
         other => return Err(format!("unknown algorithm: {other}")),
     })
+}
+
+/// Routes a netlist through the server's bounded-queue worker pool:
+/// `jobs` workers, result cache on, responses printed in netlist order.
+fn route_netlist_parallel(
+    netlist: &ntr_geom::Netlist,
+    algorithm: &str,
+    jobs: usize,
+    tech: Technology,
+) -> Result<(), String> {
+    use ntr_server::json::Json;
+    use ntr_server::proto::{Algorithm, OracleKind, RouteRequest};
+    use ntr_server::service::{Service, ServiceConfig};
+
+    let algorithm = Algorithm::parse(algorithm).ok_or_else(|| {
+        format!(
+            "--jobs supports only {:?}, not {algorithm:?}",
+            Algorithm::ALL
+        )
+    })?;
+    let service = Service::start(&ServiceConfig {
+        workers: jobs,
+        queue_depth: netlist.len().max(1),
+        tech,
+        ..ServiceConfig::default()
+    });
+    let (tx, rx) = std::sync::mpsc::channel();
+    for (i, (_, net)) in netlist.iter().enumerate() {
+        let tx = tx.clone();
+        service.submit(
+            RouteRequest {
+                id: None,
+                algorithm,
+                oracle: OracleKind::TransientFast,
+                pins: net.pins().to_vec(),
+                deadline: None,
+                max_added_edges: 0,
+                use_cache: true,
+            },
+            Box::new(move |response| {
+                let _ = tx.send((i, response));
+            }),
+        );
+    }
+    drop(tx);
+    let mut responses: Vec<Option<Json>> = vec![None; netlist.len()];
+    for (i, response) in rx {
+        responses[i] = Some(response);
+    }
+    service.shutdown();
+
+    println!(
+        "{:<12} {:>9} {:>9} {:>8}  cached",
+        "net", "mst(ns)", "final(ns)", "cost"
+    );
+    let mut failures = 0usize;
+    for ((name, _), response) in netlist.iter().zip(&responses) {
+        let Some(response) = response else {
+            failures += 1;
+            eprintln!("{name:<12} no response");
+            continue;
+        };
+        if response.get("ok") == Some(&Json::Bool(true)) {
+            let f = |k: &str| response.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+            println!(
+                "{:<12} {:>9.3} {:>9.3} {:>8.0}  {}",
+                name,
+                f("initial_delay_ns"),
+                f("delay_ns"),
+                f("cost_um"),
+                response.get("cached") == Some(&Json::Bool(true)),
+            );
+        } else {
+            failures += 1;
+            eprintln!(
+                "{name:<12} failed: {}",
+                response.get("detail").and_then(Json::as_str).unwrap_or("?")
+            );
+        }
+    }
+    let stats = service.stats_json();
+    let f = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    eprintln!(
+        "routed {} nets on {jobs} workers: {} cache hits, {} coalesced, search: {}",
+        netlist.len() - failures,
+        f("cache_hits"),
+        f("coalesced"),
+        service.stats().oracle_stats(),
+    );
+    if failures > 0 {
+        return Err(format!("{failures} net(s) failed to route"));
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -92,6 +201,7 @@ fn main() -> ExitCode {
     let mut svg_path: Option<String> = None;
     let mut deck_path: Option<String> = None;
     let mut trim = false;
+    let mut jobs = 0usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -115,6 +225,10 @@ fn main() -> ExitCode {
             "--svg" => svg_path = args.next().or_else(|| usage()),
             "--deck" => deck_path = args.next().or_else(|| usage()),
             "--trim" => trim = true,
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => usage(),
+            },
             _ => usage(),
         }
     }
@@ -137,6 +251,18 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if jobs >= 1 {
+            if target_ns.is_some() {
+                eprintln!("note: --target is ignored with --jobs (no timing-target early exit)");
+            }
+            return match route_netlist_parallel(&netlist, &algorithm, jobs, config.tech) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         let oracle = TransientOracle::fast(config.tech);
         let opts = NetlistRouteOptions {
             timing_target: target_ns.map(|ns| ns * 1e-9),
@@ -198,7 +324,7 @@ fn main() -> ExitCode {
     };
 
     let tech = config.tech;
-    let mut graph = match build(&algorithm, &net, tech) {
+    let (mut graph, search_stats) = match build(&algorithm, &net, tech) {
         Ok(g) => g,
         Err(e) => {
             eprintln!("{e}");
@@ -235,6 +361,10 @@ fn main() -> ExitCode {
         graph.total_cost() / mst_cost,
         graph.is_tree(),
     );
+    if let Some(stats) = search_stats {
+        // Wall time varies run to run; keep stdout bit-identical for diffing.
+        eprintln!("search cost: {stats}");
+    }
     let extracted = match extract(&graph, &tech, &ExtractOptions::default()) {
         Ok(e) => e,
         Err(e) => {

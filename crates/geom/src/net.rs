@@ -66,6 +66,47 @@ impl Net {
         Ok(Self { pins })
     }
 
+    /// Builds a net from a pin list (source first), **deduplicating**
+    /// coincident pins instead of rejecting them: the first occurrence of
+    /// each coordinate wins, so a sink repeating the source collapses
+    /// into the source pin.
+    ///
+    /// [`Net::from_points`] rejects duplicates because coincident pins
+    /// produce zero-length edges and degenerate circuit nodes downstream;
+    /// this constructor is for ingestion boundaries (file formats,
+    /// network requests) where repeated pads are a fact of the input
+    /// rather than a bug in the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildNetError::TooFewPins`] when fewer than two
+    /// **distinct** pins remain after deduplication.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ntr_geom::{Net, Point};
+    /// let net = Net::from_points_deduped(vec![
+    ///     Point::new(0.0, 0.0),
+    ///     Point::new(5.0, 5.0),
+    ///     Point::new(5.0, 5.0), // repeated pad: dropped
+    /// ])
+    /// .unwrap();
+    /// assert_eq!(net.len(), 2);
+    /// ```
+    pub fn from_points_deduped(pins: Vec<Point>) -> Result<Self, BuildNetError> {
+        let mut unique: Vec<Point> = Vec::with_capacity(pins.len());
+        for p in pins {
+            if !unique.contains(&p) {
+                unique.push(p);
+            }
+        }
+        if unique.len() < 2 {
+            return Err(BuildNetError::TooFewPins { got: unique.len() });
+        }
+        Ok(Self { pins: unique })
+    }
+
     /// Number of pins (source + sinks). The paper calls a net of `k+1` pins
     /// a "net of size k+1"; its benchmark sizes {5, 10, 20, 30} count all
     /// pins including the source.
@@ -178,6 +219,31 @@ mod tests {
                 second: 2
             }
         );
+    }
+
+    #[test]
+    fn deduped_constructor_keeps_first_occurrence() {
+        let net = Net::from_points_deduped(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 0.0),  // repeats the source
+            Point::new(10.0, 0.0), // repeats a sink
+            Point::new(0.0, 20.0),
+        ])
+        .unwrap();
+        assert_eq!(net, sample());
+        assert_eq!(net.source(), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn deduped_constructor_still_requires_two_distinct_pins() {
+        let err = Net::from_points_deduped(vec![
+            Point::new(3.0, 3.0),
+            Point::new(3.0, 3.0),
+            Point::new(3.0, 3.0),
+        ])
+        .unwrap_err();
+        assert_eq!(err, BuildNetError::TooFewPins { got: 1 });
     }
 
     #[test]

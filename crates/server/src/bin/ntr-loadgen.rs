@@ -1,0 +1,512 @@
+//! Workload generator for `ntr-serve`.
+//!
+//! Spawns the server as a child process speaking the stdio protocol,
+//! drives it with randomly generated nets (a configurable fraction are
+//! repeats, to exercise the result cache), and reports throughput,
+//! client-side latency percentiles, and cache hit rate.
+//!
+//! ```text
+//! ntr-loadgen --stdio --smoke            # CI gate: 50 requests, no errors, cache hits
+//! ntr-loadgen --stdio --bench            # 1-worker vs 4-worker throughput comparison
+//! ntr-loadgen --stdio [--nets N] [--size K] [--repeat F] [--workers N]
+//!             [--rate R] [--seed S] [--out FILE] [--serve-bin PATH]
+//! ```
+//!
+//! The generator enforces a client-side in-flight window smaller than
+//! the server's queue, so a healthy run never trips backpressure; an
+//! `overloaded` response therefore counts as an error here.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ntr_geom::Layout;
+use ntr_server::json::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ntr-loadgen --stdio [--smoke | --bench]\n\
+         \x20                [--nets N]      requests to send (default 150)\n\
+         \x20                [--size K]      pins per net (default 20)\n\
+         \x20                [--repeat F]    fraction of repeated nets 0..1 (default 0.2)\n\
+         \x20                [--workers N]   server workers for a plain run (default 4)\n\
+         \x20                [--rate R]      target requests/sec (default: unpaced)\n\
+         \x20                [--seed S]      workload seed (default 1994)\n\
+         \x20                [--out FILE]    write the bench JSON artifact here\n\
+         \x20                [--serve-bin P] path to ntr-serve (default: sibling binary)"
+    );
+    std::process::exit(2);
+}
+
+/// SplitMix64: deterministic repeat/pick decisions without a rand dep.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Workload {
+    nets: usize,
+    size: usize,
+    repeat: f64,
+    seed: u64,
+}
+
+/// Pre-renders the request lines: a mixed LDRG/H1 stream where a
+/// `repeat` fraction re-sends an earlier net (same pins, same options →
+/// same cache key).
+fn generate_requests(w: Workload) -> Vec<String> {
+    let layout = Layout::date94();
+    let mut rng = SplitMix64(w.seed ^ 0x6e74_722d_6c67); // "ntr-lg"
+    let mut gen = ntr_geom::NetGenerator::new(layout, w.seed);
+    let mut nets: Vec<(String, &'static str)> = Vec::with_capacity(w.nets);
+    let mut lines = Vec::with_capacity(w.nets);
+    for i in 0..w.nets {
+        let (pins_json, algorithm) = if !nets.is_empty() && rng.unit() < w.repeat {
+            nets[(rng.next() as usize) % nets.len()].clone()
+        } else {
+            let net = gen
+                .random_net(w.size)
+                .expect("layout admits nets of this size");
+            let pins = Json::Arr(
+                net.pins()
+                    .iter()
+                    .map(|p| Json::Arr(vec![Json::Num(p.x), Json::Num(p.y)]))
+                    .collect(),
+            );
+            let algorithm = if nets.len().is_multiple_of(2) {
+                "ldrg"
+            } else {
+                "h1"
+            };
+            let fresh = (pins.to_line(), algorithm);
+            nets.push(fresh.clone());
+            fresh
+        };
+        lines.push(format!(
+            r#"{{"op":"route","id":{i},"algorithm":"{algorithm}","oracle":"moment","pins":{pins_json}}}"#
+        ));
+    }
+    lines
+}
+
+#[derive(Default)]
+struct Progress {
+    pending: HashMap<u64, Instant>,
+    latencies_us: Vec<u64>,
+    ok: usize,
+    errors: usize,
+    cached: usize,
+    stats: Option<Json>,
+    reader_done: bool,
+}
+
+struct RunResult {
+    ok: usize,
+    errors: usize,
+    cached: usize,
+    wall: Duration,
+    latencies_us: Vec<u64>,
+    server_stats: Option<Json>,
+}
+
+impl RunResult {
+    fn nets_per_sec(&self) -> f64 {
+        self.ok as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank.min(sorted.len()) - 1]
+    }
+
+    fn cache_hit_rate(&self) -> f64 {
+        if self.ok == 0 {
+            0.0
+        } else {
+            self.cached as f64 / self.ok as f64
+        }
+    }
+}
+
+fn locate_serve_bin(explicit: Option<&str>) -> PathBuf {
+    if let Some(path) = explicit {
+        return PathBuf::from(path);
+    }
+    let mut path = std::env::current_exe().expect("current_exe is readable");
+    path.set_file_name("ntr-serve");
+    path
+}
+
+fn spawn_server(serve_bin: &PathBuf, workers: usize, queue: usize) -> std::io::Result<Child> {
+    Command::new(serve_bin)
+        .args([
+            "--stdio",
+            "--workers",
+            &workers.to_string(),
+            "--queue",
+            &queue.to_string(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+}
+
+const QUEUE_DEPTH: usize = 64;
+const WINDOW: usize = 32; // in-flight cap, deliberately below QUEUE_DEPTH
+const RUN_TIMEOUT: Duration = Duration::from_secs(600);
+
+fn run_against_server(
+    serve_bin: &PathBuf,
+    workers: usize,
+    requests: &[String],
+    rate: Option<f64>,
+) -> Result<RunResult, String> {
+    let mut child =
+        spawn_server(serve_bin, workers, QUEUE_DEPTH).map_err(|e| format!("spawn: {e}"))?;
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let stdout = child.stdout.take().expect("stdout piped");
+
+    let shared = Arc::new((Mutex::new(Progress::default()), Condvar::new()));
+    let reader = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                let Ok(doc) = Json::parse(&line) else {
+                    continue;
+                };
+                let (state, changed) = &*shared;
+                let mut s = state.lock().expect("progress mutex poisoned");
+                if doc.get("op").and_then(Json::as_str) == Some("stats") {
+                    s.stats = Some(doc);
+                } else if doc.get("op").and_then(Json::as_str) == Some("shutdown") {
+                    // ack only
+                } else {
+                    let id = doc.get("id").and_then(Json::as_f64).map(|v| v as u64);
+                    let sent = id.and_then(|id| s.pending.remove(&id));
+                    if doc.get("ok").and_then(Json::as_bool) == Some(true) {
+                        s.ok += 1;
+                        if doc.get("cached").and_then(Json::as_bool) == Some(true) {
+                            s.cached += 1;
+                        } else if let Some(sent) = sent {
+                            s.latencies_us.push(sent.elapsed().as_micros() as u64);
+                        }
+                    } else {
+                        s.errors += 1;
+                        let code = doc.get("error").and_then(Json::as_str).unwrap_or("?");
+                        let detail = doc.get("detail").and_then(Json::as_str).unwrap_or("");
+                        eprintln!("ntr-loadgen: error response {code}: {detail}");
+                    }
+                }
+                changed.notify_all();
+            }
+            let (state, changed) = &*shared;
+            state.lock().expect("progress mutex poisoned").reader_done = true;
+            changed.notify_all();
+        })
+    };
+
+    let start = Instant::now();
+    let (state, changed) = &*shared;
+    for (i, line) in requests.iter().enumerate() {
+        if let Some(rate) = rate {
+            let due = start + Duration::from_secs_f64(i as f64 / rate);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        {
+            let mut s = state.lock().expect("progress mutex poisoned");
+            while s.pending.len() >= WINDOW && !s.reader_done {
+                let (next, timeout) = changed
+                    .wait_timeout(s, Duration::from_secs(5))
+                    .expect("progress mutex poisoned");
+                s = next;
+                if timeout.timed_out() && start.elapsed() > RUN_TIMEOUT {
+                    return Err("timed out waiting for the in-flight window".to_owned());
+                }
+            }
+            if s.reader_done {
+                return Err("server exited before the run completed".to_owned());
+            }
+            s.pending.insert(i as u64, Instant::now());
+        }
+        writeln!(stdin, "{line}").map_err(|e| format!("write: {e}"))?;
+    }
+    // Drain all in-flight responses.
+    {
+        let mut s = state.lock().expect("progress mutex poisoned");
+        while !s.pending.is_empty() && !s.reader_done {
+            let (next, timeout) = changed
+                .wait_timeout(s, Duration::from_secs(5))
+                .expect("progress mutex poisoned");
+            s = next;
+            if timeout.timed_out() && start.elapsed() > RUN_TIMEOUT {
+                return Err("timed out draining responses".to_owned());
+            }
+        }
+    }
+    let wall = start.elapsed();
+
+    // Collect server-side counters, then shut down and reap.
+    writeln!(stdin, r#"{{"op":"stats"}}"#).map_err(|e| format!("write: {e}"))?;
+    {
+        let mut s = state.lock().expect("progress mutex poisoned");
+        while s.stats.is_none() && !s.reader_done {
+            let (next, timeout) = changed
+                .wait_timeout(s, Duration::from_secs(5))
+                .expect("progress mutex poisoned");
+            s = next;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+    }
+    let _ = writeln!(stdin, r#"{{"op":"shutdown"}}"#);
+    drop(stdin);
+    let _ = reader.join();
+    let status = child.wait().map_err(|e| format!("wait: {e}"))?;
+    if !status.success() {
+        return Err(format!("server exited with {status}"));
+    }
+
+    let s = state.lock().expect("progress mutex poisoned");
+    Ok(RunResult {
+        ok: s.ok,
+        errors: s.errors,
+        cached: s.cached,
+        wall,
+        latencies_us: s.latencies_us.clone(),
+        server_stats: s.stats.clone(),
+    })
+}
+
+fn print_summary(label: &str, r: &RunResult) {
+    println!(
+        "{label}: {} ok, {} errors, {} cached ({:.0}% hit), {:.1} nets/s, \
+         latency p50 {} us / p90 {} us / p99 {} us",
+        r.ok,
+        r.errors,
+        r.cached,
+        r.cache_hit_rate() * 100.0,
+        r.nets_per_sec(),
+        r.percentile_us(50.0),
+        r.percentile_us(90.0),
+        r.percentile_us(99.0),
+    );
+    if let Some(stats) = &r.server_stats {
+        let field = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        println!(
+            "  server: {} completed, {} cache hits / {} misses, {} deadline, {} overloaded",
+            field("completed"),
+            field("cache_hits"),
+            field("cache_misses"),
+            field("deadline_expired"),
+            field("overloaded"),
+        );
+    }
+}
+
+fn smoke(serve_bin: &PathBuf, seed: u64) -> i32 {
+    let requests = generate_requests(Workload {
+        nets: 50,
+        size: 6,
+        repeat: 0.3,
+        seed,
+    });
+    match run_against_server(serve_bin, 2, &requests, None) {
+        Ok(r) => {
+            print_summary("smoke", &r);
+            if r.errors > 0 {
+                eprintln!("smoke FAILED: {} error responses", r.errors);
+                1
+            } else if r.ok != requests.len() {
+                eprintln!("smoke FAILED: {}/{} answered", r.ok, requests.len());
+                1
+            } else if r.cached == 0 {
+                eprintln!("smoke FAILED: no cache hits on a 30%-repeat workload");
+                1
+            } else {
+                println!("smoke OK");
+                0
+            }
+        }
+        Err(e) => {
+            eprintln!("smoke FAILED: {e}");
+            1
+        }
+    }
+}
+
+fn bench(serve_bin: &PathBuf, w: Workload, out: Option<&str>) -> i32 {
+    let requests = generate_requests(w);
+    let single = match run_against_server(serve_bin, 1, &requests, None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench (1 worker) FAILED: {e}");
+            return 1;
+        }
+    };
+    print_summary("1 worker ", &single);
+    let four = match run_against_server(serve_bin, 4, &requests, None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench (4 workers) FAILED: {e}");
+            return 1;
+        }
+    };
+    print_summary("4 workers", &four);
+    let speedup = four.nets_per_sec() / single.nets_per_sec().max(1e-9);
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("speedup: {speedup:.2}x on {host_cores} host core(s)");
+    if host_cores < 2 {
+        println!("note: single-core host; worker scaling cannot show here");
+    }
+
+    let artifact = Json::obj(vec![
+        ("host_cores", Json::Num(host_cores as f64)),
+        ("nets", Json::Num(w.nets as f64)),
+        ("size", Json::Num(w.size as f64)),
+        ("repeat_fraction", Json::Num(w.repeat)),
+        ("seed", Json::Num(w.seed as f64)),
+        ("workload", Json::str("alternating ldrg/h1, moment oracle")),
+        ("single_worker_nps", Json::Num(single.nets_per_sec())),
+        ("four_worker_nps", Json::Num(four.nets_per_sec())),
+        ("speedup", Json::Num(speedup)),
+        ("cache_hit_rate", Json::Num(four.cache_hit_rate())),
+        ("errors", Json::Num((single.errors + four.errors) as f64)),
+        (
+            "four_worker_latency_us",
+            Json::obj(vec![
+                ("p50", Json::Num(four.percentile_us(50.0) as f64)),
+                ("p90", Json::Num(four.percentile_us(90.0) as f64)),
+                ("p99", Json::Num(four.percentile_us(99.0) as f64)),
+            ]),
+        ),
+    ]);
+    if let Some(path) = out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, artifact.to_line() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        println!("wrote {path}");
+    }
+    i32::from(single.errors + four.errors > 0)
+}
+
+fn main() -> std::process::ExitCode {
+    let mut stdio = false;
+    let mut smoke_mode = false;
+    let mut bench_mode = false;
+    let mut workload = Workload {
+        nets: 150,
+        size: 20,
+        repeat: 0.2,
+        seed: 1994,
+    };
+    let mut workers = 4usize;
+    let mut rate: Option<f64> = None;
+    let mut out: Option<String> = None;
+    let mut serve_bin_arg: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--smoke" => smoke_mode = true,
+            "--bench" => bench_mode = true,
+            "--nets" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => workload.nets = n,
+                _ => usage(),
+            },
+            "--size" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(k) if k >= 2 => workload.size = k,
+                _ => usage(),
+            },
+            "--repeat" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(f) if (0.0..=1.0).contains(&f) => workload.repeat = f,
+                _ => usage(),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => usage(),
+            },
+            "--rate" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(r) if r > 0.0 => rate = Some(r),
+                _ => usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => workload.seed = s,
+                None => usage(),
+            },
+            "--out" => out = args.next().or_else(|| usage()),
+            "--serve-bin" => serve_bin_arg = args.next().or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    if !stdio {
+        // Only the spawned-child stdio harness exists; require the flag so
+        // a future TCP client mode stays backward compatible.
+        usage();
+    }
+    let serve_bin = locate_serve_bin(serve_bin_arg.as_deref());
+    if !serve_bin.exists() {
+        eprintln!(
+            "ntr-loadgen: server binary not found at {}",
+            serve_bin.display()
+        );
+        return std::process::ExitCode::FAILURE;
+    }
+
+    let code = if smoke_mode {
+        smoke(&serve_bin, workload.seed)
+    } else if bench_mode {
+        bench(
+            &serve_bin,
+            workload,
+            Some(out.as_deref().unwrap_or("results/serve_throughput.json")),
+        )
+    } else {
+        let requests = generate_requests(workload);
+        match run_against_server(&serve_bin, workers, &requests, rate) {
+            Ok(r) => {
+                print_summary("run", &r);
+                i32::from(r.errors > 0)
+            }
+            Err(e) => {
+                eprintln!("run FAILED: {e}");
+                1
+            }
+        }
+    };
+    if code == 0 {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,70 @@
+//! The routing server.
+//!
+//! ```text
+//! ntr-serve --stdio [--workers N] [--queue N] [--cache N]
+//! ntr-serve --listen 127.0.0.1:7474 [--workers N] [--queue N] [--cache N]
+//! ```
+//!
+//! Speaks the JSON-lines protocol of `ntr_server::proto`: one request
+//! object per line, one response per line, correlated by `id`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use ntr_server::server::{serve_stdio, serve_tcp};
+use ntr_server::service::{Service, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ntr-serve (--stdio | --listen ADDR:PORT)\n\
+         \x20              [--workers N]  worker threads (default: one per core)\n\
+         \x20              [--queue N]    pending-request capacity (default 64)\n\
+         \x20              [--cache N]    result-cache entries (default 1024, 0 disables)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut stdio = false;
+    let mut listen: Option<String> = None;
+    let mut config = ServiceConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--listen" => listen = args.next().or_else(|| usage()),
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.workers = n,
+                None => usage(),
+            },
+            "--queue" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.queue_depth = n,
+                _ => usage(),
+            },
+            "--cache" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.cache_capacity = n,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    match (stdio, listen) {
+        (true, None) => {
+            serve_stdio(Arc::new(Service::start(&config)));
+            ExitCode::SUCCESS
+        }
+        (false, Some(addr)) => {
+            eprintln!("ntr-serve: listening on {addr}");
+            match serve_tcp(addr.as_str(), Arc::new(Service::start(&config))) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("ntr-serve: cannot listen on {addr}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

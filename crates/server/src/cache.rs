@@ -1,0 +1,132 @@
+//! Content-addressed LRU result cache.
+//!
+//! Keys are 64-bit canonical hashes (see
+//! [`ntr_core::canonical_net_hash`] mixed with the request options), so
+//! two requests for the same net — pins permuted, `-0.0` vs `0.0` — hit
+//! the same entry. Values are the routed response bodies.
+
+use std::collections::HashMap;
+
+/// A fixed-capacity least-recently-used map keyed by `u64` hashes.
+///
+/// Recency is tracked with a monotonic tick per access; eviction scans
+/// for the smallest tick. The scan is O(len), which is fine at the
+/// few-thousand-entry capacities a routing cache runs at — entries are
+/// whole routed nets, not bytes.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    map: HashMap<u64, (V, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries. A capacity of
+    /// zero disables the cache: every `get` misses and `insert` is a
+    /// no-op.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(4096)),
+            tick: 0,
+            capacity,
+        }
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&key) {
+            Some((value, last_used)) => {
+                *last_used = tick;
+                Some(value)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when the cache is full.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(&oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = LruCache::new(4);
+        assert!(c.get(1).is_none());
+        c.insert(1, "a");
+        assert_eq!(c.get(1), Some(&"a"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.get(1); // 2 is now the LRU entry
+        c.insert(3, "c");
+        assert_eq!(c.get(1), Some(&"a"));
+        assert!(c.get(2).is_none(), "LRU entry should have been evicted");
+        assert_eq!(c.get(3), Some(&"c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(1, "a2"); // refresh, not a third entry
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Some(&"a2"));
+        assert_eq!(c.get(2), Some(&"b"));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.insert(1, "a");
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! Executes one route request: net construction, algorithm dispatch,
+//! and the content-addressed cache key.
+//!
+//! Workers run this with `parallelism: 1` — the pool already keeps
+//! every core busy with one net per worker, and nested sweep threads
+//! would just fight the pool for cores.
+
+use ntr_circuit::Technology;
+use ntr_core::{
+    canonical_net_hash, h1_with, ldrg, CancelToken, DelayOracle, Fnv64, LdrgOptions, MomentOracle,
+    OracleError, OracleStats, TransientOracle,
+};
+use ntr_ert::{elmore_routing_tree, ErtOptions};
+use ntr_geom::Net;
+use ntr_graph::{prim_mst, RoutingGraph};
+
+use crate::json::Json;
+use crate::proto::{Algorithm, OracleKind, RouteRequest};
+
+/// Why routing did not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The cancel token tripped (deadline expiry) mid-search.
+    Cancelled,
+    /// Anything else: bad net, extraction or simulation failure.
+    Route(String),
+}
+
+impl From<OracleError> for EngineError {
+    fn from(e: OracleError) -> Self {
+        match e {
+            OracleError::Cancelled(_) => EngineError::Cancelled,
+            other => EngineError::Route(other.to_string()),
+        }
+    }
+}
+
+/// Builds the request's net, deduplicating repeated pads.
+///
+/// # Errors
+///
+/// Returns a human-readable reason when fewer than two distinct pins
+/// remain.
+pub fn build_net(req: &RouteRequest) -> Result<Net, EngineError> {
+    Net::from_points_deduped(req.pins.clone()).map_err(|e| EngineError::Route(e.to_string()))
+}
+
+/// The content-addressed cache key: canonical net hash mixed with every
+/// request option that changes the routed result.
+#[must_use]
+pub fn cache_key(net: &Net, req: &RouteRequest, tech: &Technology) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("ntr-route-v1");
+    h.write_u64(canonical_net_hash(net, tech));
+    h.write_str(req.algorithm.as_str());
+    h.write_str(req.oracle.as_str());
+    h.write_u64(req.max_added_edges as u64);
+    h.finish()
+}
+
+/// A routed net, ready to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteOutcome {
+    /// Response body (everything but `id`/`cached`/`micros`, which are
+    /// per-delivery).
+    pub body: Json,
+    /// Search-cost counters of this request alone.
+    pub search: OracleStats,
+}
+
+fn body(
+    req: &RouteRequest,
+    net: &Net,
+    graph: &RoutingGraph,
+    initial_delay: f64,
+    final_delay: f64,
+    added_edges: usize,
+    search: OracleStats,
+) -> RouteOutcome {
+    let json = Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("algorithm", Json::str(req.algorithm.as_str())),
+        ("oracle", Json::str(req.oracle.as_str())),
+        ("pins", Json::Num(net.len() as f64)),
+        ("delay_ns", Json::Num(final_delay * 1e9)),
+        ("initial_delay_ns", Json::Num(initial_delay * 1e9)),
+        ("cost_um", Json::Num(graph.total_cost())),
+        ("edges", Json::Num(graph.edge_count() as f64)),
+        ("added_edges", Json::Num(added_edges as f64)),
+        ("tree", Json::Bool(graph.is_tree())),
+        ("search", Json::str(search.to_string())),
+    ]);
+    RouteOutcome { body: json, search }
+}
+
+/// Routes `net` per the request, checking `cancel` cooperatively.
+///
+/// # Errors
+///
+/// [`EngineError::Cancelled`] when the token trips mid-search (the
+/// service answers `deadline`), [`EngineError::Route`] otherwise.
+pub fn execute(
+    req: &RouteRequest,
+    net: &Net,
+    tech: Technology,
+    cancel: &CancelToken,
+) -> Result<RouteOutcome, EngineError> {
+    cancel.check().map_err(|_| EngineError::Cancelled)?;
+    let oracle: Box<dyn DelayOracle> = match req.oracle {
+        OracleKind::Moment => Box::new(MomentOracle::new(tech)),
+        OracleKind::TransientFast => Box::new(TransientOracle::fast(tech)),
+        OracleKind::Transient => Box::new(TransientOracle::new(tech)),
+    };
+    let opts = LdrgOptions {
+        max_added_edges: req.max_added_edges,
+        parallelism: 1,
+        cancel: cancel.clone(),
+        ..LdrgOptions::default()
+    };
+    let route_err = |e: String| EngineError::Route(e);
+
+    match req.algorithm {
+        Algorithm::Mst => {
+            let graph = prim_mst(net);
+            let delay = oracle.evaluate(&graph)?.max();
+            Ok(body(
+                req,
+                net,
+                &graph,
+                delay,
+                delay,
+                0,
+                OracleStats::default(),
+            ))
+        }
+        Algorithm::Ldrg => {
+            let r = ldrg(&prim_mst(net), oracle.as_ref(), &opts)?;
+            Ok(body(
+                req,
+                net,
+                &r.graph,
+                r.initial_delay,
+                r.final_delay(),
+                r.iterations.len(),
+                r.stats,
+            ))
+        }
+        Algorithm::H1 => {
+            let r = h1_with(
+                &prim_mst(net),
+                oracle.as_ref(),
+                req.max_added_edges,
+                Some(cancel),
+            )?;
+            Ok(body(
+                req,
+                net,
+                &r.graph,
+                r.initial_delay,
+                r.final_delay(),
+                r.iterations.len(),
+                r.stats,
+            ))
+        }
+        Algorithm::H2 | Algorithm::H3 => {
+            let mst = prim_mst(net);
+            let initial = oracle.evaluate(&mst)?.max();
+            let r = if req.algorithm == Algorithm::H2 {
+                ntr_core::h2(&mst, &tech)?
+            } else {
+                ntr_core::h3(&mst, &tech)?
+            };
+            cancel.check().map_err(|_| EngineError::Cancelled)?;
+            let delay = oracle.evaluate(&r.graph)?.max();
+            let added = usize::from(r.added.is_some());
+            Ok(body(
+                req,
+                net,
+                &r.graph,
+                initial,
+                delay,
+                added,
+                OracleStats::default(),
+            ))
+        }
+        Algorithm::Ert => {
+            let graph = elmore_routing_tree(net, &tech, &ErtOptions::default())
+                .map_err(|e| route_err(e.to_string()))?;
+            cancel.check().map_err(|_| EngineError::Cancelled)?;
+            let delay = oracle.evaluate(&graph)?.max();
+            Ok(body(
+                req,
+                net,
+                &graph,
+                delay,
+                delay,
+                0,
+                OracleStats::default(),
+            ))
+        }
+        Algorithm::ErtLdrg => {
+            let base = elmore_routing_tree(net, &tech, &ErtOptions::default())
+                .map_err(|e| route_err(e.to_string()))?;
+            let r = ldrg(&base, oracle.as_ref(), &opts)?;
+            Ok(body(
+                req,
+                net,
+                &r.graph,
+                r.initial_delay,
+                r.final_delay(),
+                r.iterations.len(),
+                r.stats,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntr_geom::Point;
+    use std::time::Duration;
+
+    fn request(algorithm: Algorithm) -> RouteRequest {
+        RouteRequest {
+            id: None,
+            algorithm,
+            oracle: OracleKind::Moment,
+            pins: vec![
+                Point::new(0.0, 0.0),
+                Point::new(3000.0, 0.0),
+                Point::new(0.0, 4000.0),
+                Point::new(5000.0, 5000.0),
+            ],
+            deadline: None,
+            max_added_edges: 0,
+            use_cache: true,
+        }
+    }
+
+    #[test]
+    fn every_algorithm_routes_the_sample_net() {
+        for algorithm in [
+            Algorithm::Mst,
+            Algorithm::Ldrg,
+            Algorithm::H1,
+            Algorithm::H2,
+            Algorithm::H3,
+            Algorithm::Ert,
+            Algorithm::ErtLdrg,
+        ] {
+            let req = request(algorithm);
+            let net = build_net(&req).unwrap();
+            let out = execute(&req, &net, Technology::date94(), &CancelToken::new())
+                .unwrap_or_else(|e| panic!("{algorithm:?}: {e:?}"));
+            assert_eq!(out.body.get("ok"), Some(&Json::Bool(true)));
+            let delay = out.body.get("delay_ns").and_then(Json::as_f64).unwrap();
+            let initial = out
+                .body
+                .get("initial_delay_ns")
+                .and_then(Json::as_f64)
+                .unwrap();
+            assert!(delay.is_finite() && delay > 0.0, "{algorithm:?}: {delay}");
+            // The greedy searches only ever commit improvements; H2/H3
+            // are one-shot heuristics with no such guarantee.
+            if matches!(
+                algorithm,
+                Algorithm::Ldrg | Algorithm::H1 | Algorithm::ErtLdrg
+            ) {
+                assert!(delay <= initial + 1e-9, "{algorithm:?} got worse");
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels() {
+        let req = request(Algorithm::Ldrg);
+        let net = build_net(&req).unwrap();
+        let cancel = CancelToken::deadline_in(Duration::ZERO);
+        assert_eq!(
+            execute(&req, &net, Technology::date94(), &cancel),
+            Err(EngineError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn cache_key_is_stable_under_pin_reorder_but_not_options() {
+        let tech = Technology::date94();
+        let a = request(Algorithm::Ldrg);
+        let mut b = a.clone();
+        // Same net, sinks listed in a different order.
+        b.pins = vec![a.pins[0], a.pins[2], a.pins[3], a.pins[1]];
+        let net_a = build_net(&a).unwrap();
+        let net_b = build_net(&b).unwrap();
+        assert_eq!(cache_key(&net_a, &a, &tech), cache_key(&net_b, &b, &tech));
+
+        let mut c = a.clone();
+        c.algorithm = Algorithm::H1;
+        assert_ne!(cache_key(&net_a, &a, &tech), cache_key(&net_a, &c, &tech));
+        let mut d = a.clone();
+        d.max_added_edges = 3;
+        assert_ne!(cache_key(&net_a, &a, &tech), cache_key(&net_a, &d, &tech));
+    }
+
+    #[test]
+    fn duplicate_pins_are_deduped_not_fatal() {
+        let mut req = request(Algorithm::Mst);
+        req.pins.push(req.pins[1]); // repeated pad
+        let net = build_net(&req).unwrap();
+        assert_eq!(net.len(), 4);
+        let out = execute(&req, &net, Technology::date94(), &CancelToken::new()).unwrap();
+        assert_eq!(out.body.get("pins").and_then(Json::as_f64), Some(4.0));
+    }
+}

@@ -1,0 +1,371 @@
+//! The JSON-lines request/response protocol.
+//!
+//! One JSON object per line in both directions. Three operations:
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"op":"route","id":1,"algorithm":"ldrg","net":{...}}` | `{"id":1,"ok":true,...}` |
+//! | `{"op":"stats"}` | `{"ok":true,"op":"stats",...}` |
+//! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}` then drain & exit |
+//!
+//! Route requests carry the net either as
+//! `"net":{"source":[x,y],"sinks":[[x,y],...]}` or as a flat
+//! `"pins":[[x,y],...]` whose first entry is the source. Responses echo
+//! the request's `id` verbatim (any JSON scalar), so clients may pipeline
+//! requests and match replies out of order.
+//!
+//! Error responses are `{"id":...,"ok":false,"error":CODE,"detail":...}`
+//! with stable machine-readable codes: `parse`, `overloaded`, `deadline`,
+//! `route`.
+
+use std::time::Duration;
+
+use ntr_geom::Point;
+
+use crate::json::Json;
+
+/// Stable error codes carried in the `error` field of failure responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not a valid request.
+    Parse,
+    /// The work queue was full (backpressure): retry later.
+    Overloaded,
+    /// The request's deadline expired before routing finished.
+    Deadline,
+    /// Routing itself failed (bad net, numerical failure).
+    Route,
+}
+
+impl ErrorCode {
+    /// The wire form of the code.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::Route => "route",
+        }
+    }
+}
+
+/// The routing algorithms reachable over the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Prim MST baseline (no non-tree optimization).
+    Mst,
+    /// The paper's LDRG greedy edge addition (the default).
+    #[default]
+    Ldrg,
+    /// H1: iterated source-to-worst-sink edge.
+    H1,
+    /// H2: single Elmore-guided source edge.
+    H2,
+    /// H3: pathlength×Elmore/length rule.
+    H3,
+    /// Elmore routing tree (no cycles).
+    Ert,
+    /// LDRG on top of an ERT.
+    ErtLdrg,
+}
+
+impl Algorithm {
+    /// Parses the wire form.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        Some(match s {
+            "mst" => Algorithm::Mst,
+            "ldrg" => Algorithm::Ldrg,
+            "h1" => Algorithm::H1,
+            "h2" => Algorithm::H2,
+            "h3" => Algorithm::H3,
+            "ert" => Algorithm::Ert,
+            "ert-ldrg" => Algorithm::ErtLdrg,
+            _ => return None,
+        })
+    }
+
+    /// The wire form.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Algorithm::Mst => "mst",
+            Algorithm::Ldrg => "ldrg",
+            Algorithm::H1 => "h1",
+            Algorithm::H2 => "h2",
+            Algorithm::H3 => "h3",
+            Algorithm::Ert => "ert",
+            Algorithm::ErtLdrg => "ert-ldrg",
+        }
+    }
+
+    /// All wire names, for error messages.
+    pub const ALL: [&'static str; 7] = ["mst", "ldrg", "h1", "h2", "h3", "ert", "ert-ldrg"];
+}
+
+/// Which delay model scores candidates for this request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleKind {
+    /// Graph Elmore via one sparse solve + rank-1 updates (the default —
+    /// the serving-grade model).
+    #[default]
+    Moment,
+    /// Lumped fast transient simulation (the paper's inner-loop SPICE).
+    TransientFast,
+    /// Fine transient simulation (segmented wires, trapezoidal).
+    Transient,
+}
+
+impl OracleKind {
+    /// Parses the wire form.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<OracleKind> {
+        Some(match s {
+            "moment" => OracleKind::Moment,
+            "transient-fast" => OracleKind::TransientFast,
+            "transient" => OracleKind::Transient,
+            _ => return None,
+        })
+    }
+
+    /// The wire form.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OracleKind::Moment => "moment",
+            OracleKind::TransientFast => "transient-fast",
+            OracleKind::Transient => "transient",
+        }
+    }
+}
+
+/// A parsed `"op":"route"` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteRequest {
+    /// Client correlation id, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Delay model.
+    pub oracle: OracleKind,
+    /// Pin list, source first (duplicates are deduped at execution).
+    pub pins: Vec<Point>,
+    /// Soft deadline measured from enqueue; expired requests answer with
+    /// [`ErrorCode::Deadline`] instead of occupying a worker.
+    pub deadline: Option<Duration>,
+    /// Cap on added edges / iterations (0 = until no improvement).
+    pub max_added_edges: usize,
+    /// Whether the result cache may serve or store this request.
+    pub use_cache: bool,
+}
+
+/// Any request the protocol accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Route one net.
+    Route(RouteRequest),
+    /// Service-level counters snapshot.
+    Stats,
+    /// Graceful shutdown: drain in-flight work, then exit.
+    Shutdown,
+}
+
+fn parse_point(v: &Json) -> Result<Point, String> {
+    let arr = v.as_arr().ok_or("pin must be a [x,y] array")?;
+    if arr.len() != 2 {
+        return Err(format!(
+            "pin must have exactly 2 coordinates, got {}",
+            arr.len()
+        ));
+    }
+    let x = arr[0].as_f64().ok_or("pin x must be a number")?;
+    let y = arr[1].as_f64().ok_or("pin y must be a number")?;
+    if !x.is_finite() || !y.is_finite() {
+        return Err("pin coordinates must be finite".to_owned());
+    }
+    Ok(Point::new(x, y))
+}
+
+fn parse_pins(doc: &Json) -> Result<Vec<Point>, String> {
+    if let Some(net) = doc.get("net") {
+        let source = parse_point(net.get("source").ok_or("net.source is required")?)?;
+        let sinks = net
+            .get("sinks")
+            .and_then(Json::as_arr)
+            .ok_or("net.sinks must be an array of [x,y] pins")?;
+        let mut pins = Vec::with_capacity(sinks.len() + 1);
+        pins.push(source);
+        for s in sinks {
+            pins.push(parse_point(s)?);
+        }
+        Ok(pins)
+    } else if let Some(flat) = doc.get("pins").and_then(Json::as_arr) {
+        flat.iter().map(parse_point).collect()
+    } else {
+        Err("route request needs \"net\" or \"pins\"".to_owned())
+    }
+}
+
+/// Parses one request line (already JSON-decoded).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem found; the
+/// caller wraps it in an [`ErrorCode::Parse`] response.
+pub fn parse_request(doc: &Json) -> Result<Request, String> {
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string \"op\" field")?;
+    match op {
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "route" => {
+            let algorithm = match doc.get("algorithm").and_then(Json::as_str) {
+                None => Algorithm::default(),
+                Some(name) => Algorithm::parse(name).ok_or_else(|| {
+                    format!(
+                        "unknown algorithm {name:?}; expected one of {:?}",
+                        Algorithm::ALL
+                    )
+                })?,
+            };
+            let oracle = match doc.get("oracle").and_then(Json::as_str) {
+                None => OracleKind::default(),
+                Some(name) => {
+                    OracleKind::parse(name).ok_or_else(|| format!("unknown oracle {name:?}"))?
+                }
+            };
+            let deadline = match doc.get("deadline_ms") {
+                None => None,
+                Some(v) => {
+                    let ms = v.as_f64().ok_or("deadline_ms must be a number")?;
+                    if !(ms.is_finite() && ms >= 0.0) {
+                        return Err("deadline_ms must be finite and non-negative".to_owned());
+                    }
+                    Some(Duration::from_secs_f64(ms / 1e3))
+                }
+            };
+            let max_added_edges = match doc.get("max_added_edges") {
+                None => 0,
+                Some(v) => {
+                    let n = v.as_f64().ok_or("max_added_edges must be a number")?;
+                    if !(n.is_finite() && n >= 0.0 && n == n.trunc()) {
+                        return Err("max_added_edges must be a non-negative integer".to_owned());
+                    }
+                    n as usize
+                }
+            };
+            let use_cache = match doc.get("cache") {
+                None => true,
+                Some(v) => v.as_bool().ok_or("cache must be a boolean")?,
+            };
+            let pins = parse_pins(doc)?;
+            if pins.len() < 2 {
+                return Err("a net needs at least a source and one sink".to_owned());
+            }
+            Ok(Request::Route(RouteRequest {
+                id: doc.get("id").cloned(),
+                algorithm,
+                oracle,
+                pins,
+                deadline,
+                max_added_edges,
+                use_cache,
+            }))
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Builds a failure response.
+#[must_use]
+pub fn error_response(id: Option<&Json>, code: ErrorCode, detail: &str) -> Json {
+    Json::obj(vec![
+        ("id", id.cloned().unwrap_or(Json::Null)),
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(code.as_str())),
+        ("detail", Json::str(detail)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(line: &str) -> RouteRequest {
+        match parse_request(&Json::parse(line).unwrap()).unwrap() {
+            Request::Route(r) => r,
+            other => panic!("expected route, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_and_flat_net_forms_agree() {
+        let a = route(r#"{"op":"route","net":{"source":[0,0],"sinks":[[1,2],[3,4]]}}"#);
+        let b = route(r#"{"op":"route","pins":[[0,0],[1,2],[3,4]]}"#);
+        assert_eq!(a.pins, b.pins);
+        assert_eq!(a.algorithm, Algorithm::Ldrg);
+        assert_eq!(a.oracle, OracleKind::Moment);
+        assert!(a.use_cache);
+        assert_eq!(a.deadline, None);
+    }
+
+    #[test]
+    fn options_parse() {
+        let r = route(
+            r#"{"op":"route","id":"x9","algorithm":"h1","oracle":"transient-fast","deadline_ms":250,"max_added_edges":2,"cache":false,"pins":[[0,0],[5,5]]}"#,
+        );
+        assert_eq!(r.id, Some(Json::Str("x9".to_owned())));
+        assert_eq!(r.algorithm, Algorithm::H1);
+        assert_eq!(r.oracle, OracleKind::TransientFast);
+        assert_eq!(r.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(r.max_added_edges, 2);
+        assert!(!r.use_cache);
+    }
+
+    #[test]
+    fn stats_and_shutdown_parse() {
+        assert_eq!(
+            parse_request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            parse_request(&Json::parse(r#"{"op":"shutdown"}"#).unwrap()).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_reasons() {
+        for line in [
+            r#"{"x":1}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"route"}"#,
+            r#"{"op":"route","pins":[[0,0]]}"#,
+            r#"{"op":"route","pins":[[0,0],[1]]}"#,
+            r#"{"op":"route","algorithm":"simulated-annealing","pins":[[0,0],[1,1]]}"#,
+            r#"{"op":"route","deadline_ms":-5,"pins":[[0,0],[1,1]]}"#,
+            r#"{"op":"route","pins":[[0,0],[1,null]]}"#,
+        ] {
+            let doc = Json::parse(line).unwrap();
+            assert!(parse_request(&doc).is_err(), "{line} should be rejected");
+        }
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let resp = error_response(Some(&Json::Num(3.0)), ErrorCode::Overloaded, "queue full");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(resp.get("error").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(resp.get("id").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for name in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(name).unwrap().as_str(), name);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The service: a bounded queue feeding a fixed worker pool, fronted by
+//! the result cache.
+//!
+//! Life of a route request:
+//!
+//! 1. **Submit** (transport thread): build the net, compute the cache
+//!    key, answer straight from the cache on a hit. On a miss,
+//!    `try_push` the job — a full queue answers `overloaded`
+//!    immediately (backpressure) rather than queueing unboundedly.
+//! 2. **Dequeue** (worker thread): a job whose deadline already passed
+//!    while queued answers `deadline` without touching a core.
+//! 3. **Execute**: the worker routes with a [`CancelToken`] carrying
+//!    the deadline; the greedy searches check it once per candidate
+//!    score, so an expiring request stops within one oracle call.
+//! 4. **Respond**: the job's callback delivers the JSON response on
+//!    whatever transport the request arrived on. Successful results
+//!    enter the cache.
+//!
+//! Shutdown closes the queue: submitters get `overloaded`, workers
+//! drain the backlog, [`Service::shutdown`] joins them — no in-flight
+//! request is dropped.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ntr_circuit::Technology;
+use ntr_core::CancelToken;
+
+use crate::cache::LruCache;
+use crate::engine::{self, EngineError};
+use crate::json::Json;
+use crate::pool::{BoundedQueue, PushError};
+use crate::proto::{error_response, ErrorCode, RouteRequest};
+use crate::stats::ServiceStats;
+
+/// Delivers one response back to the requester's transport.
+pub type Respond = Box<dyn FnOnce(Json) + Send>;
+
+/// Tuning knobs for [`Service::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads (0 = one per available core).
+    pub workers: usize,
+    /// Pending jobs admitted before `overloaded` (≥1).
+    pub queue_depth: usize,
+    /// Result-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Interconnect technology used for every request.
+    pub tech: Technology,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_depth: 64,
+            cache_capacity: 1024,
+            tech: Technology::date94(),
+        }
+    }
+}
+
+struct Job {
+    request: RouteRequest,
+    key: Option<u64>,
+    /// Set when this job is the in-flight primary for its cache key:
+    /// concurrent duplicates coalesce onto it instead of routing twice.
+    coalesce_key: Option<u64>,
+    respond: Respond,
+    enqueued: Instant,
+    deadline_at: Option<Instant>,
+}
+
+/// A coalesced duplicate waiting on the primary: its own `id` plus the
+/// callback to deliver the shared result to.
+type Waiter = (Option<Json>, Respond);
+type Inflight = Mutex<HashMap<u64, Vec<Waiter>>>;
+
+/// The running routing service. Cheap to share: transports hold it in
+/// an [`Arc`] and call [`submit`](Self::submit) from any thread.
+pub struct Service {
+    tech: Technology,
+    queue: Arc<BoundedQueue<Job>>,
+    cache: Arc<Mutex<LruCache<Json>>>,
+    inflight: Arc<Inflight>,
+    stats: Arc<ServiceStats>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Spawns the worker pool and returns the handle.
+    #[must_use]
+    pub fn start(config: &ServiceConfig) -> Self {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+        } else {
+            config.workers
+        };
+        let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+        let cache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
+        let inflight: Arc<Inflight> = Arc::new(Mutex::new(HashMap::new()));
+        let stats = Arc::new(ServiceStats::default());
+        let handles = (0..workers)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let cache = Arc::clone(&cache);
+                let inflight = Arc::clone(&inflight);
+                let stats = Arc::clone(&stats);
+                let tech = config.tech;
+                std::thread::Builder::new()
+                    .name(format!("ntr-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &cache, &inflight, &stats, tech))
+                    .expect("spawning a worker thread failed")
+            })
+            .collect();
+        Self {
+            tech: config.tech,
+            queue,
+            cache,
+            inflight,
+            stats,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Submits one route request; `respond` is called exactly once,
+    /// possibly on another thread, possibly before this returns (cache
+    /// hits and rejections answer inline).
+    pub fn submit(&self, request: RouteRequest, respond: Respond) {
+        self.stats.received.fetch_add(1, Ordering::Relaxed);
+        let id = request.id.clone();
+        let net = match engine::build_net(&request) {
+            Ok(net) => net,
+            Err(EngineError::Route(detail)) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                respond(error_response(id.as_ref(), ErrorCode::Route, &detail));
+                return;
+            }
+            Err(EngineError::Cancelled) => unreachable!("net construction cannot be cancelled"),
+        };
+        let key = request
+            .use_cache
+            .then(|| engine::cache_key(&net, &request, &self.tech));
+        if let Some(key) = key {
+            let mut cache = self.cache.lock().expect("cache mutex poisoned");
+            if let Some(hit) = cache.get(key) {
+                let mut response = hit.clone();
+                response.set("id", id.clone().unwrap_or(Json::Null));
+                response.set("cached", Json::Bool(true));
+                drop(cache);
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                respond(response);
+                return;
+            }
+            drop(cache);
+            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        // Coalesce concurrent duplicates: while an identical request is
+        // in flight, later copies wait for its result instead of routing
+        // the same net again. Requests with deadlines opt out — a waiter
+        // must not inherit someone else's (possibly tighter) budget.
+        let coalesce_key = match key.filter(|_| request.deadline.is_none()) {
+            Some(key) => {
+                let mut inflight = self.inflight.lock().expect("inflight mutex poisoned");
+                if let Some(waiters) = inflight.get_mut(&key) {
+                    waiters.push((id, respond));
+                    self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                inflight.insert(key, Vec::new());
+                Some(key)
+            }
+            None => None,
+        };
+        let enqueued = Instant::now();
+        let job = Job {
+            deadline_at: request.deadline.map(|d| enqueued + d),
+            request,
+            key,
+            coalesce_key,
+            respond,
+            enqueued,
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => {}
+            Err(PushError::Full(job)) => {
+                self.reject(job, "work queue full, retry later");
+            }
+            Err(PushError::Closed(job)) => {
+                self.reject(job, "service shutting down");
+            }
+        }
+    }
+
+    /// Answers `overloaded` to a rejected job and any duplicates that
+    /// coalesced onto it between registration and rejection.
+    fn reject(&self, job: Job, detail: &str) {
+        let waiters = take_waiters(&self.inflight, job.coalesce_key);
+        self.stats
+            .overloaded
+            .fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
+        (job.respond)(error_response(
+            job.request.id.as_ref(),
+            ErrorCode::Overloaded,
+            detail,
+        ));
+        for (wid, wrespond) in waiters {
+            wrespond(error_response(wid.as_ref(), ErrorCode::Overloaded, detail));
+        }
+    }
+
+    /// The stats-response body for `{"op":"stats"}`.
+    #[must_use]
+    pub fn stats_json(&self) -> Json {
+        let cache_entries = self.cache.lock().expect("cache mutex poisoned").len();
+        self.stats.to_json(self.queue.len(), cache_entries)
+    }
+
+    /// The shared counters (for tests and the load generator).
+    #[must_use]
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Graceful shutdown: reject new work, drain the backlog, join the
+    /// workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        let handles: Vec<_> = {
+            let mut workers = self.workers.lock().expect("worker mutex poisoned");
+            workers.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn take_waiters(inflight: &Inflight, key: Option<u64>) -> Vec<Waiter> {
+    key.and_then(|key| {
+        inflight
+            .lock()
+            .expect("inflight mutex poisoned")
+            .remove(&key)
+    })
+    .unwrap_or_default()
+}
+
+fn worker_loop(
+    queue: &BoundedQueue<Job>,
+    cache: &Mutex<LruCache<Json>>,
+    inflight: &Inflight,
+    stats: &ServiceStats,
+    tech: Technology,
+) {
+    while let Some(job) = queue.pop() {
+        let id = job.request.id.clone();
+        // A request that spent its whole deadline queued answers without
+        // occupying the worker for a full route. (Deadline jobs never
+        // register as coalescing primaries, so no waiters to serve.)
+        if job.deadline_at.is_some_and(|at| Instant::now() >= at) {
+            stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            (job.respond)(error_response(
+                id.as_ref(),
+                ErrorCode::Deadline,
+                "deadline expired while queued",
+            ));
+            continue;
+        }
+        let cancel = job
+            .deadline_at
+            .map_or_else(CancelToken::new, CancelToken::with_deadline);
+        let net = match engine::build_net(&job.request) {
+            Ok(net) => net,
+            Err(_) => unreachable!("submit validated the net"),
+        };
+        match engine::execute(&job.request, &net, tech, &cancel) {
+            Ok(outcome) => {
+                let latency = job.enqueued.elapsed();
+                if let Some(key) = job.key {
+                    cache
+                        .lock()
+                        .expect("cache mutex poisoned")
+                        .insert(key, outcome.body.clone());
+                }
+                // Waiters are taken only after the cache insert, so a
+                // duplicate arriving right now either finds the cache
+                // entry or is already in this list — never neither.
+                let waiters = take_waiters(inflight, job.coalesce_key);
+                stats.record_completed(job.request.algorithm.as_str(), latency, outcome.search);
+                stats
+                    .completed
+                    .fetch_add(waiters.len() as u64, Ordering::Relaxed);
+                for (wid, wrespond) in waiters {
+                    let mut shared = outcome.body.clone();
+                    shared.set("id", wid.unwrap_or(Json::Null));
+                    shared.set("cached", Json::Bool(true));
+                    wrespond(shared);
+                }
+                let mut response = outcome.body;
+                response.set("id", id.unwrap_or(Json::Null));
+                response.set("cached", Json::Bool(false));
+                response.set("micros", Json::Num(latency.as_micros() as f64));
+                (job.respond)(response);
+            }
+            Err(EngineError::Cancelled) => {
+                stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                (job.respond)(error_response(
+                    id.as_ref(),
+                    ErrorCode::Deadline,
+                    "deadline expired during routing",
+                ));
+            }
+            Err(EngineError::Route(detail)) => {
+                let waiters = take_waiters(inflight, job.coalesce_key);
+                stats
+                    .errors
+                    .fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
+                for (wid, wrespond) in waiters {
+                    wrespond(error_response(wid.as_ref(), ErrorCode::Route, &detail));
+                }
+                (job.respond)(error_response(id.as_ref(), ErrorCode::Route, &detail));
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Service-level counters: request outcomes, per-algorithm tallies,
+//! latency histograms, and merged search-cost counters.
+//!
+//! Everything here is updated from worker threads and the submission
+//! path concurrently, so the hot counters are atomics and the two cold
+//! aggregates (per-algorithm map, merged [`OracleStats`]) sit behind
+//! mutexes taken once per completed request.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ntr_core::OracleStats;
+
+use crate::json::Json;
+
+/// Power-of-two latency histogram: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 also takes sub-microsecond
+/// samples).
+///
+/// Percentiles are answered with the upper bound of the bucket the
+/// rank falls in, so a reported p99 is within 2× of the true value —
+/// plenty for spotting queueing collapse, which moves latencies by
+/// orders of magnitude.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 40],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(micros: u64) -> usize {
+        // 63 - leading_zeros == floor(log2), clamped into range.
+        let idx = 63 - micros.max(1).leading_zeros() as usize;
+        idx.min(39)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound (µs) of the bucket containing the `p`-th percentile
+    /// (`p` in 0..=100), or 0 with no samples.
+    #[must_use]
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << 40
+    }
+
+    /// Mean latency in microseconds, or 0 with no samples.
+    #[must_use]
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::Num(self.count() as f64)),
+            ("mean_us", Json::Num(self.mean_micros() as f64)),
+            ("p50_us", Json::Num(self.percentile_micros(50.0) as f64)),
+            ("p90_us", Json::Num(self.percentile_micros(90.0) as f64)),
+            ("p99_us", Json::Num(self.percentile_micros(99.0) as f64)),
+        ])
+    }
+}
+
+/// All counters surfaced by the `{"op":"stats"}` request.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Route requests accepted off the wire.
+    pub received: AtomicU64,
+    /// Route requests answered successfully (cached or routed).
+    pub completed: AtomicU64,
+    /// Route requests answered with a `route` error.
+    pub errors: AtomicU64,
+    /// Requests rejected with `overloaded` (queue full).
+    pub overloaded: AtomicU64,
+    /// Requests answered with `deadline`.
+    pub deadline_expired: AtomicU64,
+    /// Responses served from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Cache-eligible requests that missed.
+    pub cache_misses: AtomicU64,
+    /// Duplicate requests that attached to an identical in-flight route
+    /// instead of routing again.
+    pub coalesced: AtomicU64,
+    /// End-to-end latency of successful non-cached routes (enqueue to
+    /// response).
+    pub latency: LatencyHistogram,
+    per_algorithm: Mutex<BTreeMap<&'static str, u64>>,
+    oracle: Mutex<OracleStats>,
+}
+
+impl ServiceStats {
+    /// Credits one successfully routed (non-cached) request.
+    pub fn record_completed(
+        &self,
+        algorithm: &'static str,
+        latency: Duration,
+        search: OracleStats,
+    ) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+        *self
+            .per_algorithm
+            .lock()
+            .expect("stats mutex poisoned")
+            .entry(algorithm)
+            .or_insert(0) += 1;
+        let mut merged = self.oracle.lock().expect("stats mutex poisoned");
+        *merged = merged.merged(search);
+    }
+
+    /// The merged search-cost counters across all completed requests.
+    #[must_use]
+    pub fn oracle_stats(&self) -> OracleStats {
+        *self.oracle.lock().expect("stats mutex poisoned")
+    }
+
+    /// Snapshot as the body of a stats response. `queue_depth` and
+    /// `cache_entries` come from the service, which owns those
+    /// structures.
+    #[must_use]
+    pub fn to_json(&self, queue_depth: usize, cache_entries: usize) -> Json {
+        let load = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
+        let per_algorithm = Json::Obj(
+            self.per_algorithm
+                .lock()
+                .expect("stats mutex poisoned")
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), Json::Num(*v as f64)))
+                .collect(),
+        );
+        let search = self.oracle_stats();
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("stats")),
+            ("received", load(&self.received)),
+            ("completed", load(&self.completed)),
+            ("errors", load(&self.errors)),
+            ("overloaded", load(&self.overloaded)),
+            ("deadline_expired", load(&self.deadline_expired)),
+            ("cache_hits", load(&self.cache_hits)),
+            ("cache_misses", load(&self.cache_misses)),
+            ("coalesced", load(&self.coalesced)),
+            ("cache_entries", Json::Num(cache_entries as f64)),
+            ("queue_depth", Json::Num(queue_depth as f64)),
+            ("per_algorithm", per_algorithm),
+            ("latency", self.latency.to_json()),
+            (
+                "search",
+                Json::obj(vec![
+                    ("evaluations", Json::Num(search.evaluations as f64)),
+                    ("factorizations", Json::Num(search.factorizations as f64)),
+                    ("rank1_solves", Json::Num(search.rank1_solves as f64)),
+                    ("wall_ms", Json::Num(search.wall().as_secs_f64() * 1e3)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 1);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 39);
+    }
+
+    #[test]
+    fn percentiles_bound_the_samples() {
+        let h = LatencyHistogram::default();
+        for micros in [10u64, 20, 40, 80, 5000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 5);
+        // Rank 3 of 5 is the 40 µs sample, bucket [32,64) → upper bound 64.
+        assert_eq!(h.percentile_micros(50.0), 64);
+        // p99 falls in the bucket of 5000 µs = [4096,8192).
+        assert_eq!(h.percentile_micros(99.0), 8192);
+        assert!(h.mean_micros() >= 1000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile_micros(99.0), 0);
+        assert_eq!(h.mean_micros(), 0);
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let s = ServiceStats::default();
+        s.received.fetch_add(3, Ordering::Relaxed);
+        s.record_completed("ldrg", Duration::from_micros(100), OracleStats::default());
+        let j = s.to_json(2, 1);
+        assert_eq!(j.get("received").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(j.get("completed").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(j.get("queue_depth").and_then(Json::as_f64), Some(2.0));
+        let per = j.get("per_algorithm").unwrap();
+        assert_eq!(per.get("ldrg").and_then(Json::as_f64), Some(1.0));
+        assert!(j.get("latency").unwrap().get("p50_us").is_some());
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end test of the stdio transport: spawn the real `ntr-serve`
+//! binary, speak the wire protocol, check responses and shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+use ntr_server::json::Json;
+
+#[test]
+fn stdio_round_trip_with_cache_stats_and_shutdown() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ntr-serve"))
+        .args(["--stdio", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("ntr-serve spawns");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let mut ask = |line: &str| -> Json {
+        writeln!(stdin, "{line}").unwrap();
+        let reply = lines.next().expect("a response line").unwrap();
+        Json::parse(&reply).unwrap_or_else(|e| panic!("bad response {reply:?}: {e}"))
+    };
+
+    // Route, then repeat the identical net: the second answer is cached.
+    let route = r#"{"op":"route","id":1,"algorithm":"ldrg","net":{"source":[0,0],"sinks":[[3000,0],[0,4000],[5000,5000]]}}"#;
+    let first = ask(route);
+    assert_eq!(first.get("ok"), Some(&Json::Bool(true)), "{first}");
+    assert_eq!(first.get("id").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+    let second = ask(&route.replace(r#""id":1"#, r#""id":2"#));
+    assert_eq!(second.get("cached"), Some(&Json::Bool(true)), "{second}");
+    assert_eq!(second.get("id").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(second.get("delay_ns"), first.get("delay_ns"));
+
+    // Malformed JSON and a bad request both answer parse errors.
+    let garbage = ask("{nope");
+    assert_eq!(garbage.get("error").and_then(Json::as_str), Some("parse"));
+    let bad = ask(r#"{"op":"route","id":9,"pins":[[0,0]]}"#);
+    assert_eq!(bad.get("error").and_then(Json::as_str), Some("parse"));
+    assert_eq!(bad.get("id").and_then(Json::as_f64), Some(9.0));
+
+    // Stats reflect the traffic.
+    let stats = ask(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(stats.get("received").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(stats.get("completed").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(stats.get("cache_hits").and_then(Json::as_f64), Some(1.0));
+    assert!(stats.get("per_algorithm").unwrap().get("ldrg").is_some());
+
+    // Graceful shutdown: acknowledged, then the process exits cleanly.
+    let bye = ask(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("op").and_then(Json::as_str), Some("shutdown"));
+    drop(stdin);
+    let status = child.wait().unwrap();
+    assert!(status.success());
+}
+
+#[test]
+fn eof_is_a_clean_shutdown() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ntr-serve"))
+        .args(["--stdio", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("ntr-serve spawns");
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(
+        stdin,
+        r#"{{"op":"route","id":"last","algorithm":"h1","pins":[[0,0],[2500,1500]]}}"#
+    )
+    .unwrap();
+    drop(stdin); // EOF with a request in flight: it must still be answered
+    let mut out = String::new();
+    use std::io::Read as _;
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut out)
+        .unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success());
+    let response = Json::parse(out.lines().next().expect("one response")).unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response}");
+    assert_eq!(response.get("id").and_then(Json::as_str), Some("last"));
+}
