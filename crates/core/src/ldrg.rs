@@ -128,6 +128,7 @@ pub fn ldrg(
     oracle: &dyn DelayOracle,
     opts: &LdrgOptions,
 ) -> Result<LdrgResult, OracleError> {
+    let _span = ntr_obs::span("ldrg");
     let mut graph = initial.clone();
     let mut engine = candidate_oracle_for(oracle);
     let initial_delay = opts.objective.score(&engine.prepare(&graph)?);
@@ -142,6 +143,7 @@ pub fn ldrg(
     };
 
     while iterations.len() < max_edges {
+        let _iter_span = ntr_obs::span("ldrg.iteration");
         opts.cancel.check()?;
         let candidates = missing_edge_candidates(&graph);
         let scores = sweep_candidates(
@@ -224,6 +226,7 @@ pub fn ldrg_prefiltered(
     shortlist: usize,
     opts: &LdrgOptions,
 ) -> Result<LdrgResult, OracleError> {
+    let _span = ntr_obs::span("ldrg_prefiltered");
     let mut graph = initial.clone();
     let mut search_engine = candidate_oracle_for(search);
     let mut pre_engine = candidate_oracle_for(prefilter);
@@ -240,6 +243,7 @@ pub fn ldrg_prefiltered(
     let shortlist = shortlist.max(1);
 
     while iterations.len() < max_edges {
+        let _iter_span = ntr_obs::span("ldrg.iteration");
         opts.cancel.check()?;
         // Stage 1: cheap ranking of every candidate edge.
         let candidates = missing_edge_candidates(&graph);

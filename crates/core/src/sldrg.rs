@@ -38,7 +38,11 @@ pub fn sldrg(
     oracle: &dyn DelayOracle,
     opts: &LdrgOptions,
 ) -> Result<LdrgResult, OracleError> {
-    let base = iterated_one_steiner(net, steiner);
+    let _span = ntr_obs::span("sldrg");
+    let base = {
+        let _steiner_span = ntr_obs::span("sldrg.steiner");
+        iterated_one_steiner(net, steiner)
+    };
     ldrg(&base, oracle, opts)
 }
 

@@ -197,6 +197,7 @@ pub fn sweep_candidates(
     parallelism: usize,
     cancel: Option<&CancelToken>,
 ) -> Result<Vec<f64>, OracleError> {
+    let _span = ntr_obs::span("sweep.score");
     let workers = match parallelism {
         0 => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         n => n,
@@ -295,6 +296,7 @@ impl<'a> ScratchOracle<'a> {
 
 impl CandidateOracle for ScratchOracle<'_> {
     fn prepare(&mut self, graph: &RoutingGraph) -> Result<DelayReport, OracleError> {
+        let _span = ntr_obs::span("oracle.prepare");
         let start = Instant::now();
         let report = self.oracle.evaluate(graph)?;
         self.graph = Some(graph.clone());
@@ -386,6 +388,7 @@ impl<'a> IncrementalMomentOracle<'a> {
 
 impl CandidateOracle for IncrementalMomentOracle<'_> {
     fn prepare(&mut self, graph: &RoutingGraph) -> Result<DelayReport, OracleError> {
+        let _span = ntr_obs::span("oracle.prepare");
         let start = Instant::now();
         let extracted = extract(graph, &self.oracle.tech, &self.oracle.extract)?;
         let engine =

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! route --net FILE [--algorithm ALGO] [--svg FILE] [--deck FILE]
-//!       [--waveforms FILE] [--trim]
+//!       [--waveforms FILE] [--trim] [--trace-out FILE] [--quiet]
 //! route --random SIZE --seed S ...
 //! route --netlist FILE [--target NS]      # whole-netlist flow
 //! route --netlist FILE --jobs N           # parallel, through the server pool
@@ -29,6 +29,7 @@ use ntr_ert::{elmore_routing_tree, steiner_elmore_routing_tree, ErtOptions};
 use ntr_eval::EvalConfig;
 use ntr_geom::{net_from_str, Net};
 use ntr_graph::{prim_mst, render_svg, RoutingGraph, SvgOptions};
+use ntr_obs::{log_info, log_warn};
 use ntr_spice::{sink_delays, SimConfig};
 use ntr_steiner::{iterated_one_steiner, SteinerOptions};
 
@@ -37,11 +38,35 @@ fn usage() -> ! {
         "usage: route (--net FILE | --random SIZE | --netlist FILE) [--seed S]\n\
          \x20             [--algorithm ALGO] [--svg FILE] [--deck FILE]\n\
          \x20             [--waveforms FILE] [--trim] [--target NS] [--jobs N]\n\
+         \x20             [--trace-out FILE] [--quiet]\n\
          algorithms: mst steiner ert sert h1 h2 h3 ldrg sldrg ert-ldrg horg\n\
          (--jobs routes a netlist in parallel; algorithms limited to\n\
-         \x20 mst h1 h2 h3 ldrg ert ert-ldrg)"
+         \x20 mst h1 h2 h3 ldrg ert ert-ldrg)\n\
+         --trace-out enables span tracing and writes a Chrome trace\n\
+         (chrome://tracing, perfetto); --quiet silences NTR_LOG output"
     );
     std::process::exit(2);
+}
+
+/// Writes the collected span tree as a Chrome trace on drop, so every
+/// exit path of `main` — including the early netlist-mode returns —
+/// produces the file the user asked for.
+struct TraceWriter(Option<String>);
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        let Some(path) = self.0.take() else { return };
+        let spans = ntr_obs::span::take_spans();
+        let dropped = ntr_obs::span::dropped_spans();
+        if dropped > 0 {
+            log_warn!("span collector overflowed; {dropped} span(s) dropped from the trace");
+        }
+        let trace = ntr_obs::chrome::chrome_trace(&spans);
+        match std::fs::write(&path, trace.to_line() + "\n") {
+            Ok(()) => log_info!("wrote {path} ({} spans)", spans.len()),
+            Err(e) => log_warn!("cannot write {path}: {e}"),
+        }
+    }
 }
 
 /// Builds the routing and, for the greedy searches, returns the
@@ -202,6 +227,8 @@ fn main() -> ExitCode {
     let mut deck_path: Option<String> = None;
     let mut trim = false;
     let mut jobs = 0usize;
+    let mut trace_out: Option<String> = None;
+    let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -229,9 +256,18 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => jobs = n,
                 _ => usage(),
             },
+            "--trace-out" => trace_out = args.next().or_else(|| usage()),
+            "--quiet" | "-q" => quiet = true,
             _ => usage(),
         }
     }
+    if quiet {
+        ntr_obs::log::set_max_level(None);
+    }
+    if trace_out.is_some() {
+        ntr_obs::span::set_enabled(true);
+    }
+    let _trace_writer = TraceWriter(trace_out);
 
     let config = EvalConfig::full();
 
@@ -362,8 +398,10 @@ fn main() -> ExitCode {
         graph.is_tree(),
     );
     if let Some(stats) = search_stats {
-        // Wall time varies run to run; keep stdout bit-identical for diffing.
-        eprintln!("search cost: {stats}");
+        // Wall time varies run to run; keep stdout bit-identical for
+        // diffing — the cost line goes to stderr via the leveled logger,
+        // so NTR_LOG=warn or --quiet silences it.
+        log_info!("search cost: {stats}");
     }
     let extracted = match extract(&graph, &tech, &ExtractOptions::default()) {
         Ok(e) => e,

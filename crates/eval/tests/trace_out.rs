@@ -1,0 +1,68 @@
+//! End-to-end checks of the `route` binary's observability flags:
+//! `--trace-out` must produce a well-formed, properly nested Chrome
+//! trace covering the search spans, and `--quiet` must silence the
+//! stderr "search cost" line without touching stdout.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use ntr_obs::chrome::validate_chrome_trace;
+use ntr_obs::Json;
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ntr-route-{}-{name}", std::process::id()));
+    p
+}
+
+fn route(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_route"))
+        .args(args)
+        .output()
+        .expect("route runs")
+}
+
+#[test]
+fn trace_out_writes_a_valid_chrome_trace() {
+    let path = tmp_path("trace.json");
+    let path_str = path.to_str().unwrap();
+    let output = route(&["--random", "8", "--seed", "7", "--trace-out", path_str]);
+    assert!(output.status.success(), "{output:?}");
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    let trace = Json::parse(&text).expect("trace file is well-formed JSON");
+    validate_chrome_trace(&trace).expect("valid, properly nested Chrome trace");
+
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "tracing was enabled, spans expected");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    // The default algorithm is LDRG over the moment oracle, so the
+    // taxonomy's search and engine spans must all appear.
+    for expected in ["ldrg", "ldrg.iteration", "sweep.score", "sparse.factor"] {
+        assert!(
+            names.contains(&expected),
+            "missing span {expected:?} in {names:?}"
+        );
+    }
+}
+
+#[test]
+fn quiet_silences_the_search_cost_line() {
+    let noisy = route(&["--random", "8", "--seed", "7"]);
+    assert!(noisy.status.success(), "{noisy:?}");
+    let stderr = String::from_utf8_lossy(&noisy.stderr);
+    assert!(stderr.contains("search cost:"), "{stderr}");
+
+    let quiet = route(&["--random", "8", "--seed", "7", "--quiet"]);
+    assert!(quiet.status.success(), "{quiet:?}");
+    assert!(quiet.stderr.is_empty(), "{:?}", quiet.stderr);
+    // stdout is the diffable report; --quiet must not change it.
+    assert_eq!(noisy.stdout, quiet.stdout);
+}

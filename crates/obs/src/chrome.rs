@@ -1,0 +1,242 @@
+//! Chrome trace-event export for recorded spans.
+//!
+//! [`chrome_trace`] converts [`SpanRecord`]s into the Trace Event
+//! Format's JSON object form: one complete event (`"ph":"X"`) per span,
+//! timestamps and durations in microseconds, one `tid` per recording
+//! thread, and the request trace id carried in `args`. The output opens
+//! directly in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)
+//! ("Open trace file").
+//!
+//! [`validate_chrome_trace`] is the matching well-formedness check used
+//! by tests against `route --trace-out` output: every event must carry
+//! the complete-event fields with sane values, and on each thread the
+//! event intervals must nest properly — an event either contains another
+//! or is disjoint from it, never partially overlapping. A small epsilon
+//! absorbs the nanosecond→microsecond rounding.
+
+use crate::json::Json;
+use crate::span::SpanRecord;
+
+/// Tolerance (µs) for interval comparisons, absorbing ns→µs rounding.
+const EPS_US: f64 = 0.005;
+
+/// Builds a Chrome trace-event JSON document from recorded spans.
+#[must_use]
+pub fn chrome_trace(spans: &[SpanRecord]) -> Json {
+    let events = spans
+        .iter()
+        .map(|s| {
+            let mut args = vec![("depth".to_owned(), Json::Num(f64::from(s.depth)))];
+            if s.trace != 0 {
+                args.push(("trace".to_owned(), Json::Num(s.trace as f64)));
+            }
+            Json::obj(vec![
+                ("name", Json::str(s.name)),
+                ("cat", Json::str("ntr")),
+                ("ph", Json::str("X")),
+                ("ts", Json::Num(s.start_ns as f64 / 1e3)),
+                ("dur", Json::Num(s.dur_ns as f64 / 1e3)),
+                ("pid", Json::Num(1.0)),
+                ("tid", Json::Num(s.thread as f64)),
+                ("args", Json::Obj(args)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ns")),
+    ])
+}
+
+/// One checked event: interval plus thread, for the nesting pass.
+struct Interval {
+    tid: u64,
+    start: f64,
+    end: f64,
+}
+
+fn check_event(event: &Json, index: usize) -> Result<Interval, String> {
+    let field = |key: &str| {
+        event
+            .get(key)
+            .ok_or_else(|| format!("event {index} missing {key:?}"))
+    };
+    let name = field("name")?
+        .as_str()
+        .ok_or_else(|| format!("event {index}: name is not a string"))?;
+    if name.is_empty() {
+        return Err(format!("event {index}: empty name"));
+    }
+    let ph = field("ph")?
+        .as_str()
+        .ok_or_else(|| format!("event {index}: ph is not a string"))?;
+    if ph != "X" {
+        return Err(format!("event {index} ({name}): ph {ph:?}, expected \"X\""));
+    }
+    let num = |key: &str| {
+        field(key)?
+            .as_f64()
+            .ok_or_else(|| format!("event {index} ({name}): {key} is not a number"))
+    };
+    let ts = num("ts")?;
+    let dur = num("dur")?;
+    let _pid = num("pid")?;
+    let tid = num("tid")?;
+    if !ts.is_finite() || ts < 0.0 {
+        return Err(format!("event {index} ({name}): bad ts {ts}"));
+    }
+    if !dur.is_finite() || dur < 0.0 {
+        return Err(format!("event {index} ({name}): bad dur {dur}"));
+    }
+    Ok(Interval {
+        tid: tid as u64,
+        start: ts,
+        end: ts + dur,
+    })
+}
+
+/// Validates a Chrome trace-event document: required complete-event
+/// fields on every entry of `traceEvents`, and proper nesting (contain
+/// or disjoint, never partial overlap) of the intervals on each thread.
+///
+/// # Errors
+/// Returns a message naming the first malformed event or overlap.
+pub fn validate_chrome_trace(trace: &Json) -> Result<(), String> {
+    let events = trace
+        .get("traceEvents")
+        .ok_or("missing traceEvents field")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    let mut intervals = Vec::with_capacity(events.len());
+    for (i, event) in events.iter().enumerate() {
+        intervals.push(check_event(event, i)?);
+    }
+    // Nesting check per thread: sweep in start order (longest first on
+    // ties) with a stack of enclosing intervals.
+    let mut tids: Vec<u64> = intervals.iter().map(|iv| iv.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let mut on_thread: Vec<&Interval> = intervals.iter().filter(|iv| iv.tid == tid).collect();
+        on_thread.sort_by(|a, b| a.start.total_cmp(&b.start).then(b.end.total_cmp(&a.end)));
+        let mut stack: Vec<&Interval> = Vec::new();
+        for iv in on_thread {
+            while stack.last().is_some_and(|top| top.end <= iv.start + EPS_US) {
+                stack.pop();
+            }
+            if let Some(top) = stack.last() {
+                if iv.end > top.end + EPS_US {
+                    return Err(format!(
+                        "tid {tid}: interval [{:.3},{:.3}] partially overlaps [{:.3},{:.3}]",
+                        iv.start, iv.end, top.start, top.end
+                    ));
+                }
+            }
+            stack.push(iv);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        name: &'static str,
+        thread: u64,
+        depth: u16,
+        start_ns: u64,
+        dur_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            name,
+            trace: 7,
+            thread,
+            depth,
+            start_ns,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn nested_spans_export_and_validate() {
+        let spans = [
+            record("inner", 1, 1, 1_500, 2_000),
+            record("outer", 1, 0, 1_000, 5_000),
+            record("other_thread", 2, 0, 0, 10_000),
+        ];
+        let trace = chrome_trace(&spans);
+        validate_chrome_trace(&trace).unwrap();
+        let events = trace.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3);
+        let inner = &events[0];
+        assert_eq!(inner.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(inner.get("ts").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(inner.get("dur").and_then(Json::as_f64), Some(2.0));
+        let args = inner.get("args").unwrap();
+        assert_eq!(args.get("trace").and_then(Json::as_f64), Some(7.0));
+    }
+
+    #[test]
+    fn disjoint_siblings_validate() {
+        let spans = [
+            record("parent", 1, 0, 0, 10_000),
+            record("first", 1, 1, 1_000, 2_000),
+            record("second", 1, 1, 5_000, 2_000),
+        ];
+        validate_chrome_trace(&chrome_trace(&spans)).unwrap();
+    }
+
+    #[test]
+    fn partial_overlap_is_rejected() {
+        let spans = [record("a", 1, 0, 0, 5_000), record("b", 1, 0, 3_000, 5_000)];
+        let err = validate_chrome_trace(&chrome_trace(&spans)).unwrap_err();
+        assert!(err.contains("partially overlaps"), "{err}");
+    }
+
+    #[test]
+    fn overlap_on_different_threads_is_fine() {
+        let spans = [record("a", 1, 0, 0, 5_000), record("b", 2, 0, 3_000, 5_000)];
+        validate_chrome_trace(&chrome_trace(&spans)).unwrap();
+    }
+
+    #[test]
+    fn malformed_events_are_rejected() {
+        let missing_ph = Json::obj(vec![(
+            "traceEvents",
+            Json::Arr(vec![Json::obj(vec![
+                ("name", Json::str("x")),
+                ("ts", Json::Num(0.0)),
+            ])]),
+        )]);
+        assert!(validate_chrome_trace(&missing_ph).is_err());
+
+        let negative_dur = Json::obj(vec![(
+            "traceEvents",
+            Json::Arr(vec![Json::obj(vec![
+                ("name", Json::str("x")),
+                ("ph", Json::str("X")),
+                ("ts", Json::Num(0.0)),
+                ("dur", Json::Num(-1.0)),
+                ("pid", Json::Num(1.0)),
+                ("tid", Json::Num(1.0)),
+            ])]),
+        )]);
+        assert!(validate_chrome_trace(&negative_dur).is_err());
+
+        assert!(validate_chrome_trace(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn live_spans_round_trip_through_the_exporter() {
+        // Serialize → parse → validate, as route --trace-out consumers do.
+        let spans = [
+            record("outer", 1, 0, 0, 9_000),
+            record("inner", 1, 1, 100, 800),
+        ];
+        let text = chrome_trace(&spans).to_line();
+        let parsed = Json::parse(&text).unwrap();
+        validate_chrome_trace(&parsed).unwrap();
+    }
+}

@@ -1,9 +1,12 @@
 //! A minimal, hand-rolled JSON value, parser, and writer.
 //!
-//! The build environment is offline (see the workspace manifest), so the
-//! serving protocol cannot lean on `serde`; this module implements the
-//! slice of JSON the protocol needs — which is all of JSON, minus any
-//! notion of schema. Design points:
+//! The build environment is offline (see the workspace manifest), so
+//! nothing here can lean on `serde`; this module implements the slice of
+//! JSON the serving protocol and the trace exporters need — which is all
+//! of JSON, minus any notion of schema. It lives in `ntr-obs` (the
+//! lowest layer) so both the server protocol and the
+//! [`chrome`](crate::chrome) exporter can build on it; `ntr-server`
+//! re-exports it unchanged. Design points:
 //!
 //! - **Documents are small** (one request/response per line), so the
 //!   recursive-descent parser holds the whole line; a depth cap keeps

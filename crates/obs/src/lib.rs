@@ -1,0 +1,65 @@
+//! `ntr-obs`: the observability layer — zero external dependencies,
+//! consistent with the workspace's offline build.
+//!
+//! The routing stack has two performance-critical layers (the incremental
+//! candidate-evaluation engine and the concurrent server) and one
+//! question that keeps coming back: *where does the time go inside a
+//! request?* This crate answers it without pulling in `tracing`,
+//! `prometheus`, or `serde`:
+//!
+//! - [`log`] — a leveled logger controlled by the `NTR_LOG` environment
+//!   variable (`off`, `error`, `warn`, `info`, `debug`, `trace`), used
+//!   through the [`log_error!`](crate::log_error) …
+//!   [`log_trace!`](crate::log_trace) macros. A disabled level costs one
+//!   `Ordering::Relaxed` atomic load.
+//! - [`span`] — span-based tracing: a thread-local span stack with
+//!   monotonic timestamps and per-request trace ids. Disabled tracing
+//!   (the default) costs one relaxed atomic load per span site.
+//! - [`metrics`] — named [`Counter`](metrics::Counter)s,
+//!   [`Gauge`](metrics::Gauge)s, and power-of-two-bucket
+//!   [`Histogram`](metrics::Histogram)s collected in a
+//!   [`MetricsRegistry`](metrics::MetricsRegistry).
+//! - [`prometheus`] — renders a registry in Prometheus text exposition
+//!   format, plus [`check_exposition`](prometheus::check_exposition), a
+//!   tiny format checker shared by unit tests and the CI smoke gate.
+//! - [`chrome`] — exports collected spans as Chrome trace-event JSON
+//!   (loadable in `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)),
+//!   plus a validator used by tests.
+//! - [`json`] — the workspace's hand-rolled JSON value/parser/printer
+//!   (rehomed from `ntr-server`, which re-exports it for compatibility).
+//!
+//! # Example
+//!
+//! ```
+//! use ntr_obs::{metrics::MetricsRegistry, span};
+//!
+//! // Metrics: register once, update from anywhere.
+//! let registry = MetricsRegistry::new();
+//! let requests = registry.counter("requests_total", "Requests handled");
+//! requests.inc();
+//! let text = ntr_obs::prometheus::render(&registry);
+//! ntr_obs::prometheus::check_exposition(&text).unwrap();
+//!
+//! // Tracing: enable, record spans, export a Chrome trace.
+//! span::set_enabled(true);
+//! {
+//!     let _request = span::span("request");
+//!     let _inner = span::span("inner_phase");
+//! }
+//! span::set_enabled(false);
+//! let spans = span::take_spans();
+//! let trace = ntr_obs::chrome::chrome_trace(&spans);
+//! ntr_obs::chrome::validate_chrome_trace(&trace).unwrap();
+//! ```
+
+pub mod chrome;
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod prometheus;
+pub mod span;
+
+pub use json::Json;
+pub use log::Level;
+pub use metrics::MetricsRegistry;
+pub use span::{span, SpanRecord};

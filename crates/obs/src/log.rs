@@ -1,0 +1,218 @@
+//! A leveled logger on stderr, controlled by the `NTR_LOG` environment
+//! variable.
+//!
+//! `NTR_LOG` accepts `off`, `error`, `warn`, `info`, `debug`, or
+//! `trace`; unset or unparsable values default to `info`. The filter is
+//! one global `AtomicU8`, so a *disabled* log site costs exactly one
+//! `Ordering::Relaxed` load — cheap enough for hot loops.
+//!
+//! Log lines carry a wall-clock timestamp (Unix seconds), the level, the
+//! emitting module, and — when the calling thread is inside a traced
+//! request — the current trace id:
+//!
+//! ```text
+//! [1754465000.123 info  ntr_server::service] routed 20-pin net trace=42
+//! ```
+//!
+//! Use the macros, not [`log()`] directly, so the level check happens at
+//! the call site:
+//!
+//! ```
+//! ntr_obs::log_info!("routed {} nets", 3);
+//! ntr_obs::log_debug!("candidate sweep took {} us", 412);
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Severity of one log event, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The operation failed.
+    Error = 1,
+    /// Something surprising that does not fail the operation.
+    Warn = 2,
+    /// High-level progress (the default filter).
+    Info = 3,
+    /// Per-request details.
+    Debug = 4,
+    /// Per-candidate / inner-loop details.
+    Trace = 5,
+}
+
+impl Level {
+    /// Fixed-width lowercase name, for aligned log lines.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn ",
+            Level::Info => "info ",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Filter value meaning "log nothing".
+const OFF: u8 = 0;
+/// Sentinel: the filter has not been initialized from `NTR_LOG` yet.
+const UNINIT: u8 = u8::MAX;
+
+static FILTER: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// Parses an `NTR_LOG` value. `None` means unparsable (caller picks the
+/// default); `Some(OFF)` disables logging entirely.
+#[must_use]
+pub fn parse_filter(s: &str) -> Option<u8> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => Some(OFF),
+        "error" => Some(Level::Error as u8),
+        "warn" | "warning" => Some(Level::Warn as u8),
+        "info" => Some(Level::Info as u8),
+        "debug" => Some(Level::Debug as u8),
+        "trace" => Some(Level::Trace as u8),
+        _ => None,
+    }
+}
+
+#[cold]
+fn init_from_env() -> u8 {
+    let level = std::env::var("NTR_LOG")
+        .ok()
+        .and_then(|v| parse_filter(&v))
+        .unwrap_or(Level::Info as u8);
+    // First writer wins, so a concurrent set_max_level is not clobbered.
+    match FILTER.compare_exchange(UNINIT, level, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => level,
+        Err(current) => current,
+    }
+}
+
+/// Is `level` currently enabled? One relaxed atomic load on the fast
+/// path; the first call reads `NTR_LOG`.
+#[inline]
+#[must_use]
+pub fn enabled(level: Level) -> bool {
+    let mut filter = FILTER.load(Ordering::Relaxed);
+    if filter == UNINIT {
+        filter = init_from_env();
+    }
+    level as u8 <= filter
+}
+
+/// Overrides the filter (e.g. `--quiet`). `None` disables logging.
+pub fn set_max_level(level: Option<Level>) {
+    FILTER.store(level.map_or(OFF, |l| l as u8), Ordering::Relaxed);
+}
+
+/// The current filter, or `None` when logging is off.
+#[must_use]
+pub fn max_level() -> Option<Level> {
+    match FILTER.load(Ordering::Relaxed) {
+        OFF => None,
+        UNINIT => Some(Level::Info),
+        1 => Some(Level::Error),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Info),
+        4 => Some(Level::Debug),
+        _ => Some(Level::Trace),
+    }
+}
+
+/// Writes one log line to stderr. Prefer the `log_*!` macros, which
+/// check [`enabled`] first and capture the calling module.
+pub fn log(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default();
+    let trace = crate::span::current_trace_id();
+    if trace == 0 {
+        eprintln!(
+            "[{}.{:03} {} {target}] {args}",
+            now.as_secs(),
+            now.subsec_millis(),
+            level.as_str(),
+        );
+    } else {
+        eprintln!(
+            "[{}.{:03} {} {target}] {args} trace={trace}",
+            now.as_secs(),
+            now.subsec_millis(),
+            level.as_str(),
+        );
+    }
+}
+
+/// Shared body of the `log_*!` macros.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __log_at {
+    ($level:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($level) {
+            $crate::log::log($level, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Error`](crate::log::Level::Error).
+#[macro_export]
+macro_rules! log_error { ($($arg:tt)*) => { $crate::__log_at!($crate::log::Level::Error, $($arg)*) } }
+
+/// Logs at [`Level::Warn`](crate::log::Level::Warn).
+#[macro_export]
+macro_rules! log_warn { ($($arg:tt)*) => { $crate::__log_at!($crate::log::Level::Warn, $($arg)*) } }
+
+/// Logs at [`Level::Info`](crate::log::Level::Info).
+#[macro_export]
+macro_rules! log_info { ($($arg:tt)*) => { $crate::__log_at!($crate::log::Level::Info, $($arg)*) } }
+
+/// Logs at [`Level::Debug`](crate::log::Level::Debug).
+#[macro_export]
+macro_rules! log_debug { ($($arg:tt)*) => { $crate::__log_at!($crate::log::Level::Debug, $($arg)*) } }
+
+/// Logs at [`Level::Trace`](crate::log::Level::Trace).
+#[macro_export]
+macro_rules! log_trace { ($($arg:tt)*) => { $crate::__log_at!($crate::log::Level::Trace, $($arg)*) } }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_values_parse() {
+        assert_eq!(parse_filter("off"), Some(OFF));
+        assert_eq!(parse_filter("ERROR"), Some(1));
+        assert_eq!(parse_filter(" warn "), Some(2));
+        assert_eq!(parse_filter("info"), Some(3));
+        assert_eq!(parse_filter("debug"), Some(4));
+        assert_eq!(parse_filter("trace"), Some(5));
+        assert_eq!(parse_filter("verbose"), None);
+    }
+
+    #[test]
+    fn set_max_level_controls_enabled() {
+        // Tests share one process-global filter; exercise it and restore.
+        let before = max_level();
+        set_max_level(Some(Level::Warn));
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_max_level(None);
+        assert!(!enabled(Level::Error));
+        assert_eq!(max_level(), None);
+        set_max_level(before);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+}

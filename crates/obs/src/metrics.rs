@@ -1,0 +1,397 @@
+//! Named counters, gauges, and power-of-two-bucket histograms,
+//! collected in a [`MetricsRegistry`].
+//!
+//! Register a metric once (registration takes a lock), then update it
+//! from any thread through the returned [`Arc`] handle — updates are
+//! single relaxed atomic operations, safe in hot paths. Registration is
+//! idempotent: asking for an existing name returns the original handle,
+//! so independent subsystems can share a metric by name.
+//!
+//! The [`Histogram`] generalizes the server's original
+//! `LatencyHistogram`: bucket `i` counts samples in `[2^i, 2^(i+1))`
+//! microseconds, so percentile answers are bucket upper bounds, within
+//! 2× of the true value — plenty for spotting queueing collapse, which
+//! moves latencies by orders of magnitude.
+//!
+//! [`prometheus::render`](crate::prometheus::render) turns a registry
+//! snapshot into text exposition format.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// A monotonically increasing count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depth, cache entries).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts 1.
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Histogram`]; the last bucket absorbs
+/// everything at or above 2^39 µs (~6.4 days).
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Power-of-two histogram: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 also takes sub-microsecond
+/// samples).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Index of the bucket that counts a `micros` sample.
+    #[must_use]
+    pub fn bucket_of(micros: u64) -> usize {
+        // 63 - leading_zeros == floor(log2), clamped into range.
+        let idx = 63 - micros.max(1).leading_zeros() as usize;
+        idx.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Exclusive upper bound (µs) of bucket `i`.
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        1u64 << (i + 1).min(63)
+    }
+
+    /// Records one duration sample.
+    pub fn record(&self, latency: Duration) {
+        self.record_micros(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one sample already expressed in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples, in microseconds.
+    #[must_use]
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the per-bucket counts.
+    #[must_use]
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Upper bound (µs) of the bucket containing the `p`-th percentile
+    /// (`p` in 0..=100), or 0 with no samples.
+    #[must_use]
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Mean sample in microseconds, or 0 with no samples.
+    #[must_use]
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Folds `other`'s samples into `self`. Equivalent to having
+    /// recorded both sample streams into one histogram (the property
+    /// tests pin this down).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add(other.sum_micros(), Ordering::Relaxed);
+    }
+
+    /// Summary snapshot (`count`, `mean_us`, `p50/p90/p99_us`) for
+    /// stats-style JSON responses.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::Num(self.count() as f64)),
+            ("mean_us", Json::Num(self.mean_micros() as f64)),
+            ("p50_us", Json::Num(self.percentile_micros(50.0) as f64)),
+            ("p90_us", Json::Num(self.percentile_micros(90.0) as f64)),
+            ("p99_us", Json::Num(self.percentile_micros(99.0) as f64)),
+        ])
+    }
+}
+
+/// The handle kinds a registry can hold.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(Arc<Counter>),
+    /// Up/down gauge.
+    Gauge(Arc<Gauge>),
+    /// Power-of-two histogram.
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registered metric, as seen by exporters.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Metric name (Prometheus-style `snake_case`, e.g.
+    /// `ntr_requests_total`).
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// The live handle.
+    pub metric: Metric,
+}
+
+/// A named collection of metrics.
+///
+/// Most code uses one registry per server instance (so tests stay
+/// isolated); [`global()`] offers a process-wide default for code with
+/// no registry at hand.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            families: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn register(&self, name: &str, help: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        if let Some(existing) = families.iter().find(|f| f.name == name) {
+            return existing.metric.clone();
+        }
+        let metric = make();
+        families.push(Family {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Registers (or retrieves) the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        match self.register(name, help, || Metric::Counter(Arc::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        match self.register(name, help, || Metric::Gauge(Arc::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        match self.register(name, help, || Metric::Histogram(Arc::default())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Snapshot of every registered family, in registration order.
+    #[must_use]
+    pub fn families(&self) -> Vec<Family> {
+        self.families
+            .lock()
+            .expect("metrics registry poisoned")
+            .clone()
+    }
+}
+
+/// The process-wide default registry.
+#[must_use]
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 39);
+    }
+
+    #[test]
+    fn percentiles_bound_the_samples() {
+        let h = Histogram::default();
+        for micros in [10u64, 20, 40, 80, 5000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 5);
+        // Rank 3 of 5 is the 40 µs sample, bucket [32,64) → upper bound 64.
+        assert_eq!(h.percentile_micros(50.0), 64);
+        // p99 falls in the bucket of 5000 µs = [4096,8192).
+        assert_eq!(h.percentile_micros(99.0), 8192);
+        assert!(h.mean_micros() >= 1000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile_micros(99.0), 0);
+        assert_eq!(h.mean_micros(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates_counts_and_sum() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record_micros(10);
+        b.record_micros(1000);
+        b.record_micros(600);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum_micros(), 1610);
+        // 600 and 1000 µs both land in the [512, 1024) bucket.
+        assert_eq!(a.bucket_counts()[Histogram::bucket_of(1000)], 2);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = MetricsRegistry::new();
+        let c1 = r.counter("requests_total", "Requests handled");
+        let c2 = r.counter("requests_total", "ignored duplicate help");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(c1.get(), 3);
+        assert_eq!(r.families().len(), 1);
+        assert_eq!(r.families()[0].help, "Requests handled");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        let _c = r.counter("depth", "");
+        let _g = r.gauge("depth", "");
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("queue_depth", "Jobs waiting");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-4);
+        assert_eq!(g.get(), -4);
+    }
+}

@@ -1,0 +1,348 @@
+//! Prometheus text exposition (format version 0.0.4): a renderer for
+//! [`MetricsRegistry`] snapshots and a small format checker.
+//!
+//! [`render`] produces the `# HELP` / `# TYPE` / sample-line layout a
+//! Prometheus scraper expects. Histogram buckets follow the cumulative
+//! convention: `name_bucket{le="X"}` counts every sample ≤ X, the
+//! `le="+Inf"` bucket equals `name_count`, and `name_sum` carries the
+//! sample total. Bucket bounds are this crate's power-of-two boundaries
+//! in microseconds; empty tail buckets are elided to keep scrapes small.
+//!
+//! [`check_exposition`] is the acceptance gate: it parses an exposition
+//! body and rejects malformed names, values, label syntax, samples
+//! without a `# TYPE`, and histograms whose cumulative buckets decrease
+//! or disagree with `_count`. It is deliberately in-crate (not a dev
+//! dependency) so the CI smoke job and the server's tests can reuse it
+//! against live `/metrics` output.
+
+use crate::metrics::{Family, Histogram, Metric, MetricsRegistry};
+
+/// Renders a registry snapshot in Prometheus text exposition format.
+#[must_use]
+pub fn render(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for family in registry.families() {
+        render_family(&mut out, &family);
+    }
+    out
+}
+
+fn render_family(out: &mut String, family: &Family) {
+    let name = &family.name;
+    if !family.help.is_empty() {
+        out.push_str(&format!("# HELP {name} {}\n", escape_help(&family.help)));
+    }
+    match &family.metric {
+        Metric::Counter(c) => {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+        }
+        Metric::Gauge(g) => {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+        }
+        Metric::Histogram(h) => render_histogram(out, name, h),
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &Histogram) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let counts = h.bucket_counts();
+    let last_used = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+    let mut cumulative = 0u64;
+    for (i, &c) in counts.iter().enumerate().take(last_used + 1) {
+        cumulative += c;
+        let le = Histogram::bucket_upper_bound(i);
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+        h.count(),
+        h.sum_micros(),
+        h.count()
+    ));
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn valid_value(value: &str) -> bool {
+    matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok()
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    le: Option<String>,
+    value: f64,
+}
+
+/// Splits `name{labels} value` / `name value`; returns the sample or an
+/// error naming the defect.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("sample line without value: {line:?}"))?;
+    if !valid_value(value) {
+        return Err(format!("unparsable sample value {value:?} in {line:?}"));
+    }
+    let (name, le) = match name_labels.split_once('{') {
+        None => (name_labels.to_owned(), None),
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set in {line:?}"))?;
+            let mut le = None;
+            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("label without '=' in {line:?}"))?;
+                if !valid_label_name(k) {
+                    return Err(format!("invalid label name {k:?} in {line:?}"));
+                }
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unquoted label value in {line:?}"))?;
+                if k == "le" {
+                    le = Some(v.to_owned());
+                }
+            }
+            (name.to_owned(), le)
+        }
+    };
+    if !valid_metric_name(&name) {
+        return Err(format!("invalid metric name {name:?} in {line:?}"));
+    }
+    Ok(Sample {
+        name,
+        le,
+        value: if value == "+Inf" {
+            f64::INFINITY
+        } else if value == "-Inf" {
+            f64::NEG_INFINITY
+        } else {
+            value.parse().unwrap_or(f64::NAN)
+        },
+    })
+}
+
+/// The histogram-series suffixes that resolve to the declared base name.
+fn base_name(sample_name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    sample_name
+}
+
+/// Validates a Prometheus text exposition body.
+///
+/// Checks performed:
+/// - every comment line is a well-formed `# HELP` / `# TYPE`, with at
+///   most one `# TYPE` per metric and a known type keyword;
+/// - every sample line parses (valid metric/label names, numeric value)
+///   and belongs to a family with a declared `# TYPE`;
+/// - histogram `_bucket` series are cumulative (non-decreasing in file
+///   order), end with `le="+Inf"`, and the `+Inf` count equals the
+///   family's `_count` sample.
+///
+/// # Errors
+/// Returns a message naming the first defect found.
+pub fn check_exposition(text: &str) -> Result<(), String> {
+    let mut types: Vec<(String, String)> = Vec::new();
+    // Per-histogram running state: (base name, last cumulative, saw +Inf, inf value)
+    let mut hist: Vec<(String, f64, bool, f64)> = Vec::new();
+    let mut counts: Vec<(String, f64)> = Vec::new();
+
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("HELP"), Some(name), _) if valid_metric_name(name) => {}
+                (Some("TYPE"), Some(name), Some(kind)) if valid_metric_name(name) => {
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("unknown metric type {kind:?} for {name}"));
+                    }
+                    if types.iter().any(|(n, _)| n == name) {
+                        return Err(format!("duplicate # TYPE for {name}"));
+                    }
+                    types.push((name.to_owned(), kind.to_owned()));
+                }
+                _ => return Err(format!("malformed comment line: {line:?}")),
+            }
+            continue;
+        }
+        let sample = parse_sample(line)?;
+        let base = base_name(&sample.name).to_owned();
+        let declared = types
+            .iter()
+            .find(|(n, _)| *n == base || *n == sample.name)
+            .map(|(_, kind)| kind.as_str());
+        let Some(kind) = declared else {
+            return Err(format!(
+                "sample {:?} has no # TYPE declaration",
+                sample.name
+            ));
+        };
+        if kind == "histogram" {
+            if sample.name.ends_with("_bucket") {
+                let le = sample
+                    .le
+                    .ok_or_else(|| format!("bucket without le label: {line:?}"))?;
+                let entry = match hist.iter_mut().find(|(n, ..)| *n == base) {
+                    Some(e) => e,
+                    None => {
+                        hist.push((base.clone(), 0.0, false, 0.0));
+                        hist.last_mut().expect("just pushed")
+                    }
+                };
+                if sample.value < entry.1 {
+                    return Err(format!(
+                        "histogram {base} buckets not cumulative: {} after {}",
+                        sample.value, entry.1
+                    ));
+                }
+                entry.1 = sample.value;
+                if le == "+Inf" {
+                    entry.2 = true;
+                    entry.3 = sample.value;
+                } else if le.parse::<f64>().is_err() {
+                    return Err(format!("unparsable le bound {le:?} in {line:?}"));
+                }
+            } else if sample.name.ends_with("_count") {
+                counts.push((base, sample.value));
+            }
+        }
+    }
+
+    for (name, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let Some((_, _, saw_inf, inf_value)) = hist.iter().find(|(n, ..)| n == name) else {
+            return Err(format!("histogram {name} has no _bucket samples"));
+        };
+        if !saw_inf {
+            return Err(format!("histogram {name} missing le=\"+Inf\" bucket"));
+        }
+        let Some((_, count)) = counts.iter().find(|(n, _)| n == name) else {
+            return Err(format!("histogram {name} missing _count sample"));
+        };
+        if (inf_value - count).abs() > f64::EPSILON * count.abs().max(1.0) {
+            return Err(format!(
+                "histogram {name}: le=\"+Inf\" bucket {inf_value} != _count {count}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        let c = r.counter("ntr_requests_total", "Requests handled");
+        c.add(7);
+        let g = r.gauge("ntr_queue_depth", "Jobs waiting in the queue");
+        g.set(3);
+        let h = r.histogram("ntr_request_latency_us", "Request latency");
+        h.record_micros(10);
+        h.record_micros(900);
+        h.record_micros(900);
+        r
+    }
+
+    #[test]
+    fn rendered_registry_passes_the_checker() {
+        let text = render(&sample_registry());
+        check_exposition(&text).unwrap();
+        assert!(text.contains("# TYPE ntr_requests_total counter"));
+        assert!(text.contains("ntr_requests_total 7"));
+        assert!(text.contains("ntr_queue_depth 3"));
+        assert!(text.contains("ntr_request_latency_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("ntr_request_latency_us_sum 1810"));
+        assert!(text.contains("ntr_request_latency_us_count 3"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let text = render(&sample_registry());
+        // 10 µs lands in [8,16) → le="16"; the two 900 µs samples land in
+        // [512,1024) → cumulative 3 at le="1024".
+        assert!(text.contains("ntr_request_latency_us_bucket{le=\"16\"} 1"));
+        assert!(text.contains("ntr_request_latency_us_bucket{le=\"1024\"} 3"));
+    }
+
+    #[test]
+    fn empty_histogram_still_renders_validly() {
+        let r = MetricsRegistry::new();
+        let _ = r.histogram("ntr_empty_us", "No samples yet");
+        check_exposition(&render(&r)).unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_undeclared_samples() {
+        let err = check_exposition("ntr_mystery_total 3\n").unwrap_err();
+        assert!(err.contains("no # TYPE"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_non_cumulative_buckets() {
+        let body = "# TYPE h histogram\n\
+                    h_bucket{le=\"2\"} 5\n\
+                    h_bucket{le=\"4\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 5\n\
+                    h_sum 9\nh_count 5\n";
+        let err = check_exposition(body).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_inf_count_mismatch() {
+        let body = "# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 5\n\
+                    h_sum 9\nh_count 4\n";
+        let err = check_exposition(body).unwrap_err();
+        assert!(err.contains("_count"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_bad_values_and_names() {
+        assert!(check_exposition("# TYPE a counter\na one\n").is_err());
+        assert!(check_exposition("# TYPE 9bad counter\n").is_err());
+        assert!(check_exposition("# TYPE a bogus_kind\n").is_err());
+        assert!(check_exposition("# TYPE a counter\n# TYPE a counter\n").is_err());
+    }
+
+    #[test]
+    fn checker_accepts_labels_and_blank_lines() {
+        let body = "# HELP a Something\n# TYPE a counter\n\na{shard=\"0\",zone=\"us\"} 12\n";
+        check_exposition(body).unwrap();
+    }
+}

@@ -1,0 +1,274 @@
+//! Span-based tracing: a thread-local span stack with monotonic
+//! timestamps and per-request trace ids.
+//!
+//! A *span* is one timed region of code, opened with [`span()`] and
+//! closed when the returned guard drops. Spans nest lexically: the
+//! thread-local depth counter records how deep each span sat on its
+//! thread's stack, and the monotonic `start`/`duration` pair makes the
+//! nesting reconstructible from timestamps alone (what the
+//! [`chrome`](crate::chrome) exporter relies on).
+//!
+//! **Cost when disabled** (the default): one `Ordering::Relaxed` atomic
+//! load per [`span()`] call — no clock read, no allocation. This is the
+//! property the `crates/bench` overhead benchmark pins down.
+//!
+//! **Trace ids** correlate spans and log lines with the request that
+//! caused them: a transport assigns one id per request
+//! ([`next_trace_id`]) and wraps the request's execution in
+//! [`with_trace_id`]; every span and log line produced on that thread
+//! while the guard lives carries the id.
+//!
+//! Records accumulate in a global collector ([`take_spans`] drains it),
+//! capped at [`MAX_RECORDED_SPANS`] so a forgotten `set_enabled(true)`
+//! cannot grow memory without bound; overflow is counted in
+//! [`dropped_spans`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Upper bound on buffered span records (~48 MB worst case).
+pub const MAX_RECORDED_SPANS: usize = 1 << 20;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static COLLECTOR: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+    static TRACE_ID: Cell<u64> = const { Cell::new(0) };
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+/// One completed span, timestamped in nanoseconds since the trace epoch
+/// (the first moment tracing was enabled in this process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (static, from the instrumentation site).
+    pub name: &'static str,
+    /// Trace id active on the thread when the span closed (0 = none).
+    pub trace: u64,
+    /// Small stable id of the recording thread.
+    pub thread: u64,
+    /// Nesting depth on the recording thread (0 = top level).
+    pub depth: u16,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Turns span collection on or off (process-global).
+pub fn set_enabled(on: bool) {
+    if on {
+        EPOCH.get_or_init(Instant::now);
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is span collection currently on?
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|id| {
+        let mut v = id.get();
+        if v == 0 {
+            v = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            id.set(v);
+        }
+        v
+    })
+}
+
+/// A fresh process-unique trace id (never 0).
+#[must_use]
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The trace id active on this thread (0 = none).
+#[must_use]
+pub fn current_trace_id() -> u64 {
+    TRACE_ID.with(Cell::get)
+}
+
+/// Marks this thread as working on trace `id` until the guard drops
+/// (the previous id is restored, so nested scopes compose).
+#[must_use]
+pub fn with_trace_id(id: u64) -> TraceGuard {
+    TraceGuard {
+        prev: TRACE_ID.with(|t| t.replace(id)),
+    }
+}
+
+/// Restores the thread's previous trace id on drop.
+#[derive(Debug)]
+pub struct TraceGuard {
+    prev: u64,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        TRACE_ID.with(|t| t.set(self.prev));
+    }
+}
+
+/// An open span; the region ends (and the record is emitted) when this
+/// guard drops. A `None` payload means tracing was disabled at open.
+#[must_use = "a span measures the region until the guard drops"]
+#[derive(Debug)]
+pub struct Span(Option<LiveSpan>);
+
+#[derive(Debug)]
+struct LiveSpan {
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+    depth: u16,
+}
+
+/// Opens a span named `name`. When tracing is disabled this is one
+/// relaxed atomic load and returns an inert guard.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return Span(None);
+    }
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    let start = Instant::now();
+    let start_ns = u64::try_from(start.duration_since(epoch).as_nanos()).unwrap_or(u64::MAX);
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v.saturating_add(1));
+        v
+    });
+    Span(Some(LiveSpan {
+        name,
+        start,
+        start_ns,
+        depth,
+    }))
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.0.take() else { return };
+        let dur_ns = u64::try_from(live.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let record = SpanRecord {
+            name: live.name,
+            trace: current_trace_id(),
+            thread: thread_id(),
+            depth: live.depth,
+            start_ns: live.start_ns,
+            dur_ns,
+        };
+        let mut collector = COLLECTOR.lock().expect("span collector poisoned");
+        if collector.len() < MAX_RECORDED_SPANS {
+            collector.push(record);
+        } else {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Drains and returns every span recorded so far.
+#[must_use]
+pub fn take_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *COLLECTOR.lock().expect("span collector poisoned"))
+}
+
+/// Spans lost to the [`MAX_RECORDED_SPANS`] cap since process start.
+#[must_use]
+pub fn dropped_spans() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The span tests toggle the process-global collector, so they run
+    /// under one lock to avoid draining each other's records.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        let before = take_spans().len();
+        {
+            let _s = span("ignored");
+        }
+        assert_eq!(take_spans().len().min(before), 0);
+    }
+
+    #[test]
+    fn nested_spans_record_depth_and_containment() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        let _drain = take_spans();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                std::hint::black_box(1 + 1);
+            }
+        }
+        set_enabled(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 2);
+        // Drop order: inner closes first.
+        let (inner, outer) = (&spans[0], &spans[1]);
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.thread, outer.thread);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+    }
+
+    #[test]
+    fn trace_ids_nest_and_restore() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        assert_eq!(current_trace_id(), 0);
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        {
+            let _ga = with_trace_id(a);
+            assert_eq!(current_trace_id(), a);
+            {
+                let _gb = with_trace_id(b);
+                assert_eq!(current_trace_id(), b);
+            }
+            assert_eq!(current_trace_id(), a);
+        }
+        assert_eq!(current_trace_id(), 0);
+    }
+
+    #[test]
+    fn spans_carry_the_active_trace_id() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        let _drain = take_spans();
+        let id = next_trace_id();
+        {
+            let _g = with_trace_id(id);
+            let _s = span("traced");
+        }
+        set_enabled(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].trace, id);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based checks of the power-of-two latency histogram: bucket
+//! boundaries, percentile ordering, and merge equivalence.
+
+use ntr_obs::metrics::{Histogram, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+/// A histogram loaded with the given samples.
+fn histogram_of(samples: &[u64]) -> Histogram {
+    let h = Histogram::default();
+    for &s in samples {
+        h.record_micros(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every sample lands in the bucket whose half-open power-of-two
+    /// range `[2^i, 2^(i+1))` contains it; the last bucket absorbs the
+    /// overflow tail, and bucket 0 takes sub-microsecond samples.
+    #[test]
+    fn bucket_boundaries_are_powers_of_two(micros in 0u64..u64::MAX) {
+        let i = Histogram::bucket_of(micros);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        if i < HISTOGRAM_BUCKETS - 1 {
+            prop_assert!(micros < Histogram::bucket_upper_bound(i),
+                "{micros} below upper bound of bucket {i}");
+        }
+        if i > 0 {
+            prop_assert!(micros >= Histogram::bucket_upper_bound(i - 1),
+                "{micros} at or above lower bound of bucket {i}");
+        }
+    }
+
+    /// Exact powers of two open a new bucket: 2^k is the first value of
+    /// bucket k, and 2^k - 1 is the last value of bucket k-1.
+    #[test]
+    fn power_of_two_samples_open_their_bucket(k in 1u32..HISTOGRAM_BUCKETS as u32 - 1) {
+        let v = 1u64 << k;
+        prop_assert_eq!(Histogram::bucket_of(v), k as usize);
+        prop_assert_eq!(Histogram::bucket_of(v - 1), k as usize - 1);
+    }
+
+    /// Percentiles never run backwards: p50 ≤ p90 ≤ p99, and every
+    /// percentile is a representable bucket upper bound.
+    #[test]
+    fn percentiles_are_monotone(samples in proptest::collection::vec(0u64..1_000_000_000, 1..200)) {
+        let h = histogram_of(&samples);
+        let (p50, p90, p99) = (
+            h.percentile_micros(50.0),
+            h.percentile_micros(90.0),
+            h.percentile_micros(99.0),
+        );
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        let is_bound = |v: u64| (0..HISTOGRAM_BUCKETS).any(|i| Histogram::bucket_upper_bound(i) == v);
+        prop_assert!(is_bound(p50) && is_bound(p90) && is_bound(p99));
+    }
+
+    /// Merging two histograms is indistinguishable from recording the
+    /// concatenated sample stream into one: same buckets, count, sum,
+    /// and therefore same percentiles.
+    #[test]
+    fn merge_equals_concatenated_samples(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+    ) {
+        let merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b));
+
+        let concatenated: Vec<u64> = a.iter().chain(&b).copied().collect();
+        let expected = histogram_of(&concatenated);
+
+        prop_assert_eq!(merged.bucket_counts(), expected.bucket_counts());
+        prop_assert_eq!(merged.count(), expected.count());
+        prop_assert_eq!(merged.sum_micros(), expected.sum_micros());
+        for p in [50.0, 90.0, 99.0] {
+            prop_assert_eq!(merged.percentile_micros(p), expected.percentile_micros(p));
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! client-side latency percentiles, and cache hit rate.
 //!
 //! ```text
-//! ntr-loadgen --stdio --smoke            # CI gate: 50 requests, no errors, cache hits
+//! ntr-loadgen --stdio --smoke            # CI gate: 50 requests, no errors, valid /metrics
 //! ntr-loadgen --stdio --bench            # 1-worker vs 4-worker throughput comparison
 //! ntr-loadgen --stdio [--nets N] [--size K] [--repeat F] [--workers N]
 //!             [--rate R] [--seed S] [--out FILE] [--serve-bin PATH]
@@ -24,6 +24,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ntr_geom::Layout;
+use ntr_obs::prometheus::check_exposition;
 use ntr_server::json::Json;
 
 fn usage() -> ! {
@@ -112,6 +113,7 @@ struct Progress {
     errors: usize,
     cached: usize,
     stats: Option<Json>,
+    metrics: Option<Json>,
     reader_done: bool,
 }
 
@@ -122,6 +124,7 @@ struct RunResult {
     wall: Duration,
     latencies_us: Vec<u64>,
     server_stats: Option<Json>,
+    metrics_body: Option<String>,
 }
 
 impl RunResult {
@@ -200,6 +203,8 @@ fn run_against_server(
                 let mut s = state.lock().expect("progress mutex poisoned");
                 if doc.get("op").and_then(Json::as_str) == Some("stats") {
                     s.stats = Some(doc);
+                } else if doc.get("op").and_then(Json::as_str) == Some("metrics") {
+                    s.metrics = Some(doc);
                 } else if doc.get("op").and_then(Json::as_str) == Some("shutdown") {
                     // ack only
                 } else {
@@ -270,11 +275,13 @@ fn run_against_server(
     }
     let wall = start.elapsed();
 
-    // Collect server-side counters, then shut down and reap.
+    // Collect server-side counters and the Prometheus exposition, then
+    // shut down and reap.
     writeln!(stdin, r#"{{"op":"stats"}}"#).map_err(|e| format!("write: {e}"))?;
+    writeln!(stdin, r#"{{"op":"metrics"}}"#).map_err(|e| format!("write: {e}"))?;
     {
         let mut s = state.lock().expect("progress mutex poisoned");
-        while s.stats.is_none() && !s.reader_done {
+        while (s.stats.is_none() || s.metrics.is_none()) && !s.reader_done {
             let (next, timeout) = changed
                 .wait_timeout(s, Duration::from_secs(5))
                 .expect("progress mutex poisoned");
@@ -300,6 +307,11 @@ fn run_against_server(
         wall,
         latencies_us: s.latencies_us.clone(),
         server_stats: s.stats.clone(),
+        metrics_body: s
+            .metrics
+            .as_ref()
+            .and_then(|m| m.get("body").and_then(Json::as_str))
+            .map(str::to_owned),
     })
 }
 
@@ -341,23 +353,50 @@ fn smoke(serve_bin: &PathBuf, seed: u64) -> i32 {
             print_summary("smoke", &r);
             if r.errors > 0 {
                 eprintln!("smoke FAILED: {} error responses", r.errors);
-                1
-            } else if r.ok != requests.len() {
-                eprintln!("smoke FAILED: {}/{} answered", r.ok, requests.len());
-                1
-            } else if r.cached == 0 {
-                eprintln!("smoke FAILED: no cache hits on a 30%-repeat workload");
-                1
-            } else {
-                println!("smoke OK");
-                0
+                return 1;
             }
+            if r.ok != requests.len() {
+                eprintln!("smoke FAILED: {}/{} answered", r.ok, requests.len());
+                return 1;
+            }
+            if r.cached == 0 {
+                eprintln!("smoke FAILED: no cache hits on a 30%-repeat workload");
+                return 1;
+            }
+            // The scrape surface is part of the gate: the exposition must
+            // pass the in-repo checker and carry the request counters.
+            let Some(body) = &r.metrics_body else {
+                eprintln!("smoke FAILED: no metrics exposition from the server");
+                return 1;
+            };
+            if let Err(e) = check_exposition(body) {
+                eprintln!("smoke FAILED: invalid Prometheus exposition: {e}");
+                return 1;
+            }
+            let expected = format!("ntr_requests_received_total {}", requests.len());
+            if !body.contains(&expected) {
+                eprintln!("smoke FAILED: exposition missing {expected:?}");
+                return 1;
+            }
+            println!("smoke OK ({} metrics bytes validated)", body.len());
+            0
         }
         Err(e) => {
             eprintln!("smoke FAILED: {e}");
             1
         }
     }
+}
+
+/// Client-side latency percentiles of one bench phase, as recorded in
+/// the `results/serve_throughput.json` artifact.
+fn latency_percentiles(r: &RunResult) -> Json {
+    Json::obj(vec![
+        ("p50", Json::Num(r.percentile_us(50.0) as f64)),
+        ("p90", Json::Num(r.percentile_us(90.0) as f64)),
+        ("p95", Json::Num(r.percentile_us(95.0) as f64)),
+        ("p99", Json::Num(r.percentile_us(99.0) as f64)),
+    ])
 }
 
 fn bench(serve_bin: &PathBuf, w: Workload, out: Option<&str>) -> i32 {
@@ -397,14 +436,8 @@ fn bench(serve_bin: &PathBuf, w: Workload, out: Option<&str>) -> i32 {
         ("speedup", Json::Num(speedup)),
         ("cache_hit_rate", Json::Num(four.cache_hit_rate())),
         ("errors", Json::Num((single.errors + four.errors) as f64)),
-        (
-            "four_worker_latency_us",
-            Json::obj(vec![
-                ("p50", Json::Num(four.percentile_us(50.0) as f64)),
-                ("p90", Json::Num(four.percentile_us(90.0) as f64)),
-                ("p99", Json::Num(four.percentile_us(99.0) as f64)),
-            ]),
-        ),
+        ("single_worker_latency_us", latency_percentiles(&single)),
+        ("four_worker_latency_us", latency_percentiles(&four)),
     ]);
     if let Some(path) = out {
         if let Some(dir) = std::path::Path::new(path).parent() {

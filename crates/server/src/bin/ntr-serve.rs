@@ -11,15 +11,20 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use ntr_obs::{log_error, log_info};
+use ntr_server::http::spawn_metrics_server;
 use ntr_server::server::{serve_stdio, serve_tcp};
 use ntr_server::service::{Service, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: ntr-serve (--stdio | --listen ADDR:PORT)\n\
-         \x20              [--workers N]  worker threads (default: one per core)\n\
-         \x20              [--queue N]    pending-request capacity (default 64)\n\
-         \x20              [--cache N]    result-cache entries (default 1024, 0 disables)"
+         \x20              [--workers N]          worker threads (default: one per core)\n\
+         \x20              [--queue N]            pending-request capacity (default 64)\n\
+         \x20              [--cache N]            result-cache entries (default 1024, 0 disables)\n\
+         \x20              [--metrics-addr A:P]   serve GET /metrics (Prometheus) on this address\n\
+         \n\
+         Logging is controlled by NTR_LOG (off|error|warn|info|debug|trace, default info)."
     );
     std::process::exit(2);
 }
@@ -27,6 +32,7 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut stdio = false;
     let mut listen: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut config = ServiceConfig::default();
 
     let mut args = std::env::args().skip(1);
@@ -34,6 +40,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--stdio" => stdio = true,
             "--listen" => listen = args.next().or_else(|| usage()),
+            "--metrics-addr" => metrics_addr = args.next().or_else(|| usage()),
             "--workers" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.workers = n,
                 None => usage(),
@@ -50,17 +57,28 @@ fn main() -> ExitCode {
         }
     }
 
+    let service = Arc::new(Service::start(&config));
+    if let Some(addr) = metrics_addr {
+        match spawn_metrics_server(addr.as_str(), Arc::clone(&service)) {
+            Ok((local, _handle)) => log_info!("serving GET /metrics on {local}"),
+            Err(e) => {
+                log_error!("cannot serve metrics on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     match (stdio, listen) {
         (true, None) => {
-            serve_stdio(Arc::new(Service::start(&config)));
+            serve_stdio(service);
             ExitCode::SUCCESS
         }
         (false, Some(addr)) => {
-            eprintln!("ntr-serve: listening on {addr}");
-            match serve_tcp(addr.as_str(), Arc::new(Service::start(&config))) {
+            log_info!("listening on {addr}");
+            match serve_tcp(addr.as_str(), service) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
-                    eprintln!("ntr-serve: cannot listen on {addr}: {e}");
+                    log_error!("cannot listen on {addr}: {e}");
                     ExitCode::FAILURE
                 }
             }

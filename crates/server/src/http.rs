@@ -1,0 +1,101 @@
+//! A minimal HTTP responder for `GET /metrics`.
+//!
+//! Prometheus scrapes over HTTP, and the JSON-lines protocol is not
+//! that; this module serves exactly the scrape surface — `GET /metrics`
+//! answers the service's Prometheus text exposition, everything else
+//! answers 404 — with connection-per-request simplicity (`Connection:
+//! close`, no keep-alive, no chunking). It is deliberately not a web
+//! framework: one request line is read, headers are skipped, one
+//! response is written.
+//!
+//! Started via `ntr-serve --metrics-addr HOST:PORT` or
+//! [`spawn_metrics_server`] (which binds first and returns the actual
+//! address, so tests can bind port 0).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ntr_obs::log_debug;
+
+use crate::service::Service;
+
+/// The content type of Prometheus text exposition format 0.0.4.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    // A failed write means the scraper went away; nothing useful to do.
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// Handles one connection: one request, one response, close.
+fn handle_connection(mut stream: TcpStream, service: &Service) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // "GET /metrics HTTP/1.1" — method and path are all we route on;
+    // remaining headers are irrelevant for a scrape and left unread.
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    match (method, path.split('?').next().unwrap_or("")) {
+        ("GET", "/metrics") => {
+            log_debug!("serving /metrics scrape");
+            respond(
+                &mut stream,
+                "200 OK",
+                METRICS_CONTENT_TYPE,
+                &service.metrics_text(),
+            );
+        }
+        ("GET", _) => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            "only /metrics is served here\n",
+        ),
+        _ => respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        ),
+    }
+}
+
+/// Binds `addr` and serves `GET /metrics` on a background thread for
+/// the life of the process. Returns the actually-bound address (bind to
+/// port 0 to let the OS pick) and the acceptor's join handle.
+///
+/// # Errors
+///
+/// Returns the bind error when the address is unavailable.
+pub fn spawn_metrics_server(
+    addr: impl ToSocketAddrs,
+    service: Arc<Service>,
+) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let handle = std::thread::Builder::new()
+        .name("ntr-metrics-http".to_owned())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                match stream {
+                    Ok(stream) => handle_connection(stream, &service),
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawning the metrics acceptor failed");
+    Ok((local, handle))
+}

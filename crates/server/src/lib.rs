@@ -63,12 +63,17 @@
 
 pub mod cache;
 pub mod engine;
-pub mod json;
+pub mod http;
 pub mod pool;
 pub mod proto;
 pub mod server;
 pub mod service;
 pub mod stats;
+
+/// The hand-rolled JSON module, rehomed to `ntr-obs` (the trace
+/// exporters build on it too); re-exported here so existing
+/// `ntr_server::json::Json` paths keep working.
+pub use ntr_obs::json;
 
 pub use json::Json;
 pub use proto::{Algorithm, ErrorCode, OracleKind, Request, RouteRequest};

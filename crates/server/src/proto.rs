@@ -1,11 +1,12 @@
 //! The JSON-lines request/response protocol.
 //!
-//! One JSON object per line in both directions. Three operations:
+//! One JSON object per line in both directions. Four operations:
 //!
 //! | request | response |
 //! |---|---|
 //! | `{"op":"route","id":1,"algorithm":"ldrg","net":{...}}` | `{"id":1,"ok":true,...}` |
 //! | `{"op":"stats"}` | `{"ok":true,"op":"stats",...}` |
+//! | `{"op":"metrics"}` | `{"ok":true,"op":"metrics","body":"<Prometheus exposition>"}` |
 //! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}` then drain & exit |
 //!
 //! Route requests carry the net either as
@@ -167,6 +168,8 @@ pub enum Request {
     Route(RouteRequest),
     /// Service-level counters snapshot.
     Stats,
+    /// Prometheus text exposition of the service's metrics registry.
+    Metrics,
     /// Graceful shutdown: drain in-flight work, then exit.
     Shutdown,
 }
@@ -220,6 +223,7 @@ pub fn parse_request(doc: &Json) -> Result<Request, String> {
         .ok_or("request needs a string \"op\" field")?;
     match op {
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "route" => {
             let algorithm = match doc.get("algorithm").and_then(Json::as_str) {
@@ -326,10 +330,14 @@ mod tests {
     }
 
     #[test]
-    fn stats_and_shutdown_parse() {
+    fn stats_metrics_and_shutdown_parse() {
         assert_eq!(
             parse_request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap(),
             Request::Stats
+        );
+        assert_eq!(
+            parse_request(&Json::parse(r#"{"op":"metrics"}"#).unwrap()).unwrap(),
+            Request::Metrics
         );
         assert_eq!(
             parse_request(&Json::parse(r#"{"op":"shutdown"}"#).unwrap()).unwrap(),

@@ -56,6 +56,18 @@ fn handle_line(service: &Arc<Service>, writer: &SharedWriter, line: &str) -> boo
             write_line(writer, &service.stats_json());
             false
         }
+        Ok(Request::Metrics) => {
+            write_line(
+                writer,
+                &Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::str("metrics")),
+                    ("content_type", Json::str(crate::http::METRICS_CONTENT_TYPE)),
+                    ("body", Json::str(service.metrics_text())),
+                ]),
+            );
+            false
+        }
         Ok(Request::Shutdown) => {
             write_line(
                 writer,

@@ -21,13 +21,13 @@
 //! request is dropped.
 
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use ntr_circuit::Technology;
 use ntr_core::CancelToken;
+use ntr_obs::{log_debug, log_warn, span};
 
 use crate::cache::LruCache;
 use crate::engine::{self, EngineError};
@@ -72,11 +72,15 @@ struct Job {
     respond: Respond,
     enqueued: Instant,
     deadline_at: Option<Instant>,
+    /// Request trace id, assigned at submission and echoed in the
+    /// response; spans and log lines emitted while the worker routes
+    /// this job carry it.
+    trace: u64,
 }
 
-/// A coalesced duplicate waiting on the primary: its own `id` plus the
-/// callback to deliver the shared result to.
-type Waiter = (Option<Json>, Respond);
+/// A coalesced duplicate waiting on the primary: its own `id` and trace
+/// id, plus the callback to deliver the shared result to.
+type Waiter = (Option<Json>, u64, Respond);
 type Inflight = Mutex<HashMap<u64, Vec<Waiter>>>;
 
 /// The running routing service. Cheap to share: transports hold it in
@@ -130,13 +134,17 @@ impl Service {
     /// possibly on another thread, possibly before this returns (cache
     /// hits and rejections answer inline).
     pub fn submit(&self, request: RouteRequest, respond: Respond) {
-        self.stats.received.fetch_add(1, Ordering::Relaxed);
+        self.stats.received.inc();
+        let trace = span::next_trace_id();
         let id = request.id.clone();
         let net = match engine::build_net(&request) {
             Ok(net) => net,
             Err(EngineError::Route(detail)) => {
-                self.stats.errors.fetch_add(1, Ordering::Relaxed);
-                respond(error_response(id.as_ref(), ErrorCode::Route, &detail));
+                self.stats.errors.inc();
+                respond(with_trace(
+                    error_response(id.as_ref(), ErrorCode::Route, &detail),
+                    trace,
+                ));
                 return;
             }
             Err(EngineError::Cancelled) => unreachable!("net construction cannot be cancelled"),
@@ -150,14 +158,15 @@ impl Service {
                 let mut response = hit.clone();
                 response.set("id", id.clone().unwrap_or(Json::Null));
                 response.set("cached", Json::Bool(true));
+                response.set("trace", Json::Num(trace as f64));
                 drop(cache);
-                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                self.stats.cache_hits.inc();
+                self.stats.completed.inc();
                 respond(response);
                 return;
             }
             drop(cache);
-            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.stats.cache_misses.inc();
         }
         // Coalesce concurrent duplicates: while an identical request is
         // in flight, later copies wait for its result instead of routing
@@ -167,8 +176,8 @@ impl Service {
             Some(key) => {
                 let mut inflight = self.inflight.lock().expect("inflight mutex poisoned");
                 if let Some(waiters) = inflight.get_mut(&key) {
-                    waiters.push((id, respond));
-                    self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                    waiters.push((id, trace, respond));
+                    self.stats.coalesced.inc();
                     return;
                 }
                 inflight.insert(key, Vec::new());
@@ -184,6 +193,7 @@ impl Service {
             coalesce_key,
             respond,
             enqueued,
+            trace,
         };
         match self.queue.try_push(job) {
             Ok(()) => {}
@@ -200,16 +210,17 @@ impl Service {
     /// coalesced onto it between registration and rejection.
     fn reject(&self, job: Job, detail: &str) {
         let waiters = take_waiters(&self.inflight, job.coalesce_key);
-        self.stats
-            .overloaded
-            .fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
-        (job.respond)(error_response(
-            job.request.id.as_ref(),
-            ErrorCode::Overloaded,
-            detail,
+        self.stats.overloaded.add(1 + waiters.len() as u64);
+        log_warn!("rejecting request: {detail}");
+        (job.respond)(with_trace(
+            error_response(job.request.id.as_ref(), ErrorCode::Overloaded, detail),
+            job.trace,
         ));
-        for (wid, wrespond) in waiters {
-            wrespond(error_response(wid.as_ref(), ErrorCode::Overloaded, detail));
+        for (wid, wtrace, wrespond) in waiters {
+            wrespond(with_trace(
+                error_response(wid.as_ref(), ErrorCode::Overloaded, detail),
+                wtrace,
+            ));
         }
     }
 
@@ -218,6 +229,14 @@ impl Service {
     pub fn stats_json(&self) -> Json {
         let cache_entries = self.cache.lock().expect("cache mutex poisoned").len();
         self.stats.to_json(self.queue.len(), cache_entries)
+    }
+
+    /// Prometheus text exposition of the service's metrics, for
+    /// `{"op":"metrics"}` and `GET /metrics`.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let cache_entries = self.cache.lock().expect("cache mutex poisoned").len();
+        self.stats.prometheus(self.queue.len(), cache_entries)
     }
 
     /// The shared counters (for tests and the load generator).
@@ -264,16 +283,24 @@ fn worker_loop(
     tech: Technology,
 ) {
     while let Some(job) = queue.pop() {
+        // Everything this worker does for the job — spans and log lines
+        // included — carries the trace id assigned at submission.
+        let _trace_guard = span::with_trace_id(job.trace);
+        let _request_span = span::span("server.request");
         let id = job.request.id.clone();
         // A request that spent its whole deadline queued answers without
         // occupying the worker for a full route. (Deadline jobs never
         // register as coalescing primaries, so no waiters to serve.)
         if job.deadline_at.is_some_and(|at| Instant::now() >= at) {
-            stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
-            (job.respond)(error_response(
-                id.as_ref(),
-                ErrorCode::Deadline,
-                "deadline expired while queued",
+            stats.deadline_expired.inc();
+            log_debug!("deadline expired while queued");
+            (job.respond)(with_trace(
+                error_response(
+                    id.as_ref(),
+                    ErrorCode::Deadline,
+                    "deadline expired while queued",
+                ),
+                job.trace,
             ));
             continue;
         }
@@ -298,39 +325,60 @@ fn worker_loop(
                 // entry or is already in this list — never neither.
                 let waiters = take_waiters(inflight, job.coalesce_key);
                 stats.record_completed(job.request.algorithm.as_str(), latency, outcome.search);
-                stats
-                    .completed
-                    .fetch_add(waiters.len() as u64, Ordering::Relaxed);
-                for (wid, wrespond) in waiters {
+                stats.completed.add(waiters.len() as u64);
+                log_debug!(
+                    "routed {} pins with {} in {} us",
+                    job.request.pins.len(),
+                    job.request.algorithm.as_str(),
+                    latency.as_micros()
+                );
+                for (wid, wtrace, wrespond) in waiters {
                     let mut shared = outcome.body.clone();
                     shared.set("id", wid.unwrap_or(Json::Null));
                     shared.set("cached", Json::Bool(true));
+                    shared.set("trace", Json::Num(wtrace as f64));
                     wrespond(shared);
                 }
                 let mut response = outcome.body;
                 response.set("id", id.unwrap_or(Json::Null));
                 response.set("cached", Json::Bool(false));
                 response.set("micros", Json::Num(latency.as_micros() as f64));
+                response.set("trace", Json::Num(job.trace as f64));
                 (job.respond)(response);
             }
             Err(EngineError::Cancelled) => {
-                stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
-                (job.respond)(error_response(
-                    id.as_ref(),
-                    ErrorCode::Deadline,
-                    "deadline expired during routing",
+                stats.deadline_expired.inc();
+                log_debug!("deadline expired during routing");
+                (job.respond)(with_trace(
+                    error_response(
+                        id.as_ref(),
+                        ErrorCode::Deadline,
+                        "deadline expired during routing",
+                    ),
+                    job.trace,
                 ));
             }
             Err(EngineError::Route(detail)) => {
                 let waiters = take_waiters(inflight, job.coalesce_key);
-                stats
-                    .errors
-                    .fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
-                for (wid, wrespond) in waiters {
-                    wrespond(error_response(wid.as_ref(), ErrorCode::Route, &detail));
+                stats.errors.add(1 + waiters.len() as u64);
+                log_warn!("route failed: {detail}");
+                for (wid, wtrace, wrespond) in waiters {
+                    wrespond(with_trace(
+                        error_response(wid.as_ref(), ErrorCode::Route, &detail),
+                        wtrace,
+                    ));
                 }
-                (job.respond)(error_response(id.as_ref(), ErrorCode::Route, &detail));
+                (job.respond)(with_trace(
+                    error_response(id.as_ref(), ErrorCode::Route, &detail),
+                    job.trace,
+                ));
             }
         }
     }
+}
+
+/// Stamps the request's trace id onto a response object.
+fn with_trace(mut response: Json, trace: u64) -> Json {
+    response.set("trace", Json::Num(trace as f64));
+    response
 }

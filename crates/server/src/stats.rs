@@ -1,130 +1,125 @@
 //! Service-level counters: request outcomes, per-algorithm tallies,
 //! latency histograms, and merged search-cost counters.
 //!
-//! Everything here is updated from worker threads and the submission
-//! path concurrently, so the hot counters are atomics and the two cold
-//! aggregates (per-algorithm map, merged [`OracleStats`]) sit behind
-//! mutexes taken once per completed request.
+//! Every hot counter is a handle into the service's own
+//! [`MetricsRegistry`] (one registry per [`Service`](crate::Service)
+//! instance, so embedded services and tests stay isolated), which makes
+//! the same numbers available three ways: the `{"op":"stats"}` JSON
+//! snapshot, the `{"op":"metrics"}` / `GET /metrics` Prometheus
+//! exposition, and direct reads in tests. Updates are single relaxed
+//! atomic operations, safe from worker threads and the submission path
+//! concurrently. The two cold aggregates (per-algorithm map, merged
+//! [`OracleStats`]) sit behind mutexes taken once per completed request.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use ntr_core::OracleStats;
+use ntr_obs::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::json::Json;
 
-/// Power-of-two latency histogram: bucket `i` counts samples in
-/// `[2^i, 2^(i+1))` microseconds (bucket 0 also takes sub-microsecond
-/// samples).
-///
-/// Percentiles are answered with the upper bound of the bucket the
-/// rank falls in, so a reported p99 is within 2× of the true value —
-/// plenty for spotting queueing collapse, which moves latencies by
-/// orders of magnitude.
+/// The latency histogram type (power-of-two buckets, rehomed to
+/// [`ntr_obs::metrics::Histogram`]); the old name stays for callers.
+pub type LatencyHistogram = Histogram;
+
+/// Git revision baked in at build time (absent in plain builds).
+const GIT_HASH: Option<&str> = option_env!("NTR_GIT_HASH");
+
+/// The crate version, for deploy identification in scrapes.
+#[must_use]
+pub fn build_version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+/// The baked-in git hash, or `"unknown"`.
+#[must_use]
+pub fn build_git_hash() -> &'static str {
+    GIT_HASH.unwrap_or("unknown")
+}
+
+/// All counters surfaced by `{"op":"stats"}` and `/metrics`.
 #[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; 40],
-    count: AtomicU64,
-    sum_micros: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_micros: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    fn bucket_of(micros: u64) -> usize {
-        // 63 - leading_zeros == floor(log2), clamped into range.
-        let idx = 63 - micros.max(1).leading_zeros() as usize;
-        idx.min(39)
-    }
-
-    /// Records one sample.
-    pub fn record(&self, latency: Duration) {
-        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Upper bound (µs) of the bucket containing the `p`-th percentile
-    /// (`p` in 0..=100), or 0 with no samples.
-    #[must_use]
-    pub fn percentile_micros(&self, p: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << (i + 1);
-            }
-        }
-        1u64 << 40
-    }
-
-    /// Mean latency in microseconds, or 0 with no samples.
-    #[must_use]
-    pub fn mean_micros(&self) -> u64 {
-        self.sum_micros
-            .load(Ordering::Relaxed)
-            .checked_div(self.count())
-            .unwrap_or(0)
-    }
-
-    fn to_json(&self) -> Json {
-        Json::obj(vec![
-            ("count", Json::Num(self.count() as f64)),
-            ("mean_us", Json::Num(self.mean_micros() as f64)),
-            ("p50_us", Json::Num(self.percentile_micros(50.0) as f64)),
-            ("p90_us", Json::Num(self.percentile_micros(90.0) as f64)),
-            ("p99_us", Json::Num(self.percentile_micros(99.0) as f64)),
-        ])
-    }
-}
-
-/// All counters surfaced by the `{"op":"stats"}` request.
-#[derive(Debug, Default)]
 pub struct ServiceStats {
+    registry: MetricsRegistry,
+    started: Instant,
     /// Route requests accepted off the wire.
-    pub received: AtomicU64,
+    pub received: Arc<Counter>,
     /// Route requests answered successfully (cached or routed).
-    pub completed: AtomicU64,
+    pub completed: Arc<Counter>,
     /// Route requests answered with a `route` error.
-    pub errors: AtomicU64,
+    pub errors: Arc<Counter>,
     /// Requests rejected with `overloaded` (queue full).
-    pub overloaded: AtomicU64,
+    pub overloaded: Arc<Counter>,
     /// Requests answered with `deadline`.
-    pub deadline_expired: AtomicU64,
+    pub deadline_expired: Arc<Counter>,
     /// Responses served from the result cache.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Arc<Counter>,
     /// Cache-eligible requests that missed.
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Arc<Counter>,
     /// Duplicate requests that attached to an identical in-flight route
     /// instead of routing again.
-    pub coalesced: AtomicU64,
+    pub coalesced: Arc<Counter>,
+    /// Jobs currently waiting in the bounded queue (refreshed at
+    /// snapshot time from the queue itself).
+    pub queue_depth: Arc<Gauge>,
+    /// Entries currently held by the result cache (refreshed at
+    /// snapshot time).
+    pub cache_entries: Arc<Gauge>,
     /// End-to-end latency of successful non-cached routes (enqueue to
     /// response).
-    pub latency: LatencyHistogram,
+    pub latency: Arc<Histogram>,
     per_algorithm: Mutex<BTreeMap<&'static str, u64>>,
     oracle: Mutex<OracleStats>,
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        let registry = MetricsRegistry::new();
+        let counter = |name, help| registry.counter(name, help);
+        Self {
+            received: counter("ntr_requests_received_total", "Route requests accepted"),
+            completed: counter(
+                "ntr_requests_completed_total",
+                "Route requests answered successfully",
+            ),
+            errors: counter(
+                "ntr_request_errors_total",
+                "Route requests answered with a route error",
+            ),
+            overloaded: counter(
+                "ntr_requests_overloaded_total",
+                "Requests rejected because the queue was full",
+            ),
+            deadline_expired: counter(
+                "ntr_deadline_expired_total",
+                "Requests whose deadline expired before completion",
+            ),
+            cache_hits: counter(
+                "ntr_cache_hits_total",
+                "Responses served from the result cache",
+            ),
+            cache_misses: counter(
+                "ntr_cache_misses_total",
+                "Cache-eligible requests that missed",
+            ),
+            coalesced: counter(
+                "ntr_requests_coalesced_total",
+                "Duplicates attached to an identical in-flight route",
+            ),
+            queue_depth: registry.gauge("ntr_queue_depth", "Jobs waiting in the bounded queue"),
+            cache_entries: registry.gauge("ntr_cache_entries", "Entries in the result cache"),
+            latency: registry.histogram(
+                "ntr_request_latency_us",
+                "End-to-end latency of non-cached routes, microseconds",
+            ),
+            started: Instant::now(),
+            registry,
+            per_algorithm: Mutex::new(BTreeMap::new()),
+            oracle: Mutex::new(OracleStats::default()),
+        }
+    }
 }
 
 impl ServiceStats {
@@ -135,7 +130,7 @@ impl ServiceStats {
         latency: Duration,
         search: OracleStats,
     ) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed.inc();
         self.latency.record(latency);
         *self
             .per_algorithm
@@ -153,12 +148,28 @@ impl ServiceStats {
         *self.oracle.lock().expect("stats mutex poisoned")
     }
 
+    /// Seconds since this service started.
+    #[must_use]
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Prometheus text exposition of the registry. `queue_depth` and
+    /// `cache_entries` come from the service, which owns those
+    /// structures; the gauges are refreshed before rendering.
+    #[must_use]
+    pub fn prometheus(&self, queue_depth: usize, cache_entries: usize) -> String {
+        self.queue_depth.set(queue_depth as i64);
+        self.cache_entries.set(cache_entries as i64);
+        ntr_obs::prometheus::render(&self.registry)
+    }
+
     /// Snapshot as the body of a stats response. `queue_depth` and
     /// `cache_entries` come from the service, which owns those
     /// structures.
     #[must_use]
     pub fn to_json(&self, queue_depth: usize, cache_entries: usize) -> Json {
-        let load = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
+        let load = |c: &Counter| Json::Num(c.get() as f64);
         let per_algorithm = Json::Obj(
             self.per_algorithm
                 .lock()
@@ -171,6 +182,9 @@ impl ServiceStats {
         Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("op", Json::str("stats")),
+            ("uptime_seconds", Json::Num(self.uptime_seconds())),
+            ("version", Json::str(build_version())),
+            ("git_hash", Json::str(build_git_hash())),
             ("received", load(&self.received)),
             ("completed", load(&self.completed)),
             ("errors", load(&self.errors)),
@@ -199,42 +213,12 @@ impl ServiceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_buckets_are_log2() {
-        assert_eq!(LatencyHistogram::bucket_of(0), 0);
-        assert_eq!(LatencyHistogram::bucket_of(1), 0);
-        assert_eq!(LatencyHistogram::bucket_of(2), 1);
-        assert_eq!(LatencyHistogram::bucket_of(3), 1);
-        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
-        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 39);
-    }
-
-    #[test]
-    fn percentiles_bound_the_samples() {
-        let h = LatencyHistogram::default();
-        for micros in [10u64, 20, 40, 80, 5000] {
-            h.record(Duration::from_micros(micros));
-        }
-        assert_eq!(h.count(), 5);
-        // Rank 3 of 5 is the 40 µs sample, bucket [32,64) → upper bound 64.
-        assert_eq!(h.percentile_micros(50.0), 64);
-        // p99 falls in the bucket of 5000 µs = [4096,8192).
-        assert_eq!(h.percentile_micros(99.0), 8192);
-        assert!(h.mean_micros() >= 1000);
-    }
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.percentile_micros(99.0), 0);
-        assert_eq!(h.mean_micros(), 0);
-    }
+    use ntr_obs::prometheus::check_exposition;
 
     #[test]
     fn stats_json_shape() {
         let s = ServiceStats::default();
-        s.received.fetch_add(3, Ordering::Relaxed);
+        s.received.add(3);
         s.record_completed("ldrg", Duration::from_micros(100), OracleStats::default());
         let j = s.to_json(2, 1);
         assert_eq!(j.get("received").and_then(Json::as_f64), Some(3.0));
@@ -243,5 +227,32 @@ mod tests {
         let per = j.get("per_algorithm").unwrap();
         assert_eq!(per.get("ldrg").and_then(Json::as_f64), Some(1.0));
         assert!(j.get("latency").unwrap().get("p50_us").is_some());
+        assert!(j.get("uptime_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert_eq!(
+            j.get("version").and_then(Json::as_str),
+            Some(build_version())
+        );
+        assert!(j.get("git_hash").and_then(Json::as_str).is_some());
+    }
+
+    #[test]
+    fn prometheus_snapshot_is_valid_and_carries_the_gauges() {
+        let s = ServiceStats::default();
+        s.received.add(5);
+        s.record_completed("ldrg", Duration::from_micros(700), OracleStats::default());
+        let text = s.prometheus(4, 9);
+        check_exposition(&text).unwrap();
+        assert!(text.contains("ntr_requests_received_total 5"));
+        assert!(text.contains("ntr_queue_depth 4"));
+        assert!(text.contains("ntr_cache_entries 9"));
+        assert!(text.contains("ntr_request_latency_us_count 1"));
+    }
+
+    #[test]
+    fn two_services_do_not_share_counters() {
+        let a = ServiceStats::default();
+        let b = ServiceStats::default();
+        a.received.add(7);
+        assert_eq!(b.received.get(), 0);
     }
 }

@@ -1,0 +1,124 @@
+//! Metrics and tracing integration: the in-process `GET /metrics` HTTP
+//! responder, the `{"op":"metrics"}` protocol op, and trace ids in
+//! responses — each validated with the in-repo exposition checker.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use ntr_geom::Point;
+use ntr_obs::prometheus::check_exposition;
+use ntr_server::http::{spawn_metrics_server, METRICS_CONTENT_TYPE};
+use ntr_server::proto::RouteRequest;
+use ntr_server::service::{Service, ServiceConfig};
+use ntr_server::Json;
+
+fn route_once(service: &Service) -> Json {
+    let (tx, rx) = mpsc::channel();
+    service.submit(
+        RouteRequest {
+            id: Some(Json::Num(1.0)),
+            algorithm: ntr_server::Algorithm::Ldrg,
+            oracle: ntr_server::OracleKind::Moment,
+            pins: vec![
+                Point::new(0.0, 0.0),
+                Point::new(3000.0, 0.0),
+                Point::new(0.0, 4000.0),
+            ],
+            deadline: None,
+            max_added_edges: 0,
+            use_cache: true,
+        },
+        Box::new(move |response| tx.send(response).unwrap()),
+    );
+    rx.recv_timeout(Duration::from_secs(60))
+        .expect("a response")
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    (head.to_owned(), body.to_owned())
+}
+
+#[test]
+fn http_metrics_scrape_is_valid_exposition() {
+    let service = Arc::new(Service::start(&ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    }));
+    let (addr, _handle) =
+        spawn_metrics_server("127.0.0.1:0", Arc::clone(&service)).expect("bind port 0");
+
+    let response = route_once(&service);
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response}");
+    let trace = response.get("trace").and_then(Json::as_f64).unwrap();
+    assert!(trace >= 1.0, "trace id assigned at submission: {response}");
+
+    let (head, body) = http_get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains(METRICS_CONTENT_TYPE), "{head}");
+    check_exposition(&body).unwrap();
+    assert!(body.contains("ntr_requests_received_total 1"), "{body}");
+    assert!(body.contains("ntr_requests_completed_total 1"), "{body}");
+    assert!(body.contains("# TYPE ntr_queue_depth gauge"), "{body}");
+    assert!(body.contains("ntr_request_latency_us_count 1"), "{body}");
+
+    // Anything else 404s; only GET is allowed.
+    let (head, _) = http_get(addr, "/");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    service.shutdown();
+}
+
+#[test]
+fn distinct_requests_get_distinct_trace_ids() {
+    let service = Service::start(&ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let a = route_once(&service);
+    let b = route_once(&service); // cache hit — still gets its own trace
+    assert_eq!(b.get("cached"), Some(&Json::Bool(true)), "{b}");
+    let ta = a.get("trace").and_then(Json::as_f64).unwrap();
+    let tb = b.get("trace").and_then(Json::as_f64).unwrap();
+    assert_ne!(ta, tb);
+    service.shutdown();
+}
+
+#[test]
+fn metrics_op_over_stdio_returns_valid_exposition() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ntr-serve"))
+        .args(["--stdio", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("ntr-serve spawns");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let mut ask = |line: &str| -> Json {
+        writeln!(stdin, "{line}").unwrap();
+        let reply = lines.next().expect("a response line").unwrap();
+        Json::parse(&reply).unwrap_or_else(|e| panic!("bad response {reply:?}: {e}"))
+    };
+
+    let routed = ask(r#"{"op":"route","id":1,"pins":[[0,0],[2500,1500]]}"#);
+    assert_eq!(routed.get("ok"), Some(&Json::Bool(true)), "{routed}");
+
+    let metrics = ask(r#"{"op":"metrics"}"#);
+    assert_eq!(metrics.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(metrics.get("op").and_then(Json::as_str), Some("metrics"));
+    let body = metrics.get("body").and_then(Json::as_str).unwrap();
+    check_exposition(body).unwrap();
+    assert!(body.contains("ntr_requests_received_total 1"), "{body}");
+
+    let bye = ask(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("op").and_then(Json::as_str), Some("shutdown"));
+    drop(stdin);
+    assert!(child.wait().unwrap().success());
+}

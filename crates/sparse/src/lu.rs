@@ -69,6 +69,7 @@ impl SparseLu {
     /// Returns [`SolveError::NotSquare`] for non-square input and
     /// [`SolveError::Singular`] when no nonzero pivot exists at some step.
     pub fn factor(a: &CscMatrix, ordering: Ordering) -> Result<Self, SolveError> {
+        let _span = ntr_obs::span("sparse.factor");
         if a.rows() != a.cols() {
             return Err(SolveError::NotSquare {
                 rows: a.rows(),
@@ -305,6 +306,7 @@ impl SparseLu {
     /// # }
     /// ```
     pub fn refactor_with_same_pattern(&self, a: &CscMatrix) -> Result<SparseLu, SolveError> {
+        let _span = ntr_obs::span("sparse.refactor");
         if a.rows() != a.cols() {
             return Err(SolveError::NotSquare {
                 rows: a.rows(),

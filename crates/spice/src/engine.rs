@@ -102,6 +102,7 @@ impl MomentEngine {
     /// Returns [`SimError::EmptyCircuit`] for a ground-only circuit and
     /// [`SimError::Solve`] when the static system is singular.
     pub fn new(circuit: &Circuit, order: usize) -> Result<Self, SimError> {
+        let _span = ntr_obs::span("moment.prepare");
         let mna = Mna::build(circuit)?;
         let lu = SparseLu::factor(mna.a_static(), Ordering::MinDegree)?;
         let n = mna.unknowns();
@@ -186,6 +187,7 @@ impl MomentEngine {
         wire: &CandidateWire,
         probes: &[usize],
     ) -> Result<Vec<ProbeMoments>, SimError> {
+        let _span = ntr_obs::span("moment.rank1");
         let ia = self
             .mna
             .voltage_index(wire.node_a)?
@@ -269,6 +271,7 @@ impl MomentEngine {
     /// should fall back to [`Moments::compute`]), and the usual solve
     /// errors otherwise.
     pub fn moments_with_same_pattern(&self, circuit: &Circuit) -> Result<Moments, SimError> {
+        let _span = ntr_obs::span("moment.refactor");
         let mna = Mna::build(circuit)?;
         let n = mna.unknowns();
         if n != self.mna.unknowns() {
