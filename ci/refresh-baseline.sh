@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates the committed bench baseline in ci/bench-baseline/.
+#
+# Run this from the repo root on the reference machine after an
+# intentional performance change (or when the gate drifts out of step
+# with the hardware), then commit the refreshed BENCH_*.json files
+# together with the change that moved the numbers.
+#
+# The baseline uses full iteration budgets (no --quick) so its medians
+# and bootstrap CIs are as tight as the harness produces; the CI gate
+# then compares its --quick run against these. Keep the machine
+# otherwise idle while this runs — the whole point of the baseline is
+# to capture an uncontended measurement.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p ntr-bench
+./target/release/ntr-bench --out-dir ci/bench-baseline --no-trajectory
+echo
+echo "baseline refreshed; review and commit ci/bench-baseline/BENCH_*.json"

@@ -1,0 +1,299 @@
+//! Benchmark artifact I/O: the `BENCH_<workload>.json` files at the
+//! repo root and the append-only `results/bench_trajectory.json`.
+//!
+//! One artifact per workload per run keeps the files diffable and lets
+//! the regression gate compare directories file-by-file; the trajectory
+//! file accumulates a git-hash-stamped row per run so the perf history
+//! of the repo is machine-readable without archaeology through CI logs.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::stats::Summary;
+use ntr_obs::Json;
+
+/// Schema tag written into every per-workload artifact.
+pub const ARTIFACT_SCHEMA: &str = "ntr-bench-v1";
+/// Schema tag of the trajectory file.
+pub const TRAJECTORY_SCHEMA: &str = "ntr-bench-trajectory-v1";
+
+/// The fields the regression gate reads back out of an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Workload name (registry key).
+    pub workload: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Median absolute deviation.
+    pub mad_ns: f64,
+    /// Bootstrap 95% CI of the median.
+    pub ci95_ns: Option<(f64, f64)>,
+    /// Commit the run was stamped with (`unknown` outside a checkout).
+    pub git_hash: String,
+}
+
+/// Short commit hash of `repo_root`'s checkout, read straight from
+/// `.git` (no subprocess), or `"unknown"`.
+#[must_use]
+pub fn git_hash(repo_root: &Path) -> String {
+    let head = match fs::read_to_string(repo_root.join(".git/HEAD")) {
+        Ok(h) => h,
+        Err(_) => return "unknown".to_owned(),
+    };
+    let head = head.trim();
+    let full = match head.strip_prefix("ref: ") {
+        Some(reference) => match fs::read_to_string(repo_root.join(".git").join(reference)) {
+            Ok(h) => h.trim().to_owned(),
+            Err(_) => return "unknown".to_owned(),
+        },
+        None => head.to_owned(),
+    };
+    if full.len() < 7 || !full.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return "unknown".to_owned();
+    }
+    full[..12.min(full.len())].to_owned()
+}
+
+/// Renders one workload's summary as its artifact JSON.
+#[must_use]
+pub fn artifact_json(
+    workload: &str,
+    summary: &Summary,
+    warmup: usize,
+    quick: bool,
+    git: &str,
+) -> Json {
+    Json::obj(vec![
+        ("schema", Json::str(ARTIFACT_SCHEMA)),
+        ("workload", Json::str(workload)),
+        ("unit", Json::str("ns")),
+        ("quick", Json::Bool(quick)),
+        ("iters", Json::Num(summary.iters as f64)),
+        ("warmup", Json::Num(warmup as f64)),
+        ("median_ns", Json::Num(summary.median_ns)),
+        ("mad_ns", Json::Num(summary.mad_ns)),
+        ("ci95_lo_ns", Json::Num(summary.ci95_lo_ns)),
+        ("ci95_hi_ns", Json::Num(summary.ci95_hi_ns)),
+        ("mean_ns", Json::Num(summary.mean_ns)),
+        ("min_ns", Json::Num(summary.min_ns)),
+        ("max_ns", Json::Num(summary.max_ns)),
+        ("git_hash", Json::str(git)),
+    ])
+}
+
+/// Writes `BENCH_<workload>.json` into `out_dir`, returning the path.
+pub fn write_artifact(
+    out_dir: &Path,
+    workload: &str,
+    summary: &Summary,
+    warmup: usize,
+    quick: bool,
+    git: &str,
+) -> io::Result<PathBuf> {
+    let path = out_dir.join(format!("BENCH_{workload}.json"));
+    let json = artifact_json(workload, summary, warmup, quick, git);
+    fs::write(&path, json.to_line() + "\n")?;
+    Ok(path)
+}
+
+/// Parses an artifact file's contents back into the gate's view of it.
+pub fn parse_artifact(text: &str) -> Result<Artifact, String> {
+    let json = Json::parse(text).map_err(|e| e.to_string())?;
+    let num = |k: &str| {
+        json.get(k)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("artifact missing numeric {k:?}"))
+    };
+    let workload = json
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or("artifact missing \"workload\"")?
+        .to_owned();
+    let ci95_ns = match (
+        json.get("ci95_lo_ns").and_then(Json::as_f64),
+        json.get("ci95_hi_ns").and_then(Json::as_f64),
+    ) {
+        (Some(lo), Some(hi)) => Some((lo, hi)),
+        _ => None,
+    };
+    Ok(Artifact {
+        workload,
+        median_ns: num("median_ns")?,
+        mad_ns: num("mad_ns")?,
+        ci95_ns,
+        git_hash: json
+            .get("git_hash")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_owned(),
+    })
+}
+
+/// Every `BENCH_*.json` in `dir`, sorted by workload name. Unreadable or
+/// malformed files are an error — a half-written baseline should fail
+/// loudly, not silently shrink the comparison.
+pub fn load_dir(dir: &Path) -> Result<Vec<Artifact>, String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut artifacts = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let text = fs::read_to_string(entry.path())
+            .map_err(|e| format!("cannot read {}: {e}", entry.path().display()))?;
+        let artifact =
+            parse_artifact(&text).map_err(|e| format!("{}: {e}", entry.path().display()))?;
+        artifacts.push(artifact);
+    }
+    artifacts.sort_by(|a, b| a.workload.cmp(&b.workload));
+    Ok(artifacts)
+}
+
+/// Appends one run's row to the trajectory file, creating it (and its
+/// parent directory) on first use. Existing rows are preserved
+/// verbatim; a corrupt file is an error rather than silently replaced.
+pub fn append_trajectory(
+    path: &Path,
+    git: &str,
+    quick: bool,
+    results: &[(String, Summary)],
+) -> Result<(), String> {
+    let mut runs = match fs::read_to_string(path) {
+        Ok(text) => {
+            let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            match json.get("runs").and_then(Json::as_arr) {
+                Some(rows) => rows.to_vec(),
+                None => return Err(format!("{}: missing \"runs\" array", path.display())),
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+
+    let workloads = Json::Obj(
+        results
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        ("median_ns", Json::Num(s.median_ns)),
+                        ("mad_ns", Json::Num(s.mad_ns)),
+                        ("ci95_lo_ns", Json::Num(s.ci95_lo_ns)),
+                        ("ci95_hi_ns", Json::Num(s.ci95_hi_ns)),
+                        ("iters", Json::Num(s.iters as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    runs.push(Json::obj(vec![
+        ("git_hash", Json::str(git)),
+        ("quick", Json::Bool(quick)),
+        ("workloads", workloads),
+    ]));
+
+    let out = Json::obj(vec![
+        ("schema", Json::str(TRAJECTORY_SCHEMA)),
+        ("runs", Json::Arr(runs)),
+    ]);
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    fs::write(path, out.to_line() + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(median: f64) -> Summary {
+        Summary {
+            median_ns: median,
+            mad_ns: 1.0,
+            ci95_lo_ns: median - 2.0,
+            ci95_hi_ns: median + 2.0,
+            mean_ns: median,
+            min_ns: median - 3.0,
+            max_ns: median + 3.0,
+            iters: 10,
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let json = artifact_json("sweep_score", &summary(1234.5), 3, false, "abc123def456");
+        let parsed = parse_artifact(&json.to_line()).expect("parses");
+        assert_eq!(parsed.workload, "sweep_score");
+        assert_eq!(parsed.median_ns, 1234.5);
+        assert_eq!(parsed.ci95_ns, Some((1232.5, 1236.5)));
+        assert_eq!(parsed.git_hash, "abc123def456");
+    }
+
+    #[test]
+    fn write_then_load_dir_finds_only_bench_files() {
+        let dir = std::env::temp_dir().join(format!("ntr_bench_art_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        write_artifact(&dir, "b_work", &summary(10.0), 1, true, "cafe").unwrap();
+        write_artifact(&dir, "a_work", &summary(20.0), 1, true, "cafe").unwrap();
+        fs::write(dir.join("unrelated.json"), "{}").unwrap();
+        let loaded = load_dir(&dir).expect("loads");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].workload, "a_work", "sorted by name");
+        assert_eq!(loaded[1].workload, "b_work");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trajectory_appends_rows() {
+        let dir = std::env::temp_dir().join(format!("ntr_bench_traj_{}", std::process::id()));
+        let path = dir.join("results/bench_trajectory.json");
+        fs::remove_file(&path).ok();
+        let row = vec![("sweep_score".to_owned(), summary(100.0))];
+        append_trajectory(&path, "aaa", true, &row).expect("first append");
+        append_trajectory(&path, "bbb", false, &row).expect("second append");
+        let json = Json::parse(&fs::read_to_string(&path).unwrap()).expect("valid json");
+        let runs = json.get("runs").and_then(Json::as_arr).expect("runs array");
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].get("git_hash").and_then(Json::as_str), Some("aaa"));
+        assert_eq!(runs[1].get("quick").and_then(Json::as_bool), Some(false));
+        let w = runs[1].get("workloads").and_then(|w| w.get("sweep_score"));
+        assert_eq!(
+            w.and_then(|w| w.get("median_ns")).and_then(Json::as_f64),
+            Some(100.0)
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_trajectory_is_an_error_not_a_reset() {
+        let dir = std::env::temp_dir().join(format!("ntr_bench_corrupt_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_trajectory.json");
+        fs::write(&path, "not json").unwrap();
+        let row = vec![("x".to_owned(), summary(1.0))];
+        assert!(append_trajectory(&path, "aaa", true, &row).is_err());
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            "not json",
+            "file untouched"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn git_hash_reads_the_checkout_or_says_unknown() {
+        let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let hash = git_hash(&repo_root);
+        // In the repo checkout this is a real abbreviated hash; in an
+        // exported tarball it degrades to "unknown". Both are valid.
+        assert!(hash == "unknown" || hash.len() == 12, "{hash:?}");
+        assert_eq!(git_hash(Path::new("/nonexistent")), "unknown");
+    }
+}

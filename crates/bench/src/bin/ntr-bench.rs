@@ -1,0 +1,279 @@
+//! `ntr-bench`: the workload runner and regression gate of the
+//! performance observatory.
+//!
+//! ```text
+//! ntr-bench [--quick] [--workload NAME]... [--out-dir DIR]
+//!           [--baseline DIR] [--threshold PCT] [--gate] [--report]
+//!           [--retries N] [--compare-only] [--no-trajectory]
+//!           [--profile FILE] [--list]
+//! ```
+//!
+//! A run executes every registered workload (or the `--workload`
+//! selection), writes one `BENCH_<workload>.json` per workload into
+//! `--out-dir` (default `.`, i.e. the repo root when run from there),
+//! and appends a git-hash-stamped row to
+//! `<out-dir>/results/bench_trajectory.json`.
+//!
+//! With `--baseline DIR` the fresh artifacts are compared against the
+//! committed baseline set; `--gate` turns any regression (median shift
+//! beyond `--threshold` percent *and* disjoint bootstrap CIs) into exit
+//! code 1. A flagged workload is re-measured up to `--retries` times
+//! (default 1) and must reproduce to fail the gate — transient
+//! contention inflates one run, not two, and since interference only
+//! ever adds time the faster of the measurements is kept.
+//! `--compare-only` skips the run and judges the artifacts already in
+//! `--out-dir` — that is how the gate's own tests feed it synthetic
+//! slowdowns.
+//!
+//! `--profile FILE` records spans during the run and writes the merged
+//! flamegraph folded stacks (see `ntr_obs::profile`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ntr_bench::artifact::{append_trajectory, git_hash, load_dir, write_artifact, Artifact};
+use ntr_bench::compare::{compare, report_table, DEFAULT_THRESHOLD_PCT};
+use ntr_bench::stats::summarize;
+use ntr_bench::workloads::{registry, Workload};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ntr-bench [--quick] [--workload NAME]... [--out-dir DIR]\n\
+         \x20                [--baseline DIR] [--threshold PCT] [--gate] [--report]\n\
+         \x20                [--retries N] [--compare-only] [--no-trajectory]\n\
+         \x20                [--profile FILE] [--list]\n\
+         Runs the workload registry, writes BENCH_<workload>.json artifacts plus\n\
+         results/bench_trajectory.json, and optionally gates on a baseline directory."
+    );
+    std::process::exit(2);
+}
+
+/// Stable bootstrap seed per workload: the artifact must not change
+/// between two summarizations of the same samples.
+fn seed_for(name: &str) -> u64 {
+    // FNV-1a, folded with a fixed run tag.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ 0x1994_0b5e
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut selected: Vec<String> = Vec::new();
+    let mut out_dir = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut gate = false;
+    let mut retries = 1usize;
+    let mut report_flag = false;
+    let mut compare_only = false;
+    let mut no_trajectory = false;
+    let mut profile_out: Option<String> = None;
+    let mut list = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--workload" | "-w" => selected.push(args.next().unwrap_or_else(|| usage())),
+            "--out-dir" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--baseline" => baseline = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--threshold" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) if t >= 0.0 => threshold = t,
+                _ => usage(),
+            },
+            "--gate" => gate = true,
+            "--retries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => retries = n,
+                None => usage(),
+            },
+            "--report" => report_flag = true,
+            "--compare-only" => compare_only = true,
+            "--no-trajectory" => no_trajectory = true,
+            "--profile" => profile_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--list" => list = true,
+            _ => usage(),
+        }
+    }
+
+    let all = registry();
+    if list {
+        for w in &all {
+            println!(
+                "{:<20} {:>4} iters ({:>3} quick)  {}",
+                w.name, w.iters, w.quick_iters, w.description
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    if gate && baseline.is_none() {
+        eprintln!("--gate needs --baseline DIR to compare against");
+        return ExitCode::from(2);
+    }
+
+    let workloads: Vec<Workload> = if selected.is_empty() {
+        all
+    } else {
+        let mut picked = Vec::new();
+        for name in &selected {
+            match registry().into_iter().find(|w| w.name == *name) {
+                Some(w) => picked.push(w),
+                None => {
+                    eprintln!("unknown workload {name:?}; --list shows the registry");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        picked
+    };
+
+    let git = git_hash(&std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")));
+    if !compare_only {
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("cannot create {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+        if profile_out.is_some() {
+            ntr_obs::span::set_enabled(true);
+        }
+        let mut results = Vec::new();
+        for w in &workloads {
+            eprint!("{:<20} ", w.name);
+            let samples = w.run(quick);
+            let summary = summarize(&samples, seed_for(w.name));
+            eprintln!(
+                "median {:>12.0} ns  mad {:>10.0} ns  ci95 [{:.0}, {:.0}]  ({} iters)",
+                summary.median_ns,
+                summary.mad_ns,
+                summary.ci95_lo_ns,
+                summary.ci95_hi_ns,
+                summary.iters
+            );
+            match write_artifact(&out_dir, w.name, &summary, w.warmup, quick, &git) {
+                Ok(path) => eprintln!("  wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write artifact for {}: {e}", w.name);
+                    return ExitCode::FAILURE;
+                }
+            }
+            results.push((w.name.to_owned(), summary));
+        }
+        if !no_trajectory {
+            let trajectory = out_dir.join("results/bench_trajectory.json");
+            if let Err(e) = append_trajectory(&trajectory, &git, quick, &results) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("appended run to {}", trajectory.display());
+        }
+        if let Some(path) = profile_out {
+            ntr_obs::span::set_enabled(false);
+            let spans = ntr_obs::span::take_spans();
+            let dropped = ntr_obs::span::dropped_spans();
+            if dropped > 0 {
+                eprintln!(
+                    "note: span collector overflowed; {dropped} span(s) missing from the profile"
+                );
+            }
+            let profile = ntr_obs::profile::build_profile(&spans);
+            let folded = ntr_obs::profile::folded_stacks(&profile);
+            match std::fs::write(&path, folded) {
+                Ok(()) => eprintln!("wrote {path} ({} spans)", profile.spans),
+                Err(e) => {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if let Some(baseline_dir) = baseline {
+        let base = match load_dir(&baseline_dir) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot load baseline: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let current = match load_dir(&out_dir) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot load current artifacts: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let names: Vec<&str> = workloads.iter().map(|w| w.name).collect();
+        let mut current: Vec<_> = if selected.is_empty() && compare_only {
+            current
+        } else {
+            current
+                .into_iter()
+                .filter(|a| names.contains(&a.workload.as_str()))
+                .collect()
+        };
+        let mut report = compare(&base, &current, threshold);
+        // A regression must reproduce: re-measure flagged workloads and
+        // keep the faster run (contention only ever adds time), so a
+        // transient spike on a shared machine doesn't fail the gate.
+        if !compare_only {
+            for _ in 0..retries {
+                let flagged: Vec<String> = report
+                    .regressions()
+                    .iter()
+                    .map(|c| c.workload.clone())
+                    .collect();
+                if flagged.is_empty() {
+                    break;
+                }
+                eprintln!(
+                    "re-measuring {} flagged workload(s) to confirm the regression...",
+                    flagged.len()
+                );
+                for name in &flagged {
+                    let Some(w) = registry().into_iter().find(|w| w.name == *name) else {
+                        continue;
+                    };
+                    let samples = w.run(quick);
+                    let fresh = summarize(&samples, seed_for(w.name));
+                    let cur = current
+                        .iter_mut()
+                        .find(|a| a.workload == *name)
+                        .expect("flagged workload came from the current set");
+                    if fresh.median_ns < cur.median_ns {
+                        if let Err(e) =
+                            write_artifact(&out_dir, w.name, &fresh, w.warmup, quick, &git)
+                        {
+                            eprintln!("cannot rewrite artifact for {}: {e}", w.name);
+                            return ExitCode::FAILURE;
+                        }
+                        *cur = Artifact {
+                            workload: name.clone(),
+                            median_ns: fresh.median_ns,
+                            mad_ns: fresh.mad_ns,
+                            ci95_ns: Some((fresh.ci95_lo_ns, fresh.ci95_hi_ns)),
+                            git_hash: git.clone(),
+                        };
+                    }
+                }
+                report = compare(&base, &current, threshold);
+            }
+        }
+        if report_flag || gate || !report.comparisons.is_empty() {
+            print!("{}", report_table(&report, threshold));
+        }
+        if gate && report.gate_fails() {
+            eprintln!(
+                "regression gate FAILED: {} workload(s) regressed beyond {threshold}%",
+                report.regressions().len()
+            );
+            return ExitCode::FAILURE;
+        }
+        if gate {
+            eprintln!("regression gate passed");
+        }
+    }
+    ExitCode::SUCCESS
+}

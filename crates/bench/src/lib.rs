@@ -1,6 +1,7 @@
-//! Shared helpers for the Criterion benchmark suite.
+//! Benchmark infrastructure: Criterion microbench helpers plus the
+//! `ntr-bench` performance observatory.
 //!
-//! The benches live in `benches/`:
+//! The Criterion benches live in `benches/`:
 //!
 //! - `tables.rs` — one benchmark per paper table (2–7), running a reduced
 //!   sweep of the same experiment code the `repro` binary uses,
@@ -9,9 +10,22 @@
 //!   LU, transient step, Steiner, ERT),
 //! - `ablations.rs` — design-choice measurements called out in DESIGN.md
 //!   (wire segmentation, oracle choice, integrator, inductance).
+//!
+//! The observatory (the `ntr-bench` binary in `src/bin/`) is built from:
+//!
+//! - [`workloads`] — the registry of named deterministic workloads,
+//! - [`stats`] — median / MAD / bootstrap-CI summaries,
+//! - [`artifact`] — `BENCH_<workload>.json` and trajectory-file I/O,
+//! - [`compare`] — the baseline regression detector behind `--gate`,
+//!   built on the shared [`ntr_obs::compare`] verdict rule.
 
 use ntr_eval::EvalConfig;
 use ntr_geom::{Layout, Net, NetGenerator};
+
+pub mod artifact;
+pub mod compare;
+pub mod stats;
+pub mod workloads;
 
 /// The reduced sweep used by table benches: one size, a handful of nets —
 /// enough to exercise the full code path with a stable runtime.

@@ -1,0 +1,159 @@
+//! Robust summary statistics for benchmark samples: median, median
+//! absolute deviation, and a bootstrap confidence interval for the
+//! median.
+//!
+//! The mean is hostage to the slowest iteration (page fault, scheduler
+//! preemption); the median is not, which is why every verdict in the
+//! regression gate runs on medians. The bootstrap CI quantifies how
+//! trustworthy a median from `n` iterations is: resample the observed
+//! samples with replacement ≥1k times, take each resample's median, and
+//! read the 2.5th/97.5th percentiles of that distribution. Resampling
+//! uses the vendored seeded [`StdRng`], so the same samples always
+//! produce the same interval — the measurement is nondeterministic, the
+//! statistics are not.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How many bootstrap resamples [`summarize`] draws.
+pub const BOOTSTRAP_RESAMPLES: usize = 1000;
+
+/// Robust summary of one workload's per-iteration wall times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Median absolute deviation (same units, robust spread).
+    pub mad_ns: f64,
+    /// Lower end of the bootstrap 95% CI of the median.
+    pub ci95_lo_ns: f64,
+    /// Upper end of the bootstrap 95% CI of the median.
+    pub ci95_hi_ns: f64,
+    /// Arithmetic mean, for reference only.
+    pub mean_ns: f64,
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Slowest iteration.
+    pub max_ns: f64,
+    /// How many measured iterations went in.
+    pub iters: usize,
+}
+
+/// Median of `samples` (averaging the middle pair for even counts).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Median absolute deviation around `center`.
+#[must_use]
+pub fn mad(samples: &[f64], center: f64) -> f64 {
+    let deviations: Vec<f64> = samples.iter().map(|s| (s - center).abs()).collect();
+    median(&deviations)
+}
+
+/// Percentile bootstrap 95% CI of the median: `resamples` medians of
+/// with-replacement resamples, interval at the 2.5th/97.5th percentile.
+/// Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics on an empty slice or zero resamples.
+#[must_use]
+pub fn bootstrap_ci_median(samples: &[f64], resamples: usize, seed: u64) -> (f64, f64) {
+    assert!(!samples.is_empty(), "bootstrap of no samples");
+    assert!(resamples > 0, "bootstrap needs resamples");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut medians = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0; samples.len()];
+    for _ in 0..resamples {
+        for slot in &mut resample {
+            *slot = samples[rng.gen_range(0..samples.len())];
+        }
+        medians.push(median(&resample));
+    }
+    medians.sort_by(f64::total_cmp);
+    let rank = |p: f64| {
+        let idx = (p * (medians.len() - 1) as f64).round() as usize;
+        medians[idx.min(medians.len() - 1)]
+    };
+    (rank(0.025), rank(0.975))
+}
+
+/// Full robust summary of per-iteration nanosecond samples, with a
+/// seeded [`BOOTSTRAP_RESAMPLES`]-resample CI.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn summarize(samples_ns: &[f64], seed: u64) -> Summary {
+    let median_ns = median(samples_ns);
+    let (ci95_lo_ns, ci95_hi_ns) = bootstrap_ci_median(samples_ns, BOOTSTRAP_RESAMPLES, seed);
+    Summary {
+        median_ns,
+        mad_ns: mad(samples_ns, median_ns),
+        ci95_lo_ns,
+        ci95_hi_ns,
+        mean_ns: samples_ns.iter().sum::<f64>() / samples_ns.len() as f64,
+        min_ns: samples_ns.iter().copied().fold(f64::INFINITY, f64::min),
+        max_ns: samples_ns.iter().copied().fold(0.0, f64::max),
+        iters: samples_ns.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_even_and_odd_counts() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        let samples = [10.0, 11.0, 9.0, 10.0, 1000.0];
+        let m = median(&samples);
+        assert_eq!(m, 10.0);
+        // Deviations: 0, 1, 1, 0, 990 → MAD 1.
+        assert_eq!(mad(&samples, m), 1.0);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_and_brackets_the_median() {
+        let samples: Vec<f64> = (0..50).map(|i| 100.0 + f64::from(i % 7)).collect();
+        let a = bootstrap_ci_median(&samples, 1000, 42);
+        let b = bootstrap_ci_median(&samples, 1000, 42);
+        assert_eq!(a, b, "same seed, same interval");
+        let m = median(&samples);
+        assert!(a.0 <= m && m <= a.1, "CI {a:?} excludes median {m}");
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let samples = [5.0, 6.0, 7.0, 8.0, 9.0];
+        let s = summarize(&samples, 7);
+        assert_eq!(s.median_ns, 7.0);
+        assert_eq!(s.mean_ns, 7.0);
+        assert_eq!(s.min_ns, 5.0);
+        assert_eq!(s.max_ns, 9.0);
+        assert_eq!(s.iters, 5);
+        assert!(s.ci95_lo_ns <= s.median_ns && s.median_ns <= s.ci95_hi_ns);
+        assert!(s.mad_ns >= 0.0);
+    }
+}

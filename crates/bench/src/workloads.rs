@@ -1,0 +1,304 @@
+//! The named workload registry behind `ntr-bench`: each entry is a
+//! deterministic, self-contained measurement of one layer of the stack.
+//!
+//! Workloads fix their inputs (the `0xBEEF`-seeded [`bench_net`]
+//! generator, hardcoded RC chains) so that two runs on the same machine
+//! measure the same computation; iteration budgets are fixed per
+//! workload — full budgets for trajectory runs, reduced `--quick`
+//! budgets for CI smoke — so artifacts from different runs are
+//! comparable sample-for-sample.
+//!
+//! The registry spans the layers a perf regression could hide in:
+//!
+//! | workload            | layer                                        |
+//! |---------------------|----------------------------------------------|
+//! | `ldrg_iteration`    | full LDRG candidate pass (prepare + sweep)   |
+//! | `sweep_score`       | sweep kernel alone on a prepared engine      |
+//! | `sparse_lu_factor`  | symbolic + numeric LU on an RC chain         |
+//! | `sparse_lu_refactor`| numeric-only refactor, pattern reused        |
+//! | `elmore_eval`       | Elmore analysis over a 100-pin tree          |
+//! | `route_end_to_end`  | whole `ldrg` route with the transient oracle |
+//! | `server_round_trip` | in-process service submit → response         |
+
+use std::time::Instant;
+
+use crate::bench_net;
+use ntr_circuit::Technology;
+use ntr_core::{
+    candidate_oracle_for, ldrg, sweep_candidates, Candidate, LdrgOptions, MomentOracle, Objective,
+    TransientOracle,
+};
+use ntr_elmore::ElmoreAnalysis;
+use ntr_graph::{prim_mst, NodeId, RoutingGraph, TreeView};
+use ntr_sparse::{Ordering, SparseLu, TripletMatrix};
+
+/// One named benchmark: what it measures and how long to run it.
+pub struct Workload {
+    /// Registry key; artifact files are named `BENCH_<name>.json`.
+    pub name: &'static str,
+    /// One-line description for `--list` and the report table.
+    pub description: &'static str,
+    /// Measured iterations in a full run.
+    pub iters: usize,
+    /// Measured iterations under `--quick`.
+    pub quick_iters: usize,
+    /// Warmup iterations (run, timed, discarded) before measuring.
+    pub warmup: usize,
+    run: fn(iters: usize, warmup: usize) -> Vec<f64>,
+}
+
+impl Workload {
+    /// Runs the workload and returns per-iteration wall times in
+    /// nanoseconds (`iters` samples after `warmup` discarded ones).
+    #[must_use]
+    pub fn run(&self, quick: bool) -> Vec<f64> {
+        let iters = if quick { self.quick_iters } else { self.iters };
+        // Quick mode trims measurement, not stabilization: with only a
+        // handful of samples, a cold first iteration shifts the median.
+        let warmup = if quick {
+            self.warmup.min(3)
+        } else {
+            self.warmup
+        };
+        (self.run)(iters, warmup)
+    }
+}
+
+/// Times `body` for `warmup + iters` calls, returning the last `iters`
+/// wall times in nanoseconds.
+fn time_iters(iters: usize, warmup: usize, mut body: impl FnMut()) -> Vec<f64> {
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..warmup + iters {
+        let start = Instant::now();
+        body();
+        let elapsed = start.elapsed().as_nanos() as f64;
+        if i >= warmup {
+            samples.push(elapsed);
+        }
+    }
+    samples
+}
+
+/// All node pairs an LDRG iteration would trial on `graph`.
+fn ldrg_candidates(graph: &RoutingGraph) -> Vec<Candidate> {
+    let nodes: Vec<NodeId> = graph.node_ids().collect();
+    let mut out = Vec::new();
+    for (ai, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[ai + 1..] {
+            if !graph.has_edge(a, b) {
+                out.push(Candidate::AddEdge(a, b));
+            }
+        }
+    }
+    out
+}
+
+/// The RC-chain conductance matrix the sparse-LU workloads factor.
+fn rc_chain(n: usize) -> TripletMatrix {
+    let mut t = TripletMatrix::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 2.5);
+        if i + 1 < n {
+            t.push(i, i + 1, -1.0);
+            t.push(i + 1, i, -1.0);
+        }
+    }
+    t
+}
+
+fn run_ldrg_iteration(iters: usize, warmup: usize) -> Vec<f64> {
+    let tech = Technology::date94();
+    let mst = prim_mst(&bench_net(20));
+    let oracle = MomentOracle::new(tech);
+    let candidates = ldrg_candidates(&mst);
+    let mut engine = candidate_oracle_for(&oracle);
+    time_iters(iters, warmup, || {
+        engine.prepare(&mst).expect("graph extracts");
+        sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 1, None)
+            .expect("candidates score");
+    })
+}
+
+fn run_sweep_score(iters: usize, warmup: usize) -> Vec<f64> {
+    let tech = Technology::date94();
+    let mst = prim_mst(&bench_net(20));
+    let oracle = MomentOracle::new(tech);
+    let candidates = ldrg_candidates(&mst);
+    let mut engine = candidate_oracle_for(&oracle);
+    engine.prepare(&mst).expect("graph extracts");
+    time_iters(iters, warmup, || {
+        sweep_candidates(engine.as_ref(), &candidates, &Objective::MaxDelay, 1, None)
+            .expect("candidates score");
+    })
+}
+
+fn run_sparse_lu_factor(iters: usize, warmup: usize) -> Vec<f64> {
+    let csc = rc_chain(200).to_csc();
+    time_iters(iters, warmup, || {
+        std::hint::black_box(SparseLu::factor(&csc, Ordering::MinDegree).expect("nonsingular"));
+    })
+}
+
+fn run_sparse_lu_refactor(iters: usize, warmup: usize) -> Vec<f64> {
+    let csc = rc_chain(200).to_csc();
+    let lu = SparseLu::factor(&csc, Ordering::MinDegree).expect("nonsingular");
+    time_iters(iters, warmup, || {
+        std::hint::black_box(lu.refactor(&csc).expect("same pattern"));
+    })
+}
+
+fn run_elmore_eval(iters: usize, warmup: usize) -> Vec<f64> {
+    let tech = Technology::date94();
+    let mst = prim_mst(&bench_net(100));
+    time_iters(iters, warmup, || {
+        let tree = TreeView::new(&mst).expect("mst is a tree");
+        std::hint::black_box(ElmoreAnalysis::compute(&tree, &tech).max_sink_delay());
+    })
+}
+
+fn run_route_end_to_end(iters: usize, warmup: usize) -> Vec<f64> {
+    let tech = Technology::date94();
+    let net = bench_net(10);
+    let oracle = TransientOracle::fast(tech);
+    time_iters(iters, warmup, || {
+        let mst = prim_mst(&net);
+        std::hint::black_box(ldrg(&mst, &oracle, &LdrgOptions::default()).expect("net routes"));
+    })
+}
+
+fn run_server_round_trip(iters: usize, warmup: usize) -> Vec<f64> {
+    use ntr_server::proto::{Algorithm, OracleKind, RouteRequest};
+    use ntr_server::service::{Service, ServiceConfig};
+
+    let net = bench_net(10);
+    let service = Service::start(&ServiceConfig {
+        workers: 1,
+        queue_depth: 4,
+        tech: Technology::date94(),
+        ..ServiceConfig::default()
+    });
+    let samples = time_iters(iters, warmup, || {
+        let (tx, rx) = std::sync::mpsc::channel();
+        service.submit(
+            RouteRequest {
+                id: None,
+                algorithm: Algorithm::parse("mst").expect("mst is an algorithm"),
+                oracle: OracleKind::TransientFast,
+                pins: net.pins().to_vec(),
+                deadline: None,
+                max_added_edges: 0,
+                // The cache would turn every iteration after the first
+                // into a lookup; bypass it so each round trip routes.
+                use_cache: false,
+            },
+            Box::new(move |response| {
+                let _ = tx.send(response);
+            }),
+        );
+        let response = rx.recv().expect("service responds");
+        assert!(
+            response.get("ok") == Some(&ntr_obs::Json::Bool(true)),
+            "round trip failed: {}",
+            response.to_line()
+        );
+    });
+    service.shutdown();
+    samples
+}
+
+/// Every registered workload, in display order.
+#[must_use]
+pub fn registry() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "ldrg_iteration",
+            description: "full LDRG candidate pass on a 20-pin MST (prepare + sweep)",
+            iters: 30,
+            quick_iters: 8,
+            warmup: 3,
+            run: run_ldrg_iteration,
+        },
+        Workload {
+            name: "sweep_score",
+            description: "sweep kernel alone on a prepared 20-pin engine",
+            iters: 40,
+            quick_iters: 10,
+            warmup: 4,
+            run: run_sweep_score,
+        },
+        Workload {
+            name: "sparse_lu_factor",
+            description: "sparse LU factor of a 200-node RC chain",
+            iters: 200,
+            quick_iters: 20,
+            warmup: 10,
+            run: run_sparse_lu_factor,
+        },
+        Workload {
+            name: "sparse_lu_refactor",
+            description: "numeric-only LU refactor, reusing the symbolic pattern",
+            iters: 200,
+            quick_iters: 20,
+            warmup: 10,
+            run: run_sparse_lu_refactor,
+        },
+        Workload {
+            name: "elmore_eval",
+            description: "Elmore delay analysis of a 100-pin MST",
+            iters: 200,
+            quick_iters: 20,
+            warmup: 10,
+            run: run_elmore_eval,
+        },
+        Workload {
+            name: "route_end_to_end",
+            description: "whole ldrg route of a 10-pin net with the fast transient oracle",
+            iters: 12,
+            quick_iters: 5,
+            warmup: 2,
+            run: run_route_end_to_end,
+        },
+        Workload {
+            name: "server_round_trip",
+            description: "in-process service round trip (submit mst route, await response)",
+            iters: 30,
+            quick_iters: 8,
+            warmup: 3,
+            run: run_server_round_trip,
+        },
+    ]
+}
+
+/// Looks a workload up by name.
+#[must_use]
+pub fn find(name: &str) -> Option<Workload> {
+    registry().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_nonempty() {
+        let reg = registry();
+        assert!(reg.len() >= 6, "acceptance needs >= 6 workloads");
+        let mut names: Vec<_> = reg.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len(), "duplicate workload name");
+        for w in &reg {
+            assert!(w.iters > w.quick_iters, "{}: quick must be smaller", w.name);
+            assert!(w.quick_iters > 0, "{}: quick must measure", w.name);
+        }
+    }
+
+    #[test]
+    fn quick_run_produces_the_budgeted_samples() {
+        // The cheapest workload end to end, as a smoke test.
+        let w = find("sparse_lu_refactor").expect("registered");
+        let samples = w.run(true);
+        assert_eq!(samples.len(), w.quick_iters);
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+}

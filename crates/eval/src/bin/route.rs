@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! route --net FILE [--algorithm ALGO] [--svg FILE] [--deck FILE]
-//!       [--waveforms FILE] [--trim] [--trace-out FILE] [--quiet]
+//!       [--waveforms FILE] [--trim] [--trace-out FILE]
+//!       [--profile-out FILE] [--quiet]
 //! route --random SIZE --seed S ...
 //! route --netlist FILE [--target NS]      # whole-netlist flow
 //! route --netlist FILE --jobs N           # parallel, through the server pool
@@ -38,33 +39,51 @@ fn usage() -> ! {
         "usage: route (--net FILE | --random SIZE | --netlist FILE) [--seed S]\n\
          \x20             [--algorithm ALGO] [--svg FILE] [--deck FILE]\n\
          \x20             [--waveforms FILE] [--trim] [--target NS] [--jobs N]\n\
-         \x20             [--trace-out FILE] [--quiet]\n\
+         \x20             [--trace-out FILE] [--profile-out FILE] [--quiet]\n\
          algorithms: mst steiner ert sert h1 h2 h3 ldrg sldrg ert-ldrg horg\n\
          (--jobs routes a netlist in parallel; algorithms limited to\n\
          \x20 mst h1 h2 h3 ldrg ert ert-ldrg)\n\
          --trace-out enables span tracing and writes a Chrome trace\n\
-         (chrome://tracing, perfetto); --quiet silences NTR_LOG output"
+         (chrome://tracing, perfetto); --profile-out writes flamegraph\n\
+         folded stacks of the same spans; --quiet silences NTR_LOG output"
     );
     std::process::exit(2);
 }
 
-/// Writes the collected span tree as a Chrome trace on drop, so every
-/// exit path of `main` — including the early netlist-mode returns —
-/// produces the file the user asked for.
-struct TraceWriter(Option<String>);
+/// Writes the collected spans as a Chrome trace and/or a folded-stack
+/// profile on drop, so every exit path of `main` — including the early
+/// netlist-mode returns — produces the files the user asked for.
+/// `take_spans` drains the global collector, so both exports must come
+/// from the one drain this guard performs.
+struct ObsWriter {
+    trace: Option<String>,
+    profile: Option<String>,
+}
 
-impl Drop for TraceWriter {
+impl Drop for ObsWriter {
     fn drop(&mut self) {
-        let Some(path) = self.0.take() else { return };
+        if self.trace.is_none() && self.profile.is_none() {
+            return;
+        }
         let spans = ntr_obs::span::take_spans();
         let dropped = ntr_obs::span::dropped_spans();
         if dropped > 0 {
             log_warn!("span collector overflowed; {dropped} span(s) dropped from the trace");
         }
-        let trace = ntr_obs::chrome::chrome_trace(&spans);
-        match std::fs::write(&path, trace.to_line() + "\n") {
-            Ok(()) => log_info!("wrote {path} ({} spans)", spans.len()),
-            Err(e) => log_warn!("cannot write {path}: {e}"),
+        if let Some(path) = self.trace.take() {
+            let trace = ntr_obs::chrome::chrome_trace(&spans);
+            match std::fs::write(&path, trace.to_line() + "\n") {
+                Ok(()) => log_info!("wrote {path} ({} spans)", spans.len()),
+                Err(e) => log_warn!("cannot write {path}: {e}"),
+            }
+        }
+        if let Some(path) = self.profile.take() {
+            let profile = ntr_obs::profile::build_profile(&spans);
+            let folded = ntr_obs::profile::folded_stacks(&profile);
+            match std::fs::write(&path, folded) {
+                Ok(()) => log_info!("wrote {path} ({} spans profiled)", profile.spans),
+                Err(e) => log_warn!("cannot write {path}: {e}"),
+            }
         }
     }
 }
@@ -228,6 +247,7 @@ fn main() -> ExitCode {
     let mut trim = false;
     let mut jobs = 0usize;
     let mut trace_out: Option<String> = None;
+    let mut profile_out: Option<String> = None;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -257,6 +277,7 @@ fn main() -> ExitCode {
                 _ => usage(),
             },
             "--trace-out" => trace_out = args.next().or_else(|| usage()),
+            "--profile-out" => profile_out = args.next().or_else(|| usage()),
             "--quiet" | "-q" => quiet = true,
             _ => usage(),
         }
@@ -264,10 +285,13 @@ fn main() -> ExitCode {
     if quiet {
         ntr_obs::log::set_max_level(None);
     }
-    if trace_out.is_some() {
+    if trace_out.is_some() || profile_out.is_some() {
         ntr_obs::span::set_enabled(true);
     }
-    let _trace_writer = TraceWriter(trace_out);
+    let _obs_writer = ObsWriter {
+        trace: trace_out,
+        profile: profile_out,
+    };
 
     let config = EvalConfig::full();
 

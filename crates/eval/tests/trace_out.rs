@@ -1,8 +1,11 @@
 //! End-to-end checks of the `route` binary's observability flags:
 //! `--trace-out` must produce a well-formed, properly nested Chrome
-//! trace covering the search spans, and `--quiet` must silence the
-//! stderr "search cost" line without touching stdout.
+//! trace covering the search spans, `--profile-out` must produce folded
+//! stacks that account for the same time the trace records, and
+//! `--quiet` must silence the stderr "search cost" line without
+//! touching stdout.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -49,6 +52,101 @@ fn trace_out_writes_a_valid_chrome_trace() {
         assert!(
             names.contains(&expected),
             "missing span {expected:?} in {names:?}"
+        );
+    }
+}
+
+/// The acceptance check for profile attribution: run one route with
+/// both exports, then require each folded root's total self time to
+/// reproduce the Chrome trace's top-level span durations within 1%.
+/// Both files come from the same single span drain, so any disagreement
+/// is an aggregation bug, not run-to-run noise.
+#[test]
+fn profile_out_folded_roots_match_trace_durations() {
+    let trace_path = tmp_path("profile-trace.json");
+    let folded_path = tmp_path("profile.folded");
+    let output = route(&[
+        "--random",
+        "8",
+        "--seed",
+        "7",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--profile-out",
+        folded_path.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "{output:?}");
+
+    let folded = std::fs::read_to_string(&folded_path).expect("folded file written");
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let _ = std::fs::remove_file(&folded_path);
+    let _ = std::fs::remove_file(&trace_path);
+
+    // Folded side: root name → sum of self times over its subtree,
+    // which by construction equals the root's inclusive nanoseconds.
+    let mut folded_roots: HashMap<String, f64> = HashMap::new();
+    for line in folded.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("folded line has a value");
+        let root = stack.split(';').next().unwrap().to_owned();
+        let ns: f64 = value.parse().expect("integer self time");
+        assert!(ns > 0.0, "folded lines carry only nonzero self time");
+        *folded_roots.entry(root).or_insert(0.0) += ns;
+    }
+    assert!(!folded_roots.is_empty(), "profile has roots:\n{folded}");
+
+    // Trace side: top-level (uncontained) events per thread. Spans on a
+    // thread nest properly, so after sorting by start (ties: longer
+    // first), an event starting before the current root's end is
+    // contained in it.
+    let trace = Json::parse(&trace_text).expect("trace is JSON");
+    let events = trace.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let mut spans: Vec<(u64, f64, f64, &str)> = events
+        .iter()
+        .filter(|e| e.get("dur").is_some())
+        .map(|e| {
+            (
+                e.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                e.get("ts").and_then(Json::as_f64).unwrap(),
+                e.get("dur").and_then(Json::as_f64).unwrap(),
+                e.get("name").and_then(Json::as_str).unwrap(),
+            )
+        })
+        .collect();
+    spans.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.total_cmp(&b.1))
+            .then(b.2.total_cmp(&a.2))
+    });
+    let mut trace_roots: HashMap<String, f64> = HashMap::new();
+    let mut current: Option<(u64, f64)> = None; // (tid, root end ts)
+    for (tid, ts, dur_us, name) in spans {
+        let contained = matches!(current, Some((t, end)) if t == tid && ts < end);
+        if !contained {
+            *trace_roots.entry(name.to_owned()).or_insert(0.0) += dur_us * 1e3;
+            current = Some((tid, ts + dur_us));
+        }
+    }
+
+    assert_eq!(
+        {
+            let mut a: Vec<_> = folded_roots.keys().collect();
+            a.sort();
+            a
+        },
+        {
+            let mut b: Vec<_> = trace_roots.keys().collect();
+            b.sort();
+            b
+        },
+        "folded and trace disagree on the root span names"
+    );
+    for (name, folded_ns) in &folded_roots {
+        let trace_ns = trace_roots[name];
+        let rel = (folded_ns - trace_ns).abs() / trace_ns.max(1.0);
+        assert!(
+            rel <= 0.01,
+            "root {name:?}: folded {folded_ns} ns vs trace {trace_ns} ns ({:.3}% off)",
+            rel * 100.0
         );
     }
 }

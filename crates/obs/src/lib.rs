@@ -25,6 +25,13 @@
 //! - [`chrome`] — exports collected spans as Chrome trace-event JSON
 //!   (loadable in `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)),
 //!   plus a validator used by tests.
+//! - [`profile`] — aggregates collected spans into an inclusive/self-time
+//!   call tree, exported as flamegraph folded stacks or a top-N
+//!   self-time table (`route --profile-out`, the server's
+//!   `{"op":"profile"}`).
+//! - [`compare`] — statistical verdicts (regressed / improved /
+//!   unchanged) over summarized measurements: the primitive behind the
+//!   `ntr-bench` regression gate and `ntr-loadgen --baseline`.
 //! - [`json`] — the workspace's hand-rolled JSON value/parser/printer
 //!   (rehomed from `ntr-server`, which re-exports it for compatibility).
 //!
@@ -53,9 +60,11 @@
 //! ```
 
 pub mod chrome;
+pub mod compare;
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod profile;
 pub mod prometheus;
 pub mod span;
 

@@ -9,9 +9,11 @@
 //!
 //! The [`Histogram`] generalizes the server's original
 //! `LatencyHistogram`: bucket `i` counts samples in `[2^i, 2^(i+1))`
-//! microseconds, so percentile answers are bucket upper bounds, within
-//! 2× of the true value — plenty for spotting queueing collapse, which
-//! moves latencies by orders of magnitude.
+//! microseconds. Percentile answers interpolate linearly within the
+//! bucket containing the requested rank (the `histogram_quantile`
+//! convention), so they always land inside the sample's own bucket —
+//! plenty for spotting queueing collapse, which moves latencies by
+//! orders of magnitude.
 //!
 //! [`prometheus::render`](crate::prometheus::render) turns a registry
 //! snapshot into text exposition format.
@@ -144,8 +146,16 @@ impl Histogram {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
-    /// Upper bound (µs) of the bucket containing the `p`-th percentile
-    /// (`p` in 0..=100), or 0 with no samples.
+    /// The `p`-th percentile (`p` in 0..=100) in microseconds, or 0
+    /// with no samples.
+    ///
+    /// The answer interpolates linearly within the bucket containing
+    /// the requested rank — Prometheus's `histogram_quantile`
+    /// convention: a bucket `[lo, hi)` holding `c` samples reports its
+    /// `k`-th as `lo + (hi - lo) * k / c`. The result always lies in
+    /// `(lo, hi]` of the sample's own bucket, so it is within one
+    /// bucket width of the true percentile rather than pinned to the
+    /// bucket's upper bound.
     #[must_use]
     pub fn percentile_micros(&self, p: f64) -> u64 {
         let total = self.count();
@@ -155,10 +165,18 @@ impl Histogram {
         let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Self::bucket_upper_bound(i);
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 && seen + c >= rank {
+                let lower = if i == 0 {
+                    0
+                } else {
+                    Self::bucket_upper_bound(i - 1)
+                };
+                let upper = Self::bucket_upper_bound(i);
+                let into = (rank - seen) as f64 / c as f64;
+                return lower + ((upper - lower) as f64 * into).round() as u64;
             }
+            seen += c;
         }
         Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
     }
@@ -335,11 +353,26 @@ mod tests {
             h.record(Duration::from_micros(micros));
         }
         assert_eq!(h.count(), 5);
-        // Rank 3 of 5 is the 40 µs sample, bucket [32,64) → upper bound 64.
+        // Rank 3 of 5 is the 40 µs sample, alone in bucket [32,64):
+        // interpolation reports its full bucket, upper bound 64.
         assert_eq!(h.percentile_micros(50.0), 64);
         // p99 falls in the bucket of 5000 µs = [4096,8192).
         assert_eq!(h.percentile_micros(99.0), 8192);
         assert!(h.mean_micros() >= 1000);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_a_shared_bucket() {
+        // Four samples share bucket [8,16): ranks split the bucket into
+        // quarters, 8 + (16-8)*k/4.
+        let h = Histogram::default();
+        for _ in 0..4 {
+            h.record(Duration::from_micros(10));
+        }
+        assert_eq!(h.percentile_micros(25.0), 10);
+        assert_eq!(h.percentile_micros(50.0), 12);
+        assert_eq!(h.percentile_micros(75.0), 14);
+        assert_eq!(h.percentile_micros(100.0), 16);
     }
 
     #[test]

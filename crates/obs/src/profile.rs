@@ -1,0 +1,325 @@
+//! Profile attribution: turns recorded spans into an inclusive/self-time
+//! call tree and exports it in flamegraph folded-stack format.
+//!
+//! A [`SpanRecord`] stream answers "what happened when"; a profile
+//! answers "where did the time go". [`build_profile`] reconstructs each
+//! thread's span stack from the records' per-thread nesting depths and
+//! merges every occurrence of the same call path into one
+//! [`ProfileNode`] carrying:
+//!
+//! - **inclusive time** — total nanoseconds spent inside spans at this
+//!   path, children included;
+//! - **self time** — inclusive time minus the inclusive time of the
+//!   node's children: the nanoseconds attributable to this span name
+//!   itself. Summed over a subtree, self times reconstruct the root's
+//!   inclusive time exactly — the invariant the folded export (and the
+//!   `route --profile-out` acceptance check) relies on.
+//!
+//! [`folded_stacks`] renders the tree as `path;to;node <self_ns>` lines,
+//! the format `flamegraph.pl` and [speedscope](https://speedscope.app)
+//! consume. [`top_self`] aggregates self time by span name across the
+//! whole tree — the "top N hottest operations" view the server's
+//! `{"op":"profile"}` op returns.
+
+use crate::span::SpanRecord;
+
+/// One call path in the merged profile tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// Span name at this path (the instrumentation-site string).
+    pub name: &'static str,
+    /// Total nanoseconds inside spans at this path, children included.
+    pub inclusive_ns: u64,
+    /// Nanoseconds attributable to this path alone (inclusive minus
+    /// children's inclusive).
+    pub self_ns: u64,
+    /// How many spans merged into this node.
+    pub count: u64,
+    /// Child paths, in first-seen order.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            inclusive_ns: 0,
+            self_ns: 0,
+            count: 0,
+            children: Vec::new(),
+        }
+    }
+
+    fn child_mut(&mut self, name: &'static str) -> &mut ProfileNode {
+        // Linear scan: profile trees are as wide as the span taxonomy
+        // (~a dozen names), not as wide as the span count.
+        let idx = match self.children.iter().position(|c| c.name == name) {
+            Some(i) => i,
+            None => {
+                self.children.push(ProfileNode::new(name));
+                self.children.len() - 1
+            }
+        };
+        &mut self.children[idx]
+    }
+
+    fn finalize_self_times(&mut self) {
+        let child_total: u64 = self.children.iter().map(|c| c.inclusive_ns).sum();
+        // Children are strictly nested inside the parent on the same
+        // thread, so their total cannot exceed the parent's inclusive
+        // time; saturate anyway so a torn record cannot underflow.
+        self.self_ns = self.inclusive_ns.saturating_sub(child_total);
+        for child in &mut self.children {
+            child.finalize_self_times();
+        }
+    }
+}
+
+/// A merged profile over one batch of recorded spans.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Profile {
+    /// Top-level call paths (depth-0 spans), in first-seen order.
+    /// Spans recorded on worker threads root their own paths here.
+    pub roots: Vec<ProfileNode>,
+    /// How many span records went into the profile.
+    pub spans: usize,
+}
+
+impl Profile {
+    /// Total nanoseconds across the top-level paths.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.roots.iter().map(|r| r.inclusive_ns).sum()
+    }
+}
+
+/// Aggregated self time of one span name across every path it appears
+/// in, for the "top N" view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfEntry {
+    /// Span name.
+    pub name: &'static str,
+    /// Self time summed over every node with this name.
+    pub self_ns: u64,
+    /// Spans merged into those nodes.
+    pub count: u64,
+}
+
+/// Builds the merged inclusive/self-time tree from recorded spans.
+///
+/// Spans are grouped per recording thread and replayed in start order;
+/// each record's `depth` field says how deep it sat on its thread's
+/// stack, which reconstructs the call path without any timestamp
+/// arithmetic. Identical paths (same name sequence) from any thread
+/// merge into one node.
+#[must_use]
+pub fn build_profile(spans: &[SpanRecord]) -> Profile {
+    // Stable set of thread ids, then replay each thread separately.
+    let mut threads: Vec<u64> = spans.iter().map(|s| s.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+
+    // Synthetic super-root keeps insertion uniform; its children become
+    // the profile's roots.
+    let mut root = ProfileNode::new("");
+    for thread in threads {
+        let mut on_thread: Vec<&SpanRecord> = spans.iter().filter(|s| s.thread == thread).collect();
+        // Start order; on identical starts the shallower (enclosing)
+        // span comes first.
+        on_thread.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(a.depth.cmp(&b.depth)));
+        let mut stack: Vec<&'static str> = Vec::new();
+        for span in on_thread {
+            stack.truncate(usize::from(span.depth));
+            stack.push(span.name);
+            let mut node = &mut root;
+            for name in &stack {
+                node = node.child_mut(name);
+            }
+            node.inclusive_ns = node.inclusive_ns.saturating_add(span.dur_ns);
+            node.count += 1;
+        }
+    }
+    root.finalize_self_times();
+    Profile {
+        roots: root.children,
+        spans: spans.len(),
+    }
+}
+
+/// Renders a profile as flamegraph folded stacks: one
+/// `root;child;leaf <self_ns>` line per node with nonzero self time.
+/// Values are nanoseconds, so per-root line sums equal the root's
+/// inclusive time exactly.
+#[must_use]
+pub fn folded_stacks(profile: &Profile) -> String {
+    fn walk(node: &ProfileNode, path: &mut Vec<&'static str>, out: &mut String) {
+        path.push(node.name);
+        if node.self_ns > 0 {
+            out.push_str(&path.join(";"));
+            out.push(' ');
+            out.push_str(&node.self_ns.to_string());
+            out.push('\n');
+        }
+        for child in &node.children {
+            walk(child, path, out);
+        }
+        path.pop();
+    }
+    let mut out = String::new();
+    let mut path = Vec::new();
+    for root in &profile.roots {
+        walk(root, &mut path, &mut out);
+    }
+    out
+}
+
+/// The `n` span names with the largest total self time, descending
+/// (ties broken by name for determinism).
+#[must_use]
+pub fn top_self(profile: &Profile, n: usize) -> Vec<SelfEntry> {
+    fn accumulate(node: &ProfileNode, entries: &mut Vec<SelfEntry>) {
+        match entries.iter_mut().find(|e| e.name == node.name) {
+            Some(e) => {
+                e.self_ns += node.self_ns;
+                e.count += node.count;
+            }
+            None => entries.push(SelfEntry {
+                name: node.name,
+                self_ns: node.self_ns,
+                count: node.count,
+            }),
+        }
+        for child in &node.children {
+            accumulate(child, entries);
+        }
+    }
+    let mut entries = Vec::new();
+    for root in &profile.roots {
+        accumulate(root, &mut entries);
+    }
+    entries.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(b.name)));
+    entries.truncate(n);
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        name: &'static str,
+        thread: u64,
+        depth: u16,
+        start_ns: u64,
+        dur_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            name,
+            trace: 0,
+            thread,
+            depth,
+            start_ns,
+            dur_ns,
+        }
+    }
+
+    /// request(10_000) { search(6_000) { score(1_000), score(2_000) } }
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            record("request", 1, 0, 0, 10_000),
+            record("search", 1, 1, 1_000, 6_000),
+            record("score", 1, 2, 1_500, 1_000),
+            record("score", 1, 2, 3_000, 2_000),
+        ]
+    }
+
+    #[test]
+    fn inclusive_and_self_times_decompose() {
+        let p = build_profile(&sample_spans());
+        assert_eq!(p.spans, 4);
+        assert_eq!(p.roots.len(), 1);
+        let request = &p.roots[0];
+        assert_eq!(request.name, "request");
+        assert_eq!(request.inclusive_ns, 10_000);
+        assert_eq!(request.self_ns, 4_000);
+        let search = &request.children[0];
+        assert_eq!(search.inclusive_ns, 6_000);
+        assert_eq!(search.self_ns, 3_000);
+        let score = &search.children[0];
+        assert_eq!(score.count, 2);
+        assert_eq!(score.inclusive_ns, 3_000);
+        assert_eq!(score.self_ns, 3_000);
+    }
+
+    #[test]
+    fn folded_totals_equal_root_inclusive() {
+        let p = build_profile(&sample_spans());
+        let folded = folded_stacks(&p);
+        let mut total = 0u64;
+        for line in folded.lines() {
+            let (stack, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(stack.starts_with("request"), "{line}");
+            total += value.parse::<u64>().expect("integer self time");
+        }
+        assert_eq!(total, p.roots[0].inclusive_ns);
+        assert!(folded.contains("request;search;score 3000"), "{folded}");
+    }
+
+    #[test]
+    fn repeated_paths_merge_and_counts_add() {
+        let mut spans = sample_spans();
+        // A second request on the same thread, after the first.
+        spans.push(record("request", 1, 0, 20_000, 4_000));
+        spans.push(record("search", 1, 1, 21_000, 1_000));
+        let p = build_profile(&spans);
+        assert_eq!(p.roots.len(), 1);
+        let request = &p.roots[0];
+        assert_eq!(request.count, 2);
+        assert_eq!(request.inclusive_ns, 14_000);
+        assert_eq!(request.children[0].inclusive_ns, 7_000);
+    }
+
+    #[test]
+    fn worker_thread_spans_root_separately_then_merge_by_name() {
+        let spans = vec![
+            record("request", 1, 0, 0, 10_000),
+            record("rank1", 2, 0, 2_000, 3_000),
+            record("rank1", 3, 0, 2_500, 4_000),
+        ];
+        let p = build_profile(&spans);
+        assert_eq!(p.roots.len(), 2);
+        let rank1 = p.roots.iter().find(|r| r.name == "rank1").unwrap();
+        assert_eq!(rank1.count, 2);
+        assert_eq!(rank1.inclusive_ns, 7_000);
+        assert_eq!(p.total_ns(), 17_000);
+    }
+
+    #[test]
+    fn top_self_ranks_names_across_paths() {
+        // "score" appears under two different parents; its self time
+        // aggregates.
+        let spans = vec![
+            record("a", 1, 0, 0, 10_000),
+            record("score", 1, 1, 1_000, 4_000),
+            record("b", 1, 0, 20_000, 10_000),
+            record("score", 1, 1, 21_000, 5_000),
+        ];
+        let p = build_profile(&spans);
+        let top = top_self(&p, 2);
+        assert_eq!(top[0].name, "score");
+        assert_eq!(top[0].self_ns, 9_000);
+        assert_eq!(top[0].count, 2);
+        // a and b tie at 6_000 and 5_000 self; "a" wins rank 2.
+        assert_eq!(top[1].name, "a");
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_profile() {
+        let p = build_profile(&[]);
+        assert!(p.roots.is_empty());
+        assert_eq!(p.total_ns(), 0);
+        assert!(folded_stacks(&p).is_empty());
+        assert!(top_self(&p, 5).is_empty());
+    }
+}

@@ -43,7 +43,9 @@ proptest! {
     }
 
     /// Percentiles never run backwards: p50 ≤ p90 ≤ p99, and every
-    /// percentile is a representable bucket upper bound.
+    /// interpolated percentile lands inside a bucket that actually holds
+    /// samples (the answer is never pulled outside the recorded data's
+    /// own power-of-two ranges).
     #[test]
     fn percentiles_are_monotone(samples in proptest::collection::vec(0u64..1_000_000_000, 1..200)) {
         let h = histogram_of(&samples);
@@ -54,8 +56,14 @@ proptest! {
         );
         prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
         prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
-        let is_bound = |v: u64| (0..HISTOGRAM_BUCKETS).any(|i| Histogram::bucket_upper_bound(i) == v);
-        prop_assert!(is_bound(p50) && is_bound(p90) && is_bound(p99));
+        let counts = h.bucket_counts();
+        let in_nonempty_bucket = |v: u64| (0..HISTOGRAM_BUCKETS).any(|i| {
+            let lower = if i == 0 { 0 } else { Histogram::bucket_upper_bound(i - 1) };
+            counts[i] > 0 && v >= lower && v <= Histogram::bucket_upper_bound(i)
+        });
+        for (label, v) in [("p50", p50), ("p90", p90), ("p99", p99)] {
+            prop_assert!(in_nonempty_bucket(v), "{label} {v} outside all nonempty buckets");
+        }
     }
 
     /// Merging two histograms is indistinguishable from recording the

@@ -8,9 +8,17 @@
 //! ```text
 //! ntr-loadgen --stdio --smoke            # CI gate: 50 requests, no errors, valid /metrics
 //! ntr-loadgen --stdio --bench            # 1-worker vs 4-worker throughput comparison
+//! ntr-loadgen --stdio --bench --baseline FILE   # + per-phase deltas vs a prior artifact
 //! ntr-loadgen --stdio [--nets N] [--size K] [--repeat F] [--workers N]
 //!             [--rate R] [--seed S] [--out FILE] [--serve-bin PATH]
 //! ```
+//!
+//! `--baseline FILE` points at a previously written
+//! `results/serve_throughput.json`; each phase's latency percentiles are
+//! judged with the same threshold rule as the `ntr-bench` regression
+//! gate ([`ntr_obs::compare`]) and printed as a delta table. Raw
+//! percentiles carry no confidence interval, so the comparison is
+//! threshold-only and informational — it never fails the run.
 //!
 //! The generator enforces a client-side in-flight window smaller than
 //! the server's queue, so a healthy run never trips backpressure; an
@@ -37,6 +45,7 @@ fn usage() -> ! {
          \x20                [--rate R]      target requests/sec (default: unpaced)\n\
          \x20                [--seed S]      workload seed (default 1994)\n\
          \x20                [--out FILE]    write the bench JSON artifact here\n\
+         \x20                [--baseline F]  prior bench artifact to print deltas against\n\
          \x20                [--serve-bin P] path to ntr-serve (default: sibling binary)"
     );
     std::process::exit(2);
@@ -399,7 +408,52 @@ fn latency_percentiles(r: &RunResult) -> Json {
     ])
 }
 
-fn bench(serve_bin: &PathBuf, w: Workload, out: Option<&str>) -> i32 {
+/// Prints per-phase latency-percentile deltas between the fresh bench
+/// artifact and a previously written one, using the shared verdict rule
+/// from [`ntr_obs::compare`]. Informational only — the exit code is
+/// unaffected.
+fn print_baseline_deltas(current: &Json, baseline_path: &str) -> Result<(), String> {
+    use ntr_obs::compare::{classify, shift_pct, Measurement};
+
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    let baseline = Json::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+
+    println!("vs baseline {baseline_path}:");
+    println!(
+        "  {:<28} {:>10} {:>10} {:>8}  verdict",
+        "phase", "base us", "now us", "shift"
+    );
+    for phase in ["single_worker_latency_us", "four_worker_latency_us"] {
+        for pct in ["p50", "p90", "p95", "p99"] {
+            let read = |doc: &Json| {
+                doc.get(phase)
+                    .and_then(|p| p.get(pct))
+                    .and_then(Json::as_f64)
+            };
+            let (Some(base), Some(now)) = (read(&baseline), read(current)) else {
+                println!("  {phase}.{pct:<24} missing on one side, skipped");
+                continue;
+            };
+            let verdict = classify(
+                Measurement::point(base),
+                Measurement::point(now),
+                ntr_obs::compare::DEFAULT_THRESHOLD_PCT,
+            );
+            println!(
+                "  {:<28} {:>10.0} {:>10.0} {:>+7.1}%  {}",
+                format!("{phase}.{pct}"),
+                base,
+                now,
+                shift_pct(base, now),
+                verdict.as_str()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn bench(serve_bin: &PathBuf, w: Workload, out: Option<&str>, baseline: Option<&str>) -> i32 {
     let requests = generate_requests(w);
     let single = match run_against_server(serve_bin, 1, &requests, None) {
         Ok(r) => r,
@@ -439,6 +493,13 @@ fn bench(serve_bin: &PathBuf, w: Workload, out: Option<&str>) -> i32 {
         ("single_worker_latency_us", latency_percentiles(&single)),
         ("four_worker_latency_us", latency_percentiles(&four)),
     ]);
+    // Compare before overwriting: `--baseline` may point at the same
+    // path `--out` is about to replace.
+    if let Some(baseline_path) = baseline {
+        if let Err(e) = print_baseline_deltas(&artifact, baseline_path) {
+            eprintln!("baseline comparison skipped: {e}");
+        }
+    }
     if let Some(path) = out {
         if let Some(dir) = std::path::Path::new(path).parent() {
             let _ = std::fs::create_dir_all(dir);
@@ -465,6 +526,7 @@ fn main() -> std::process::ExitCode {
     let mut workers = 4usize;
     let mut rate: Option<f64> = None;
     let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
     let mut serve_bin_arg: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -498,6 +560,7 @@ fn main() -> std::process::ExitCode {
                 None => usage(),
             },
             "--out" => out = args.next().or_else(|| usage()),
+            "--baseline" => baseline = args.next().or_else(|| usage()),
             "--serve-bin" => serve_bin_arg = args.next().or_else(|| usage()),
             _ => usage(),
         }
@@ -516,6 +579,10 @@ fn main() -> std::process::ExitCode {
         return std::process::ExitCode::FAILURE;
     }
 
+    if baseline.is_some() && !bench_mode {
+        eprintln!("--baseline compares bench artifacts; add --bench");
+        return std::process::ExitCode::from(2);
+    }
     let code = if smoke_mode {
         smoke(&serve_bin, workload.seed)
     } else if bench_mode {
@@ -523,6 +590,7 @@ fn main() -> std::process::ExitCode {
             &serve_bin,
             workload,
             Some(out.as_deref().unwrap_or("results/serve_throughput.json")),
+            baseline.as_deref(),
         )
     } else {
         let requests = generate_requests(workload);

@@ -1,13 +1,23 @@
 //! The JSON-lines request/response protocol.
 //!
-//! One JSON object per line in both directions. Four operations:
+//! One JSON object per line in both directions. Five operations:
 //!
 //! | request | response |
 //! |---|---|
 //! | `{"op":"route","id":1,"algorithm":"ldrg","net":{...}}` | `{"id":1,"ok":true,...}` |
 //! | `{"op":"stats"}` | `{"ok":true,"op":"stats",...}` |
 //! | `{"op":"metrics"}` | `{"ok":true,"op":"metrics","body":"<Prometheus exposition>"}` |
+//! | `{"op":"profile","top":5,"enable":true}` | `{"ok":true,"op":"profile","top":[...]}` |
 //! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}` then drain & exit |
+//!
+//! `profile` answers the "where does the time go" question from a
+//! running server: it drains the spans recorded since the last call,
+//! aggregates them into self-time per span name
+//! (see [`ntr_obs::profile`]), and returns the top `top` entries
+//! (default 10). The optional `enable` flag turns span recording on or
+//! off first — tracing is off by default, so a typical session is
+//! `{"op":"profile","enable":true}`, some traffic, then
+//! `{"op":"profile"}` to read the attribution.
 //!
 //! Route requests carry the net either as
 //! `"net":{"source":[x,y],"sinks":[[x,y],...]}` or as a flat
@@ -170,6 +180,14 @@ pub enum Request {
     Stats,
     /// Prometheus text exposition of the service's metrics registry.
     Metrics,
+    /// Span-based profile attribution: drain recorded spans, answer
+    /// with the top-N self-time entries.
+    Profile {
+        /// How many entries to return (default 10).
+        top: usize,
+        /// When present, switch span recording on/off before profiling.
+        enable: Option<bool>,
+    },
     /// Graceful shutdown: drain in-flight work, then exit.
     Shutdown,
 }
@@ -225,6 +243,23 @@ pub fn parse_request(doc: &Json) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
+        "profile" => {
+            let top = match doc.get("top") {
+                None => 10,
+                Some(v) => {
+                    let n = v.as_f64().ok_or("top must be a number")?;
+                    if !(n.is_finite() && n >= 1.0 && n == n.trunc()) {
+                        return Err("top must be a positive integer".to_owned());
+                    }
+                    n as usize
+                }
+            };
+            let enable = match doc.get("enable") {
+                None => None,
+                Some(v) => Some(v.as_bool().ok_or("enable must be a boolean")?),
+            };
+            Ok(Request::Profile { top, enable })
+        }
         "route" => {
             let algorithm = match doc.get("algorithm").and_then(Json::as_str) {
                 None => Algorithm::default(),
@@ -346,10 +381,32 @@ mod tests {
     }
 
     #[test]
+    fn profile_parses_with_defaults_and_options() {
+        assert_eq!(
+            parse_request(&Json::parse(r#"{"op":"profile"}"#).unwrap()).unwrap(),
+            Request::Profile {
+                top: 10,
+                enable: None
+            }
+        );
+        assert_eq!(
+            parse_request(&Json::parse(r#"{"op":"profile","top":3,"enable":true}"#).unwrap())
+                .unwrap(),
+            Request::Profile {
+                top: 3,
+                enable: Some(true)
+            }
+        );
+    }
+
+    #[test]
     fn bad_requests_are_rejected_with_reasons() {
         for line in [
             r#"{"x":1}"#,
             r#"{"op":"frobnicate"}"#,
+            r#"{"op":"profile","top":0}"#,
+            r#"{"op":"profile","top":2.5}"#,
+            r#"{"op":"profile","enable":"yes"}"#,
             r#"{"op":"route"}"#,
             r#"{"op":"route","pins":[[0,0]]}"#,
             r#"{"op":"route","pins":[[0,0],[1]]}"#,

@@ -68,6 +68,39 @@ fn handle_line(service: &Arc<Service>, writer: &SharedWriter, line: &str) -> boo
             );
             false
         }
+        Ok(Request::Profile { top, enable }) => {
+            if let Some(on) = enable {
+                ntr_obs::span::set_enabled(on);
+            }
+            let spans = ntr_obs::span::take_spans();
+            let profile = ntr_obs::profile::build_profile(&spans);
+            let entries = ntr_obs::profile::top_self(&profile, top)
+                .into_iter()
+                .map(|e| {
+                    Json::obj(vec![
+                        ("name", Json::str(e.name)),
+                        ("self_ns", Json::Num(e.self_ns as f64)),
+                        ("count", Json::Num(e.count as f64)),
+                    ])
+                })
+                .collect();
+            write_line(
+                writer,
+                &Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::str("profile")),
+                    ("tracing", Json::Bool(ntr_obs::span::enabled())),
+                    ("spans", Json::Num(profile.spans as f64)),
+                    ("total_ns", Json::Num(profile.total_ns() as f64)),
+                    (
+                        "dropped_total",
+                        Json::Num(ntr_obs::span::dropped_spans() as f64),
+                    ),
+                    ("top", Json::Arr(entries)),
+                ]),
+            );
+            false
+        }
         Ok(Request::Shutdown) => {
             write_line(
                 writer,

@@ -70,6 +70,10 @@ pub struct ServiceStats {
     /// End-to-end latency of successful non-cached routes (enqueue to
     /// response).
     pub latency: Arc<Histogram>,
+    /// Spans lost to collector overflow (mirrors the process-global
+    /// [`ntr_obs::span::dropped_spans`]; refreshed at scrape time so
+    /// trace truncation is visible in `/metrics`).
+    pub spans_dropped: Arc<Counter>,
     per_algorithm: Mutex<BTreeMap<&'static str, u64>>,
     oracle: Mutex<OracleStats>,
 }
@@ -113,6 +117,10 @@ impl Default for ServiceStats {
             latency: registry.histogram(
                 "ntr_request_latency_us",
                 "End-to-end latency of non-cached routes, microseconds",
+            ),
+            spans_dropped: counter(
+                "ntr_spans_dropped_total",
+                "Trace spans lost to collector overflow",
             ),
             started: Instant::now(),
             registry,
@@ -161,6 +169,11 @@ impl ServiceStats {
     pub fn prometheus(&self, queue_depth: usize, cache_entries: usize) -> String {
         self.queue_depth.set(queue_depth as i64);
         self.cache_entries.set(cache_entries as i64);
+        // Mirror the process-global dropped-span count into the
+        // registry's counter without ever decrementing it.
+        let global = ntr_obs::span::dropped_spans();
+        self.spans_dropped
+            .add(global.saturating_sub(self.spans_dropped.get()));
         ntr_obs::prometheus::render(&self.registry)
     }
 
@@ -246,6 +259,10 @@ mod tests {
         assert!(text.contains("ntr_queue_depth 4"));
         assert!(text.contains("ntr_cache_entries 9"));
         assert!(text.contains("ntr_request_latency_us_count 1"));
+        assert!(
+            text.contains("ntr_spans_dropped_total"),
+            "dropped-span counter missing from exposition:\n{text}"
+        );
     }
 
     #[test]

@@ -48,6 +48,33 @@ fn stdio_round_trip_with_cache_stats_and_shutdown() {
     assert_eq!(stats.get("cache_hits").and_then(Json::as_f64), Some(1.0));
     assert!(stats.get("per_algorithm").unwrap().get("ldrg").is_some());
 
+    // Profile: enable tracing, route, then read the attribution.
+    let armed = ask(r#"{"op":"profile","enable":true}"#);
+    assert_eq!(armed.get("ok"), Some(&Json::Bool(true)), "{armed}");
+    assert_eq!(armed.get("tracing"), Some(&Json::Bool(true)));
+    let traced = ask(&route.replace(r#""id":1"#, r#""id":3,"cache":false"#));
+    assert_eq!(traced.get("ok"), Some(&Json::Bool(true)), "{traced}");
+    let profile = ask(r#"{"op":"profile","top":5,"enable":false}"#);
+    assert_eq!(profile.get("op").and_then(Json::as_str), Some("profile"));
+    assert!(
+        profile.get("spans").and_then(Json::as_f64).unwrap() >= 1.0,
+        "{profile}"
+    );
+    let top = profile
+        .get("top")
+        .and_then(Json::as_arr)
+        .expect("top array");
+    assert!(!top.is_empty() && top.len() <= 5, "{profile}");
+    assert!(
+        top.iter()
+            .any(|e| { e.get("name").and_then(Json::as_str) == Some("server.request") }),
+        "server.request span missing from {profile}"
+    );
+    for e in top {
+        assert!(e.get("self_ns").and_then(Json::as_f64).is_some());
+        assert!(e.get("count").and_then(Json::as_f64).unwrap() >= 1.0);
+    }
+
     // Graceful shutdown: acknowledged, then the process exits cleanly.
     let bye = ask(r#"{"op":"shutdown"}"#);
     assert_eq!(bye.get("op").and_then(Json::as_str), Some("shutdown"));
