@@ -190,6 +190,8 @@ fn run_server_round_trip(iters: usize, warmup: usize) -> Vec<f64> {
                 // The cache would turn every iteration after the first
                 // into a lookup; bypass it so each round trip routes.
                 use_cache: false,
+                retries: 0,
+                degrade: false,
             },
             Box::new(move |response| {
                 let _ = tx.send(response);

@@ -3,7 +3,7 @@
 //! cover the true median, and the `ntr-bench --gate` binary must turn a
 //! synthetic slowdown into a nonzero exit.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use ntr_bench::artifact::write_artifact;
@@ -88,7 +88,7 @@ fn write_synthetic(dir: &PathBuf, names: &[&str], center: f64, seed: u64) {
     }
 }
 
-fn run_gate(current: &PathBuf, baseline: &PathBuf) -> std::process::Output {
+fn run_gate(current: &Path, baseline: &Path) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_ntr-bench"))
         .args([
             "--compare-only",

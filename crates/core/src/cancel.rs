@@ -101,6 +101,33 @@ impl CancelToken {
         self.deadline
     }
 
+    /// Time left until the deadline (`None` when the token has no
+    /// deadline; [`Duration::ZERO`] once it has passed).
+    ///
+    /// This is the budget the resilience layer compares against its
+    /// per-fidelity cost estimates when deciding whether a full-fidelity
+    /// route still fits (see [`route_one`](crate::route_one)).
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// A token sharing this token's explicit-cancel flag but with the
+    /// deadline stripped.
+    ///
+    /// Used by the degradation floor: the cheapest fidelity rung must be
+    /// allowed to serve even after the deadline has passed (that is the
+    /// point of degrading), while still honoring an explicit
+    /// [`CancelToken::cancel`] from shutdown.
+    #[must_use]
+    pub fn without_deadline(&self) -> CancelToken {
+        Self {
+            flag: self.flag.clone(),
+            deadline: None,
+        }
+    }
+
     /// Trips the token (and every clone of it).
     ///
     /// A no-op on the inert [`CancelToken::default`] token, which has no
@@ -183,6 +210,26 @@ mod tests {
         let far = CancelToken::deadline_in(Duration::from_secs(3600));
         assert!(!far.is_cancelled());
         assert!(far.deadline().is_some());
+    }
+
+    #[test]
+    fn remaining_tracks_the_deadline() {
+        assert_eq!(CancelToken::new().remaining(), None);
+        let t = CancelToken::deadline_in(Duration::from_secs(3600));
+        let left = t.remaining().unwrap();
+        assert!(left > Duration::from_secs(3599));
+        let expired = CancelToken::deadline_in(Duration::ZERO);
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn without_deadline_keeps_the_flag_but_drops_the_clock() {
+        let t = CancelToken::deadline_in(Duration::ZERO);
+        assert!(t.is_cancelled());
+        let floor = t.without_deadline();
+        assert!(!floor.is_cancelled(), "deadline must not trip the floor");
+        t.cancel();
+        assert!(floor.is_cancelled(), "explicit cancel still propagates");
     }
 
     #[test]

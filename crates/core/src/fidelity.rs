@@ -1,0 +1,187 @@
+//! The fidelity ladder: which delay model a route is evaluated under.
+//!
+//! The paper's algorithm spectrum — SPICE-accurate LDRG/H1 down to the
+//! Elmore-only H2/H3 — is exactly a quality/cost trade-off. This module
+//! names the rungs so a serving layer can *descend* the ladder when a
+//! request's deadline budget no longer fits the requested model, instead
+//! of failing the request outright (see [`route_one`](crate::route_one)).
+//!
+//! Rungs, most to least accurate:
+//!
+//! 1. [`Fidelity::Transient`] — full transient simulation
+//!    ([`TransientOracle::new`](crate::TransientOracle::new)).
+//! 2. [`Fidelity::TransientFast`] — lumped-wire Backward-Euler transient
+//!    ([`TransientOracle::fast`](crate::TransientOracle::fast)).
+//! 3. [`Fidelity::Moment`] — graph Elmore via one sparse factorization
+//!    plus rank-1 updates ([`MomentOracle`](crate::MomentOracle)).
+//! 4. [`Fidelity::Tree`] — the O(k) tree-only Elmore bound on the *base
+//!    tree*, with no non-tree search at all. The floor: always cheap
+//!    enough to serve.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One rung of the fidelity ladder. Ordered most to least accurate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fidelity {
+    /// Full transient simulation of the extracted RC(L) circuit.
+    Transient,
+    /// Lumped-wire fast transient simulation.
+    TransientFast,
+    /// Graph Elmore (moment analysis); valid on cyclic graphs.
+    Moment,
+    /// Tree-only Elmore on the base tree, no candidate search.
+    Tree,
+}
+
+impl Fidelity {
+    /// Every rung, most accurate first.
+    pub const ALL: [Fidelity; 4] = [
+        Fidelity::Transient,
+        Fidelity::TransientFast,
+        Fidelity::Moment,
+        Fidelity::Tree,
+    ];
+
+    /// The wire name used in protocol responses and fault-plan scopes.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Fidelity::Transient => "transient",
+            Fidelity::TransientFast => "transient-fast",
+            Fidelity::Moment => "moment",
+            Fidelity::Tree => "tree",
+        }
+    }
+
+    /// Parses a wire name back into a rung.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Fidelity> {
+        Fidelity::ALL.into_iter().find(|f| f.as_str() == s)
+    }
+
+    /// The next rung down the ladder, or `None` at the floor.
+    ///
+    /// Both transient rungs degrade straight to [`Fidelity::Moment`]:
+    /// the fast transient model is a cheaper *simulation*, but under
+    /// pressure the next useful cost class is the moment engine (one
+    /// factorization + rank-1 updates), not a second simulation.
+    #[must_use]
+    pub fn degraded(self) -> Option<Fidelity> {
+        match self {
+            Fidelity::Transient | Fidelity::TransientFast => Some(Fidelity::Moment),
+            Fidelity::Moment => Some(Fidelity::Tree),
+            Fidelity::Tree => None,
+        }
+    }
+
+    /// Whether this rung runs the non-tree candidate search (everything
+    /// above the tree floor does).
+    #[must_use]
+    pub fn searches(self) -> bool {
+        self != Fidelity::Tree
+    }
+}
+
+impl fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-rung wall-clock cost estimates for one route, the numbers the
+/// degradation gate compares against the remaining deadline budget.
+///
+/// Defaults are seeded from the repo's bench medians on the DATE-94
+/// workload sizes (`results/bench_trajectory.json`); a serving layer
+/// replaces them with live estimates as requests complete (see the
+/// server's cost model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FidelityCosts {
+    /// Estimated cost of a full-transient route.
+    pub transient: Duration,
+    /// Estimated cost of a fast-transient route.
+    pub transient_fast: Duration,
+    /// Estimated cost of a moment-oracle route.
+    pub moment: Duration,
+    /// Estimated cost of the tree-Elmore floor.
+    pub tree: Duration,
+}
+
+impl Default for FidelityCosts {
+    fn default() -> Self {
+        Self {
+            transient: Duration::from_millis(2000),
+            transient_fast: Duration::from_millis(150),
+            moment: Duration::from_millis(10),
+            tree: Duration::from_micros(200),
+        }
+    }
+}
+
+impl FidelityCosts {
+    /// The estimate for one rung.
+    #[must_use]
+    pub fn estimate(&self, fidelity: Fidelity) -> Duration {
+        match fidelity {
+            Fidelity::Transient => self.transient,
+            Fidelity::TransientFast => self.transient_fast,
+            Fidelity::Moment => self.moment,
+            Fidelity::Tree => self.tree,
+        }
+    }
+
+    /// Replaces the estimate for one rung (live cost-model feedback).
+    pub fn set_estimate(&mut self, fidelity: Fidelity, cost: Duration) {
+        match fidelity {
+            Fidelity::Transient => self.transient = cost,
+            Fidelity::TransientFast => self.transient_fast = cost,
+            Fidelity::Moment => self.moment = cost,
+            Fidelity::Tree => self.tree = cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_descends_to_the_tree_floor() {
+        assert_eq!(Fidelity::Transient.degraded(), Some(Fidelity::Moment));
+        assert_eq!(Fidelity::TransientFast.degraded(), Some(Fidelity::Moment));
+        assert_eq!(Fidelity::Moment.degraded(), Some(Fidelity::Tree));
+        assert_eq!(Fidelity::Tree.degraded(), None);
+    }
+
+    #[test]
+    fn wire_names_round_trip() {
+        for f in Fidelity::ALL {
+            assert_eq!(Fidelity::parse(f.as_str()), Some(f));
+            assert_eq!(format!("{f}"), f.as_str());
+        }
+        assert_eq!(Fidelity::parse("spice"), None);
+    }
+
+    #[test]
+    fn default_costs_are_monotone_down_the_ladder() {
+        let c = FidelityCosts::default();
+        let mut last = Duration::MAX;
+        for f in Fidelity::ALL {
+            let est = c.estimate(f);
+            assert!(est < last, "{f} estimate {est:?} not below {last:?}");
+            last = est;
+        }
+    }
+
+    #[test]
+    fn set_estimate_updates_one_rung() {
+        let mut c = FidelityCosts::default();
+        c.set_estimate(Fidelity::Moment, Duration::from_millis(42));
+        assert_eq!(c.estimate(Fidelity::Moment), Duration::from_millis(42));
+        assert_eq!(
+            c.estimate(Fidelity::Tree),
+            FidelityCosts::default().estimate(Fidelity::Tree)
+        );
+    }
+}

@@ -20,6 +20,17 @@ pub struct HeuristicResult {
     pub added: Option<(NodeId, NodeId)>,
 }
 
+/// Options for the single-edge heuristics [`h2_with`] and [`h3_with`] —
+/// the same options-struct shape as [`LdrgOptions`], so all the search
+/// entry points read alike.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HeuristicOptions {
+    /// Cooperative cancellation, checked before the Elmore analysis. The
+    /// heuristics are O(k), so one check up front is enough. The default
+    /// token never trips.
+    pub cancel: CancelToken,
+}
+
 /// Maps each sink's pin index to its node id.
 fn sink_node_by_pin(graph: &RoutingGraph) -> Vec<NodeId> {
     let mut pairs: Vec<(usize, NodeId)> = graph
@@ -159,7 +170,27 @@ pub fn h1_with(
 /// # Errors
 ///
 /// Returns [`OracleError::NotATree`] when `tree` is not a spanning tree.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `h2_with(tree, tech, &HeuristicOptions::default())` — the options-struct entry point shared with h1_with/ldrg"
+)]
 pub fn h2(tree: &RoutingGraph, tech: &Technology) -> Result<HeuristicResult, OracleError> {
+    h2_with(tree, tech, &HeuristicOptions::default())
+}
+
+/// [`h2`] behind the shared options-struct signature (cooperative
+/// cancellation); the preferred entry point.
+///
+/// # Errors
+///
+/// Returns [`OracleError::NotATree`] when `tree` is not a spanning tree,
+/// or [`OracleError::Cancelled`] when the token has tripped.
+pub fn h2_with(
+    tree: &RoutingGraph,
+    tech: &Technology,
+    opts: &HeuristicOptions,
+) -> Result<HeuristicResult, OracleError> {
+    opts.cancel.check()?;
     let view = TreeView::new(tree)?;
     let analysis = ElmoreAnalysis::compute(&view, tech);
     let Some(worst) = analysis.max_sink() else {
@@ -194,7 +225,27 @@ pub fn h2(tree: &RoutingGraph, tech: &Technology) -> Result<HeuristicResult, Ora
 /// # Errors
 ///
 /// Returns [`OracleError::NotATree`] when `tree` is not a spanning tree.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `h3_with(tree, tech, &HeuristicOptions::default())` — the options-struct entry point shared with h1_with/ldrg"
+)]
 pub fn h3(tree: &RoutingGraph, tech: &Technology) -> Result<HeuristicResult, OracleError> {
+    h3_with(tree, tech, &HeuristicOptions::default())
+}
+
+/// [`h3`] behind the shared options-struct signature (cooperative
+/// cancellation); the preferred entry point.
+///
+/// # Errors
+///
+/// Returns [`OracleError::NotATree`] when `tree` is not a spanning tree,
+/// or [`OracleError::Cancelled`] when the token has tripped.
+pub fn h3_with(
+    tree: &RoutingGraph,
+    tech: &Technology,
+    opts: &HeuristicOptions,
+) -> Result<HeuristicResult, OracleError> {
+    opts.cancel.check()?;
     let view = TreeView::new(tree)?;
     let analysis = ElmoreAnalysis::compute(&view, tech);
     let source = tree.source();
@@ -273,7 +324,7 @@ mod tests {
         let view = TreeView::new(&g).unwrap();
         let worst = ElmoreAnalysis::compute(&view, &tech).max_sink().unwrap();
         drop(view);
-        let res = h2(&g, &tech).unwrap();
+        let res = h2_with(&g, &tech, &HeuristicOptions::default()).unwrap();
         if let Some((s, t)) = res.added {
             assert_eq!(s, g.source());
             assert_eq!(t, worst);
@@ -288,7 +339,7 @@ mod tests {
         let tech = Technology::date94();
         for seed in 0..10 {
             let g = mst(40 + seed, 12);
-            let res = h3(&g, &tech).unwrap();
+            let res = h3_with(&g, &tech, &HeuristicOptions::default()).unwrap();
             let Some((_, chosen)) = res.added else {
                 continue;
             };
@@ -320,8 +371,14 @@ mod tests {
             g.add_edge(g.source(), last).unwrap();
         }
         let tech = Technology::date94();
-        assert!(matches!(h2(&g, &tech), Err(OracleError::NotATree(_))));
-        assert!(matches!(h3(&g, &tech), Err(OracleError::NotATree(_))));
+        assert!(matches!(
+            h2_with(&g, &tech, &HeuristicOptions::default()),
+            Err(OracleError::NotATree(_))
+        ));
+        assert!(matches!(
+            h3_with(&g, &tech, &HeuristicOptions::default()),
+            Err(OracleError::NotATree(_))
+        ));
     }
 
     /// The paper: "the variants involving the Elmore delay formula can not
@@ -339,7 +396,9 @@ mod tests {
         for seed in 0..trials {
             let g = mst(300 + seed, 15);
             let base = crate::Objective::MaxDelay.score(&moment.evaluate(&g).unwrap());
-            let single = h2(&g, &tech).unwrap().graph;
+            let single = h2_with(&g, &tech, &HeuristicOptions::default())
+                .unwrap()
+                .graph;
             sum_single +=
                 crate::Objective::MaxDelay.score(&moment.evaluate(&single).unwrap()) / base;
             let iterated = h1(&g, &moment, 0).unwrap();
@@ -352,10 +411,45 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_options_entry_points() {
+        let tech = Technology::date94();
+        for seed in 0..5 {
+            let g = mst(60 + seed, 9);
+            let opts = HeuristicOptions::default();
+            assert_eq!(h2(&g, &tech).unwrap(), h2_with(&g, &tech, &opts).unwrap());
+            assert_eq!(h3(&g, &tech).unwrap(), h3_with(&g, &tech, &opts).unwrap());
+        }
+    }
+
+    #[test]
+    fn heuristics_observe_a_tripped_token() {
+        let tech = Technology::date94();
+        let g = mst(4, 8);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let opts = HeuristicOptions { cancel };
+        assert!(matches!(
+            h2_with(&g, &tech, &opts),
+            Err(OracleError::Cancelled(_))
+        ));
+        assert!(matches!(
+            h3_with(&g, &tech, &opts),
+            Err(OracleError::Cancelled(_))
+        ));
+    }
+
+    #[test]
     fn two_pin_net_heuristics_are_noops() {
         let g = mst(3, 2);
         let tech = Technology::date94();
-        assert!(h2(&g, &tech).unwrap().added.is_none());
-        assert!(h3(&g, &tech).unwrap().added.is_none());
+        assert!(h2_with(&g, &tech, &HeuristicOptions::default())
+            .unwrap()
+            .added
+            .is_none());
+        assert!(h3_with(&g, &tech, &HeuristicOptions::default())
+            .unwrap()
+            .added
+            .is_none());
     }
 }

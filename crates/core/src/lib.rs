@@ -30,6 +30,16 @@
 //!   two-moment metric via one sparse solve: the fast graph-capable model.
 //! - [`TreeElmoreOracle`] — the O(k) tree-only formula used by H2/H3.
 //!
+//! # Unified dispatch and resilience
+//!
+//! [`route_one`] routes one net through any [`Algorithm`] under a
+//! [`Budget`] and returns a single [`RoutingOutcome`]. On top of the
+//! legacy entry points it adds the serving resilience layer: a
+//! [`Fidelity`] ladder the dispatch descends instead of failing when the
+//! deadline budget runs out, retry with jittered backoff
+//! ([`RetryPolicy`]) for transient oracle failures, and deterministic
+//! fault injection ([`FaultPlan`]) so both paths are testable.
+//!
 //! # Examples
 //!
 //! The headline experiment — improve an MST by adding one wire:
@@ -54,6 +64,8 @@
 
 mod cancel;
 mod exact;
+mod faults;
+mod fidelity;
 mod hashkey;
 mod heuristics;
 mod horg;
@@ -61,6 +73,8 @@ mod ldrg;
 mod netlist;
 mod objective;
 mod oracle;
+mod retry;
+mod routing;
 mod sldrg;
 mod sweep;
 mod trim;
@@ -68,8 +82,11 @@ mod wsorg;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use exact::{exact_org, ExactOrgError};
+pub use faults::{FaultPlan, FaultScope, FaultingOracle, InjectedFault};
+pub use fidelity::{Fidelity, FidelityCosts};
 pub use hashkey::{canonical_net_hash, Fnv64};
-pub use heuristics::{h1, h1_with, h2, h3, HeuristicResult};
+#[allow(deprecated)]
+pub use heuristics::{h1, h1_with, h2, h2_with, h3, h3_with, HeuristicOptions, HeuristicResult};
 pub use horg::{horg, HorgOptions, HorgResult};
 pub use ldrg::{ldrg, ldrg_prefiltered, IterationRecord, LdrgOptions, LdrgResult};
 pub use netlist::{route_netlist, NetlistRouteOptions, RoutedNet};
@@ -78,6 +95,8 @@ pub use oracle::{
     DelayOracle, DelayReport, MomentMetric, MomentOracle, OracleError, TransientOracle,
     TreeElmoreOracle,
 };
+pub use retry::RetryPolicy;
+pub use routing::{route_one, Algorithm, Budget, DegradePolicy, RouteError, RoutingOutcome};
 pub use sldrg::sldrg;
 pub use sweep::{
     best_below, candidate_oracle_for, sweep_candidates, Candidate, CandidateOracle,

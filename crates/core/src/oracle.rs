@@ -7,6 +7,7 @@ use ntr_graph::{NotATreeError, RoutingGraph, TreeView};
 use ntr_spice::{d2m_delay, elmore_delays, sink_delays, SimConfig, SimError};
 
 use crate::cancel::Cancelled;
+use crate::faults::InjectedFault;
 use crate::sweep::CandidateOracle;
 
 /// Per-sink delays of a routing evaluated by some [`DelayOracle`].
@@ -83,6 +84,34 @@ pub enum OracleError {
     /// The search observed a tripped [`CancelToken`](crate::CancelToken)
     /// (explicit cancellation or an expired deadline) and stopped early.
     Cancelled(Cancelled),
+    /// A fault injected by a [`FaultPlan`](crate::FaultPlan) — always
+    /// transient, exists so retry and degradation paths are testable.
+    Injected(InjectedFault),
+}
+
+impl OracleError {
+    /// Whether a retry of the same evaluation could plausibly succeed.
+    ///
+    /// Transient errors are injected faults and singular refactorizations
+    /// (a numerically unlucky pivot sequence on an otherwise well-posed
+    /// system). Structural errors — non-tree input to a tree oracle,
+    /// extraction failures, cancellation — are permanent: retrying the
+    /// identical evaluation cannot change the outcome.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        use ntr_sparse::SolveError;
+        matches!(
+            self,
+            OracleError::Injected(_)
+                | OracleError::Sim(SimError::Solve(SolveError::Singular { .. }))
+        )
+    }
+
+    /// Whether this error is a tripped [`CancelToken`](crate::CancelToken).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, OracleError::Cancelled(_))
+    }
 }
 
 impl fmt::Display for OracleError {
@@ -92,6 +121,7 @@ impl fmt::Display for OracleError {
             OracleError::Extract(e) => write!(f, "extraction failed: {e}"),
             OracleError::Sim(e) => write!(f, "simulation failed: {e}"),
             OracleError::Cancelled(e) => write!(f, "{e}"),
+            OracleError::Injected(e) => write!(f, "{e}"),
         }
     }
 }
@@ -103,6 +133,7 @@ impl Error for OracleError {
             OracleError::Extract(e) => Some(e),
             OracleError::Sim(e) => Some(e),
             OracleError::Cancelled(e) => Some(e),
+            OracleError::Injected(e) => Some(e),
         }
     }
 }
@@ -125,6 +156,11 @@ impl From<SimError> for OracleError {
 impl From<Cancelled> for OracleError {
     fn from(e: Cancelled) -> Self {
         OracleError::Cancelled(e)
+    }
+}
+impl From<InjectedFault> for OracleError {
+    fn from(e: InjectedFault) -> Self {
+        OracleError::Injected(e)
     }
 }
 

@@ -1,0 +1,178 @@
+//! Retry with jittered exponential backoff for transient oracle failures.
+//!
+//! A singular refactorization (an unlucky pivot sequence) or an injected
+//! fault does not mean the route is unroutable — the same evaluation can
+//! succeed on the next attempt. [`RetryPolicy`] bounds how many times
+//! [`route_one`](crate::route_one) re-runs a failed rung and how long it
+//! sleeps between attempts; sleeps are capped by the request's remaining
+//! deadline budget so retries compose with the existing
+//! [`CancelToken`](crate::CancelToken) instead of overrunning it.
+//!
+//! Jitter is deterministic: attempt `n` under seed `s` always draws the
+//! same factor (a SplitMix64 stream), so chaos tests and replayed
+//! requests behave identically.
+
+use std::time::Duration;
+
+use crate::CancelToken;
+
+/// Advances a SplitMix64 state and returns the next output word.
+///
+/// The same tiny generator the load generator and fault plans use —
+/// deterministic, seedable, and dependency-free.
+#[must_use]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a word to a uniform float in `[0, 1)`.
+#[must_use]
+pub(crate) fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// How many times to retry a transient oracle failure, and how long to
+/// wait between attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries per fidelity rung after the first attempt (0 disables
+    /// retry entirely).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Multiplier applied per subsequent retry.
+    pub factor: f64,
+    /// Upper bound on a single backoff sleep.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            base: Duration::from_millis(1),
+            factor: 2.0,
+            cap: Duration::from_millis(100),
+            seed: 0x006e_7472, // "ntr"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// The backoff before retry number `attempt` (0-based): full
+    /// exponential `base · factor^attempt`, capped at `cap`, then scaled
+    /// by a jitter factor drawn uniformly from `[0.5, 1.0)` so
+    /// simultaneous retries de-synchronize.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base.as_secs_f64() * self.factor.powi(attempt as i32);
+        let capped = exp.min(self.cap.as_secs_f64());
+        // One fresh SplitMix64 stream per (seed, attempt): deterministic
+        // without shared mutable state.
+        let mut state = self.seed ^ (u64::from(attempt)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let jitter = 0.5 + 0.5 * unit_f64(splitmix64(&mut state));
+        Duration::from_secs_f64(capped * jitter)
+    }
+
+    /// Sleeps for the attempt's backoff, capped by the token's remaining
+    /// deadline budget. Returns `false` without sleeping when the token
+    /// has already tripped (no budget left — the caller should degrade
+    /// or give up rather than retry).
+    pub fn sleep_before_retry(&self, attempt: u32, cancel: &CancelToken) -> bool {
+        if cancel.is_cancelled() {
+            return false;
+        }
+        let mut pause = self.backoff(attempt);
+        if let Some(left) = cancel.remaining() {
+            pause = pause.min(left);
+        }
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
+        !cancel.is_cancelled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_within_jitter_bounds() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_millis(2),
+            factor: 2.0,
+            cap: Duration::from_secs(1),
+            seed: 7,
+        };
+        for attempt in 0..5u32 {
+            let nominal = 0.002 * 2f64.powi(attempt as i32);
+            let b = p.backoff(attempt).as_secs_f64();
+            assert!(b >= nominal * 0.5 - 1e-12, "attempt {attempt}: {b}");
+            assert!(b < nominal + 1e-12, "attempt {attempt}: {b}");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_attempt() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(3), p.backoff(3));
+        let other = RetryPolicy {
+            seed: p.seed + 1,
+            ..p
+        };
+        assert_ne!(p.backoff(3), other.backoff(3));
+    }
+
+    #[test]
+    fn backoff_respects_the_cap() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base: Duration::from_millis(10),
+            factor: 10.0,
+            cap: Duration::from_millis(50),
+            seed: 1,
+        };
+        assert!(p.backoff(9) <= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn sleep_refuses_once_cancelled() {
+        let p = RetryPolicy::default();
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(!p.sleep_before_retry(0, &t));
+    }
+
+    #[test]
+    fn sleep_is_capped_by_the_deadline_budget() {
+        let p = RetryPolicy {
+            base: Duration::from_secs(10),
+            cap: Duration::from_secs(10),
+            ..RetryPolicy::default()
+        };
+        let t = CancelToken::deadline_in(Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        p.sleep_before_retry(0, &t);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "slept past the deadline budget"
+        );
+    }
+}

@@ -1,0 +1,835 @@
+//! The unified routing entry point: one [`Algorithm`] enum, one
+//! [`Budget`], one [`RoutingOutcome`] — and [`route_one`], the resilient
+//! dispatch that the server engine and the eval harness share.
+//!
+//! Historically each algorithm had its own free function and result type
+//! (`ldrg(tree, oracle, opts) -> LdrgResult`, `h2(tree, tech) ->
+//! HeuristicResult`, …). Those entry points remain — [`route_one`] calls
+//! them, and the equivalence tests pin its results bit-identical to
+//! theirs — but callers that just want "route this net under this
+//! budget" now have a single surface that also carries the resilience
+//! machinery:
+//!
+//! - **Graceful degradation** down the [`Fidelity`] ladder when the
+//!   remaining deadline budget no longer fits the requested model
+//!   (preemptively, from [`FidelityCosts`] estimates) or when a rung
+//!   keeps failing transiently / runs out of deadline mid-search.
+//! - **Retry with jittered exponential backoff** ([`RetryPolicy`]) for
+//!   transient oracle failures — injected faults and singular
+//!   refactorizations.
+//! - **Fault injection** ([`FaultPlan`](crate::FaultPlan)) threaded
+//!   through every oracle the dispatch constructs, so both paths above
+//!   are testable.
+//!
+//! The tree floor runs with the deadline stripped from the cancel token
+//! ([`CancelToken::without_deadline`]): a degraded-but-served response
+//! after the deadline beats a hard `deadline` error, which is the whole
+//! point of the ladder. Explicit cancellation (shutdown) still aborts it.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use ntr_circuit::Technology;
+use ntr_ert::{elmore_routing_tree, ErtOptions};
+use ntr_geom::Net;
+use ntr_graph::{prim_mst, RoutingGraph};
+
+use crate::faults::{FaultPlan, FaultingOracle};
+use crate::fidelity::{Fidelity, FidelityCosts};
+use crate::heuristics::{h2_with, h3_with, HeuristicOptions, HeuristicResult};
+use crate::retry::RetryPolicy;
+use crate::wsorg::WireSizeResult;
+use crate::{
+    h1_with, ldrg, CancelToken, DelayOracle, IterationRecord, LdrgOptions, LdrgResult,
+    MomentOracle, OracleError, OracleStats, TransientOracle, TreeElmoreOracle,
+};
+
+/// The routing algorithms [`route_one`] dispatches over — the same set
+/// the server protocol exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// Prim MST baseline (no non-tree optimization).
+    Mst,
+    /// The paper's LDRG greedy edge addition (the default).
+    #[default]
+    Ldrg,
+    /// H1: iterated source-to-worst-sink edge.
+    H1,
+    /// H2: single Elmore-guided source edge.
+    H2,
+    /// H3: pathlength×Elmore/length rule.
+    H3,
+    /// Elmore routing tree (no cycles).
+    Ert,
+    /// LDRG on top of an ERT.
+    ErtLdrg,
+}
+
+impl Algorithm {
+    /// Every variant, in wire-name order.
+    pub const VARIANTS: [Algorithm; 7] = [
+        Algorithm::Mst,
+        Algorithm::Ldrg,
+        Algorithm::H1,
+        Algorithm::H2,
+        Algorithm::H3,
+        Algorithm::Ert,
+        Algorithm::ErtLdrg,
+    ];
+
+    /// All wire names, for error messages.
+    pub const ALL: [&'static str; 7] = ["mst", "ldrg", "h1", "h2", "h3", "ert", "ert-ldrg"];
+
+    /// Parses the wire form.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        Some(match s {
+            "mst" => Algorithm::Mst,
+            "ldrg" => Algorithm::Ldrg,
+            "h1" => Algorithm::H1,
+            "h2" => Algorithm::H2,
+            "h3" => Algorithm::H3,
+            "ert" => Algorithm::Ert,
+            "ert-ldrg" => Algorithm::ErtLdrg,
+            _ => return None,
+        })
+    }
+
+    /// The wire form.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Algorithm::Mst => "mst",
+            Algorithm::Ldrg => "ldrg",
+            Algorithm::H1 => "h1",
+            Algorithm::H2 => "h2",
+            Algorithm::H3 => "h3",
+            Algorithm::Ert => "ert",
+            Algorithm::ErtLdrg => "ert-ldrg",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// When and how [`route_one`] descends the fidelity ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradePolicy {
+    /// Master switch. Off, a tripped deadline or exhausted retry budget
+    /// is a hard error — the pre-resilience behavior.
+    pub enabled: bool,
+    /// A rung is attempted only when `estimate × safety_factor` fits the
+    /// remaining deadline budget (headroom for estimate error).
+    pub safety_factor: f64,
+    /// Per-rung cost estimates the preemptive gate compares against.
+    pub costs: FidelityCosts,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            safety_factor: 1.5,
+            costs: FidelityCosts::default(),
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// A policy that never degrades (hard failures instead).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything [`route_one`] may spend routing one net: the technology,
+/// the requested fidelity, search limits, deadline, retry budget, and
+/// degradation policy.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Interconnect technology.
+    pub tech: Technology,
+    /// The requested delay-model rung.
+    pub fidelity: Fidelity,
+    /// Cap on added edges / iterations (0 = until no improvement).
+    pub max_added_edges: usize,
+    /// Worker threads for candidate sweeps (0 = one per core). The
+    /// committed edge sequence is identical at every setting.
+    pub parallelism: usize,
+    /// Cooperative cancellation / deadline for the whole request.
+    pub cancel: CancelToken,
+    /// Retry budget for transient oracle failures.
+    pub retry: RetryPolicy,
+    /// Degradation policy.
+    pub degrade: DegradePolicy,
+    /// Fault-injection plan threaded through every oracle (chaos
+    /// testing); `None` in production.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Budget {
+    /// A budget with library defaults: moment fidelity, no deadline,
+    /// unlimited edges, all-cores sweeps, two retries, degradation on.
+    #[must_use]
+    pub fn new(tech: Technology) -> Self {
+        Self {
+            tech,
+            fidelity: Fidelity::Moment,
+            max_added_edges: 0,
+            parallelism: 0,
+            cancel: CancelToken::default(),
+            retry: RetryPolicy::default(),
+            degrade: DegradePolicy::default(),
+            faults: None,
+        }
+    }
+
+    /// Builder-style fidelity override.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Builder-style cancel-token override.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+}
+
+/// Why [`route_one`] failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// The delay oracle (or the search around it) failed.
+    Oracle(OracleError),
+    /// The base routing could not be constructed (degenerate net, ERT
+    /// failure).
+    Build(String),
+}
+
+impl RouteError {
+    /// Whether a retry could plausibly succeed
+    /// (see [`OracleError::is_transient`]).
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            RouteError::Oracle(e) => e.is_transient(),
+            RouteError::Build(_) => false,
+        }
+    }
+
+    /// Whether this is a tripped [`CancelToken`].
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        match self {
+            RouteError::Oracle(e) => e.is_cancelled(),
+            RouteError::Build(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Oracle(e) => write!(f, "{e}"),
+            RouteError::Build(e) => write!(f, "could not build the base routing: {e}"),
+        }
+    }
+}
+
+impl Error for RouteError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RouteError::Oracle(e) => Some(e),
+            RouteError::Build(_) => None,
+        }
+    }
+}
+
+impl From<OracleError> for RouteError {
+    fn from(e: OracleError) -> Self {
+        RouteError::Oracle(e)
+    }
+}
+
+impl From<crate::Cancelled> for RouteError {
+    fn from(e: crate::Cancelled) -> Self {
+        RouteError::Oracle(OracleError::Cancelled(e))
+    }
+}
+
+/// The unified result of any routing run — what [`LdrgResult`],
+/// [`HeuristicResult`], and [`WireSizeResult`] each carried a slice of.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingOutcome {
+    /// The final routing graph.
+    pub graph: RoutingGraph,
+    /// Objective value of the starting graph (seconds). `0.0` when the
+    /// producing entry point did not measure it (see
+    /// `From<HeuristicResult>`).
+    pub initial_delay: f64,
+    /// Objective value of the final graph (seconds).
+    pub final_delay: f64,
+    /// Wirelength of the starting graph (µm).
+    pub initial_cost: f64,
+    /// Wirelength of the final graph (µm).
+    pub final_cost: f64,
+    /// Non-tree edges committed on top of the base routing.
+    pub added_edges: usize,
+    /// Committed search iterations, in order (empty for one-shot
+    /// heuristics and baselines).
+    pub iterations: Vec<IterationRecord>,
+    /// Search-cost counters of the run.
+    pub stats: OracleStats,
+    /// The rung the result was actually computed at.
+    pub fidelity: Fidelity,
+    /// The rung the caller asked for.
+    pub requested_fidelity: Fidelity,
+    /// Transient-failure retries spent producing this result.
+    pub retries: u32,
+}
+
+impl RoutingOutcome {
+    /// Whether the ladder was descended below the requested rung.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.fidelity != self.requested_fidelity
+    }
+
+    /// The quality delta as rungs descended below the request (0 when
+    /// served at full fidelity).
+    #[must_use]
+    pub fn degradation_steps(&self) -> usize {
+        let pos = |f: Fidelity| Fidelity::ALL.iter().position(|&x| x == f).unwrap_or(0);
+        pos(self.fidelity).saturating_sub(pos(self.requested_fidelity))
+    }
+
+    /// Builder-style fidelity stamp, for the `From` conversions whose
+    /// source type does not know its rung.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self.requested_fidelity = fidelity;
+        self
+    }
+}
+
+/// An [`LdrgResult`] is a full outcome. The fidelity is stamped
+/// [`Fidelity::Moment`] (the serving default) because the result type
+/// does not record which oracle ran — use
+/// [`RoutingOutcome::with_fidelity`] to correct it.
+impl From<LdrgResult> for RoutingOutcome {
+    fn from(r: LdrgResult) -> Self {
+        let final_delay = r.final_delay();
+        let final_cost = r.final_cost();
+        Self {
+            graph: r.graph,
+            initial_delay: r.initial_delay,
+            final_delay,
+            initial_cost: r.initial_cost,
+            final_cost,
+            added_edges: r.iterations.len(),
+            iterations: r.iterations,
+            stats: r.stats,
+            fidelity: Fidelity::Moment,
+            requested_fidelity: Fidelity::Moment,
+            retries: 0,
+        }
+    }
+}
+
+/// A [`HeuristicResult`] does not measure delay (H2/H3 decide from the
+/// Elmore analysis of the *input* tree), so both delay fields convert as
+/// `0.0` — callers that need them evaluate the graph themselves, as
+/// [`route_one`] does. Fidelity is stamped [`Fidelity::Tree`], the model
+/// the heuristics consult.
+impl From<HeuristicResult> for RoutingOutcome {
+    fn from(r: HeuristicResult) -> Self {
+        let cost = r.graph.total_cost();
+        Self {
+            added_edges: usize::from(r.added.is_some()),
+            graph: r.graph,
+            initial_delay: 0.0,
+            final_delay: 0.0,
+            initial_cost: cost,
+            final_cost: cost,
+            iterations: Vec::new(),
+            stats: OracleStats::default(),
+            fidelity: Fidelity::Tree,
+            requested_fidelity: Fidelity::Tree,
+            retries: 0,
+        }
+    }
+}
+
+/// A [`WireSizeResult`] changes widths, not topology: zero added edges,
+/// cost recomputed from the final graph. Fidelity is stamped
+/// [`Fidelity::Moment`], WSORG's usual oracle — correct with
+/// [`RoutingOutcome::with_fidelity`] if a different one ran.
+impl From<WireSizeResult> for RoutingOutcome {
+    fn from(r: WireSizeResult) -> Self {
+        let cost = r.graph.total_cost();
+        Self {
+            graph: r.graph,
+            initial_delay: r.initial_delay,
+            final_delay: r.final_delay,
+            initial_cost: cost,
+            final_cost: cost,
+            added_edges: 0,
+            iterations: Vec::new(),
+            stats: r.stats,
+            fidelity: Fidelity::Moment,
+            requested_fidelity: Fidelity::Moment,
+            retries: 0,
+        }
+    }
+}
+
+/// The delay oracle for one rung.
+fn base_oracle(fidelity: Fidelity, tech: Technology) -> Box<dyn DelayOracle> {
+    match fidelity {
+        Fidelity::Transient => Box::new(TransientOracle::new(tech)),
+        Fidelity::TransientFast => Box::new(TransientOracle::fast(tech)),
+        Fidelity::Moment => Box::new(MomentOracle::new(tech)),
+        Fidelity::Tree => Box::new(TreeElmoreOracle::new(tech)),
+    }
+}
+
+/// The base routing an algorithm starts from (and what the tree floor
+/// serves): Prim MST, or the ERT for the ERT-seeded algorithms.
+fn base_tree(
+    net: &Net,
+    algorithm: Algorithm,
+    tech: &Technology,
+) -> Result<RoutingGraph, RouteError> {
+    match algorithm {
+        Algorithm::Ert | Algorithm::ErtLdrg => {
+            elmore_routing_tree(net, tech, &ErtOptions::default())
+                .map_err(|e| RouteError::Build(e.to_string()))
+        }
+        _ => Ok(prim_mst(net)),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn outcome(
+    graph: RoutingGraph,
+    initial_delay: f64,
+    final_delay: f64,
+    initial_cost: f64,
+    added_edges: usize,
+    iterations: Vec<IterationRecord>,
+    stats: OracleStats,
+    fidelity: Fidelity,
+) -> RoutingOutcome {
+    let final_cost = graph.total_cost();
+    RoutingOutcome {
+        graph,
+        initial_delay,
+        final_delay,
+        initial_cost,
+        final_cost,
+        added_edges,
+        iterations,
+        stats,
+        fidelity,
+        requested_fidelity: fidelity,
+        retries: 0,
+    }
+}
+
+/// One attempt at one rung. Mirrors the per-algorithm behavior of the
+/// legacy free functions exactly (the equivalence tests depend on it).
+fn run_at(
+    net: &Net,
+    algorithm: Algorithm,
+    fidelity: Fidelity,
+    budget: &Budget,
+) -> Result<RoutingOutcome, RouteError> {
+    let tech = budget.tech;
+    // The tree floor ignores the deadline (serving late beats failing)
+    // but still honors explicit cancellation.
+    let cancel = if fidelity == Fidelity::Tree {
+        budget.cancel.without_deadline()
+    } else {
+        budget.cancel.clone()
+    };
+    let base = base_oracle(fidelity, tech);
+    let faulting;
+    let oracle: &dyn DelayOracle = match &budget.faults {
+        Some(plan) => {
+            faulting = FaultingOracle::new(base.as_ref(), Arc::clone(plan), fidelity);
+            &faulting
+        }
+        None => base.as_ref(),
+    };
+    cancel.check().map_err(OracleError::from)?;
+
+    if fidelity == Fidelity::Tree {
+        // The floor: evaluate the base tree, no candidate search at all.
+        let graph = base_tree(net, algorithm, &tech)?;
+        let delay = oracle.evaluate(&graph)?.max();
+        let cost = graph.total_cost();
+        return Ok(outcome(
+            graph,
+            delay,
+            delay,
+            cost,
+            0,
+            Vec::new(),
+            OracleStats::default(),
+            fidelity,
+        ));
+    }
+
+    let opts = LdrgOptions {
+        max_added_edges: budget.max_added_edges,
+        parallelism: budget.parallelism,
+        cancel: cancel.clone(),
+        ..LdrgOptions::default()
+    };
+    match algorithm {
+        Algorithm::Mst => {
+            let graph = prim_mst(net);
+            let delay = oracle.evaluate(&graph)?.max();
+            let cost = graph.total_cost();
+            Ok(outcome(
+                graph,
+                delay,
+                delay,
+                cost,
+                0,
+                Vec::new(),
+                OracleStats::default(),
+                fidelity,
+            ))
+        }
+        Algorithm::Ldrg => {
+            let r = ldrg(&prim_mst(net), oracle, &opts)?;
+            Ok(RoutingOutcome::from(r).with_fidelity(fidelity))
+        }
+        Algorithm::H1 => {
+            let r = h1_with(
+                &prim_mst(net),
+                oracle,
+                budget.max_added_edges,
+                Some(&cancel),
+            )?;
+            Ok(RoutingOutcome::from(r).with_fidelity(fidelity))
+        }
+        Algorithm::H2 | Algorithm::H3 => {
+            let mst = prim_mst(net);
+            let initial = oracle.evaluate(&mst)?.max();
+            let initial_cost = mst.total_cost();
+            let hopts = HeuristicOptions {
+                cancel: cancel.clone(),
+            };
+            let r = if algorithm == Algorithm::H2 {
+                h2_with(&mst, &tech, &hopts)?
+            } else {
+                h3_with(&mst, &tech, &hopts)?
+            };
+            cancel.check().map_err(OracleError::from)?;
+            let delay = oracle.evaluate(&r.graph)?.max();
+            let added = usize::from(r.added.is_some());
+            Ok(outcome(
+                r.graph,
+                initial,
+                delay,
+                initial_cost,
+                added,
+                Vec::new(),
+                OracleStats::default(),
+                fidelity,
+            ))
+        }
+        Algorithm::Ert => {
+            let graph = base_tree(net, algorithm, &tech)?;
+            cancel.check().map_err(OracleError::from)?;
+            let delay = oracle.evaluate(&graph)?.max();
+            let cost = graph.total_cost();
+            Ok(outcome(
+                graph,
+                delay,
+                delay,
+                cost,
+                0,
+                Vec::new(),
+                OracleStats::default(),
+                fidelity,
+            ))
+        }
+        Algorithm::ErtLdrg => {
+            let tree = base_tree(net, algorithm, &tech)?;
+            let r = ldrg(&tree, oracle, &opts)?;
+            Ok(RoutingOutcome::from(r).with_fidelity(fidelity))
+        }
+    }
+}
+
+/// Routes one net under a [`Budget`] — the resilient unified entry
+/// point.
+///
+/// The fidelity ladder is walked in three situations:
+///
+/// 1. **Preemptively**: before running, while the remaining deadline
+///    budget is below `estimate × safety_factor` for the current rung.
+/// 2. **On transient failure**: the rung is retried under
+///    [`RetryPolicy`] first; when the per-request retry budget is
+///    exhausted (or backoff would overrun the deadline), the dispatch
+///    descends instead of failing.
+/// 3. **On deadline expiry mid-search**: a `Cancelled` rung descends;
+///    the tree floor then runs with the deadline stripped.
+///
+/// With degradation disabled — or when even the floor fails — the error
+/// propagates unchanged, which is the exact pre-resilience behavior.
+///
+/// # Errors
+///
+/// [`RouteError::Build`] when the base routing cannot be constructed;
+/// [`RouteError::Oracle`] when evaluation fails non-transiently, the
+/// token trips with degradation disabled, or the whole ladder fails.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_circuit::Technology;
+/// use ntr_core::{route_one, Algorithm, Budget};
+/// use ntr_geom::{Layout, NetGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = NetGenerator::new(Layout::date94(), 7).random_net(10)?;
+/// let budget = Budget::new(Technology::date94());
+/// let out = route_one(&net, Algorithm::Ldrg, &budget)?;
+/// assert!(out.final_delay <= out.initial_delay);
+/// assert!(!out.degraded());
+/// # Ok(())
+/// # }
+/// ```
+pub fn route_one(
+    net: &Net,
+    algorithm: Algorithm,
+    budget: &Budget,
+) -> Result<RoutingOutcome, RouteError> {
+    let _span = ntr_obs::span("route_one");
+    let requested = budget.fidelity;
+    let mut fidelity = requested;
+
+    // Preemptive descent: don't start a rung the budget can't fit.
+    if budget.degrade.enabled {
+        if let Some(left) = budget.cancel.remaining() {
+            while let Some(lower) = fidelity.degraded() {
+                let est = budget.degrade.costs.estimate(fidelity);
+                if est.mul_f64(budget.degrade.safety_factor.max(0.0)) <= left {
+                    break;
+                }
+                fidelity = lower;
+            }
+        }
+    }
+
+    let mut retries: u32 = 0;
+    loop {
+        match run_at(net, algorithm, fidelity, budget) {
+            Ok(mut out) => {
+                out.fidelity = fidelity;
+                out.requested_fidelity = requested;
+                out.retries = retries;
+                return Ok(out);
+            }
+            Err(err) => {
+                let transient = err.is_transient();
+                if transient && retries < budget.retry.max_retries {
+                    let attempt = retries;
+                    retries += 1;
+                    if budget.retry.sleep_before_retry(attempt, &budget.cancel) {
+                        continue; // same rung, next attempt
+                    }
+                    // Deadline consumed the backoff: degrade instead.
+                }
+                if budget.degrade.enabled && (transient || err.is_cancelled()) {
+                    if let Some(lower) = fidelity.degraded() {
+                        let _span = ntr_obs::span("route_one.degrade");
+                        fidelity = lower;
+                        continue;
+                    }
+                }
+                return Err(err);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntr_geom::{Layout, NetGenerator};
+    use std::time::Duration;
+
+    fn net(seed: u64, size: usize) -> Net {
+        NetGenerator::new(Layout::date94(), seed)
+            .random_net(size)
+            .unwrap()
+    }
+
+    fn chaos_budget(plan: &str) -> Budget {
+        Budget {
+            faults: Some(Arc::new(FaultPlan::parse(plan).unwrap())),
+            parallelism: 1,
+            ..Budget::new(Technology::date94())
+        }
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for (v, name) in Algorithm::VARIANTS.iter().zip(Algorithm::ALL) {
+            assert_eq!(v.as_str(), name);
+            assert_eq!(Algorithm::parse(name), Some(*v));
+            assert_eq!(format!("{v}"), name);
+        }
+        assert_eq!(Algorithm::parse("annealing"), None);
+    }
+
+    #[test]
+    fn every_algorithm_routes_at_full_fidelity() {
+        let budget = Budget::new(Technology::date94());
+        let n = net(5, 8);
+        for algorithm in Algorithm::VARIANTS {
+            let out =
+                route_one(&n, algorithm, &budget).unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+            assert!(!out.degraded());
+            assert_eq!(out.retries, 0);
+            assert!(out.final_delay.is_finite() && out.final_delay > 0.0);
+            assert!(out.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn certain_transient_faults_degrade_to_the_moment_rung() {
+        let budget = chaos_budget("seed=1;fail=transient:1.0")
+            .with_fidelity(Fidelity::TransientFast)
+            .with_cancel(CancelToken::deadline_in(Duration::from_secs(30)));
+        let out = route_one(&net(2, 7), Algorithm::Ldrg, &budget).unwrap();
+        assert!(out.degraded());
+        assert_eq!(out.fidelity, Fidelity::Moment);
+        assert_eq!(out.requested_fidelity, Fidelity::TransientFast);
+        assert_eq!(out.retries, budget.retry.max_retries);
+        assert_eq!(out.degradation_steps(), 1);
+    }
+
+    #[test]
+    fn faults_on_every_rung_are_a_hard_error() {
+        let budget = chaos_budget("fail=any:1.0");
+        let err = route_one(&net(3, 6), Algorithm::Ldrg, &budget).unwrap_err();
+        assert!(matches!(err, RouteError::Oracle(OracleError::Injected(_))));
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn degradation_disabled_propagates_the_transient_error() {
+        let mut budget = chaos_budget("fail=moment:1.0");
+        budget.degrade = DegradePolicy::disabled();
+        budget.retry = RetryPolicy::none();
+        let err = route_one(&net(4, 6), Algorithm::Ldrg, &budget).unwrap_err();
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn retry_recovers_when_faults_are_intermittent() {
+        // With ~50% failure and 4 retries, seeds exist where the first
+        // attempt fails and a retry lands; scan a few seeds to find one
+        // deterministically.
+        let mut recovered = false;
+        for seed in 0..20u64 {
+            let mut budget = chaos_budget(&format!("seed={seed};fail=moment:0.5"));
+            budget.retry.max_retries = 4;
+            if let Ok(out) = route_one(&net(6, 6), Algorithm::Mst, &budget) {
+                if out.retries > 0 && !out.degraded() {
+                    recovered = true;
+                    break;
+                }
+            }
+        }
+        assert!(recovered, "no seed produced a successful retry");
+    }
+
+    #[test]
+    fn expired_deadline_serves_the_tree_floor() {
+        let budget =
+            Budget::new(Technology::date94()).with_cancel(CancelToken::deadline_in(Duration::ZERO));
+        let out = route_one(&net(7, 8), Algorithm::Ldrg, &budget).unwrap();
+        assert_eq!(out.fidelity, Fidelity::Tree);
+        assert!(out.degraded());
+        assert_eq!(out.added_edges, 0);
+        assert!(out.graph.is_tree());
+        assert!(out.final_delay > 0.0);
+    }
+
+    #[test]
+    fn expired_deadline_without_degradation_is_cancelled() {
+        let mut budget =
+            Budget::new(Technology::date94()).with_cancel(CancelToken::deadline_in(Duration::ZERO));
+        budget.degrade = DegradePolicy::disabled();
+        let err = route_one(&net(7, 8), Algorithm::Ldrg, &budget).unwrap_err();
+        assert!(err.is_cancelled());
+    }
+
+    #[test]
+    fn explicit_cancel_aborts_even_the_floor() {
+        let budget = Budget::new(Technology::date94()).with_cancel(CancelToken::new());
+        budget.cancel.cancel();
+        let err = route_one(&net(8, 8), Algorithm::Ldrg, &budget).unwrap_err();
+        assert!(err.is_cancelled());
+    }
+
+    #[test]
+    fn tree_floor_serves_the_ert_base_for_ert_algorithms() {
+        let budget =
+            Budget::new(Technology::date94()).with_cancel(CancelToken::deadline_in(Duration::ZERO));
+        let n = net(9, 9);
+        let out = route_one(&n, Algorithm::ErtLdrg, &budget).unwrap();
+        assert_eq!(out.fidelity, Fidelity::Tree);
+        let ert = elmore_routing_tree(&n, &Technology::date94(), &ErtOptions::default()).unwrap();
+        assert_eq!(out.graph, ert);
+    }
+
+    #[test]
+    fn ldrg_result_converts_losslessly() {
+        let n = net(10, 8);
+        let tech = Technology::date94();
+        let r = ldrg(
+            &prim_mst(&n),
+            &MomentOracle::new(tech),
+            &LdrgOptions::default(),
+        )
+        .unwrap();
+        let expected_delay = r.final_delay();
+        let out: RoutingOutcome = r.clone().into();
+        assert_eq!(out.graph, r.graph);
+        assert_eq!(out.final_delay, expected_delay);
+        assert_eq!(out.added_edges, r.iterations.len());
+        assert_eq!(out.stats, r.stats);
+    }
+
+    #[test]
+    fn two_pin_net_routes_on_every_rung() {
+        let n = net(11, 2);
+        for fidelity in Fidelity::ALL {
+            let budget = Budget::new(Technology::date94()).with_fidelity(fidelity);
+            let out = route_one(&n, Algorithm::Ldrg, &budget)
+                .unwrap_or_else(|e| panic!("{fidelity}: {e}"));
+            assert_eq!(out.fidelity, fidelity);
+        }
+    }
+}

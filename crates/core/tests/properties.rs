@@ -2,8 +2,8 @@
 
 use ntr_circuit::Technology;
 use ntr_core::{
-    h1, h2, h3, ldrg, trim_redundant_edges, DelayOracle, LdrgOptions, MomentOracle, Objective,
-    TransientOracle, TrimOptions,
+    h1, h2_with, h3_with, ldrg, trim_redundant_edges, DelayOracle, HeuristicOptions, LdrgOptions,
+    MomentOracle, Objective, TransientOracle, TrimOptions,
 };
 use ntr_geom::{Layout, NetGenerator};
 use ntr_graph::prim_mst;
@@ -49,7 +49,7 @@ proptest! {
         let tech = Technology::date94();
         let oracle = MomentOracle::new(tech);
         let h1_res = h1(&mst, &oracle, 0).unwrap();
-        let h2_res = h2(&mst, &tech).unwrap();
+        let h2_res = h2_with(&mst, &tech, &HeuristicOptions::default()).unwrap();
         let score = |g: &ntr_graph::RoutingGraph| {
             Objective::MaxDelay.score(&oracle.evaluate(g).unwrap())
         };
@@ -69,7 +69,7 @@ proptest! {
     fn h3_adds_at_most_one_non_adjacent_edge(seed in 0u64..200, size in 2usize..12) {
         let net = NetGenerator::new(Layout::date94(), seed).random_net(size).unwrap();
         let mst = prim_mst(&net);
-        let res = h3(&mst, &Technology::date94()).unwrap();
+        let res = h3_with(&mst, &Technology::date94(), &HeuristicOptions::default()).unwrap();
         match res.added {
             None => prop_assert_eq!(res.graph.edge_count(), mst.edge_count()),
             Some((s, t)) => {

@@ -1,0 +1,161 @@
+//! Equivalence suite: `route_one` must be a pure re-dispatch of the
+//! legacy free functions — bit-identical graphs and delays on seeded
+//! nets for every `Algorithm` variant. The resilience machinery may
+//! only change results when it actually engages (degradation/retry),
+//! which these budgets never trigger.
+
+use ntr_circuit::Technology;
+use ntr_core::{
+    h1_with, h2_with, h3_with, ldrg, route_one, Algorithm, Budget, DelayOracle, Fidelity,
+    HeuristicOptions, LdrgOptions, MomentOracle, RoutingOutcome,
+};
+use ntr_ert::{elmore_routing_tree, ErtOptions};
+use ntr_geom::{Layout, Net, NetGenerator};
+use ntr_graph::prim_mst;
+
+const SEEDS: u64 = 20;
+const NET_SIZE: usize = 8;
+
+fn net(seed: u64) -> Net {
+    NetGenerator::new(Layout::date94(), seed)
+        .random_net(NET_SIZE)
+        .unwrap()
+}
+
+fn budget() -> Budget {
+    Budget::new(Technology::date94())
+}
+
+/// The legacy path for one algorithm, mirroring what the server engine
+/// did before the unified dispatch: (graph, initial_delay, final_delay).
+fn legacy(algorithm: Algorithm, n: &Net) -> (ntr_graph::RoutingGraph, f64, f64) {
+    let tech = Technology::date94();
+    let oracle = MomentOracle::new(tech);
+    let opts = LdrgOptions::default();
+    match algorithm {
+        Algorithm::Mst => {
+            let g = prim_mst(n);
+            let d = oracle.evaluate(&g).unwrap().max();
+            (g, d, d)
+        }
+        Algorithm::Ldrg => {
+            let r = ldrg(&prim_mst(n), &oracle, &opts).unwrap();
+            let (i, f) = (r.initial_delay, r.final_delay());
+            (r.graph, i, f)
+        }
+        Algorithm::H1 => {
+            let r = h1_with(&prim_mst(n), &oracle, 0, None).unwrap();
+            let (i, f) = (r.initial_delay, r.final_delay());
+            (r.graph, i, f)
+        }
+        Algorithm::H2 | Algorithm::H3 => {
+            let mst = prim_mst(n);
+            let initial = oracle.evaluate(&mst).unwrap().max();
+            let hopts = HeuristicOptions::default();
+            let r = if algorithm == Algorithm::H2 {
+                h2_with(&mst, &tech, &hopts).unwrap()
+            } else {
+                h3_with(&mst, &tech, &hopts).unwrap()
+            };
+            let f = oracle.evaluate(&r.graph).unwrap().max();
+            (r.graph, initial, f)
+        }
+        Algorithm::Ert => {
+            let g = elmore_routing_tree(n, &tech, &ErtOptions::default()).unwrap();
+            let d = oracle.evaluate(&g).unwrap().max();
+            (g, d, d)
+        }
+        Algorithm::ErtLdrg => {
+            let base = elmore_routing_tree(n, &tech, &ErtOptions::default()).unwrap();
+            let r = ldrg(&base, &oracle, &opts).unwrap();
+            let (i, f) = (r.initial_delay, r.final_delay());
+            (r.graph, i, f)
+        }
+    }
+}
+
+fn assert_identical(algorithm: Algorithm, seed: u64, out: &RoutingOutcome) {
+    let n = net(seed);
+    let (graph, initial, fin) = legacy(algorithm, &n);
+    assert_eq!(
+        out.graph, graph,
+        "{algorithm} seed {seed}: graphs differ from the legacy entry point"
+    );
+    // Bit-identical, not approximately equal: same code path, same
+    // floating-point operations, same result.
+    assert!(
+        out.initial_delay.to_bits() == initial.to_bits(),
+        "{algorithm} seed {seed}: initial delay {} != {initial}",
+        out.initial_delay
+    );
+    assert!(
+        out.final_delay.to_bits() == fin.to_bits(),
+        "{algorithm} seed {seed}: final delay {} != {fin}",
+        out.final_delay
+    );
+}
+
+#[test]
+fn route_one_matches_legacy_on_seeded_nets() {
+    let budget = budget();
+    for algorithm in Algorithm::VARIANTS {
+        for seed in 0..SEEDS {
+            let out = route_one(&net(seed), algorithm, &budget)
+                .unwrap_or_else(|e| panic!("{algorithm} seed {seed}: {e}"));
+            assert!(!out.degraded(), "{algorithm} seed {seed} degraded");
+            assert_eq!(out.fidelity, Fidelity::Moment);
+            assert_eq!(out.retries, 0);
+            assert_identical(algorithm, seed, &out);
+        }
+    }
+}
+
+#[test]
+fn route_one_is_deterministic_across_parallelism() {
+    for algorithm in [Algorithm::Ldrg, Algorithm::ErtLdrg] {
+        for seed in [3u64, 9, 17] {
+            let serial = route_one(
+                &net(seed),
+                algorithm,
+                &Budget {
+                    parallelism: 1,
+                    ..budget()
+                },
+            )
+            .unwrap();
+            let parallel = route_one(&net(seed), algorithm, &budget()).unwrap();
+            assert_eq!(serial.graph, parallel.graph, "{algorithm} seed {seed}");
+            assert_eq!(
+                serial.final_delay.to_bits(),
+                parallel.final_delay.to_bits(),
+                "{algorithm} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn max_added_edges_is_respected_through_the_dispatch() {
+    for seed in [1u64, 5, 13] {
+        let out = route_one(
+            &net(seed),
+            Algorithm::Ldrg,
+            &Budget {
+                max_added_edges: 1,
+                ..budget()
+            },
+        )
+        .unwrap();
+        assert!(out.added_edges <= 1, "seed {seed}: {}", out.added_edges);
+        let legacy = ldrg(
+            &prim_mst(&net(seed)),
+            &MomentOracle::new(Technology::date94()),
+            &LdrgOptions {
+                max_added_edges: 1,
+                ..LdrgOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.graph, legacy.graph, "seed {seed}");
+    }
+}

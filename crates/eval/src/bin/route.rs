@@ -23,8 +23,8 @@ use std::process::ExitCode;
 
 use ntr_circuit::{extract, to_spice_deck, ExtractOptions, Technology};
 use ntr_core::{
-    h1, h2, h3, horg, ldrg, route_netlist, sldrg, trim_redundant_edges, HorgOptions, LdrgOptions,
-    NetlistRouteOptions, TransientOracle, TrimOptions,
+    h1, h2_with, h3_with, horg, ldrg, route_netlist, sldrg, trim_redundant_edges, HeuristicOptions,
+    HorgOptions, LdrgOptions, NetlistRouteOptions, TransientOracle, TrimOptions,
 };
 use ntr_ert::{elmore_routing_tree, steiner_elmore_routing_tree, ErtOptions};
 use ntr_eval::EvalConfig;
@@ -109,8 +109,18 @@ fn build(
             let r = h1(&prim_mst(net), &oracle, 0).map_err(err)?;
             (r.graph, Some(r.stats))
         }
-        "h2" => (h2(&prim_mst(net), &tech).map_err(err)?.graph, None),
-        "h3" => (h3(&prim_mst(net), &tech).map_err(err)?.graph, None),
+        "h2" => (
+            h2_with(&prim_mst(net), &tech, &HeuristicOptions::default())
+                .map_err(err)?
+                .graph,
+            None,
+        ),
+        "h3" => (
+            h3_with(&prim_mst(net), &tech, &HeuristicOptions::default())
+                .map_err(err)?
+                .graph,
+            None,
+        ),
         "ldrg" => {
             let r = ldrg(&prim_mst(net), &oracle, &LdrgOptions::default()).map_err(err)?;
             (r.graph, Some(r.stats))
@@ -177,6 +187,8 @@ fn route_netlist_parallel(
                 deadline: None,
                 max_added_edges: 0,
                 use_cache: true,
+                retries: 2,
+                degrade: false,
             },
             Box::new(move |response| {
                 let _ = tx.send((i, response));

@@ -2,7 +2,8 @@ use std::error::Error;
 use std::fmt;
 
 use ntr_core::{
-    h1, h2, h3, ldrg, sldrg, DelayOracle, LdrgOptions, Objective, OracleError, TransientOracle,
+    h1, h2_with, h3_with, ldrg, sldrg, DelayOracle, HeuristicOptions, LdrgOptions, Objective,
+    OracleError, TransientOracle,
 };
 use ntr_ert::{elmore_routing_tree, BuildErtError, ErtOptions};
 use ntr_geom::{GenerateNetError, Net};
@@ -226,9 +227,9 @@ fn run_h_heuristic(
             let mst = prim_mst(&net);
             let (d0, c0) = measure(&oracle, &mst)?;
             let hres = if use_h3 {
-                h3(&mst, &config.tech)?
+                h3_with(&mst, &config.tech, &HeuristicOptions::default())?
             } else {
-                h2(&mst, &config.tech)?
+                h2_with(&mst, &config.tech, &HeuristicOptions::default())?
             };
             let (d1, c1) = measure(&oracle, &hres.graph)?;
             samples.push(RatioSample {

@@ -5,8 +5,8 @@
 use std::time::Instant;
 
 use ntr_core::{
-    h1, h2, h3, horg, ldrg, DelayOracle, HorgOptions, LdrgOptions, MomentOracle, Objective,
-    TransientOracle,
+    h1, h2_with, h3_with, horg, ldrg, DelayOracle, HeuristicOptions, HorgOptions, LdrgOptions,
+    MomentOracle, Objective, TransientOracle,
 };
 use ntr_ert::{elmore_routing_tree, steiner_elmore_routing_tree, ErtOptions};
 use ntr_graph::prim_mst;
@@ -66,11 +66,11 @@ pub fn run_scaling(config: &EvalConfig) -> Result<Vec<ScalingRow>, EvalError> {
             Ok(())
         });
         time_algo!("h2", |net| -> Result<(), EvalError> {
-            let _ = h2(&prim_mst(net), &config.tech)?;
+            let _ = h2_with(&prim_mst(net), &config.tech, &HeuristicOptions::default())?;
             Ok(())
         });
         time_algo!("h3", |net| -> Result<(), EvalError> {
-            let _ = h3(&prim_mst(net), &config.tech)?;
+            let _ = h3_with(&prim_mst(net), &config.tech, &HeuristicOptions::default())?;
             Ok(())
         });
         time_algo!("h1", |net| -> Result<(), EvalError> {

@@ -9,9 +9,18 @@
 //! ntr-loadgen --stdio --smoke            # CI gate: 50 requests, no errors, valid /metrics
 //! ntr-loadgen --stdio --bench            # 1-worker vs 4-worker throughput comparison
 //! ntr-loadgen --stdio --bench --baseline FILE   # + per-phase deltas vs a prior artifact
+//! ntr-loadgen --stdio --chaos [--smoke]  # fault-injection gate: degrade, never fail
 //! ntr-loadgen --stdio [--nets N] [--size K] [--repeat F] [--workers N]
 //!             [--rate R] [--seed S] [--out FILE] [--serve-bin PATH]
 //! ```
+//!
+//! `--chaos` spawns the server under an `NTR_FAULTS` plan that fails
+//! **every** transient-fidelity oracle call and randomly stalls workers,
+//! then sends v2 requests asking for the `transient-fast` oracle under a
+//! tight deadline. The gate asserts the resilience contract: zero hard
+//! failures (every request answers `ok`), every response degraded below
+//! transient fidelity, and the degradation/retry counters present in the
+//! Prometheus exposition. `--chaos --smoke` is the small-N CI variant.
 //!
 //! `--baseline FILE` points at a previously written
 //! `results/serve_throughput.json`; each phase's latency percentiles are
@@ -37,7 +46,7 @@ use ntr_server::json::Json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ntr-loadgen --stdio [--smoke | --bench]\n\
+        "usage: ntr-loadgen --stdio [--smoke | --bench | --chaos [--smoke]]\n\
          \x20                [--nets N]      requests to send (default 150)\n\
          \x20                [--size K]      pins per net (default 20)\n\
          \x20                [--repeat F]    fraction of repeated nets 0..1 (default 0.2)\n\
@@ -46,7 +55,11 @@ fn usage() -> ! {
          \x20                [--seed S]      workload seed (default 1994)\n\
          \x20                [--out FILE]    write the bench JSON artifact here\n\
          \x20                [--baseline F]  prior bench artifact to print deltas against\n\
-         \x20                [--serve-bin P] path to ntr-serve (default: sibling binary)"
+         \x20                [--serve-bin P] path to ntr-serve (default: sibling binary)\n\
+         \n\
+         --chaos runs the fault-injection gate (with --smoke: the small CI variant):\n\
+         the server is spawned under a 100%-transient-fault NTR_FAULTS plan and every\n\
+         request must still answer ok at a degraded fidelity."
     );
     std::process::exit(2);
 }
@@ -121,6 +134,8 @@ struct Progress {
     ok: usize,
     errors: usize,
     cached: usize,
+    /// ok responses by their `fidelity` field (absent → "unknown").
+    fidelities: HashMap<String, usize>,
     stats: Option<Json>,
     metrics: Option<Json>,
     reader_done: bool,
@@ -130,6 +145,7 @@ struct RunResult {
     ok: usize,
     errors: usize,
     cached: usize,
+    fidelities: HashMap<String, usize>,
     wall: Duration,
     latencies_us: Vec<u64>,
     server_stats: Option<Json>,
@@ -169,8 +185,14 @@ fn locate_serve_bin(explicit: Option<&str>) -> PathBuf {
     path
 }
 
-fn spawn_server(serve_bin: &PathBuf, workers: usize, queue: usize) -> std::io::Result<Child> {
-    Command::new(serve_bin)
+fn spawn_server(
+    serve_bin: &PathBuf,
+    workers: usize,
+    queue: usize,
+    faults: Option<&str>,
+) -> std::io::Result<Child> {
+    let mut command = Command::new(serve_bin);
+    command
         .args([
             "--stdio",
             "--workers",
@@ -178,10 +200,15 @@ fn spawn_server(serve_bin: &PathBuf, workers: usize, queue: usize) -> std::io::R
             "--queue",
             &queue.to_string(),
         ])
+        // Never inherit a fault plan from the invoking shell.
+        .env_remove("NTR_FAULTS")
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
-        .stderr(Stdio::inherit())
-        .spawn()
+        .stderr(Stdio::inherit());
+    if let Some(plan) = faults {
+        command.env("NTR_FAULTS", plan);
+    }
+    command.spawn()
 }
 
 const QUEUE_DEPTH: usize = 64;
@@ -193,9 +220,10 @@ fn run_against_server(
     workers: usize,
     requests: &[String],
     rate: Option<f64>,
+    faults: Option<&str>,
 ) -> Result<RunResult, String> {
     let mut child =
-        spawn_server(serve_bin, workers, QUEUE_DEPTH).map_err(|e| format!("spawn: {e}"))?;
+        spawn_server(serve_bin, workers, QUEUE_DEPTH, faults).map_err(|e| format!("spawn: {e}"))?;
     let mut stdin = child.stdin.take().expect("stdin piped");
     let stdout = child.stdout.take().expect("stdout piped");
 
@@ -221,6 +249,12 @@ fn run_against_server(
                     let sent = id.and_then(|id| s.pending.remove(&id));
                     if doc.get("ok").and_then(Json::as_bool) == Some(true) {
                         s.ok += 1;
+                        let fidelity = doc
+                            .get("fidelity")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown")
+                            .to_owned();
+                        *s.fidelities.entry(fidelity).or_insert(0) += 1;
                         if doc.get("cached").and_then(Json::as_bool) == Some(true) {
                             s.cached += 1;
                         } else if let Some(sent) = sent {
@@ -313,6 +347,7 @@ fn run_against_server(
         ok: s.ok,
         errors: s.errors,
         cached: s.cached,
+        fidelities: s.fidelities.clone(),
         wall,
         latencies_us: s.latencies_us.clone(),
         server_stats: s.stats.clone(),
@@ -357,7 +392,7 @@ fn smoke(serve_bin: &PathBuf, seed: u64) -> i32 {
         repeat: 0.3,
         seed,
     });
-    match run_against_server(serve_bin, 2, &requests, None) {
+    match run_against_server(serve_bin, 2, &requests, None, None) {
         Ok(r) => {
             print_summary("smoke", &r);
             if r.errors > 0 {
@@ -394,6 +429,133 @@ fn smoke(serve_bin: &PathBuf, seed: u64) -> i32 {
             eprintln!("smoke FAILED: {e}");
             1
         }
+    }
+}
+
+/// The chaos plan: every transient-fidelity oracle call fails, workers
+/// randomly stall for 2 ms. Deterministic across runs via its seed.
+const CHAOS_PLAN: &str = "seed=1994;fail=transient:1.0;stall=0.05:2";
+
+/// Chaos requests use the v2 grouped layout: `transient-fast` oracle,
+/// caching off so every request exercises the degradation path itself.
+/// The stream alternates the two pressure modes: even ids carry a 50 ms
+/// deadline the cost model preempts (descend before the oracle runs),
+/// odd ids carry no deadline so the injected faults actually fire and
+/// the retry budget is spent before the ladder descends.
+fn generate_chaos_requests(w: Workload) -> Vec<String> {
+    let mut gen = ntr_geom::NetGenerator::new(Layout::date94(), w.seed);
+    (0..w.nets)
+        .map(|i| {
+            let net = gen
+                .random_net(w.size)
+                .expect("layout admits nets of this size");
+            let pins = Json::Arr(
+                net.pins()
+                    .iter()
+                    .map(|p| Json::Arr(vec![Json::Num(p.x), Json::Num(p.y)]))
+                    .collect(),
+            )
+            .to_line();
+            let budget = if i.is_multiple_of(2) {
+                r#"{"deadline_ms":50,"retries":2,"degrade":true}"#
+            } else {
+                r#"{"retries":2,"degrade":true}"#
+            };
+            format!(
+                r#"{{"op":"route","id":{i},"algorithm":"ldrg","params":{{"oracle":"transient-fast","cache":false}},"budget":{budget},"pins":{pins}}}"#
+            )
+        })
+        .collect()
+}
+
+/// The resilience gate: under 100% transient-fault injection and worker
+/// stalls, every request must still answer `ok` at a degraded fidelity,
+/// with bounded tail latency and the new counters visible in `/metrics`.
+fn chaos(serve_bin: &PathBuf, seed: u64, smoke_variant: bool) -> i32 {
+    let requests = generate_chaos_requests(Workload {
+        nets: if smoke_variant { 40 } else { 150 },
+        size: if smoke_variant { 6 } else { 12 },
+        repeat: 0.0,
+        seed,
+    });
+    let label = if smoke_variant {
+        "chaos-smoke"
+    } else {
+        "chaos"
+    };
+    let r = match run_against_server(serve_bin, 2, &requests, None, Some(CHAOS_PLAN)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{label} FAILED: {e}");
+            return 1;
+        }
+    };
+    print_summary(label, &r);
+    let mut fidelities: Vec<_> = r.fidelities.iter().collect();
+    fidelities.sort();
+    for (fidelity, count) in fidelities {
+        println!("  fidelity {fidelity}: {count}");
+    }
+    let mut failures = Vec::new();
+    if r.errors > 0 {
+        failures.push(format!("{} hard failures (want 0)", r.errors));
+    }
+    if r.ok != requests.len() {
+        failures.push(format!("{}/{} answered ok", r.ok, requests.len()));
+    }
+    let at = |f: &str| r.fidelities.get(f).copied().unwrap_or(0);
+    // The plan fails every transient-rung call, so nothing may be
+    // served at transient fidelity — and with retries exhausted, every
+    // request must land on the moment rung (or the tree floor if the
+    // deadline also collapsed).
+    if at("transient") + at("transient-fast") > 0 {
+        failures.push(format!(
+            "{} responses served at transient fidelity under a 100% fault plan",
+            at("transient") + at("transient-fast")
+        ));
+    }
+    if at("moment") == 0 {
+        failures.push("no responses degraded to the moment rung".to_owned());
+    }
+    if at("unknown") > 0 {
+        failures.push(format!(
+            "{} responses missing a fidelity field",
+            at("unknown")
+        ));
+    }
+    let p99 = r.percentile_us(99.0);
+    if p99 > 500_000 {
+        failures.push(format!("p99 {p99} us exceeds the 500 ms bound"));
+    }
+    match &r.metrics_body {
+        None => failures.push("no metrics exposition from the server".to_owned()),
+        Some(body) => {
+            if let Err(e) = check_exposition(body) {
+                failures.push(format!("invalid Prometheus exposition: {e}"));
+            }
+            for metric in [
+                "ntr_requests_degraded_total",
+                "ntr_retries_total",
+                "ntr_faults_injected_total",
+            ] {
+                // Present with a nonzero value: the fault plan fired and
+                // the resilience layer absorbed it.
+                if !body.lines().any(|l| {
+                    l.starts_with(metric) && l.split_whitespace().nth(1).is_some_and(|v| v != "0")
+                }) {
+                    failures.push(format!("exposition missing a nonzero {metric}"));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("{label} OK: all {} requests degraded gracefully", r.ok);
+        0
+    } else {
+        for f in &failures {
+            eprintln!("{label} FAILED: {f}");
+        }
+        1
     }
 }
 
@@ -455,7 +617,7 @@ fn print_baseline_deltas(current: &Json, baseline_path: &str) -> Result<(), Stri
 
 fn bench(serve_bin: &PathBuf, w: Workload, out: Option<&str>, baseline: Option<&str>) -> i32 {
     let requests = generate_requests(w);
-    let single = match run_against_server(serve_bin, 1, &requests, None) {
+    let single = match run_against_server(serve_bin, 1, &requests, None, None) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bench (1 worker) FAILED: {e}");
@@ -463,7 +625,7 @@ fn bench(serve_bin: &PathBuf, w: Workload, out: Option<&str>, baseline: Option<&
         }
     };
     print_summary("1 worker ", &single);
-    let four = match run_against_server(serve_bin, 4, &requests, None) {
+    let four = match run_against_server(serve_bin, 4, &requests, None, None) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bench (4 workers) FAILED: {e}");
@@ -517,6 +679,7 @@ fn main() -> std::process::ExitCode {
     let mut stdio = false;
     let mut smoke_mode = false;
     let mut bench_mode = false;
+    let mut chaos_mode = false;
     let mut workload = Workload {
         nets: 150,
         size: 20,
@@ -535,6 +698,7 @@ fn main() -> std::process::ExitCode {
             "--stdio" => stdio = true,
             "--smoke" => smoke_mode = true,
             "--bench" => bench_mode = true,
+            "--chaos" => chaos_mode = true,
             "--nets" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => workload.nets = n,
                 _ => usage(),
@@ -583,7 +747,9 @@ fn main() -> std::process::ExitCode {
         eprintln!("--baseline compares bench artifacts; add --bench");
         return std::process::ExitCode::from(2);
     }
-    let code = if smoke_mode {
+    let code = if chaos_mode {
+        chaos(&serve_bin, workload.seed, smoke_mode)
+    } else if smoke_mode {
         smoke(&serve_bin, workload.seed)
     } else if bench_mode {
         bench(
@@ -594,7 +760,7 @@ fn main() -> std::process::ExitCode {
         )
     } else {
         let requests = generate_requests(workload);
-        match run_against_server(&serve_bin, workers, &requests, rate) {
+        match run_against_server(&serve_bin, workers, &requests, rate, None) {
             Ok(r) => {
                 print_summary("run", &r);
                 i32::from(r.errors > 0)

@@ -24,7 +24,9 @@ fn usage() -> ! {
          \x20              [--cache N]            result-cache entries (default 1024, 0 disables)\n\
          \x20              [--metrics-addr A:P]   serve GET /metrics (Prometheus) on this address\n\
          \n\
-         Logging is controlled by NTR_LOG (off|error|warn|info|debug|trace, default info)."
+         Logging is controlled by NTR_LOG (off|error|warn|info|debug|trace, default info).\n\
+         NTR_FAULTS installs a fault-injection plan at startup, e.g.\n\
+         NTR_FAULTS='seed=1994;fail=transient:0.5;slow=moment:0.1:5;stall=0.05:2'."
     );
     std::process::exit(2);
 }
@@ -54,6 +56,20 @@ fn main() -> ExitCode {
                 None => usage(),
             },
             _ => usage(),
+        }
+    }
+
+    if let Ok(text) = std::env::var("NTR_FAULTS") {
+        match ntr_core::FaultPlan::parse(&text) {
+            Ok(plan) if plan.is_empty() => {}
+            Ok(plan) => {
+                log_info!("fault plan installed: {}", plan.source());
+                config.faults = Some(Arc::new(plan));
+            }
+            Err(reason) => {
+                log_error!("bad NTR_FAULTS: {reason}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 

@@ -1,21 +1,28 @@
-//! Executes one route request: net construction, algorithm dispatch,
-//! and the content-addressed cache key.
+//! Executes one route request: net construction, the unified
+//! [`route_one`] dispatch, and the content-addressed cache key.
 //!
 //! Workers run this with `parallelism: 1` — the pool already keeps
 //! every core busy with one net per worker, and nested sweep threads
 //! would just fight the pool for cores.
+//!
+//! The per-service [`Resilience`] state feeds [`route_one`]'s
+//! degradation gate: a live per-fidelity cost model (EWMA over observed
+//! full-fidelity route times, seeded from bench medians) and the
+//! currently installed fault-injection plan.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use ntr_circuit::Technology;
 use ntr_core::{
-    canonical_net_hash, h1_with, ldrg, CancelToken, DelayOracle, Fnv64, LdrgOptions, MomentOracle,
-    OracleError, OracleStats, TransientOracle,
+    canonical_net_hash, route_one, Budget, CancelToken, DegradePolicy, FaultPlan, Fidelity,
+    FidelityCosts, Fnv64, OracleStats, RetryPolicy, RouteError,
 };
-use ntr_ert::{elmore_routing_tree, ErtOptions};
 use ntr_geom::Net;
-use ntr_graph::{prim_mst, RoutingGraph};
 
 use crate::json::Json;
-use crate::proto::{Algorithm, OracleKind, RouteRequest};
+use crate::proto::RouteRequest;
 
 /// Why routing did not produce a result.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,12 +33,111 @@ pub enum EngineError {
     Route(String),
 }
 
-impl From<OracleError> for EngineError {
-    fn from(e: OracleError) -> Self {
-        match e {
-            OracleError::Cancelled(_) => EngineError::Cancelled,
-            other => EngineError::Route(other.to_string()),
+impl From<RouteError> for EngineError {
+    fn from(e: RouteError) -> Self {
+        if e.is_cancelled() {
+            EngineError::Cancelled
+        } else {
+            EngineError::Route(e.to_string())
         }
+    }
+}
+
+/// EWMA smoothing factor for the live cost model: heavy enough history
+/// that one outlier route does not swing the degradation gate.
+const COST_EWMA_ALPHA: f64 = 0.2;
+
+/// Per-service resilience state shared by every worker.
+#[derive(Debug)]
+pub struct Resilience {
+    /// Live per-fidelity cost estimates, microseconds. Indexed in
+    /// [`Fidelity::ALL`] order.
+    cost_micros: [AtomicU64; 4],
+    /// The installed fault plan, swappable at runtime via the `faults`
+    /// protocol op.
+    faults: Mutex<Option<Arc<FaultPlan>>>,
+    /// Injected-fault counts accumulated from plans that have since been
+    /// replaced, so the exposed total stays monotone across swaps.
+    retired_injected: AtomicU64,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        let seed = FidelityCosts::default();
+        let micros =
+            |f: Fidelity| AtomicU64::new(u64::try_from(seed.estimate(f).as_micros()).unwrap_or(0));
+        Self {
+            cost_micros: [
+                micros(Fidelity::Transient),
+                micros(Fidelity::TransientFast),
+                micros(Fidelity::Moment),
+                micros(Fidelity::Tree),
+            ],
+            faults: Mutex::new(None),
+            retired_injected: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Resilience {
+    /// State with a fault plan pre-installed (the `NTR_FAULTS` env var).
+    #[must_use]
+    pub fn with_faults(plan: Option<Arc<FaultPlan>>) -> Self {
+        let r = Self::default();
+        *r.faults.lock().expect("faults mutex poisoned") = plan;
+        r
+    }
+
+    fn slot(fidelity: Fidelity) -> usize {
+        Fidelity::ALL
+            .iter()
+            .position(|&f| f == fidelity)
+            .expect("every fidelity is in ALL")
+    }
+
+    /// Folds one observed full-fidelity route time into the estimate.
+    pub fn observe(&self, fidelity: Fidelity, wall: Duration) {
+        let slot = &self.cost_micros[Self::slot(fidelity)];
+        let old = slot.load(Ordering::Relaxed) as f64;
+        let obs = wall.as_micros() as f64;
+        let next = old.mul_add(1.0 - COST_EWMA_ALPHA, obs * COST_EWMA_ALPHA);
+        // A lost race just drops one observation; the EWMA re-converges.
+        slot.store(next as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the live estimates as [`FidelityCosts`].
+    #[must_use]
+    pub fn costs(&self) -> FidelityCosts {
+        let mut costs = FidelityCosts::default();
+        for f in Fidelity::ALL {
+            let micros = self.cost_micros[Self::slot(f)].load(Ordering::Relaxed);
+            costs.set_estimate(f, Duration::from_micros(micros));
+        }
+        costs
+    }
+
+    /// The currently installed fault plan.
+    #[must_use]
+    pub fn faults(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.lock().expect("faults mutex poisoned").clone()
+    }
+
+    /// Installs (or clears, with `None`) the fault plan. The replaced
+    /// plan's injected count is retired into the monotone total.
+    pub fn set_faults(&self, plan: Option<Arc<FaultPlan>>) {
+        let mut slot = self.faults.lock().expect("faults mutex poisoned");
+        if let Some(old) = slot.take() {
+            self.retired_injected
+                .fetch_add(old.injected(), Ordering::Relaxed);
+        }
+        *slot = plan;
+    }
+
+    /// Total faults injected across every plan this service has run.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        let live = self.faults().map_or(0, |p| p.injected());
+        self.retired_injected.load(Ordering::Relaxed) + live
     }
 }
 
@@ -46,7 +152,10 @@ pub fn build_net(req: &RouteRequest) -> Result<Net, EngineError> {
 }
 
 /// The content-addressed cache key: canonical net hash mixed with every
-/// request option that changes the routed result.
+/// request option that changes the routed result. (`retries` and
+/// `degrade` are deliberately excluded — they change *whether* a result
+/// is produced under pressure, not which result; degraded outcomes are
+/// never cached.)
 #[must_use]
 pub fn cache_key(net: &Net, req: &RouteRequest, tech: &Technology) -> u64 {
     let mut h = Fnv64::new();
@@ -66,160 +175,95 @@ pub struct RouteOutcome {
     pub body: Json,
     /// Search-cost counters of this request alone.
     pub search: OracleStats,
+    /// Whether the fidelity ladder was descended below the request.
+    pub degraded: bool,
+    /// Transient-failure retries spent on this request.
+    pub retries: u32,
 }
 
-fn body(
-    req: &RouteRequest,
-    net: &Net,
-    graph: &RoutingGraph,
-    initial_delay: f64,
-    final_delay: f64,
-    added_edges: usize,
-    search: OracleStats,
-) -> RouteOutcome {
-    let json = Json::obj(vec![
-        ("ok", Json::Bool(true)),
-        ("algorithm", Json::str(req.algorithm.as_str())),
-        ("oracle", Json::str(req.oracle.as_str())),
-        ("pins", Json::Num(net.len() as f64)),
-        ("delay_ns", Json::Num(final_delay * 1e9)),
-        ("initial_delay_ns", Json::Num(initial_delay * 1e9)),
-        ("cost_um", Json::Num(graph.total_cost())),
-        ("edges", Json::Num(graph.edge_count() as f64)),
-        ("added_edges", Json::Num(added_edges as f64)),
-        ("tree", Json::Bool(graph.is_tree())),
-        ("search", Json::str(search.to_string())),
-    ]);
-    RouteOutcome { body: json, search }
-}
-
-/// Routes `net` per the request, checking `cancel` cooperatively.
+/// Routes `net` per the request through [`route_one`], checking `cancel`
+/// cooperatively and degrading per the request's budget.
 ///
 /// # Errors
 ///
-/// [`EngineError::Cancelled`] when the token trips mid-search (the
-/// service answers `deadline`), [`EngineError::Route`] otherwise.
+/// [`EngineError::Cancelled`] when the token trips mid-search and
+/// degradation is off or exhausted (the service answers `deadline`),
+/// [`EngineError::Route`] otherwise.
 pub fn execute(
     req: &RouteRequest,
     net: &Net,
     tech: Technology,
     cancel: &CancelToken,
+    resilience: &Resilience,
 ) -> Result<RouteOutcome, EngineError> {
-    cancel.check().map_err(|_| EngineError::Cancelled)?;
-    let oracle: Box<dyn DelayOracle> = match req.oracle {
-        OracleKind::Moment => Box::new(MomentOracle::new(tech)),
-        OracleKind::TransientFast => Box::new(TransientOracle::fast(tech)),
-        OracleKind::Transient => Box::new(TransientOracle::new(tech)),
-    };
-    let opts = LdrgOptions {
+    // With degradation on, an already-expired deadline is not fatal:
+    // route_one collapses to the tree floor and still serves.
+    if !req.degrade {
+        cancel.check().map_err(|_| EngineError::Cancelled)?;
+    }
+    let budget = Budget {
+        tech,
+        fidelity: req.oracle.fidelity(),
         max_added_edges: req.max_added_edges,
         parallelism: 1,
         cancel: cancel.clone(),
-        ..LdrgOptions::default()
+        retry: RetryPolicy {
+            max_retries: req.retries,
+            // Deterministic per net: replayed requests jitter identically.
+            seed: canonical_net_hash(net, &tech),
+            ..RetryPolicy::default()
+        },
+        degrade: DegradePolicy {
+            enabled: req.degrade,
+            costs: resilience.costs(),
+            ..DegradePolicy::default()
+        },
+        faults: resilience.faults(),
     };
-    let route_err = |e: String| EngineError::Route(e);
-
-    match req.algorithm {
-        Algorithm::Mst => {
-            let graph = prim_mst(net);
-            let delay = oracle.evaluate(&graph)?.max();
-            Ok(body(
-                req,
-                net,
-                &graph,
-                delay,
-                delay,
-                0,
-                OracleStats::default(),
-            ))
-        }
-        Algorithm::Ldrg => {
-            let r = ldrg(&prim_mst(net), oracle.as_ref(), &opts)?;
-            Ok(body(
-                req,
-                net,
-                &r.graph,
-                r.initial_delay,
-                r.final_delay(),
-                r.iterations.len(),
-                r.stats,
-            ))
-        }
-        Algorithm::H1 => {
-            let r = h1_with(
-                &prim_mst(net),
-                oracle.as_ref(),
-                req.max_added_edges,
-                Some(cancel),
-            )?;
-            Ok(body(
-                req,
-                net,
-                &r.graph,
-                r.initial_delay,
-                r.final_delay(),
-                r.iterations.len(),
-                r.stats,
-            ))
-        }
-        Algorithm::H2 | Algorithm::H3 => {
-            let mst = prim_mst(net);
-            let initial = oracle.evaluate(&mst)?.max();
-            let r = if req.algorithm == Algorithm::H2 {
-                ntr_core::h2(&mst, &tech)?
-            } else {
-                ntr_core::h3(&mst, &tech)?
-            };
-            cancel.check().map_err(|_| EngineError::Cancelled)?;
-            let delay = oracle.evaluate(&r.graph)?.max();
-            let added = usize::from(r.added.is_some());
-            Ok(body(
-                req,
-                net,
-                &r.graph,
-                initial,
-                delay,
-                added,
-                OracleStats::default(),
-            ))
-        }
-        Algorithm::Ert => {
-            let graph = elmore_routing_tree(net, &tech, &ErtOptions::default())
-                .map_err(|e| route_err(e.to_string()))?;
-            cancel.check().map_err(|_| EngineError::Cancelled)?;
-            let delay = oracle.evaluate(&graph)?.max();
-            Ok(body(
-                req,
-                net,
-                &graph,
-                delay,
-                delay,
-                0,
-                OracleStats::default(),
-            ))
-        }
-        Algorithm::ErtLdrg => {
-            let base = elmore_routing_tree(net, &tech, &ErtOptions::default())
-                .map_err(|e| route_err(e.to_string()))?;
-            let r = ldrg(&base, oracle.as_ref(), &opts)?;
-            Ok(body(
-                req,
-                net,
-                &r.graph,
-                r.initial_delay,
-                r.final_delay(),
-                r.iterations.len(),
-                r.stats,
-            ))
-        }
+    let started = Instant::now();
+    let out = route_one(net, req.algorithm, &budget)?;
+    // Clean full-fidelity routes feed the live cost model; degraded or
+    // retried runs would under/over-state the rung's real cost.
+    if !out.degraded() && out.retries == 0 {
+        resilience.observe(out.fidelity, started.elapsed());
     }
+    let body = Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("algorithm", Json::str(req.algorithm.as_str())),
+        ("oracle", Json::str(req.oracle.as_str())),
+        ("fidelity", Json::str(out.fidelity.as_str())),
+        (
+            "requested_fidelity",
+            Json::str(out.requested_fidelity.as_str()),
+        ),
+        ("degraded", Json::Bool(out.degraded())),
+        (
+            "degradation_steps",
+            Json::Num(out.degradation_steps() as f64),
+        ),
+        ("retries", Json::Num(f64::from(out.retries))),
+        ("pins", Json::Num(net.len() as f64)),
+        ("delay_ns", Json::Num(out.final_delay * 1e9)),
+        ("initial_delay_ns", Json::Num(out.initial_delay * 1e9)),
+        ("cost_um", Json::Num(out.final_cost)),
+        ("edges", Json::Num(out.graph.edge_count() as f64)),
+        ("added_edges", Json::Num(out.added_edges as f64)),
+        ("tree", Json::Bool(out.graph.is_tree())),
+        ("search", Json::str(out.stats.to_string())),
+    ]);
+    Ok(RouteOutcome {
+        body,
+        search: out.stats,
+        degraded: out.degraded(),
+        retries: out.retries,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::{Algorithm, OracleKind};
     use ntr_geom::Point;
-    use std::time::Duration;
 
     fn request(algorithm: Algorithm) -> RouteRequest {
         RouteRequest {
@@ -235,11 +279,23 @@ mod tests {
             deadline: None,
             max_added_edges: 0,
             use_cache: true,
+            retries: 2,
+            degrade: true,
         }
+    }
+
+    fn exec(
+        req: &RouteRequest,
+        cancel: &CancelToken,
+        resilience: &Resilience,
+    ) -> Result<RouteOutcome, EngineError> {
+        let net = build_net(req).unwrap();
+        execute(req, &net, Technology::date94(), cancel, resilience)
     }
 
     #[test]
     fn every_algorithm_routes_the_sample_net() {
+        let resilience = Resilience::default();
         for algorithm in [
             Algorithm::Mst,
             Algorithm::Ldrg,
@@ -250,10 +306,15 @@ mod tests {
             Algorithm::ErtLdrg,
         ] {
             let req = request(algorithm);
-            let net = build_net(&req).unwrap();
-            let out = execute(&req, &net, Technology::date94(), &CancelToken::new())
+            let out = exec(&req, &CancelToken::new(), &resilience)
                 .unwrap_or_else(|e| panic!("{algorithm:?}: {e:?}"));
             assert_eq!(out.body.get("ok"), Some(&Json::Bool(true)));
+            assert_eq!(
+                out.body.get("fidelity").and_then(Json::as_str),
+                Some("moment"),
+                "{algorithm:?}"
+            );
+            assert_eq!(out.body.get("degraded"), Some(&Json::Bool(false)));
             let delay = out.body.get("delay_ns").and_then(Json::as_f64).unwrap();
             let initial = out
                 .body
@@ -273,14 +334,75 @@ mod tests {
     }
 
     #[test]
-    fn expired_deadline_cancels() {
-        let req = request(Algorithm::Ldrg);
-        let net = build_net(&req).unwrap();
+    fn expired_deadline_cancels_when_degradation_is_off() {
+        let mut req = request(Algorithm::Ldrg);
+        req.degrade = false;
         let cancel = CancelToken::deadline_in(Duration::ZERO);
         assert_eq!(
-            execute(&req, &net, Technology::date94(), &cancel),
+            exec(&req, &cancel, &Resilience::default()),
             Err(EngineError::Cancelled)
         );
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_the_tree_floor() {
+        let req = request(Algorithm::Ldrg);
+        let cancel = CancelToken::deadline_in(Duration::ZERO);
+        let out = exec(&req, &cancel, &Resilience::default()).unwrap();
+        assert!(out.degraded);
+        assert_eq!(
+            out.body.get("fidelity").and_then(Json::as_str),
+            Some("tree")
+        );
+        assert_eq!(out.body.get("tree"), Some(&Json::Bool(true)));
+        assert_eq!(
+            out.body.get("added_edges").and_then(Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn injected_transient_faults_degrade_transient_requests_to_moment() {
+        let mut req = request(Algorithm::Ldrg);
+        req.oracle = OracleKind::TransientFast;
+        let resilience = Resilience::with_faults(Some(Arc::new(
+            FaultPlan::parse("seed=1994;fail=transient:1.0").unwrap(),
+        )));
+        let out = exec(&req, &CancelToken::new(), &resilience).unwrap();
+        assert!(out.degraded);
+        assert_eq!(
+            out.body.get("fidelity").and_then(Json::as_str),
+            Some("moment")
+        );
+        assert_eq!(out.retries, req.retries);
+        assert!(resilience.faults_injected() > 0);
+    }
+
+    #[test]
+    fn cost_model_learns_from_observations() {
+        let r = Resilience::default();
+        let before = r.costs().estimate(Fidelity::Moment);
+        for _ in 0..64 {
+            r.observe(Fidelity::Moment, Duration::from_micros(500));
+        }
+        let after = r.costs().estimate(Fidelity::Moment);
+        assert!(after < before, "{after:?} not below {before:?}");
+        assert!(after >= Duration::from_micros(500));
+    }
+
+    #[test]
+    fn retired_fault_counts_stay_monotone_across_plan_swaps() {
+        let r = Resilience::with_faults(Some(Arc::new(FaultPlan::parse("fail=any:1.0").unwrap())));
+        let plan = r.faults().unwrap();
+        plan.oracle_fault(Fidelity::Moment).unwrap();
+        plan.oracle_fault(Fidelity::Moment).unwrap();
+        assert_eq!(r.faults_injected(), 2);
+        r.set_faults(Some(Arc::new(FaultPlan::parse("fail=any:1.0").unwrap())));
+        assert_eq!(r.faults_injected(), 2);
+        r.faults().unwrap().oracle_fault(Fidelity::Tree).unwrap();
+        assert_eq!(r.faults_injected(), 3);
+        r.set_faults(None);
+        assert_eq!(r.faults_injected(), 3);
     }
 
     #[test]
@@ -300,6 +422,11 @@ mod tests {
         let mut d = a.clone();
         d.max_added_edges = 3;
         assert_ne!(cache_key(&net_a, &a, &tech), cache_key(&net_a, &d, &tech));
+        // Resilience knobs do not change which result is produced.
+        let mut e = a.clone();
+        e.retries = 9;
+        e.degrade = false;
+        assert_eq!(cache_key(&net_a, &a, &tech), cache_key(&net_a, &e, &tech));
     }
 
     #[test]
@@ -308,7 +435,7 @@ mod tests {
         req.pins.push(req.pins[1]); // repeated pad
         let net = build_net(&req).unwrap();
         assert_eq!(net.len(), 4);
-        let out = execute(&req, &net, Technology::date94(), &CancelToken::new()).unwrap();
+        let out = exec(&req, &CancelToken::new(), &Resilience::default()).unwrap();
         assert_eq!(out.body.get("pins").and_then(Json::as_f64), Some(4.0));
     }
 }

@@ -13,8 +13,13 @@
 //!   immediately — backpressure instead of unbounded latency.
 //! - **Deadlines**: per-request budgets enforced cooperatively by a
 //!   [`CancelToken`](ntr_core::CancelToken) threaded into the greedy
-//!   searches; an expiring request stops within one candidate score
-//!   and answers `deadline`.
+//!   searches; an expiring request stops within one candidate score.
+//! - **Resilience** ([`engine`]): rather than answering `deadline`,
+//!   requests degrade down the [`Fidelity`](ntr_core::Fidelity) ladder
+//!   (transient → moment → tree-only Elmore) when the remaining budget
+//!   can't cover the requested oracle; transient oracle failures retry
+//!   with jittered backoff; a [`FaultPlan`](ntr_core::FaultPlan)
+//!   (`NTR_FAULTS` or the `faults` op) injects faults for chaos testing.
 //! - **Caching** ([`cache`], [`engine`]): a content-addressed LRU on
 //!   the canonical net hash — pin order, `-0.0`, and duplicate pads
 //!   don't defeat it.
@@ -53,6 +58,8 @@
 //!         deadline: None,
 //!         max_added_edges: 0,
 //!         use_cache: true,
+//!         retries: 2,
+//!         degrade: true,
 //!     },
 //!     Box::new(move |response| tx.send(response).unwrap()),
 //! );

@@ -1,6 +1,6 @@
 //! The JSON-lines request/response protocol.
 //!
-//! One JSON object per line in both directions. Five operations:
+//! One JSON object per line in both directions. Six operations:
 //!
 //! | request | response |
 //! |---|---|
@@ -8,7 +8,33 @@
 //! | `{"op":"stats"}` | `{"ok":true,"op":"stats",...}` |
 //! | `{"op":"metrics"}` | `{"ok":true,"op":"metrics","body":"<Prometheus exposition>"}` |
 //! | `{"op":"profile","top":5,"enable":true}` | `{"ok":true,"op":"profile","top":[...]}` |
+//! | `{"op":"faults","plan":"fail=transient:0.5"}` | `{"ok":true,"op":"faults","plan":...,"injected":N}` |
 //! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}` then drain & exit |
+//!
+//! # Route request layouts: v2 and v1
+//!
+//! The **v2** layout groups the knobs by concern — algorithm selection,
+//! search parameters, and the resource budget:
+//!
+//! ```json
+//! {"op":"route","id":1,"algorithm":"ldrg",
+//!  "params":{"oracle":"moment","max_added_edges":0,"cache":true},
+//!  "budget":{"deadline_ms":50,"retries":2,"degrade":true},
+//!  "pins":[[0,0],[1,2]]}
+//! ```
+//!
+//! The **v1** flat layout (every knob top-level: `oracle`,
+//! `deadline_ms`, `max_added_edges`, `cache`) is still accepted — each
+//! field is looked up in its v2 group first, then at the top level, so
+//! old clients keep working unchanged and mixed layouts resolve
+//! group-first. Responses to both layouts carry the resilience fields
+//! `fidelity` (the delay-model rung actually served), `requested_fidelity`,
+//! `degraded`, and `retries`.
+//!
+//! The `faults` op installs, replaces, or clears (`"plan":""`) the
+//! fault-injection plan (see [`ntr_core::FaultPlan`] for the grammar)
+//! and reports the number of faults injected so far; without `"plan"`
+//! it just reports.
 //!
 //! `profile` answers the "where does the time go" question from a
 //! running server: it drains the spans recorded since the last call,
@@ -61,59 +87,10 @@ impl ErrorCode {
     }
 }
 
-/// The routing algorithms reachable over the protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Algorithm {
-    /// Prim MST baseline (no non-tree optimization).
-    Mst,
-    /// The paper's LDRG greedy edge addition (the default).
-    #[default]
-    Ldrg,
-    /// H1: iterated source-to-worst-sink edge.
-    H1,
-    /// H2: single Elmore-guided source edge.
-    H2,
-    /// H3: pathlength×Elmore/length rule.
-    H3,
-    /// Elmore routing tree (no cycles).
-    Ert,
-    /// LDRG on top of an ERT.
-    ErtLdrg,
-}
-
-impl Algorithm {
-    /// Parses the wire form.
-    #[must_use]
-    pub fn parse(s: &str) -> Option<Algorithm> {
-        Some(match s {
-            "mst" => Algorithm::Mst,
-            "ldrg" => Algorithm::Ldrg,
-            "h1" => Algorithm::H1,
-            "h2" => Algorithm::H2,
-            "h3" => Algorithm::H3,
-            "ert" => Algorithm::Ert,
-            "ert-ldrg" => Algorithm::ErtLdrg,
-            _ => return None,
-        })
-    }
-
-    /// The wire form.
-    #[must_use]
-    pub fn as_str(self) -> &'static str {
-        match self {
-            Algorithm::Mst => "mst",
-            Algorithm::Ldrg => "ldrg",
-            Algorithm::H1 => "h1",
-            Algorithm::H2 => "h2",
-            Algorithm::H3 => "h3",
-            Algorithm::Ert => "ert",
-            Algorithm::ErtLdrg => "ert-ldrg",
-        }
-    }
-
-    /// All wire names, for error messages.
-    pub const ALL: [&'static str; 7] = ["mst", "ldrg", "h1", "h2", "h3", "ert", "ert-ldrg"];
-}
+/// The routing algorithms reachable over the protocol — now the single
+/// [`ntr_core::Algorithm`] enum the unified dispatch uses (the wire
+/// names are unchanged).
+pub use ntr_core::Algorithm;
 
 /// Which delay model scores candidates for this request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -149,6 +126,17 @@ impl OracleKind {
             OracleKind::Transient => "transient",
         }
     }
+
+    /// The fidelity rung this oracle corresponds to on the degradation
+    /// ladder.
+    #[must_use]
+    pub fn fidelity(self) -> ntr_core::Fidelity {
+        match self {
+            OracleKind::Moment => ntr_core::Fidelity::Moment,
+            OracleKind::TransientFast => ntr_core::Fidelity::TransientFast,
+            OracleKind::Transient => ntr_core::Fidelity::Transient,
+        }
+    }
 }
 
 /// A parsed `"op":"route"` request.
@@ -169,6 +157,12 @@ pub struct RouteRequest {
     pub max_added_edges: usize,
     /// Whether the result cache may serve or store this request.
     pub use_cache: bool,
+    /// Retry budget for transient oracle failures (default 2).
+    pub retries: u32,
+    /// Whether the engine may degrade fidelity instead of failing when
+    /// the deadline budget runs out (default `true` — see the migration
+    /// note in the README: pre-v2 servers always hard-failed).
+    pub degrade: bool,
 }
 
 /// Any request the protocol accepts.
@@ -187,6 +181,12 @@ pub enum Request {
         top: usize,
         /// When present, switch span recording on/off before profiling.
         enable: Option<bool>,
+    },
+    /// Install, replace, clear, or query the fault-injection plan.
+    Faults {
+        /// `None` queries the current plan; `Some("")` clears it;
+        /// anything else is parsed as a [`ntr_core::FaultPlan`].
+        plan: Option<String>,
     },
     /// Graceful shutdown: drain in-flight work, then exit.
     Shutdown,
@@ -260,7 +260,35 @@ pub fn parse_request(doc: &Json) -> Result<Request, String> {
             };
             Ok(Request::Profile { top, enable })
         }
+        "faults" => {
+            let plan = match doc.get("plan") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or("plan must be a string (\"\" clears it)")?
+                        .to_owned(),
+                ),
+            };
+            Ok(Request::Faults { plan })
+        }
         "route" => {
+            // v2 groups knobs under "params" (search) and "budget"
+            // (resources); the v1 flat layout keeps every knob
+            // top-level. Group-first lookup accepts both.
+            let params = doc.get("params");
+            let in_budget = doc.get("budget");
+            let param = |name: &str| params.and_then(|p| p.get(name)).or_else(|| doc.get(name));
+            let budgeted = |name: &str| {
+                in_budget
+                    .and_then(|b| b.get(name))
+                    .or_else(|| doc.get(name))
+            };
+            if params.is_some_and(|p| !matches!(p, Json::Obj(_))) {
+                return Err("params must be an object".to_owned());
+            }
+            if in_budget.is_some_and(|b| !matches!(b, Json::Obj(_))) {
+                return Err("budget must be an object".to_owned());
+            }
             let algorithm = match doc.get("algorithm").and_then(Json::as_str) {
                 None => Algorithm::default(),
                 Some(name) => Algorithm::parse(name).ok_or_else(|| {
@@ -270,13 +298,13 @@ pub fn parse_request(doc: &Json) -> Result<Request, String> {
                     )
                 })?,
             };
-            let oracle = match doc.get("oracle").and_then(Json::as_str) {
+            let oracle = match param("oracle").and_then(Json::as_str) {
                 None => OracleKind::default(),
                 Some(name) => {
                     OracleKind::parse(name).ok_or_else(|| format!("unknown oracle {name:?}"))?
                 }
             };
-            let deadline = match doc.get("deadline_ms") {
+            let deadline = match budgeted("deadline_ms") {
                 None => None,
                 Some(v) => {
                     let ms = v.as_f64().ok_or("deadline_ms must be a number")?;
@@ -286,7 +314,7 @@ pub fn parse_request(doc: &Json) -> Result<Request, String> {
                     Some(Duration::from_secs_f64(ms / 1e3))
                 }
             };
-            let max_added_edges = match doc.get("max_added_edges") {
+            let max_added_edges = match param("max_added_edges") {
                 None => 0,
                 Some(v) => {
                     let n = v.as_f64().ok_or("max_added_edges must be a number")?;
@@ -296,9 +324,23 @@ pub fn parse_request(doc: &Json) -> Result<Request, String> {
                     n as usize
                 }
             };
-            let use_cache = match doc.get("cache") {
+            let use_cache = match param("cache") {
                 None => true,
                 Some(v) => v.as_bool().ok_or("cache must be a boolean")?,
+            };
+            let retries = match budgeted("retries") {
+                None => 2,
+                Some(v) => {
+                    let n = v.as_f64().ok_or("retries must be a number")?;
+                    if !(n.is_finite() && (0.0..=100.0).contains(&n) && n == n.trunc()) {
+                        return Err("retries must be an integer in 0..=100".to_owned());
+                    }
+                    n as u32
+                }
+            };
+            let degrade = match budgeted("degrade") {
+                None => true,
+                Some(v) => v.as_bool().ok_or("degrade must be a boolean")?,
             };
             let pins = parse_pins(doc)?;
             if pins.len() < 2 {
@@ -312,6 +354,8 @@ pub fn parse_request(doc: &Json) -> Result<Request, String> {
                 deadline,
                 max_added_edges,
                 use_cache,
+                retries,
+                degrade,
             }))
         }
         other => Err(format!("unknown op {other:?}")),
@@ -365,6 +409,57 @@ mod tests {
     }
 
     #[test]
+    fn v2_grouped_layout_parses() {
+        let r = route(
+            r#"{"op":"route","id":7,"algorithm":"h1",
+                "params":{"oracle":"transient-fast","max_added_edges":2,"cache":false},
+                "budget":{"deadline_ms":50,"retries":4,"degrade":false},
+                "pins":[[0,0],[5,5]]}"#,
+        );
+        assert_eq!(r.algorithm, Algorithm::H1);
+        assert_eq!(r.oracle, OracleKind::TransientFast);
+        assert_eq!(r.max_added_edges, 2);
+        assert!(!r.use_cache);
+        assert_eq!(r.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(r.retries, 4);
+        assert!(!r.degrade);
+    }
+
+    #[test]
+    fn resilience_defaults_apply_to_v1_requests() {
+        let r = route(r#"{"op":"route","pins":[[0,0],[1,1]]}"#);
+        assert_eq!(r.retries, 2);
+        assert!(r.degrade);
+    }
+
+    #[test]
+    fn group_fields_win_over_top_level_duplicates() {
+        let r = route(
+            r#"{"op":"route","oracle":"transient","deadline_ms":999,
+                "params":{"oracle":"moment"},"budget":{"deadline_ms":10},
+                "pins":[[0,0],[1,1]]}"#,
+        );
+        assert_eq!(r.oracle, OracleKind::Moment);
+        assert_eq!(r.deadline, Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn faults_op_parses() {
+        assert_eq!(
+            parse_request(&Json::parse(r#"{"op":"faults"}"#).unwrap()).unwrap(),
+            Request::Faults { plan: None }
+        );
+        assert_eq!(
+            parse_request(&Json::parse(r#"{"op":"faults","plan":"fail=any:0.5"}"#).unwrap())
+                .unwrap(),
+            Request::Faults {
+                plan: Some("fail=any:0.5".to_owned())
+            }
+        );
+        assert!(parse_request(&Json::parse(r#"{"op":"faults","plan":5}"#).unwrap()).is_err());
+    }
+
+    #[test]
     fn stats_metrics_and_shutdown_parse() {
         assert_eq!(
             parse_request(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap(),
@@ -413,6 +508,11 @@ mod tests {
             r#"{"op":"route","algorithm":"simulated-annealing","pins":[[0,0],[1,1]]}"#,
             r#"{"op":"route","deadline_ms":-5,"pins":[[0,0],[1,1]]}"#,
             r#"{"op":"route","pins":[[0,0],[1,null]]}"#,
+            r#"{"op":"route","params":3,"pins":[[0,0],[1,1]]}"#,
+            r#"{"op":"route","budget":[],"pins":[[0,0],[1,1]]}"#,
+            r#"{"op":"route","budget":{"retries":-1},"pins":[[0,0],[1,1]]}"#,
+            r#"{"op":"route","budget":{"retries":2.5},"pins":[[0,0],[1,1]]}"#,
+            r#"{"op":"route","budget":{"degrade":"yes"},"pins":[[0,0],[1,1]]}"#,
         ] {
             let doc = Json::parse(line).unwrap();
             assert!(parse_request(&doc).is_err(), "{line} should be rejected");

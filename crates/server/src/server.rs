@@ -27,6 +27,20 @@ fn write_line(writer: &SharedWriter, response: &Json) {
     let _ = w.flush();
 }
 
+/// The body answering a `faults` op: the installed plan (or `null`) and
+/// the monotone injected-fault total.
+fn faults_response(service: &Service) -> Json {
+    let plan = service
+        .fault_plan()
+        .map_or(Json::Null, |p| Json::str(p.source()));
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("faults")),
+        ("plan", plan),
+        ("injected", Json::Num(service.faults_injected() as f64)),
+    ])
+}
+
 /// Handles one request line. Returns `true` when the line asked for
 /// shutdown.
 fn handle_line(service: &Arc<Service>, writer: &SharedWriter, line: &str) -> bool {
@@ -99,6 +113,25 @@ fn handle_line(service: &Arc<Service>, writer: &SharedWriter, line: &str) -> boo
                     ("top", Json::Arr(entries)),
                 ]),
             );
+            false
+        }
+        Ok(Request::Faults { plan }) => {
+            let response = match plan {
+                // No "plan" field: query the installed plan.
+                None => faults_response(service),
+                Some(text) if text.is_empty() => {
+                    service.set_fault_plan(None);
+                    faults_response(service)
+                }
+                Some(text) => match ntr_core::FaultPlan::parse(&text) {
+                    Ok(plan) => {
+                        service.set_fault_plan(Some(Arc::new(plan)));
+                        faults_response(service)
+                    }
+                    Err(reason) => error_response(doc.get("id"), ErrorCode::Parse, &reason),
+                },
+            };
+            write_line(writer, &response);
             false
         }
         Ok(Request::Shutdown) => {

@@ -26,11 +26,11 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use ntr_circuit::Technology;
-use ntr_core::CancelToken;
+use ntr_core::{CancelToken, FaultPlan};
 use ntr_obs::{log_debug, log_warn, span};
 
 use crate::cache::LruCache;
-use crate::engine::{self, EngineError};
+use crate::engine::{self, EngineError, Resilience};
 use crate::json::Json;
 use crate::pool::{BoundedQueue, PushError};
 use crate::proto::{error_response, ErrorCode, RouteRequest};
@@ -40,7 +40,7 @@ use crate::stats::ServiceStats;
 pub type Respond = Box<dyn FnOnce(Json) + Send>;
 
 /// Tuning knobs for [`Service::start`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads (0 = one per available core).
     pub workers: usize,
@@ -50,6 +50,9 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Interconnect technology used for every request.
     pub tech: Technology,
+    /// Fault-injection plan installed at startup (the `NTR_FAULTS` env
+    /// var); swappable at runtime via [`Service::set_fault_plan`].
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +62,7 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             cache_capacity: 1024,
             tech: Technology::date94(),
+            faults: None,
         }
     }
 }
@@ -91,6 +95,7 @@ pub struct Service {
     cache: Arc<Mutex<LruCache<Json>>>,
     inflight: Arc<Inflight>,
     stats: Arc<ServiceStats>,
+    resilience: Arc<Resilience>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -107,16 +112,20 @@ impl Service {
         let cache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
         let inflight: Arc<Inflight> = Arc::new(Mutex::new(HashMap::new()));
         let stats = Arc::new(ServiceStats::default());
+        let resilience = Arc::new(Resilience::with_faults(config.faults.clone()));
         let handles = (0..workers)
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let cache = Arc::clone(&cache);
                 let inflight = Arc::clone(&inflight);
                 let stats = Arc::clone(&stats);
+                let resilience = Arc::clone(&resilience);
                 let tech = config.tech;
                 std::thread::Builder::new()
                     .name(format!("ntr-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &cache, &inflight, &stats, tech))
+                    .spawn(move || {
+                        worker_loop(&queue, &cache, &inflight, &stats, &resilience, tech)
+                    })
                     .expect("spawning a worker thread failed")
             })
             .collect();
@@ -126,6 +135,7 @@ impl Service {
             cache,
             inflight,
             stats,
+            resilience,
             workers: Mutex::new(handles),
         }
     }
@@ -228,7 +238,11 @@ impl Service {
     #[must_use]
     pub fn stats_json(&self) -> Json {
         let cache_entries = self.cache.lock().expect("cache mutex poisoned").len();
-        self.stats.to_json(self.queue.len(), cache_entries)
+        self.stats.to_json(
+            self.queue.len(),
+            cache_entries,
+            self.resilience.faults_injected(),
+        )
     }
 
     /// Prometheus text exposition of the service's metrics, for
@@ -236,13 +250,36 @@ impl Service {
     #[must_use]
     pub fn metrics_text(&self) -> String {
         let cache_entries = self.cache.lock().expect("cache mutex poisoned").len();
-        self.stats.prometheus(self.queue.len(), cache_entries)
+        self.stats.prometheus(
+            self.queue.len(),
+            cache_entries,
+            self.resilience.faults_injected(),
+        )
     }
 
     /// The shared counters (for tests and the load generator).
     #[must_use]
     pub fn stats(&self) -> &ServiceStats {
         &self.stats
+    }
+
+    /// Installs (or clears, with `None`) the fault-injection plan for
+    /// subsequent requests. In-flight requests keep the plan they
+    /// started with.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        self.resilience.set_faults(plan);
+    }
+
+    /// The currently installed fault plan.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.resilience.faults()
+    }
+
+    /// Total faults injected across every plan this service has run.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.resilience.faults_injected()
     }
 
     /// Graceful shutdown: reject new work, drain the backlog, join the
@@ -280,6 +317,7 @@ fn worker_loop(
     cache: &Mutex<LruCache<Json>>,
     inflight: &Inflight,
     stats: &ServiceStats,
+    resilience: &Resilience,
     tech: Technology,
 ) {
     while let Some(job) = queue.pop() {
@@ -289,9 +327,11 @@ fn worker_loop(
         let _request_span = span::span("server.request");
         let id = job.request.id.clone();
         // A request that spent its whole deadline queued answers without
-        // occupying the worker for a full route. (Deadline jobs never
-        // register as coalescing primaries, so no waiters to serve.)
-        if job.deadline_at.is_some_and(|at| Instant::now() >= at) {
+        // occupying the worker for a full route — unless degradation is
+        // on, in which case the engine collapses to the O(k) tree floor
+        // and still serves. (Deadline jobs never register as coalescing
+        // primaries, so no waiters to serve.)
+        if job.deadline_at.is_some_and(|at| Instant::now() >= at) && !job.request.degrade {
             stats.deadline_expired.inc();
             log_debug!("deadline expired while queued");
             (job.respond)(with_trace(
@@ -304,6 +344,12 @@ fn worker_loop(
             ));
             continue;
         }
+        // Injected worker stall: the job holds this worker before
+        // routing starts, shrinking the deadline budget it routes with.
+        if let Some(pause) = resilience.faults().and_then(|p| p.worker_stall()) {
+            let _stall_span = span::span("fault.stall");
+            std::thread::sleep(pause);
+        }
         let cancel = job
             .deadline_at
             .map_or_else(CancelToken::new, CancelToken::with_deadline);
@@ -311,10 +357,13 @@ fn worker_loop(
             Ok(net) => net,
             Err(_) => unreachable!("submit validated the net"),
         };
-        match engine::execute(&job.request, &net, tech, &cancel) {
+        match engine::execute(&job.request, &net, tech, &cancel, resilience) {
             Ok(outcome) => {
                 let latency = job.enqueued.elapsed();
-                if let Some(key) = job.key {
+                // Degraded bodies are a product of this request's
+                // deadline pressure, not of the net: never cached, so a
+                // later unhurried request gets full fidelity.
+                if let Some(key) = job.key.filter(|_| !outcome.degraded) {
                     cache
                         .lock()
                         .expect("cache mutex poisoned")
@@ -324,7 +373,13 @@ fn worker_loop(
                 // duplicate arriving right now either finds the cache
                 // entry or is already in this list — never neither.
                 let waiters = take_waiters(inflight, job.coalesce_key);
-                stats.record_completed(job.request.algorithm.as_str(), latency, outcome.search);
+                stats.record_completed(
+                    job.request.algorithm.as_str(),
+                    latency,
+                    outcome.search,
+                    outcome.degraded,
+                    outcome.retries,
+                );
                 stats.completed.add(waiters.len() as u64);
                 log_debug!(
                     "routed {} pins with {} in {} us",

@@ -74,6 +74,15 @@ pub struct ServiceStats {
     /// [`ntr_obs::span::dropped_spans`]; refreshed at scrape time so
     /// trace truncation is visible in `/metrics`).
     pub spans_dropped: Arc<Counter>,
+    /// Requests served below their requested fidelity (deadline pressure
+    /// or exhausted retries walked the degradation ladder).
+    pub degraded: Arc<Counter>,
+    /// Transient-failure retries spent across all requests.
+    pub retries: Arc<Counter>,
+    /// Faults injected by the installed fault plan (mirrors the
+    /// service's [`Resilience`](crate::engine::Resilience) total at
+    /// scrape/snapshot time).
+    pub faults_injected: Arc<Counter>,
     per_algorithm: Mutex<BTreeMap<&'static str, u64>>,
     oracle: Mutex<OracleStats>,
 }
@@ -122,6 +131,18 @@ impl Default for ServiceStats {
                 "ntr_spans_dropped_total",
                 "Trace spans lost to collector overflow",
             ),
+            degraded: counter(
+                "ntr_requests_degraded_total",
+                "Requests served below their requested fidelity",
+            ),
+            retries: counter(
+                "ntr_retries_total",
+                "Transient-failure retries spent on route requests",
+            ),
+            faults_injected: counter(
+                "ntr_faults_injected_total",
+                "Faults injected by the installed fault plan",
+            ),
             started: Instant::now(),
             registry,
             per_algorithm: Mutex::new(BTreeMap::new()),
@@ -137,9 +158,15 @@ impl ServiceStats {
         algorithm: &'static str,
         latency: Duration,
         search: OracleStats,
+        degraded: bool,
+        retries: u32,
     ) {
         self.completed.inc();
         self.latency.record(latency);
+        if degraded {
+            self.degraded.inc();
+        }
+        self.retries.add(u64::from(retries));
         *self
             .per_algorithm
             .lock()
@@ -162,18 +189,26 @@ impl ServiceStats {
         self.started.elapsed().as_secs_f64()
     }
 
-    /// Prometheus text exposition of the registry. `queue_depth` and
-    /// `cache_entries` come from the service, which owns those
-    /// structures; the gauges are refreshed before rendering.
+    /// Prometheus text exposition of the registry. `queue_depth`,
+    /// `cache_entries` and `faults_injected` come from the service,
+    /// which owns those structures; the gauges and mirror counters are
+    /// refreshed before rendering.
     #[must_use]
-    pub fn prometheus(&self, queue_depth: usize, cache_entries: usize) -> String {
+    pub fn prometheus(
+        &self,
+        queue_depth: usize,
+        cache_entries: usize,
+        faults_injected: u64,
+    ) -> String {
         self.queue_depth.set(queue_depth as i64);
         self.cache_entries.set(cache_entries as i64);
-        // Mirror the process-global dropped-span count into the
-        // registry's counter without ever decrementing it.
+        // Mirror externally owned monotone totals into the registry's
+        // counters without ever decrementing them.
         let global = ntr_obs::span::dropped_spans();
         self.spans_dropped
             .add(global.saturating_sub(self.spans_dropped.get()));
+        self.faults_injected
+            .add(faults_injected.saturating_sub(self.faults_injected.get()));
         ntr_obs::prometheus::render(&self.registry)
     }
 
@@ -181,7 +216,9 @@ impl ServiceStats {
     /// `cache_entries` come from the service, which owns those
     /// structures.
     #[must_use]
-    pub fn to_json(&self, queue_depth: usize, cache_entries: usize) -> Json {
+    pub fn to_json(&self, queue_depth: usize, cache_entries: usize, faults_injected: u64) -> Json {
+        self.faults_injected
+            .add(faults_injected.saturating_sub(self.faults_injected.get()));
         let load = |c: &Counter| Json::Num(c.get() as f64);
         let per_algorithm = Json::Obj(
             self.per_algorithm
@@ -206,6 +243,9 @@ impl ServiceStats {
             ("cache_hits", load(&self.cache_hits)),
             ("cache_misses", load(&self.cache_misses)),
             ("coalesced", load(&self.coalesced)),
+            ("degraded", load(&self.degraded)),
+            ("retries", load(&self.retries)),
+            ("faults_injected", load(&self.faults_injected)),
             ("cache_entries", Json::Num(cache_entries as f64)),
             ("queue_depth", Json::Num(queue_depth as f64)),
             ("per_algorithm", per_algorithm),
@@ -232,11 +272,20 @@ mod tests {
     fn stats_json_shape() {
         let s = ServiceStats::default();
         s.received.add(3);
-        s.record_completed("ldrg", Duration::from_micros(100), OracleStats::default());
-        let j = s.to_json(2, 1);
+        s.record_completed(
+            "ldrg",
+            Duration::from_micros(100),
+            OracleStats::default(),
+            true,
+            2,
+        );
+        let j = s.to_json(2, 1, 5);
         assert_eq!(j.get("received").and_then(Json::as_f64), Some(3.0));
         assert_eq!(j.get("completed").and_then(Json::as_f64), Some(1.0));
         assert_eq!(j.get("queue_depth").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("degraded").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(j.get("retries").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("faults_injected").and_then(Json::as_f64), Some(5.0));
         let per = j.get("per_algorithm").unwrap();
         assert_eq!(per.get("ldrg").and_then(Json::as_f64), Some(1.0));
         assert!(j.get("latency").unwrap().get("p50_us").is_some());
@@ -252,17 +301,35 @@ mod tests {
     fn prometheus_snapshot_is_valid_and_carries_the_gauges() {
         let s = ServiceStats::default();
         s.received.add(5);
-        s.record_completed("ldrg", Duration::from_micros(700), OracleStats::default());
-        let text = s.prometheus(4, 9);
+        s.record_completed(
+            "ldrg",
+            Duration::from_micros(700),
+            OracleStats::default(),
+            true,
+            1,
+        );
+        let text = s.prometheus(4, 9, 3);
         check_exposition(&text).unwrap();
         assert!(text.contains("ntr_requests_received_total 5"));
         assert!(text.contains("ntr_queue_depth 4"));
         assert!(text.contains("ntr_cache_entries 9"));
         assert!(text.contains("ntr_request_latency_us_count 1"));
+        assert!(text.contains("ntr_requests_degraded_total 1"));
+        assert!(text.contains("ntr_retries_total 1"));
+        assert!(text.contains("ntr_faults_injected_total 3"));
         assert!(
             text.contains("ntr_spans_dropped_total"),
             "dropped-span counter missing from exposition:\n{text}"
         );
+    }
+
+    #[test]
+    fn fault_mirror_never_decrements() {
+        let s = ServiceStats::default();
+        let _ = s.prometheus(0, 0, 7);
+        assert_eq!(s.faults_injected.get(), 7);
+        let _ = s.prometheus(0, 0, 4); // stale reading — ignored
+        assert_eq!(s.faults_injected.get(), 7);
     }
 
     #[test]

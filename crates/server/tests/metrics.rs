@@ -30,6 +30,8 @@ fn route_once(service: &Service) -> Json {
             deadline: None,
             max_added_edges: 0,
             use_cache: true,
+            retries: 2,
+            degrade: true,
         },
         Box::new(move |response| tx.send(response).unwrap()),
     );

@@ -1,0 +1,93 @@
+//! Protocol v1/v2 compatibility: every v1 flat-layout request must parse
+//! to exactly the same `RouteRequest` as its v2 grouped-layout spelling,
+//! and v2 responses must keep the fields v1 clients read.
+
+use ntr_server::json::Json;
+use ntr_server::proto::{parse_request, Request, RouteRequest};
+
+fn parse(line: &str) -> RouteRequest {
+    let doc = Json::parse(line).unwrap_or_else(|e| panic!("bad test JSON {line:?}: {e}"));
+    match parse_request(&doc) {
+        Ok(Request::Route(req)) => req,
+        other => panic!("{line:?} parsed to {other:?}"),
+    }
+}
+
+/// (v1 flat spelling, v2 grouped spelling) pairs that must be identical
+/// after parsing.
+const EQUIVALENT: &[(&str, &str)] = &[
+    (
+        r#"{"op":"route","pins":[[0,0],[3000,0],[0,4000]]}"#,
+        r#"{"op":"route","params":{},"budget":{},"pins":[[0,0],[3000,0],[0,4000]]}"#,
+    ),
+    (
+        r#"{"op":"route","id":7,"algorithm":"h1","oracle":"transient-fast","deadline_ms":250,"max_added_edges":2,"cache":false,"pins":[[0,0],[5,5]]}"#,
+        r#"{"op":"route","id":7,"algorithm":"h1",
+            "params":{"oracle":"transient-fast","max_added_edges":2,"cache":false},
+            "budget":{"deadline_ms":250},
+            "pins":[[0,0],[5,5]]}"#,
+    ),
+    (
+        r#"{"op":"route","algorithm":"ert-ldrg","oracle":"moment","pins":[[0,0],[9,9],[2,7]]}"#,
+        r#"{"op":"route","algorithm":"ert-ldrg","params":{"oracle":"moment"},"pins":[[0,0],[9,9],[2,7]]}"#,
+    ),
+];
+
+#[test]
+fn v1_and_v2_spellings_parse_identically() {
+    for (v1, v2) in EQUIVALENT {
+        assert_eq!(parse(v1), parse(v2), "v1 {v1:?} != v2 {v2:?}");
+    }
+}
+
+#[test]
+fn v1_requests_get_the_resilience_defaults() {
+    let req = parse(r#"{"op":"route","pins":[[0,0],[3000,0]]}"#);
+    assert_eq!(req.retries, 2);
+    assert!(req.degrade);
+}
+
+#[test]
+fn v2_budget_fields_are_not_readable_from_v1_positions_only() {
+    // budget.* wins over a stale top-level duplicate — a v2 client that
+    // sets both must get the grouped value.
+    let grouped = parse(
+        r#"{"op":"route","deadline_ms":999,"budget":{"deadline_ms":10,"retries":5,"degrade":false},"pins":[[0,0],[1,1]]}"#,
+    );
+    assert_eq!(grouped.deadline, Some(std::time::Duration::from_millis(10)));
+    assert_eq!(grouped.retries, 5);
+    assert!(!grouped.degrade);
+}
+
+#[test]
+fn round_trip_through_the_service_keeps_v1_response_fields() {
+    use ntr_server::service::{Service, ServiceConfig};
+    use std::sync::mpsc;
+
+    let service = Service::start(&ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let run = |line: &str| {
+        let (tx, rx) = mpsc::channel();
+        service.submit(parse(line), Box::new(move |r| tx.send(r).unwrap()));
+        rx.recv_timeout(std::time::Duration::from_secs(60)).unwrap()
+    };
+    let v1 = run(
+        r#"{"op":"route","algorithm":"ldrg","oracle":"moment","cache":false,"pins":[[0,0],[3000,0],[0,4000]]}"#,
+    );
+    let v2 = run(
+        r#"{"op":"route","algorithm":"ldrg","params":{"oracle":"moment","cache":false},"pins":[[0,0],[3000,0],[0,4000]]}"#,
+    );
+    // The routed result is identical either way...
+    for field in ["ok", "delay_ns", "cost_um", "edges", "added_edges", "tree"] {
+        assert_eq!(v1.get(field), v2.get(field), "{field} differs");
+    }
+    // ...and v2 responses carry the new resilience fields without
+    // dropping anything a v1 client reads.
+    for field in ["fidelity", "requested_fidelity", "degraded", "retries"] {
+        assert!(v1.get(field).is_some(), "response lost {field}: {v1}");
+    }
+    assert_eq!(v1.get("fidelity").and_then(Json::as_str), Some("moment"));
+    service.shutdown();
+}

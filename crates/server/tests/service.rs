@@ -17,6 +17,8 @@ fn request(pins: Vec<Point>, algorithm: Algorithm, oracle: OracleKind) -> RouteR
         deadline: None,
         max_added_edges: 0,
         use_cache: true,
+        retries: 2,
+        degrade: true,
     }
 }
 
@@ -107,9 +109,12 @@ fn one_ms_deadline_on_a_large_net_reports_deadline() {
         ..ServiceConfig::default()
     });
     // A 28-pin net under the transient oracle takes far longer than 1 ms
-    // to sweep; the deadline must cut it off, not block the queue.
+    // to sweep; with degradation off the deadline must cut it off, not
+    // block the queue. (With degrade on — the default — the same request
+    // would answer at a lower fidelity; see tests/chaos.rs.)
     let mut req = request(random_pins(7, 28), Algorithm::Ldrg, OracleKind::Transient);
     req.deadline = Some(Duration::from_millis(1));
+    req.degrade = false;
     let response = route(&service, req);
     assert_eq!(response.get("ok"), Some(&Json::Bool(false)), "{response}");
     assert_eq!(

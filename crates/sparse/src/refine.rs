@@ -180,13 +180,13 @@ mod tests {
         };
         let mut t = TripletMatrix::new(n, n);
         let mut row_sum = vec![0.0; n];
-        for i in 0..n {
+        for (i, rs) in row_sum.iter_mut().enumerate() {
             for j in 0..n {
                 if i != j && next() > 0.4 {
                     let v = next();
                     if v != 0.0 {
                         t.push(i, j, v);
-                        row_sum[i] += v.abs();
+                        *rs += v.abs();
                     }
                 }
             }

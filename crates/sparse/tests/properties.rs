@@ -11,13 +11,13 @@ fn random_dd_system(seed: u64, n: usize, density: f64) -> TripletMatrix {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = TripletMatrix::new(n, n);
     let mut row_sums = vec![0.0f64; n];
-    for i in 0..n {
+    for (i, rs) in row_sums.iter_mut().enumerate() {
         for j in 0..n {
             if i != j && rng.gen_bool(density) {
                 let v: f64 = rng.gen_range(-1.0..1.0);
                 if v != 0.0 {
                     t.push(i, j, v);
-                    row_sums[i] += v.abs();
+                    *rs += v.abs();
                 }
             }
         }

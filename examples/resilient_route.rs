@@ -1,0 +1,57 @@
+//! Resilient routing through the unified dispatch: one net routed at
+//! full fidelity, then under an injected-fault storm, then under a
+//! hopeless deadline — and every call still returns a usable routing.
+//!
+//! Run with: `cargo run --release --example resilient_route`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use non_tree_routing::circuit::Technology;
+use non_tree_routing::core::{
+    route_one, Algorithm, Budget, CancelToken, FaultPlan, Fidelity, RoutingOutcome,
+};
+use non_tree_routing::geom::{Layout, NetGenerator};
+
+fn report(label: &str, out: &RoutingOutcome) {
+    println!(
+        "{label:<24} fidelity {:<14} (asked {:<14}) retries {}  delay {:.3} ns  edges {}",
+        out.fidelity.to_string(),
+        out.requested_fidelity.to_string(),
+        out.retries,
+        out.final_delay * 1e9,
+        out.graph.edge_count(),
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = NetGenerator::new(Layout::date94(), 1994).random_net(12)?;
+    let tech = Technology::date94();
+
+    // 1. A healthy route at the requested fidelity.
+    let budget = Budget::new(tech).with_fidelity(Fidelity::TransientFast);
+    report("healthy", &route_one(&net, Algorithm::Ldrg, &budget)?);
+
+    // 2. Every transient-rung oracle call fails. The retry budget is
+    //    spent with jittered backoff, then the ladder descends to the
+    //    moment oracle — same search, cheaper delay model.
+    let storm = Budget {
+        faults: Some(Arc::new(FaultPlan::parse("seed=7;fail=transient:1.0")?)),
+        ..budget.clone()
+    };
+    report("fault storm", &route_one(&net, Algorithm::Ldrg, &storm)?);
+
+    // 3. A deadline that has already expired. Instead of an error, the
+    //    tree floor serves: the O(k) tree-only Elmore evaluation of the
+    //    base tree, with no candidate search at all.
+    let hopeless = Budget {
+        cancel: CancelToken::deadline_in(Duration::ZERO),
+        ..budget
+    };
+    report(
+        "expired deadline",
+        &route_one(&net, Algorithm::Ldrg, &hopeless)?,
+    );
+
+    Ok(())
+}

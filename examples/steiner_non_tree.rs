@@ -4,7 +4,9 @@
 //! Run with: `cargo run --release --example steiner_non_tree`
 
 use non_tree_routing::circuit::Technology;
-use non_tree_routing::core::{h1, h2, h3, ldrg, sldrg, DelayOracle, LdrgOptions, TransientOracle};
+use non_tree_routing::core::{
+    h1, h2_with, h3_with, ldrg, sldrg, DelayOracle, HeuristicOptions, LdrgOptions, TransientOracle,
+};
 use non_tree_routing::ert::{elmore_routing_tree, ErtOptions};
 use non_tree_routing::geom::{Layout, NetGenerator};
 use non_tree_routing::graph::{prim_mst, RoutingGraph};
@@ -42,8 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     show("ERT", &ert)?;
 
     // Non-tree constructions.
-    show("H2", &h2(&mst, &tech)?.graph)?;
-    show("H3", &h3(&mst, &tech)?.graph)?;
+    show(
+        "H2",
+        &h2_with(&mst, &tech, &HeuristicOptions::default())?.graph,
+    )?;
+    show(
+        "H3",
+        &h3_with(&mst, &tech, &HeuristicOptions::default())?.graph,
+    )?;
     show("H1", &h1(&mst, &oracle, 0)?.graph)?;
     let ldrg_run = ldrg(&mst, &oracle, &LdrgOptions::default())?;
     show("LDRG", &ldrg_run.graph)?;

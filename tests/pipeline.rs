@@ -4,8 +4,8 @@
 
 use non_tree_routing::circuit::{extract, to_spice_deck, ExtractOptions, Technology};
 use non_tree_routing::core::{
-    h1, h2, h3, horg, ldrg, sldrg, wire_size, DelayOracle, HorgOptions, LdrgOptions, MomentOracle,
-    Objective, TransientOracle, TreeElmoreOracle, WireSizeOptions,
+    h1, h2_with, h3_with, horg, ldrg, sldrg, wire_size, DelayOracle, HeuristicOptions, HorgOptions,
+    LdrgOptions, MomentOracle, Objective, TransientOracle, TreeElmoreOracle, WireSizeOptions,
 };
 use non_tree_routing::ert::{elmore_routing_tree, ErtOptions};
 use non_tree_routing::geom::{Layout, NetGenerator};
@@ -76,8 +76,12 @@ fn all_algorithms_produce_valid_routings() {
     for graph in [
         ldrg(&mst, &oracle, &LdrgOptions::default()).unwrap().graph,
         h1(&mst, &oracle, 0).unwrap().graph,
-        h2(&mst, &t).unwrap().graph,
-        h3(&mst, &t).unwrap().graph,
+        h2_with(&mst, &t, &HeuristicOptions::default())
+            .unwrap()
+            .graph,
+        h3_with(&mst, &t, &HeuristicOptions::default())
+            .unwrap()
+            .graph,
         sldrg(
             &net,
             &SteinerOptions::default(),
@@ -114,7 +118,9 @@ fn heuristic_quality_ordering_holds_on_average() {
             .final_delay()
             / base;
         sum_h1 += h1(&mst, &oracle, 0).unwrap().final_delay() / base;
-        let h2g = h2(&mst, &t).unwrap().graph;
+        let h2g = h2_with(&mst, &t, &HeuristicOptions::default())
+            .unwrap()
+            .graph;
         sum_h2 += oracle.evaluate(&h2g).unwrap().max() / base;
     }
     assert!(sum_ldrg <= sum_h1 + 1e-9, "LDRG {sum_ldrg} vs H1 {sum_h1}");
