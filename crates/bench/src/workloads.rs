@@ -16,6 +16,8 @@
 //! | `sweep_score`       | sweep kernel alone on a prepared engine      |
 //! | `sparse_lu_factor`  | symbolic + numeric LU on an RC chain         |
 //! | `sparse_lu_refactor`| numeric-only refactor, pattern reused        |
+//! | `triangular_solve`  | forward/back solves on a cached factorization|
+//! | `moment_sweep`      | moment analysis + Elmore per candidate net   |
 //! | `elmore_eval`       | Elmore analysis over a 100-pin tree          |
 //! | `route_end_to_end`  | whole `ldrg` route with the transient oracle |
 //! | `server_round_trip` | in-process service submit → response         |
@@ -30,7 +32,7 @@ use ntr_core::{
 };
 use ntr_elmore::ElmoreAnalysis;
 use ntr_graph::{prim_mst, NodeId, RoutingGraph, TreeView};
-use ntr_sparse::{Ordering, SparseLu, TripletMatrix};
+use ntr_sparse::{LuWorkspace, Ordering, SparseLu, TripletMatrix};
 
 /// One named benchmark: what it measures and how long to run it.
 pub struct Workload {
@@ -147,6 +149,40 @@ fn run_sparse_lu_refactor(iters: usize, warmup: usize) -> Vec<f64> {
     })
 }
 
+fn run_triangular_solve(iters: usize, warmup: usize) -> Vec<f64> {
+    let csc = rc_chain(200).to_csc();
+    let mut ws = LuWorkspace::new();
+    let lu = SparseLu::factor_with(&csc, Ordering::MinDegree, &mut ws).expect("nonsingular");
+    let mut x = vec![0.0f64; 200];
+    time_iters(iters, warmup, || {
+        // 16 dependent solves per sample: one solve is well under a
+        // microsecond, so batching keeps timer noise out of the signal.
+        for _ in 0..16 {
+            for (i, v) in x.iter_mut().enumerate() {
+                *v = 1.0 + (i % 7) as f64;
+            }
+            lu.solve_in_place_with(&mut x, &mut ws).expect("solves");
+            std::hint::black_box(&mut x);
+        }
+    })
+}
+
+fn run_moment_sweep(iters: usize, warmup: usize) -> Vec<f64> {
+    use ntr_circuit::{extract, ExtractOptions};
+    use ntr_spice::elmore_delays;
+
+    // Per-candidate cost of the moment path: extract a routing and compute
+    // its graph Elmore delays (one factorization + two solves), exactly
+    // what each candidate costs an LDRG sweep under the moment oracle.
+    let tech = Technology::date94();
+    let mst = prim_mst(&bench_net(20));
+    let opts = ExtractOptions::default();
+    time_iters(iters, warmup, || {
+        let extracted = extract(&mst, &tech, &opts).expect("extracts");
+        std::hint::black_box(elmore_delays(&extracted).expect("moments solve"));
+    })
+}
+
 fn run_elmore_eval(iters: usize, warmup: usize) -> Vec<f64> {
     let tech = Technology::date94();
     let mst = prim_mst(&bench_net(100));
@@ -243,6 +279,22 @@ pub fn registry() -> Vec<Workload> {
             quick_iters: 20,
             warmup: 10,
             run: run_sparse_lu_refactor,
+        },
+        Workload {
+            name: "triangular_solve",
+            description: "16 forward/back triangular solves on a cached 200-node LU",
+            iters: 200,
+            quick_iters: 20,
+            warmup: 10,
+            run: run_triangular_solve,
+        },
+        Workload {
+            name: "moment_sweep",
+            description: "extract + graph-Elmore moment solve of a 20-pin MST (per-candidate cost)",
+            iters: 100,
+            quick_iters: 15,
+            warmup: 5,
+            run: run_moment_sweep,
         },
         Workload {
             name: "elmore_eval",

@@ -73,6 +73,7 @@ mod ldrg;
 mod netlist;
 mod objective;
 mod oracle;
+mod pool;
 mod retry;
 mod routing;
 mod sldrg;
@@ -95,6 +96,7 @@ pub use oracle::{
     DelayOracle, DelayReport, MomentMetric, MomentOracle, OracleError, TransientOracle,
     TreeElmoreOracle,
 };
+pub use pool::{Scope, WorkerPool};
 pub use retry::RetryPolicy;
 pub use routing::{route_one, Algorithm, Budget, DegradePolicy, RouteError, RoutingOutcome};
 pub use sldrg::sldrg;

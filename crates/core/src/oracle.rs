@@ -2,7 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 use ntr_circuit::{extract, ExtractError, ExtractOptions, Technology};
-use ntr_elmore::ElmoreAnalysis;
+use ntr_elmore::{ElmoreAnalysis, ElmoreWorkspace};
 use ntr_graph::{NotATreeError, RoutingGraph, TreeView};
 use ntr_spice::{d2m_delay, elmore_delays, sink_delays, SimConfig, SimError};
 
@@ -240,7 +240,10 @@ impl TransientOracle {
 
 impl DelayOracle for TransientOracle {
     fn evaluate(&self, graph: &RoutingGraph) -> Result<DelayReport, OracleError> {
-        let extracted = extract(graph, &self.tech, &self.extract)?;
+        let extracted = {
+            let _span = ntr_obs::span("circuit.extract");
+            extract(graph, &self.tech, &self.extract)?
+        };
         Ok(DelayReport::new(sink_delays(&extracted, &self.sim)?))
     }
 }
@@ -312,12 +315,35 @@ impl TreeElmoreOracle {
     }
 }
 
+std::thread_local! {
+    /// Per-thread scratch for [`TreeElmoreOracle`], so candidate sweeps
+    /// reuse the analysis arrays across `score` calls.
+    static POOLED_ELMORE_WS: std::cell::RefCell<ElmoreWorkspace> =
+        std::cell::RefCell::new(ElmoreWorkspace::new());
+}
+
 impl DelayOracle for TreeElmoreOracle {
     fn evaluate(&self, graph: &RoutingGraph) -> Result<DelayReport, OracleError> {
         let tree = TreeView::new(graph)?;
-        Ok(DelayReport::new(
-            ElmoreAnalysis::compute(&tree, &self.tech).sink_delays(),
-        ))
+        let delays = POOLED_ELMORE_WS.with(|cell| {
+            let mut pooled;
+            let mut fresh;
+            let ws: &mut ElmoreWorkspace = match cell.try_borrow_mut() {
+                Ok(ws) => {
+                    pooled = ws;
+                    &mut pooled
+                }
+                Err(_) => {
+                    fresh = ElmoreWorkspace::new();
+                    &mut fresh
+                }
+            };
+            let analysis = ElmoreAnalysis::compute_with(&tree, &self.tech, ws);
+            let delays = analysis.sink_delays();
+            analysis.recycle(ws);
+            delays
+        });
+        Ok(DelayReport::new(delays))
     }
 }
 

@@ -1,0 +1,317 @@
+//! A persistent worker pool for candidate sweeps.
+//!
+//! [`sweep_candidates`](crate::sweep_candidates) used to spawn fresh OS
+//! threads through [`std::thread::scope`] on **every** sweep — hundreds of
+//! times per routing. Besides the spawn/join cost itself, fresh threads
+//! defeat the per-thread workspace pools in `ntr-sparse` and `ntr-spice`:
+//! a thread that has just been created owns cold, empty scratch buffers,
+//! so every sweep re-to paid the allocations the workspaces exist to
+//! amortize. [`WorkerPool`] keeps the threads (and therefore their
+//! thread-local workspaces) alive for the life of the process.
+//!
+//! The API mirrors [`std::thread::scope`]: [`WorkerPool::scope`] hands out
+//! a [`Scope`] whose `spawn` accepts closures borrowing from the caller's
+//! stack, and does not return until every spawned closure has finished —
+//! that wait is what makes the lifetime erasure inside sound. Panics in a
+//! spawned closure are caught and re-raised on the caller, again matching
+//! `std::thread::scope`.
+//!
+//! Determinism is unaffected by pooling: sweep results are written into
+//! per-candidate slots, so thread scheduling cannot change what a caller
+//! observes (see the module docs of [`crate::sweep_candidates`]).
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A lifetime-erased job. Soundness: jobs are only constructed by
+/// [`Scope::spawn`], which transmutes a `'env` closure to `'static`; the
+/// matching [`WorkerPool::scope`] call blocks until the job has run, so
+/// the borrow never outlives the data it points into.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct SharedQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads with a
+/// [`std::thread::scope`]-shaped borrowing API.
+///
+/// Most callers want the process-wide [`WorkerPool::global`] instance;
+/// building private pools is mainly for tests. A pool of zero workers is
+/// valid: `spawn` then runs closures inline on the calling thread.
+pub struct WorkerPool {
+    queue: Arc<SharedQueue>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` persistent threads.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let queue = Arc::new(SharedQueue {
+            state: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("ntr-sweep-{i}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("spawning sweep worker")
+            })
+            .collect();
+        Self { queue, handles }
+    }
+
+    /// The process-wide pool, lazily spawned with one worker per available
+    /// core beyond the caller's own (so a sweep saturates the machine with
+    /// the calling thread included). On a single-core host this is a
+    /// zero-worker pool and all work stays on the caller.
+    #[must_use]
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+            WorkerPool::new(cores.saturating_sub(1))
+        })
+    }
+
+    /// Number of pool threads (the caller makes it `workers() + 1`-way
+    /// parallel when it also runs a share of the work).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f` with a [`Scope`] that can spawn borrowing closures onto
+    /// the pool. Returns once `f` **and every spawned closure** have
+    /// finished.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic from `f` or any spawned closure, after
+    /// all of them have completed (mirroring [`std::thread::scope`]).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'env, '_>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState::default()),
+            _env: std::marker::PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // The wait must happen on every exit path — unwinding past borrowed
+        // jobs would be unsound — so it precedes any panic propagation.
+        scope.wait_all();
+        let job_panic = scope
+            .state
+            .panic
+            .lock()
+            .expect("scope mutex poisoned")
+            .take();
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = job_panic {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    }
+
+    fn push(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.queue.state.lock().expect("pool mutex poisoned");
+        if state.closed {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.queue.ready.notify_one();
+        Ok(())
+    }
+}
+
+/// Dropping a pool shuts it down: workers finish queued jobs and exit,
+/// and the drop joins them. (The global pool is never dropped.)
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.queue.state.lock().expect("pool mutex poisoned").closed = true;
+        self.queue.ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &SharedQueue) {
+    loop {
+        let job = {
+            let mut state = queue.state.lock().expect("pool mutex poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.closed {
+                    return;
+                }
+                state = queue.ready.wait(state).expect("pool mutex poisoned");
+            }
+        };
+        // Jobs catch their own panics (see `Scope::spawn`), so a panicking
+        // closure cannot take the worker down with it.
+        job();
+    }
+}
+
+#[derive(Default)]
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// A borrowing spawn handle tied to one [`WorkerPool::scope`] call.
+pub struct Scope<'env, 'pool> {
+    pool: &'pool WorkerPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, exactly like [`std::thread::Scope`].
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env, '_> {
+    /// Queues `f` onto the pool. The closure may borrow anything that
+    /// outlives the enclosing [`WorkerPool::scope`] call. On a
+    /// zero-worker pool the closure runs inline, immediately.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let state = Arc::clone(&self.state);
+        *state.pending.lock().expect("scope mutex poisoned") += 1;
+        let scope_state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = scope_state.panic.lock().expect("scope mutex poisoned");
+                slot.get_or_insert(payload);
+            }
+            let mut pending = scope_state.pending.lock().expect("scope mutex poisoned");
+            *pending -= 1;
+            if *pending == 0 {
+                scope_state.done.notify_all();
+            }
+        });
+        // SAFETY: the job only runs while `WorkerPool::scope` is blocked in
+        // `wait_all`, which does not return before `pending` hits zero —
+        // i.e. before this closure (and its `'env` borrows) are done. The
+        // queue outliving the scope therefore never observes a live borrow.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        if self.pool.handles.is_empty() {
+            job();
+        } else if let Err(job) = self.pool.push(job) {
+            // Closed pool (only reachable with a private pool mid-drop):
+            // run inline rather than lose the work.
+            job();
+        }
+    }
+
+    fn wait_all(&self) {
+        let mut pending = self.state.pending.lock().expect("scope mutex poisoned");
+        while *pending > 0 {
+            pending = self.state.done.wait(pending).expect("scope mutex poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_every_job_against_borrowed_data() {
+        let pool = WorkerPool::new(3);
+        let data: Vec<usize> = (0..100).collect();
+        let sum = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(7) {
+                let sum = &sum;
+                s.spawn(move || {
+                    sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.into_inner(), 100 * 99 / 2);
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        let mut hits = 0;
+        let hits_ref = std::sync::Mutex::new(&mut hits);
+        pool.scope(|s| {
+            for _ in 0..5 {
+                let hits_ref = &hits_ref;
+                s.spawn(move || {
+                    **hits_ref.lock().unwrap() += 1;
+                });
+            }
+        });
+        assert_eq!(hits, 5);
+    }
+
+    #[test]
+    fn threads_persist_across_scopes() {
+        let pool = WorkerPool::new(2);
+        let ids = std::sync::Mutex::new(std::collections::HashSet::new());
+        for _ in 0..4 {
+            pool.scope(|s| {
+                let ids = &ids;
+                s.spawn(move || {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                });
+            });
+        }
+        // All scopes were served by the same (at most 2) pool threads.
+        assert!(ids.into_inner().unwrap().len() <= 2);
+    }
+
+    #[test]
+    fn job_panic_propagates_after_all_jobs_finish() {
+        let pool = WorkerPool::new(2);
+        let completed = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let completed = &completed;
+                s.spawn(move || panic!("boom"));
+                for _ in 0..8 {
+                    s.spawn(move || {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(completed.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn global_pool_is_singleton() {
+        let a = WorkerPool::global() as *const WorkerPool;
+        let b = WorkerPool::global() as *const WorkerPool;
+        assert_eq!(a, b);
+    }
+}

@@ -11,7 +11,9 @@
 //!   committed routing and then evaluates candidates against that
 //!   prepared state,
 //! - [`sweep_candidates`] — the kernel: scores a candidate list, fanning
-//!   the work across [`std::thread::scope`] workers,
+//!   the work across the persistent [`WorkerPool`](crate::WorkerPool)
+//!   (no per-sweep thread spawning; pool threads keep their thread-local
+//!   numeric workspaces warm across sweeps),
 //! - [`OracleStats`] — evaluation/factorization/rank-1 counters so the
 //!   search cost is observable on results.
 //!
@@ -174,8 +176,20 @@ pub fn candidate_oracle_for(oracle: &dyn DelayOracle) -> Box<dyn CandidateOracle
         .unwrap_or_else(|| Box::new(ScratchOracle::new(oracle)))
 }
 
-/// Scores every candidate with `oracle`, fanning the work across up to
-/// `parallelism` scoped threads (`0` = one per available core).
+/// Smallest candidate chunk worth shipping to another thread: below this,
+/// cross-thread hand-off overhead beats the scoring work itself for the
+/// small nets this crate routes.
+const MIN_CANDIDATES_PER_WORKER: usize = 4;
+
+/// Scores every candidate with `oracle`, fanning the work across the
+/// persistent [`WorkerPool`](crate::WorkerPool) (`parallelism = 0` uses
+/// every available core — the pool plus the calling thread, which scores
+/// the first chunk itself; `n` caps the worker count at `n`).
+///
+/// Chunking adapts to both the pool size and the sweep size: the list is
+/// split evenly over at most `parallelism` workers, but never into chunks
+/// smaller than [`MIN_CANDIDATES_PER_WORKER`] — a sweep over a handful of
+/// candidates stays serial instead of paying thread hand-off latency.
 ///
 /// Returns one objective score per candidate, **in candidate order** —
 /// thread scheduling cannot influence which candidate a caller selects,
@@ -198,11 +212,14 @@ pub fn sweep_candidates(
     cancel: Option<&CancelToken>,
 ) -> Result<Vec<f64>, OracleError> {
     let _span = ntr_obs::span("sweep.score");
-    let workers = match parallelism {
-        0 => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+    let pool = crate::WorkerPool::global();
+    let cap = match parallelism {
+        0 => pool.workers() + 1,
         n => n,
-    }
-    .min(candidates.len());
+    };
+    let workers = cap
+        .min(candidates.len().div_ceil(MIN_CANDIDATES_PER_WORKER))
+        .min(candidates.len());
 
     let score_one = |c: &Candidate| -> Result<f64, OracleError> {
         if let Some(token) = cancel {
@@ -216,28 +233,31 @@ pub fn sweep_candidates(
     }
 
     let chunk = candidates.len().div_ceil(workers);
-    let outs: Vec<Vec<Result<f64, OracleError>>> = std::thread::scope(|s| {
-        let handles: Vec<_> = candidates
-            .chunks(chunk)
-            .map(|ch| {
-                let score_one = &score_one;
-                s.spawn(move || ch.iter().map(score_one).collect())
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(v) => v,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
+    let mut slots: Vec<Option<Result<f64, OracleError>>> =
+        (0..candidates.len()).map(|_| None).collect();
+    pool.scope(|s| {
+        let mut chunks = candidates.chunks(chunk).zip(slots.chunks_mut(chunk));
+        // The caller scores the first chunk itself (after queueing the
+        // rest), so a pool of `k` threads gives `k + 1`-way parallelism.
+        let own = chunks.next();
+        for (cands, out) in chunks {
+            let score_one = &score_one;
+            s.spawn(move || {
+                for (c, slot) in cands.iter().zip(out.iter_mut()) {
+                    *slot = Some(score_one(c));
+                }
+            });
+        }
+        if let Some((cands, out)) = own {
+            for (c, slot) in cands.iter().zip(out.iter_mut()) {
+                *slot = Some(score_one(c));
+            }
+        }
     });
 
     let mut scores = Vec::with_capacity(candidates.len());
-    for out in outs {
-        for r in out {
-            scores.push(r?);
-        }
+    for slot in slots {
+        scores.push(slot.expect("every candidate chunk is scored")?);
     }
     Ok(scores)
 }

@@ -185,20 +185,25 @@ pub fn wire_size_guided(
     tech: &ntr_circuit::Technology,
     opts: &WireSizeOptions,
 ) -> Result<WireSizeResult, OracleError> {
-    use ntr_elmore::{elmore_width_gradient, ElmoreAnalysis};
+    use ntr_elmore::{elmore_width_gradient, ElmoreAnalysis, ElmoreWorkspace};
     use ntr_graph::TreeView;
 
     let mut graph = initial.clone();
-    let score = |g: &RoutingGraph| -> Result<(f64, ntr_graph::NodeId), OracleError> {
+    // One workspace for the whole width search: the analysis arrays are
+    // reused across every trial evaluation (bit-exact with `compute`).
+    let mut elmore_ws = ElmoreWorkspace::new();
+    let mut score = |g: &RoutingGraph| -> Result<(f64, ntr_graph::NodeId), OracleError> {
         let tree = TreeView::new(g)?;
-        let analysis = ElmoreAnalysis::compute(&tree, tech);
+        let analysis = ElmoreAnalysis::compute_with(&tree, tech, &mut elmore_ws);
         let worst = analysis.max_sink().ok_or_else(|| {
             OracleError::NotATree(ntr_graph::NotATreeError::Disconnected {
                 reachable: 0,
                 total: g.node_count(),
             })
         })?;
-        Ok((analysis.delay(worst), worst))
+        let result = (analysis.delay(worst), worst);
+        analysis.recycle(&mut elmore_ws);
+        Ok(result)
     };
     let (initial_delay, mut worst) = score(&graph)?;
     let mut current = initial_delay;

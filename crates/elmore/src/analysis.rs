@@ -36,6 +36,28 @@ pub struct ElmoreAnalysis {
     sinks: Vec<(usize, NodeId)>,
 }
 
+/// Reusable storage for [`ElmoreAnalysis::compute_with`].
+///
+/// The analysis is already laid out struct-of-arrays (one `f64` array per
+/// quantity, indexed by node); the workspace recycles those arrays across
+/// the candidate sweeps of the tree heuristics and the ERT builders, so a
+/// loop evaluating thousands of trial trees stops allocating entirely.
+/// Pair with [`ElmoreAnalysis::recycle`] to return a result's storage.
+#[derive(Debug, Default)]
+pub struct ElmoreWorkspace {
+    per_node: Vec<f64>,
+    subtree_cap: Vec<f64>,
+    sinks: Vec<(usize, NodeId)>,
+}
+
+impl ElmoreWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl ElmoreAnalysis {
     /// Evaluates the Elmore delay of every node of `tree`.
     ///
@@ -44,12 +66,22 @@ impl ElmoreAnalysis {
     /// and capacitance per [`Technology`].
     #[must_use]
     pub fn compute(tree: &TreeView<'_>, tech: &Technology) -> Self {
+        Self::compute_with(tree, tech, &mut ElmoreWorkspace::new())
+    }
+
+    /// [`ElmoreAnalysis::compute`] with caller-provided storage — the
+    /// numbers are **bit-exact** with `compute`; only the allocations go
+    /// away.
+    #[must_use]
+    pub fn compute_with(tree: &TreeView<'_>, tech: &Technology, ws: &mut ElmoreWorkspace) -> Self {
         let graph = tree.graph();
         let n = graph.node_count();
 
         // Leaves-first: subtree capacitances (node cap + child subtrees +
         // child edge caps).
-        let mut subtree_cap = vec![0.0f64; n];
+        let mut subtree_cap = std::mem::take(&mut ws.subtree_cap);
+        subtree_cap.clear();
+        subtree_cap.resize(n, 0.0);
         for node in graph.node_ids() {
             let own = match graph.kind(node).expect("iterating graph nodes") {
                 NodeKind::Pin { pin } if pin != 0 => tech.sink_capacitance,
@@ -67,7 +99,9 @@ impl ElmoreAnalysis {
         let total_cap = subtree_cap[tree.root().index()];
 
         // Root-first: path delays.
-        let mut per_node = vec![0.0f64; n];
+        let mut per_node = std::mem::take(&mut ws.per_node);
+        per_node.clear();
+        per_node.resize(n, 0.0);
         per_node[tree.root().index()] = tech.driver_resistance * total_cap;
         for &node in tree.root_first_order() {
             if let Some((parent, edge_id)) = tree.parent(node) {
@@ -79,11 +113,14 @@ impl ElmoreAnalysis {
             }
         }
 
-        let mut sinks: Vec<(usize, NodeId)> = graph
-            .pin_nodes()
-            .filter(|&(_, pin)| pin != 0)
-            .map(|(node, pin)| (pin, node))
-            .collect();
+        let mut sinks = std::mem::take(&mut ws.sinks);
+        sinks.clear();
+        sinks.extend(
+            graph
+                .pin_nodes()
+                .filter(|&(_, pin)| pin != 0)
+                .map(|(node, pin)| (pin, node)),
+        );
         sinks.sort_unstable_by_key(|&(pin, _)| pin);
 
         Self {
@@ -92,6 +129,14 @@ impl ElmoreAnalysis {
             total_cap,
             sinks,
         }
+    }
+
+    /// Hands this analysis' storage back to `ws`, where the next
+    /// [`ElmoreAnalysis::compute_with`] call will reuse it.
+    pub fn recycle(self, ws: &mut ElmoreWorkspace) {
+        ws.per_node = self.per_node;
+        ws.subtree_cap = self.subtree_cap;
+        ws.sinks = self.sinks;
     }
 
     /// The Elmore delay of `node`, in seconds.
@@ -261,6 +306,33 @@ mod tests {
         };
         assert!((narrow - hand(1.0)).abs() < 1e-18);
         assert!((wide - hand(3.0)).abs() < 1e-18);
+    }
+
+    /// A reused workspace (across trees of different sizes) gives results
+    /// identical to the allocating path.
+    #[test]
+    fn workspace_reuse_is_bit_exact() {
+        let t = tech();
+        let mut ws = ElmoreWorkspace::new();
+        for sinks in [5usize, 2, 7] {
+            let pts: Vec<Point> = (1..=sinks)
+                .map(|i| Point::new(500.0 * i as f64, 130.0 * (i % 3) as f64))
+                .collect();
+            let net = Net::new(Point::new(0.0, 0.0), pts).unwrap();
+            let mst = prim_mst(&net);
+            let tree = TreeView::new(&mst).unwrap();
+            let reference = ElmoreAnalysis::compute(&tree, &t);
+            let pooled = ElmoreAnalysis::compute_with(&tree, &t, &mut ws);
+            assert_eq!(pooled, reference);
+            for (a, b) in pooled
+                .sink_delays()
+                .iter()
+                .zip(reference.sink_delays().iter())
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            pooled.recycle(&mut ws);
+        }
     }
 
     /// Weighted delay with all-equal criticalities is the sum of delays.

@@ -45,6 +45,6 @@ mod analysis;
 mod parent_array;
 mod sensitivity;
 
-pub use analysis::ElmoreAnalysis;
+pub use analysis::{ElmoreAnalysis, ElmoreWorkspace};
 pub use parent_array::{elmore_parent_array, ParentArrayError};
 pub use sensitivity::elmore_width_gradient;

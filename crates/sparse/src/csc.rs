@@ -25,6 +25,13 @@ pub struct CscMatrix {
     values: Vec<f64>,
 }
 
+/// The default is [`CscMatrix::empty`].
+impl Default for CscMatrix {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl CscMatrix {
     /// Assembles a CSC matrix from raw parts.
     ///
@@ -65,6 +72,128 @@ impl CscMatrix {
             col_ptr,
             row_idx,
             values,
+        }
+    }
+
+    /// An empty `0 × 0` matrix, ready for the `assign_*` in-place builders.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            rows: 0,
+            cols: 0,
+            col_ptr: vec![0],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Overwrites `self` with the compiled form of `t`, reusing both this
+    /// matrix's storage and the bucket scratch (allocation-free once
+    /// capacities have grown). **Bit-exact** with
+    /// [`TripletMatrix::to_csc`](crate::TripletMatrix::to_csc): same
+    /// stable per-column sort, same duplicate summation order, same
+    /// zero-sum drop.
+    pub fn assign_from_triplet(&mut self, t: &crate::TripletMatrix, ws: &mut crate::CscScratch) {
+        self.rows = t.rows();
+        self.cols = t.cols();
+        self.col_ptr.clear();
+        self.col_ptr.reserve(t.cols() + 1);
+        self.row_idx.clear();
+        self.values.clear();
+        self.row_idx.reserve(t.len());
+        self.values.reserve(t.len());
+        let buckets = ws.buckets_for(t.cols());
+        for &(r, c, v) in t.entries() {
+            buckets[c].push((r, v));
+        }
+        self.col_ptr.push(0);
+        for bucket in buckets.iter_mut() {
+            bucket.sort_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < bucket.len() {
+                let r = bucket[i].0;
+                let mut v = bucket[i].1;
+                i += 1;
+                while i < bucket.len() && bucket[i].0 == r {
+                    v += bucket[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    self.row_idx.push(r);
+                    self.values.push(v);
+                }
+            }
+            self.col_ptr.push(self.row_idx.len());
+        }
+    }
+
+    /// Overwrites `self` with `a + alpha·b`, reusing its storage
+    /// (allocation-free once capacities have grown).
+    ///
+    /// This is the companion-matrix assembly `A_static + α·A_dynamic` of a
+    /// transient simulation, done as one sorted two-way column merge
+    /// instead of a triplet build. It is **bit-exact** with pushing every
+    /// `a` entry then every `b·alpha` entry of each column into a
+    /// [`TripletMatrix`](crate::TripletMatrix) and compiling: collisions
+    /// sum in the same order (`a` first), scaled entries round identically
+    /// (`v * alpha` once), and entries that vanish are dropped the same
+    /// way (a zero scaled value never enters the merge; a zero collision
+    /// sum is filtered out).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes of `a` and `b` differ or a scaled value is
+    /// not finite (mirroring the triplet builder's stamping assertion).
+    pub fn assign_sum_scaled(&mut self, a: &CscMatrix, b: &CscMatrix, alpha: f64) {
+        assert_eq!(a.rows, b.rows, "row count mismatch");
+        assert_eq!(a.cols, b.cols, "column count mismatch");
+        self.rows = a.rows;
+        self.cols = a.cols;
+        self.col_ptr.clear();
+        self.col_ptr.reserve(a.cols + 1);
+        self.col_ptr.push(0);
+        self.row_idx.clear();
+        self.values.clear();
+        let cap = a.nnz() + b.nnz();
+        self.row_idx.reserve(cap);
+        self.values.reserve(cap);
+        for c in 0..a.cols {
+            let (ar, av) = a.col_raw(c);
+            let (br, bv) = b.col_raw(c);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < ar.len() || j < br.len() {
+                let ri = if i < ar.len() { ar[i] } else { usize::MAX };
+                let rj = if j < br.len() { br[j] } else { usize::MAX };
+                let (r, v) = if ri < rj {
+                    i += 1;
+                    (ri, av[i - 1])
+                } else {
+                    let scaled = bv[j] * alpha;
+                    assert!(scaled.is_finite(), "matrix entries must be finite");
+                    j += 1;
+                    if ri == rj {
+                        i += 1;
+                        // A zero scaled value is never pushed by the
+                        // triplet path, so the collision sum is just the
+                        // `a` entry (bitwise: v + 0.0 == v for nonzero v).
+                        (
+                            ri,
+                            if scaled == 0.0 {
+                                av[i - 1]
+                            } else {
+                                av[i - 1] + scaled
+                            },
+                        )
+                    } else {
+                        (rj, scaled)
+                    }
+                };
+                if v != 0.0 {
+                    self.row_idx.push(r);
+                    self.values.push(v);
+                }
+            }
+            self.col_ptr.push(self.row_idx.len());
         }
     }
 
@@ -118,19 +247,59 @@ impl CscMatrix {
         }
     }
 
+    /// The `(rows, values)` slices of column `c` (allocation- and
+    /// iterator-free form of [`CscMatrix::col`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c >= cols`.
+    #[must_use]
+    pub fn col_raw(&self, c: usize) -> (&[usize], &[f64]) {
+        assert!(c < self.cols, "column {c} out of range");
+        let span = self.col_ptr[c]..self.col_ptr[c + 1];
+        (&self.row_idx[span.clone()], &self.values[span])
+    }
+
+    /// The raw `(col_ptr, row_idx, values)` arrays.
+    #[must_use]
+    pub fn parts(&self) -> (&[usize], &[usize], &[f64]) {
+        (&self.col_ptr, &self.row_idx, &self.values)
+    }
+
     /// Matrix–vector product `A·x`.
     ///
     /// # Errors
     ///
     /// Returns [`SolveError::DimensionMismatch`] when `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, SolveError> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Matrix–vector product `A·x` written into `y`, allocation-free.
+    ///
+    /// Bit-exact with [`CscMatrix::matvec`]: contributions accumulate into
+    /// each `y[r]` in the same (column-ascending) order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] when `x.len() != cols` or
+    /// `y.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), SolveError> {
         if x.len() != self.cols {
             return Err(SolveError::DimensionMismatch {
                 expected: self.cols,
                 got: x.len(),
             });
         }
-        let mut y = vec![0.0; self.rows];
+        if y.len() != self.rows {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.rows,
+                got: y.len(),
+            });
+        }
+        y.fill(0.0);
         for (c, &xc) in x.iter().enumerate() {
             if xc != 0.0 {
                 for k in self.col_ptr[c]..self.col_ptr[c + 1] {
@@ -138,7 +307,7 @@ impl CscMatrix {
                 }
             }
         }
-        Ok(y)
+        Ok(())
     }
 
     /// The symmetric adjacency structure of `A + Aᵀ` (excluding the
@@ -147,6 +316,19 @@ impl CscMatrix {
     pub fn symmetric_adjacency(&self) -> Vec<Vec<usize>> {
         let n = self.rows.max(self.cols);
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        self.symmetric_adjacency_into(&mut adj);
+        adj
+    }
+
+    /// Fills caller-provided (cleared) lists with the symmetric adjacency
+    /// structure of `A + Aᵀ`, allocation-free once the lists have grown.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `adj.len() < max(rows, cols)`.
+    pub fn symmetric_adjacency_into(&self, adj: &mut [Vec<usize>]) {
+        let n = self.rows.max(self.cols);
+        assert!(adj.len() >= n, "adjacency arena too small");
         for c in 0..self.cols {
             for k in self.col_ptr[c]..self.col_ptr[c + 1] {
                 let r = self.row_idx[k];
@@ -156,11 +338,10 @@ impl CscMatrix {
                 }
             }
         }
-        for list in &mut adj {
+        for list in adj.iter_mut() {
             list.sort_unstable();
             list.dedup();
         }
-        adj
     }
 }
 
@@ -176,6 +357,30 @@ mod tests {
         t.push(1, 1, 3.0);
         t.push(0, 2, 4.0);
         t.to_csc()
+    }
+
+    /// Compiling a smaller matrix into storage left over from a larger one
+    /// must fully reset it — equal to a fresh compile, stale tail gone.
+    #[test]
+    fn assign_from_triplet_reuses_storage_cleanly() {
+        let mut ws = crate::CscScratch::default();
+        let mut big = TripletMatrix::new(6, 6);
+        for i in 0..6 {
+            big.push(i, i, i as f64 + 1.0);
+            big.push(i, 5 - i, -0.5);
+        }
+        let mut out = CscMatrix::empty();
+        out.assign_from_triplet(&big, &mut ws);
+        assert_eq!(out, big.to_csc());
+
+        let mut small = TripletMatrix::new(2, 2);
+        small.push(1, 0, 7.0);
+        small.push(1, 0, 0.25); // duplicate: summed in push order
+        small.push(0, 1, -3.0);
+        out.assign_from_triplet(&small, &mut ws);
+        let fresh = small.to_csc();
+        assert_eq!(out, fresh);
+        assert_eq!(out.get(1, 0).to_bits(), (7.0f64 + 0.25).to_bits());
     }
 
     #[test]
@@ -207,5 +412,65 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_rows_are_rejected() {
         let _ = CscMatrix::from_parts(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]);
+    }
+
+    /// The merged companion build matches the triplet path bit for bit,
+    /// including collision sums, zero drops, and negative scale factors.
+    #[test]
+    fn sum_scaled_is_bit_exact_with_triplet_build() {
+        use crate::TripletMatrix;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut out = CscMatrix::empty();
+        for seed in 0..25u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(1..20);
+            let alpha = [1.0e9, -0.37, 2.0 / 3.0e-12, 0.0][seed as usize % 4];
+            let mut ta = TripletMatrix::new(n, n);
+            let mut tb = TripletMatrix::new(n, n);
+            let mut tc = TripletMatrix::new(n, n);
+            for _ in 0..rng.gen_range(0..3 * n) {
+                let (r, c) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                let v = rng.gen_range(-2.0..2.0);
+                ta.push(r, c, v);
+                tc.push(r, c, v);
+            }
+            let bs: Vec<(usize, usize, f64)> = (0..rng.gen_range(0..3 * n))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..n),
+                        rng.gen_range(0..n),
+                        rng.gen_range(-2.0..2.0),
+                    )
+                })
+                .collect();
+            for &(r, c, v) in &bs {
+                tb.push(r, c, v);
+            }
+            let (a, b) = (ta.to_csc(), tb.to_csc());
+            // Reference: stamp a's compiled entries, then alpha-scaled b
+            // compiled entries, exactly as the transient companion did.
+            for c in 0..n {
+                for (r, v) in b.col(c) {
+                    let scaled = v * alpha;
+                    if scaled != 0.0 {
+                        tc.push(r, c, scaled);
+                    }
+                }
+            }
+            let expect = tc.to_csc();
+            out.assign_sum_scaled(&a, &b, alpha);
+            assert_eq!(out.cols(), expect.cols(), "seed {seed}");
+            assert_eq!(out.nnz(), expect.nnz(), "seed {seed}");
+            for c in 0..n {
+                let (er, ev) = expect.col_raw(c);
+                let (or, ov) = out.col_raw(c);
+                assert_eq!(er, or, "seed {seed} col {c}");
+                assert!(
+                    ev.iter().zip(ov).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "seed {seed} col {c}"
+                );
+            }
+        }
     }
 }

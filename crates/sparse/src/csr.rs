@@ -1,0 +1,202 @@
+//! Compressed sparse row storage, converted from CSC.
+//!
+//! The transient stepping loop computes `A_dynamic · x` once per time
+//! step. In CSC form that is a scatter (`y[r] += v·x[c]`, indirect
+//! writes); in CSR form each `y[r]` is one streaming dot product over a
+//! contiguous value slice — friendlier to the prefetcher and free of the
+//! `y.fill(0)` pass. The conversion preserves column order within each
+//! row, so the accumulation sequence into every `y[r]` is identical to
+//! the CSC scatter and the product is **bit-exact** with
+//! [`CscMatrix::matvec`](crate::CscMatrix::matvec).
+
+use crate::{CscMatrix, SolveError};
+
+/// A compressed sparse row (CSR) matrix, built from a [`CscMatrix`].
+///
+/// # Examples
+///
+/// ```
+/// use ntr_sparse::{CsrMatrix, TripletMatrix};
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 2.0);
+/// t.push(1, 0, 1.0);
+/// t.push(1, 1, 3.0);
+/// let csc = t.to_csc();
+/// let csr = CsrMatrix::from_csc(&csc);
+/// let mut y = vec![0.0; 2];
+/// csr.matvec_into(&[1.0, 1.0], &mut y).unwrap();
+/// assert_eq!(y, vec![2.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Converts a CSC matrix to CSR form.
+    #[must_use]
+    pub fn from_csc(a: &CscMatrix) -> Self {
+        let mut csr = Self::default();
+        csr.assign_from_csc(a);
+        csr
+    }
+
+    /// Re-fills this CSR matrix from `a`, reusing the existing arrays
+    /// (allocation-free once capacities have grown).
+    pub fn assign_from_csc(&mut self, a: &CscMatrix) {
+        let (rows, cols, nnz) = (a.rows(), a.cols(), a.nnz());
+        self.rows = rows;
+        self.cols = cols;
+        self.row_ptr.clear();
+        self.row_ptr.resize(rows + 1, 0);
+        self.col_idx.clear();
+        self.col_idx.resize(nnz, 0);
+        self.values.clear();
+        self.values.resize(nnz, 0.0);
+        let (col_ptr, row_idx, vals) = a.parts();
+        for &r in row_idx {
+            self.row_ptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            self.row_ptr[r + 1] += self.row_ptr[r];
+        }
+        // Walk columns ascending so each row receives its entries in
+        // column order — the invariant the bit-exactness claim rests on.
+        let mut next = self.row_ptr.clone();
+        for c in 0..cols {
+            for k in col_ptr[c]..col_ptr[c + 1] {
+                let r = row_idx[k];
+                let slot = next[r];
+                next[r] += 1;
+                self.col_idx[slot] = c;
+                self.values[slot] = vals[k];
+            }
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Matrix–vector product `A·x` written into `y`, allocation-free and
+    /// bit-exact with the CSC scatter form (same per-element accumulation
+    /// order, same skip of zero `x[c]` contributions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] on shape mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), SolveError> {
+        if x.len() != self.cols {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        if y.len() != self.rows {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.rows,
+                got: y.len(),
+            });
+        }
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = 0.0f64;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let xc = x[self.col_idx[k]];
+                if xc != 0.0 {
+                    acc += self.values[k] * xc;
+                }
+            }
+            *yr = acc;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matvec_is_bit_exact_with_csc() {
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (m, n) = (rng.gen_range(1..30), rng.gen_range(1..30));
+            let mut t = TripletMatrix::new(m, n);
+            for _ in 0..rng.gen_range(0..4 * m * n / 3 + 1) {
+                t.push(
+                    rng.gen_range(0..m),
+                    rng.gen_range(0..n),
+                    rng.gen_range(-2.0..2.0),
+                );
+            }
+            let csc = t.to_csc();
+            let csr = CsrMatrix::from_csc(&csc);
+            let x: Vec<f64> = (0..n)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        0.0
+                    } else {
+                        rng.gen_range(-1.0..1.0)
+                    }
+                })
+                .collect();
+            let y_csc = csc.matvec(&x).unwrap();
+            let mut y_csr = vec![f64::NAN; m];
+            csr.matvec_into(&x, &mut y_csr).unwrap();
+            assert!(y_csc
+                .iter()
+                .zip(&y_csr)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn reuse_across_shapes() {
+        let mut csr = CsrMatrix::default();
+        for n in [5usize, 2, 9] {
+            let mut t = TripletMatrix::new(n, n);
+            for i in 0..n {
+                t.push(i, i, i as f64 + 1.0);
+            }
+            csr.assign_from_csc(&t.to_csc());
+            let x = vec![1.0; n];
+            let mut y = vec![0.0; n];
+            csr.matvec_into(&x, &mut y).unwrap();
+            for (i, v) in y.iter().enumerate() {
+                assert_eq!(*v, i as f64 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let mut t = TripletMatrix::new(2, 3);
+        t.push(0, 0, 1.0);
+        let csr = CsrMatrix::from_csc(&t.to_csc());
+        let mut y = vec![0.0; 2];
+        assert!(csr.matvec_into(&[1.0, 1.0], &mut y).is_err());
+        let mut y3 = vec![0.0; 3];
+        assert!(csr.matvec_into(&[1.0, 1.0, 1.0], &mut y3).is_err());
+    }
+}

@@ -37,19 +37,28 @@
 //! # }
 //! ```
 
+mod blocked;
 mod csc;
+mod csr;
 mod dense;
 mod error;
+mod kernels;
 mod lu;
 mod ordering;
 mod rank1;
 mod refine;
 mod triplet;
+mod workspace;
 
+pub use blocked::BlockedLu;
 pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
 pub use dense::{DenseLu, DenseMatrix};
 pub use error::SolveError;
 pub use lu::SparseLu;
-pub use ordering::{min_degree_ordering, Ordering};
+pub use ordering::{
+    min_degree_ordering, min_degree_ordering_into, min_degree_ordering_with, Ordering,
+};
 pub use rank1::Rank1Update;
-pub use triplet::TripletMatrix;
+pub use triplet::{CscScratch, TripletMatrix};
+pub use workspace::{LuWorkspace, MinDegreeWorkspace};

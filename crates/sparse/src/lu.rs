@@ -1,4 +1,7 @@
-use crate::{min_degree_ordering, CscMatrix, Ordering, SolveError};
+use crate::kernels::scatter_fnma;
+use crate::ordering::min_degree_ordering_into;
+use crate::workspace::{LuArena, LuWorkspace};
+use crate::{CscMatrix, Ordering, SolveError};
 
 /// Sparse LU factorization `P·A·Q = L·U` via the left-looking
 /// Gilbert–Peierls algorithm.
@@ -61,6 +64,22 @@ pub struct SparseLu {
 /// diagonal entry. `0.1` is the classical sparsity/stability compromise.
 const DIAG_PIVOT_THRESHOLD: f64 = 0.1;
 
+std::thread_local! {
+    /// Per-thread scratch for the legacy (workspace-less) entry points, so
+    /// `factor`/`refactor`/`solve_in_place` callers get buffer reuse
+    /// without threading a [`LuWorkspace`] through their code.
+    static POOLED_WS: std::cell::RefCell<LuWorkspace> =
+        std::cell::RefCell::new(LuWorkspace::new());
+}
+
+/// Runs `f` with the thread's pooled workspace (fresh one on reentry).
+fn with_pooled_ws<R>(f: impl FnOnce(&mut LuWorkspace) -> R) -> R {
+    POOLED_WS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut LuWorkspace::new()),
+    })
+}
+
 impl SparseLu {
     /// Factors a square CSC matrix.
     ///
@@ -69,6 +88,24 @@ impl SparseLu {
     /// Returns [`SolveError::NotSquare`] for non-square input and
     /// [`SolveError::Singular`] when no nonzero pivot exists at some step.
     pub fn factor(a: &CscMatrix, ordering: Ordering) -> Result<Self, SolveError> {
+        with_pooled_ws(|ws| Self::factor_with(a, ordering, ws))
+    }
+
+    /// [`SparseLu::factor`] with caller-provided scratch memory: the
+    /// ordering, DFS, and scatter buffers are reused, and the output
+    /// arrays come from the workspace's arena pool (see
+    /// [`LuWorkspace::recycle`]), so a steady-state factor loop performs
+    /// no heap allocation. Numerically identical to [`SparseLu::factor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotSquare`] for non-square input and
+    /// [`SolveError::Singular`] when no nonzero pivot exists at some step.
+    pub fn factor_with(
+        a: &CscMatrix,
+        ordering: Ordering,
+        ws: &mut LuWorkspace,
+    ) -> Result<Self, SolveError> {
         let _span = ntr_obs::span("sparse.factor");
         if a.rows() != a.cols() {
             return Err(SolveError::NotSquare {
@@ -77,11 +114,15 @@ impl SparseLu {
             });
         }
         let n = a.rows();
-        let q = match ordering {
-            Ordering::Natural => (0..n).collect::<Vec<_>>(),
-            Ordering::MinDegree => min_degree_ordering(a),
-        };
-        factor_with_pivots(a, &q, |col, candidates: &[(usize, f64)], k| {
+        let mut q = std::mem::take(&mut ws.order);
+        match ordering {
+            Ordering::Natural => {
+                q.clear();
+                q.extend(0..n);
+            }
+            Ordering::MinDegree => min_degree_ordering_into(a, &mut ws.min_degree, &mut q),
+        }
+        let result = factor_with_pivots(a, &q, ws, |col, candidates: &[(usize, f64)], k| {
             // Threshold partial pivoting with diagonal preference.
             let mut best: Option<(usize, f64)> = None;
             let mut maxabs = 0.0f64;
@@ -108,7 +149,9 @@ impl SparseLu {
                 }
                 _ => Ok(best),
             }
-        })
+        });
+        ws.order = q;
+        result
     }
 
     /// Order of the factored matrix.
@@ -151,6 +194,31 @@ impl SparseLu {
     ///
     /// Returns [`SolveError::DimensionMismatch`] when `b.len() != order`.
     pub fn solve_in_place(&self, b: &mut [f64]) -> Result<(), SolveError> {
+        with_pooled_ws(|ws| self.solve_in_place_with(b, ws))
+    }
+
+    /// [`SparseLu::solve_in_place`] with caller-provided scratch, so the
+    /// per-step solves of a transient loop allocate nothing. Bit-exact
+    /// with the allocating form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] when `b.len() != order`.
+    pub fn solve_in_place_with(
+        &self,
+        b: &mut [f64],
+        ws: &mut LuWorkspace,
+    ) -> Result<(), SolveError> {
+        ws.y.clear();
+        ws.y.resize(self.n, 0.0);
+        let mut y = std::mem::take(&mut ws.y);
+        let result = self.solve_in_place_using(b, &mut y);
+        ws.y = y;
+        result
+    }
+
+    /// Permute → forward solve → back solve → permute, over `scratch`.
+    fn solve_in_place_using(&self, b: &mut [f64], scratch: &mut [f64]) -> Result<(), SolveError> {
         let n = self.n;
         if b.len() != n {
             return Err(SolveError::DimensionMismatch {
@@ -158,18 +226,20 @@ impl SparseLu {
                 got: b.len(),
             });
         }
+        let y = scratch;
         // y = P·b
-        let mut y = vec![0.0; n];
         for i in 0..n {
             y[self.pinv[i]] = b[i];
         }
         // Forward substitution: L·z = y (unit diagonal first per column).
+        // The off-diagonal scatter runs through the 4-wide lane-chunked
+        // kernel; rows within a column are distinct, so it is bit-exact
+        // with the naive loop.
         for j in 0..n {
             let yj = y[j];
             if yj != 0.0 {
-                for idx in (self.l_colptr[j] + 1)..self.l_colptr[j + 1] {
-                    y[self.l_rows[idx]] -= self.l_vals[idx] * yj;
-                }
+                let span = (self.l_colptr[j] + 1)..self.l_colptr[j + 1];
+                scatter_fnma(y, &self.l_rows[span.clone()], &self.l_vals[span], yj);
             }
         }
         // Back substitution: U·w = z (diagonal last per column).
@@ -178,9 +248,8 @@ impl SparseLu {
             y[k] /= self.u_vals[diag_idx];
             let yk = y[k];
             if yk != 0.0 {
-                for idx in self.u_colptr[k]..diag_idx {
-                    y[self.u_rows[idx]] -= self.u_vals[idx] * yk;
-                }
+                let span = self.u_colptr[k]..diag_idx;
+                scatter_fnma(y, &self.u_rows[span.clone()], &self.u_vals[span], yk);
             }
         }
         // x = Q·w
@@ -238,6 +307,19 @@ impl SparseLu {
     /// # }
     /// ```
     pub fn refactor(&self, a: &CscMatrix) -> Result<SparseLu, SolveError> {
+        with_pooled_ws(|ws| self.refactor_with(a, ws))
+    }
+
+    /// [`SparseLu::refactor`] with caller-provided scratch memory.
+    ///
+    /// # Errors
+    ///
+    /// As [`SparseLu::refactor`].
+    pub fn refactor_with(
+        &self,
+        a: &CscMatrix,
+        ws: &mut LuWorkspace,
+    ) -> Result<SparseLu, SolveError> {
         if a.rows() != a.cols() {
             return Err(SolveError::NotSquare {
                 rows: a.rows(),
@@ -250,12 +332,15 @@ impl SparseLu {
                 got: a.rows(),
             });
         }
-        // Inverse of pinv: the original row pivoted at each step.
-        let mut pivot_row_of_step = vec![0usize; self.n];
+        // Inverse of pinv: the original row pivoted at each step. Held in
+        // workspace scratch (taken for the closure's borrow, then put back).
+        let mut pivot_row_of_step = std::mem::take(&mut ws.pivot_seq);
+        pivot_row_of_step.clear();
+        pivot_row_of_step.resize(self.n, 0);
         for (row, &step) in self.pinv.iter().enumerate() {
             pivot_row_of_step[step] = row;
         }
-        factor_with_pivots(a, &self.q, |_, candidates: &[(usize, f64)], k| {
+        let result = factor_with_pivots(a, &self.q, ws, |_, candidates: &[(usize, f64)], k| {
             let want = pivot_row_of_step[k];
             candidates
                 .iter()
@@ -263,7 +348,9 @@ impl SparseLu {
                 .map(|&(row, v)| (row, v))
                 .filter(|&(_, v)| v != 0.0 && v.is_finite())
                 .ok_or(SolveError::Singular { step: k })
-        })
+        });
+        ws.pivot_seq = pivot_row_of_step;
+        result
     }
 
     /// Numeric-only refactorization: reuses this factorization's **entire
@@ -306,6 +393,21 @@ impl SparseLu {
     /// # }
     /// ```
     pub fn refactor_with_same_pattern(&self, a: &CscMatrix) -> Result<SparseLu, SolveError> {
+        with_pooled_ws(|ws| self.refactor_with_same_pattern_with(a, ws))
+    }
+
+    /// [`SparseLu::refactor_with_same_pattern`] with caller-provided
+    /// scratch memory and arena-pooled output arrays; numerically
+    /// identical (the replay applies the same updates in the same order).
+    ///
+    /// # Errors
+    ///
+    /// As [`SparseLu::refactor_with_same_pattern`].
+    pub fn refactor_with_same_pattern_with(
+        &self,
+        a: &CscMatrix,
+        ws: &mut LuWorkspace,
+    ) -> Result<SparseLu, SolveError> {
         let _span = ntr_obs::span("sparse.refactor");
         if a.rows() != a.cols() {
             return Err(SolveError::NotSquare {
@@ -320,14 +422,22 @@ impl SparseLu {
             });
         }
         let n = self.n;
-        let mut l_vals = vec![0.0f64; self.l_vals.len()];
-        let mut u_vals = vec![0.0f64; self.u_vals.len()];
+        let mut arena = ws.take_arena();
+        let mut l_vals = std::mem::take(&mut arena.l_vals);
+        let mut u_vals = std::mem::take(&mut arena.u_vals);
+        l_vals.resize(self.l_vals.len(), 0.0);
+        u_vals.resize(self.u_vals.len(), 0.0);
         // Workspace over pivot-position row space, plus a per-column stamp
         // recording which positions belong to the cached pattern.
-        let mut xp = vec![0.0f64; n];
         const UNSET: usize = usize::MAX;
-        let mut mark = vec![UNSET; n];
-        for k in 0..n {
+        ws.x.clear();
+        ws.x.resize(n, 0.0);
+        ws.mark.clear();
+        ws.mark.resize(n, UNSET);
+        let mut xp = std::mem::take(&mut ws.x);
+        let mut mark = std::mem::take(&mut ws.mark);
+        let mut failure = None;
+        'replay: for k in 0..n {
             let u_start = self.u_colptr[k];
             let diag_idx = self.u_colptr[k + 1] - 1;
             let l_start = self.l_colptr[k];
@@ -343,7 +453,8 @@ impl SparseLu {
             for (i, v) in a.col(self.q[k]) {
                 let p = self.pinv[i];
                 if mark[p] != k {
-                    return Err(SolveError::PatternMismatch { step: k });
+                    failure = Some(SolveError::PatternMismatch { step: k });
+                    break 'replay;
                 }
                 xp[p] = v;
             }
@@ -353,23 +464,23 @@ impl SparseLu {
             // update before the updated entry is consumed. Fill generated
             // by these updates always lands inside the cached pattern
             // (the pattern is closed under the reach that produced it).
-            for (&j, u_val) in self.u_rows[u_start..diag_idx]
+            for (&j, uv) in self.u_rows[u_start..diag_idx]
                 .iter()
                 .zip(&mut u_vals[u_start..diag_idx])
             {
                 let val = xp[j];
                 xp[j] = 0.0;
-                *u_val = val;
+                *uv = val;
                 if val != 0.0 {
-                    for l_idx in (self.l_colptr[j] + 1)..self.l_colptr[j + 1] {
-                        xp[self.l_rows[l_idx]] -= l_vals[l_idx] * val;
-                    }
+                    let span = (self.l_colptr[j] + 1)..self.l_colptr[j + 1];
+                    scatter_fnma(&mut xp, &self.l_rows[span.clone()], &l_vals[span], val);
                 }
             }
             let pivot = xp[k];
             xp[k] = 0.0;
             if pivot == 0.0 || !pivot.is_finite() {
-                return Err(SolveError::Singular { step: k });
+                failure = Some(SolveError::Singular { step: k });
+                break 'replay;
             }
             u_vals[diag_idx] = pivot;
             l_vals[l_start] = 1.0;
@@ -381,17 +492,43 @@ impl SparseLu {
                 xp[p] = 0.0;
             }
         }
+        ws.x = xp;
+        ws.mark = mark;
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        arena.l_colptr.extend_from_slice(&self.l_colptr);
+        arena.l_rows.extend_from_slice(&self.l_rows);
+        arena.u_colptr.extend_from_slice(&self.u_colptr);
+        arena.u_rows.extend_from_slice(&self.u_rows);
+        arena.pinv.extend_from_slice(&self.pinv);
+        arena.q.extend_from_slice(&self.q);
         Ok(SparseLu {
             n,
-            l_colptr: self.l_colptr.clone(),
-            l_rows: self.l_rows.clone(),
+            l_colptr: arena.l_colptr,
+            l_rows: arena.l_rows,
             l_vals,
-            u_colptr: self.u_colptr.clone(),
-            u_rows: self.u_rows.clone(),
+            u_colptr: arena.u_colptr,
+            u_rows: arena.u_rows,
             u_vals,
-            pinv: self.pinv.clone(),
-            q: self.q.clone(),
+            pinv: arena.pinv,
+            q: arena.q,
         })
+    }
+
+    /// Decomposes this factorization into its pooled arrays (for
+    /// [`LuWorkspace::recycle`]).
+    pub(crate) fn into_arena(self) -> LuArena {
+        LuArena {
+            l_colptr: self.l_colptr,
+            l_rows: self.l_rows,
+            l_vals: self.l_vals,
+            u_colptr: self.u_colptr,
+            u_rows: self.u_rows,
+            u_vals: self.u_vals,
+            pinv: self.pinv,
+            q: self.q,
+        }
     }
 }
 
@@ -403,28 +540,43 @@ impl SparseLu {
 fn factor_with_pivots<F>(
     a: &CscMatrix,
     q: &[usize],
+    ws: &mut LuWorkspace,
     mut choose_pivot: F,
 ) -> Result<SparseLu, SolveError>
 where
     F: FnMut(usize, &[(usize, f64)], usize) -> Result<(usize, f64), SolveError>,
 {
     let n = a.rows();
-    let mut l_colptr = vec![0usize];
-    let mut l_rows: Vec<usize> = Vec::with_capacity(4 * a.nnz() + n);
-    let mut l_vals: Vec<f64> = Vec::with_capacity(4 * a.nnz() + n);
-    let mut u_colptr = vec![0usize];
-    let mut u_rows: Vec<usize> = Vec::with_capacity(4 * a.nnz() + n);
-    let mut u_vals: Vec<f64> = Vec::with_capacity(4 * a.nnz() + n);
+    // Move the pooled arrays into owned locals for the duration of the
+    // factorization (indexing through `&mut Vec` costs an extra load in
+    // the innermost loops), and hand the scratch back at the end.
+    let mut arena = ws.take_arena();
+    let mut l_colptr = std::mem::take(&mut arena.l_colptr);
+    let mut l_rows = std::mem::take(&mut arena.l_rows);
+    let mut l_vals = std::mem::take(&mut arena.l_vals);
+    let mut u_colptr = std::mem::take(&mut arena.u_colptr);
+    let mut u_rows = std::mem::take(&mut arena.u_rows);
+    let mut u_vals = std::mem::take(&mut arena.u_vals);
+    let mut pinv = std::mem::take(&mut arena.pinv);
+    let mut arena_q = std::mem::take(&mut arena.q);
+    l_rows.reserve(4 * a.nnz() + n);
+    l_vals.reserve(4 * a.nnz() + n);
+    u_rows.reserve(4 * a.nnz() + n);
+    u_vals.reserve(4 * a.nnz() + n);
+    l_colptr.push(0);
+    u_colptr.push(0);
 
     const UNSET: usize = usize::MAX;
-    let mut pinv = vec![UNSET; n];
-    let mut x = vec![0.0f64; n];
-    let mut xi = vec![0usize; n];
-    let mut visited = vec![UNSET; n];
-    let mut dfs_stack: Vec<(usize, usize)> = Vec::with_capacity(n);
-    let mut candidates: Vec<(usize, f64)> = Vec::with_capacity(n);
+    pinv.resize(n, UNSET);
+    ws.prepare_factor(n);
+    let mut x = std::mem::take(&mut ws.x);
+    let mut xi = std::mem::take(&mut ws.xi);
+    let mut visited = std::mem::take(&mut ws.visited);
+    let mut dfs_stack = std::mem::take(&mut ws.dfs_stack);
+    let mut candidates = std::mem::take(&mut ws.candidates);
+    let mut failure = None;
 
-    for (k, &col) in q.iter().enumerate() {
+    'elim: for (k, &col) in q.iter().enumerate() {
         let mut top = n;
         for (i, _) in a.col(col) {
             if visited[i] == k {
@@ -478,7 +630,13 @@ where
                 candidates.push((i, x[i]));
             }
         }
-        let (ipiv, pivot) = choose_pivot(col, &candidates, k)?;
+        let (ipiv, pivot) = match choose_pivot(col, &candidates, k) {
+            Ok(p) => p,
+            Err(e) => {
+                failure = Some(e);
+                break 'elim;
+            }
+        };
         for &i in &xi[top..n] {
             if pinv[i] != UNSET && x[i] != 0.0 {
                 u_rows.push(pinv[i]);
@@ -501,9 +659,19 @@ where
         x[ipiv] = 0.0;
         l_colptr.push(l_rows.len());
     }
-    for r in &mut l_rows {
+    // Hand the scratch buffers back before returning either way.
+    ws.x = x;
+    ws.xi = xi;
+    ws.visited = visited;
+    ws.dfs_stack = dfs_stack;
+    ws.candidates = candidates;
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    for r in l_rows.iter_mut() {
         *r = pinv[*r];
     }
+    arena_q.extend_from_slice(q);
     Ok(SparseLu {
         n,
         l_colptr,
@@ -513,7 +681,7 @@ where
         u_rows,
         u_vals,
         pinv,
-        q: q.to_vec(),
+        q: arena_q,
     })
 }
 

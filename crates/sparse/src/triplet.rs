@@ -85,45 +85,38 @@ impl TripletMatrix {
         self.entries.clear();
     }
 
+    /// Clears all entries **and** sets a new shape, keeping the entry
+    /// storage — for assembly loops that rebuild differently-sized
+    /// matrices into one builder.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.entries.clear();
+    }
+
+    /// Raw `(row, col, value)` entries in push order.
+    pub(crate) fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+
     /// Compiles to compressed sparse column form, summing duplicates.
     #[must_use]
     pub fn to_csc(&self) -> CscMatrix {
-        let mut col_counts = vec![0usize; self.cols + 1];
-        for &(_, c, _) in &self.entries {
-            col_counts[c + 1] += 1;
-        }
-        for c in 0..self.cols {
-            col_counts[c + 1] += col_counts[c];
-        }
-        // Scatter into per-column buckets, then sort each by row and merge
-        // duplicates.
-        let mut buckets: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.cols];
-        for &(r, c, v) in &self.entries {
-            buckets[c].push((r, v));
-        }
-        let mut col_ptr = Vec::with_capacity(self.cols + 1);
-        let mut row_idx = Vec::with_capacity(self.entries.len());
-        let mut values = Vec::with_capacity(self.entries.len());
-        col_ptr.push(0);
-        for bucket in &mut buckets {
-            bucket.sort_by_key(|&(r, _)| r);
-            let mut i = 0;
-            while i < bucket.len() {
-                let r = bucket[i].0;
-                let mut v = bucket[i].1;
-                i += 1;
-                while i < bucket.len() && bucket[i].0 == r {
-                    v += bucket[i].1;
-                    i += 1;
-                }
-                if v != 0.0 {
-                    row_idx.push(r);
-                    values.push(v);
-                }
-            }
-            col_ptr.push(row_idx.len());
-        }
-        CscMatrix::from_parts(self.rows, self.cols, col_ptr, row_idx, values)
+        self.to_csc_with(&mut CscScratch::default())
+    }
+
+    /// [`TripletMatrix::to_csc`] with caller-provided bucket scratch, for
+    /// assembly loops that compile many matrices (duplicate summation
+    /// order is identical, so the result is bit-for-bit the same).
+    #[must_use]
+    pub fn to_csc_with(&self, ws: &mut CscScratch) -> CscMatrix {
+        // Scatter into per-column buckets (stable, preserving push order
+        // within a column), then sort each by row — the stable sort keeps
+        // duplicates in push order — and merge them. The shared in-place
+        // compile does exactly that.
+        let mut out = CscMatrix::empty();
+        out.assign_from_triplet(self, ws);
+        out
     }
 
     /// Compiles to a dense matrix (testing/debugging aid).
@@ -137,9 +130,43 @@ impl TripletMatrix {
     }
 }
 
+/// Reusable per-column bucket scratch for [`TripletMatrix::to_csc_with`].
+#[derive(Debug, Default)]
+pub struct CscScratch {
+    buckets: Vec<Vec<(usize, f64)>>,
+}
+
+impl CscScratch {
+    /// The per-column buckets, cleared and grown to at least `cols`.
+    pub(crate) fn buckets_for(&mut self, cols: usize) -> &mut [Vec<(usize, f64)>] {
+        if self.buckets.len() < cols {
+            self.buckets.resize_with(cols, Vec::new);
+        }
+        let buckets = &mut self.buckets[..cols];
+        for bucket in buckets.iter_mut() {
+            bucket.clear();
+        }
+        buckets
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scratch_compile_is_bit_identical() {
+        let mut t = TripletMatrix::new(4, 4);
+        for (r, c, v) in [(1, 2, 0.3), (0, 0, 1.5), (1, 2, 0.7), (3, 1, -2.0)] {
+            t.push(r, c, v);
+        }
+        let mut ws = CscScratch::default();
+        let a = t.to_csc();
+        let b = t.to_csc_with(&mut ws);
+        let c = t.to_csc_with(&mut ws); // reused scratch
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
 
     #[test]
     fn duplicates_sum_and_zeros_drop() {

@@ -1,0 +1,137 @@
+//! Reusable scratch memory for ordering, factorization, and solves.
+//!
+//! Candidate sweeps factor thousands of near-identical matrices; with the
+//! plain [`SparseLu::factor`](crate::SparseLu::factor) entry point every
+//! factorization pays ~a dozen heap allocations (DFS stacks, scatter
+//! vectors, the output arrays of `L` and `U`). A [`LuWorkspace`] owns all
+//! of that memory and hands it back out on the next call, so a steady-
+//! state `factor → solve → recycle` loop performs **zero** allocations.
+//!
+//! The workspace is plain data: keep one per thread (or per oracle) and
+//! pass it `&mut` — nothing here is shared or synchronized.
+
+/// Scratch arena for [`min_degree_ordering_with`](crate::min_degree_ordering_with).
+#[derive(Debug, Default)]
+pub struct MinDegreeWorkspace {
+    /// Adjacency lists of `A + Aᵀ`, sorted ascending, one per node. The
+    /// inner vectors are recycled across calls.
+    pub(crate) adj: Vec<Vec<usize>>,
+    /// Sorted-merge output buffer for clique formation.
+    pub(crate) merge: Vec<usize>,
+    /// Spare neighbor buffer, recycled between elimination steps.
+    pub(crate) nbrs: Vec<usize>,
+    /// Compact list of not-yet-eliminated nodes.
+    pub(crate) live: Vec<usize>,
+    /// `degree[v] = adj[v].len()` mirror, scanned by the min search.
+    pub(crate) degree: Vec<usize>,
+}
+
+/// Pooled output arrays of a retired factorization, awaiting reuse.
+#[derive(Debug, Default)]
+pub(crate) struct LuArena {
+    pub(crate) l_colptr: Vec<usize>,
+    pub(crate) l_rows: Vec<usize>,
+    pub(crate) l_vals: Vec<f64>,
+    pub(crate) u_colptr: Vec<usize>,
+    pub(crate) u_rows: Vec<usize>,
+    pub(crate) u_vals: Vec<f64>,
+    pub(crate) pinv: Vec<usize>,
+    pub(crate) q: Vec<usize>,
+}
+
+/// Reusable scratch for [`SparseLu`](crate::SparseLu) factorizations and
+/// solves.
+///
+/// # Examples
+///
+/// ```
+/// use ntr_sparse::{LuWorkspace, Ordering, SparseLu, TripletMatrix};
+/// # fn main() -> Result<(), ntr_sparse::SolveError> {
+/// let mut ws = LuWorkspace::new();
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 2.0);
+/// t.push(1, 1, 4.0);
+/// let a = t.to_csc();
+/// for _ in 0..3 {
+///     let lu = SparseLu::factor_with(&a, Ordering::MinDegree, &mut ws)?;
+///     let mut x = vec![2.0, 4.0];
+///     lu.solve_in_place_with(&mut x, &mut ws)?;
+///     assert_eq!(x, vec![1.0, 1.0]);
+///     ws.recycle(lu); // return the arrays to the pool
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct LuWorkspace {
+    /// Scatter accumulator over original (factor) or pivot-position
+    /// (replay) row space.
+    pub(crate) x: Vec<f64>,
+    /// Topologically-ordered reach of the current column.
+    pub(crate) xi: Vec<usize>,
+    /// Per-column visit stamps for the DFS.
+    pub(crate) visited: Vec<usize>,
+    /// Explicit DFS stack of `(node, next_child)` frames.
+    pub(crate) dfs_stack: Vec<(usize, usize)>,
+    /// Not-yet-pivotal entries of the current column.
+    pub(crate) candidates: Vec<(usize, f64)>,
+    /// Permuted right-hand side for solves.
+    pub(crate) y: Vec<f64>,
+    /// Pattern stamps for same-pattern replay.
+    pub(crate) mark: Vec<usize>,
+    /// Pivot row of each elimination step (refactor replay scratch).
+    pub(crate) pivot_seq: Vec<usize>,
+    /// Ordering scratch.
+    pub(crate) min_degree: MinDegreeWorkspace,
+    /// Column-order buffer the ordering is computed into.
+    pub(crate) order: Vec<usize>,
+    /// Retired factor arrays awaiting reuse.
+    pub(crate) spare: Vec<LuArena>,
+}
+
+impl LuWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a retired factorization's arrays to the arena pool so the
+    /// next [`SparseLu::factor_with`](crate::SparseLu::factor_with) or
+    /// same-pattern refactorization can reuse them instead of allocating.
+    pub fn recycle(&mut self, lu: crate::SparseLu) {
+        // Keep the pool small: hot loops hold at most a couple of factors.
+        if self.spare.len() < 4 {
+            self.spare.push(lu.into_arena());
+        }
+    }
+
+    /// Pops a pooled arena (or a fresh one), with all arrays cleared.
+    pub(crate) fn take_arena(&mut self) -> LuArena {
+        let mut a = self.spare.pop().unwrap_or_default();
+        a.l_colptr.clear();
+        a.l_rows.clear();
+        a.l_vals.clear();
+        a.u_colptr.clear();
+        a.u_rows.clear();
+        a.u_vals.clear();
+        a.pinv.clear();
+        a.q.clear();
+        a
+    }
+
+    /// Grows the factor scratch to order `n` and resets visit stamps.
+    pub(crate) fn prepare_factor(&mut self, n: usize) {
+        const UNSET: usize = usize::MAX;
+        self.x.clear();
+        self.x.resize(n, 0.0);
+        self.xi.clear();
+        self.xi.resize(n, 0);
+        self.visited.clear();
+        self.visited.resize(n, UNSET);
+        self.dfs_stack.clear();
+        self.dfs_stack.reserve(n);
+        self.candidates.clear();
+        self.candidates.reserve(n);
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-based cross-validation of the sparse and dense solvers.
 
-use ntr_sparse::{Ordering, SparseLu, TripletMatrix};
+use ntr_sparse::{BlockedLu, LuWorkspace, Ordering, SparseLu, TripletMatrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,8 +28,81 @@ fn random_dd_system(seed: u64, n: usize, density: f64) -> TripletMatrix {
     t
 }
 
+/// Builds a random symmetric positive definite system of order `n`:
+/// symmetric off-diagonal fill with a strictly dominant positive diagonal
+/// (SPD by Gershgorin's circle theorem).
+fn random_spd_system(seed: u64, n: usize, density: f64) -> TripletMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = TripletMatrix::new(n, n);
+    let mut row_sums = vec![0.0f64; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            if rng.gen_bool(density) {
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                if v != 0.0 {
+                    t.push(i, j, v);
+                    t.push(j, i, v);
+                    row_sums[i] += v.abs();
+                    row_sums[j] += v.abs();
+                }
+            }
+        }
+    }
+    for (i, s) in row_sums.iter().enumerate() {
+        t.push(i, i, s + 1.0 + rng.gen_range(0.0..1.0));
+    }
+    t
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The blocked (supernodal) solver and the SIMD column solver agree
+    /// bit-for-bit with each other and match the dense reference to 1e-9
+    /// relative error on random SPD systems.
+    #[test]
+    fn blocked_and_simd_solves_match_legacy_on_spd(
+        seed in 0u64..10_000, n in 1usize..40, density in 0.05f64..0.4,
+    ) {
+        let t = random_spd_system(seed, n, density);
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).cos()).collect();
+        let dense = t.to_dense().lu().unwrap().solve(&b).unwrap();
+        for ord in [Ordering::Natural, Ordering::MinDegree] {
+            let lu = SparseLu::factor(&t.to_csc(), ord).unwrap();
+            let simd = lu.solve(&b).unwrap();
+            let blocked_lu = BlockedLu::new(lu);
+            let mut blocked = b.clone();
+            blocked_lu.solve_in_place(&mut blocked).unwrap();
+            for ((s, bl), d) in simd.iter().zip(&blocked).zip(&dense) {
+                // Blocked reorders supernode bookkeeping, not arithmetic:
+                // identical update order, identical rounding.
+                prop_assert!(s.to_bits() == bl.to_bits(), "ord {ord:?}: {s} vs {bl}");
+                prop_assert!((s - d).abs() <= 1e-9 * (1.0 + d.abs()), "ord {ord:?}: {s} vs {d}");
+            }
+        }
+    }
+
+    /// Same guarantee on asymmetric (diagonally dominant) systems, through
+    /// the workspace-reusing entry points the hot path uses.
+    #[test]
+    fn blocked_and_simd_solves_match_legacy_on_asymmetric(
+        seed in 0u64..10_000, n in 1usize..40, density in 0.05f64..0.4,
+    ) {
+        let t = random_dd_system(seed, n, density);
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.61).sin() + 0.25).collect();
+        let dense = t.to_dense().lu().unwrap().solve(&b).unwrap();
+        let mut ws = LuWorkspace::new();
+        let lu = SparseLu::factor_with(&t.to_csc(), Ordering::MinDegree, &mut ws).unwrap();
+        let mut simd = b.clone();
+        lu.solve_in_place_with(&mut simd, &mut ws).unwrap();
+        let blocked_lu = BlockedLu::new(lu);
+        let mut blocked = b.clone();
+        blocked_lu.solve_in_place_with(&mut blocked, &mut ws).unwrap();
+        for ((s, bl), d) in simd.iter().zip(&blocked).zip(&dense) {
+            prop_assert!(s.to_bits() == bl.to_bits(), "{s} vs {bl}");
+            prop_assert!((s - d).abs() <= 1e-9 * (1.0 + d.abs()), "{s} vs {d}");
+        }
+    }
 
     /// Sparse LU and dense LU agree on random diagonally dominant systems.
     #[test]

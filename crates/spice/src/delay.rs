@@ -1,6 +1,7 @@
 use ntr_circuit::Extracted;
+use ntr_sparse::{Ordering, SparseLu};
 
-use crate::{Integrator, Moments, SimError, TransientSim};
+use crate::{Integrator, Mna, SimError, SimWorkspace};
 
 /// Configuration of the delay-measurement pipeline of [`sink_delays`].
 ///
@@ -91,32 +92,131 @@ pub fn measure_threshold_crossing(times: &[f64], values: &[f64], target: f64) ->
 /// threshold within the horizon (which indicates a disconnected or
 /// pathological circuit), plus any assembly/solve error.
 pub fn sink_delays(extracted: &Extracted, config: &SimConfig) -> Result<Vec<f64>, SimError> {
-    // Time scale from moment analysis: one sparse solve.
-    let moments = Moments::compute(&extracted.circuit, 1)?;
-    let mut tau: f64 = 1e-15;
-    for &node in &extracted.sink_nodes {
-        tau = tau.max(moments.elmore_of_node(node)?);
-    }
+    POOLED_SIM_WS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => sink_delays_with(extracted, config, &mut ws),
+        Err(_) => sink_delays_with(extracted, config, &mut SimWorkspace::new()),
+    })
+}
 
-    let dc_targets: Vec<f64> = extracted
-        .sink_nodes
-        .iter()
-        .map(|&node| moments.dc_of_node(node))
-        .collect::<Result<_, _>>()?;
+std::thread_local! {
+    /// Per-thread scratch for [`sink_delays`], so candidate sweeps that go
+    /// through the workspace-less API still reuse every buffer.
+    static POOLED_SIM_WS: std::cell::RefCell<SimWorkspace> =
+        std::cell::RefCell::new(SimWorkspace::new());
+}
+
+/// [`sink_delays`] with caller-provided scratch memory.
+///
+/// The MNA system is stamped **once** and shared between the moment
+/// analysis (time-scale estimate) and the transient run; all numeric
+/// buffers come from `ws`. Results are bit-exact with [`sink_delays`].
+///
+/// # Errors
+///
+/// As [`sink_delays`].
+pub fn sink_delays_with(
+    extracted: &Extracted,
+    config: &SimConfig,
+    ws: &mut SimWorkspace,
+) -> Result<Vec<f64>, SimError> {
+    let prepare_span = ntr_obs::span("spice.prepare");
+    let mna = Mna::build_with(&extracted.circuit, &mut ws.mna)?;
+    let n = mna.unknowns();
+
+    // Moment analysis on the shared MNA system: DC operating point, then
+    // the first moment vector — one factorization, two solves. This is
+    // `Moments::compute(circuit, 1)` with the stamping pass shared and
+    // the buffers pooled; the numbers are bit-identical.
+    let lu = SparseLu::factor_with(mna.a_static(), Ordering::MinDegree, &mut ws.lu)?;
+    ws.dc.clear();
+    ws.dc.resize(n, 0.0);
+    mna.rhs_at(f64::MAX, &mut ws.dc);
+    {
+        let mut dc = std::mem::take(&mut ws.dc);
+        let solved = lu.solve_in_place_with(&mut dc, &mut ws.lu);
+        ws.dc = dc;
+        solved?;
+    }
+    ws.a_d_csr.assign_from_csc(mna.a_dynamic());
+    ws.m1.clear();
+    ws.m1.resize(n, 0.0);
+    ws.a_d_csr.matvec_into(&ws.dc, &mut ws.m1)?;
+    {
+        let mut m1 = std::mem::take(&mut ws.m1);
+        for v in &mut m1 {
+            *v = -*v;
+        }
+        let solved = lu.solve_in_place_with(&mut m1, &mut ws.lu);
+        ws.m1 = m1;
+        solved?;
+    }
+    ws.lu.recycle(lu);
+
+    // Time scale: the largest sink Elmore delay `-m₁/dc` (ground sinks and
+    // dead nodes read zero, exactly as `Moments::elmore_of_node`).
+    let mut tau: f64 = 1e-15;
+    ws.dc_targets.clear();
+    for &node in &extracted.sink_nodes {
+        let (dc, elmore) = match mna.voltage_index(node)? {
+            None => (0.0, 0.0),
+            Some(i) => {
+                let dc = ws.dc[i];
+                if dc.abs() < 1e-300 {
+                    (dc, 0.0)
+                } else {
+                    (dc, -(ws.m1[i] / dc))
+                }
+            }
+        };
+        tau = tau.max(elmore);
+        ws.dc_targets.push(dc);
+    }
 
     let dt = tau / config.steps_per_tau as f64;
     let t_stop = config.horizon_taus * tau;
     // Stop margin: past this fraction the crossing is safely bracketed.
     let margin = (config.threshold + 0.08).min(0.98);
 
-    let mut sim = TransientSim::new(&extracted.circuit, config.integrator)?;
-    let targets: Vec<f64> = dc_targets.iter().map(|&v| v * margin).collect();
-    let result = sim.run_until(dt, t_stop, &extracted.sink_nodes, |_, probes| {
-        probes
-            .iter()
-            .zip(&targets)
-            .all(|(wave, &tgt)| wave.last().is_some_and(|&v| v >= tgt))
-    })?;
+    ws.probe_idx.clear();
+    for &node in &extracted.sink_nodes {
+        ws.probe_idx.push(
+            mna.voltage_index(node)?
+                .ok_or(SimError::UnknownProbe { node })?,
+        );
+    }
+    ws.targets.clear();
+    for &v in &ws.dc_targets {
+        ws.targets.push(v * margin);
+    }
+
+    drop(prepare_span);
+    let _tran_span = ntr_obs::span("spice.tran");
+    // The stepping core borrows the whole workspace; hand it the probe and
+    // target lists as owned locals for the duration.
+    let probe_idx = std::mem::take(&mut ws.probe_idx);
+    let targets = std::mem::take(&mut ws.targets);
+    let run = crate::tran::step_response_into(
+        &mna,
+        config.integrator,
+        dt,
+        t_stop,
+        &probe_idx,
+        ws,
+        // Every-step stop polling: the crossings are bracketed by the
+        // margin, so the measured delays are bit-identical to the legacy
+        // 32-step polling — the loop just skips the overshoot steps.
+        1,
+        |_, probes| {
+            probes
+                .iter()
+                .zip(&targets)
+                .all(|(wave, &tgt)| wave.last().is_some_and(|&v| v >= tgt))
+        },
+    );
+    ws.probe_idx = probe_idx;
+    ws.targets = targets;
+    mna.recycle(&mut ws.mna);
+    run?;
 
     extracted
         .sink_nodes
@@ -124,9 +224,9 @@ pub fn sink_delays(extracted: &Extracted, config: &SimConfig) -> Result<Vec<f64>
         .enumerate()
         .map(|(i, &node)| {
             measure_threshold_crossing(
-                &result.times,
-                &result.probes[i],
-                config.threshold * dc_targets[i],
+                &ws.times,
+                &ws.probes[i],
+                config.threshold * ws.dc_targets[i],
             )
             .ok_or(SimError::ThresholdNotReached { node })
         })

@@ -52,11 +52,13 @@ mod error;
 mod mna;
 mod moments;
 mod tran;
+mod workspace;
 
 pub use adaptive::AdaptiveOptions;
-pub use delay::{measure_threshold_crossing, sink_delays, SimConfig};
+pub use delay::{measure_threshold_crossing, sink_delays, sink_delays_with, SimConfig};
 pub use engine::{MomentEngine, ProbeMoments};
 pub use error::SimError;
-pub use mna::Mna;
+pub use mna::{Mna, MnaScratch};
 pub use moments::{d2m_delay, elmore_delays, Moments};
 pub use tran::{Integrator, TransientResult, TransientSim};
+pub use workspace::SimWorkspace;

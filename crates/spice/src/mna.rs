@@ -1,7 +1,39 @@
 use ntr_circuit::{Circuit, Element, Waveform};
-use ntr_sparse::{CscMatrix, TripletMatrix};
+use ntr_sparse::{CscMatrix, CscScratch, TripletMatrix};
 
 use crate::SimError;
+
+/// Reusable assembly scratch for [`Mna::build_with`].
+///
+/// Holds the triplet builders, the CSC compile buckets, and — via
+/// [`Mna::recycle`] — the storage of a previously built system, so
+/// stamping loops (one MNA build per candidate routing) stop allocating
+/// once the buffers have grown.
+#[derive(Debug, Default)]
+pub struct MnaScratch {
+    /// Static-matrix triplet builder.
+    a_s: TripletMatrix,
+    /// Dynamic-matrix triplet builder.
+    a_d: TripletMatrix,
+    /// Per-column buckets of the CSC compile.
+    csc: CscScratch,
+    /// Recycled `A_static` storage.
+    a_s_store: CscMatrix,
+    /// Recycled `A_dynamic` storage.
+    a_d_store: CscMatrix,
+    /// Recycled voltage-source list storage.
+    sources: Vec<(usize, Waveform)>,
+    /// Recycled current-source list storage.
+    current_sources: Vec<(Option<usize>, Option<usize>, Waveform)>,
+}
+
+impl MnaScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The modified nodal analysis (MNA) descriptor form of a circuit:
 ///
@@ -52,6 +84,17 @@ impl Mna {
     /// Returns [`SimError::EmptyCircuit`] when the circuit has no non-ground
     /// nodes.
     pub fn build(circuit: &Circuit) -> Result<Self, SimError> {
+        Self::build_with(circuit, &mut MnaScratch::new())
+    }
+
+    /// [`Mna::build`] with caller-provided assembly scratch. The result is
+    /// **bit-exact** with `build`; pair with [`Mna::recycle`] to also
+    /// reuse the built system's own storage across builds.
+    ///
+    /// # Errors
+    ///
+    /// As [`Mna::build`].
+    pub fn build_with(circuit: &Circuit, ws: &mut MnaScratch) -> Result<Self, SimError> {
         let node_count = circuit.node_count();
         if node_count <= 1 {
             return Err(SimError::EmptyCircuit);
@@ -63,20 +106,24 @@ impl Mna {
         // Ground maps to None; node k (k >= 1) maps to unknown k-1.
         let vidx = |node: usize| -> Option<usize> { node.checked_sub(1) };
 
-        let mut a_s = TripletMatrix::new(n, n);
-        let mut a_d = TripletMatrix::new(n, n);
-        let mut sources = Vec::new();
-        let mut current_sources = Vec::new();
+        ws.a_s.reset(n, n);
+        ws.a_d.reset(n, n);
+        let a_s = &mut ws.a_s;
+        let a_d = &mut ws.a_d;
+        let mut sources = std::mem::take(&mut ws.sources);
+        sources.clear();
+        let mut current_sources = std::mem::take(&mut ws.current_sources);
+        current_sources.clear();
         let mut next_branch = n_v;
 
         for element in circuit.elements() {
             match element.clone() {
                 Element::Resistor { a, b, ohms } => {
                     let g = 1.0 / ohms;
-                    stamp_conductance(&mut a_s, vidx(a), vidx(b), g);
+                    stamp_conductance(a_s, vidx(a), vidx(b), g);
                 }
                 Element::Capacitor { a, b, farads } => {
-                    stamp_conductance(&mut a_d, vidx(a), vidx(b), farads);
+                    stamp_conductance(a_d, vidx(a), vidx(b), farads);
                 }
                 Element::Inductor { a, b, henries } => {
                     let row = next_branch;
@@ -115,14 +162,28 @@ impl Mna {
             }
         }
 
+        let mut a_static = std::mem::replace(&mut ws.a_s_store, CscMatrix::empty());
+        a_static.assign_from_triplet(&ws.a_s, &mut ws.csc);
+        let mut a_dynamic = std::mem::replace(&mut ws.a_d_store, CscMatrix::empty());
+        a_dynamic.assign_from_triplet(&ws.a_d, &mut ws.csc);
+
         Ok(Self {
             node_count,
             unknowns: n,
-            a_static: a_s.to_csc(),
-            a_dynamic: a_d.to_csc(),
+            a_static,
+            a_dynamic,
             sources,
             current_sources,
         })
+    }
+
+    /// Hands this system's storage back to `ws`, where the next
+    /// [`Mna::build_with`] call will reuse it.
+    pub fn recycle(self, ws: &mut MnaScratch) {
+        ws.a_s_store = self.a_static;
+        ws.a_d_store = self.a_dynamic;
+        ws.sources = self.sources;
+        ws.current_sources = self.current_sources;
     }
 
     /// Number of unknowns (node voltages + branch currents).
@@ -276,6 +337,52 @@ mod tests {
     fn empty_circuit_is_rejected() {
         let c = Circuit::new();
         assert_eq!(Mna::build(&c).unwrap_err(), SimError::EmptyCircuit);
+        assert_eq!(
+            Mna::build_with(&c, &mut MnaScratch::new()).unwrap_err(),
+            SimError::EmptyCircuit
+        );
+    }
+
+    /// Scratch-built systems are bit-exact with `build`, including when the
+    /// scratch is reused across circuits of different sizes (via
+    /// `recycle`).
+    #[test]
+    fn build_with_reused_scratch_is_bit_exact() {
+        let mut big = Circuit::new();
+        let a = big.add_node();
+        let b = big.add_node();
+        let c = big.add_node();
+        big.add_voltage_source(a, Circuit::GROUND, Waveform::Step { level: 1.0 })
+            .unwrap();
+        big.add_resistor(a, b, 120.0).unwrap();
+        big.add_resistor(b, c, 75.0).unwrap();
+        big.add_capacitor(b, Circuit::GROUND, 2e-12).unwrap();
+        big.add_capacitor(c, Circuit::GROUND, 1e-12).unwrap();
+        big.add_inductor(b, c, 3e-9).unwrap();
+
+        let mut small = Circuit::new();
+        let n = small.add_node();
+        small
+            .add_voltage_source(n, Circuit::GROUND, Waveform::Dc(2.0))
+            .unwrap();
+        small.add_resistor(n, Circuit::GROUND, 50.0).unwrap();
+
+        let mut ws = MnaScratch::new();
+        for circuit in [&big, &small, &big] {
+            let reference = Mna::build(circuit).unwrap();
+            let pooled = Mna::build_with(circuit, &mut ws).unwrap();
+            assert_eq!(pooled.a_static(), reference.a_static());
+            assert_eq!(pooled.a_dynamic(), reference.a_dynamic());
+            assert_eq!(pooled.unknowns(), reference.unknowns());
+            let mut rhs_ref = vec![0.0; reference.unknowns()];
+            let mut rhs_pool = rhs_ref.clone();
+            for t in [0.0, 1e-9, f64::MAX] {
+                reference.rhs_at(t, &mut rhs_ref);
+                pooled.rhs_at(t, &mut rhs_pool);
+                assert_eq!(rhs_ref, rhs_pool);
+            }
+            pooled.recycle(&mut ws);
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use ntr_circuit::Circuit;
-use ntr_sparse::{Ordering, SparseLu, TripletMatrix};
+use ntr_sparse::{Ordering, SparseLu};
 
-use crate::{Mna, SimError};
+use crate::{Mna, SimError, SimWorkspace};
 
 /// Time-integration scheme for [`TransientSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -136,10 +136,14 @@ impl TransientSim {
     ///
     /// Returns [`SimError::EmptyCircuit`] for a ground-only circuit.
     pub fn new(circuit: &Circuit, integrator: Integrator) -> Result<Self, SimError> {
-        Ok(Self {
-            mna: Mna::build(circuit)?,
-            integrator,
-        })
+        Ok(Self::from_mna(Mna::build(circuit)?, integrator))
+    }
+
+    /// Builds a simulator around an already-assembled MNA system, so the
+    /// stamping pass is shared with other analyses of the same circuit.
+    #[must_use]
+    pub fn from_mna(mna: Mna, integrator: Integrator) -> Self {
+        Self { mna, integrator }
     }
 
     /// The underlying MNA system.
@@ -181,7 +185,7 @@ impl TransientSim {
         dt: f64,
         t_stop: f64,
         probe_nodes: &[usize],
-        mut stop: F,
+        stop: F,
     ) -> Result<TransientResult, SimError>
     where
         F: FnMut(&[f64], &[Vec<f64>]) -> bool,
@@ -197,80 +201,158 @@ impl TransientSim {
                     .ok_or(SimError::UnknownProbe { node })
             })
             .collect::<Result<_, _>>()?;
-
-        let n = self.mna.unknowns();
-        let a_s = self.mna.a_static();
-        let a_d = self.mna.a_dynamic();
-
-        // Companion matrices. `alpha` multiplies A_dynamic.
-        let build = |alpha: f64| -> TripletMatrix {
-            let mut t = TripletMatrix::new(n, n);
-            for c in 0..n {
-                for (r, v) in a_s.col(c) {
-                    t.push(r, c, v);
-                }
-                for (r, v) in a_d.col(c) {
-                    t.push(r, c, v * alpha);
-                }
-            }
-            t
-        };
-        let lu_be = SparseLu::factor(&build(1.0 / dt).to_csc(), Ordering::MinDegree)?;
-        let lu_main = match self.integrator {
-            Integrator::BackwardEuler => None,
-            Integrator::Trapezoidal => Some(SparseLu::factor(
-                &build(2.0 / dt).to_csc(),
-                Ordering::MinDegree,
-            )?),
-        };
-
-        let steps = (t_stop / dt).ceil() as usize;
-        let mut x = vec![0.0f64; n];
-        let mut rhs = vec![0.0f64; n];
-        let mut b_prev = vec![0.0f64; n];
-        self.mna.rhs_at(0.0, &mut b_prev);
-
-        let mut times = Vec::with_capacity(steps);
-        let mut probes: Vec<Vec<f64>> = vec![Vec::with_capacity(steps); probe_idx.len()];
-
-        for step in 1..=steps {
-            let t1 = step as f64 * dt;
-            match (&lu_main, step) {
-                // Backward Euler (always used for the first step):
-                // (A_s + A_d/dt)·x1 = b(t1) + (A_d/dt)·x0
-                (None, _) | (Some(_), 1) => {
-                    let adx = a_d.matvec(&x)?;
-                    self.mna.rhs_at(t1, &mut rhs);
-                    for i in 0..n {
-                        rhs[i] += adx[i] / dt;
-                    }
-                    lu_be.solve_in_place(&mut rhs)?;
-                }
-                // Trapezoidal:
-                // (A_s + 2A_d/dt)·x1 = b(t0) + b(t1) + (2A_d/dt)·x0 − A_s·x0
-                (Some(lu), _) => {
-                    let adx = a_d.matvec(&x)?;
-                    let asx = a_s.matvec(&x)?;
-                    self.mna.rhs_at(t1, &mut rhs);
-                    for i in 0..n {
-                        rhs[i] += b_prev[i] + 2.0 * adx[i] / dt - asx[i];
-                    }
-                    lu.solve_in_place(&mut rhs)?;
-                }
-            }
-            std::mem::swap(&mut x, &mut rhs);
-            self.mna.rhs_at(t1, &mut b_prev);
-
-            times.push(t1);
-            for (probe, &idx) in probes.iter_mut().zip(&probe_idx) {
-                probe.push(x[idx]);
-            }
-            if step % 32 == 0 && stop(&times, &probes) {
-                break;
-            }
-        }
-        Ok(TransientResult { times, probes })
+        let mut ws = SimWorkspace::new();
+        step_response_into(
+            &self.mna,
+            self.integrator,
+            dt,
+            t_stop,
+            &probe_idx,
+            &mut ws,
+            32,
+            stop,
+        )?;
+        Ok(TransientResult {
+            times: std::mem::take(&mut ws.times),
+            probes: std::mem::take(&mut ws.probes),
+        })
     }
+}
+
+/// The transient stepping core, writing samples into workspace-owned
+/// buffers (`ws.times` / `ws.probes`). All scratch — companion matrix, LU
+/// arrays, CSR mirrors, right-hand sides — comes from `ws`, so repeated
+/// runs over same-sized circuits allocate nothing. Waveforms are
+/// **bit-exact** with the pre-workspace implementation: the companion
+/// merge, CSR matvec, and pooled factor/solve paths each preserve the
+/// exact operation order of the code they replaced.
+///
+/// `check_every` is the early-stop polling interval in steps. It never
+/// changes any recorded sample — only how soon after the stop condition
+/// first holds the loop notices — so callers that consume waveforms up to
+/// a bracketed threshold crossing (delay measurement) get bit-identical
+/// results from `check_every = 1` while skipping the overshoot steps.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_response_into<F>(
+    mna: &Mna,
+    integrator: Integrator,
+    dt: f64,
+    t_stop: f64,
+    probe_idx: &[usize],
+    ws: &mut SimWorkspace,
+    check_every: usize,
+    mut stop: F,
+) -> Result<(), SimError>
+where
+    F: FnMut(&[f64], &[Vec<f64>]) -> bool,
+{
+    if !(dt.is_finite() && dt > 0.0 && t_stop.is_finite() && t_stop > 0.0) {
+        return Err(SimError::InvalidTimeStep { dt });
+    }
+    let n = mna.unknowns();
+    let a_s = mna.a_static();
+    let a_d = mna.a_dynamic();
+
+    // Companion matrices `A_s + α·A_d`, merged straight from the CSC
+    // factors (no triplet rebuild). The Backward-Euler factorization is
+    // always needed (it absorbs the first-step discontinuity).
+    ws.companion.assign_sum_scaled(a_s, a_d, 1.0 / dt);
+    let lu_be = SparseLu::factor_with(&ws.companion, Ordering::MinDegree, &mut ws.lu)?;
+    let lu_main = match integrator {
+        Integrator::BackwardEuler => None,
+        Integrator::Trapezoidal => {
+            ws.companion.assign_sum_scaled(a_s, a_d, 2.0 / dt);
+            Some(SparseLu::factor_with(
+                &ws.companion,
+                Ordering::MinDegree,
+                &mut ws.lu,
+            )?)
+        }
+    };
+    ws.a_d_csr.assign_from_csc(a_d);
+    if lu_main.is_some() {
+        ws.a_s_csr.assign_from_csc(a_s);
+    }
+
+    let steps = (t_stop / dt).ceil() as usize;
+    ws.x.clear();
+    ws.x.resize(n, 0.0);
+    ws.rhs.clear();
+    ws.rhs.resize(n, 0.0);
+    ws.adx.clear();
+    ws.adx.resize(n, 0.0);
+    ws.asx.clear();
+    ws.asx.resize(n, 0.0);
+    ws.b_prev.clear();
+    ws.b_prev.resize(n, 0.0);
+    ws.b_next.clear();
+    ws.b_next.resize(n, 0.0);
+    mna.rhs_at(0.0, &mut ws.b_prev);
+
+    ws.times.clear();
+    ws.times.reserve(steps.min(1 << 20));
+    if ws.probes.len() != probe_idx.len() {
+        ws.probes.resize_with(probe_idx.len(), Vec::new);
+    }
+    for probe in &mut ws.probes {
+        probe.clear();
+        probe.reserve(steps.min(1 << 20));
+    }
+    // Locals for the loop (the LU solves need `&mut ws.lu` alongside).
+    let mut x = std::mem::take(&mut ws.x);
+    let mut rhs = std::mem::take(&mut ws.rhs);
+
+    let mut result = Ok(());
+    for step in 1..=steps {
+        let t1 = step as f64 * dt;
+        let solved = match (&lu_main, step) {
+            // Backward Euler (always used for the first step):
+            // (A_s + A_d/dt)·x1 = b(t1) + (A_d/dt)·x0
+            (None, _) | (Some(_), 1) => {
+                ws.a_d_csr.matvec_into(&x, &mut ws.adx)?;
+                mna.rhs_at(t1, &mut ws.b_next);
+                for (i, r) in rhs.iter_mut().enumerate().take(n) {
+                    *r = ws.b_next[i] + ws.adx[i] / dt;
+                }
+                lu_be.solve_in_place_with(&mut rhs, &mut ws.lu)
+            }
+            // Trapezoidal:
+            // (A_s + 2A_d/dt)·x1 = b(t0) + b(t1) + (2A_d/dt)·x0 − A_s·x0
+            (Some(lu), _) => {
+                ws.a_d_csr.matvec_into(&x, &mut ws.adx)?;
+                ws.a_s_csr.matvec_into(&x, &mut ws.asx)?;
+                mna.rhs_at(t1, &mut ws.b_next);
+                for (i, r) in rhs.iter_mut().enumerate().take(n) {
+                    // Grouped like the legacy `rhs[i] += …` so rounding
+                    // matches bit for bit.
+                    *r = ws.b_next[i] + (ws.b_prev[i] + 2.0 * ws.adx[i] / dt - ws.asx[i]);
+                }
+                lu.solve_in_place_with(&mut rhs, &mut ws.lu)
+            }
+        };
+        if let Err(e) = solved {
+            result = Err(e.into());
+            break;
+        }
+        std::mem::swap(&mut x, &mut rhs);
+        // b(t1) becomes the next step's history term (computed once above).
+        std::mem::swap(&mut ws.b_prev, &mut ws.b_next);
+
+        ws.times.push(t1);
+        for (probe, &idx) in ws.probes.iter_mut().zip(probe_idx) {
+            probe.push(x[idx]);
+        }
+        if step % check_every == 0 && stop(&ws.times, &ws.probes) {
+            break;
+        }
+    }
+    ws.x = x;
+    ws.rhs = rhs;
+    if let Some(lu) = lu_main {
+        ws.lu.recycle(lu);
+    }
+    ws.lu.recycle(lu_be);
+    result
 }
 
 #[cfg(test)]

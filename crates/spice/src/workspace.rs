@@ -1,0 +1,91 @@
+//! Prepare-once scratch memory for the simulation hot path.
+//!
+//! The LDRG candidate sweep calls [`sink_delays`](crate::sink_delays)
+//! once per candidate routing; each call runs moment analysis plus a
+//! transient simulation. With a [`SimWorkspace`] threaded through (or the
+//! per-thread pool the workspace-less wrappers use), every buffer of that
+//! pipeline — companion matrix storage, CSR mirrors of the MNA matrices,
+//! factorization scratch, right-hand sides, recorded waveforms — is
+//! allocated once and reused across candidates.
+
+use ntr_sparse::{CscMatrix, CsrMatrix, LuWorkspace};
+
+use crate::MnaScratch;
+
+/// Reusable scratch for [`sink_delays_with`](crate::sink_delays_with) and
+/// the transient stepping loop.
+///
+/// Plain data; keep one per thread and pass it `&mut`. The numeric
+/// results are **bit-exact** with the workspace-less entry points.
+#[derive(Debug)]
+pub struct SimWorkspace {
+    /// Sparse factorization/solve scratch (shared by moments + stepping).
+    pub(crate) lu: LuWorkspace,
+    /// MNA assembly scratch (triplet builders + recycled CSC storage).
+    pub(crate) mna: MnaScratch,
+    /// Companion matrix `A_static + α·A_dynamic` storage.
+    pub(crate) companion: CscMatrix,
+    /// CSR mirror of `A_dynamic` for the per-step matvec.
+    pub(crate) a_d_csr: CsrMatrix,
+    /// CSR mirror of `A_static` (trapezoidal correction term).
+    pub(crate) a_s_csr: CsrMatrix,
+    /// State vector `x` of the stepping loop.
+    pub(crate) x: Vec<f64>,
+    /// Right-hand side being assembled/solved each step.
+    pub(crate) rhs: Vec<f64>,
+    /// `b(t_prev)` (trapezoidal history term).
+    pub(crate) b_prev: Vec<f64>,
+    /// `b(t1)` staging buffer.
+    pub(crate) b_next: Vec<f64>,
+    /// `A_dynamic · x` per step.
+    pub(crate) adx: Vec<f64>,
+    /// `A_static · x` per step (trapezoidal only).
+    pub(crate) asx: Vec<f64>,
+    /// DC operating point (moment order 0).
+    pub(crate) dc: Vec<f64>,
+    /// First moment vector `x₁`.
+    pub(crate) m1: Vec<f64>,
+    /// Per-sink DC target values.
+    pub(crate) dc_targets: Vec<f64>,
+    /// Per-sink early-stop thresholds.
+    pub(crate) targets: Vec<f64>,
+    /// Probe unknown indices.
+    pub(crate) probe_idx: Vec<usize>,
+    /// Recorded sample times.
+    pub(crate) times: Vec<f64>,
+    /// Recorded waveforms, one per probe.
+    pub(crate) probes: Vec<Vec<f64>>,
+}
+
+impl Default for SimWorkspace {
+    fn default() -> Self {
+        Self {
+            lu: LuWorkspace::new(),
+            mna: MnaScratch::new(),
+            companion: CscMatrix::empty(),
+            a_d_csr: CsrMatrix::default(),
+            a_s_csr: CsrMatrix::default(),
+            x: Vec::new(),
+            rhs: Vec::new(),
+            b_prev: Vec::new(),
+            b_next: Vec::new(),
+            adx: Vec::new(),
+            asx: Vec::new(),
+            dc: Vec::new(),
+            m1: Vec::new(),
+            dc_targets: Vec::new(),
+            targets: Vec::new(),
+            probe_idx: Vec::new(),
+            times: Vec::new(),
+            probes: Vec::new(),
+        }
+    }
+}
+
+impl SimWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
