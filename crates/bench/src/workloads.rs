@@ -21,14 +21,17 @@
 //! | `elmore_eval`       | Elmore analysis over a 100-pin tree          |
 //! | `route_end_to_end`  | whole `ldrg` route with the transient oracle |
 //! | `server_round_trip` | in-process service submit → response         |
+//! | `candidate_gen_1k`  | spatial index build + pruned generation, 1k pins |
+//! | `route_1k_pins`     | pruned-mode LDRG iteration at 1k pins        |
+//! | `candidate_gen_10k` | index build + first pruned LDRG iteration, 10k pins |
 
 use std::time::Instant;
 
 use crate::bench_net;
 use ntr_circuit::Technology;
 use ntr_core::{
-    candidate_oracle_for, ldrg, sweep_candidates, Candidate, LdrgOptions, MomentOracle, Objective,
-    TransientOracle,
+    candidate_oracle_for, ldrg, sweep_candidates, Candidate, CandidateGen, CandidateGenerator,
+    LdrgOptions, MomentOracle, Objective, TransientOracle,
 };
 use ntr_elmore::ElmoreAnalysis;
 use ntr_graph::{prim_mst, NodeId, RoutingGraph, TreeView};
@@ -202,6 +205,67 @@ fn run_route_end_to_end(iters: usize, warmup: usize) -> Vec<f64> {
     })
 }
 
+fn run_candidate_gen_1k(iters: usize, warmup: usize) -> Vec<f64> {
+    // The tentpole cost at 1k pins: grid-index construction, Gabriel
+    // proximity graph, k-NN partner lists, and one pruned candidate
+    // pass. A fresh generator per iteration makes the index build part
+    // of the measurement (it is amortized in production, but its cost
+    // is exactly what this workload tracks).
+    let mst = prim_mst(&bench_net(1_000));
+    time_iters(iters, warmup, || {
+        let mut generator = CandidateGenerator::new(CandidateGen::pruned(8));
+        std::hint::black_box(generator.generate(&mst).len());
+    })
+}
+
+fn run_route_1k_pins(iters: usize, warmup: usize) -> Vec<f64> {
+    // Pruned-mode LDRG at 1k pins: prepare (extract + factor), one
+    // pruned candidate sweep (~k·n rank-1 scores), commit, re-prepare.
+    // The exhaustive universe here would be ~500k candidates — this
+    // workload only exists because pruning makes the net routable.
+    let tech = Technology::date94();
+    let net = bench_net(1_000);
+    let oracle = MomentOracle::new(tech);
+    let opts = LdrgOptions {
+        max_added_edges: 1,
+        candidates: CandidateGen::pruned(8),
+        ..Default::default()
+    };
+    time_iters(iters, warmup, || {
+        let mst = prim_mst(&net);
+        std::hint::black_box(ldrg(&mst, &oracle, &opts).expect("net routes"));
+    })
+}
+
+fn run_candidate_gen_10k(iters: usize, warmup: usize) -> Vec<f64> {
+    // The 10k-pin acceptance workload: index build plus the first full
+    // LDRG iteration (prepare + pruned sweep) on a 10,000-pin net. A
+    // smaller k than the 1k workloads keeps the sweep proportionate —
+    // at this scale each rank-1 score runs against a ~10k-unknown
+    // factorization.
+    let tech = Technology::date94();
+    let mst = prim_mst(&bench_net(10_000));
+    let oracle = MomentOracle::new(tech);
+    time_iters(iters, warmup, || {
+        let mut generator = CandidateGenerator::new(CandidateGen::Pruned {
+            k_nearest: 2,
+            include_tree_neighbors: false,
+        });
+        generator.generate(&mst);
+        let mut engine = candidate_oracle_for(&oracle);
+        engine.prepare(&mst).expect("graph extracts");
+        let scores = sweep_candidates(
+            engine.as_ref(),
+            generator.candidates(),
+            &Objective::MaxDelay,
+            0,
+            None,
+        )
+        .expect("candidates score");
+        std::hint::black_box(scores.len());
+    })
+}
+
 fn run_server_round_trip(iters: usize, warmup: usize) -> Vec<f64> {
     use ntr_server::proto::{Algorithm, OracleKind, RouteRequest};
     use ntr_server::service::{Service, ServiceConfig};
@@ -228,6 +292,7 @@ fn run_server_round_trip(iters: usize, warmup: usize) -> Vec<f64> {
                 use_cache: false,
                 retries: 0,
                 degrade: false,
+                candidates: ntr_core::CandidateGen::Exhaustive,
             },
             Box::new(move |response| {
                 let _ = tx.send(response);
@@ -319,6 +384,30 @@ pub fn registry() -> Vec<Workload> {
             quick_iters: 8,
             warmup: 3,
             run: run_server_round_trip,
+        },
+        Workload {
+            name: "candidate_gen_1k",
+            description: "spatial index build + pruned candidate generation on a 1k-pin MST",
+            iters: 20,
+            quick_iters: 5,
+            warmup: 2,
+            run: run_candidate_gen_1k,
+        },
+        Workload {
+            name: "route_1k_pins",
+            description: "pruned-mode LDRG iteration (k=8) on a 1k-pin net, moment oracle",
+            iters: 10,
+            quick_iters: 3,
+            warmup: 1,
+            run: run_route_1k_pins,
+        },
+        Workload {
+            name: "candidate_gen_10k",
+            description: "index build + first pruned LDRG iteration on a 10k-pin net",
+            iters: 2,
+            quick_iters: 1,
+            warmup: 0,
+            run: run_candidate_gen_10k,
         },
     ]
 }

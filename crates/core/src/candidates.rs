@@ -1,0 +1,395 @@
+//! Pluggable candidate-edge generation for the greedy loops.
+//!
+//! The paper's LDRG/SLDRG consider every missing node pair — O(|N|²)
+//! candidates per iteration — which caps net size at toy scale. Real
+//! timing-driven routers restrict augmentation search to *spatial
+//! neighborhoods*: a shortcut wire only pays when its endpoints are close
+//! enough that the resistance drop beats the added capacitance, so far
+//! pairs are almost never winners. This module makes the candidate
+//! universe a strategy:
+//!
+//! - [`CandidateGen::Exhaustive`] — every missing pair, bit-identical to
+//!   the historical `missing_edge_candidates` scan (the default).
+//! - [`CandidateGen::Pruned`] — index-driven: each node contributes its
+//!   `k_nearest` Manhattan neighbors (via [`ntr_geom::GridIndex`]), and
+//!   with `include_tree_neighbors` also its Gabriel proximity-graph
+//!   ([`ntr_geom::NeighborGraph`]) edges and its 2-hop neighbors in the
+//!   committed routing (path-shortcut candidates that need not be
+//!   spatially near).
+//!
+//! **Pruning soundness / equivalence:** candidates are emitted as sorted
+//! `(a, b)` pairs with `a < b` in node-index order — exactly the scan
+//! order of the exhaustive double loop — and `best_below` keeps the
+//! earliest candidate on score ties. With `k_nearest >= n` the pruned
+//! universe equals the exhaustive one, so the committed edge sequence and
+//! every score are bit-identical (locked by the `candidates` equivalence
+//! suite). For smaller `k` the search is a restriction: it can only miss
+//! improvements, never invent them, so the objective still never worsens.
+//!
+//! **Incremental updates:** the grid index and partner lists are built
+//! once per net, on first use. Nodes appended later (Steiner points
+//! landing mid-route) are inserted into the grid incrementally and get
+//! their own k-NN partner list; existing nodes' lists are not re-opened
+//! (the new node's own list already covers both directions of its local
+//! pairs). Committed augmentation edges need no index work at all — they
+//! are filtered out per iteration by a `has_edge` check, exactly like the
+//! exhaustive scan.
+
+use ntr_geom::{GridIndex, NeighborGraph};
+use ntr_graph::{NodeId, RoutingGraph};
+
+use crate::sweep::Candidate;
+use crate::OracleStats;
+
+/// Minimum k-NN seed for the Gabriel proximity graph: even with a tiny
+/// `k_nearest`, the Delaunay-lite skeleton is built from a neighborhood
+/// wide enough to keep its edges meaningful.
+const GABRIEL_SEED_MIN: usize = 8;
+
+/// Which candidate universe the greedy loops search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CandidateGen {
+    /// Every node pair not already joined by an edge (the paper's O(|N|²)
+    /// scan). The default; bit-identical to the historical behavior.
+    #[default]
+    Exhaustive,
+    /// Spatial-index pruning: per node, its `k_nearest` Manhattan
+    /// neighbors; with `include_tree_neighbors`, also the Gabriel
+    /// proximity-graph edges and 2-hop routing-graph neighbors.
+    Pruned {
+        /// Neighbors each node contributes. `k >= n` degenerates to
+        /// [`CandidateGen::Exhaustive`] bit-for-bit.
+        k_nearest: usize,
+        /// Also include Delaunay-lite proximity edges and 2-hop tree
+        /// shortcuts in the universe.
+        include_tree_neighbors: bool,
+    },
+}
+
+impl CandidateGen {
+    /// The standard pruned configuration: `k` spatial neighbors plus the
+    /// proximity skeleton and tree shortcuts.
+    #[must_use]
+    pub fn pruned(k_nearest: usize) -> Self {
+        CandidateGen::Pruned {
+            k_nearest,
+            include_tree_neighbors: true,
+        }
+    }
+}
+
+/// A reusable candidate-edge generator bound to one net.
+///
+/// Owns the pooled candidate buffer (reused across LDRG iterations — no
+/// per-iteration allocation), the spatial index, and the search-cost
+/// counters. Create one per routing run with the net's [`CandidateGen`]
+/// and call [`CandidateGenerator::generate`] once per greedy iteration.
+pub struct CandidateGenerator {
+    config: CandidateGen,
+    /// Pooled output buffer, refilled each `generate` call.
+    buf: Vec<Candidate>,
+    /// Node ids by index, refreshed each call (index `i` == `NodeId` `i`).
+    nodes: Vec<NodeId>,
+    /// Scratch pair set, pooled across iterations.
+    pairs: Vec<(u32, u32)>,
+    /// Built on first `generate`; grown incrementally as nodes land.
+    index: Option<GridIndex>,
+    /// Gabriel proximity skeleton over the founding nodes.
+    proximity: Option<NeighborGraph>,
+    /// Per-node k-NN partner lists (pruned mode only).
+    partners: Vec<Vec<u32>>,
+    generated: u64,
+    pruned: u64,
+}
+
+impl CandidateGenerator {
+    /// A fresh generator for `config`, with empty pooled buffers.
+    #[must_use]
+    pub fn new(config: CandidateGen) -> Self {
+        Self {
+            config,
+            buf: Vec::new(),
+            nodes: Vec::new(),
+            pairs: Vec::new(),
+            index: None,
+            proximity: None,
+            partners: Vec::new(),
+            generated: 0,
+            pruned: 0,
+        }
+    }
+
+    /// The configuration this generator was built with.
+    #[must_use]
+    pub fn config(&self) -> CandidateGen {
+        self.config
+    }
+
+    /// Fills the pooled buffer with this iteration's `AddEdge` candidates
+    /// and returns it. Candidates are emitted in exhaustive scan order
+    /// (sorted `(a, b)` node-index pairs, existing edges skipped).
+    pub fn generate(&mut self, graph: &RoutingGraph) -> &[Candidate] {
+        self.buf.clear();
+        self.nodes.clear();
+        self.nodes.extend(graph.node_ids());
+        match self.config {
+            CandidateGen::Exhaustive => self.generate_exhaustive(graph),
+            CandidateGen::Pruned {
+                k_nearest,
+                include_tree_neighbors,
+            } => self.generate_pruned(graph, k_nearest, include_tree_neighbors),
+        }
+        self.generated += self.buf.len() as u64;
+        self.pruned += self
+            .missing_pair_universe(graph)
+            .saturating_sub(self.buf.len() as u64);
+        &self.buf
+    }
+
+    /// The candidates produced by the last [`CandidateGenerator::generate`].
+    #[must_use]
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.buf
+    }
+
+    /// Search-cost counters accumulated so far, as a partial
+    /// [`OracleStats`] ready to be merged into an engine's counters.
+    #[must_use]
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            candidates_generated: self.generated,
+            candidates_pruned: self.pruned,
+            ..OracleStats::default()
+        }
+    }
+
+    fn generate_exhaustive(&mut self, graph: &RoutingGraph) {
+        for (ai, &a) in self.nodes.iter().enumerate() {
+            for &b in &self.nodes[ai + 1..] {
+                if !graph.has_edge(a, b) {
+                    self.buf.push(Candidate::AddEdge(a, b));
+                }
+            }
+        }
+    }
+
+    fn generate_pruned(&mut self, graph: &RoutingGraph, k: usize, tree_neighbors: bool) {
+        self.ensure_index(graph, k, tree_neighbors);
+        self.pairs.clear();
+        for (i, list) in self.partners.iter().enumerate() {
+            let i = i as u32;
+            for &j in list {
+                self.pairs.push(sorted_pair(i, j));
+            }
+        }
+        if tree_neighbors {
+            if let Some(proximity) = &self.proximity {
+                for a in 0..proximity.len() as u32 {
+                    for &b in proximity.neighbors(a) {
+                        if a < b {
+                            self.pairs.push((a, b));
+                        }
+                    }
+                }
+            }
+            // 2-hop neighbors in the committed routing: shortcut a length-2
+            // path of the current graph regardless of spatial distance.
+            for &v in &self.nodes {
+                let adj = graph.neighbors(v).expect("live node");
+                for (ui, &(u, _)) in adj.iter().enumerate() {
+                    for &(w, _) in &adj[ui + 1..] {
+                        let (u, w) = (u.index() as u32, w.index() as u32);
+                        if u != w {
+                            self.pairs.push(sorted_pair(u, w));
+                        }
+                    }
+                }
+            }
+        }
+        self.pairs.sort_unstable();
+        self.pairs.dedup();
+        for &(a, b) in &self.pairs {
+            let (na, nb) = (self.nodes[a as usize], self.nodes[b as usize]);
+            if !graph.has_edge(na, nb) {
+                self.buf.push(Candidate::AddEdge(na, nb));
+            }
+        }
+    }
+
+    /// Builds the index and partner lists on first use; appends any nodes
+    /// that landed since (Steiner points) incrementally.
+    fn ensure_index(&mut self, graph: &RoutingGraph, k: usize, tree_neighbors: bool) {
+        let n = self.nodes.len();
+        if self.index.is_none() {
+            let points: Vec<_> = self
+                .nodes
+                .iter()
+                .map(|&id| graph.point(id).expect("live node"))
+                .collect();
+            let index = GridIndex::build(&points);
+            if tree_neighbors {
+                self.proximity = Some(NeighborGraph::gabriel(&index, k.max(GABRIEL_SEED_MIN)));
+            }
+            self.index = Some(index);
+        }
+        let index = self.index.as_mut().expect("index built above");
+        debug_assert!(
+            index.len() <= n,
+            "a CandidateGenerator is bound to one net; node count shrank"
+        );
+        for i in index.len()..n {
+            index.insert(graph.point(self.nodes[i]).expect("live node"));
+        }
+        // Partner lists for nodes that do not have one yet (all of them on
+        // the first call; only late-landing Steiner nodes afterwards).
+        for i in self.partners.len()..n {
+            let p = index.point(i as u32);
+            let mut list: Vec<u32> = Vec::with_capacity(k);
+            // k + 1 because the query point itself is indexed.
+            for (j, _) in index.k_nearest(p, k.saturating_add(1)) {
+                if j != i as u32 && list.len() < k {
+                    list.push(j);
+                }
+            }
+            self.partners.push(list);
+        }
+    }
+
+    /// Size of the exhaustive universe this iteration: all node pairs not
+    /// already joined by an edge.
+    fn missing_pair_universe(&self, graph: &RoutingGraph) -> u64 {
+        let n = self.nodes.len() as u64;
+        (n * n.saturating_sub(1) / 2).saturating_sub(graph.edge_count() as u64)
+    }
+}
+
+fn sorted_pair(a: u32, b: u32) -> (u32, u32) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::missing_edge_candidates;
+    use ntr_geom::{Layout, NetGenerator};
+    use ntr_graph::prim_mst;
+
+    fn mst(seed: u64, size: usize) -> RoutingGraph {
+        let net = NetGenerator::new(Layout::date94(), seed)
+            .random_net(size)
+            .unwrap();
+        prim_mst(&net)
+    }
+
+    #[test]
+    fn exhaustive_matches_missing_edge_candidates() {
+        for seed in 0..6 {
+            let g = mst(seed, 11);
+            let mut generator = CandidateGenerator::new(CandidateGen::Exhaustive);
+            assert_eq!(generator.generate(&g), missing_edge_candidates(&g));
+        }
+    }
+
+    #[test]
+    fn pruned_with_full_k_equals_exhaustive() {
+        for seed in 0..6 {
+            let g = mst(seed, 11);
+            for tree in [false, true] {
+                let mut generator = CandidateGenerator::new(CandidateGen::Pruned {
+                    k_nearest: g.node_count(),
+                    include_tree_neighbors: tree,
+                });
+                assert_eq!(
+                    generator.generate(&g),
+                    missing_edge_candidates(&g),
+                    "seed {seed} tree_neighbors {tree}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_is_a_subset_in_scan_order() {
+        let g = mst(3, 20);
+        let mut generator = CandidateGenerator::new(CandidateGen::pruned(4));
+        let pruned: Vec<_> = generator.generate(&g).to_vec();
+        let full = missing_edge_candidates(&g);
+        // Subset of the exhaustive universe...
+        let mut cursor = 0;
+        for c in &pruned {
+            let pos = full[cursor..]
+                .iter()
+                .position(|f| f == c)
+                .expect("pruned candidate missing from exhaustive universe");
+            cursor += pos + 1;
+        }
+        // ...and meaningfully smaller at this size.
+        assert!(pruned.len() < full.len());
+        assert!(!pruned.is_empty());
+    }
+
+    #[test]
+    fn pruned_count_is_bounded_by_k_times_n() {
+        let g = mst(7, 40);
+        let k = 5;
+        let mut generator = CandidateGenerator::new(CandidateGen::Pruned {
+            k_nearest: k,
+            include_tree_neighbors: false,
+        });
+        let count = generator.generate(&g).len();
+        assert!(
+            count <= k * g.node_count(),
+            "{count} candidates exceeds k*n = {}",
+            k * g.node_count()
+        );
+    }
+
+    #[test]
+    fn buffer_is_reused_across_iterations() {
+        let g = mst(1, 15);
+        let mut generator = CandidateGenerator::new(CandidateGen::pruned(6));
+        generator.generate(&g);
+        let cap = generator.buf.capacity();
+        let first = generator.candidates().to_vec();
+        generator.generate(&g);
+        assert_eq!(generator.candidates(), first);
+        assert_eq!(generator.buf.capacity(), cap, "buffer must be pooled");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let g = mst(2, 12);
+        let mut generator = CandidateGenerator::new(CandidateGen::Pruned {
+            k_nearest: 3,
+            include_tree_neighbors: false,
+        });
+        let c1 = generator.generate(&g).len() as u64;
+        generator.generate(&g);
+        let stats = generator.stats();
+        assert_eq!(stats.candidates_generated, 2 * c1);
+        assert!(stats.candidates_pruned > 0);
+        assert_eq!(stats.evaluations, 0);
+    }
+
+    #[test]
+    fn steiner_nodes_are_indexed_incrementally() {
+        let mut g = mst(5, 10);
+        let mut generator = CandidateGenerator::new(CandidateGen::pruned(4));
+        generator.generate(&g);
+        let before = generator.partners.len();
+        let s = g.add_steiner(ntr_geom::Point::new(5_000.0, 5_000.0));
+        g.add_edge(g.source(), s).unwrap();
+        let cands = generator.generate(&g).to_vec();
+        assert_eq!(generator.partners.len(), before + 1);
+        assert!(
+            cands
+                .iter()
+                .any(|c| matches!(c, Candidate::AddEdge(a, b) if *a == s || *b == s)),
+            "new Steiner node must appear in the candidate universe"
+        );
+    }
+}

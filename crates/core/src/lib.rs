@@ -63,6 +63,7 @@
 //! ```
 
 mod cancel;
+mod candidates;
 mod exact;
 mod faults;
 mod fidelity;
@@ -82,6 +83,7 @@ mod trim;
 mod wsorg;
 
 pub use cancel::{CancelToken, Cancelled};
+pub use candidates::{CandidateGen, CandidateGenerator};
 pub use exact::{exact_org, ExactOrgError};
 pub use faults::{FaultPlan, FaultScope, FaultingOracle, InjectedFault};
 pub use fidelity::{Fidelity, FidelityCosts};

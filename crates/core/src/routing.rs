@@ -41,8 +41,8 @@ use crate::heuristics::{h2_with, h3_with, HeuristicOptions, HeuristicResult};
 use crate::retry::RetryPolicy;
 use crate::wsorg::WireSizeResult;
 use crate::{
-    h1_with, ldrg, CancelToken, DelayOracle, IterationRecord, LdrgOptions, LdrgResult,
-    MomentOracle, OracleError, OracleStats, TransientOracle, TreeElmoreOracle,
+    h1_with, ldrg, CancelToken, CandidateGen, DelayOracle, IterationRecord, LdrgOptions,
+    LdrgResult, MomentOracle, OracleError, OracleStats, TransientOracle, TreeElmoreOracle,
 };
 
 /// The routing algorithms [`route_one`] dispatches over — the same set
@@ -165,6 +165,10 @@ pub struct Budget {
     /// Worker threads for candidate sweeps (0 = one per core). The
     /// committed edge sequence is identical at every setting.
     pub parallelism: usize,
+    /// Candidate universe for the LDRG-family searches
+    /// ([`CandidateGen::Exhaustive`] by default; `Pruned` restricts the
+    /// search to spatial neighborhoods for large nets).
+    pub candidates: CandidateGen,
     /// Cooperative cancellation / deadline for the whole request.
     pub cancel: CancelToken,
     /// Retry budget for transient oracle failures.
@@ -186,6 +190,7 @@ impl Budget {
             fidelity: Fidelity::Moment,
             max_added_edges: 0,
             parallelism: 0,
+            candidates: CandidateGen::default(),
             cancel: CancelToken::default(),
             retry: RetryPolicy::default(),
             degrade: DegradePolicy::default(),
@@ -204,6 +209,13 @@ impl Budget {
     #[must_use]
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Builder-style candidate-universe override.
+    #[must_use]
+    pub fn with_candidates(mut self, candidates: CandidateGen) -> Self {
+        self.candidates = candidates;
         self
     }
 }
@@ -497,6 +509,7 @@ fn run_at(
         max_added_edges: budget.max_added_edges,
         parallelism: budget.parallelism,
         cancel: cancel.clone(),
+        candidates: budget.candidates,
         ..LdrgOptions::default()
     };
     match algorithm {

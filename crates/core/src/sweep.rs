@@ -67,6 +67,13 @@ pub struct OracleStats {
     /// Candidates scored through a rank-1 (Sherman–Morrison) update of a
     /// cached factorization instead of a fresh one.
     pub rank1_solves: u64,
+    /// Candidates emitted by the generator across all iterations.
+    pub candidates_generated: u64,
+    /// Candidates actually scored by an oracle sweep.
+    pub candidates_scored: u64,
+    /// Candidates in the exhaustive universe that pruning skipped (zero
+    /// under [`CandidateGen::Exhaustive`](crate::CandidateGen)).
+    pub candidates_pruned: u64,
     /// Nanoseconds spent inside `prepare`/`score`.
     pub wall_nanos: u64,
 }
@@ -85,21 +92,29 @@ impl OracleStats {
             evaluations: self.evaluations + other.evaluations,
             factorizations: self.factorizations + other.factorizations,
             rank1_solves: self.rank1_solves + other.rank1_solves,
+            candidates_generated: self.candidates_generated + other.candidates_generated,
+            candidates_scored: self.candidates_scored + other.candidates_scored,
+            candidates_pruned: self.candidates_pruned + other.candidates_pruned,
             wall_nanos: self.wall_nanos + other.wall_nanos,
         }
     }
 }
 
 /// One-line human-readable form:
-/// `"184 evaluations, 4 factorizations, 180 rank-1 solves, 2.173 ms"`.
+/// `"184 evaluations, 4 factorizations, 180 rank-1 solves, 180 candidates
+/// (180 scored, 0 pruned), 2.173 ms"`.
 impl std::fmt::Display for OracleStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} evaluations, {} factorizations, {} rank-1 solves, {:.3} ms",
+            "{} evaluations, {} factorizations, {} rank-1 solves, \
+             {} candidates ({} scored, {} pruned), {:.3} ms",
             self.evaluations,
             self.factorizations,
             self.rank1_solves,
+            self.candidates_generated,
+            self.candidates_scored,
+            self.candidates_pruned,
             self.wall().as_secs_f64() * 1e3,
         )
     }
@@ -121,6 +136,7 @@ impl SharedStats {
             factorizations: self.factorizations.load(Ordering::Relaxed),
             rank1_solves: self.rank1_solves.load(Ordering::Relaxed),
             wall_nanos: self.wall_nanos.load(Ordering::Relaxed),
+            ..OracleStats::default()
         }
     }
 
@@ -278,6 +294,11 @@ pub fn best_below(scores: &[f64], threshold: f64) -> Option<usize> {
 
 /// Every node pair not already joined by an edge, as `AddEdge`
 /// candidates in the scan order of the original double loop.
+///
+/// Kept as the reference implementation the equivalence tests compare
+/// [`CandidateGenerator`](crate::CandidateGenerator) against; production
+/// paths go through the generator's pooled buffer instead.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn missing_edge_candidates(graph: &RoutingGraph) -> Vec<Candidate> {
     let nodes: Vec<NodeId> = graph.node_ids().collect();
     let mut out = Vec::new();

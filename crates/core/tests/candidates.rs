@@ -1,0 +1,200 @@
+//! Equivalence suite for the candidate-generation subsystem.
+//!
+//! Pruned search with `k >= n` must be **bit-identical** to the
+//! exhaustive scan — same committed topology, same `f64::to_bits`
+//! delays — on seeded nets for both `ldrg` and `sldrg`, because the
+//! generator emits candidates in the exhaustive scan order and the full
+//! k-NN universe is the exhaustive universe. Restricted `k` must still
+//! be sound (never worsens the objective) and must keep the candidate
+//! count within its `k·n` bound at 1,000-pin scale.
+
+use ntr_circuit::Technology;
+use ntr_core::{
+    ldrg, route_one, sldrg, Algorithm, Budget, CandidateGen, LdrgOptions, MomentOracle,
+};
+use ntr_geom::{Layout, Net, NetGenerator};
+use ntr_graph::prim_mst;
+use ntr_steiner::SteinerOptions;
+
+const SEEDS: u64 = 20;
+const NET_SIZE: usize = 8;
+/// Far above any node count these nets reach (8 pins + Steiner points),
+/// so the pruned universe degenerates to the exhaustive one.
+const FULL_K: usize = 64;
+
+fn net(seed: u64) -> Net {
+    NetGenerator::new(Layout::date94(), seed)
+        .random_net(NET_SIZE)
+        .unwrap()
+}
+
+fn assert_bit_identical(
+    label: &str,
+    seed: u64,
+    exhaustive: &ntr_core::LdrgResult,
+    pruned: &ntr_core::LdrgResult,
+) {
+    assert_eq!(
+        exhaustive.graph, pruned.graph,
+        "{label} seed {seed}: topologies differ"
+    );
+    assert_eq!(
+        exhaustive.initial_delay.to_bits(),
+        pruned.initial_delay.to_bits(),
+        "{label} seed {seed}: initial delays differ"
+    );
+    assert_eq!(
+        exhaustive.iterations.len(),
+        pruned.iterations.len(),
+        "{label} seed {seed}: iteration counts differ"
+    );
+    for (e, p) in exhaustive.iterations.iter().zip(&pruned.iterations) {
+        assert_eq!(e.added, p.added, "{label} seed {seed}: edge choice differs");
+        assert_eq!(
+            e.delay.to_bits(),
+            p.delay.to_bits(),
+            "{label} seed {seed}: per-iteration delays differ"
+        );
+    }
+    assert_eq!(
+        exhaustive.final_delay().to_bits(),
+        pruned.final_delay().to_bits(),
+        "{label} seed {seed}: final delays differ"
+    );
+}
+
+#[test]
+fn pruned_full_k_matches_exhaustive_ldrg_on_20_seeds() {
+    let oracle = MomentOracle::new(Technology::date94());
+    for seed in 0..SEEDS {
+        let mst = prim_mst(&net(seed));
+        let exhaustive = ldrg(&mst, &oracle, &LdrgOptions::default()).unwrap();
+        for include_tree_neighbors in [false, true] {
+            let pruned = ldrg(
+                &mst,
+                &oracle,
+                &LdrgOptions {
+                    candidates: CandidateGen::Pruned {
+                        k_nearest: FULL_K,
+                        include_tree_neighbors,
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_bit_identical("ldrg", seed, &exhaustive, &pruned);
+        }
+    }
+}
+
+#[test]
+fn pruned_full_k_matches_exhaustive_sldrg_on_20_seeds() {
+    let oracle = MomentOracle::new(Technology::date94());
+    let steiner = SteinerOptions::default();
+    for seed in 0..SEEDS {
+        let n = net(seed);
+        let exhaustive = sldrg(&n, &steiner, &oracle, &LdrgOptions::default()).unwrap();
+        let pruned = sldrg(
+            &n,
+            &steiner,
+            &oracle,
+            &LdrgOptions {
+                candidates: CandidateGen::Pruned {
+                    k_nearest: FULL_K,
+                    include_tree_neighbors: true,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_bit_identical("sldrg", seed, &exhaustive, &pruned);
+    }
+}
+
+#[test]
+fn pruned_search_counters_account_for_the_universe() {
+    let oracle = MomentOracle::new(Technology::date94());
+    let mst = prim_mst(&net(3));
+    let res = ldrg(
+        &mst,
+        &oracle,
+        &LdrgOptions {
+            candidates: CandidateGen::Pruned {
+                k_nearest: 3,
+                include_tree_neighbors: false,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(res.stats.candidates_generated > 0);
+    assert_eq!(
+        res.stats.candidates_scored, res.stats.candidates_generated,
+        "plain ldrg scores every generated candidate exactly once"
+    );
+    assert!(
+        res.stats.candidates_pruned > 0,
+        "k=3 on an 8-pin net must prune something"
+    );
+
+    let exhaustive = ldrg(&mst, &oracle, &LdrgOptions::default()).unwrap();
+    assert_eq!(exhaustive.stats.candidates_pruned, 0);
+    assert!(exhaustive.stats.candidates_generated >= res.stats.candidates_generated);
+}
+
+#[test]
+fn restricted_k_is_sound_and_routes_through_route_one() {
+    // A genuinely restrictive k via the unified dispatch: never worsens
+    // the objective, and the outcome carries the pruning counters.
+    let budget = Budget::new(Technology::date94()).with_candidates(CandidateGen::pruned(4));
+    for seed in [2u64, 11, 19] {
+        let out = route_one(&net(seed), Algorithm::Ldrg, &budget).unwrap();
+        assert!(out.final_delay <= out.initial_delay);
+        assert!(out.stats.candidates_generated > 0);
+    }
+}
+
+/// The scale acceptance test: a 1,000-pin seeded net routes end-to-end
+/// in pruned mode, and every iteration's candidate count respects the
+/// `k·n` bound (pure k-NN universe, so the bound is exact).
+#[test]
+fn thousand_pin_net_routes_with_bounded_candidates() {
+    const PINS: usize = 1_000;
+    const K: usize = 8;
+    let net = NetGenerator::new(Layout::date94(), 0xD1994)
+        .random_net(PINS)
+        .unwrap();
+    let mst = prim_mst(&net);
+    let oracle = MomentOracle::new(Technology::date94());
+    let res = ldrg(
+        &mst,
+        &oracle,
+        &LdrgOptions {
+            max_added_edges: 1,
+            candidates: CandidateGen::Pruned {
+                k_nearest: K,
+                include_tree_neighbors: false,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Exactly one generate+sweep ran (max_added_edges = 1), so the
+    // accumulated counter *is* the per-iteration candidate count.
+    let n = res.graph.node_count() as u64;
+    assert!(
+        res.stats.candidates_generated <= K as u64 * n,
+        "{} candidates exceeds k*n = {}",
+        res.stats.candidates_generated,
+        K as u64 * n
+    );
+    assert!(
+        res.stats.candidates_generated > 0,
+        "the pruned universe must not be empty"
+    );
+    assert!(res.final_delay() <= res.initial_delay);
+    assert!(res.graph.is_connected());
+    // The exhaustive universe at this size would be ~500k candidates;
+    // pruning must have skipped almost all of it.
+    assert!(res.stats.candidates_pruned > 400_000);
+}

@@ -189,6 +189,7 @@ fn route_netlist_parallel(
                 use_cache: true,
                 retries: 2,
                 degrade: false,
+                candidates: ntr_core::CandidateGen::Exhaustive,
             },
             Box::new(move |response| {
                 let _ = tx.send((i, response));

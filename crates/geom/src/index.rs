@@ -1,0 +1,598 @@
+//! Spatial indexing over pins and Steiner nodes.
+//!
+//! Candidate generation at scale needs *locally promising* edges, not all
+//! `N×N` pairs. This module provides the two index shapes the routing stack
+//! builds on:
+//!
+//! - [`GridIndex`] — a uniform-grid bucket index with k-nearest and radius
+//!   queries under the Manhattan metric. Construction is O(n), queries expand
+//!   rings of cells outward from the query point and stop as soon as the ring
+//!   lower bound exceeds the current k-th best distance, so a k-NN query
+//!   touches O(k) points on uniformly distributed inputs.
+//! - [`NeighborGraph`] — a Delaunay-lite proximity graph: the Gabriel filter
+//!   (an edge survives iff its diametral circle contains no third point)
+//!   applied to the union of k-NN candidate edges. The Gabriel graph is a
+//!   subgraph of the Delaunay triangulation and a supergraph of both the
+//!   Euclidean MST and the relative neighborhood (Urquhart) graph, which
+//!   makes it a sound local-edge universe for augmentation search without
+//!   pulling in an external triangulation dependency.
+//!
+//! Determinism: all queries order results by `(distance, index)` with
+//! distances compared exactly as `f64`, so two runs over the same points
+//! return identical neighbor lists — a requirement for the bit-exact
+//! pruned==exhaustive equivalence suites downstream.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntr_geom::{GridIndex, Point};
+//!
+//! let pts = vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(10.0, 0.0),
+//!     Point::new(0.0, 10.0),
+//!     Point::new(100.0, 100.0),
+//! ];
+//! let idx = GridIndex::build(&pts);
+//! let nn = idx.k_nearest(Point::new(1.0, 1.0), 2);
+//! assert_eq!(nn.len(), 2);
+//! assert_eq!(nn[0].0, 0); // (0,0) is closest
+//! ```
+
+use crate::point::Point;
+
+/// A uniform-grid bucket index over a set of points.
+///
+/// Cell size is chosen at build time so the average occupancy is a small
+/// constant; points inserted later (Steiner nodes landing mid-route) are
+/// clamped into the border cells, which stays correct because border cells
+/// are treated as open-ended half-planes when computing query lower bounds.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    points: Vec<Point>,
+    /// Cell side length in µm; strictly positive.
+    cell: f64,
+    /// Grid origin (minimum corner of the founding bounding box).
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    /// `cols * rows` buckets of point indices.
+    buckets: Vec<Vec<u32>>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with an automatically chosen cell size
+    /// (average occupancy ≈ 2 points per cell).
+    #[must_use]
+    pub fn build(points: &[Point]) -> Self {
+        let (min_x, min_y, max_x, max_y) = bbox(points);
+        let w = (max_x - min_x).max(0.0);
+        let h = (max_y - min_y).max(0.0);
+        let n = points.len().max(1) as f64;
+        // Target ~2 points per cell; degenerate (collinear / single-point)
+        // extents fall back to a unit cell so the grid stays finite.
+        let cell = ((2.0 * w.max(1.0) * h.max(1.0)) / n).sqrt().max(1e-6);
+        Self::with_cell_size(points, cell)
+    }
+
+    /// Builds an index with an explicit cell side length (µm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_cell_size(points: &[Point], cell: f64) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "grid cell size must be positive and finite, got {cell}"
+        );
+        let (min_x, min_y, max_x, max_y) = bbox(points);
+        let cols = grid_extent(max_x - min_x, cell);
+        let rows = grid_extent(max_y - min_y, cell);
+        let mut index = Self {
+            points: Vec::with_capacity(points.len()),
+            cell,
+            min_x,
+            min_y,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+        };
+        for &p in points {
+            index.insert(p);
+        }
+        index
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed point with index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn point(&self, i: u32) -> Point {
+        self.points[i as usize]
+    }
+
+    /// Inserts a point incrementally and returns its index.
+    ///
+    /// Points outside the founding bounding box are clamped into the border
+    /// cells; queries remain exact because border cells are open-ended when
+    /// lower bounds are computed.
+    pub fn insert(&mut self, p: Point) -> u32 {
+        let i = u32::try_from(self.points.len()).expect("grid index supports at most 2^32 points");
+        self.points.push(p);
+        let (cx, cy) = self.cell_of(p);
+        self.buckets[cy * self.cols + cx].push(i);
+        i
+    }
+
+    /// The `k` nearest indexed points to `query` under the Manhattan metric,
+    /// ordered by `(distance, index)` ascending. Returns fewer than `k`
+    /// entries when fewer points are indexed. `query` itself is *not*
+    /// excluded: callers indexing the query point should skip its own index.
+    #[must_use]
+    pub fn k_nearest(&self, query: Point, k: usize) -> Vec<(u32, f64)> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        // Max-heap of the current best k, ordered by (distance, index) so
+        // the root is the entry that a closer point would displace.
+        let mut heap: std::collections::BinaryHeap<HeapEntry> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        let (qx, qy) = self.cell_of(query);
+        let max_ring = self.cols.max(self.rows);
+        for ring in 0..=max_ring {
+            if heap.len() == k {
+                // Every cell at Chebyshev cell-distance `ring` is at least
+                // (ring - 1) * cell away in Manhattan distance.
+                let ring_bound = (ring.saturating_sub(1)) as f64 * self.cell;
+                if ring_bound > heap.peek().expect("heap full").dist {
+                    break;
+                }
+            }
+            self.for_each_ring_cell(qx, qy, ring, |cell_idx, cx, cy| {
+                if heap.len() == k {
+                    let worst = heap.peek().expect("heap full");
+                    let bound = self.cell_lower_bound(query, cx, cy);
+                    // A point at exactly `worst.dist` can still win on index,
+                    // so only skip when the bound is strictly worse.
+                    if bound > worst.dist {
+                        return;
+                    }
+                }
+                for &pi in &self.buckets[cell_idx] {
+                    let d = query.manhattan(self.points[pi as usize]);
+                    let entry = HeapEntry { dist: d, index: pi };
+                    if heap.len() < k {
+                        heap.push(entry);
+                    } else if entry < *heap.peek().expect("heap full") {
+                        heap.pop();
+                        heap.push(entry);
+                    }
+                }
+            });
+        }
+        let mut out: Vec<(u32, f64)> = heap.into_iter().map(|e| (e.index, e.dist)).collect();
+        out.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+
+    /// All indexed points within Manhattan distance `radius` of `query`
+    /// (inclusive), ordered by index ascending.
+    #[must_use]
+    pub fn within_radius(&self, query: Point, radius: f64) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        if radius < 0.0 || self.points.is_empty() {
+            return out;
+        }
+        // Any point within `radius` lies in the axis-aligned box
+        // `query ± radius`; `cell_of` is monotone and clamps to the grid, so
+        // the cells of the box corners bound every bucket that can contain a
+        // hit (including border cells holding clamped out-of-bbox points).
+        let (cx_lo, cy_lo) = self.cell_of(Point {
+            x: query.x - radius,
+            y: query.y - radius,
+        });
+        let (cx_hi, cy_hi) = self.cell_of(Point {
+            x: query.x + radius,
+            y: query.y + radius,
+        });
+        for cy in cy_lo..=cy_hi {
+            for cx in cx_lo..=cx_hi {
+                if self.cell_lower_bound(query, cx, cy) > radius {
+                    continue;
+                }
+                for &pi in &self.buckets[cy * self.cols + cx] {
+                    let d = query.manhattan(self.points[pi as usize]);
+                    if d <= radius {
+                        out.push((pi, d));
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|&(i, _)| i);
+        out
+    }
+
+    /// Grid cell containing `p`, clamped to the grid extents.
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let cx = ((p.x - self.min_x) / self.cell).floor();
+        let cy = ((p.y - self.min_y) / self.cell).floor();
+        let cx = if cx.is_finite() && cx > 0.0 {
+            (cx as usize).min(self.cols - 1)
+        } else {
+            0
+        };
+        let cy = if cy.is_finite() && cy > 0.0 {
+            (cy as usize).min(self.rows - 1)
+        } else {
+            0
+        };
+        (cx, cy)
+    }
+
+    /// Minimum Manhattan distance from `query` to any point that cell
+    /// `(cx, cy)` may contain. Border cells extend to infinity on their open
+    /// side because out-of-bbox points are clamped into them.
+    fn cell_lower_bound(&self, query: Point, cx: usize, cy: usize) -> f64 {
+        let dx = axis_distance(
+            query.x,
+            self.min_x + cx as f64 * self.cell,
+            self.cell,
+            cx == 0,
+            cx == self.cols - 1,
+        );
+        let dy = axis_distance(
+            query.y,
+            self.min_y + cy as f64 * self.cell,
+            self.cell,
+            cy == 0,
+            cy == self.rows - 1,
+        );
+        dx + dy
+    }
+
+    /// Visits every in-bounds cell at Chebyshev cell-distance `ring` from
+    /// `(qx, qy)` in a deterministic scan order.
+    fn for_each_ring_cell(
+        &self,
+        qx: usize,
+        qy: usize,
+        ring: usize,
+        mut visit: impl FnMut(usize, usize, usize),
+    ) {
+        let r = ring as isize;
+        let (qx, qy) = (qx as isize, qy as isize);
+        let emit = |cx: isize, cy: isize, visit: &mut dyn FnMut(usize, usize, usize)| {
+            if cx >= 0 && cy >= 0 && (cx as usize) < self.cols && (cy as usize) < self.rows {
+                let (cx, cy) = (cx as usize, cy as usize);
+                visit(cy * self.cols + cx, cx, cy);
+            }
+        };
+        if ring == 0 {
+            emit(qx, qy, &mut visit);
+            return;
+        }
+        // Top and bottom rows of the ring, then the left/right columns
+        // excluding the corners already visited.
+        for cx in (qx - r)..=(qx + r) {
+            emit(cx, qy - r, &mut visit);
+            emit(cx, qy + r, &mut visit);
+        }
+        for cy in (qy - r + 1)..=(qy + r - 1) {
+            emit(qx - r, cy, &mut visit);
+            emit(qx + r, cy, &mut visit);
+        }
+    }
+}
+
+/// Entry in the k-NN max-heap: larger means "worse", i.e. farther away or —
+/// on an exact distance tie — a higher point index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    index: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .expect("finite distances")
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Distance from coordinate `q` to the interval `[lo, lo + cell]`, with the
+/// interval opened to −∞ / +∞ on the border sides.
+fn axis_distance(q: f64, lo: f64, cell: f64, open_low: bool, open_high: bool) -> f64 {
+    let hi = lo + cell;
+    if q < lo && !open_low {
+        lo - q
+    } else if q > hi && !open_high {
+        q - hi
+    } else {
+        0.0
+    }
+}
+
+fn bbox(points: &[Point]) -> (f64, f64, f64, f64) {
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for p in points {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    if points.is_empty() {
+        (0.0, 0.0, 0.0, 0.0)
+    } else {
+        (min_x, min_y, max_x, max_y)
+    }
+}
+
+fn grid_extent(span: f64, cell: f64) -> usize {
+    if span <= 0.0 {
+        return 1;
+    }
+    // +1 so the maximum coordinate falls inside the last cell rather than on
+    // its boundary; capped to keep memory linear in the point count.
+    (((span / cell).floor() as usize) + 1).min(1 << 12)
+}
+
+/// A Delaunay-lite proximity graph: Gabriel-filtered k-NN edges.
+///
+/// An undirected edge `(a, b)` is kept iff `b` is among `a`'s `k` nearest
+/// neighbors (or vice versa) *and* no third point lies strictly inside the
+/// circle with diameter `ab` (the Gabriel condition). Adjacency lists are
+/// symmetric and sorted ascending.
+#[derive(Debug, Clone)]
+pub struct NeighborGraph {
+    adj: Vec<Vec<u32>>,
+}
+
+impl NeighborGraph {
+    /// Builds the graph over the points of `index`, seeding the Gabriel
+    /// filter with each point's `k` nearest neighbors.
+    #[must_use]
+    pub fn gabriel(index: &GridIndex, k: usize) -> Self {
+        let n = index.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for a in 0..n as u32 {
+            let pa = index.point(a);
+            for (b, _) in index.k_nearest(pa, k.saturating_add(1)) {
+                if b == a {
+                    continue;
+                }
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                edges.push((lo, hi));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        for (a, b) in edges {
+            if gabriel_open(index, a, b) {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Self { adj }
+    }
+
+    /// Number of points the graph was built over.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the graph has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Sorted neighbor list of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn neighbors(&self, i: u32) -> &[u32] {
+        &self.adj[i as usize]
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+/// Gabriel condition for the edge `(a, b)`: the open disk with diameter `ab`
+/// contains no third indexed point.
+fn gabriel_open(index: &GridIndex, a: u32, b: u32) -> bool {
+    let pa = index.point(a);
+    let pb = index.point(b);
+    let mid = pa.midpoint(pb);
+    let r = 0.5 * pa.euclidean(pb);
+    // Euclidean ball of radius r fits inside the Manhattan ball of radius
+    // r·√2, so a Manhattan radius query is a safe superset to filter.
+    let r2 = r * r;
+    for (c, _) in index.within_radius(mid, r * std::f64::consts::SQRT_2 + 1e-9) {
+        if c == a || c == b {
+            continue;
+        }
+        let pc = index.point(c);
+        let dx = pc.x - mid.x;
+        let dy = pc.y - mid.y;
+        // Strict interior test with a relative tolerance so cocircular points
+        // (including duplicates of a or b) do not block the edge.
+        if dx * dx + dy * dy < r2 * (1.0 - 1e-12) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_knn(points: &[Point], q: Point, k: usize) -> Vec<(u32, f64)> {
+        let mut all: Vec<(u32, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, q.manhattan(p)))
+            .collect();
+        all.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        });
+        all.truncate(k);
+        all
+    }
+
+    fn sample_points() -> Vec<Point> {
+        // Deterministic pseudo-random scatter without external deps.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..200)
+            .map(|_| Point::new((next() * 10_000.0).round(), (next() * 10_000.0).round()))
+            .collect()
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = sample_points();
+        let idx = GridIndex::build(&pts);
+        for (qi, &q) in pts.iter().enumerate().step_by(7) {
+            for k in [1, 3, 8, 50, pts.len()] {
+                let fast = idx.k_nearest(q, k);
+                let slow = brute_knn(&pts, q, k);
+                assert_eq!(fast, slow, "query {qi} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_handles_off_grid_queries() {
+        let pts = sample_points();
+        let idx = GridIndex::build(&pts);
+        let outside = Point::new(-5_000.0, 20_000.0);
+        assert_eq!(idx.k_nearest(outside, 5), brute_knn(&pts, outside, 5));
+    }
+
+    #[test]
+    fn incremental_insert_matches_rebuild() {
+        let pts = sample_points();
+        let (founding, late) = pts.split_at(150);
+        let mut incremental = GridIndex::build(founding);
+        for &p in late {
+            incremental.insert(p);
+        }
+        let q = Point::new(5_000.0, 5_000.0);
+        assert_eq!(incremental.k_nearest(q, 12), brute_knn(&pts, q, 12));
+    }
+
+    #[test]
+    fn within_radius_is_inclusive_and_sorted() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 4.0),
+            Point::new(10.0, 10.0),
+        ];
+        let idx = GridIndex::build(&pts);
+        let hits = idx.within_radius(Point::new(0.0, 0.0), 4.0);
+        assert_eq!(
+            hits.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let empty = GridIndex::build(&[]);
+        assert!(empty.is_empty());
+        assert!(empty.k_nearest(Point::origin(), 3).is_empty());
+
+        let collinear: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+        let idx = GridIndex::build(&collinear);
+        assert_eq!(
+            idx.k_nearest(Point::new(0.0, 0.0), 2),
+            brute_knn(&collinear, Point::new(0.0, 0.0), 2)
+        );
+    }
+
+    #[test]
+    fn gabriel_square_drops_diagonals() {
+        // Unit square plus center: diagonals fail the Gabriel test (the
+        // center sits inside their diametral circle), sides survive.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+            Point::new(5.0, 5.0),
+        ];
+        let idx = GridIndex::build(&pts);
+        let g = NeighborGraph::gabriel(&idx, 4);
+        assert!(!g.neighbors(0).contains(&2), "diagonal 0-2 must be pruned");
+        assert!(!g.neighbors(1).contains(&3), "diagonal 1-3 must be pruned");
+        assert!(g.neighbors(0).contains(&1), "side 0-1 must survive");
+        assert!(g.neighbors(4).len() == 4, "center connects to all corners");
+    }
+
+    #[test]
+    fn gabriel_adjacency_is_symmetric() {
+        let pts = sample_points();
+        let idx = GridIndex::build(&pts);
+        let g = NeighborGraph::gabriel(&idx, 6);
+        for a in 0..g.len() as u32 {
+            for &b in g.neighbors(a) {
+                assert!(g.neighbors(b).contains(&a), "edge {a}-{b} not symmetric");
+            }
+        }
+        assert!(g.edge_count() >= pts.len() - 1);
+    }
+}

@@ -27,6 +27,7 @@
 
 mod bbox;
 mod error;
+mod index;
 mod io;
 mod net;
 mod netlist;
@@ -35,6 +36,7 @@ mod random;
 
 pub use bbox::BoundingBox;
 pub use error::{BuildNetError, GenerateNetError};
+pub use index::{GridIndex, NeighborGraph};
 pub use io::{net_from_str, net_to_string, ParseNetError};
 pub use net::Net;
 pub use netlist::{Netlist, ParseNetlistError};

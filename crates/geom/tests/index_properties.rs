@@ -1,0 +1,122 @@
+//! Property suite for the spatial index: on seeded point sets, grid
+//! k-NN must match brute-force k-NN exactly — same neighbors, same
+//! distances, same `(distance, index)` order — and the Gabriel proximity
+//! graph must satisfy its defining disk-emptiness property.
+
+use ntr_geom::{GridIndex, Layout, NeighborGraph, NetGenerator, Point};
+
+fn seeded_points(seed: u64, n: usize) -> Vec<Point> {
+    NetGenerator::new(Layout::date94(), seed)
+        .random_net(n)
+        .unwrap()
+        .pins()
+        .to_vec()
+}
+
+fn brute_knn(points: &[Point], q: Point, k: usize) -> Vec<(u32, f64)> {
+    let mut all: Vec<(u32, f64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i as u32, q.manhattan(p)))
+        .collect();
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+#[test]
+fn grid_knn_matches_brute_force_on_seeded_point_sets() {
+    for seed in 0..10u64 {
+        let pts = seeded_points(seed, 120);
+        let idx = GridIndex::build(&pts);
+        for (qi, &q) in pts.iter().enumerate().step_by(11) {
+            for k in [1, 2, 5, 16, pts.len()] {
+                assert_eq!(
+                    idx.k_nearest(q, k),
+                    brute_knn(&pts, q, k),
+                    "seed {seed} query {qi} k={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_knn_matches_brute_force_after_incremental_inserts() {
+    for seed in [3u64, 7, 21] {
+        let pts = seeded_points(seed, 100);
+        let (founding, late) = pts.split_at(60);
+        let mut idx = GridIndex::build(founding);
+        for &p in late {
+            idx.insert(p);
+        }
+        for &q in pts.iter().step_by(13) {
+            assert_eq!(idx.k_nearest(q, 9), brute_knn(&pts, q, 9), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn knn_is_exact_for_far_outside_queries() {
+    let pts = seeded_points(5, 80);
+    let idx = GridIndex::build(&pts);
+    for q in [
+        Point::new(-25_000.0, -25_000.0),
+        Point::new(50_000.0, 5_000.0),
+        Point::new(5_000.0, 90_000.0),
+    ] {
+        assert_eq!(idx.k_nearest(q, 7), brute_knn(&pts, q, 7), "query {q}");
+    }
+}
+
+#[test]
+fn within_radius_matches_linear_scan() {
+    for seed in [1u64, 9] {
+        let pts = seeded_points(seed, 90);
+        let idx = GridIndex::build(&pts);
+        for &q in pts.iter().step_by(17) {
+            for radius in [0.0, 250.0, 2_000.0, 30_000.0] {
+                let fast: Vec<u32> = idx
+                    .within_radius(q, radius)
+                    .iter()
+                    .map(|&(i, _)| i)
+                    .collect();
+                let slow: Vec<u32> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &p)| q.manhattan(p) <= radius)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                assert_eq!(fast, slow, "seed {seed} radius {radius}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gabriel_edges_have_empty_diametral_disks() {
+    for seed in [2u64, 13] {
+        let pts = seeded_points(seed, 70);
+        let idx = GridIndex::build(&pts);
+        let g = NeighborGraph::gabriel(&idx, 6);
+        assert_eq!(g.len(), pts.len());
+        for a in 0..pts.len() as u32 {
+            for &b in g.neighbors(a) {
+                if b < a {
+                    continue;
+                }
+                let mid = pts[a as usize].midpoint(pts[b as usize]);
+                let r = 0.5 * pts[a as usize].euclidean(pts[b as usize]);
+                for (c, &pc) in pts.iter().enumerate() {
+                    if c == a as usize || c == b as usize {
+                        continue;
+                    }
+                    assert!(
+                        pc.euclidean(mid) >= r * (1.0 - 1e-9),
+                        "seed {seed}: point {c} strictly inside the disk of edge {a}-{b}"
+                    );
+                }
+            }
+        }
+    }
+}

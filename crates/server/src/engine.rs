@@ -16,8 +16,8 @@ use std::time::{Duration, Instant};
 
 use ntr_circuit::Technology;
 use ntr_core::{
-    canonical_net_hash, route_one, Budget, CancelToken, DegradePolicy, FaultPlan, Fidelity,
-    FidelityCosts, Fnv64, OracleStats, RetryPolicy, RouteError,
+    canonical_net_hash, route_one, Budget, CancelToken, CandidateGen, DegradePolicy, FaultPlan,
+    Fidelity, FidelityCosts, Fnv64, OracleStats, RetryPolicy, RouteError,
 };
 use ntr_geom::Net;
 
@@ -164,6 +164,17 @@ pub fn cache_key(net: &Net, req: &RouteRequest, tech: &Technology) -> u64 {
     h.write_str(req.algorithm.as_str());
     h.write_str(req.oracle.as_str());
     h.write_u64(req.max_added_edges as u64);
+    match req.candidates {
+        CandidateGen::Exhaustive => h.write_str("exhaustive"),
+        CandidateGen::Pruned {
+            k_nearest,
+            include_tree_neighbors,
+        } => {
+            h.write_str("pruned");
+            h.write_u64(k_nearest as u64);
+            h.write_u64(u64::from(include_tree_neighbors));
+        }
+    }
     h.finish()
 }
 
@@ -206,6 +217,7 @@ pub fn execute(
         fidelity: req.oracle.fidelity(),
         max_added_edges: req.max_added_edges,
         parallelism: 1,
+        candidates: req.candidates,
         cancel: cancel.clone(),
         retry: RetryPolicy {
             max_retries: req.retries,
@@ -281,6 +293,7 @@ mod tests {
             use_cache: true,
             retries: 2,
             degrade: true,
+            candidates: CandidateGen::Exhaustive,
         }
     }
 
@@ -422,6 +435,17 @@ mod tests {
         let mut d = a.clone();
         d.max_added_edges = 3;
         assert_ne!(cache_key(&net_a, &a, &tech), cache_key(&net_a, &d, &tech));
+        // The candidate universe changes which edges the search can find,
+        // so it must split the key.
+        let mut f = a.clone();
+        f.candidates = CandidateGen::pruned(8);
+        assert_ne!(cache_key(&net_a, &a, &tech), cache_key(&net_a, &f, &tech));
+        let mut g = f.clone();
+        g.candidates = CandidateGen::Pruned {
+            k_nearest: 9,
+            include_tree_neighbors: true,
+        };
+        assert_ne!(cache_key(&net_a, &f, &tech), cache_key(&net_a, &g, &tech));
         // Resilience knobs do not change which result is produced.
         let mut e = a.clone();
         e.retries = 9;

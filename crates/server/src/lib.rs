@@ -60,6 +60,7 @@
 //!         use_cache: true,
 //!         retries: 2,
 //!         degrade: true,
+//!         candidates: ntr_core::CandidateGen::Exhaustive,
 //!     },
 //!     Box::new(move |response| tx.send(response).unwrap()),
 //! );

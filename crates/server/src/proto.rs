@@ -57,6 +57,7 @@
 
 use std::time::Duration;
 
+use ntr_core::CandidateGen;
 use ntr_geom::Point;
 
 use crate::json::Json;
@@ -163,6 +164,10 @@ pub struct RouteRequest {
     /// the deadline budget runs out (default `true` — see the migration
     /// note in the README: pre-v2 servers always hard-failed).
     pub degrade: bool,
+    /// Candidate universe for the LDRG-family searches. v2 clients set
+    /// `"params":{"candidates":{"mode":"pruned","k":8}}`; the default is
+    /// the exhaustive scan (bit-identical to pre-v2 behavior).
+    pub candidates: CandidateGen,
 }
 
 /// Any request the protocol accepts.
@@ -342,6 +347,10 @@ pub fn parse_request(doc: &Json) -> Result<Request, String> {
                 None => true,
                 Some(v) => v.as_bool().ok_or("degrade must be a boolean")?,
             };
+            let candidates = match param("candidates") {
+                None => CandidateGen::Exhaustive,
+                Some(v) => parse_candidates(v)?,
+            };
             let pins = parse_pins(doc)?;
             if pins.len() < 2 {
                 return Err("a net needs at least a source and one sink".to_owned());
@@ -356,9 +365,50 @@ pub fn parse_request(doc: &Json) -> Result<Request, String> {
                 use_cache,
                 retries,
                 degrade,
+                candidates,
             }))
         }
         other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Parses the v2 `"candidates"` group:
+/// `{"mode":"exhaustive"}` or `{"mode":"pruned","k":8,"tree_neighbors":true}`.
+fn parse_candidates(v: &Json) -> Result<CandidateGen, String> {
+    if !matches!(v, Json::Obj(_)) {
+        return Err("candidates must be an object".to_owned());
+    }
+    let mode = v
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or("candidates needs a string \"mode\" field")?;
+    match mode {
+        "exhaustive" => Ok(CandidateGen::Exhaustive),
+        "pruned" => {
+            let k = match v.get("k") {
+                None => 8,
+                Some(kv) => {
+                    let n = kv.as_f64().ok_or("candidates.k must be a number")?;
+                    if !(n.is_finite() && n >= 1.0 && n == n.trunc()) {
+                        return Err("candidates.k must be a positive integer".to_owned());
+                    }
+                    n as usize
+                }
+            };
+            let include_tree_neighbors = match v.get("tree_neighbors") {
+                None => true,
+                Some(t) => t
+                    .as_bool()
+                    .ok_or("candidates.tree_neighbors must be a boolean")?,
+            };
+            Ok(CandidateGen::Pruned {
+                k_nearest: k,
+                include_tree_neighbors,
+            })
+        }
+        other => Err(format!(
+            "unknown candidates mode {other:?}; expected \"exhaustive\" or \"pruned\""
+        )),
     }
 }
 
@@ -423,6 +473,52 @@ mod tests {
         assert_eq!(r.deadline, Some(Duration::from_millis(50)));
         assert_eq!(r.retries, 4);
         assert!(!r.degrade);
+    }
+
+    #[test]
+    fn candidates_group_parses() {
+        let r = route(r#"{"op":"route","pins":[[0,0],[1,1]]}"#);
+        assert_eq!(r.candidates, CandidateGen::Exhaustive);
+        let r = route(
+            r#"{"op":"route","params":{"candidates":{"mode":"pruned","k":8}},
+                "pins":[[0,0],[1,1]]}"#,
+        );
+        assert_eq!(
+            r.candidates,
+            CandidateGen::Pruned {
+                k_nearest: 8,
+                include_tree_neighbors: true
+            }
+        );
+        let r = route(
+            r#"{"op":"route","params":{"candidates":
+                {"mode":"pruned","k":3,"tree_neighbors":false}},
+                "pins":[[0,0],[1,1]]}"#,
+        );
+        assert_eq!(
+            r.candidates,
+            CandidateGen::Pruned {
+                k_nearest: 3,
+                include_tree_neighbors: false
+            }
+        );
+        let r = route(
+            r#"{"op":"route","params":{"candidates":{"mode":"exhaustive"}},
+                "pins":[[0,0],[1,1]]}"#,
+        );
+        assert_eq!(r.candidates, CandidateGen::Exhaustive);
+        for bad in [
+            r#"{"op":"route","params":{"candidates":"pruned"},"pins":[[0,0],[1,1]]}"#,
+            r#"{"op":"route","params":{"candidates":{"mode":"magic"}},"pins":[[0,0],[1,1]]}"#,
+            r#"{"op":"route","params":{"candidates":{"mode":"pruned","k":0}},"pins":[[0,0],[1,1]]}"#,
+            r#"{"op":"route","params":{"candidates":{"mode":"pruned","k":1.5}},"pins":[[0,0],[1,1]]}"#,
+            r#"{"op":"route","params":{"candidates":{"k":8}},"pins":[[0,0],[1,1]]}"#,
+        ] {
+            assert!(
+                parse_request(&Json::parse(bad).unwrap()).is_err(),
+                "{bad} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -83,6 +83,13 @@ pub struct ServiceStats {
     /// service's [`Resilience`](crate::engine::Resilience) total at
     /// scrape/snapshot time).
     pub faults_injected: Arc<Counter>,
+    /// Candidate edges emitted by the generators of completed requests.
+    pub candidates_generated: Arc<Counter>,
+    /// Candidate edges actually scored by oracle sweeps.
+    pub candidates_scored: Arc<Counter>,
+    /// Candidate edges spatial pruning skipped (exhaustive universe
+    /// minus generated).
+    pub candidates_pruned: Arc<Counter>,
     per_algorithm: Mutex<BTreeMap<&'static str, u64>>,
     oracle: Mutex<OracleStats>,
 }
@@ -143,6 +150,18 @@ impl Default for ServiceStats {
                 "ntr_faults_injected_total",
                 "Faults injected by the installed fault plan",
             ),
+            candidates_generated: counter(
+                "ntr_candidates_generated_total",
+                "Candidate edges emitted by candidate generators",
+            ),
+            candidates_scored: counter(
+                "ntr_candidates_scored_total",
+                "Candidate edges scored by oracle sweeps",
+            ),
+            candidates_pruned: counter(
+                "ntr_candidates_pruned_total",
+                "Candidate edges skipped by spatial pruning",
+            ),
             started: Instant::now(),
             registry,
             per_algorithm: Mutex::new(BTreeMap::new()),
@@ -167,6 +186,9 @@ impl ServiceStats {
             self.degraded.inc();
         }
         self.retries.add(u64::from(retries));
+        self.candidates_generated.add(search.candidates_generated);
+        self.candidates_scored.add(search.candidates_scored);
+        self.candidates_pruned.add(search.candidates_pruned);
         *self
             .per_algorithm
             .lock()
@@ -256,6 +278,18 @@ impl ServiceStats {
                     ("evaluations", Json::Num(search.evaluations as f64)),
                     ("factorizations", Json::Num(search.factorizations as f64)),
                     ("rank1_solves", Json::Num(search.rank1_solves as f64)),
+                    (
+                        "candidates_generated",
+                        Json::Num(search.candidates_generated as f64),
+                    ),
+                    (
+                        "candidates_scored",
+                        Json::Num(search.candidates_scored as f64),
+                    ),
+                    (
+                        "candidates_pruned",
+                        Json::Num(search.candidates_pruned as f64),
+                    ),
                     ("wall_ms", Json::Num(search.wall().as_secs_f64() * 1e3)),
                 ]),
             ),

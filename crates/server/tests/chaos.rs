@@ -23,6 +23,7 @@ fn request(pins: Vec<Point>, deadline: Option<Duration>) -> RouteRequest {
         use_cache: false,
         retries: 2,
         degrade: true,
+        candidates: ntr_core::CandidateGen::Exhaustive,
     }
 }
 

@@ -32,6 +32,7 @@ fn route_once(service: &Service) -> Json {
             use_cache: true,
             retries: 2,
             degrade: true,
+            candidates: ntr_core::CandidateGen::Exhaustive,
         },
         Box::new(move |response| tx.send(response).unwrap()),
     );

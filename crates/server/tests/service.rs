@@ -19,6 +19,7 @@ fn request(pins: Vec<Point>, algorithm: Algorithm, oracle: OracleKind) -> RouteR
         use_cache: true,
         retries: 2,
         degrade: true,
+        candidates: ntr_core::CandidateGen::Exhaustive,
     }
 }
 
