@@ -106,6 +106,37 @@ impl LdrgResult {
     }
 }
 
+/// Emits one LDRG convergence record into the process-wide flight
+/// recorder ([`ntr_obs::Journal`]): what the iteration considered, what
+/// it committed, and how long the generate + sweep took. The terminal
+/// iteration of every run appears too (`accepted: false`), so the
+/// journal shows *why* a search stopped, not just what it added. One
+/// wait-free ring append per ≥100 µs iteration — invisible next to the
+/// sweep itself (the `ldrg_iteration` bench baseline holds with the
+/// recorder on).
+fn record_iteration(
+    iteration: u32,
+    accepted: Option<(NodeId, NodeId)>,
+    best_delay: f64,
+    delay_delta: f64,
+    candidates_generated: u64,
+    candidates_scored: u64,
+    started: std::time::Instant,
+) {
+    ntr_obs::Journal::global().record_iteration(ntr_obs::journal::IterEvent {
+        seq: 0,
+        trace: ntr_obs::span::current_trace_id(),
+        iteration,
+        accepted: accepted.is_some(),
+        edge: accepted.map_or((0, 0), |(a, b)| (a.index() as u64, b.index() as u64)),
+        best_delay,
+        delay_delta,
+        candidates_generated,
+        candidates_scored,
+        oracle_us: started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+    });
+}
+
 /// The Low Delay Routing Graph algorithm (paper Figure 4).
 ///
 /// Starting from any spanning routing (the paper uses the MST; Table 7
@@ -150,10 +181,12 @@ pub fn ldrg(
     };
     let mut generator = CandidateGenerator::new(opts.candidates);
     let mut scored: u64 = 0;
+    let mut iter_index: u32 = 0;
 
     while iterations.len() < max_edges {
         let _iter_span = ntr_obs::span("ldrg.iteration");
         opts.cancel.check()?;
+        let iter_started = std::time::Instant::now();
         generator.generate(&graph);
         let scores = sweep_candidates(
             engine.as_ref(),
@@ -163,7 +196,9 @@ pub fn ldrg(
             Some(&opts.cancel),
         )?;
         scored += scores.len() as u64;
-        match best_below(&scores, current) {
+        let generated_now = generator.candidates().len() as u64;
+        let before = current;
+        let accepted = match best_below(&scores, current) {
             Some(i) if scores[i] < current * (1.0 - opts.min_improvement) => {
                 let Candidate::AddEdge(a, b) = generator.candidates()[i] else {
                     unreachable!("ldrg sweeps edge candidates only")
@@ -177,8 +212,22 @@ pub fn ldrg(
                     cost: graph.total_cost(),
                 });
                 engine.prepare(&graph)?;
+                Some((a, b))
             }
-            _ => break,
+            _ => None,
+        };
+        record_iteration(
+            iter_index,
+            accepted,
+            current,
+            before - current,
+            generated_now,
+            scores.len() as u64,
+            iter_started,
+        );
+        iter_index += 1;
+        if accepted.is_none() {
+            break;
         }
     }
 
@@ -254,10 +303,12 @@ pub fn ldrg_prefiltered(
     let shortlist = shortlist.max(1);
     let mut generator = CandidateGenerator::new(opts.candidates);
     let mut scored: u64 = 0;
+    let mut iter_index: u32 = 0;
 
     while iterations.len() < max_edges {
         let _iter_span = ntr_obs::span("ldrg.iteration");
         opts.cancel.check()?;
+        let iter_started = std::time::Instant::now();
         // Stage 1: cheap ranking of every candidate edge.
         let candidates = generator.generate(&graph).to_vec();
         pre_engine.prepare(&graph)?;
@@ -269,6 +320,8 @@ pub fn ldrg_prefiltered(
             Some(&opts.cancel),
         )?;
         scored += pre_scores.len() as u64;
+        let generated_now = candidates.len() as u64;
+        let mut scored_now = pre_scores.len() as u64;
         let mut ranked: Vec<(f64, Candidate)> = pre_scores.into_iter().zip(candidates).collect();
         // Stable sort: ties keep candidate-scan order, so a shortlist of
         // everything reproduces plain `ldrg` exactly.
@@ -285,7 +338,9 @@ pub fn ldrg_prefiltered(
             Some(&opts.cancel),
         )?;
         scored += scores.len() as u64;
-        match best_below(&scores, current) {
+        scored_now += scores.len() as u64;
+        let before = current;
+        let accepted = match best_below(&scores, current) {
             Some(i) if scores[i] < current * (1.0 - opts.min_improvement) => {
                 let Candidate::AddEdge(a, b) = short[i] else {
                     unreachable!("ldrg sweeps edge candidates only")
@@ -299,8 +354,22 @@ pub fn ldrg_prefiltered(
                     cost: graph.total_cost(),
                 });
                 search_engine.prepare(&graph)?;
+                Some((a, b))
             }
-            _ => break,
+            _ => None,
+        };
+        record_iteration(
+            iter_index,
+            accepted,
+            current,
+            before - current,
+            generated_now,
+            scored_now,
+            iter_started,
+        );
+        iter_index += 1;
+        if accepted.is_none() {
+            break;
         }
     }
     let mut stats = search_engine
@@ -349,6 +418,30 @@ mod tests {
             // Cost grows with each added edge.
             assert!(res.final_cost() >= res.initial_cost);
         }
+    }
+
+    #[test]
+    fn iterations_flow_into_the_flight_recorder() {
+        let oracle = MomentOracle::new(Technology::date94());
+        let g = mst(3, 10);
+        let journal = ntr_obs::Journal::global();
+        let before = journal.snapshot().iteration_stats.recorded;
+        let res = ldrg(&g, &oracle, &LdrgOptions::default()).unwrap();
+        let after = journal.snapshot().iteration_stats.recorded;
+        // One record per committed iteration plus the terminal
+        // rejection. Other tests may append concurrently, so assert a
+        // monotone lower bound, not equality.
+        assert!(
+            after >= before + res.iterations.len() as u64 + 1,
+            "journal grew by {} for {} iterations",
+            after - before,
+            res.iterations.len()
+        );
+        let snap = journal.snapshot();
+        assert!(snap
+            .iterations
+            .iter()
+            .any(|e| e.accepted && e.candidates_scored > 0 && e.delay_delta > 0.0));
     }
 
     #[test]

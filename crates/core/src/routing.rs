@@ -636,6 +636,9 @@ pub fn route_one(
     budget: &Budget,
 ) -> Result<RoutingOutcome, RouteError> {
     let _span = ntr_obs::span("route_one");
+    // Fresh rung scratch: the flight recorder's per-rung attempt
+    // timings cover exactly this request's ladder walk.
+    ntr_obs::journal::begin_rungs();
     let requested = budget.fidelity;
     let mut fidelity = requested;
 
@@ -654,7 +657,16 @@ pub fn route_one(
 
     let mut retries: u32 = 0;
     loop {
-        match run_at(net, algorithm, fidelity, budget) {
+        let attempt_started = std::time::Instant::now();
+        let attempt = run_at(net, algorithm, fidelity, budget);
+        ntr_obs::journal::record_rung(
+            fidelity.as_str(),
+            attempt_started
+                .elapsed()
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64,
+        );
+        match attempt {
             Ok(mut out) => {
                 out.fidelity = fidelity;
                 out.requested_fidelity = requested;
@@ -739,6 +751,29 @@ mod tests {
         assert_eq!(out.requested_fidelity, Fidelity::TransientFast);
         assert_eq!(out.retries, budget.retry.max_retries);
         assert_eq!(out.degradation_steps(), 1);
+    }
+
+    #[test]
+    fn ladder_attempts_land_in_the_rung_scratch() {
+        // Clean route: exactly one rung attempt.
+        let budget = Budget::new(Technology::date94());
+        route_one(&net(5, 8), Algorithm::Mst, &budget).unwrap();
+        let rungs = ntr_obs::journal::take_rungs();
+        assert_eq!(rungs.len(), 1);
+        assert_eq!(rungs[0].fidelity, budget.fidelity.as_str());
+
+        // Degraded route: every retry and every descended rung appears.
+        let budget = chaos_budget("seed=1;fail=transient:1.0")
+            .with_fidelity(Fidelity::TransientFast)
+            .with_cancel(CancelToken::deadline_in(Duration::from_secs(30)));
+        let out = route_one(&net(2, 7), Algorithm::Ldrg, &budget).unwrap();
+        let rungs = ntr_obs::journal::take_rungs();
+        assert_eq!(
+            rungs.len() as u32,
+            budget.retry.max_retries + 2,
+            "retries at the failing rung plus the rung that served"
+        );
+        assert_eq!(rungs.last().unwrap().fidelity, out.fidelity.as_str());
     }
 
     #[test]

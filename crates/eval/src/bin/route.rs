@@ -6,7 +6,7 @@
 //! ```text
 //! route --net FILE [--algorithm ALGO] [--svg FILE] [--deck FILE]
 //!       [--waveforms FILE] [--trim] [--trace-out FILE]
-//!       [--profile-out FILE] [--quiet]
+//!       [--profile-out FILE] [--journal-out FILE] [--quiet]
 //! route --random SIZE --seed S ...
 //! route --netlist FILE [--target NS]      # whole-netlist flow
 //! route --netlist FILE --jobs N           # parallel, through the server pool
@@ -39,13 +39,17 @@ fn usage() -> ! {
         "usage: route (--net FILE | --random SIZE | --netlist FILE) [--seed S]\n\
          \x20             [--algorithm ALGO] [--svg FILE] [--deck FILE]\n\
          \x20             [--waveforms FILE] [--trim] [--target NS] [--jobs N]\n\
-         \x20             [--trace-out FILE] [--profile-out FILE] [--quiet]\n\
+         \x20             [--trace-out FILE] [--profile-out FILE]\n\
+         \x20             [--journal-out FILE] [--quiet]\n\
          algorithms: mst steiner ert sert h1 h2 h3 ldrg sldrg ert-ldrg horg\n\
          (--jobs routes a netlist in parallel; algorithms limited to\n\
          \x20 mst h1 h2 h3 ldrg ert ert-ldrg)\n\
          --trace-out enables span tracing and writes a Chrome trace\n\
          (chrome://tracing, perfetto); --profile-out writes flamegraph\n\
-         folded stacks of the same spans; --quiet silences NTR_LOG output"
+         folded stacks of the same spans; --journal-out writes the\n\
+         flight recorder (LDRG iteration telemetry and, with --jobs,\n\
+         per-request wide events) as JSON-lines; --quiet silences\n\
+         NTR_LOG output"
     );
     std::process::exit(2);
 }
@@ -58,10 +62,20 @@ fn usage() -> ! {
 struct ObsWriter {
     trace: Option<String>,
     profile: Option<String>,
+    journal: Option<String>,
 }
 
 impl Drop for ObsWriter {
     fn drop(&mut self) {
+        // The flight recorder drains independently of the span
+        // collector: journal rings survive whether or not tracing ran.
+        if let Some(path) = self.journal.take() {
+            let lines = ntr_obs::Journal::global().snapshot().to_json_lines();
+            match std::fs::write(&path, lines) {
+                Ok(()) => log_info!("wrote {path}"),
+                Err(e) => log_warn!("cannot write {path}: {e}"),
+            }
+        }
         if self.trace.is_none() && self.profile.is_none() {
             return;
         }
@@ -261,6 +275,7 @@ fn main() -> ExitCode {
     let mut jobs = 0usize;
     let mut trace_out: Option<String> = None;
     let mut profile_out: Option<String> = None;
+    let mut journal_out: Option<String> = None;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -291,6 +306,7 @@ fn main() -> ExitCode {
             },
             "--trace-out" => trace_out = args.next().or_else(|| usage()),
             "--profile-out" => profile_out = args.next().or_else(|| usage()),
+            "--journal-out" => journal_out = args.next().or_else(|| usage()),
             "--quiet" | "-q" => quiet = true,
             _ => usage(),
         }
@@ -304,6 +320,7 @@ fn main() -> ExitCode {
     let _obs_writer = ObsWriter {
         trace: trace_out,
         profile: profile_out,
+        journal: journal_out,
     };
 
     let config = EvalConfig::full();

@@ -32,6 +32,10 @@
 //! - [`compare`] — statistical verdicts (regressed / improved /
 //!   unchanged) over summarized measurements: the primitive behind the
 //!   `ntr-bench` regression gate and `ntr-loadgen --baseline`.
+//! - [`journal`] — the flight recorder: an always-on wait-free ring of
+//!   wide per-request events and per-LDRG-iteration records, plus
+//!   tail-sampled full-trace exemplars (slowest-K + every
+//!   error/degraded/injected request) and a strict JSON-lines checker.
 //! - [`json`] — the workspace's hand-rolled JSON value/parser/printer
 //!   (rehomed from `ntr-server`, which re-exports it for compatibility).
 //!
@@ -61,6 +65,7 @@
 
 pub mod chrome;
 pub mod compare;
+pub mod journal;
 pub mod json;
 pub mod log;
 pub mod metrics;
@@ -68,6 +73,7 @@ pub mod profile;
 pub mod prometheus;
 pub mod span;
 
+pub use journal::Journal;
 pub use json::Json;
 pub use log::Level;
 pub use metrics::MetricsRegistry;

@@ -213,6 +213,148 @@ impl Histogram {
     }
 }
 
+impl Histogram {
+    /// Clears every bucket and the count/sum. Used by
+    /// [`WindowedHistogram`] rotation; concurrent `record` calls during
+    /// a reset may land in either generation, which rotation tolerates.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_micros.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A ring of [`Histogram`] windows giving *sliding-window* percentiles:
+/// `p50/p99` over the last `windows × window_len`, not since boot.
+///
+/// Time is divided into consecutive window indices (`elapsed /
+/// window_len`); index `i` lands in slot `i % windows`. Each slot
+/// remembers which index it holds via a stamp (`index + 1`, 0 = never
+/// used). The first recorder to reach a slot whose stamp is behind CAS
+/// es the stamp forward and resets the slot — so expired samples vanish
+/// exactly one lap later, with no background thread. A reader merges
+/// every slot whose stamp is within the live lap into one summary
+/// histogram.
+///
+/// Samples racing a rotation (recorded in the instant between the stamp
+/// CAS and the reset) can be lost or double-counted; the error is
+/// bounded by the number of in-flight recorders at the rotation tick,
+/// which is noise at dashboard resolution. The `*_at` entry points take
+/// an explicit window index instead of the clock, making the rotation
+/// logic deterministic for the property tests.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    slots: Box<[WindowSlot]>,
+    window_len: Duration,
+    epoch: std::time::Instant,
+}
+
+#[derive(Debug)]
+struct WindowSlot {
+    /// Window index + 1 currently held; 0 = never used.
+    stamp: AtomicU64,
+    hist: Histogram,
+}
+
+impl WindowedHistogram {
+    /// A ring of `windows` windows of `window_len` each (both clamped to
+    /// at least 1 window / 1 ms).
+    #[must_use]
+    pub fn new(windows: usize, window_len: Duration) -> Self {
+        Self {
+            slots: (0..windows.max(1))
+                .map(|_| WindowSlot {
+                    stamp: AtomicU64::new(0),
+                    hist: Histogram::default(),
+                })
+                .collect(),
+            window_len: window_len.max(Duration::from_millis(1)),
+            epoch: std::time::Instant::now(),
+        }
+    }
+
+    /// Number of windows in the ring.
+    #[must_use]
+    pub fn windows(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The window index the clock is currently in.
+    #[must_use]
+    pub fn current_index(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos() / self.window_len.as_nanos().max(1)) as u64
+    }
+
+    /// Records one sample into the current (clock-derived) window.
+    pub fn record_micros(&self, micros: u64) {
+        self.record_micros_at(self.current_index(), micros);
+    }
+
+    /// Records one duration sample into the current window.
+    pub fn record(&self, latency: Duration) {
+        self.record_micros(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one sample into window `index` (deterministic entry
+    /// point; production uses [`record_micros`](Self::record_micros)).
+    pub fn record_micros_at(&self, index: u64, micros: u64) {
+        let slot = &self.slots[(index % self.slots.len() as u64) as usize];
+        let want = index + 1;
+        loop {
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == want {
+                break;
+            }
+            if stamp > want {
+                // This recorder is a full lap behind the clock; its
+                // window has already expired. Drop the sample.
+                return;
+            }
+            if slot
+                .stamp
+                .compare_exchange(stamp, want, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // This thread rotated the slot: clear the expired lap.
+                slot.hist.reset();
+                break;
+            }
+        }
+        slot.hist.record_micros(micros);
+    }
+
+    /// Merge of every live window as of the clock's current index.
+    #[must_use]
+    pub fn sliding(&self) -> Histogram {
+        self.sliding_at(self.current_index())
+    }
+
+    /// Merge of every window still live at `index`: stamps in
+    /// `(index + 1 - windows, index + 1]`. Older stamps are expired and
+    /// excluded — the property tests pin this down.
+    #[must_use]
+    pub fn sliding_at(&self, index: u64) -> Histogram {
+        let merged = Histogram::default();
+        let newest = index + 1;
+        let oldest = newest.saturating_sub(self.slots.len() as u64 - 1);
+        for slot in &self.slots {
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp >= oldest && stamp <= newest {
+                merged.merge(&slot.hist);
+            }
+        }
+        merged
+    }
+
+    /// Sliding-window percentile (µs), 0 with no live samples.
+    #[must_use]
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        self.sliding().percentile_micros(p)
+    }
+}
+
 /// The handle kinds a registry can hold.
 #[derive(Debug, Clone)]
 pub enum Metric {
@@ -414,6 +556,49 @@ mod tests {
         let r = MetricsRegistry::new();
         let _c = r.counter("depth", "");
         let _g = r.gauge("depth", "");
+    }
+
+    #[test]
+    fn windowed_histogram_expires_old_windows() {
+        let w = WindowedHistogram::new(3, Duration::from_secs(10));
+        w.record_micros_at(0, 100);
+        w.record_micros_at(1, 200);
+        w.record_micros_at(2, 400);
+        assert_eq!(w.sliding_at(2).count(), 3);
+        // Window 0 expires at index 3 (ring of 3: live = {1, 2, 3}).
+        w.record_micros_at(3, 800);
+        assert_eq!(w.sliding_at(3).count(), 3);
+        assert_eq!(w.sliding_at(3).sum_micros(), 200 + 400 + 800);
+        // Jumping far ahead expires everything.
+        assert_eq!(w.sliding_at(100).count(), 0);
+    }
+
+    #[test]
+    fn windowed_histogram_rotation_reclaims_slots() {
+        let w = WindowedHistogram::new(2, Duration::from_secs(1));
+        w.record_micros_at(0, 50);
+        // Index 2 reuses slot 0 and must not inherit index 0's samples.
+        w.record_micros_at(2, 70);
+        let live = w.sliding_at(2);
+        assert_eq!(live.count(), 1);
+        assert_eq!(live.sum_micros(), 70);
+    }
+
+    #[test]
+    fn windowed_histogram_drops_samples_a_lap_behind() {
+        let w = WindowedHistogram::new(2, Duration::from_secs(1));
+        w.record_micros_at(4, 10);
+        w.record_micros_at(2, 999); // same slot, older lap: dropped
+        assert_eq!(w.sliding_at(4).sum_micros(), 10);
+    }
+
+    #[test]
+    fn windowed_histogram_clock_path_records() {
+        let w = WindowedHistogram::new(4, Duration::from_secs(60));
+        w.record(Duration::from_micros(123));
+        w.record_micros(456);
+        assert_eq!(w.sliding().count(), 2);
+        assert!(w.percentile_micros(99.0) >= 123);
     }
 
     #[test]

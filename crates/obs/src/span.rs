@@ -22,16 +22,35 @@
 //! capped at [`MAX_RECORDED_SPANS`] so a forgotten `set_enabled(true)`
 //! cannot grow memory without bound; overflow is counted in
 //! [`dropped_spans`].
+//!
+//! **Per-thread capture** ([`capture`]) is the second consumer: a
+//! server worker opens a capture guard around one request, and every
+//! span the thread closes while the guard lives is *also* buffered
+//! thread-locally (capped at [`MAX_CAPTURED_SPANS`]), independent of
+//! the global switch. The journal's tail-sampled exemplars are built
+//! from these buffers. Both switches fold into one atomic word
+//! ([`STATE`]: bit 0 = global, upper bits = live capture guards), so
+//! the fully-disabled fast path is still exactly one relaxed load.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Upper bound on buffered span records (~48 MB worst case).
 pub const MAX_RECORDED_SPANS: usize = 1 << 20;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Upper bound on spans buffered by one capture guard (bounds exemplar
+/// size; a request past the cap keeps its first spans).
+pub const MAX_CAPTURED_SPANS: usize = 4096;
+
+/// Bit 0: global collection on. Each live [`CaptureGuard`] adds
+/// [`CAPTURE_UNIT`]. Zero means "nothing to do" — the one-relaxed-load
+/// fast path the overhead benchmark pins down.
+static STATE: AtomicU32 = AtomicU32::new(0);
+const GLOBAL_BIT: u32 = 1;
+const CAPTURE_UNIT: u32 = 2;
+
 static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
@@ -42,6 +61,8 @@ thread_local! {
     static THREAD_ID: Cell<u64> = const { Cell::new(0) };
     static TRACE_ID: Cell<u64> = const { Cell::new(0) };
     static DEPTH: Cell<u16> = const { Cell::new(0) };
+    /// `Some` while a capture guard is live on this thread.
+    static CAPTURE: RefCell<Option<Vec<SpanRecord>>> = const { RefCell::new(None) };
 }
 
 /// One completed span, timestamped in nanoseconds since the trace epoch
@@ -66,15 +87,59 @@ pub struct SpanRecord {
 pub fn set_enabled(on: bool) {
     if on {
         EPOCH.get_or_init(Instant::now);
+        STATE.fetch_or(GLOBAL_BIT, Ordering::Relaxed);
+    } else {
+        STATE.fetch_and(!GLOBAL_BIT, Ordering::Relaxed);
     }
-    ENABLED.store(on, Ordering::Relaxed);
 }
 
 /// Is span collection currently on?
 #[inline]
 #[must_use]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    STATE.load(Ordering::Relaxed) & GLOBAL_BIT != 0
+}
+
+/// Starts buffering this thread's spans until the guard is dropped or
+/// [`finish`](CaptureGuard::finish)ed. Not nestable: a second guard on
+/// the same thread restarts the buffer. The spans double-report — a
+/// capture does not remove them from the global collector when that is
+/// also enabled.
+#[must_use]
+pub fn capture() -> CaptureGuard {
+    EPOCH.get_or_init(Instant::now);
+    STATE.fetch_add(CAPTURE_UNIT, Ordering::Relaxed);
+    CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+    CaptureGuard { finished: false }
+}
+
+/// Active per-thread span capture; see [`capture`].
+#[derive(Debug)]
+pub struct CaptureGuard {
+    finished: bool,
+}
+
+impl CaptureGuard {
+    /// Ends the capture and returns the buffered spans.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<SpanRecord> {
+        self.finished = true;
+        self.teardown()
+    }
+
+    fn teardown(&self) -> Vec<SpanRecord> {
+        let spans = CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default();
+        STATE.fetch_sub(CAPTURE_UNIT, Ordering::Relaxed);
+        spans
+    }
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.teardown();
+        }
+    }
 }
 
 fn thread_id() -> u64 {
@@ -133,13 +198,29 @@ struct LiveSpan {
     start: Instant,
     start_ns: u64,
     depth: u16,
+    /// Destined for the global collector.
+    global: bool,
 }
 
-/// Opens a span named `name`. When tracing is disabled this is one
-/// relaxed atomic load and returns an inert guard.
+/// Opens a span named `name`. When tracing is disabled and no capture
+/// guard is live anywhere, this is one relaxed atomic load and returns
+/// an inert guard.
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    if !ENABLED.load(Ordering::Relaxed) {
+    let state = STATE.load(Ordering::Relaxed);
+    if state == 0 {
+        return Span(None);
+    }
+    let global = state & GLOBAL_BIT != 0;
+    // A capture guard on *some* thread forces this (cheap) thread-local
+    // check; only the capturing thread pays for the record itself.
+    let capturing = state >= CAPTURE_UNIT
+        && CAPTURE.with(|c| {
+            c.borrow()
+                .as_ref()
+                .is_some_and(|buf| buf.len() < MAX_CAPTURED_SPANS)
+        });
+    if !global && !capturing {
         return Span(None);
     }
     let epoch = *EPOCH.get_or_init(Instant::now);
@@ -155,6 +236,7 @@ pub fn span(name: &'static str) -> Span {
         start,
         start_ns,
         depth,
+        global,
     }))
 }
 
@@ -171,11 +253,20 @@ impl Drop for Span {
             start_ns: live.start_ns,
             dur_ns,
         };
-        let mut collector = COLLECTOR.lock().expect("span collector poisoned");
-        if collector.len() < MAX_RECORDED_SPANS {
-            collector.push(record);
-        } else {
-            DROPPED.fetch_add(1, Ordering::Relaxed);
+        CAPTURE.with(|c| {
+            if let Some(buf) = c.borrow_mut().as_mut() {
+                if buf.len() < MAX_CAPTURED_SPANS {
+                    buf.push(record);
+                }
+            }
+        });
+        if live.global {
+            let mut collector = COLLECTOR.lock().expect("span collector poisoned");
+            if collector.len() < MAX_RECORDED_SPANS {
+                collector.push(record);
+            } else {
+                DROPPED.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -254,6 +345,58 @@ mod tests {
             assert_eq!(current_trace_id(), a);
         }
         assert_eq!(current_trace_id(), 0);
+    }
+
+    #[test]
+    fn capture_buffers_spans_without_global_collection() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        let _drain = take_spans();
+        let cap = capture();
+        {
+            let _a = span("captured.outer");
+            let _b = span("captured.inner");
+        }
+        let spans = cap.finish();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "captured.inner");
+        // Nothing leaked into the global collector, and dropping the
+        // guard restored the one-load fast path.
+        assert!(take_spans().is_empty());
+        {
+            let _c = span("after");
+        }
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn capture_and_global_collection_compose() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        let _drain = take_spans();
+        let cap = capture();
+        {
+            let _s = span("both");
+        }
+        let captured = cap.finish();
+        set_enabled(false);
+        let global = take_spans();
+        assert_eq!(captured.len(), 1);
+        assert_eq!(global.len(), 1);
+        assert_eq!(captured[0], global[0]);
+    }
+
+    #[test]
+    fn capture_is_thread_local() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        let cap = capture();
+        std::thread::spawn(|| {
+            let _s = span("other-thread");
+        })
+        .join()
+        .unwrap();
+        assert!(cap.finish().is_empty());
     }
 
     #[test]

@@ -1,7 +1,12 @@
 //! Property-based checks of the power-of-two latency histogram: bucket
-//! boundaries, percentile ordering, and merge equivalence.
+//! boundaries, percentile ordering, and merge equivalence — and of the
+//! sliding-window ring built on it: rotation keeps percentiles
+//! monotone, the live merge equals the concatenated live samples, and
+//! expired windows stop influencing the answer.
 
-use ntr_obs::metrics::{Histogram, HISTOGRAM_BUCKETS};
+use std::time::Duration;
+
+use ntr_obs::metrics::{Histogram, WindowedHistogram, HISTOGRAM_BUCKETS};
 use proptest::prelude::*;
 
 /// A histogram loaded with the given samples.
@@ -11,6 +16,18 @@ fn histogram_of(samples: &[u64]) -> Histogram {
         h.record_micros(s);
     }
     h
+}
+
+/// A windowed ring with `batches[i]` recorded into window index `i`,
+/// via the deterministic entry point (no clock involved).
+fn windowed_of(windows: usize, batches: &[Vec<u64>]) -> WindowedHistogram {
+    let w = WindowedHistogram::new(windows, Duration::from_secs(60));
+    for (i, batch) in batches.iter().enumerate() {
+        for &s in batch {
+            w.record_micros_at(i as u64, s);
+        }
+    }
+    w
 }
 
 proptest! {
@@ -86,5 +103,88 @@ proptest! {
         for p in [50.0, 90.0, 99.0] {
             prop_assert_eq!(merged.percentile_micros(p), expected.percentile_micros(p));
         }
+    }
+
+    /// Rotation never breaks percentile ordering: however the sample
+    /// stream is scattered across window indices (with slots being
+    /// reused and reset along the way), the live merge still reports
+    /// p50 ≤ p90 ≤ p99.
+    #[test]
+    fn windowed_rotation_preserves_percentile_order(
+        windows in 1usize..6,
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000_000, 0..30), 1..12),
+    ) {
+        let w = windowed_of(windows, &batches);
+        let live = w.sliding_at(batches.len() as u64 - 1);
+        let (p50, p90, p99) = (
+            live.percentile_micros(50.0),
+            live.percentile_micros(90.0),
+            live.percentile_micros(99.0),
+        );
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90} after rotation");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99} after rotation");
+    }
+
+    /// The sliding merge is exactly the histogram of the concatenated
+    /// samples of the windows still live at the query index — same
+    /// buckets, count, sum, percentiles. Windows older than one lap
+    /// have been rotated out and contribute nothing.
+    #[test]
+    fn windowed_merge_equals_concatenated_live_windows(
+        windows in 1usize..6,
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000_000, 0..30), 1..12),
+    ) {
+        let w = windowed_of(windows, &batches);
+        let last = batches.len() - 1;
+        // Live indices at `last`: the most recent `windows` of them.
+        let live_from = (last + 1).saturating_sub(windows);
+        let concatenated: Vec<u64> = batches[live_from..=last]
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        let expected = histogram_of(&concatenated);
+        let merged = w.sliding_at(last as u64);
+        prop_assert_eq!(merged.bucket_counts(), expected.bucket_counts());
+        prop_assert_eq!(merged.count(), expected.count());
+        prop_assert_eq!(merged.sum_micros(), expected.sum_micros());
+        for p in [50.0, 90.0, 99.0] {
+            prop_assert_eq!(merged.percentile_micros(p), expected.percentile_micros(p));
+        }
+    }
+
+    /// Once the clock laps a window, its samples stop influencing the
+    /// sliding percentiles entirely: huge old samples recorded one lap
+    /// ago cannot drag up the percentiles of the small fresh ones.
+    #[test]
+    fn windowed_expired_samples_stop_influencing_percentiles(
+        windows in 1usize..6,
+        old in proptest::collection::vec(500_000_000u64..1_000_000_000, 1..30),
+        fresh in proptest::collection::vec(0u64..1_000, 1..30),
+        gap in 0u64..5,
+    ) {
+        let w = WindowedHistogram::new(windows, Duration::from_secs(60));
+        for &s in &old {
+            w.record_micros_at(0, s);
+        }
+        // The first index at which window 0 has expired, plus some gap.
+        let later = windows as u64 + gap;
+        for &s in &fresh {
+            w.record_micros_at(later, s);
+        }
+        let live = w.sliding_at(later);
+        prop_assert_eq!(live.count(), fresh.len() as u64);
+        let expected = histogram_of(&fresh);
+        prop_assert_eq!(live.bucket_counts(), expected.bucket_counts());
+        // Every fresh sample is < 1 ms; every old one ≥ 500 s worth of
+        // µs. A p99 still inside the sub-millisecond buckets proves the
+        // old lap is gone.
+        let sub_ms_cap = Histogram::bucket_upper_bound(Histogram::bucket_of(999));
+        prop_assert!(
+            live.percentile_micros(99.0) <= sub_ms_cap,
+            "expired samples leaked into p99"
+        );
     }
 }

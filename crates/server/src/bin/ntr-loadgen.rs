@@ -33,7 +33,7 @@
 //! the server's queue, so a healthy run never trips backpressure; an
 //! `overloaded` response therefore counts as an error here.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -136,8 +136,12 @@ struct Progress {
     cached: usize,
     /// ok responses by their `fidelity` field (absent → "unknown").
     fidelities: HashMap<String, usize>,
+    /// Trace ids of ok responses that reported `degraded: true` — the
+    /// chaos gate checks each one against the journal's exemplars.
+    degraded_traces: Vec<u64>,
     stats: Option<Json>,
     metrics: Option<Json>,
+    journal: Option<Json>,
     reader_done: bool,
 }
 
@@ -148,8 +152,10 @@ struct RunResult {
     fidelities: HashMap<String, usize>,
     wall: Duration,
     latencies_us: Vec<u64>,
+    degraded_traces: Vec<u64>,
     server_stats: Option<Json>,
     metrics_body: Option<String>,
+    journal: Option<Json>,
 }
 
 impl RunResult {
@@ -242,6 +248,8 @@ fn run_against_server(
                     s.stats = Some(doc);
                 } else if doc.get("op").and_then(Json::as_str) == Some("metrics") {
                     s.metrics = Some(doc);
+                } else if doc.get("op").and_then(Json::as_str) == Some("journal") {
+                    s.journal = Some(doc);
                 } else if doc.get("op").and_then(Json::as_str) == Some("shutdown") {
                     // ack only
                 } else {
@@ -255,6 +263,11 @@ fn run_against_server(
                             .unwrap_or("unknown")
                             .to_owned();
                         *s.fidelities.entry(fidelity).or_insert(0) += 1;
+                        if doc.get("degraded").and_then(Json::as_bool) == Some(true) {
+                            if let Some(t) = doc.get("trace").and_then(Json::as_f64) {
+                                s.degraded_traces.push(t as u64);
+                            }
+                        }
                         if doc.get("cached").and_then(Json::as_bool) == Some(true) {
                             s.cached += 1;
                         } else if let Some(sent) = sent {
@@ -318,13 +331,14 @@ fn run_against_server(
     }
     let wall = start.elapsed();
 
-    // Collect server-side counters and the Prometheus exposition, then
-    // shut down and reap.
+    // Collect server-side counters, the Prometheus exposition, and the
+    // flight-recorder snapshot, then shut down and reap.
     writeln!(stdin, r#"{{"op":"stats"}}"#).map_err(|e| format!("write: {e}"))?;
     writeln!(stdin, r#"{{"op":"metrics"}}"#).map_err(|e| format!("write: {e}"))?;
+    writeln!(stdin, r#"{{"op":"journal"}}"#).map_err(|e| format!("write: {e}"))?;
     {
         let mut s = state.lock().expect("progress mutex poisoned");
-        while (s.stats.is_none() || s.metrics.is_none()) && !s.reader_done {
+        while (s.stats.is_none() || s.metrics.is_none() || s.journal.is_none()) && !s.reader_done {
             let (next, timeout) = changed
                 .wait_timeout(s, Duration::from_secs(5))
                 .expect("progress mutex poisoned");
@@ -350,12 +364,14 @@ fn run_against_server(
         fidelities: s.fidelities.clone(),
         wall,
         latencies_us: s.latencies_us.clone(),
+        degraded_traces: s.degraded_traces.clone(),
         server_stats: s.stats.clone(),
         metrics_body: s
             .metrics
             .as_ref()
             .and_then(|m| m.get("body").and_then(Json::as_str))
             .map(str::to_owned),
+        journal: s.journal.clone(),
     })
 }
 
@@ -381,6 +397,59 @@ fn print_summary(label: &str, r: &RunResult) {
             field("cache_misses"),
             field("deadline_expired"),
             field("overloaded"),
+        );
+    }
+    print_journal_report(r);
+}
+
+/// Reads a numeric wide-event field, defaulting missing/NaN to 0.
+fn event_num(event: &Json, key: &str) -> u64 {
+    event.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64
+}
+
+/// End-of-run flight-recorder report: counts from the server's
+/// `{"op":"journal"}` snapshot, then the top-5 slowest journaled
+/// requests with their wide-event fields.
+fn print_journal_report(r: &RunResult) {
+    let Some(journal) = &r.journal else {
+        println!("  journal: no snapshot from the server");
+        return;
+    };
+    println!(
+        "  journal: {} requests / {} iterations / {} exemplars retained \
+         ({} recorded, {} dropped)",
+        event_num(journal, "requests"),
+        event_num(journal, "iterations"),
+        event_num(journal, "exemplars"),
+        event_num(journal, "requests_recorded"),
+        event_num(journal, "requests_dropped"),
+    );
+    let Some(events) = journal.get("request_events").and_then(Json::as_arr) else {
+        return;
+    };
+    let mut slowest: Vec<&Json> = events.iter().collect();
+    slowest.sort_by_key(|e| std::cmp::Reverse(event_num(e, "total_us")));
+    for event in slowest.iter().take(5) {
+        let text = |k: &str| event.get(k).and_then(Json::as_str).unwrap_or("?");
+        println!(
+            "    trace {} {} {} {}->{} total {} us (queue {} / route {}) \
+             degraded {} retries {} faults {}{}",
+            event_num(event, "trace"),
+            text("algorithm"),
+            text("outcome"),
+            text("fidelity_requested"),
+            text("fidelity_served"),
+            event_num(event, "total_us"),
+            event_num(event, "queue_us"),
+            event_num(event, "route_us"),
+            event_num(event, "degradation_steps"),
+            event_num(event, "retries"),
+            event_num(event, "injected_faults"),
+            if event.get("cache_hit").and_then(Json::as_bool) == Some(true) {
+                " (cache hit)"
+            } else {
+                ""
+            },
         );
     }
 }
@@ -545,6 +614,33 @@ fn chaos(serve_bin: &PathBuf, seed: u64, smoke_variant: bool) -> i32 {
                 }) {
                     failures.push(format!("exposition missing a nonzero {metric}"));
                 }
+            }
+        }
+    }
+    // Flight-recorder gate: every degraded response must be retained as
+    // a full exemplar in the journal. The flagged-exemplar store (256)
+    // is larger than the chaos workload, so nothing may be evicted.
+    match &r.journal {
+        None => failures.push("no flight-recorder snapshot from the server".to_owned()),
+        Some(journal) => {
+            let exemplar_traces: HashSet<u64> = journal
+                .get("exemplar_events")
+                .and_then(Json::as_arr)
+                .map(|events| events.iter().map(|e| event_num(e, "trace")).collect())
+                .unwrap_or_default();
+            if r.degraded_traces.is_empty() {
+                failures.push("no degraded responses to check against the journal".to_owned());
+            }
+            let missing = r
+                .degraded_traces
+                .iter()
+                .filter(|t| !exemplar_traces.contains(t))
+                .count();
+            if missing > 0 {
+                failures.push(format!(
+                    "{missing}/{} degraded responses have no journal exemplar",
+                    r.degraded_traces.len()
+                ));
             }
         }
     }

@@ -22,7 +22,9 @@ fn usage() -> ! {
          \x20              [--workers N]          worker threads (default: one per core)\n\
          \x20              [--queue N]            pending-request capacity (default 64)\n\
          \x20              [--cache N]            result-cache entries (default 1024, 0 disables)\n\
-         \x20              [--metrics-addr A:P]   serve GET /metrics (Prometheus) on this address\n\
+         \x20              [--metrics-addr A:P]   serve GET /metrics, /statusz, /journal here\n\
+         \x20              [--journal-out FILE]   dump the flight recorder (JSON-lines) at\n\
+         \x20                                     drain or panic (post-mortem)\n\
          \n\
          Logging is controlled by NTR_LOG (off|error|warn|info|debug|trace, default info).\n\
          NTR_FAULTS installs a fault-injection plan at startup, e.g.\n\
@@ -31,10 +33,22 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Writes the flight recorder to `path` as JSON-lines. Called on the
+/// way out — normal drain or panic — so a crashed server still leaves
+/// its last few thousand wide events behind.
+fn dump_journal(path: &str) {
+    let lines = ntr_obs::Journal::global().snapshot().to_json_lines();
+    match std::fs::write(path, &lines) {
+        Ok(()) => log_info!("flight recorder dumped to {path}"),
+        Err(e) => log_error!("cannot dump flight recorder to {path}: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
     let mut stdio = false;
     let mut listen: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
+    let mut journal_out: Option<String> = None;
     let mut config = ServiceConfig::default();
 
     let mut args = std::env::args().skip(1);
@@ -43,6 +57,7 @@ fn main() -> ExitCode {
             "--stdio" => stdio = true,
             "--listen" => listen = args.next().or_else(|| usage()),
             "--metrics-addr" => metrics_addr = args.next().or_else(|| usage()),
+            "--journal-out" => journal_out = args.next().or_else(|| usage()),
             "--workers" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.workers = n,
                 None => usage(),
@@ -73,6 +88,17 @@ fn main() -> ExitCode {
         }
     }
 
+    // Post-mortem: a panic anywhere in the process dumps the recorder
+    // before the default hook prints the backtrace, so the journal
+    // survives exactly the runs that need forensics.
+    if let Some(path) = journal_out.clone() {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            dump_journal(&path);
+            default_hook(info);
+        }));
+    }
+
     let service = Arc::new(Service::start(&config));
     if let Some(addr) = metrics_addr {
         match spawn_metrics_server(addr.as_str(), Arc::clone(&service)) {
@@ -84,7 +110,7 @@ fn main() -> ExitCode {
         }
     }
 
-    match (stdio, listen) {
+    let code = match (stdio, listen) {
         (true, None) => {
             serve_stdio(service);
             ExitCode::SUCCESS
@@ -100,5 +126,11 @@ fn main() -> ExitCode {
             }
         }
         _ => usage(),
+    };
+    // Normal drain: every accepted request has been answered and
+    // journaled by the time the transports return.
+    if let Some(path) = journal_out {
+        dump_journal(&path);
     }
+    code
 }

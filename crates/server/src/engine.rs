@@ -190,6 +190,16 @@ pub struct RouteOutcome {
     pub degraded: bool,
     /// Transient-failure retries spent on this request.
     pub retries: u32,
+    /// Rung the request asked for (wire name).
+    pub fidelity_requested: &'static str,
+    /// Rung the answer was computed at (wire name).
+    pub fidelity_served: &'static str,
+    /// Rungs descended below the request.
+    pub degradation_steps: u32,
+    /// Committed search iterations (0 for one-shot heuristics).
+    pub ldrg_iterations: u32,
+    /// Canonical content hash of the routed net.
+    pub net_hash: u64,
 }
 
 /// Routes `net` per the request through [`route_one`], checking `cancel`
@@ -212,6 +222,7 @@ pub fn execute(
     if !req.degrade {
         cancel.check().map_err(|_| EngineError::Cancelled)?;
     }
+    let net_hash = canonical_net_hash(net, &tech);
     let budget = Budget {
         tech,
         fidelity: req.oracle.fidelity(),
@@ -222,7 +233,7 @@ pub fn execute(
         retry: RetryPolicy {
             max_retries: req.retries,
             // Deterministic per net: replayed requests jitter identically.
-            seed: canonical_net_hash(net, &tech),
+            seed: net_hash,
             ..RetryPolicy::default()
         },
         degrade: DegradePolicy {
@@ -268,6 +279,11 @@ pub fn execute(
         search: out.stats,
         degraded: out.degraded(),
         retries: out.retries,
+        fidelity_requested: out.requested_fidelity.as_str(),
+        fidelity_served: out.fidelity.as_str(),
+        degradation_steps: out.degradation_steps() as u32,
+        ldrg_iterations: out.iterations.len() as u32,
+        net_hash,
     })
 }
 

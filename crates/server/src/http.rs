@@ -1,12 +1,14 @@
-//! A minimal HTTP responder for `GET /metrics`.
+//! A minimal HTTP responder for the observability surface.
 //!
 //! Prometheus scrapes over HTTP, and the JSON-lines protocol is not
-//! that; this module serves exactly the scrape surface — `GET /metrics`
-//! answers the service's Prometheus text exposition, everything else
-//! answers 404 — with connection-per-request simplicity (`Connection:
-//! close`, no keep-alive, no chunking). It is deliberately not a web
-//! framework: one request line is read, headers are skipped, one
-//! response is written.
+//! that; this module serves exactly the read-only observability
+//! surface — `GET /metrics` (Prometheus text exposition), `GET
+//! /statusz` (the live HTML dashboard), `GET /journal` (the flight
+//! recorder as JSON-lines), everything else 404 — with
+//! connection-per-request simplicity (`Connection: close`, no
+//! keep-alive, no chunking). It is deliberately not a web framework:
+//! one request line is read, headers are skipped, one response is
+//! written.
 //!
 //! Started via `ntr-serve --metrics-addr HOST:PORT` or
 //! [`spawn_metrics_server`] (which binds first and returns the actual
@@ -23,6 +25,9 @@ use crate::service::Service;
 
 /// The content type of Prometheus text exposition format 0.0.4.
 pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// The content type of the `GET /journal` JSON-lines dump.
+pub const JOURNAL_CONTENT_TYPE: &str = "application/x-ndjson; charset=utf-8";
 
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
     // A failed write means the scraper went away; nothing useful to do.
@@ -58,11 +63,29 @@ fn handle_connection(mut stream: TcpStream, service: &Service) {
                 &service.metrics_text(),
             );
         }
+        ("GET", "/statusz") => {
+            log_debug!("serving /statusz dashboard");
+            respond(
+                &mut stream,
+                "200 OK",
+                crate::statusz::STATUSZ_CONTENT_TYPE,
+                &crate::statusz::render(service),
+            );
+        }
+        ("GET", "/journal") => {
+            log_debug!("serving /journal dump");
+            respond(
+                &mut stream,
+                "200 OK",
+                JOURNAL_CONTENT_TYPE,
+                &ntr_obs::Journal::global().snapshot().to_json_lines(),
+            );
+        }
         ("GET", _) => respond(
             &mut stream,
             "404 Not Found",
             "text/plain",
-            "only /metrics is served here\n",
+            "only /metrics, /statusz and /journal are served here\n",
         ),
         _ => respond(
             &mut stream,
@@ -73,9 +96,10 @@ fn handle_connection(mut stream: TcpStream, service: &Service) {
     }
 }
 
-/// Binds `addr` and serves `GET /metrics` on a background thread for
-/// the life of the process. Returns the actually-bound address (bind to
-/// port 0 to let the OS pick) and the acceptor's join handle.
+/// Binds `addr` and serves `GET /metrics`, `GET /statusz`, and
+/// `GET /journal` on a background thread for the life of the process.
+/// Returns the actually-bound address (bind to port 0 to let the OS
+/// pick) and the acceptor's join handle.
 ///
 /// # Errors
 ///

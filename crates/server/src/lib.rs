@@ -25,6 +25,11 @@
 //!   don't defeat it.
 //! - **Transports** ([`server`]): `--stdio` for pipelines and tests,
 //!   `--listen` for TCP.
+//! - **Observability** ([`stats`], [`statusz`], [`http`]): per-service
+//!   counters and histograms on `/metrics`, a sliding-window `/statusz`
+//!   dashboard, and the process-wide flight recorder
+//!   ([`ntr_obs::journal`]) surfaced as `{"op":"journal"}` and
+//!   `GET /journal`.
 //!
 //! Two binaries ship with the crate: `ntr-serve` (the server) and
 //! `ntr-loadgen` (workload generator measuring throughput, latency
@@ -77,6 +82,7 @@ pub mod proto;
 pub mod server;
 pub mod service;
 pub mod stats;
+pub mod statusz;
 
 /// The hand-rolled JSON module, rehomed to `ntr-obs` (the trace
 /// exporters build on it too); re-exported here so existing

@@ -9,6 +9,7 @@
 //! | `{"op":"metrics"}` | `{"ok":true,"op":"metrics","body":"<Prometheus exposition>"}` |
 //! | `{"op":"profile","top":5,"enable":true}` | `{"ok":true,"op":"profile","top":[...]}` |
 //! | `{"op":"faults","plan":"fail=transient:0.5"}` | `{"ok":true,"op":"faults","plan":...,"injected":N}` |
+//! | `{"op":"journal"}` | `{"ok":true,"op":"journal","request_events":[...],...}` |
 //! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}` then drain & exit |
 //!
 //! # Route request layouts: v2 and v1
@@ -193,6 +194,9 @@ pub enum Request {
         /// anything else is parsed as a [`ntr_core::FaultPlan`].
         plan: Option<String>,
     },
+    /// Flight-recorder snapshot: every retained wide event, LDRG
+    /// iteration record, and tail-sampled exemplar.
+    Journal,
     /// Graceful shutdown: drain in-flight work, then exit.
     Shutdown,
 }
@@ -247,6 +251,7 @@ pub fn parse_request(doc: &Json) -> Result<Request, String> {
     match op {
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
+        "journal" => Ok(Request::Journal),
         "shutdown" => Ok(Request::Shutdown),
         "profile" => {
             let top = match doc.get("top") {
@@ -568,6 +573,10 @@ mod tests {
         assert_eq!(
             parse_request(&Json::parse(r#"{"op":"shutdown"}"#).unwrap()).unwrap(),
             Request::Shutdown
+        );
+        assert_eq!(
+            parse_request(&Json::parse(r#"{"op":"journal"}"#).unwrap()).unwrap(),
+            Request::Journal
         );
     }
 

@@ -27,6 +27,24 @@ fn write_line(writer: &SharedWriter, response: &Json) {
     let _ = w.flush();
 }
 
+/// A request that never even parsed still leaves a wide event behind —
+/// a client speaking garbage is exactly the kind of thing a post-mortem
+/// wants to see.
+fn record_parse_error() {
+    let recorder = ntr_obs::Journal::global();
+    let event = ntr_obs::journal::WideEvent {
+        outcome: "parse_error",
+        algorithm: "",
+        fidelity_requested: "",
+        fidelity_served: "",
+        ..ntr_obs::journal::WideEvent::default()
+    };
+    let seq = recorder.record_request(event.clone());
+    let mut event = event;
+    event.seq = seq;
+    recorder.offer_exemplar(event, Vec::new());
+}
+
 /// The body answering a `faults` op: the installed plan (or `null`) and
 /// the monotone injected-fault total.
 fn faults_response(service: &Service) -> Json {
@@ -51,6 +69,7 @@ fn handle_line(service: &Arc<Service>, writer: &SharedWriter, line: &str) -> boo
     let doc = match Json::parse(line) {
         Ok(doc) => doc,
         Err(e) => {
+            record_parse_error();
             write_line(
                 writer,
                 &error_response(None, ErrorCode::Parse, &e.to_string()),
@@ -60,6 +79,7 @@ fn handle_line(service: &Arc<Service>, writer: &SharedWriter, line: &str) -> boo
     };
     match proto::parse_request(&doc) {
         Err(reason) => {
+            record_parse_error();
             write_line(
                 writer,
                 &error_response(doc.get("id"), ErrorCode::Parse, &reason),
@@ -132,6 +152,13 @@ fn handle_line(service: &Arc<Service>, writer: &SharedWriter, line: &str) -> boo
                 },
             };
             write_line(writer, &response);
+            false
+        }
+        Ok(Request::Journal) => {
+            let mut body = ntr_obs::Journal::global().snapshot().to_json();
+            body.set("ok", Json::Bool(true));
+            body.set("op", Json::str("journal"));
+            write_line(writer, &body);
             false
         }
         Ok(Request::Shutdown) => {

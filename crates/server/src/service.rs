@@ -23,11 +23,12 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ntr_circuit::Technology;
-use ntr_core::{CancelToken, FaultPlan};
-use ntr_obs::{log_debug, log_warn, span};
+use ntr_core::{CancelToken, FaultPlan, FidelityCosts};
+use ntr_obs::journal::{self, WideEvent};
+use ntr_obs::{log_debug, log_warn, span, Journal};
 
 use crate::cache::LruCache;
 use crate::engine::{self, EngineError, Resilience};
@@ -82,10 +83,35 @@ struct Job {
     trace: u64,
 }
 
-/// A coalesced duplicate waiting on the primary: its own `id` and trace
-/// id, plus the callback to deliver the shared result to.
-type Waiter = (Option<Json>, u64, Respond);
+/// A coalesced duplicate waiting on the primary: its own `id`, trace
+/// id, and arrival time, plus the callback to deliver the shared
+/// result to.
+type Waiter = (Option<Json>, u64, Instant, Respond);
 type Inflight = Mutex<HashMap<u64, Vec<Waiter>>>;
+
+/// Saturating microseconds for journal timings.
+fn micros(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// The wide-event skeleton every path of a request's life fills in.
+fn base_event(request: &RouteRequest, trace: u64) -> WideEvent {
+    WideEvent {
+        trace,
+        pins: request.pins.len() as u64,
+        algorithm: request.algorithm.as_str(),
+        fidelity_requested: request.oracle.fidelity().as_str(),
+        ..WideEvent::default()
+    }
+}
+
+/// Publishes one wide event to the flight recorder and offers its span
+/// trace for tail retention (flagged events keep it even span-less).
+fn journal_event(mut event: WideEvent, spans: Vec<ntr_obs::SpanRecord>) {
+    let recorder = Journal::global();
+    event.seq = recorder.record_request(event.clone());
+    recorder.offer_exemplar(event, spans);
+}
 
 /// The running routing service. Cheap to share: transports hold it in
 /// an [`Arc`] and call [`submit`](Self::submit) from any thread.
@@ -145,12 +171,17 @@ impl Service {
     /// hits and rejections answer inline).
     pub fn submit(&self, request: RouteRequest, respond: Respond) {
         self.stats.received.inc();
+        let arrived = Instant::now();
         let trace = span::next_trace_id();
         let id = request.id.clone();
         let net = match engine::build_net(&request) {
             Ok(net) => net,
             Err(EngineError::Route(detail)) => {
                 self.stats.errors.inc();
+                let mut event = base_event(&request, trace);
+                event.outcome = "route_error";
+                event.total_us = micros(arrived.elapsed());
+                journal_event(event, Vec::new());
                 respond(with_trace(
                     error_response(id.as_ref(), ErrorCode::Route, &detail),
                     trace,
@@ -172,6 +203,13 @@ impl Service {
                 drop(cache);
                 self.stats.cache_hits.inc();
                 self.stats.completed.inc();
+                // Cached bodies are never degraded, so served == asked.
+                let mut event = base_event(&request, trace);
+                event.net_hash = ntr_core::canonical_net_hash(&net, &self.tech);
+                event.fidelity_served = event.fidelity_requested;
+                event.cache_hit = true;
+                event.total_us = micros(arrived.elapsed());
+                journal_event(event, Vec::new());
                 respond(response);
                 return;
             }
@@ -186,7 +224,7 @@ impl Service {
             Some(key) => {
                 let mut inflight = self.inflight.lock().expect("inflight mutex poisoned");
                 if let Some(waiters) = inflight.get_mut(&key) {
-                    waiters.push((id, trace, respond));
+                    waiters.push((id, trace, arrived, respond));
                     self.stats.coalesced.inc();
                     return;
                 }
@@ -195,7 +233,7 @@ impl Service {
             }
             None => None,
         };
-        let enqueued = Instant::now();
+        let enqueued = arrived;
         let job = Job {
             deadline_at: request.deadline.map(|d| enqueued + d),
             request,
@@ -222,11 +260,20 @@ impl Service {
         let waiters = take_waiters(&self.inflight, job.coalesce_key);
         self.stats.overloaded.add(1 + waiters.len() as u64);
         log_warn!("rejecting request: {detail}");
+        let mut event = base_event(&job.request, job.trace);
+        event.outcome = "overloaded";
+        event.total_us = micros(job.enqueued.elapsed());
+        journal_event(event, Vec::new());
         (job.respond)(with_trace(
             error_response(job.request.id.as_ref(), ErrorCode::Overloaded, detail),
             job.trace,
         ));
-        for (wid, wtrace, wrespond) in waiters {
+        for (wid, wtrace, warrived, wrespond) in waiters {
+            let mut event = base_event(&job.request, wtrace);
+            event.outcome = "overloaded";
+            event.coalesced = true;
+            event.total_us = micros(warrived.elapsed());
+            journal_event(event, Vec::new());
             wrespond(with_trace(
                 error_response(wid.as_ref(), ErrorCode::Overloaded, detail),
                 wtrace,
@@ -261,6 +308,25 @@ impl Service {
     #[must_use]
     pub fn stats(&self) -> &ServiceStats {
         &self.stats
+    }
+
+    /// Live per-fidelity EWMA cost estimates (the `/statusz` view of the
+    /// degradation gate's inputs).
+    #[must_use]
+    pub fn fidelity_costs(&self) -> FidelityCosts {
+        self.resilience.costs()
+    }
+
+    /// Jobs currently waiting in the bounded queue.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Entries currently held by the result cache.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache mutex poisoned").len()
     }
 
     /// Installs (or clears, with `None`) the fault-injection plan for
@@ -321,115 +387,185 @@ fn worker_loop(
     tech: Technology,
 ) {
     while let Some(job) = queue.pop() {
+        stats.inflight_requests.inc();
         // Everything this worker does for the job — spans and log lines
         // included — carries the trace id assigned at submission.
         let _trace_guard = span::with_trace_id(job.trace);
-        let _request_span = span::span("server.request");
-        let id = job.request.id.clone();
-        // A request that spent its whole deadline queued answers without
-        // occupying the worker for a full route — unless degradation is
-        // on, in which case the engine collapses to the O(k) tree floor
-        // and still serves. (Deadline jobs never register as coalescing
-        // primaries, so no waiters to serve.)
-        if job.deadline_at.is_some_and(|at| Instant::now() >= at) && !job.request.degrade {
+        // Tail sampling has to record up front: the capture buffers
+        // every span the job emits, and the journal decides afterwards
+        // whether the trace was worth keeping (slow / error / degraded).
+        let capture = span::capture();
+        let (event, respond, response) = run_job(job, cache, inflight, stats, resilience, tech);
+        // Journal before responding: a client that has seen the answer
+        // can always find the request in `{"op":"journal"}` — no window
+        // where the response exists but its wide event does not.
+        journal_event(event, capture.finish());
+        // The gauge drops before the answer leaves: a client holding
+        // the response never observes itself still counted in flight.
+        stats.inflight_requests.dec();
+        respond(response);
+    }
+}
+
+/// Routes one dequeued job and delivers any coalesced waiters'
+/// responses. The primary's own response is NOT delivered here: it is
+/// returned with the wide event and the `respond` callback so the
+/// caller can journal the event (with the captured spans) first and
+/// only then answer the client.
+fn run_job(
+    job: Job,
+    cache: &Mutex<LruCache<Json>>,
+    inflight: &Inflight,
+    stats: &ServiceStats,
+    resilience: &Resilience,
+    tech: Technology,
+) -> (WideEvent, Respond, Json) {
+    let _request_span = span::span("server.request");
+    let id = job.request.id.clone();
+    let mut event = base_event(&job.request, job.trace);
+    event.queue_us = micros(job.enqueued.elapsed());
+    // A request that spent its whole deadline queued answers without
+    // occupying the worker for a full route — unless degradation is
+    // on, in which case the engine collapses to the O(k) tree floor
+    // and still serves. (Deadline jobs never register as coalescing
+    // primaries, so no waiters to serve.)
+    if job.deadline_at.is_some_and(|at| Instant::now() >= at) && !job.request.degrade {
+        stats.deadline_expired.inc();
+        log_debug!("deadline expired while queued");
+        event.outcome = "deadline";
+        event.total_us = micros(job.enqueued.elapsed());
+        let response = with_trace(
+            error_response(
+                id.as_ref(),
+                ErrorCode::Deadline,
+                "deadline expired while queued",
+            ),
+            job.trace,
+        );
+        return (event, job.respond, response);
+    }
+    // Injected worker stall: the job holds this worker before
+    // routing starts, shrinking the deadline budget it routes with.
+    if let Some(pause) = resilience.faults().and_then(|p| p.worker_stall()) {
+        let _stall_span = span::span("fault.stall");
+        std::thread::sleep(pause);
+    }
+    let cancel = job
+        .deadline_at
+        .map_or_else(CancelToken::new, CancelToken::with_deadline);
+    let net = match engine::build_net(&job.request) {
+        Ok(net) => net,
+        Err(_) => unreachable!("submit validated the net"),
+    };
+    let faults_before = resilience.faults_injected();
+    let route_started = Instant::now();
+    let result = engine::execute(&job.request, &net, tech, &cancel, resilience);
+    event.route_us = micros(route_started.elapsed());
+    event.rungs = journal::take_rungs();
+    event.injected_faults = resilience.faults_injected().saturating_sub(faults_before);
+    let response = match result {
+        Ok(outcome) => {
+            let latency = job.enqueued.elapsed();
+            event.fidelity_served = outcome.fidelity_served;
+            event.degradation_steps = outcome.degradation_steps;
+            event.retries = outcome.retries;
+            event.net_hash = outcome.net_hash;
+            event.candidates_generated = outcome.search.candidates_generated;
+            event.candidates_scored = outcome.search.candidates_scored;
+            event.candidates_pruned = outcome.search.candidates_pruned;
+            event.ldrg_iterations = outcome.ldrg_iterations;
+            event.total_us = micros(latency);
+            // Degraded bodies are a product of this request's
+            // deadline pressure, not of the net: never cached, so a
+            // later unhurried request gets full fidelity.
+            if let Some(key) = job.key.filter(|_| !outcome.degraded) {
+                cache
+                    .lock()
+                    .expect("cache mutex poisoned")
+                    .insert(key, outcome.body.clone());
+            }
+            // Waiters are taken only after the cache insert, so a
+            // duplicate arriving right now either finds the cache
+            // entry or is already in this list — never neither.
+            let waiters = take_waiters(inflight, job.coalesce_key);
+            stats.record_completed(
+                job.request.algorithm.as_str(),
+                latency,
+                outcome.search,
+                outcome.degraded,
+                outcome.retries,
+            );
+            stats.completed.add(waiters.len() as u64);
+            log_debug!(
+                "routed {} pins with {} in {} us",
+                job.request.pins.len(),
+                job.request.algorithm.as_str(),
+                latency.as_micros()
+            );
+            for (wid, wtrace, warrived, wrespond) in waiters {
+                // Waiters share the primary's result — including its
+                // degradation — so each gets its own wide event with
+                // the shared outcome under its own trace and timing.
+                let mut waited = event.clone();
+                waited.trace = wtrace;
+                waited.coalesced = true;
+                waited.queue_us = 0;
+                waited.rungs = Vec::new();
+                waited.total_us = micros(warrived.elapsed());
+                journal_event(waited, Vec::new());
+                let mut shared = outcome.body.clone();
+                shared.set("id", wid.unwrap_or(Json::Null));
+                shared.set("cached", Json::Bool(true));
+                shared.set("trace", Json::Num(wtrace as f64));
+                wrespond(shared);
+            }
+            let mut response = outcome.body;
+            response.set("id", id.unwrap_or(Json::Null));
+            response.set("cached", Json::Bool(false));
+            response.set("micros", Json::Num(latency.as_micros() as f64));
+            response.set("trace", Json::Num(job.trace as f64));
+            response
+        }
+        Err(EngineError::Cancelled) => {
             stats.deadline_expired.inc();
-            log_debug!("deadline expired while queued");
-            (job.respond)(with_trace(
+            log_debug!("deadline expired during routing");
+            event.outcome = "deadline";
+            event.total_us = micros(job.enqueued.elapsed());
+            with_trace(
                 error_response(
                     id.as_ref(),
                     ErrorCode::Deadline,
-                    "deadline expired while queued",
+                    "deadline expired during routing",
                 ),
                 job.trace,
-            ));
-            continue;
+            )
         }
-        // Injected worker stall: the job holds this worker before
-        // routing starts, shrinking the deadline budget it routes with.
-        if let Some(pause) = resilience.faults().and_then(|p| p.worker_stall()) {
-            let _stall_span = span::span("fault.stall");
-            std::thread::sleep(pause);
-        }
-        let cancel = job
-            .deadline_at
-            .map_or_else(CancelToken::new, CancelToken::with_deadline);
-        let net = match engine::build_net(&job.request) {
-            Ok(net) => net,
-            Err(_) => unreachable!("submit validated the net"),
-        };
-        match engine::execute(&job.request, &net, tech, &cancel, resilience) {
-            Ok(outcome) => {
-                let latency = job.enqueued.elapsed();
-                // Degraded bodies are a product of this request's
-                // deadline pressure, not of the net: never cached, so a
-                // later unhurried request gets full fidelity.
-                if let Some(key) = job.key.filter(|_| !outcome.degraded) {
-                    cache
-                        .lock()
-                        .expect("cache mutex poisoned")
-                        .insert(key, outcome.body.clone());
-                }
-                // Waiters are taken only after the cache insert, so a
-                // duplicate arriving right now either finds the cache
-                // entry or is already in this list — never neither.
-                let waiters = take_waiters(inflight, job.coalesce_key);
-                stats.record_completed(
-                    job.request.algorithm.as_str(),
-                    latency,
-                    outcome.search,
-                    outcome.degraded,
-                    outcome.retries,
-                );
-                stats.completed.add(waiters.len() as u64);
-                log_debug!(
-                    "routed {} pins with {} in {} us",
-                    job.request.pins.len(),
-                    job.request.algorithm.as_str(),
-                    latency.as_micros()
-                );
-                for (wid, wtrace, wrespond) in waiters {
-                    let mut shared = outcome.body.clone();
-                    shared.set("id", wid.unwrap_or(Json::Null));
-                    shared.set("cached", Json::Bool(true));
-                    shared.set("trace", Json::Num(wtrace as f64));
-                    wrespond(shared);
-                }
-                let mut response = outcome.body;
-                response.set("id", id.unwrap_or(Json::Null));
-                response.set("cached", Json::Bool(false));
-                response.set("micros", Json::Num(latency.as_micros() as f64));
-                response.set("trace", Json::Num(job.trace as f64));
-                (job.respond)(response);
-            }
-            Err(EngineError::Cancelled) => {
-                stats.deadline_expired.inc();
-                log_debug!("deadline expired during routing");
-                (job.respond)(with_trace(
-                    error_response(
-                        id.as_ref(),
-                        ErrorCode::Deadline,
-                        "deadline expired during routing",
-                    ),
-                    job.trace,
+        Err(EngineError::Route(detail)) => {
+            let waiters = take_waiters(inflight, job.coalesce_key);
+            stats.errors.add(1 + waiters.len() as u64);
+            log_warn!("route failed: {detail}");
+            event.outcome = "route_error";
+            event.total_us = micros(job.enqueued.elapsed());
+            for (wid, wtrace, warrived, wrespond) in waiters {
+                let mut waited = event.clone();
+                waited.trace = wtrace;
+                waited.coalesced = true;
+                waited.queue_us = 0;
+                waited.rungs = Vec::new();
+                waited.total_us = micros(warrived.elapsed());
+                journal_event(waited, Vec::new());
+                wrespond(with_trace(
+                    error_response(wid.as_ref(), ErrorCode::Route, &detail),
+                    wtrace,
                 ));
             }
-            Err(EngineError::Route(detail)) => {
-                let waiters = take_waiters(inflight, job.coalesce_key);
-                stats.errors.add(1 + waiters.len() as u64);
-                log_warn!("route failed: {detail}");
-                for (wid, wtrace, wrespond) in waiters {
-                    wrespond(with_trace(
-                        error_response(wid.as_ref(), ErrorCode::Route, &detail),
-                        wtrace,
-                    ));
-                }
-                (job.respond)(with_trace(
-                    error_response(id.as_ref(), ErrorCode::Route, &detail),
-                    job.trace,
-                ));
-            }
+            with_trace(
+                error_response(id.as_ref(), ErrorCode::Route, &detail),
+                job.trace,
+            )
         }
-    }
+    };
+    (event, job.respond, response)
 }
 
 /// Stamps the request's trace id onto a response object.

@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ntr_core::OracleStats;
-use ntr_obs::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use ntr_obs::metrics::{Counter, Gauge, Histogram, MetricsRegistry, WindowedHistogram};
 
 use crate::json::Json;
 
@@ -32,6 +32,14 @@ const GIT_HASH: Option<&str> = option_env!("NTR_GIT_HASH");
 pub fn build_version() -> &'static str {
     env!("CARGO_PKG_VERSION")
 }
+
+/// Sliding-window shape behind `/statusz`: 12 windows of 5 s — a
+/// 55–60 s view that forgets a load spike within a minute, unlike the
+/// lifetime histogram which never does.
+pub const STATUSZ_WINDOWS: usize = 12;
+
+/// Length of one `/statusz` latency window.
+pub const STATUSZ_WINDOW_LEN: Duration = Duration::from_secs(5);
 
 /// The baked-in git hash, or `"unknown"`.
 #[must_use]
@@ -64,12 +72,18 @@ pub struct ServiceStats {
     /// Jobs currently waiting in the bounded queue (refreshed at
     /// snapshot time from the queue itself).
     pub queue_depth: Arc<Gauge>,
+    /// Jobs a worker has dequeued but not yet answered (incremented at
+    /// dequeue, decremented at response — live, not snapshot-refreshed).
+    pub inflight_requests: Arc<Gauge>,
     /// Entries currently held by the result cache (refreshed at
     /// snapshot time).
     pub cache_entries: Arc<Gauge>,
     /// End-to-end latency of successful non-cached routes (enqueue to
     /// response).
     pub latency: Arc<Histogram>,
+    /// The same latencies over a sliding window (the `/statusz` view;
+    /// not in the registry — Prometheus computes its own windows).
+    pub window_latency: WindowedHistogram,
     /// Spans lost to collector overflow (mirrors the process-global
     /// [`ntr_obs::span::dropped_spans`]; refreshed at scrape time so
     /// trace truncation is visible in `/metrics`).
@@ -129,11 +143,16 @@ impl Default for ServiceStats {
                 "Duplicates attached to an identical in-flight route",
             ),
             queue_depth: registry.gauge("ntr_queue_depth", "Jobs waiting in the bounded queue"),
+            inflight_requests: registry.gauge(
+                "ntr_inflight_requests",
+                "Jobs dequeued by a worker but not yet answered",
+            ),
             cache_entries: registry.gauge("ntr_cache_entries", "Entries in the result cache"),
             latency: registry.histogram(
                 "ntr_request_latency_us",
                 "End-to-end latency of non-cached routes, microseconds",
             ),
+            window_latency: WindowedHistogram::new(STATUSZ_WINDOWS, STATUSZ_WINDOW_LEN),
             spans_dropped: counter(
                 "ntr_spans_dropped_total",
                 "Trace spans lost to collector overflow",
@@ -182,6 +201,7 @@ impl ServiceStats {
     ) {
         self.completed.inc();
         self.latency.record(latency);
+        self.window_latency.record(latency);
         if degraded {
             self.degraded.inc();
         }
@@ -342,10 +362,12 @@ mod tests {
             true,
             1,
         );
+        s.inflight_requests.inc();
         let text = s.prometheus(4, 9, 3);
         check_exposition(&text).unwrap();
         assert!(text.contains("ntr_requests_received_total 5"));
         assert!(text.contains("ntr_queue_depth 4"));
+        assert!(text.contains("ntr_inflight_requests 1"));
         assert!(text.contains("ntr_cache_entries 9"));
         assert!(text.contains("ntr_request_latency_us_count 1"));
         assert!(text.contains("ntr_requests_degraded_total 1"));
@@ -364,6 +386,20 @@ mod tests {
         assert_eq!(s.faults_injected.get(), 7);
         let _ = s.prometheus(0, 0, 4); // stale reading — ignored
         assert_eq!(s.faults_injected.get(), 7);
+    }
+
+    #[test]
+    fn completed_requests_feed_the_sliding_window() {
+        let s = ServiceStats::default();
+        s.record_completed(
+            "ldrg",
+            Duration::from_micros(300),
+            OracleStats::default(),
+            false,
+            0,
+        );
+        assert_eq!(s.window_latency.sliding().count(), 1);
+        assert!(s.window_latency.percentile_micros(50.0) >= 256);
     }
 
     #[test]

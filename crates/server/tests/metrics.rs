@@ -1,6 +1,7 @@
 //! Metrics and tracing integration: the in-process `GET /metrics` HTTP
-//! responder, the `{"op":"metrics"}` protocol op, and trace ids in
-//! responses — each validated with the in-repo exposition checker.
+//! responder (plus its `/statusz` and `/journal` siblings), the
+//! `{"op":"metrics"}` protocol op, and trace ids in responses — each
+//! validated with the in-repo exposition / journal checkers.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -70,11 +71,46 @@ fn http_metrics_scrape_is_valid_exposition() {
     assert!(body.contains("ntr_requests_received_total 1"), "{body}");
     assert!(body.contains("ntr_requests_completed_total 1"), "{body}");
     assert!(body.contains("# TYPE ntr_queue_depth gauge"), "{body}");
+    assert!(
+        body.contains("# TYPE ntr_inflight_requests gauge"),
+        "{body}"
+    );
+    // Nothing is in flight after the response arrived.
+    assert!(body.contains("ntr_inflight_requests 0"), "{body}");
     assert!(body.contains("ntr_request_latency_us_count 1"), "{body}");
 
     // Anything else 404s; only GET is allowed.
     let (head, _) = http_get(addr, "/");
     assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    service.shutdown();
+}
+
+#[test]
+fn statusz_and_journal_are_served_over_http() {
+    let service = Arc::new(Service::start(&ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    }));
+    let (addr, _handle) =
+        spawn_metrics_server("127.0.0.1:0", Arc::clone(&service)).expect("bind port 0");
+    let response = route_once(&service);
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response}");
+
+    let (head, dashboard) = http_get(addr, "/statusz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("text/html"), "{head}");
+    for needle in ["sliding window", "cache hit", "flight recorder"] {
+        assert!(dashboard.contains(needle), "statusz missing {needle:?}");
+    }
+
+    let (head, journal) = http_get(addr, "/journal");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("application/x-ndjson"), "{head}");
+    let counts = ntr_obs::journal::check_journal_lines(&journal).unwrap();
+    // The journal is process-global and other tests in this binary
+    // route too, so only a lower bound is exact here.
+    assert!(counts.requests >= 1, "no request events in {journal}");
 
     service.shutdown();
 }
