@@ -27,6 +27,11 @@
 //!
 //! `--profile FILE` records spans during the run and writes the merged
 //! flamegraph folded stacks (see `ntr_obs::profile`).
+//!
+//! Every measurement runs with the always-on sampling profiler enabled
+//! (`ntr_obs::sampler`, 97 Hz), matching the production configuration —
+//! the regression gate therefore doubles as the proof that continuous
+//! profiling costs less than the gate threshold.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -139,6 +144,11 @@ fn main() -> ExitCode {
         if profile_out.is_some() {
             ntr_obs::span::set_enabled(true);
         }
+        // The continuous-observability contract: every measurement runs
+        // with the sampling profiler on, exactly as production does, so
+        // a gate pass against a baseline is itself the proof that the
+        // always-on overhead stays inside the regression threshold.
+        ntr_obs::sampler::start(ntr_obs::sampler::DEFAULT_HZ);
         let mut results = Vec::new();
         for w in &workloads {
             eprint!("{:<20} ", w.name);

@@ -40,14 +40,17 @@ fn usage() -> ! {
          \x20             [--algorithm ALGO] [--svg FILE] [--deck FILE]\n\
          \x20             [--waveforms FILE] [--trim] [--target NS] [--jobs N]\n\
          \x20             [--trace-out FILE] [--profile-out FILE]\n\
+         \x20             [--sample-profile-out FILE]\n\
          \x20             [--journal-out FILE] [--quiet]\n\
          algorithms: mst steiner ert sert h1 h2 h3 ldrg sldrg ert-ldrg horg\n\
          (--jobs routes a netlist in parallel; algorithms limited to\n\
          \x20 mst h1 h2 h3 ldrg ert ert-ldrg)\n\
          --trace-out enables span tracing and writes a Chrome trace\n\
          (chrome://tracing, perfetto); --profile-out writes flamegraph\n\
-         folded stacks of the same spans; --journal-out writes the\n\
-         flight recorder (LDRG iteration telemetry and, with --jobs,\n\
+         folded stacks of the same spans; --sample-profile-out runs the\n\
+         always-on sampling profiler instead (no span collection) and\n\
+         writes its folded stacks; --journal-out writes the flight\n\
+         recorder (LDRG iteration telemetry and, with --jobs,\n\
          per-request wide events) as JSON-lines; --quiet silences\n\
          NTR_LOG output"
     );
@@ -62,11 +65,20 @@ fn usage() -> ! {
 struct ObsWriter {
     trace: Option<String>,
     profile: Option<String>,
+    sample_profile: Option<String>,
     journal: Option<String>,
 }
 
 impl Drop for ObsWriter {
     fn drop(&mut self) {
+        if let Some(path) = self.sample_profile.take() {
+            ntr_obs::sampler::stop();
+            let samples = ntr_obs::sampler::sample_count();
+            match std::fs::write(&path, ntr_obs::sampler::folded()) {
+                Ok(()) => log_info!("wrote {path} ({samples} samples)"),
+                Err(e) => log_warn!("cannot write {path}: {e}"),
+            }
+        }
         // The flight recorder drains independently of the span
         // collector: journal rings survive whether or not tracing ran.
         if let Some(path) = self.journal.take() {
@@ -275,6 +287,7 @@ fn main() -> ExitCode {
     let mut jobs = 0usize;
     let mut trace_out: Option<String> = None;
     let mut profile_out: Option<String> = None;
+    let mut sample_profile_out: Option<String> = None;
     let mut journal_out: Option<String> = None;
     let mut quiet = false;
 
@@ -306,6 +319,7 @@ fn main() -> ExitCode {
             },
             "--trace-out" => trace_out = args.next().or_else(|| usage()),
             "--profile-out" => profile_out = args.next().or_else(|| usage()),
+            "--sample-profile-out" => sample_profile_out = args.next().or_else(|| usage()),
             "--journal-out" => journal_out = args.next().or_else(|| usage()),
             "--quiet" | "-q" => quiet = true,
             _ => usage(),
@@ -317,9 +331,15 @@ fn main() -> ExitCode {
     if trace_out.is_some() || profile_out.is_some() {
         ntr_obs::span::set_enabled(true);
     }
+    if sample_profile_out.is_some() {
+        // A CLI run is short; sample at ~1 kHz (vs the server's 97 Hz)
+        // so even a single-net route leaves a usable profile.
+        ntr_obs::sampler::start(997);
+    }
     let _obs_writer = ObsWriter {
         trace: trace_out,
         profile: profile_out,
+        sample_profile: sample_profile_out,
         journal: journal_out,
     };
 

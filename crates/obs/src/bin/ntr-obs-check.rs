@@ -1,0 +1,69 @@
+//! `ntr-obs-check`: pipe an observability surface into stdin, name its
+//! format, and get a strict validation verdict — exit 0 with a short
+//! count on success, exit 1 with the first defect on failure.
+//!
+//! ```text
+//! curl -fsS http://127.0.0.1:9184/metrics  | ntr-obs-check exposition
+//! curl -fsS http://127.0.0.1:9184/journal  | ntr-obs-check journal
+//! curl -fsS 'http://127.0.0.1:9184/tsdb?metric=m&res=1' | ntr-obs-check tsdb
+//! curl -fsS http://127.0.0.1:9184/alertz   | ntr-obs-check alerts
+//! curl -fsS http://127.0.0.1:9184/profilez | ntr-obs-check folded
+//! ```
+//!
+//! The checkers are the same in-repo functions the unit tests use
+//! ([`prometheus::check_exposition`], [`journal::check_journal_lines`],
+//! [`tsdb::check_query_json`], [`slo::check_alerts_json`],
+//! [`profile::check_folded`]) — CI validates shapes with the library's
+//! own contract, not a shell regex.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use ntr_obs::{journal, profile, prometheus, slo, tsdb};
+
+const USAGE: &str =
+    "usage: ntr-obs-check <exposition|journal|tsdb|alerts|folded>  (input on stdin)";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(format), None) = (args.next(), args.next()) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("ntr-obs-check: reading stdin failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let verdict = match format.as_str() {
+        "exposition" => prometheus::check_exposition(&input).map(|()| {
+            let families = input.lines().filter(|l| l.starts_with("# TYPE ")).count();
+            format!("ok: {families} metric families")
+        }),
+        "journal" => journal::check_journal_lines(&input).map(|c| {
+            format!(
+                "ok: {} request + {} iteration lines",
+                c.requests, c.iterations
+            )
+        }),
+        "tsdb" => {
+            tsdb::check_query_json(input.trim()).map(|n| format!("ok: {n} points or series names"))
+        }
+        "alerts" => slo::check_alerts_json(input.trim()).map(|n| format!("ok: {n} alerts")),
+        "folded" => profile::check_folded(&input).map(|n| format!("ok: {n} folded stack lines")),
+        other => {
+            eprintln!("ntr-obs-check: unknown format {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match verdict {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(defect) => {
+            eprintln!("ntr-obs-check: {format} input is malformed: {defect}");
+            ExitCode::FAILURE
+        }
+    }
+}

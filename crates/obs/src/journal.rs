@@ -466,6 +466,20 @@ impl Journal {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// Push/drop counters of the request ring — cheap enough for a
+    /// metrics scrape, unlike [`snapshot`](Self::snapshot) which
+    /// clones both rings.
+    #[must_use]
+    pub fn request_ring_stats(&self) -> RingStats {
+        self.requests.stats()
+    }
+
+    /// Push/drop counters of the iteration ring.
+    #[must_use]
+    pub fn iteration_ring_stats(&self) -> RingStats {
+        self.iterations.stats()
+    }
+
     /// Appends one wide event; returns its sequence number (0 when
     /// disabled).
     pub fn record_request(&self, mut event: WideEvent) -> u64 {

@@ -38,6 +38,19 @@
 //!   error/degraded/injected request) and a strict JSON-lines checker.
 //! - [`json`] — the workspace's hand-rolled JSON value/parser/printer
 //!   (rehomed from `ntr-server`, which re-exports it for compatibility).
+//! - [`tsdb`] — an embedded fixed-memory time-series store: periodic
+//!   registry snapshots into multi-resolution stamped rings
+//!   (1 s/10 s/60 s), queryable (`{"op":"query"}`, `GET /tsdb`) and
+//!   rendered as `/statusz` sparklines.
+//! - [`slo`] — declarative latency/availability SLOs evaluated with
+//!   multi-window burn-rate rules (fire iff fast *and* slow windows
+//!   burn hot, clear with hysteresis), edge-counted so chaos tests can
+//!   assert exact fire→clear cycles.
+//! - [`sampler`] — the always-on sampling profiler: a background thread
+//!   reads every live span stack (a seqlock-protected view maintained
+//!   by [`span`]) at a fixed rate and aggregates the paths into the
+//!   [`profile`] machinery (`GET /profilez`, `route
+//!   --sample-profile-out`).
 //!
 //! # Example
 //!
@@ -71,7 +84,10 @@ pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod prometheus;
+pub mod sampler;
+pub mod slo;
 pub mod span;
+pub mod tsdb;
 
 pub use journal::Journal;
 pub use json::Json;

@@ -173,6 +173,29 @@ pub fn folded_stacks(profile: &Profile) -> String {
     out
 }
 
+/// Strict validator for [`folded_stacks`] output — used by tests and
+/// the CI smoke checker. Accepts the empty string (a profiler that has
+/// not sampled yet is not malformed). Returns the number of lines.
+///
+/// # Errors
+/// A description of the first malformed line.
+pub fn check_folded(text: &str) -> Result<usize, String> {
+    for (i, line) in text.lines().enumerate() {
+        let Some((path, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {}: no value separator: {line:?}", i + 1));
+        };
+        if path.is_empty() || path.split(';').any(str::is_empty) {
+            return Err(format!("line {}: empty frame in path {path:?}", i + 1));
+        }
+        match value.parse::<u64>() {
+            Ok(0) => return Err(format!("line {}: zero self time must be omitted", i + 1)),
+            Ok(_) => {}
+            Err(_) => return Err(format!("line {}: unparseable value {value:?}", i + 1)),
+        }
+    }
+    Ok(text.lines().count())
+}
+
 /// The `n` span names with the largest total self time, descending
 /// (ties broken by name for determinism).
 #[must_use]

@@ -28,12 +28,26 @@
 //! span the thread closes while the guard lives is *also* buffered
 //! thread-locally (capped at [`MAX_CAPTURED_SPANS`]), independent of
 //! the global switch. The journal's tail-sampled exemplars are built
-//! from these buffers. Both switches fold into one atomic word
-//! ([`STATE`]: bit 0 = global, upper bits = live capture guards), so
-//! the fully-disabled fast path is still exactly one relaxed load.
+//! from these buffers. All switches fold into one atomic word
+//! ([`STATE`]: bit 0 = global, bit 1 = sampling profiler, upper bits =
+//! live capture guards), so the fully-disabled fast path is still
+//! exactly one relaxed load.
+//!
+//! **The live stack** ([`LiveStack`]) is the third consumer: when
+//! sampling is on ([`set_sampling`]), every thread that opens spans
+//! maintains a fixed-depth stack of the *currently open* span names,
+//! readable lock-free by the sampling profiler's background thread
+//! ([`crate::sampler`]). Each stack slot is a per-slot seqlock over the
+//! `(ptr, len)` pair of a `&'static str`: the owning thread is the only
+//! writer, and a reader that observes an unchanged even sequence number
+//! on both sides of its loads has read a consistent pair — a torn
+//! pointer/length combination is impossible, which is what makes the
+//! `unsafe` reconstruction of the `&'static str` sound.
 
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{
+    fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -44,12 +58,14 @@ pub const MAX_RECORDED_SPANS: usize = 1 << 20;
 /// size; a request past the cap keeps its first spans).
 pub const MAX_CAPTURED_SPANS: usize = 4096;
 
-/// Bit 0: global collection on. Each live [`CaptureGuard`] adds
+/// Bit 0: global collection on. Bit 1: the sampling profiler wants
+/// live stacks maintained. Each live [`CaptureGuard`] adds
 /// [`CAPTURE_UNIT`]. Zero means "nothing to do" — the one-relaxed-load
 /// fast path the overhead benchmark pins down.
 static STATE: AtomicU32 = AtomicU32::new(0);
 const GLOBAL_BIT: u32 = 1;
-const CAPTURE_UNIT: u32 = 2;
+const SAMPLER_BIT: u32 = 2;
+const CAPTURE_UNIT: u32 = 4;
 
 static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
@@ -81,6 +97,196 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+}
+
+/// Depth cap of the lock-free live stack each sampled thread maintains.
+/// Spans opened deeper than this still record normally — they just do
+/// not appear in sampled stacks.
+pub const MAX_LIVE_DEPTH: usize = 64;
+
+/// One slot of a [`LiveStack`]: a single-writer seqlock over the
+/// `(ptr, len)` pair of a `&'static str` span name. The owning thread
+/// bumps `seq` to odd, stores the pair, bumps `seq` to even; a reader
+/// that sees the same even `seq` on both sides of its pair loads has a
+/// consistent name.
+struct LiveSlot {
+    seq: AtomicU32,
+    ptr: AtomicPtr<u8>,
+    len: AtomicUsize,
+}
+
+impl LiveSlot {
+    fn new() -> Self {
+        Self {
+            seq: AtomicU32::new(0),
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+            len: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// The per-thread stack of currently open span names, maintained by
+/// the owning thread on span open/close and read lock-free by the
+/// sampling profiler's background thread (see [`crate::sampler`]).
+///
+/// Never freed: stacks are leaked once per OS thread that ever opened a
+/// span while sampling was on, parked on a free list when the thread
+/// exits, and reused by later threads — bounded by the process's peak
+/// thread count, a few KB each.
+pub struct LiveStack {
+    in_use: AtomicBool,
+    depth: AtomicUsize,
+    slots: [LiveSlot; MAX_LIVE_DEPTH],
+}
+
+impl LiveStack {
+    fn new() -> Self {
+        Self {
+            in_use: AtomicBool::new(false),
+            depth: AtomicUsize::new(0),
+            slots: std::array::from_fn(|_| LiveSlot::new()),
+        }
+    }
+
+    /// Pushes `name` (owning thread only).
+    fn push(&self, name: &'static str) {
+        let d = self.depth.load(Ordering::Relaxed);
+        if d < MAX_LIVE_DEPTH {
+            let slot = &self.slots[d];
+            // Seqlock write: odd seq marks the pair as in flux. The
+            // release fence orders the data stores after the odd store
+            // from a reader's perspective; the final release store
+            // publishes the even seq after the data.
+            let seq = slot.seq.load(Ordering::Relaxed);
+            slot.seq.store(seq.wrapping_add(1), Ordering::Relaxed);
+            fence(Ordering::Release);
+            slot.ptr.store(name.as_ptr().cast_mut(), Ordering::Relaxed);
+            slot.len.store(name.len(), Ordering::Relaxed);
+            slot.seq.store(seq.wrapping_add(2), Ordering::Release);
+        }
+        self.depth.store(d + 1, Ordering::Release);
+    }
+
+    /// Pops the top entry (owning thread only). The slot contents are
+    /// left behind; depth alone bounds what readers see.
+    fn pop(&self) {
+        let d = self.depth.load(Ordering::Relaxed);
+        self.depth.store(d.saturating_sub(1), Ordering::Release);
+    }
+
+    /// Reads the current stack into `out` (any thread). The result is a
+    /// consistent-per-frame snapshot: every name is a real `&'static
+    /// str` from some instrumentation site (the seqlock forbids torn
+    /// `(ptr, len)` pairs), though frames racing a concurrent push/pop
+    /// may mix adjacent instants — acceptable noise for a statistical
+    /// profiler. A frame that stays in flux is skipped, never spun on
+    /// unboundedly.
+    pub fn read_into(&self, out: &mut Vec<&'static str>) {
+        out.clear();
+        let depth = self.depth.load(Ordering::Acquire).min(MAX_LIVE_DEPTH);
+        'frames: for slot in &self.slots[..depth] {
+            for _ in 0..64 {
+                let before = slot.seq.load(Ordering::Acquire);
+                if before % 2 == 1 {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                let ptr = slot.ptr.load(Ordering::Relaxed);
+                let len = slot.len.load(Ordering::Relaxed);
+                fence(Ordering::Acquire);
+                let after = slot.seq.load(Ordering::Relaxed);
+                if before != after {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                if ptr.is_null() {
+                    continue 'frames;
+                }
+                // SAFETY: the seqlock read protocol above guarantees
+                // `(ptr, len)` were stored together by one `push` of a
+                // `&'static str`, whose bytes live for the program's
+                // lifetime — so the slice is valid UTF-8 forever.
+                let name =
+                    unsafe { std::str::from_utf8_unchecked(std::slice::from_raw_parts(ptr, len)) };
+                out.push(name);
+                continue 'frames;
+            }
+            // Frame stayed in flux: give up on it (and deeper frames
+            // would be even noisier — stop here).
+            break;
+        }
+    }
+}
+
+/// Every live stack ever registered (leaked; see [`LiveStack`]).
+static LIVE_REGISTRY: Mutex<Vec<&'static LiveStack>> = Mutex::new(Vec::new());
+
+/// Claims a parked stack or leaks a fresh one.
+fn acquire_live() -> &'static LiveStack {
+    let mut registry = LIVE_REGISTRY.lock().expect("live-stack registry poisoned");
+    for stack in registry.iter() {
+        if !stack.in_use.swap(true, Ordering::Acquire) {
+            stack.depth.store(0, Ordering::Release);
+            return stack;
+        }
+    }
+    let stack: &'static LiveStack = Box::leak(Box::new(LiveStack::new()));
+    stack.in_use.store(true, Ordering::Relaxed);
+    registry.push(stack);
+    stack
+}
+
+/// Owns this thread's claim on a registry stack; parks it on drop so a
+/// dead thread's stale frames never reach the sampler.
+struct LiveHandle(&'static LiveStack);
+
+impl Drop for LiveHandle {
+    fn drop(&mut self) {
+        self.0.depth.store(0, Ordering::Release);
+        self.0.in_use.store(false, Ordering::Release);
+    }
+}
+
+thread_local! {
+    static LIVE: LiveHandle = LiveHandle(acquire_live());
+}
+
+/// Pushes onto this thread's live stack; `false` when the thread is
+/// tearing down (its handle is gone, so there is nothing to pop later).
+fn live_push(name: &'static str) -> bool {
+    LIVE.try_with(|h| h.0.push(name)).is_ok()
+}
+
+fn live_pop() {
+    let _ = LIVE.try_with(|h| h.0.pop());
+}
+
+/// Every registered live stack, for the sampler to read. Parked stacks
+/// (exited threads) report depth 0 and contribute nothing.
+#[must_use]
+pub fn live_stacks() -> Vec<&'static LiveStack> {
+    LIVE_REGISTRY
+        .lock()
+        .expect("live-stack registry poisoned")
+        .clone()
+}
+
+/// Turns live-stack maintenance on or off (process-global). On only
+/// while the sampling profiler runs; [`span()`] keeps its
+/// one-relaxed-load fast path when both this and collection are off.
+pub fn set_sampling(on: bool) {
+    if on {
+        STATE.fetch_or(SAMPLER_BIT, Ordering::Relaxed);
+    } else {
+        STATE.fetch_and(!SAMPLER_BIT, Ordering::Relaxed);
+    }
+}
+
+/// Is live-stack maintenance currently on?
+#[inline]
+#[must_use]
+pub fn sampling() -> bool {
+    STATE.load(Ordering::Relaxed) & SAMPLER_BIT != 0
 }
 
 /// Turns span collection on or off (process-global).
@@ -187,10 +393,21 @@ impl Drop for TraceGuard {
 }
 
 /// An open span; the region ends (and the record is emitted) when this
-/// guard drops. A `None` payload means tracing was disabled at open.
+/// guard drops. An inert payload means tracing was disabled at open.
 #[must_use = "a span measures the region until the guard drops"]
 #[derive(Debug)]
-pub struct Span(Option<LiveSpan>);
+pub struct Span(SpanInner);
+
+#[derive(Debug)]
+enum SpanInner {
+    /// Nothing to do at close.
+    Inert,
+    /// Only the sampler's live stack holds this span: pop it at close,
+    /// no clock read, no record.
+    SampledOnly,
+    /// A timed span headed for the collector and/or a capture buffer.
+    Recorded { live: LiveSpan, sampled: bool },
+}
 
 #[derive(Debug)]
 struct LiveSpan {
@@ -202,15 +419,17 @@ struct LiveSpan {
     global: bool,
 }
 
-/// Opens a span named `name`. When tracing is disabled and no capture
-/// guard is live anywhere, this is one relaxed atomic load and returns
-/// an inert guard.
+/// Opens a span named `name`. When tracing, sampling, and capture are
+/// all off, this is one relaxed atomic load and returns an inert guard.
+/// With only sampling on, the span costs a live-stack push/pop (a few
+/// uncontended atomic stores) — no clock read, no allocation.
 #[inline]
 pub fn span(name: &'static str) -> Span {
     let state = STATE.load(Ordering::Relaxed);
     if state == 0 {
-        return Span(None);
+        return Span(SpanInner::Inert);
     }
+    let sampled = state & SAMPLER_BIT != 0 && live_push(name);
     let global = state & GLOBAL_BIT != 0;
     // A capture guard on *some* thread forces this (cheap) thread-local
     // check; only the capturing thread pays for the record itself.
@@ -221,7 +440,11 @@ pub fn span(name: &'static str) -> Span {
                 .is_some_and(|buf| buf.len() < MAX_CAPTURED_SPANS)
         });
     if !global && !capturing {
-        return Span(None);
+        return Span(if sampled {
+            SpanInner::SampledOnly
+        } else {
+            SpanInner::Inert
+        });
     }
     let epoch = *EPOCH.get_or_init(Instant::now);
     let start = Instant::now();
@@ -231,18 +454,31 @@ pub fn span(name: &'static str) -> Span {
         d.set(v.saturating_add(1));
         v
     });
-    Span(Some(LiveSpan {
-        name,
-        start,
-        start_ns,
-        depth,
-        global,
-    }))
+    Span(SpanInner::Recorded {
+        live: LiveSpan {
+            name,
+            start,
+            start_ns,
+            depth,
+            global,
+        },
+        sampled,
+    })
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(live) = self.0.take() else { return };
+        let (live, sampled) = match std::mem::replace(&mut self.0, SpanInner::Inert) {
+            SpanInner::Inert => return,
+            SpanInner::SampledOnly => {
+                live_pop();
+                return;
+            }
+            SpanInner::Recorded { live, sampled } => (live, sampled),
+        };
+        if sampled {
+            live_pop();
+        }
         let dur_ns = u64::try_from(live.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let record = SpanRecord {
@@ -397,6 +633,102 @@ mod tests {
         .join()
         .unwrap();
         assert!(cap.finish().is_empty());
+    }
+
+    #[test]
+    fn live_stack_tracks_open_spans_without_collection() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        set_sampling(true);
+        let mut read = Vec::new();
+        let mine = LIVE.with(|h| h.0 as *const LiveStack);
+        let my_stack = || {
+            live_stacks()
+                .into_iter()
+                .find(|s| std::ptr::eq(*s, mine))
+                .expect("this thread's stack is registered")
+        };
+        {
+            let _outer = span("live.outer");
+            {
+                let _inner = span("live.inner");
+                my_stack().read_into(&mut read);
+                assert_eq!(read, vec!["live.outer", "live.inner"]);
+            }
+            my_stack().read_into(&mut read);
+            assert_eq!(read, vec!["live.outer"]);
+        }
+        my_stack().read_into(&mut read);
+        assert!(read.is_empty());
+        set_sampling(false);
+        // With sampling off again the fast path is restored and the
+        // stack stays untouched.
+        {
+            let _s = span("live.after");
+            my_stack().read_into(&mut read);
+            assert!(read.is_empty());
+        }
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn live_stack_and_collection_compose() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        set_sampling(true);
+        let _drain = take_spans();
+        {
+            let _s = span("both.worlds");
+            let mut read = Vec::new();
+            let mine = LIVE.with(|h| h.0 as *const LiveStack);
+            live_stacks()
+                .into_iter()
+                .find(|s| std::ptr::eq(*s, mine))
+                .unwrap()
+                .read_into(&mut read);
+            assert_eq!(read, vec!["both.worlds"]);
+        }
+        set_sampling(false);
+        set_enabled(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "both.worlds");
+    }
+
+    #[test]
+    fn exited_threads_park_their_live_stack() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_sampling(true);
+        std::thread::spawn(|| {
+            let _s = span("dying.thread");
+        })
+        .join()
+        .unwrap();
+        set_sampling(false);
+        // Every registered stack that is not claimed reports depth 0.
+        let mut read = Vec::new();
+        for stack in live_stacks() {
+            if !stack.in_use.load(Ordering::Acquire) {
+                stack.read_into(&mut read);
+                assert!(read.is_empty(), "parked stack still shows {read:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn live_stack_depth_overflow_is_clamped() {
+        let stack = LiveStack::new();
+        for _ in 0..(MAX_LIVE_DEPTH + 8) {
+            stack.push("deep");
+        }
+        let mut read = Vec::new();
+        stack.read_into(&mut read);
+        assert_eq!(read.len(), MAX_LIVE_DEPTH);
+        for _ in 0..(MAX_LIVE_DEPTH + 8) {
+            stack.pop();
+        }
+        stack.read_into(&mut read);
+        assert!(read.is_empty());
     }
 
     #[test]

@@ -3,10 +3,20 @@
 //! sliding-window ring built on it: rotation keeps percentiles
 //! monotone, the live merge equals the concatenated live samples, and
 //! expired windows stop influencing the answer.
+//!
+//! Plus the continuous-observability stores built on the same
+//! stamped-slot idiom: TSDB rollups must equal the aggregate of the
+//! raw ring over the same span (with expiry excluding stale laps and
+//! empty buckets absent, not zero), and the SLO engine's burn-rate
+//! alerting must track a from-scratch reference model exactly — fire
+//! iff both windows exceed the threshold, clear with hysteresis.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use ntr_obs::metrics::{Histogram, WindowedHistogram, HISTOGRAM_BUCKETS};
+use ntr_obs::slo::{BurnRule, SloEngine, SloKind, SloSpec};
+use ntr_obs::tsdb::{Resolution, Tsdb};
 use proptest::prelude::*;
 
 /// A histogram loaded with the given samples.
@@ -186,5 +196,192 @@ proptest! {
             live.percentile_micros(99.0) <= sub_ms_cap,
             "expired samples leaked into p99"
         );
+    }
+}
+
+/// A two-tier store where both rings comfortably retain the whole
+/// 0..500 s test horizon, so rollup comparisons never race expiry
+/// (expiry gets its own dedicated property below).
+fn two_tier(coarse_period: u64) -> Tsdb {
+    Tsdb::new(&[
+        Resolution {
+            period_secs: 1,
+            slots: 512,
+        },
+        Resolution {
+            period_secs: coarse_period,
+            slots: 512,
+        },
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The downsampled series is the aggregate of the raw ring over
+    /// each coarse bucket's span: counts and sums add up, min/max are
+    /// the extremes of the raw extremes, and `last` is the raw `last`
+    /// of the latest raw bucket. No separately-scheduled compaction,
+    /// so nothing to drift.
+    #[test]
+    fn tsdb_rollups_aggregate_the_raw_ring(
+        coarse_period in 2u64..20,
+        samples in proptest::collection::vec((0u64..500, 0u64..2000), 1..150),
+    ) {
+        let db = two_tier(coarse_period);
+        // A monotone time stream, like the snapshotter produces.
+        // Values span negative and positive (gauges go both ways).
+        let mut samples: Vec<(u64, f64)> = samples
+            .into_iter()
+            .map(|(t, v)| (t, v as f64 - 1000.0))
+            .collect();
+        samples.sort_by(|a, b| a.0.cmp(&b.0));
+        let now = samples.last().expect("nonempty").0;
+        for &(t, v) in &samples {
+            db.record_at("m", t, v);
+        }
+        let raw = db.query_at("m", 1, now).expect("raw series");
+        let coarse = db.query_at("m", coarse_period, now).expect("coarse series");
+        for c in &coarse {
+            let span: Vec<_> = raw
+                .iter()
+                .filter(|p| p.t_secs >= c.t_secs && p.t_secs < c.t_secs + coarse_period)
+                .collect();
+            prop_assert!(!span.is_empty(), "coarse bucket at {} with no raw points", c.t_secs);
+            prop_assert_eq!(c.count, span.iter().map(|p| p.count).sum::<u64>());
+            let sum: f64 = span.iter().map(|p| p.sum).sum();
+            prop_assert!((c.sum - sum).abs() < 1e-6, "sum {} != {}", c.sum, sum);
+            let min = span.iter().map(|p| p.min).fold(f64::INFINITY, f64::min);
+            let max = span.iter().map(|p| p.max).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(c.min, min);
+            prop_assert_eq!(c.max, max);
+            prop_assert_eq!(c.last, span.last().expect("nonempty span").last);
+        }
+        // And the other direction: every raw point is covered by
+        // exactly one coarse bucket.
+        let raw_count: u64 = raw.iter().map(|p| p.count).sum();
+        let coarse_count: u64 = coarse.iter().map(|p| p.count).sum();
+        prop_assert_eq!(raw_count, coarse_count);
+    }
+
+    /// Ring expiry: once the clock laps the raw ring, old samples are
+    /// excluded from the answer — and a stale slot can never shadow a
+    /// fresh one.
+    #[test]
+    fn tsdb_expiry_excludes_stale_points(
+        slots in 4usize..40,
+        old_ts in proptest::collection::vec(0u64..50, 1..20),
+        gap in 0u64..30,
+    ) {
+        let db = Tsdb::new(&[Resolution { period_secs: 1, slots }]);
+        for &t in &old_ts {
+            db.record_at("m", t, 1.0);
+        }
+        let oldest_live = old_ts.iter().max().expect("nonempty") + gap + slots as u64;
+        let fresh_t = oldest_live + 1;
+        db.record_at("m", fresh_t, 2.0);
+        let points = db.query_at("m", 1, fresh_t).expect("series");
+        prop_assert_eq!(points.len(), 1, "stale laps leaked: {:?}", points);
+        prop_assert_eq!(points[0].t_secs, fresh_t);
+    }
+
+    /// Buckets nothing was recorded into are absent from the answer —
+    /// not zero-filled — and the present ones are exactly the distinct
+    /// recorded seconds, in order.
+    #[test]
+    fn tsdb_empty_windows_are_absent(
+        raw_ts in proptest::collection::vec(0u64..200, 1..40),
+    ) {
+        let ts: std::collections::BTreeSet<u64> = raw_ts.into_iter().collect();
+        let db = Tsdb::new(&[Resolution { period_secs: 1, slots: 256 }]);
+        for &t in &ts {
+            db.record_at("m", t, t as f64);
+        }
+        let now = *ts.iter().max().expect("nonempty");
+        let points = db.query_at("m", 1, now).expect("series");
+        let expected: Vec<u64> = ts.iter().copied().collect();
+        prop_assert_eq!(
+            points.iter().map(|p| p.t_secs).collect::<Vec<_>>(),
+            expected
+        );
+        prop_assert!(points.iter().all(|p| p.count >= 1));
+    }
+
+    /// The burn-rate alert tracks a from-scratch reference model
+    /// exactly, at every second of an arbitrary good/bad traffic
+    /// shape: it fires iff *both* windows reach the fire threshold,
+    /// holds while either window still burns past the clear
+    /// threshold (hysteresis), and edge-counts every transition.
+    #[test]
+    fn burn_rate_alerts_match_the_reference_model(
+        fast in 1u64..5,
+        slow_extra in 0u64..15,
+        objective_tenths in 900u64..999,
+        seconds in proptest::collection::vec((0u8..20, 0u8..20), 1..80),
+    ) {
+        let fast_secs = fast;
+        let slow_secs = fast + slow_extra;
+        let window_secs = slow_secs.max(30);
+        let objective_pct = objective_tenths as f64 / 10.0;
+        let spec = SloSpec {
+            name: "prop".to_owned(),
+            kind: SloKind::Availability,
+            objective_pct,
+            window_secs,
+            fast_secs,
+            slow_secs,
+        };
+        let rule = BurnRule::default();
+        let engine = SloEngine::new(vec![spec], rule);
+
+        let mut history: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        let mut model_firing = false;
+        let (mut model_fired, mut model_cleared) = (0u64, 0u64);
+        let budget = 1.0 - objective_pct / 100.0;
+        for (t, &(good, bad)) in seconds.iter().enumerate() {
+            let t = t as u64;
+            for _ in 0..good {
+                engine.record_at(t, true, 0);
+            }
+            for _ in 0..bad {
+                engine.record_at(t, false, 0);
+            }
+            let entry = history.entry(t).or_insert((0, 0));
+            entry.0 += u64::from(good);
+            entry.1 += u64::from(good) + u64::from(bad);
+
+            let burn_over = |w: u64| {
+                let from = (t + 1).saturating_sub(w);
+                let (mut g, mut n) = (0u64, 0u64);
+                for (_, &(wg, wn)) in history.range(from..=t) {
+                    g += wg;
+                    n += wn;
+                }
+                if n == 0 {
+                    0.0
+                } else {
+                    ((n - g) as f64 / n as f64) / budget
+                }
+            };
+            let (fast_burn, slow_burn) = (burn_over(fast_secs), burn_over(slow_secs));
+            if !model_firing && fast_burn >= rule.fire && slow_burn >= rule.fire {
+                model_firing = true;
+                model_fired += 1;
+            } else if model_firing && fast_burn < rule.clear && slow_burn < rule.clear {
+                model_firing = false;
+                model_cleared += 1;
+            }
+
+            engine.evaluate_at(t);
+            let snap = &engine.snapshot_at(t)[0];
+            prop_assert_eq!(
+                snap.firing, model_firing,
+                "firing diverged at t={} (fast {:.2} slow {:.2})", t, fast_burn, slow_burn
+            );
+            prop_assert_eq!(snap.fired_total, model_fired);
+            prop_assert_eq!(snap.cleared_total, model_cleared);
+            prop_assert!((snap.fast_burn - fast_burn).abs() < 1e-9);
+            prop_assert!((snap.slow_burn - slow_burn).abs() < 1e-9);
+        }
     }
 }

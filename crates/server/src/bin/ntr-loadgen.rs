@@ -21,6 +21,10 @@
 //! failures (every request answers `ok`), every response degraded below
 //! transient fidelity, and the degradation/retry counters present in the
 //! Prometheus exposition. `--chaos --smoke` is the small-N CI variant.
+//! A second act drives a deterministic SLO alert cycle against a fresh
+//! server: hard failures under the fault plan must make the
+//! availability burn-rate alert fire exactly once, and retiring the
+//! plan must clear it exactly once.
 //!
 //! `--baseline FILE` points at a previously written
 //! `results/serve_throughput.json`; each phase's latency percentiles are
@@ -37,7 +41,7 @@ use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ntr_geom::Layout;
@@ -196,6 +200,7 @@ fn spawn_server(
     workers: usize,
     queue: usize,
     faults: Option<&str>,
+    slos: Option<&str>,
 ) -> std::io::Result<Child> {
     let mut command = Command::new(serve_bin);
     command
@@ -206,13 +211,17 @@ fn spawn_server(
             "--queue",
             &queue.to_string(),
         ])
-        // Never inherit a fault plan from the invoking shell.
+        // Never inherit a fault plan or SLO list from the invoking shell.
         .env_remove("NTR_FAULTS")
+        .env_remove("NTR_SLOS")
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit());
     if let Some(plan) = faults {
         command.env("NTR_FAULTS", plan);
+    }
+    if let Some(list) = slos {
+        command.env("NTR_SLOS", list);
     }
     command.spawn()
 }
@@ -228,8 +237,8 @@ fn run_against_server(
     rate: Option<f64>,
     faults: Option<&str>,
 ) -> Result<RunResult, String> {
-    let mut child =
-        spawn_server(serve_bin, workers, QUEUE_DEPTH, faults).map_err(|e| format!("spawn: {e}"))?;
+    let mut child = spawn_server(serve_bin, workers, QUEUE_DEPTH, faults, None)
+        .map_err(|e| format!("spawn: {e}"))?;
     let mut stdin = child.stdin.take().expect("stdin piped");
     let stdout = child.stdout.take().expect("stdout piped");
 
@@ -644,6 +653,12 @@ fn chaos(serve_bin: &PathBuf, seed: u64, smoke_variant: bool) -> i32 {
             }
         }
     }
+    // Second act: the burn-rate alert cycle — the availability SLO must
+    // fire under the fault plan and clear after it is retired, each
+    // exactly once.
+    if chaos_alert_cycle(serve_bin, seed) != 0 {
+        failures.push("the SLO alert-cycle gate failed".to_owned());
+    }
     if failures.is_empty() {
         println!("{label} OK: all {} requests degraded gracefully", r.ok);
         0
@@ -653,6 +668,210 @@ fn chaos(serve_bin: &PathBuf, seed: u64, smoke_variant: bool) -> i32 {
         }
         1
     }
+}
+
+/// The SLO driven by the alert-cycle gate: a 99% availability objective
+/// over a 60 s window with 2 s fast / 8 s slow burn windows, so the
+/// whole fire-and-clear cycle completes in seconds rather than hours.
+const ALERT_SLO: &str = "chaos-gate=availability:99:60s:2s:8s";
+const ALERT_SLO_NAME: &str = "chaos-gate";
+
+/// Pulls the gate's alert out of an `{"op":"alerts"}` response.
+fn find_alert<'a>(doc: &'a Json, name: &str) -> Option<&'a Json> {
+    doc.get("alerts")?
+        .as_arr()?
+        .iter()
+        .find(|a| a.get("name").and_then(Json::as_str) == Some(name))
+}
+
+/// Receives parsed response lines until `pred` accepts one, discarding
+/// the rest. `None` on timeout or a closed pipe.
+fn await_doc(
+    rx: &mpsc::Receiver<Json>,
+    mut pred: impl FnMut(&Json) -> bool,
+    timeout: Duration,
+) -> Option<Json> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return None;
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok(doc) if pred(&doc) => return Some(doc),
+            Ok(_) => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+/// The burn-rate alert-cycle gate: under a 100% transient-fault plan,
+/// zero-retry no-degradation requests fail hard and burn the
+/// availability error budget, so the SLO's multi-window alert must
+/// *fire*; retiring the fault plan and sending healthy traffic must
+/// *clear* it. The transition counters are asserted exactly — one fire,
+/// one clear — because the error phase is a single contiguous burst.
+fn chaos_alert_cycle(serve_bin: &PathBuf, seed: u64) -> i32 {
+    let label = "chaos-alerts";
+    let fail = |why: &str| {
+        eprintln!("{label} FAILED: {why}");
+        1
+    };
+    let mut child = match spawn_server(serve_bin, 2, QUEUE_DEPTH, Some(CHAOS_PLAN), Some(ALERT_SLO))
+    {
+        Ok(child) => child,
+        Err(e) => return fail(&format!("spawn: {e}")),
+    };
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let (tx, rx) = mpsc::channel::<Json>();
+    let reader = std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if let Ok(doc) = Json::parse(&line) {
+                if tx.send(doc).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+
+    let mut gen = ntr_geom::NetGenerator::new(Layout::date94(), seed);
+    let mut next_id = 0u64;
+    let mut pins_line = move || {
+        let net = gen.random_net(6).expect("layout admits nets of this size");
+        Json::Arr(
+            net.pins()
+                .iter()
+                .map(|p| Json::Arr(vec![Json::Num(p.x), Json::Num(p.y)]))
+                .collect(),
+        )
+        .to_line()
+    };
+    let response_timeout = Duration::from_secs(20);
+
+    // Phase 1 — burn the error budget. Every request asks for the
+    // transient-fast rung the plan fails 100% of the time, with retries
+    // and degradation off, so each one is a hard `route_error`.
+    let phase_deadline = Instant::now() + Duration::from_secs(30);
+    let mut snapshot: Option<Json> = None;
+    while Instant::now() < phase_deadline {
+        for _ in 0..4 {
+            let id = next_id;
+            next_id += 1;
+            let pins = pins_line();
+            if writeln!(
+                stdin,
+                r#"{{"op":"route","id":{id},"algorithm":"ldrg","params":{{"oracle":"transient-fast","cache":false}},"budget":{{"retries":0,"degrade":false}},"pins":{pins}}}"#
+            )
+            .is_err()
+            {
+                return fail("server stdin closed during the burn phase");
+            }
+            if await_doc(&rx, |d| d.get("id").is_some(), response_timeout).is_none() {
+                return fail("no response to a burn-phase request");
+            }
+        }
+        let _ = writeln!(stdin, r#"{{"op":"alerts"}}"#);
+        let Some(doc) = await_doc(
+            &rx,
+            |d| d.get("op").and_then(Json::as_str) == Some("alerts"),
+            response_timeout,
+        ) else {
+            return fail("no alerts response during the burn phase");
+        };
+        let firing = find_alert(&doc, ALERT_SLO_NAME)
+            .is_some_and(|a| a.get("firing").and_then(Json::as_bool) == Some(true));
+        if firing {
+            snapshot = Some(doc);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    let Some(doc) = snapshot else {
+        return fail("the availability alert never fired under a 100% fault plan");
+    };
+    let counter = |doc: &Json, key: &str| {
+        find_alert(doc, ALERT_SLO_NAME)
+            .and_then(|a| a.get(key).and_then(Json::as_f64))
+            .unwrap_or(-1.0) as i64
+    };
+    println!(
+        "{label}: alert fired (fast {:.1}x) after {} hard failures",
+        find_alert(&doc, ALERT_SLO_NAME)
+            .and_then(|a| a.get("fast_burn").and_then(Json::as_f64))
+            .unwrap_or(0.0),
+        next_id
+    );
+
+    // Phase 2 — retire the fault plan, then keep healthy traffic
+    // flowing until the bad seconds age out of the slow window and the
+    // alert clears.
+    let _ = writeln!(stdin, r#"{{"op":"faults","plan":""}}"#);
+    if await_doc(
+        &rx,
+        |d| d.get("op").and_then(Json::as_str) == Some("faults"),
+        response_timeout,
+    )
+    .is_none()
+    {
+        return fail("no response to retiring the fault plan");
+    }
+    let phase_deadline = Instant::now() + Duration::from_secs(30);
+    let mut cleared: Option<Json> = None;
+    while Instant::now() < phase_deadline {
+        for _ in 0..2 {
+            let id = next_id;
+            next_id += 1;
+            let pins = pins_line();
+            if writeln!(
+                stdin,
+                r#"{{"op":"route","id":{id},"algorithm":"ldrg","params":{{"oracle":"moment","cache":false}},"pins":{pins}}}"#
+            )
+            .is_err()
+            {
+                return fail("server stdin closed during the recovery phase");
+            }
+            if await_doc(&rx, |d| d.get("id").is_some(), response_timeout).is_none() {
+                return fail("no response to a recovery-phase request");
+            }
+        }
+        let _ = writeln!(stdin, r#"{{"op":"alerts"}}"#);
+        let Some(doc) = await_doc(
+            &rx,
+            |d| d.get("op").and_then(Json::as_str) == Some("alerts"),
+            response_timeout,
+        ) else {
+            return fail("no alerts response during the recovery phase");
+        };
+        let done = find_alert(&doc, ALERT_SLO_NAME).is_some_and(|a| {
+            a.get("firing").and_then(Json::as_bool) == Some(false)
+                && a.get("cleared_total").and_then(Json::as_f64) == Some(1.0)
+        });
+        if done {
+            cleared = Some(doc);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    let _ = writeln!(stdin, r#"{{"op":"shutdown"}}"#);
+    drop(stdin);
+    let _ = reader.join();
+    let _ = child.wait();
+
+    let Some(doc) = cleared else {
+        return fail("the alert never cleared after the fault plan was retired");
+    };
+    // Exactly one transition each way: the burst fired it once, the
+    // recovery cleared it once, and nothing flapped in between.
+    let (fired, cleared) = (counter(&doc, "fired_total"), counter(&doc, "cleared_total"));
+    if (fired, cleared) != (1, 1) {
+        return fail(&format!(
+            "expected exactly one fire and one clear, got fired_total={fired} cleared_total={cleared}"
+        ));
+    }
+    println!("{label} OK: alert fired once and cleared once");
+    0
 }
 
 /// Client-side latency percentiles of one bench phase, as recorded in

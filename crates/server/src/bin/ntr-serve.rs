@@ -22,11 +22,17 @@ fn usage() -> ! {
          \x20              [--workers N]          worker threads (default: one per core)\n\
          \x20              [--queue N]            pending-request capacity (default 64)\n\
          \x20              [--cache N]            result-cache entries (default 1024, 0 disables)\n\
-         \x20              [--metrics-addr A:P]   serve GET /metrics, /statusz, /journal here\n\
+         \x20              [--metrics-addr A:P]   serve GET /metrics, /statusz, /journal,\n\
+         \x20                                     /tsdb, /alertz, /profilez here\n\
          \x20              [--journal-out FILE]   dump the flight recorder (JSON-lines) at\n\
          \x20                                     drain or panic (post-mortem)\n\
+         \x20              [--sampler-hz N]       sampling-profiler rate (default 97, 0 off)\n\
+         \x20              [--slo SPEC]           add an SLO (repeatable), e.g.\n\
+         \x20                                     'latency:99:50ms:1h' or 'availability:99.9:1h'\n\
          \n\
          Logging is controlled by NTR_LOG (off|error|warn|info|debug|trace, default info).\n\
+         NTR_SLOS is a ';'-separated SLO list used when no --slo flag is given\n\
+         (set it empty to disable the built-in defaults).\n\
          NTR_FAULTS installs a fault-injection plan at startup, e.g.\n\
          NTR_FAULTS='seed=1994;fail=transient:0.5;slow=moment:0.1:5;stall=0.05:2'."
     );
@@ -49,6 +55,8 @@ fn main() -> ExitCode {
     let mut listen: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
     let mut journal_out: Option<String> = None;
+    let mut sampler_hz = ntr_obs::sampler::DEFAULT_HZ;
+    let mut slo_flags: Vec<String> = Vec::new();
     let mut config = ServiceConfig::default();
 
     let mut args = std::env::args().skip(1);
@@ -58,6 +66,11 @@ fn main() -> ExitCode {
             "--listen" => listen = args.next().or_else(|| usage()),
             "--metrics-addr" => metrics_addr = args.next().or_else(|| usage()),
             "--journal-out" => journal_out = args.next().or_else(|| usage()),
+            "--sampler-hz" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(hz) => sampler_hz = hz,
+                None => usage(),
+            },
+            "--slo" => slo_flags.push(args.next().unwrap_or_else(|| usage())),
             "--workers" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.workers = n,
                 None => usage(),
@@ -71,6 +84,30 @@ fn main() -> ExitCode {
                 None => usage(),
             },
             _ => usage(),
+        }
+    }
+
+    // SLOs: --slo flags replace the defaults; otherwise NTR_SLOS does
+    // (an empty NTR_SLOS disables SLOs entirely); otherwise the
+    // built-in defaults stand.
+    if !slo_flags.is_empty() {
+        config.slos.clear();
+        for spec in &slo_flags {
+            match ntr_obs::slo::SloSpec::parse(spec) {
+                Ok(s) => config.slos.push(s),
+                Err(reason) => {
+                    log_error!("bad --slo {spec:?}: {reason}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    } else if let Ok(list) = std::env::var("NTR_SLOS") {
+        match ntr_obs::slo::SloSpec::parse_list(&list) {
+            Ok(specs) => config.slos = specs,
+            Err(reason) => {
+                log_error!("bad NTR_SLOS: {reason}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 
@@ -97,6 +134,10 @@ fn main() -> ExitCode {
             dump_journal(&path);
             default_hook(info);
         }));
+    }
+
+    if sampler_hz > 0 && ntr_obs::sampler::start(sampler_hz) {
+        log_info!("sampling profiler on at {sampler_hz} Hz");
     }
 
     let service = Arc::new(Service::start(&config));

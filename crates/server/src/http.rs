@@ -4,7 +4,10 @@
 //! that; this module serves exactly the read-only observability
 //! surface — `GET /metrics` (Prometheus text exposition), `GET
 //! /statusz` (the live HTML dashboard), `GET /journal` (the flight
-//! recorder as JSON-lines), everything else 404 — with
+//! recorder as JSON-lines), `GET /tsdb?metric=NAME&res=SECS` (the
+//! embedded time-series store), `GET /alertz` (burn-rate SLO alert
+//! state) and `GET /profilez` (the sampling profiler as folded
+//! stacks), everything else 404 — with
 //! connection-per-request simplicity (`Connection: close`, no
 //! keep-alive, no chunking). It is deliberately not a web framework:
 //! one request line is read, headers are skipped, one response is
@@ -28,6 +31,22 @@ pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8
 
 /// The content type of the `GET /journal` JSON-lines dump.
 pub const JOURNAL_CONTENT_TYPE: &str = "application/x-ndjson; charset=utf-8";
+
+/// The content type of `GET /tsdb` and `GET /alertz` JSON bodies.
+pub const JSON_CONTENT_TYPE: &str = "application/json; charset=utf-8";
+
+/// The content type of the `GET /profilez` folded-stack dump.
+pub const FOLDED_CONTENT_TYPE: &str = "text/plain; charset=utf-8";
+
+/// Pulls one `key=value` pair out of a raw query string. Values are
+/// taken verbatim — the observability surface never needs
+/// percent-decoding (metric names are `[a-z_]`).
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
 
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
     // A failed write means the scraper went away; nothing useful to do.
@@ -53,6 +72,7 @@ fn handle_connection(mut stream: TcpStream, service: &Service) {
     // remaining headers are irrelevant for a scrape and left unread.
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let query = path.split_once('?').map_or("", |(_, q)| q);
     match (method, path.split('?').next().unwrap_or("")) {
         ("GET", "/metrics") => {
             log_debug!("serving /metrics scrape");
@@ -81,11 +101,42 @@ fn handle_connection(mut stream: TcpStream, service: &Service) {
                 &ntr_obs::Journal::global().snapshot().to_json_lines(),
             );
         }
+        ("GET", "/tsdb") => {
+            log_debug!("serving /tsdb query");
+            let metric = query_param(query, "metric").filter(|m| !m.is_empty());
+            let res_secs = query_param(query, "res")
+                .and_then(|r| r.parse::<u64>().ok())
+                .unwrap_or(1);
+            respond(
+                &mut stream,
+                "200 OK",
+                JSON_CONTENT_TYPE,
+                &format!("{}\n", service.query_json(metric, res_secs)),
+            );
+        }
+        ("GET", "/alertz") => {
+            log_debug!("serving /alertz snapshot");
+            respond(
+                &mut stream,
+                "200 OK",
+                JSON_CONTENT_TYPE,
+                &format!("{}\n", service.alerts_json()),
+            );
+        }
+        ("GET", "/profilez") => {
+            log_debug!("serving /profilez folded stacks");
+            respond(
+                &mut stream,
+                "200 OK",
+                FOLDED_CONTENT_TYPE,
+                &ntr_obs::sampler::folded(),
+            );
+        }
         ("GET", _) => respond(
             &mut stream,
             "404 Not Found",
             "text/plain",
-            "only /metrics, /statusz and /journal are served here\n",
+            "only /metrics, /statusz, /journal, /tsdb, /alertz and /profilez are served here\n",
         ),
         _ => respond(
             &mut stream,
@@ -96,8 +147,9 @@ fn handle_connection(mut stream: TcpStream, service: &Service) {
     }
 }
 
-/// Binds `addr` and serves `GET /metrics`, `GET /statusz`, and
-/// `GET /journal` on a background thread for the life of the process.
+/// Binds `addr` and serves the read-only observability surface
+/// (`/metrics`, `/statusz`, `/journal`, `/tsdb`, `/alertz`,
+/// `/profilez`) on a background thread for the life of the process.
 /// Returns the actually-bound address (bind to port 0 to let the OS
 /// pick) and the acceptor's join handle.
 ///

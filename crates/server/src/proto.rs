@@ -1,6 +1,6 @@
 //! The JSON-lines request/response protocol.
 //!
-//! One JSON object per line in both directions. Six operations:
+//! One JSON object per line in both directions. The operations:
 //!
 //! | request | response |
 //! |---|---|
@@ -8,9 +8,20 @@
 //! | `{"op":"stats"}` | `{"ok":true,"op":"stats",...}` |
 //! | `{"op":"metrics"}` | `{"ok":true,"op":"metrics","body":"<Prometheus exposition>"}` |
 //! | `{"op":"profile","top":5,"enable":true}` | `{"ok":true,"op":"profile","top":[...]}` |
+//! | `{"op":"profile","source":"sampler"}` | `{"ok":true,"op":"profile","top":[...],"samples":N}` |
+//! | `{"op":"query","metric":"ntr_requests_completed_total","res":1}` | `{"ok":true,"op":"query","points":[...]}` |
+//! | `{"op":"alerts"}` | `{"ok":true,"op":"alerts","firing":N,"alerts":[...]}` |
 //! | `{"op":"faults","plan":"fail=transient:0.5"}` | `{"ok":true,"op":"faults","plan":...,"injected":N}` |
 //! | `{"op":"journal"}` | `{"ok":true,"op":"journal","request_events":[...],...}` |
 //! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}` then drain & exit |
+//!
+//! `query` reads the embedded TSDB (see [`ntr_obs::tsdb`]): without
+//! `"metric"` it lists the stored series; with one it returns the
+//! retained points at resolution `res` seconds (default 1). `alerts`
+//! snapshots the SLO burn-rate engine (see [`ntr_obs::slo`]) with
+//! per-alert burn rates and edge-counted fire/clear totals. `profile`
+//! with `"source":"sampler"` reads the always-on sampling profiler
+//! instead of draining recorded spans.
 //!
 //! # Route request layouts: v2 and v1
 //!
@@ -171,6 +182,17 @@ pub struct RouteRequest {
     pub candidates: CandidateGen,
 }
 
+/// Where a `profile` answer draws its data from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileSource {
+    /// Drain the spans recorded since the last call (requires span
+    /// recording to have been enabled).
+    #[default]
+    Spans,
+    /// Read the always-on sampling profiler's aggregate.
+    Sampler,
+}
+
 /// Any request the protocol accepts.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -180,14 +202,26 @@ pub enum Request {
     Stats,
     /// Prometheus text exposition of the service's metrics registry.
     Metrics,
-    /// Span-based profile attribution: drain recorded spans, answer
-    /// with the top-N self-time entries.
+    /// Profile attribution: top-N self-time entries from recorded
+    /// spans or the sampling profiler.
     Profile {
         /// How many entries to return (default 10).
         top: usize,
-        /// When present, switch span recording on/off before profiling.
+        /// When present, switch span recording on/off before profiling
+        /// (span source only).
         enable: Option<bool>,
+        /// Which profiler to read.
+        source: ProfileSource,
     },
+    /// Embedded-TSDB read: series listing or one series' points.
+    Query {
+        /// Series name; `None` (or empty) lists the stored series.
+        metric: Option<String>,
+        /// Resolution tier in seconds (default 1).
+        res_secs: u64,
+    },
+    /// SLO burn-rate alert snapshot.
+    Alerts,
     /// Install, replace, clear, or query the fault-injection plan.
     Faults {
         /// `None` queries the current plan; `Some("")` clears it;
@@ -268,7 +302,37 @@ pub fn parse_request(doc: &Json) -> Result<Request, String> {
                 None => None,
                 Some(v) => Some(v.as_bool().ok_or("enable must be a boolean")?),
             };
-            Ok(Request::Profile { top, enable })
+            let source = match doc.get("source") {
+                None => ProfileSource::default(),
+                Some(v) => match v.as_str() {
+                    Some("spans") => ProfileSource::Spans,
+                    Some("sampler") => ProfileSource::Sampler,
+                    _ => return Err("source must be \"spans\" or \"sampler\"".to_owned()),
+                },
+            };
+            Ok(Request::Profile {
+                top,
+                enable,
+                source,
+            })
+        }
+        "alerts" => Ok(Request::Alerts),
+        "query" => {
+            let metric = match doc.get("metric") {
+                None => None,
+                Some(v) => Some(v.as_str().ok_or("metric must be a string")?.to_owned()),
+            };
+            let res_secs = match doc.get("res") {
+                None => 1,
+                Some(v) => {
+                    let n = v.as_f64().ok_or("res must be a number")?;
+                    if !(n.is_finite() && n >= 1.0 && n == n.trunc()) {
+                        return Err("res must be a positive integer of seconds".to_owned());
+                    }
+                    n as u64
+                }
+            };
+            Ok(Request::Query { metric, res_secs })
         }
         "faults" => {
             let plan = match doc.get("plan") {
@@ -586,7 +650,8 @@ mod tests {
             parse_request(&Json::parse(r#"{"op":"profile"}"#).unwrap()).unwrap(),
             Request::Profile {
                 top: 10,
-                enable: None
+                enable: None,
+                source: ProfileSource::Spans
             }
         );
         assert_eq!(
@@ -594,9 +659,55 @@ mod tests {
                 .unwrap(),
             Request::Profile {
                 top: 3,
-                enable: Some(true)
+                enable: Some(true),
+                source: ProfileSource::Spans
             }
         );
+        assert_eq!(
+            parse_request(&Json::parse(r#"{"op":"profile","source":"sampler"}"#).unwrap()).unwrap(),
+            Request::Profile {
+                top: 10,
+                enable: None,
+                source: ProfileSource::Sampler
+            }
+        );
+        assert!(
+            parse_request(&Json::parse(r#"{"op":"profile","source":"perf"}"#).unwrap()).is_err()
+        );
+    }
+
+    #[test]
+    fn query_and_alerts_parse() {
+        assert_eq!(
+            parse_request(&Json::parse(r#"{"op":"query"}"#).unwrap()).unwrap(),
+            Request::Query {
+                metric: None,
+                res_secs: 1
+            }
+        );
+        assert_eq!(
+            parse_request(&Json::parse(r#"{"op":"query","metric":"m","res":60}"#).unwrap())
+                .unwrap(),
+            Request::Query {
+                metric: Some("m".to_owned()),
+                res_secs: 60
+            }
+        );
+        assert_eq!(
+            parse_request(&Json::parse(r#"{"op":"alerts"}"#).unwrap()).unwrap(),
+            Request::Alerts
+        );
+        for bad in [
+            r#"{"op":"query","metric":3}"#,
+            r#"{"op":"query","res":0}"#,
+            r#"{"op":"query","res":1.5}"#,
+            r#"{"op":"query","res":"fast"}"#,
+        ] {
+            assert!(
+                parse_request(&Json::parse(bad).unwrap()).is_err(),
+                "{bad} should be rejected"
+            );
+        }
     }
 
     #[test]

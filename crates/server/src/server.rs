@@ -102,12 +102,21 @@ fn handle_line(service: &Arc<Service>, writer: &SharedWriter, line: &str) -> boo
             );
             false
         }
-        Ok(Request::Profile { top, enable }) => {
-            if let Some(on) = enable {
-                ntr_obs::span::set_enabled(on);
-            }
-            let spans = ntr_obs::span::take_spans();
-            let profile = ntr_obs::profile::build_profile(&spans);
+        Ok(Request::Profile {
+            top,
+            enable,
+            source,
+        }) => {
+            let profile = match source {
+                proto::ProfileSource::Spans => {
+                    if let Some(on) = enable {
+                        ntr_obs::span::set_enabled(on);
+                    }
+                    let spans = ntr_obs::span::take_spans();
+                    ntr_obs::profile::build_profile(&spans)
+                }
+                proto::ProfileSource::Sampler => ntr_obs::sampler::profile(),
+            };
             let entries = ntr_obs::profile::top_self(&profile, top)
                 .into_iter()
                 .map(|e| {
@@ -118,12 +127,18 @@ fn handle_line(service: &Arc<Service>, writer: &SharedWriter, line: &str) -> boo
                     ])
                 })
                 .collect();
+            let source_name = match source {
+                proto::ProfileSource::Spans => "spans",
+                proto::ProfileSource::Sampler => "sampler",
+            };
             write_line(
                 writer,
                 &Json::obj(vec![
                     ("ok", Json::Bool(true)),
                     ("op", Json::str("profile")),
+                    ("source", Json::str(source_name)),
                     ("tracing", Json::Bool(ntr_obs::span::enabled())),
+                    ("sampling", Json::Bool(ntr_obs::sampler::is_running())),
                     ("spans", Json::Num(profile.spans as f64)),
                     ("total_ns", Json::Num(profile.total_ns() as f64)),
                     (
@@ -133,6 +148,14 @@ fn handle_line(service: &Arc<Service>, writer: &SharedWriter, line: &str) -> boo
                     ("top", Json::Arr(entries)),
                 ]),
             );
+            false
+        }
+        Ok(Request::Query { metric, res_secs }) => {
+            write_line(writer, &service.query_json(metric.as_deref(), res_secs));
+            false
+        }
+        Ok(Request::Alerts) => {
+            write_line(writer, &service.alerts_json());
             false
         }
         Ok(Request::Faults { plan }) => {

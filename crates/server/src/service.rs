@@ -21,13 +21,15 @@
 //! request is dropped.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ntr_circuit::Technology;
 use ntr_core::{CancelToken, FaultPlan, FidelityCosts};
 use ntr_obs::journal::{self, WideEvent};
+use ntr_obs::slo::{BurnRule, SloEngine, SloSpec};
+use ntr_obs::tsdb::Tsdb;
 use ntr_obs::{log_debug, log_warn, span, Journal};
 
 use crate::cache::LruCache;
@@ -54,6 +56,14 @@ pub struct ServiceConfig {
     /// Fault-injection plan installed at startup (the `NTR_FAULTS` env
     /// var); swappable at runtime via [`Service::set_fault_plan`].
     pub faults: Option<Arc<FaultPlan>>,
+    /// Objectives the burn-rate alert engine evaluates (the `--slo`
+    /// flag / `NTR_SLOS` env var; defaults to
+    /// [`ntr_obs::slo::default_slos`]).
+    pub slos: Vec<SloSpec>,
+    /// Cadence of the observability ticker (TSDB registry snapshot +
+    /// SLO evaluation). The 1 s default matches the TSDB's raw
+    /// resolution.
+    pub obs_tick: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +74,8 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             tech: Technology::date94(),
             faults: None,
+            slos: ntr_obs::slo::default_slos(),
+            obs_tick: Duration::from_secs(1),
         }
     }
 }
@@ -105,9 +117,13 @@ fn base_event(request: &RouteRequest, trace: u64) -> WideEvent {
     }
 }
 
-/// Publishes one wide event to the flight recorder and offers its span
-/// trace for tail retention (flagged events keep it even span-less).
-fn journal_event(mut event: WideEvent, spans: Vec<ntr_obs::SpanRecord>) {
+/// Publishes one wide event to the flight recorder, offers its span
+/// trace for tail retention (flagged events keep it even span-less),
+/// and feeds the outcome to the SLO engine — this is the one
+/// chokepoint every answered request passes through, so the error
+/// budget sees exactly the journaled reality.
+fn journal_event(mut event: WideEvent, spans: Vec<ntr_obs::SpanRecord>, slo: &SloEngine) {
+    slo.record(event.outcome == "ok", event.total_us);
     let recorder = Journal::global();
     event.seq = recorder.record_request(event.clone());
     recorder.offer_exemplar(event, spans);
@@ -122,6 +138,12 @@ pub struct Service {
     inflight: Arc<Inflight>,
     stats: Arc<ServiceStats>,
     resilience: Arc<Resilience>,
+    tsdb: Arc<Tsdb>,
+    slo: Arc<SloEngine>,
+    /// `true` once shutdown has asked the observability ticker to stop;
+    /// the Condvar wakes it from its tick sleep immediately.
+    obs_stop: Arc<(Mutex<bool>, Condvar)>,
+    obs_ticker: Mutex<Option<JoinHandle<()>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -139,6 +161,9 @@ impl Service {
         let inflight: Arc<Inflight> = Arc::new(Mutex::new(HashMap::new()));
         let stats = Arc::new(ServiceStats::default());
         let resilience = Arc::new(Resilience::with_faults(config.faults.clone()));
+        let tsdb = Arc::new(Tsdb::default());
+        let slo = Arc::new(SloEngine::new(config.slos.clone(), BurnRule::default()));
+        slo.register_metrics(stats.registry());
         let handles = (0..workers)
             .map(|i| {
                 let queue = Arc::clone(&queue);
@@ -146,15 +171,51 @@ impl Service {
                 let inflight = Arc::clone(&inflight);
                 let stats = Arc::clone(&stats);
                 let resilience = Arc::clone(&resilience);
+                let slo = Arc::clone(&slo);
                 let tech = config.tech;
                 std::thread::Builder::new()
                     .name(format!("ntr-worker-{i}"))
                     .spawn(move || {
-                        worker_loop(&queue, &cache, &inflight, &stats, &resilience, tech)
+                        worker_loop(&queue, &cache, &inflight, &stats, &resilience, &slo, tech)
                     })
                     .expect("spawning a worker thread failed")
             })
             .collect();
+        let obs_stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let obs_ticker = {
+            let stop = Arc::clone(&obs_stop);
+            let tsdb = Arc::clone(&tsdb);
+            let slo = Arc::clone(&slo);
+            let stats = Arc::clone(&stats);
+            let queue = Arc::clone(&queue);
+            let cache = Arc::clone(&cache);
+            let resilience = Arc::clone(&resilience);
+            let tick = config.obs_tick.max(Duration::from_millis(10));
+            std::thread::Builder::new()
+                .name("ntr-obs-tick".to_owned())
+                .spawn(move || {
+                    let (stopped, wake) = &*stop;
+                    let mut guard = stopped.lock().expect("obs stop mutex poisoned");
+                    while !*guard {
+                        // Gauges refresh before the snapshot so the
+                        // TSDB stores live values, not scrape-stale
+                        // ones; alerts evaluate on the same beat.
+                        let cache_entries = cache.lock().expect("cache mutex poisoned").len();
+                        stats.refresh_gauges(
+                            queue.len(),
+                            cache_entries,
+                            resilience.faults_injected(),
+                        );
+                        slo.evaluate();
+                        tsdb.snapshot_now(stats.registry());
+                        guard = wake
+                            .wait_timeout(guard, tick)
+                            .expect("obs stop mutex poisoned")
+                            .0;
+                    }
+                })
+                .expect("spawning the observability ticker failed")
+        };
         Self {
             tech: config.tech,
             queue,
@@ -162,6 +223,10 @@ impl Service {
             inflight,
             stats,
             resilience,
+            tsdb,
+            slo,
+            obs_stop,
+            obs_ticker: Mutex::new(Some(obs_ticker)),
             workers: Mutex::new(handles),
         }
     }
@@ -181,7 +246,7 @@ impl Service {
                 let mut event = base_event(&request, trace);
                 event.outcome = "route_error";
                 event.total_us = micros(arrived.elapsed());
-                journal_event(event, Vec::new());
+                journal_event(event, Vec::new(), &self.slo);
                 respond(with_trace(
                     error_response(id.as_ref(), ErrorCode::Route, &detail),
                     trace,
@@ -209,7 +274,7 @@ impl Service {
                 event.fidelity_served = event.fidelity_requested;
                 event.cache_hit = true;
                 event.total_us = micros(arrived.elapsed());
-                journal_event(event, Vec::new());
+                journal_event(event, Vec::new(), &self.slo);
                 respond(response);
                 return;
             }
@@ -263,7 +328,7 @@ impl Service {
         let mut event = base_event(&job.request, job.trace);
         event.outcome = "overloaded";
         event.total_us = micros(job.enqueued.elapsed());
-        journal_event(event, Vec::new());
+        journal_event(event, Vec::new(), &self.slo);
         (job.respond)(with_trace(
             error_response(job.request.id.as_ref(), ErrorCode::Overloaded, detail),
             job.trace,
@@ -273,7 +338,7 @@ impl Service {
             event.outcome = "overloaded";
             event.coalesced = true;
             event.total_us = micros(warrived.elapsed());
-            journal_event(event, Vec::new());
+            journal_event(event, Vec::new(), &self.slo);
             wrespond(with_trace(
                 error_response(wid.as_ref(), ErrorCode::Overloaded, detail),
                 wtrace,
@@ -308,6 +373,30 @@ impl Service {
     #[must_use]
     pub fn stats(&self) -> &ServiceStats {
         &self.stats
+    }
+
+    /// The embedded time-series store the ticker snapshots into.
+    #[must_use]
+    pub fn tsdb(&self) -> &Tsdb {
+        &self.tsdb
+    }
+
+    /// The SLO burn-rate engine fed by every answered request.
+    #[must_use]
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
+    }
+
+    /// The TSDB answer for `{"op":"query"}` and `GET /tsdb`.
+    #[must_use]
+    pub fn query_json(&self, metric: Option<&str>, res_secs: u64) -> Json {
+        self.tsdb.query_json(metric, res_secs)
+    }
+
+    /// The alerts answer for `{"op":"alerts"}` and `GET /alertz`.
+    #[must_use]
+    pub fn alerts_json(&self) -> Json {
+        self.slo.alerts_json()
     }
 
     /// Live per-fidelity EWMA cost estimates (the `/statusz` view of the
@@ -349,7 +438,7 @@ impl Service {
     }
 
     /// Graceful shutdown: reject new work, drain the backlog, join the
-    /// workers. Idempotent.
+    /// workers and the observability ticker. Idempotent.
     pub fn shutdown(&self) {
         self.queue.close();
         let handles: Vec<_> = {
@@ -358,6 +447,17 @@ impl Service {
         };
         for h in handles {
             let _ = h.join();
+        }
+        let (stopped, wake) = &*self.obs_stop;
+        *stopped.lock().expect("obs stop mutex poisoned") = true;
+        wake.notify_all();
+        if let Some(ticker) = self
+            .obs_ticker
+            .lock()
+            .expect("obs ticker mutex poisoned")
+            .take()
+        {
+            let _ = ticker.join();
         }
     }
 }
@@ -384,6 +484,7 @@ fn worker_loop(
     inflight: &Inflight,
     stats: &ServiceStats,
     resilience: &Resilience,
+    slo: &SloEngine,
     tech: Technology,
 ) {
     while let Some(job) = queue.pop() {
@@ -395,11 +496,12 @@ fn worker_loop(
         // every span the job emits, and the journal decides afterwards
         // whether the trace was worth keeping (slow / error / degraded).
         let capture = span::capture();
-        let (event, respond, response) = run_job(job, cache, inflight, stats, resilience, tech);
+        let (event, respond, response) =
+            run_job(job, cache, inflight, stats, resilience, slo, tech);
         // Journal before responding: a client that has seen the answer
         // can always find the request in `{"op":"journal"}` — no window
         // where the response exists but its wide event does not.
-        journal_event(event, capture.finish());
+        journal_event(event, capture.finish(), slo);
         // The gauge drops before the answer leaves: a client holding
         // the response never observes itself still counted in flight.
         stats.inflight_requests.dec();
@@ -418,6 +520,7 @@ fn run_job(
     inflight: &Inflight,
     stats: &ServiceStats,
     resilience: &Resilience,
+    slo: &SloEngine,
     tech: Technology,
 ) -> (WideEvent, Respond, Json) {
     let _request_span = span::span("server.request");
@@ -512,7 +615,7 @@ fn run_job(
                 waited.queue_us = 0;
                 waited.rungs = Vec::new();
                 waited.total_us = micros(warrived.elapsed());
-                journal_event(waited, Vec::new());
+                journal_event(waited, Vec::new(), slo);
                 let mut shared = outcome.body.clone();
                 shared.set("id", wid.unwrap_or(Json::Null));
                 shared.set("cached", Json::Bool(true));
@@ -553,7 +656,7 @@ fn run_job(
                 waited.queue_us = 0;
                 waited.rungs = Vec::new();
                 waited.total_us = micros(warrived.elapsed());
-                journal_event(waited, Vec::new());
+                journal_event(waited, Vec::new(), slo);
                 wrespond(with_trace(
                     error_response(wid.as_ref(), ErrorCode::Route, &detail),
                     wtrace,

@@ -88,6 +88,11 @@ pub struct ServiceStats {
     /// [`ntr_obs::span::dropped_spans`]; refreshed at scrape time so
     /// trace truncation is visible in `/metrics`).
     pub spans_dropped: Arc<Counter>,
+    /// Flight-recorder events lost to ring contention, requests and
+    /// iterations combined (mirrors the process-global
+    /// [`Journal`](ntr_obs::Journal) ring drop counts at scrape time —
+    /// PR 8 counted these losses, this exports them).
+    pub journal_dropped: Arc<Counter>,
     /// Requests served below their requested fidelity (deadline pressure
     /// or exhausted retries walked the degradation ladder).
     pub degraded: Arc<Counter>,
@@ -156,6 +161,10 @@ impl Default for ServiceStats {
             spans_dropped: counter(
                 "ntr_spans_dropped_total",
                 "Trace spans lost to collector overflow",
+            ),
+            journal_dropped: counter(
+                "ntr_journal_dropped_total",
+                "Flight-recorder events lost to ring contention",
             ),
             degraded: counter(
                 "ntr_requests_degraded_total",
@@ -231,17 +240,19 @@ impl ServiceStats {
         self.started.elapsed().as_secs_f64()
     }
 
-    /// Prometheus text exposition of the registry. `queue_depth`,
-    /// `cache_entries` and `faults_injected` come from the service,
-    /// which owns those structures; the gauges and mirror counters are
-    /// refreshed before rendering.
+    /// The registry behind every counter here — what the embedded TSDB
+    /// snapshots and the SLO engine registers its gauges into.
     #[must_use]
-    pub fn prometheus(
-        &self,
-        queue_depth: usize,
-        cache_entries: usize,
-        faults_injected: u64,
-    ) -> String {
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Refreshes the snapshot-time gauges and mirror counters.
+    /// `queue_depth`, `cache_entries` and `faults_injected` come from
+    /// the service, which owns those structures; called before every
+    /// exposition render and once a second by the observability ticker
+    /// so the TSDB snapshots fresh values.
+    pub fn refresh_gauges(&self, queue_depth: usize, cache_entries: usize, faults_injected: u64) {
         self.queue_depth.set(queue_depth as i64);
         self.cache_entries.set(cache_entries as i64);
         // Mirror externally owned monotone totals into the registry's
@@ -251,6 +262,24 @@ impl ServiceStats {
             .add(global.saturating_sub(self.spans_dropped.get()));
         self.faults_injected
             .add(faults_injected.saturating_sub(self.faults_injected.get()));
+        let journal = ntr_obs::Journal::global();
+        let journal_dropped =
+            journal.request_ring_stats().dropped + journal.iteration_ring_stats().dropped;
+        self.journal_dropped
+            .add(journal_dropped.saturating_sub(self.journal_dropped.get()));
+    }
+
+    /// Prometheus text exposition of the registry, gauges and mirror
+    /// counters refreshed first (see
+    /// [`refresh_gauges`](Self::refresh_gauges)).
+    #[must_use]
+    pub fn prometheus(
+        &self,
+        queue_depth: usize,
+        cache_entries: usize,
+        faults_injected: u64,
+    ) -> String {
+        self.refresh_gauges(queue_depth, cache_entries, faults_injected);
         ntr_obs::prometheus::render(&self.registry)
     }
 
@@ -376,6 +405,10 @@ mod tests {
         assert!(
             text.contains("ntr_spans_dropped_total"),
             "dropped-span counter missing from exposition:\n{text}"
+        );
+        assert!(
+            text.contains("ntr_journal_dropped_total"),
+            "journal-drop counter missing from exposition:\n{text}"
         );
     }
 

@@ -166,7 +166,52 @@ pub fn render(service: &Service) -> String {
         "exemplars held",
         &snapshot.exemplars.len().to_string(),
     );
-    out.push_str("</table>\n<p>see also: <a href=\"/metrics\">/metrics</a> · <a href=\"/journal\">/journal</a></p>\n</body></html>\n");
+    row(
+        &mut out,
+        "journal dropped total",
+        &(snapshot.request_stats.dropped + snapshot.iteration_stats.dropped).to_string(),
+    );
+
+    section(&mut out, "SLO burn-rate alerts");
+    let alerts = service.slo().snapshot();
+    if alerts.is_empty() {
+        row(&mut out, "(none configured)", "");
+    }
+    for alert in &alerts {
+        row(
+            &mut out,
+            &alert.name,
+            &format!(
+                "{} — fast {:.2}x / slow {:.2}x over {}s (fired {}, cleared {})",
+                if alert.firing { "FIRING" } else { "ok" },
+                alert.fast_burn,
+                alert.slow_burn,
+                alert.window_secs,
+                alert.fired_total,
+                alert.cleared_total
+            ),
+        );
+    }
+
+    section(&mut out, "sparklines — last 5 min, 1 s resolution");
+    for metric in [
+        "ntr_requests_completed_total",
+        "ntr_request_latency_us_p99",
+        "ntr_queue_depth",
+    ] {
+        let values = service.tsdb().spark_values(metric, 1);
+        row(
+            &mut out,
+            metric,
+            &ntr_obs::tsdb::sparkline_svg(&values, 300, 32),
+        );
+    }
+    out.push_str(
+        "</table>\n<p>see also: <a href=\"/metrics\">/metrics</a> · \
+         <a href=\"/journal\">/journal</a> · <a href=\"/tsdb\">/tsdb</a> · \
+         <a href=\"/alertz\">/alertz</a> · <a href=\"/profilez\">/profilez</a></p>\n\
+         </body></html>\n",
+    );
     out
 }
 
@@ -188,6 +233,10 @@ mod tests {
             "cache hit",
             "EWMA cost per fidelity rung",
             "flight recorder",
+            "journal dropped total",
+            "SLO burn-rate alerts",
+            "sparklines",
+            "<svg",
             "p99",
         ] {
             assert!(page.contains(needle), "missing {needle:?} in:\n{page}");

@@ -116,6 +116,50 @@ fn statusz_and_journal_are_served_over_http() {
 }
 
 #[test]
+fn tsdb_alertz_and_profilez_are_served_over_http() {
+    let service = Arc::new(Service::start(&ServiceConfig {
+        workers: 1,
+        obs_tick: Duration::from_millis(20),
+        ..Default::default()
+    }));
+    let (addr, _handle) =
+        spawn_metrics_server("127.0.0.1:0", Arc::clone(&service)).expect("bind port 0");
+    let response = route_once(&service);
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response}");
+    // Give the obs ticker a couple of cycles to snapshot the registry.
+    std::thread::sleep(Duration::from_millis(120));
+
+    let (head, body) = http_get(addr, "/tsdb?metric=ntr_requests_completed_total&res=1");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("application/json"), "{head}");
+    let points = ntr_obs::tsdb::check_query_json(&body).unwrap();
+    assert!(points >= 1, "no points in {body}");
+
+    // No metric: the series-listing form.
+    let (head, listing) = http_get(addr, "/tsdb");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    ntr_obs::tsdb::check_query_json(&listing).unwrap();
+    assert!(
+        listing.contains("ntr_requests_completed_total"),
+        "{listing}"
+    );
+
+    let (head, alerts) = http_get(addr, "/alertz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("application/json"), "{head}");
+    let n = ntr_obs::slo::check_alerts_json(&alerts).unwrap();
+    assert!(n >= 1, "default SLOs missing from {alerts}");
+
+    let (head, folded) = http_get(addr, "/profilez");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    // The sampler may or may not be running under `cargo test`; the
+    // body must be valid folded-stack text either way (possibly empty).
+    ntr_obs::profile::check_folded(&folded).unwrap();
+
+    service.shutdown();
+}
+
+#[test]
 fn distinct_requests_get_distinct_trace_ids() {
     let service = Service::start(&ServiceConfig {
         workers: 1,
