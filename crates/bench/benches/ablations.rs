@@ -12,8 +12,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ntr_bench::bench_net;
 use ntr_circuit::{extract, ExtractOptions, Segmentation, Technology};
 use ntr_core::{
-    ldrg, wire_size, wire_size_guided, LdrgOptions, MomentMetric, MomentOracle, TransientOracle,
-    TreeElmoreOracle, WireSizeOptions,
+    ldrg_with, wire_size, wire_size_guided, LdrgOptions, MomentMetric, MomentOracle,
+    TransientOracle, TreeElmoreOracle, WireSizeOptions,
 };
 use ntr_graph::prim_mst;
 use ntr_spice::{sink_delays, Integrator, SimConfig};
@@ -54,22 +54,22 @@ fn ablation_oracle(c: &mut Criterion) {
 
     let transient = TransientOracle::fast(tech);
     group.bench_function("transient_fast", |b| {
-        b.iter(|| ldrg(black_box(&mst), &transient, &opts).expect("ldrg runs"))
+        b.iter(|| ldrg_with(black_box(&mst), &transient, &opts).expect("ldrg runs"))
     });
     let transient_fine = TransientOracle::new(tech);
     group.bench_function("transient_fine", |b| {
-        b.iter(|| ldrg(black_box(&mst), &transient_fine, &opts).expect("ldrg runs"))
+        b.iter(|| ldrg_with(black_box(&mst), &transient_fine, &opts).expect("ldrg runs"))
     });
     let elmore = MomentOracle::new(tech);
     group.bench_function("moment_elmore", |b| {
-        b.iter(|| ldrg(black_box(&mst), &elmore, &opts).expect("ldrg runs"))
+        b.iter(|| ldrg_with(black_box(&mst), &elmore, &opts).expect("ldrg runs"))
     });
     let d2m = MomentOracle {
         metric: MomentMetric::D2m,
         ..MomentOracle::new(tech)
     };
     group.bench_function("moment_d2m", |b| {
-        b.iter(|| ldrg(black_box(&mst), &d2m, &opts).expect("ldrg runs"))
+        b.iter(|| ldrg_with(black_box(&mst), &d2m, &opts).expect("ldrg runs"))
     });
     group.finish();
 }

@@ -20,6 +20,7 @@
 //! | `moment_sweep`      | moment analysis + Elmore per candidate net   |
 //! | `elmore_eval`       | Elmore analysis over a 100-pin tree          |
 //! | `route_end_to_end`  | whole `ldrg` route with the transient oracle |
+//! | `incremental_reroute`| session delta reroute (move pin + refactor) |
 //! | `server_round_trip` | in-process service submit → response         |
 //! | `candidate_gen_1k`  | spatial index build + pruned generation, 1k pins |
 //! | `route_1k_pins`     | pruned-mode LDRG iteration at 1k pins        |
@@ -30,7 +31,7 @@ use std::time::Instant;
 use crate::bench_net;
 use ntr_circuit::Technology;
 use ntr_core::{
-    candidate_oracle_for, ldrg, sweep_candidates, Candidate, CandidateGen, CandidateGenerator,
+    candidate_oracle_for, ldrg_with, sweep_candidates, Candidate, CandidateGen, CandidateGenerator,
     LdrgOptions, MomentOracle, Objective, TransientOracle,
 };
 use ntr_elmore::ElmoreAnalysis;
@@ -201,7 +202,9 @@ fn run_route_end_to_end(iters: usize, warmup: usize) -> Vec<f64> {
     let oracle = TransientOracle::fast(tech);
     time_iters(iters, warmup, || {
         let mst = prim_mst(&net);
-        std::hint::black_box(ldrg(&mst, &oracle, &LdrgOptions::default()).expect("net routes"));
+        std::hint::black_box(
+            ldrg_with(&mst, &oracle, &LdrgOptions::default()).expect("net routes"),
+        );
     })
 }
 
@@ -233,7 +236,7 @@ fn run_route_1k_pins(iters: usize, warmup: usize) -> Vec<f64> {
     };
     time_iters(iters, warmup, || {
         let mst = prim_mst(&net);
-        std::hint::black_box(ldrg(&mst, &oracle, &opts).expect("net routes"));
+        std::hint::black_box(ldrg_with(&mst, &oracle, &opts).expect("net routes"));
     })
 }
 
@@ -263,6 +266,36 @@ fn run_candidate_gen_10k(iters: usize, warmup: usize) -> Vec<f64> {
         )
         .expect("candidates score");
         std::hint::black_box(scores.len());
+    })
+}
+
+fn run_incremental_reroute(iters: usize, warmup: usize) -> Vec<f64> {
+    use ntr_core::{Algorithm, Budget, DeltaOp, RoutingSession};
+    use ntr_geom::Point;
+
+    // The per-delta cost of a live session: one single-pin move plus the
+    // reroute that serves it. The move alternates between two nearby
+    // offsets so every iteration has exactly one pending delta and the
+    // same-pattern refactor path (numeric refactor + solve, no symbolic
+    // work, no candidate sweep) answers it. This is the latency the
+    // session subsystem exists to beat `route_end_to_end` on.
+    let net = bench_net(10);
+    let (mut session, _) =
+        RoutingSession::create(&net, Algorithm::Ldrg, Budget::new(Technology::date94()))
+            .expect("net routes");
+    let base = session.pins()[3];
+    let mut flip = false;
+    time_iters(iters, warmup, || {
+        let dx = if flip { 20.0 } else { 40.0 };
+        flip = !flip;
+        session
+            .mutate(DeltaOp::MovePin {
+                pin: 3,
+                to: Point::new(base.x + dx, base.y),
+            })
+            .expect("valid move");
+        let report = session.reroute().expect("session reroutes");
+        std::hint::black_box(report.outcome.final_delay);
     })
 }
 
@@ -376,6 +409,14 @@ pub fn registry() -> Vec<Workload> {
             quick_iters: 5,
             warmup: 2,
             run: run_route_end_to_end,
+        },
+        Workload {
+            name: "incremental_reroute",
+            description: "session single-pin-move delta reroute (same-pattern refactor path)",
+            iters: 60,
+            quick_iters: 12,
+            warmup: 5,
+            run: run_incremental_reroute,
         },
         Workload {
             name: "server_round_trip",

@@ -128,6 +128,21 @@ impl CancelToken {
         }
     }
 
+    /// A token sharing this token's explicit-cancel flag with `deadline`
+    /// attached (replacing any existing one).
+    ///
+    /// The serving layer uses this to give one request of a long-lived
+    /// [`RoutingSession`](crate::RoutingSession) its own deadline while
+    /// still honoring a session-wide [`CancelToken::cancel`] (close or
+    /// eviction).
+    #[must_use]
+    pub fn with_deadline_from(&self, deadline: Instant) -> CancelToken {
+        Self {
+            flag: self.flag.clone(),
+            deadline: Some(deadline),
+        }
+    }
+
     /// Trips the token (and every clone of it).
     ///
     /// A no-op on the inert [`CancelToken::default`] token, which has no

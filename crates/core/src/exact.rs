@@ -68,7 +68,7 @@ impl From<OracleError> for ExactOrgError {
 ///
 /// ```
 /// use ntr_circuit::Technology;
-/// use ntr_core::{exact_org, ldrg, LdrgOptions, MomentOracle, Objective};
+/// use ntr_core::{exact_org, ldrg_with, LdrgOptions, MomentOracle, Objective};
 /// use ntr_geom::{Layout, NetGenerator};
 /// use ntr_graph::{prim_mst, RoutingGraph};
 ///
@@ -77,7 +77,7 @@ impl From<OracleError> for ExactOrgError {
 /// let oracle = MomentOracle::new(Technology::date94());
 /// let base = RoutingGraph::from_net(&net);
 /// let (optimal, opt_delay) = exact_org(&base, &oracle, &Objective::MaxDelay)?;
-/// let heuristic = ldrg(&prim_mst(&net), &oracle, &LdrgOptions::default())?;
+/// let heuristic = ldrg_with(&prim_mst(&net), &oracle, &LdrgOptions::default())?;
 /// assert!(opt_delay <= heuristic.final_delay() + 1e-18);
 /// assert!(optimal.is_connected());
 /// # Ok(())
@@ -135,7 +135,7 @@ pub fn exact_org(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ldrg, LdrgOptions, MomentOracle};
+    use crate::{ldrg_with, LdrgOptions, MomentOracle};
     use ntr_circuit::Technology;
     use ntr_geom::{Layout, NetGenerator};
     use ntr_graph::prim_mst;
@@ -155,7 +155,7 @@ mod tests {
             let mst_score = Objective::MaxDelay.score(&oracle.evaluate(&mst).unwrap());
             assert!(opt <= mst_score + 1e-18);
 
-            let heuristic = ldrg(&mst, &oracle, &LdrgOptions::default()).unwrap();
+            let heuristic = ldrg_with(&mst, &oracle, &LdrgOptions::default()).unwrap();
             assert!(opt <= heuristic.final_delay() + 1e-18);
         }
     }
@@ -174,7 +174,7 @@ mod tests {
                 .unwrap();
             let base = RoutingGraph::from_net(&net);
             let (_, opt) = exact_org(&base, &oracle, &Objective::MaxDelay).unwrap();
-            let heuristic = ldrg(&prim_mst(&net), &oracle, &LdrgOptions::default()).unwrap();
+            let heuristic = ldrg_with(&prim_mst(&net), &oracle, &LdrgOptions::default()).unwrap();
             let gap = heuristic.final_delay() / opt;
             sum_gap += gap;
             worst_gap = worst_gap.max(gap);

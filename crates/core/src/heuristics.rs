@@ -50,15 +50,24 @@ fn sink_node_by_pin(graph: &RoutingGraph) -> Vec<NodeId> {
 /// iterations on average before no further improvement is possible, versus
 /// the quadratic number of calls LDRG makes.
 ///
+/// Takes the same [`LdrgOptions`] struct as [`ldrg_with`](crate::ldrg_with):
+/// `max_added_edges` caps the iterations (0 = until no improvement),
+/// `cancel` is checked at every iteration boundary and candidate score,
+/// and `min_improvement` guards against numerical churn. The
+/// `objective`, `parallelism` and `candidates` fields are ignored — H1
+/// always minimizes [`Objective::MaxDelay`] over its single
+/// source-to-worst-sink candidate.
+///
 /// # Errors
 ///
-/// Propagates [`OracleError`] from the oracle.
+/// Propagates [`OracleError`] from the oracle, or
+/// [`OracleError::Cancelled`] when the token trips mid-search.
 ///
 /// # Examples
 ///
 /// ```
 /// use ntr_circuit::Technology;
-/// use ntr_core::{h1, TransientOracle};
+/// use ntr_core::{h1_with, LdrgOptions, TransientOracle};
 /// use ntr_geom::{Layout, NetGenerator};
 /// use ntr_graph::prim_mst;
 ///
@@ -66,34 +75,16 @@ fn sink_node_by_pin(graph: &RoutingGraph) -> Vec<NodeId> {
 /// let net = NetGenerator::new(Layout::date94(), 5).random_net(10)?;
 /// let mst = prim_mst(&net);
 /// let oracle = TransientOracle::fast(Technology::date94());
-/// let result = h1(&mst, &oracle, 0)?;
+/// let result = h1_with(&mst, &oracle, &LdrgOptions::default())?;
 /// assert!(result.final_delay() <= result.initial_delay);
 /// # Ok(())
 /// # }
 /// ```
-pub fn h1(
-    initial: &RoutingGraph,
-    oracle: &dyn DelayOracle,
-    max_iterations: usize,
-) -> Result<LdrgResult, OracleError> {
-    h1_with(initial, oracle, max_iterations, None)
-}
-
-/// [`h1`] with cooperative cancellation: `cancel` is checked at every
-/// iteration boundary and candidate score, the hook a serving layer uses
-/// to enforce per-request deadlines.
-///
-/// # Errors
-///
-/// Propagates [`OracleError`] from the oracle, or
-/// [`OracleError::Cancelled`] when the token trips mid-search.
 pub fn h1_with(
     initial: &RoutingGraph,
     oracle: &dyn DelayOracle,
-    max_iterations: usize,
-    cancel: Option<&CancelToken>,
+    opts: &LdrgOptions,
 ) -> Result<LdrgResult, OracleError> {
-    let opts = LdrgOptions::default();
     let mut graph = initial.clone();
     let sinks = sink_node_by_pin(&graph);
     let mut engine = candidate_oracle_for(oracle);
@@ -103,16 +94,14 @@ pub fn h1_with(
 
     let mut iterations = Vec::new();
     let mut current = initial_delay;
-    let cap = if max_iterations == 0 {
+    let cap = if opts.max_added_edges == 0 {
         usize::MAX
     } else {
-        max_iterations
+        opts.max_added_edges
     };
 
     while iterations.len() < cap {
-        if let Some(token) = cancel {
-            token.check()?;
-        }
+        opts.cancel.check()?;
         let Some(worst) = report.argmax() else { break };
         let target = sinks[worst];
         let source = graph.source();
@@ -126,7 +115,7 @@ pub fn h1_with(
             &candidates,
             &Objective::MaxDelay,
             1,
-            cancel,
+            Some(&opts.cancel),
         )?;
         if scores[0] < current * (1.0 - opts.min_improvement) {
             let edge = graph
@@ -163,23 +152,9 @@ pub fn h1_with(
 /// graph, H2 cannot be iterated *in the paper's setting* — but this
 /// workspace's moment engine computes exact Elmore delays on arbitrary
 /// graphs, so the iterated variant is simply
-/// [`h1`] with a [`MomentOracle`](crate::MomentOracle): same connection
+/// [`h1_with`] with a [`MomentOracle`](crate::MomentOracle): same connection
 /// rule, graph-capable delay model, one sparse solve per iteration (see
 /// the `h2_iterates_through_the_moment_oracle` test).
-///
-/// # Errors
-///
-/// Returns [`OracleError::NotATree`] when `tree` is not a spanning tree.
-#[deprecated(
-    since = "0.5.0",
-    note = "use `h2_with(tree, tech, &HeuristicOptions::default())` — the options-struct entry point shared with h1_with/ldrg"
-)]
-pub fn h2(tree: &RoutingGraph, tech: &Technology) -> Result<HeuristicResult, OracleError> {
-    h2_with(tree, tech, &HeuristicOptions::default())
-}
-
-/// [`h2`] behind the shared options-struct signature (cooperative
-/// cancellation); the preferred entry point.
 ///
 /// # Errors
 ///
@@ -221,20 +196,6 @@ pub fn h2_with(
 /// Elmore delay) yet geometrically close to the source, so the new wire is
 /// short — exactly the situations where a shortcut pays. Like H2 it is
 /// simulation-free and non-iterable.
-///
-/// # Errors
-///
-/// Returns [`OracleError::NotATree`] when `tree` is not a spanning tree.
-#[deprecated(
-    since = "0.5.0",
-    note = "use `h3_with(tree, tech, &HeuristicOptions::default())` — the options-struct entry point shared with h1_with/ldrg"
-)]
-pub fn h3(tree: &RoutingGraph, tech: &Technology) -> Result<HeuristicResult, OracleError> {
-    h3_with(tree, tech, &HeuristicOptions::default())
-}
-
-/// [`h3`] behind the shared options-struct signature (cooperative
-/// cancellation); the preferred entry point.
 ///
 /// # Errors
 ///
@@ -300,7 +261,7 @@ mod tests {
         let oracle = TransientOracle::fast(Technology::date94());
         for seed in 0..5 {
             let g = mst(seed, 10);
-            let res = h1(&g, &oracle, 0).unwrap();
+            let res = h1_with(&g, &oracle, &LdrgOptions::default()).unwrap();
             assert!(res.final_delay() <= res.initial_delay);
             // Every committed edge is source-incident.
             for it in &res.iterations {
@@ -313,7 +274,15 @@ mod tests {
     fn h1_respects_iteration_cap() {
         let oracle = MomentOracle::new(Technology::date94());
         let g = mst(8, 15);
-        let res = h1(&g, &oracle, 1).unwrap();
+        let res = h1_with(
+            &g,
+            &oracle,
+            &LdrgOptions {
+                max_added_edges: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(res.iterations.len() <= 1);
     }
 
@@ -401,25 +370,13 @@ mod tests {
                 .graph;
             sum_single +=
                 crate::Objective::MaxDelay.score(&moment.evaluate(&single).unwrap()) / base;
-            let iterated = h1(&g, &moment, 0).unwrap();
+            let iterated = h1_with(&g, &moment, &LdrgOptions::default()).unwrap();
             sum_iterated += iterated.final_delay() / base;
         }
         assert!(
             sum_iterated <= sum_single + 1e-9,
             "iterated {sum_iterated} vs single-shot {sum_single}"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_options_entry_points() {
-        let tech = Technology::date94();
-        for seed in 0..5 {
-            let g = mst(60 + seed, 9);
-            let opts = HeuristicOptions::default();
-            assert_eq!(h2(&g, &tech).unwrap(), h2_with(&g, &tech, &opts).unwrap());
-            assert_eq!(h3(&g, &tech).unwrap(), h3_with(&g, &tech, &opts).unwrap());
-        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use ntr_geom::Net;
 use ntr_steiner::SteinerOptions;
 
-use crate::{ldrg, wire_size, DelayOracle, LdrgOptions, OracleError, WireSizeOptions};
+use crate::{ldrg_with, wire_size, DelayOracle, LdrgOptions, OracleError, WireSizeOptions};
 
 /// Options for the [`horg`] pipeline: Steiner construction, non-tree edge
 /// addition, and wire sizing, all under one (possibly criticality-
@@ -69,7 +69,7 @@ pub fn horg(
     opts: &HorgOptions,
 ) -> Result<HorgResult, OracleError> {
     let base = ntr_steiner::iterated_one_steiner(net, &opts.steiner);
-    let ldrg_result = ldrg(&base, oracle, &opts.ldrg)?;
+    let ldrg_result = ldrg_with(&base, oracle, &opts.ldrg)?;
     let steiner_delay = ldrg_result.initial_delay;
     let after_ldrg_delay = ldrg_result.final_delay();
 

@@ -4,7 +4,7 @@ use crate::candidates::{CandidateGen, CandidateGenerator};
 use crate::sweep::{best_below, candidate_oracle_for, sweep_candidates};
 use crate::{CancelToken, Candidate, DelayOracle, Objective, OracleError, OracleStats};
 
-/// Options for the [`ldrg`] greedy loop.
+/// Options for the [`ldrg_with`] greedy loop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LdrgOptions {
     /// Stop after this many added edges (0 = iterate until no improvement,
@@ -56,7 +56,7 @@ pub struct IterationRecord {
     pub cost: f64,
 }
 
-/// The result of an [`ldrg`] run.
+/// The result of an [`ldrg_with`] run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LdrgResult {
     /// The final routing graph (the input plus all committed edges).
@@ -161,7 +161,7 @@ fn record_iteration(
 /// # Examples
 ///
 /// See the [crate-level example](crate).
-pub fn ldrg(
+pub fn ldrg_with(
     initial: &RoutingGraph,
     oracle: &dyn DelayOracle,
     opts: &LdrgOptions,
@@ -251,7 +251,7 @@ pub fn ldrg(
 /// candidate sweep runs against one-sparse-solve evaluations, and full
 /// transient simulation is reserved for the handful of candidates that
 /// might actually win. With `shortlist >= the candidate count` this
-/// degenerates to plain [`ldrg`] under the search oracle.
+/// degenerates to plain [`ldrg_with`] under the search oracle.
 ///
 /// # Errors
 ///
@@ -406,7 +406,7 @@ mod tests {
         let oracle = MomentOracle::new(Technology::date94());
         for seed in 0..8 {
             let g = mst(seed, 9);
-            let res = ldrg(&g, &oracle, &LdrgOptions::default()).unwrap();
+            let res = ldrg_with(&g, &oracle, &LdrgOptions::default()).unwrap();
             assert!(res.final_delay() <= res.initial_delay);
             assert!(res.graph.is_connected());
             // Monotone improvement per iteration.
@@ -426,7 +426,7 @@ mod tests {
         let g = mst(3, 10);
         let journal = ntr_obs::Journal::global();
         let before = journal.snapshot().iteration_stats.recorded;
-        let res = ldrg(&g, &oracle, &LdrgOptions::default()).unwrap();
+        let res = ldrg_with(&g, &oracle, &LdrgOptions::default()).unwrap();
         let after = journal.snapshot().iteration_stats.recorded;
         // One record per committed iteration plus the terminal
         // rejection. Other tests may append concurrently, so assert a
@@ -448,7 +448,7 @@ mod tests {
     fn max_added_edges_caps_iterations() {
         let oracle = MomentOracle::new(Technology::date94());
         let g = mst(4, 12);
-        let capped = ldrg(
+        let capped = ldrg_with(
             &g,
             &oracle,
             &LdrgOptions {
@@ -458,7 +458,7 @@ mod tests {
         )
         .unwrap();
         assert!(capped.iterations.len() <= 1);
-        let free = ldrg(&g, &oracle, &LdrgOptions::default()).unwrap();
+        let free = ldrg_with(&g, &oracle, &LdrgOptions::default()).unwrap();
         assert!(free.final_delay() <= capped.final_delay() + 1e-18);
     }
 
@@ -469,7 +469,7 @@ mod tests {
         let mut winners = 0;
         for seed in 0..5 {
             let g = mst(100 + seed, 20);
-            let res = ldrg(
+            let res = ldrg_with(
                 &g,
                 &oracle,
                 &LdrgOptions {
@@ -494,7 +494,7 @@ mod tests {
         let mut sum_filtered = 0.0;
         for seed in 0..6 {
             let g = mst(seed, 10);
-            let exhaustive = ldrg(&g, &search, &LdrgOptions::default()).unwrap();
+            let exhaustive = ldrg_with(&g, &search, &LdrgOptions::default()).unwrap();
             let filtered =
                 super::ldrg_prefiltered(&g, &search, &prefilter, 6, &LdrgOptions::default())
                     .unwrap();
@@ -514,7 +514,7 @@ mod tests {
     fn huge_shortlist_degenerates_to_plain_ldrg() {
         let g = mst(9, 8);
         let oracle = MomentOracle::new(Technology::date94());
-        let plain = ldrg(&g, &oracle, &LdrgOptions::default()).unwrap();
+        let plain = ldrg_with(&g, &oracle, &LdrgOptions::default()).unwrap();
         let filtered =
             super::ldrg_prefiltered(&g, &oracle, &oracle, usize::MAX, &LdrgOptions::default())
                 .unwrap();
@@ -526,7 +526,7 @@ mod tests {
     fn state_after_clamps_to_final() {
         let oracle = MomentOracle::new(Technology::date94());
         let g = mst(2, 10);
-        let res = ldrg(&g, &oracle, &LdrgOptions::default()).unwrap();
+        let res = ldrg_with(&g, &oracle, &LdrgOptions::default()).unwrap();
         assert_eq!(res.state_after(0), (res.initial_delay, res.initial_cost));
         assert_eq!(res.state_after(99), (res.final_delay(), res.final_cost()));
     }
@@ -536,7 +536,7 @@ mod tests {
         let g = mst(6, 6);
         let alphas = vec![1.0, 0.0, 0.0, 0.0, 0.0];
         let oracle = MomentOracle::new(Technology::date94());
-        let res = ldrg(
+        let res = ldrg_with(
             &g,
             &oracle,
             &LdrgOptions {

@@ -10,12 +10,12 @@
 //! | item | paper section | function/type |
 //! |---|---|---|
 //! | Optimal Routing Graph (ORG) objective | §2 | [`Objective`], [`DelayOracle`] |
-//! | LDRG greedy edge addition | §3, Fig. 4 | [`ldrg`] |
-//! | SLDRG (Steiner variant) | §3, Fig. 6 | [`sldrg`] |
-//! | H1 (iterated SPICE-guided source edge) | §3 | [`h1`] |
-//! | H2 (Elmore-guided source edge) | §3 | [`h2`] |
-//! | H3 (pathlength×Elmore/length rule) | §3 | [`h3`] |
-//! | ERT-based LDRG | §4, Table 7 | [`ldrg`] over [`ntr_ert::elmore_routing_tree`] |
+//! | LDRG greedy edge addition | §3, Fig. 4 | [`ldrg_with`] |
+//! | SLDRG (Steiner variant) | §3, Fig. 6 | [`sldrg_with`] |
+//! | H1 (iterated SPICE-guided source edge) | §3 | [`h1_with`] |
+//! | H2 (Elmore-guided source edge) | §3 | [`h2_with`] |
+//! | H3 (pathlength×Elmore/length rule) | §3 | [`h3_with`] |
+//! | ERT-based LDRG | §4, Table 7 | [`ldrg_with`] over [`ntr_ert::elmore_routing_tree`] |
 //! | CSORG (critical sinks) | §5.1 | [`Objective::Weighted`] |
 //! | WSORG (wire sizing) | §5.2 | [`wire_size`] |
 //! | HORG (everything combined) | §5.3 | [`horg`] |
@@ -46,7 +46,7 @@
 //!
 //! ```
 //! use ntr_circuit::Technology;
-//! use ntr_core::{ldrg, LdrgOptions, TransientOracle};
+//! use ntr_core::{ldrg_with, LdrgOptions, TransientOracle};
 //! use ntr_geom::{Layout, NetGenerator};
 //! use ntr_graph::prim_mst;
 //!
@@ -54,7 +54,7 @@
 //! let net = NetGenerator::new(Layout::date94(), 7).random_net(10)?;
 //! let mst = prim_mst(&net);
 //! let oracle = TransientOracle::new(Technology::date94());
-//! let result = ldrg(&mst, &oracle, &LdrgOptions { max_added_edges: 1, ..Default::default() })?;
+//! let result = ldrg_with(&mst, &oracle, &LdrgOptions { max_added_edges: 1, ..Default::default() })?;
 //! // The routing graph never gets worse than the tree it started from.
 //! assert!(result.final_delay() <= result.initial_delay);
 //! assert!(result.graph.is_connected());
@@ -77,6 +77,7 @@ mod oracle;
 mod pool;
 mod retry;
 mod routing;
+mod session;
 mod sldrg;
 mod sweep;
 mod trim;
@@ -88,10 +89,9 @@ pub use exact::{exact_org, ExactOrgError};
 pub use faults::{FaultPlan, FaultScope, FaultingOracle, InjectedFault};
 pub use fidelity::{Fidelity, FidelityCosts};
 pub use hashkey::{canonical_net_hash, Fnv64};
-#[allow(deprecated)]
-pub use heuristics::{h1, h1_with, h2, h2_with, h3, h3_with, HeuristicOptions, HeuristicResult};
+pub use heuristics::{h1_with, h2_with, h3_with, HeuristicOptions, HeuristicResult};
 pub use horg::{horg, HorgOptions, HorgResult};
-pub use ldrg::{ldrg, ldrg_prefiltered, IterationRecord, LdrgOptions, LdrgResult};
+pub use ldrg::{ldrg_prefiltered, ldrg_with, IterationRecord, LdrgOptions, LdrgResult};
 pub use netlist::{route_netlist, NetlistRouteOptions, RoutedNet};
 pub use objective::Objective;
 pub use oracle::{
@@ -101,7 +101,10 @@ pub use oracle::{
 pub use pool::{Scope, WorkerPool};
 pub use retry::RetryPolicy;
 pub use routing::{route_one, Algorithm, Budget, DegradePolicy, RouteError, RoutingOutcome};
-pub use sldrg::sldrg;
+pub use session::{
+    DeltaOp, ReroutePath, RerouteReport, RoutingSession, SessionError, SessionStats,
+};
+pub use sldrg::sldrg_with;
 pub use sweep::{
     best_below, candidate_oracle_for, sweep_candidates, Candidate, CandidateOracle,
     IncrementalMomentOracle, OracleStats, ScratchOracle,

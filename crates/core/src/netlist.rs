@@ -2,7 +2,7 @@ use ntr_geom::Netlist;
 use ntr_graph::{prim_mst, RoutingGraph};
 
 use crate::{
-    ldrg, trim_redundant_edges, DelayOracle, LdrgOptions, Objective, OracleError, TrimOptions,
+    ldrg_with, trim_redundant_edges, DelayOracle, LdrgOptions, Objective, OracleError, TrimOptions,
 };
 
 /// Options for [`route_netlist`].
@@ -84,7 +84,7 @@ pub fn route_netlist(
         let mst_delay = Objective::MaxDelay.score(&oracle.evaluate(&mst)?);
         let needs_work = opts.timing_target.is_none_or(|target| mst_delay > target);
         let (graph, delay, optimized) = if needs_work {
-            let result = ldrg(&mst, oracle, &opts.ldrg)?;
+            let result = ldrg_with(&mst, oracle, &opts.ldrg)?;
             let (graph, delay) = if opts.trim {
                 let trim_opts = TrimOptions {
                     objective: opts.ldrg.objective.clone(),

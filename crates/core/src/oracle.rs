@@ -168,7 +168,7 @@ impl From<InjectedFault> for OracleError {
 ///
 /// Oracles are the `t(·)` of the ORG problem statement: they take a
 /// spanning routing graph and return the source-to-sink delays. The greedy
-/// algorithms ([`ldrg`](crate::ldrg), [`h1`](crate::h1), …) are generic
+/// algorithms ([`ldrg_with`](crate::ldrg_with), [`h1_with`](crate::h1_with), …) are generic
 /// over this trait so the paper's SPICE-based and Elmore-based variants
 /// share one implementation.
 ///

@@ -3,8 +3,9 @@
 //! dispatch that the server engine and the eval harness share.
 //!
 //! Historically each algorithm had its own free function and result type
-//! (`ldrg(tree, oracle, opts) -> LdrgResult`, `h2(tree, tech) ->
-//! HeuristicResult`, …). Those entry points remain — [`route_one`] calls
+//! (`ldrg_with(tree, oracle, opts) -> LdrgResult`, `h2_with(tree, tech,
+//! opts) -> HeuristicResult`, …). Those entry points remain — [`route_one`]
+//! calls
 //! them, and the equivalence tests pin its results bit-identical to
 //! theirs — but callers that just want "route this net under this
 //! budget" now have a single surface that also carries the resilience
@@ -41,7 +42,7 @@ use crate::heuristics::{h2_with, h3_with, HeuristicOptions, HeuristicResult};
 use crate::retry::RetryPolicy;
 use crate::wsorg::WireSizeResult;
 use crate::{
-    h1_with, ldrg, CancelToken, CandidateGen, DelayOracle, IterationRecord, LdrgOptions,
+    h1_with, ldrg_with, CancelToken, CandidateGen, DelayOracle, IterationRecord, LdrgOptions,
     LdrgResult, MomentOracle, OracleError, OracleStats, TransientOracle, TreeElmoreOracle,
 };
 
@@ -529,16 +530,11 @@ fn run_at(
             ))
         }
         Algorithm::Ldrg => {
-            let r = ldrg(&prim_mst(net), oracle, &opts)?;
+            let r = ldrg_with(&prim_mst(net), oracle, &opts)?;
             Ok(RoutingOutcome::from(r).with_fidelity(fidelity))
         }
         Algorithm::H1 => {
-            let r = h1_with(
-                &prim_mst(net),
-                oracle,
-                budget.max_added_edges,
-                Some(&cancel),
-            )?;
+            let r = h1_with(&prim_mst(net), oracle, &opts)?;
             Ok(RoutingOutcome::from(r).with_fidelity(fidelity))
         }
         Algorithm::H2 | Algorithm::H3 => {
@@ -585,7 +581,7 @@ fn run_at(
         }
         Algorithm::ErtLdrg => {
             let tree = base_tree(net, algorithm, &tech)?;
-            let r = ldrg(&tree, oracle, &opts)?;
+            let r = ldrg_with(&tree, oracle, &opts)?;
             Ok(RoutingOutcome::from(r).with_fidelity(fidelity))
         }
     }
@@ -856,7 +852,7 @@ mod tests {
     fn ldrg_result_converts_losslessly() {
         let n = net(10, 8);
         let tech = Technology::date94();
-        let r = ldrg(
+        let r = ldrg_with(
             &prim_mst(&n),
             &MomentOracle::new(tech),
             &LdrgOptions::default(),

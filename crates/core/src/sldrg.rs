@@ -1,12 +1,12 @@
 use ntr_geom::Net;
 use ntr_steiner::{iterated_one_steiner, SteinerOptions};
 
-use crate::{ldrg, DelayOracle, LdrgOptions, LdrgResult, OracleError};
+use crate::{ldrg_with, DelayOracle, LdrgOptions, LdrgResult, OracleError};
 
 /// The Steiner Low Delay Routing Graph algorithm (paper Figure 6).
 ///
 /// Step 1 computes a rectilinear Steiner tree over the net with the
-/// Iterated 1-Steiner heuristic; step 2 runs the [`ldrg`] greedy loop over
+/// Iterated 1-Steiner heuristic; step 2 runs the [`ldrg_with`] greedy loop over
 /// it, with Steiner points eligible as endpoints of the added edges.
 ///
 /// The returned [`LdrgResult`]'s `initial_delay`/`initial_cost` describe
@@ -20,19 +20,19 @@ use crate::{ldrg, DelayOracle, LdrgOptions, LdrgResult, OracleError};
 ///
 /// ```
 /// use ntr_circuit::Technology;
-/// use ntr_core::{sldrg, LdrgOptions, TransientOracle};
+/// use ntr_core::{sldrg_with, LdrgOptions, TransientOracle};
 /// use ntr_geom::{Layout, NetGenerator};
 /// use ntr_steiner::SteinerOptions;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let net = NetGenerator::new(Layout::date94(), 3).random_net(10)?;
 /// let oracle = TransientOracle::fast(Technology::date94());
-/// let result = sldrg(&net, &SteinerOptions::default(), &oracle, &LdrgOptions::default())?;
+/// let result = sldrg_with(&net, &SteinerOptions::default(), &oracle, &LdrgOptions::default())?;
 /// assert!(result.final_delay() <= result.initial_delay);
 /// # Ok(())
 /// # }
 /// ```
-pub fn sldrg(
+pub fn sldrg_with(
     net: &Net,
     steiner: &SteinerOptions,
     oracle: &dyn DelayOracle,
@@ -43,7 +43,7 @@ pub fn sldrg(
         let _steiner_span = ntr_obs::span("sldrg.steiner");
         iterated_one_steiner(net, steiner)
     };
-    ldrg(&base, oracle, opts)
+    ldrg_with(&base, oracle, opts)
 }
 
 #[cfg(test)]
@@ -60,7 +60,7 @@ mod tests {
             .random_net(10)
             .unwrap();
         let oracle = MomentOracle::new(Technology::date94());
-        let res = sldrg(
+        let res = sldrg_with(
             &net,
             &SteinerOptions::default(),
             &oracle,
@@ -86,7 +86,7 @@ mod tests {
             let net = NetGenerator::new(Layout::date94(), seed)
                 .random_net(12)
                 .unwrap();
-            let res = sldrg(
+            let res = sldrg_with(
                 &net,
                 &SteinerOptions::default(),
                 &oracle,

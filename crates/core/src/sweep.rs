@@ -1,7 +1,7 @@
 //! The shared candidate-evaluation engine.
 //!
-//! Every greedy loop in this crate — [`ldrg`](crate::ldrg),
-//! [`ldrg_prefiltered`](crate::ldrg_prefiltered), [`h1`](crate::h1) and
+//! Every greedy loop in this crate — [`ldrg_with`](crate::ldrg_with),
+//! [`ldrg_prefiltered`](crate::ldrg_prefiltered), [`h1_with`](crate::h1_with) and
 //! [`wire_size`](crate::wire_size) — has the same inner shape: take the
 //! committed routing, enumerate trial modifications, score each one, and
 //! keep the best. This module factors that shape into one kernel:

@@ -56,14 +56,14 @@ pub struct TrimResult {
 ///
 /// ```
 /// use ntr_circuit::Technology;
-/// use ntr_core::{ldrg, trim_redundant_edges, LdrgOptions, MomentOracle, TrimOptions};
+/// use ntr_core::{ldrg_with, trim_redundant_edges, LdrgOptions, MomentOracle, TrimOptions};
 /// use ntr_geom::{Layout, NetGenerator};
 /// use ntr_graph::prim_mst;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let net = NetGenerator::new(Layout::date94(), 8).random_net(10)?;
 /// let oracle = MomentOracle::new(Technology::date94());
-/// let routed = ldrg(&prim_mst(&net), &oracle, &LdrgOptions::default())?;
+/// let routed = ldrg_with(&prim_mst(&net), &oracle, &LdrgOptions::default())?;
 /// let trimmed = trim_redundant_edges(&routed.graph, &oracle, &TrimOptions::default())?;
 /// assert!(trimmed.final_delay <= trimmed.initial_delay * (1.0 + 1e-5));
 /// assert!(trimmed.graph.is_connected());
@@ -125,7 +125,7 @@ pub fn trim_redundant_edges(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ldrg, LdrgOptions, MomentOracle};
+    use crate::{ldrg_with, LdrgOptions, MomentOracle};
     use ntr_circuit::Technology;
     use ntr_geom::{Layout, Net, NetGenerator, Point};
     use ntr_graph::prim_mst;
@@ -137,7 +137,7 @@ mod tests {
             let net = NetGenerator::new(Layout::date94(), seed)
                 .random_net(9)
                 .unwrap();
-            let routed = ldrg(&prim_mst(&net), &oracle, &LdrgOptions::default()).unwrap();
+            let routed = ldrg_with(&prim_mst(&net), &oracle, &LdrgOptions::default()).unwrap();
             let trimmed =
                 trim_redundant_edges(&routed.graph, &oracle, &TrimOptions::default()).unwrap();
             assert!(trimmed.graph.is_connected());

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use ntr_circuit::Technology;
 use ntr_core::{
-    h1_with, ldrg, ldrg_prefiltered, CancelToken, LdrgOptions, MomentOracle, OracleError,
+    h1_with, ldrg_prefiltered, ldrg_with, CancelToken, LdrgOptions, MomentOracle, OracleError,
 };
 use ntr_geom::{Layout, NetGenerator};
 use ntr_graph::{prim_mst, RoutingGraph};
@@ -22,7 +22,7 @@ fn tripped_token_cancels_ldrg_immediately() {
     let oracle = MomentOracle::new(Technology::date94());
     let token = CancelToken::new();
     token.cancel();
-    let err = ldrg(
+    let err = ldrg_with(
         &mst(1, 12),
         &oracle,
         &LdrgOptions {
@@ -42,7 +42,7 @@ fn expired_deadline_cancels_ldrg_and_prefiltered() {
         ..Default::default()
     };
     assert!(matches!(
-        ldrg(&mst(2, 15), &oracle, &opts),
+        ldrg_with(&mst(2, 15), &oracle, &opts),
         Err(OracleError::Cancelled(_))
     ));
     assert!(matches!(
@@ -57,13 +57,28 @@ fn h1_with_respects_the_token() {
     let token = CancelToken::new();
     token.cancel();
     assert!(matches!(
-        h1_with(&mst(3, 10), &oracle, 0, Some(&token)),
+        h1_with(
+            &mst(3, 10),
+            &oracle,
+            &LdrgOptions {
+                cancel: token,
+                ..Default::default()
+            }
+        ),
         Err(OracleError::Cancelled(_))
     ));
-    // And a live token changes nothing relative to the plain call.
+    // And a live token changes nothing relative to the default one.
     let live = CancelToken::new();
-    let a = h1_with(&mst(3, 10), &oracle, 0, Some(&live)).unwrap();
-    let b = ntr_core::h1(&mst(3, 10), &oracle, 0).unwrap();
+    let a = h1_with(
+        &mst(3, 10),
+        &oracle,
+        &LdrgOptions {
+            cancel: live,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let b = ntr_core::h1_with(&mst(3, 10), &oracle, &LdrgOptions::default()).unwrap();
     assert_eq!(a.final_delay(), b.final_delay());
     assert_eq!(a.iterations.len(), b.iterations.len());
 }
@@ -71,6 +86,6 @@ fn h1_with_respects_the_token() {
 #[test]
 fn default_token_never_interferes() {
     let oracle = MomentOracle::new(Technology::date94());
-    let res = ldrg(&mst(4, 9), &oracle, &LdrgOptions::default()).unwrap();
+    let res = ldrg_with(&mst(4, 9), &oracle, &LdrgOptions::default()).unwrap();
     assert!(res.final_delay() <= res.initial_delay);
 }

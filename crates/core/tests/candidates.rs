@@ -10,7 +10,7 @@
 
 use ntr_circuit::Technology;
 use ntr_core::{
-    ldrg, route_one, sldrg, Algorithm, Budget, CandidateGen, LdrgOptions, MomentOracle,
+    ldrg_with, route_one, sldrg_with, Algorithm, Budget, CandidateGen, LdrgOptions, MomentOracle,
 };
 use ntr_geom::{Layout, Net, NetGenerator};
 use ntr_graph::prim_mst;
@@ -68,9 +68,9 @@ fn pruned_full_k_matches_exhaustive_ldrg_on_20_seeds() {
     let oracle = MomentOracle::new(Technology::date94());
     for seed in 0..SEEDS {
         let mst = prim_mst(&net(seed));
-        let exhaustive = ldrg(&mst, &oracle, &LdrgOptions::default()).unwrap();
+        let exhaustive = ldrg_with(&mst, &oracle, &LdrgOptions::default()).unwrap();
         for include_tree_neighbors in [false, true] {
-            let pruned = ldrg(
+            let pruned = ldrg_with(
                 &mst,
                 &oracle,
                 &LdrgOptions {
@@ -93,8 +93,8 @@ fn pruned_full_k_matches_exhaustive_sldrg_on_20_seeds() {
     let steiner = SteinerOptions::default();
     for seed in 0..SEEDS {
         let n = net(seed);
-        let exhaustive = sldrg(&n, &steiner, &oracle, &LdrgOptions::default()).unwrap();
-        let pruned = sldrg(
+        let exhaustive = sldrg_with(&n, &steiner, &oracle, &LdrgOptions::default()).unwrap();
+        let pruned = sldrg_with(
             &n,
             &steiner,
             &oracle,
@@ -115,7 +115,7 @@ fn pruned_full_k_matches_exhaustive_sldrg_on_20_seeds() {
 fn pruned_search_counters_account_for_the_universe() {
     let oracle = MomentOracle::new(Technology::date94());
     let mst = prim_mst(&net(3));
-    let res = ldrg(
+    let res = ldrg_with(
         &mst,
         &oracle,
         &LdrgOptions {
@@ -137,7 +137,7 @@ fn pruned_search_counters_account_for_the_universe() {
         "k=3 on an 8-pin net must prune something"
     );
 
-    let exhaustive = ldrg(&mst, &oracle, &LdrgOptions::default()).unwrap();
+    let exhaustive = ldrg_with(&mst, &oracle, &LdrgOptions::default()).unwrap();
     assert_eq!(exhaustive.stats.candidates_pruned, 0);
     assert!(exhaustive.stats.candidates_generated >= res.stats.candidates_generated);
 }
@@ -166,7 +166,7 @@ fn thousand_pin_net_routes_with_bounded_candidates() {
         .unwrap();
     let mst = prim_mst(&net);
     let oracle = MomentOracle::new(Technology::date94());
-    let res = ldrg(
+    let res = ldrg_with(
         &mst,
         &oracle,
         &LdrgOptions {

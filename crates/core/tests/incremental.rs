@@ -11,8 +11,8 @@
 
 use ntr_circuit::Technology;
 use ntr_core::{
-    candidate_oracle_for, ldrg, sweep_candidates, wire_size, Candidate, DelayOracle, LdrgOptions,
-    MomentMetric, MomentOracle, Objective, TransientOracle, WireSizeOptions,
+    candidate_oracle_for, ldrg_with, sweep_candidates, wire_size, Candidate, DelayOracle,
+    LdrgOptions, MomentMetric, MomentOracle, Objective, TransientOracle, WireSizeOptions,
 };
 use ntr_geom::{Layout, NetGenerator};
 use ntr_graph::{prim_mst, NodeId, RoutingGraph};
@@ -126,10 +126,10 @@ proptest! {
     fn parallel_ldrg_commits_serial_edge_sequence(seed in 0u64..200, size in 4usize..9) {
         let graph = random_graph(seed, size, 0);
         let oracle = MomentOracle::new(Technology::date94());
-        let serial = ldrg(&graph, &oracle, &LdrgOptions { parallelism: 1, ..Default::default() })
+        let serial = ldrg_with(&graph, &oracle, &LdrgOptions { parallelism: 1, ..Default::default() })
             .unwrap();
         for workers in [2usize, 4, 0] {
-            let par = ldrg(
+            let par = ldrg_with(
                 &graph,
                 &oracle,
                 &LdrgOptions { parallelism: workers, ..Default::default() },
@@ -172,7 +172,7 @@ proptest! {
 fn moment_ldrg_runs_on_the_rank1_path() {
     let graph = random_graph(7, 10, 0);
     let oracle = MomentOracle::new(Technology::date94());
-    let res = ldrg(&graph, &oracle, &LdrgOptions::default()).unwrap();
+    let res = ldrg_with(&graph, &oracle, &LdrgOptions::default()).unwrap();
     // Every candidate score went through a rank-1 solve; factorizations
     // happen once per prepared (committed) routing only.
     assert!(res.stats.rank1_solves > 0);
@@ -188,7 +188,7 @@ fn moment_ldrg_runs_on_the_rank1_path() {
 fn transient_ldrg_runs_on_the_scratch_fallback() {
     let graph = random_graph(3, 6, 0);
     let oracle = TransientOracle::fast(Technology::date94());
-    let res = ldrg(
+    let res = ldrg_with(
         &graph,
         &oracle,
         &LdrgOptions {

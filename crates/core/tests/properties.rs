@@ -2,8 +2,8 @@
 
 use ntr_circuit::Technology;
 use ntr_core::{
-    h1, h2_with, h3_with, ldrg, trim_redundant_edges, DelayOracle, HeuristicOptions, LdrgOptions,
-    MomentOracle, Objective, TransientOracle, TrimOptions,
+    h1_with, h2_with, h3_with, ldrg_with, trim_redundant_edges, DelayOracle, HeuristicOptions,
+    LdrgOptions, MomentOracle, Objective, TransientOracle, TrimOptions,
 };
 use ntr_geom::{Layout, NetGenerator};
 use ntr_graph::prim_mst;
@@ -24,7 +24,7 @@ proptest! {
         let net = NetGenerator::new(Layout::date94(), seed).random_net(size).unwrap();
         let mst = prim_mst(&net);
         let oracle = oracle();
-        let res = ldrg(&mst, &oracle, &LdrgOptions::default()).unwrap();
+        let res = ldrg_with(&mst, &oracle, &LdrgOptions::default()).unwrap();
         prop_assert!(res.graph.is_connected());
         let mut prev = res.initial_delay;
         let mut prev_cost = res.initial_cost;
@@ -35,7 +35,7 @@ proptest! {
             prev_cost = it.cost;
         }
         // Idempotence: a second run finds nothing (same oracle, same rule).
-        let again = ldrg(&res.graph, &oracle, &LdrgOptions::default()).unwrap();
+        let again = ldrg_with(&res.graph, &oracle, &LdrgOptions::default()).unwrap();
         prop_assert_eq!(again.iterations.len(), 0);
     }
 
@@ -48,7 +48,7 @@ proptest! {
         let mst = prim_mst(&net);
         let tech = Technology::date94();
         let oracle = MomentOracle::new(tech);
-        let h1_res = h1(&mst, &oracle, 0).unwrap();
+        let h1_res = h1_with(&mst, &oracle, &LdrgOptions::default()).unwrap();
         let h2_res = h2_with(&mst, &tech, &HeuristicOptions::default()).unwrap();
         let score = |g: &ntr_graph::RoutingGraph| {
             Objective::MaxDelay.score(&oracle.evaluate(g).unwrap())
@@ -86,7 +86,7 @@ proptest! {
     fn trim_invariants(seed in 0u64..200, size in 4usize..10) {
         let net = NetGenerator::new(Layout::date94(), seed).random_net(size).unwrap();
         let oracle = oracle();
-        let routed = ldrg(&prim_mst(&net), &oracle, &LdrgOptions::default()).unwrap();
+        let routed = ldrg_with(&prim_mst(&net), &oracle, &LdrgOptions::default()).unwrap();
         let trimmed = trim_redundant_edges(&routed.graph, &oracle, &TrimOptions::default()).unwrap();
         prop_assert!(trimmed.graph.is_connected());
         prop_assert!(trimmed.final_delay <= trimmed.initial_delay * (1.0 + 1e-5));
@@ -106,7 +106,7 @@ proptest! {
         let tech = Technology::date94();
         let moment = MomentOracle::new(tech);
         let transient = TransientOracle::fast(tech);
-        let res = ldrg(&mst, &moment, &LdrgOptions::default()).unwrap();
+        let res = ldrg_with(&mst, &moment, &LdrgOptions::default()).unwrap();
         let moment_gain = 1.0 - res.final_delay() / res.initial_delay;
         if moment_gain > 0.10 {
             let t_base = Objective::MaxDelay.score(&transient.evaluate(&mst).unwrap());

@@ -6,7 +6,7 @@
 
 use ntr_circuit::Technology;
 use ntr_core::{
-    h1_with, h2_with, h3_with, ldrg, route_one, Algorithm, Budget, DelayOracle, Fidelity,
+    h1_with, h2_with, h3_with, ldrg_with, route_one, Algorithm, Budget, DelayOracle, Fidelity,
     HeuristicOptions, LdrgOptions, MomentOracle, RoutingOutcome,
 };
 use ntr_ert::{elmore_routing_tree, ErtOptions};
@@ -39,12 +39,12 @@ fn legacy(algorithm: Algorithm, n: &Net) -> (ntr_graph::RoutingGraph, f64, f64) 
             (g, d, d)
         }
         Algorithm::Ldrg => {
-            let r = ldrg(&prim_mst(n), &oracle, &opts).unwrap();
+            let r = ldrg_with(&prim_mst(n), &oracle, &opts).unwrap();
             let (i, f) = (r.initial_delay, r.final_delay());
             (r.graph, i, f)
         }
         Algorithm::H1 => {
-            let r = h1_with(&prim_mst(n), &oracle, 0, None).unwrap();
+            let r = h1_with(&prim_mst(n), &oracle, &opts).unwrap();
             let (i, f) = (r.initial_delay, r.final_delay());
             (r.graph, i, f)
         }
@@ -67,7 +67,7 @@ fn legacy(algorithm: Algorithm, n: &Net) -> (ntr_graph::RoutingGraph, f64, f64) 
         }
         Algorithm::ErtLdrg => {
             let base = elmore_routing_tree(n, &tech, &ErtOptions::default()).unwrap();
-            let r = ldrg(&base, &oracle, &opts).unwrap();
+            let r = ldrg_with(&base, &oracle, &opts).unwrap();
             let (i, f) = (r.initial_delay, r.final_delay());
             (r.graph, i, f)
         }
@@ -147,7 +147,7 @@ fn max_added_edges_is_respected_through_the_dispatch() {
         )
         .unwrap();
         assert!(out.added_edges <= 1, "seed {seed}: {}", out.added_edges);
-        let legacy = ldrg(
+        let legacy = ldrg_with(
             &prim_mst(&net(seed)),
             &MomentOracle::new(Technology::date94()),
             &LdrgOptions {

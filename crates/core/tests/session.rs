@@ -1,0 +1,263 @@
+//! Session equivalence suite: a [`RoutingSession`] must never trade
+//! correctness for speed.
+//!
+//! - Every `Scratch` reroute is **bit-identical** (`f64::to_bits`) to
+//!   calling [`route_one`] on the mutated net with the session's budget.
+//! - Every `Rank1`/`Refactor` reroute reports a delay within **1e-9
+//!   relative** of re-extracting the retained topology and computing
+//!   moments from scratch ([`ntr_spice::elmore_delays`]).
+//!
+//! 20 seeded nets × mutation sequences, run in release mode by CI.
+
+use ntr_circuit::{extract, ExtractOptions, Technology};
+use ntr_core::{route_one, Algorithm, Budget, DeltaOp, ReroutePath, RoutingSession};
+use ntr_geom::{Layout, Net, NetGenerator, Point};
+use ntr_spice::elmore_delays;
+
+const SEEDS: u64 = 20;
+const NET_SIZE: usize = 9;
+
+fn net(seed: u64) -> Net {
+    NetGenerator::new(Layout::date94(), seed)
+        .random_net(NET_SIZE)
+        .unwrap()
+}
+
+fn budget() -> Budget {
+    Budget::new(Technology::date94())
+}
+
+fn open(seed: u64) -> RoutingSession {
+    let (session, _) = RoutingSession::create(&net(seed), Algorithm::Ldrg, budget()).unwrap();
+    session
+}
+
+/// Extra deterministic points inside the layout, disjoint from `net`'s
+/// pins with probability 1 (continuous coordinates).
+fn fresh_points(seed: u64, n: usize) -> Vec<Point> {
+    NetGenerator::new(Layout::date94(), seed ^ 0xdead_beef)
+        .random_net(n + 1)
+        .unwrap()
+        .pins()[1..]
+        .to_vec()
+}
+
+/// The from-scratch reference for an incremental reroute: extract the
+/// retained topology and run the plain moment pipeline on it.
+fn scratch_delay_of(session: &RoutingSession) -> f64 {
+    let ex = extract(
+        session.graph().expect("incremental paths keep a graph"),
+        &Technology::date94(),
+        &ExtractOptions::default(),
+    )
+    .unwrap();
+    elmore_delays(&ex).unwrap().into_iter().fold(0.0, f64::max)
+}
+
+fn assert_close(incremental: f64, reference: f64, what: &str) {
+    assert!(
+        (incremental - reference).abs() <= 1e-9 * reference.abs().max(1e-30),
+        "{what}: incremental {incremental} vs from-scratch {reference}"
+    );
+}
+
+/// Asserts a scratch-path report is bit-identical to a stateless
+/// `route_one` on the same pin set.
+fn assert_bit_identical(session: &RoutingSession, report: &ntr_core::RerouteReport, what: &str) {
+    let n = Net::from_points(session.pins().to_vec()).unwrap();
+    let reference = route_one(&n, session.algorithm(), session.budget()).unwrap();
+    assert_eq!(report.outcome.graph, reference.graph, "{what}: graphs");
+    assert_eq!(
+        report.outcome.final_delay.to_bits(),
+        reference.final_delay.to_bits(),
+        "{what}: final delay {} vs {}",
+        report.outcome.final_delay,
+        reference.final_delay
+    );
+    assert_eq!(
+        report.outcome.initial_delay.to_bits(),
+        reference.initial_delay.to_bits(),
+        "{what}: initial delay"
+    );
+    assert_eq!(
+        report.outcome.final_cost.to_bits(),
+        reference.final_cost.to_bits(),
+        "{what}: final cost"
+    );
+    assert_eq!(
+        report.outcome.added_edges, reference.added_edges,
+        "{what}: added edges"
+    );
+}
+
+#[test]
+fn add_pin_scratch_reroutes_are_bit_identical_to_route_one() {
+    for seed in 0..SEEDS {
+        let mut s = open(seed);
+        let p = fresh_points(seed, 1)[0];
+        s.mutate(DeltaOp::AddPin(p)).unwrap();
+        let report = s.reroute().unwrap();
+        assert_eq!(report.path, ReroutePath::Scratch, "seed {seed}");
+        assert_bit_identical(&s, &report, &format!("seed {seed} add_pin"));
+    }
+}
+
+#[test]
+fn remove_pin_scratch_reroutes_are_bit_identical_to_route_one() {
+    for seed in 0..SEEDS {
+        let mut s = open(seed);
+        let victim = 1 + (seed as usize % (NET_SIZE - 1));
+        s.mutate(DeltaOp::RemovePin { pin: victim }).unwrap();
+        let report = s.reroute().unwrap();
+        assert_eq!(report.path, ReroutePath::Scratch, "seed {seed}");
+        assert_eq!(s.pins().len(), NET_SIZE - 1, "seed {seed}");
+        assert_bit_identical(&s, &report, &format!("seed {seed} remove_pin"));
+    }
+}
+
+#[test]
+fn move_pin_reroutes_match_from_scratch_evaluation() {
+    let mut refactors = 0u32;
+    for seed in 0..SEEDS {
+        let mut s = open(seed);
+        // Two rounds: the first builds the cached factorization, the
+        // second replays its pattern through the refactor rung.
+        for round in 0..2u32 {
+            let pin = 1 + ((seed + u64::from(round)) as usize % (NET_SIZE - 1));
+            let p = s.pins()[pin];
+            let to = Point::new(p.x + 3.0 + f64::from(round), p.y - 2.0);
+            s.mutate(DeltaOp::MovePin { pin, to }).unwrap();
+            let report = s.reroute().unwrap();
+            match report.path {
+                ReroutePath::Refactor => {
+                    refactors += 1;
+                    assert_close(
+                        report.outcome.final_delay,
+                        scratch_delay_of(&s),
+                        &format!("seed {seed} round {round} move_pin"),
+                    );
+                }
+                // A move that pushes an edge length across a
+                // segmentation boundary legitimately falls to scratch.
+                ReroutePath::Scratch => {
+                    assert_bit_identical(
+                        &s,
+                        &report,
+                        &format!("seed {seed} round {round} move_pin fallback"),
+                    );
+                }
+                other => panic!("seed {seed} round {round}: unexpected path {other}"),
+            }
+        }
+    }
+    // Small moves almost never cross a 500-unit segment boundary; the
+    // refactor rung must be genuinely exercised across the fleet.
+    assert!(refactors >= SEEDS as u32, "only {refactors} refactor paths");
+}
+
+#[test]
+fn add_edge_rank1_reroutes_match_from_scratch_evaluation() {
+    let mut rank1s = 0u32;
+    for seed in 0..SEEDS {
+        let mut s = open(seed);
+        let Some((a, b)) = free_pin_pair(&s) else {
+            continue;
+        };
+        s.mutate(DeltaOp::AddEdge { a, b }).unwrap();
+        let report = s.reroute().unwrap();
+        assert_eq!(report.path, ReroutePath::Rank1, "seed {seed}");
+        assert_eq!(report.outcome.added_edges, 1, "seed {seed}");
+        rank1s += 1;
+        // The Sherman–Morrison score was computed against the cached
+        // factors; the reference re-extracts the committed topology.
+        assert_close(
+            report.outcome.final_delay,
+            scratch_delay_of(&s),
+            &format!("seed {seed} add_edge"),
+        );
+    }
+    assert!(rank1s >= SEEDS as u32 - 2, "only {rank1s} rank1 paths");
+}
+
+#[test]
+fn mixed_mutation_sequences_stay_equivalent() {
+    for seed in 0..SEEDS {
+        let mut s = open(seed);
+
+        // 1. Move, then verify against from-scratch evaluation.
+        let p = s.pins()[2];
+        s.mutate(DeltaOp::MovePin {
+            pin: 2,
+            to: Point::new(p.x - 4.0, p.y + 5.0),
+        })
+        .unwrap();
+        let r = s.reroute().unwrap();
+        if r.path == ReroutePath::Refactor {
+            assert_close(r.outcome.final_delay, scratch_delay_of(&s), "step 1");
+        } else {
+            assert_bit_identical(&s, &r, &format!("seed {seed} step 1"));
+        }
+
+        // 2. Batched move + add_edge is pattern growth: scratch,
+        //    bit-identical.
+        let p = s.pins()[3];
+        s.mutate(DeltaOp::MovePin {
+            pin: 3,
+            to: Point::new(p.x + 2.0, p.y),
+        })
+        .unwrap();
+        if let Some((a, b)) = free_pin_pair(&s) {
+            s.mutate(DeltaOp::AddEdge { a, b }).unwrap();
+        }
+        let r = s.reroute().unwrap();
+        assert_eq!(r.path, ReroutePath::Scratch, "seed {seed} step 2");
+        assert_bit_identical(&s, &r, &format!("seed {seed} step 2"));
+
+        // 3. Grow the net, then shrink it: both scratch, both
+        //    bit-identical.
+        let extra = fresh_points(seed, 2);
+        s.mutate(DeltaOp::AddPin(extra[0])).unwrap();
+        s.mutate(DeltaOp::AddPin(extra[1])).unwrap();
+        let r = s.reroute().unwrap();
+        assert_eq!(r.path, ReroutePath::Scratch, "seed {seed} step 3");
+        assert_bit_identical(&s, &r, &format!("seed {seed} step 3"));
+
+        s.mutate(DeltaOp::RemovePin {
+            pin: s.pins().len() - 1,
+        })
+        .unwrap();
+        let r = s.reroute().unwrap();
+        assert_bit_identical(&s, &r, &format!("seed {seed} step 4"));
+
+        // 4. Quiescent replay returns exactly the last outcome.
+        let last = r.outcome.clone();
+        let replay = s.reroute().unwrap();
+        assert_eq!(replay.path, ReroutePath::Quiescent, "seed {seed} step 5");
+        assert_eq!(replay.outcome, last, "seed {seed} step 5");
+
+        let stats = s.stats();
+        assert_eq!(
+            stats.reroutes,
+            stats.quiescent + stats.rank1 + stats.refactor + stats.scratch,
+            "seed {seed}: path counters must partition reroutes"
+        );
+    }
+}
+
+/// A pin pair with no direct edge in the retained topology.
+fn free_pin_pair(s: &RoutingSession) -> Option<(usize, usize)> {
+    let graph = s.graph()?;
+    let nodes: Vec<_> = {
+        let mut v: Vec<(ntr_graph::NodeId, usize)> = graph.pin_nodes().collect();
+        v.sort_by_key(|&(_, pin)| pin);
+        v
+    };
+    for (i, &(na, a)) in nodes.iter().enumerate() {
+        for &(nb, b) in &nodes[i + 1..] {
+            if !graph.has_edge(na, nb) {
+                return Some((a, b));
+            }
+        }
+    }
+    None
+}

@@ -1,7 +1,7 @@
 use std::time::Instant;
 
 use ntr_core::{
-    ldrg, DelayOracle, LdrgOptions, MomentMetric, MomentOracle, Objective, TransientOracle,
+    ldrg_with, DelayOracle, LdrgOptions, MomentMetric, MomentOracle, Objective, TransientOracle,
 };
 use ntr_graph::prim_mst;
 
@@ -71,7 +71,7 @@ pub fn run_oracle_ablation(config: &EvalConfig) -> Result<Vec<OracleAblationRow>
         let mut sum_edges = 0.0;
         for net in &nets {
             let mst = prim_mst(net);
-            let result = ldrg(&mst, oracle.as_ref(), &LdrgOptions::default())?;
+            let result = ldrg_with(&mst, oracle.as_ref(), &LdrgOptions::default())?;
             let base = Objective::MaxDelay.score(&reference.evaluate(&mst)?);
             let final_delay = Objective::MaxDelay.score(&reference.evaluate(&result.graph)?);
             sum_delay += final_delay / base;

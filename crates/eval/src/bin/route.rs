@@ -23,8 +23,8 @@ use std::process::ExitCode;
 
 use ntr_circuit::{extract, to_spice_deck, ExtractOptions, Technology};
 use ntr_core::{
-    h1, h2_with, h3_with, horg, ldrg, route_netlist, sldrg, trim_redundant_edges, HeuristicOptions,
-    HorgOptions, LdrgOptions, NetlistRouteOptions, TransientOracle, TrimOptions,
+    h1_with, h2_with, h3_with, horg, ldrg_with, route_netlist, sldrg_with, trim_redundant_edges,
+    HeuristicOptions, HorgOptions, LdrgOptions, NetlistRouteOptions, TransientOracle, TrimOptions,
 };
 use ntr_ert::{elmore_routing_tree, steiner_elmore_routing_tree, ErtOptions};
 use ntr_eval::EvalConfig;
@@ -132,7 +132,7 @@ fn build(
         ),
         "sert" => (steiner_elmore_routing_tree(net, &tech), None),
         "h1" => {
-            let r = h1(&prim_mst(net), &oracle, 0).map_err(err)?;
+            let r = h1_with(&prim_mst(net), &oracle, &LdrgOptions::default()).map_err(err)?;
             (r.graph, Some(r.stats))
         }
         "h2" => (
@@ -148,11 +148,11 @@ fn build(
             None,
         ),
         "ldrg" => {
-            let r = ldrg(&prim_mst(net), &oracle, &LdrgOptions::default()).map_err(err)?;
+            let r = ldrg_with(&prim_mst(net), &oracle, &LdrgOptions::default()).map_err(err)?;
             (r.graph, Some(r.stats))
         }
         "sldrg" => {
-            let r = sldrg(
+            let r = sldrg_with(
                 net,
                 &SteinerOptions::default(),
                 &oracle,
@@ -164,7 +164,7 @@ fn build(
         "ert-ldrg" => {
             let base = elmore_routing_tree(net, &tech, &ErtOptions::default())
                 .map_err(|e| e.to_string())?;
-            let r = ldrg(&base, &oracle, &LdrgOptions::default()).map_err(err)?;
+            let r = ldrg_with(&base, &oracle, &LdrgOptions::default()).map_err(err)?;
             (r.graph, Some(r.stats))
         }
         "horg" => (

@@ -2,8 +2,8 @@ use std::error::Error;
 use std::fmt;
 
 use ntr_core::{
-    h1, h2_with, h3_with, ldrg, sldrg, DelayOracle, HeuristicOptions, LdrgOptions, Objective,
-    OracleError, TransientOracle,
+    h1_with, h2_with, h3_with, ldrg_with, sldrg_with, DelayOracle, HeuristicOptions, LdrgOptions,
+    Objective, OracleError, TransientOracle,
 };
 use ntr_ert::{elmore_routing_tree, BuildErtError, ErtOptions};
 use ntr_geom::{GenerateNetError, Net};
@@ -144,7 +144,7 @@ pub fn run_table2(config: &EvalConfig) -> Result<ExperimentTable, EvalError> {
         &paper::TABLE2_ITER2,
         |net, oracle| {
             let mst = prim_mst(net);
-            ldrg(
+            ldrg_with(
                 &mst,
                 oracle,
                 &LdrgOptions {
@@ -168,7 +168,7 @@ pub fn run_table3(config: &EvalConfig) -> Result<ExperimentTable, EvalError> {
     for &size in &config.sizes {
         let mut samples = Vec::new();
         for net in nets_for(config, size)? {
-            let res = sldrg(
+            let res = sldrg_with(
                 &net,
                 &SteinerOptions::default(),
                 &oracle,
@@ -206,7 +206,14 @@ pub fn run_table4(config: &EvalConfig) -> Result<ExperimentTable, EvalError> {
         &paper::TABLE4_ITER2,
         |net, oracle| {
             let mst = prim_mst(net);
-            h1(&mst, oracle, 2)
+            h1_with(
+                &mst,
+                oracle,
+                &LdrgOptions {
+                    max_added_edges: 2,
+                    ..Default::default()
+                },
+            )
         },
     )
 }
@@ -328,7 +335,7 @@ pub fn run_table7(config: &EvalConfig) -> Result<ExperimentTable, EvalError> {
         let mut samples = Vec::new();
         for net in nets_for(config, size)? {
             let ert = elmore_routing_tree(&net, &config.tech, &ErtOptions::default())?;
-            let res = ldrg(&ert, &oracle, &LdrgOptions::default())?;
+            let res = ldrg_with(&ert, &oracle, &LdrgOptions::default())?;
             samples.push(RatioSample {
                 delay: res.final_delay() / res.initial_delay,
                 cost: res.final_cost() / res.initial_cost,

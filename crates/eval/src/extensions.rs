@@ -5,8 +5,8 @@
 use std::time::Instant;
 
 use ntr_core::{
-    h1, h2_with, h3_with, horg, ldrg, DelayOracle, HeuristicOptions, HorgOptions, LdrgOptions,
-    MomentOracle, Objective, TransientOracle,
+    h1_with, h2_with, h3_with, horg, ldrg_with, DelayOracle, HeuristicOptions, HorgOptions,
+    LdrgOptions, MomentOracle, Objective, TransientOracle,
 };
 use ntr_ert::{elmore_routing_tree, steiner_elmore_routing_tree, ErtOptions};
 use ntr_graph::prim_mst;
@@ -74,11 +74,11 @@ pub fn run_scaling(config: &EvalConfig) -> Result<Vec<ScalingRow>, EvalError> {
             Ok(())
         });
         time_algo!("h1", |net| -> Result<(), EvalError> {
-            let _ = h1(&prim_mst(net), &oracle, 0)?;
+            let _ = h1_with(&prim_mst(net), &oracle, &LdrgOptions::default())?;
             Ok(())
         });
         time_algo!("ldrg", |net| -> Result<(), EvalError> {
-            let _ = ldrg(&prim_mst(net), &oracle, &LdrgOptions::default())?;
+            let _ = ldrg_with(&prim_mst(net), &oracle, &LdrgOptions::default())?;
             Ok(())
         });
         rows.push(ScalingRow { size, seconds });
@@ -145,10 +145,10 @@ pub fn run_csorg(config: &EvalConfig) -> Result<Vec<CsorgRow>, EvalError> {
             let mut alphas = vec![0.0; net.sink_count()];
             alphas[critical] = 1.0;
 
-            let plain = ldrg(&mst, &oracle, &LdrgOptions::default())?;
+            let plain = ldrg_with(&mst, &oracle, &LdrgOptions::default())?;
             let plain_report = oracle.evaluate(&plain.graph)?;
 
-            let weighted = ldrg(
+            let weighted = ldrg_with(
                 &mst,
                 &oracle,
                 &LdrgOptions {

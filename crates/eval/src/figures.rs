@@ -1,5 +1,5 @@
 use ntr_core::DelayOracle;
-use ntr_core::{ldrg, sldrg, LdrgOptions, Objective, TransientOracle};
+use ntr_core::{ldrg_with, sldrg_with, LdrgOptions, Objective, TransientOracle};
 use ntr_geom::{Net, Point};
 use ntr_graph::prim_mst;
 use ntr_steiner::SteinerOptions;
@@ -77,7 +77,7 @@ pub fn run_fig1(config: &EvalConfig) -> Result<FigureReport, EvalError> {
     let net = fig1_net();
     let oracle = TransientOracle::fast(config.tech);
     let mst = prim_mst(&net);
-    let res = ldrg(
+    let res = ldrg_with(
         &mst,
         &oracle,
         &LdrgOptions {
@@ -135,7 +135,7 @@ pub fn run_fig2(config: &EvalConfig) -> Result<FigureReport, EvalError> {
     let mut err: Option<EvalError> = None;
     let found = scan_seeds(config, 10, 500, |seed, net| {
         let mst = prim_mst(net);
-        let res = match ldrg(
+        let res = match ldrg_with(
             &mst,
             &oracle,
             &LdrgOptions {
@@ -182,7 +182,7 @@ pub fn run_fig3(config: &EvalConfig) -> Result<FigureReport, EvalError> {
     let mut err: Option<EvalError> = None;
     let found = scan_seeds(config, 10, 500, |seed, net| {
         let mst = prim_mst(net);
-        let res = match ldrg(&mst, &oracle, &LdrgOptions::default()) {
+        let res = match ldrg_with(&mst, &oracle, &LdrgOptions::default()) {
             Ok(r) => r,
             Err(e) => {
                 err = Some(e.into());
@@ -230,7 +230,7 @@ pub fn run_fig5(config: &EvalConfig) -> Result<FigureReport, EvalError> {
     let oracle = TransientOracle::fast(config.tech);
     let mut err: Option<EvalError> = None;
     let found = scan_seeds(config, 10, 500, |seed, net| {
-        let res = match sldrg(
+        let res = match sldrg_with(
             net,
             &SteinerOptions::default(),
             &oracle,
@@ -278,7 +278,7 @@ pub fn verify_fig1_with_reference_oracle(config: &EvalConfig) -> bool {
     let net = fig1_net();
     let fine = TransientOracle::new(config.tech);
     let mst = prim_mst(&net);
-    let Ok(res) = ldrg(
+    let Ok(res) = ldrg_with(
         &mst,
         &TransientOracle::fast(config.tech),
         &LdrgOptions {
@@ -314,7 +314,7 @@ pub fn figure_svgs(config: &EvalConfig) -> Result<Vec<(String, String)>, EvalErr
         "fig1_mst.svg".to_owned(),
         render_svg(&mst, &SvgOptions::default()),
     ));
-    let res = ldrg(
+    let res = ldrg_with(
         &mst,
         &oracle,
         &LdrgOptions {
@@ -350,7 +350,7 @@ pub fn figure_svgs(config: &EvalConfig) -> Result<Vec<(String, String)>, EvalErr
         "fig2_mst.svg".to_owned(),
         render_svg(&mst2, &SvgOptions::default()),
     ));
-    let res2 = ldrg(
+    let res2 = ldrg_with(
         &mst2,
         &oracle,
         &LdrgOptions {

@@ -315,6 +315,28 @@ impl RoutingGraph {
         Ok(id)
     }
 
+    /// Moves node `n` to `p`, recomputing the Manhattan length of every
+    /// live incident edge. Widths and connectivity are untouched, so a
+    /// move never changes the circuit's sparsity *structure* — only its
+    /// element values — which is what lets an incremental rerouting
+    /// session answer a `move_pin` delta with a same-pattern numeric
+    /// refactorization instead of a fresh symbolic analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for a foreign node id.
+    pub fn move_node(&mut self, n: NodeId, p: Point) -> Result<(), GraphError> {
+        self.check_node(n)?;
+        self.points[n.0] = p;
+        let incident: Vec<EdgeId> = self.adj[n.0].iter().map(|&(_, e)| e).collect();
+        for e in incident {
+            if let Some(Some(edge)) = self.edges.get_mut(e.0) {
+                edge.length = self.points[edge.a.0].manhattan(self.points[edge.b.0]);
+            }
+        }
+        Ok(())
+    }
+
     /// Removes edge `e`, returning it.
     ///
     /// # Errors
@@ -543,6 +565,26 @@ mod tests {
         assert_eq!(g.edge(e2).unwrap().length(), 20.0);
         assert!(!g.has_edge(s, a));
         assert!(g.has_edge(a, b));
+    }
+
+    #[test]
+    fn move_node_recomputes_incident_lengths_only() {
+        let (mut g, s, a, b) = triangle();
+        let e1 = g.add_edge(s, a).unwrap();
+        let e2 = g.add_edge(a, b).unwrap();
+        g.set_width(e2, 2.0).unwrap();
+        g.move_node(a, Point::new(20.0, 0.0)).unwrap();
+        assert_eq!(g.point(a).unwrap(), Point::new(20.0, 0.0));
+        assert_eq!(g.edge(e1).unwrap().length(), 20.0);
+        assert_eq!(g.edge(e2).unwrap().length(), 30.0);
+        // Widths and connectivity survive the move.
+        assert_eq!(g.edge(e2).unwrap().width(), 2.0);
+        assert!(g.has_edge(s, a));
+        assert!(g.has_edge(a, b));
+        assert!(matches!(
+            g.move_node(NodeId(99), Point::new(0.0, 0.0)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]

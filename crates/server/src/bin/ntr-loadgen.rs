@@ -10,6 +10,7 @@
 //! ntr-loadgen --stdio --bench            # 1-worker vs 4-worker throughput comparison
 //! ntr-loadgen --stdio --bench --baseline FILE   # + per-phase deltas vs a prior artifact
 //! ntr-loadgen --stdio --chaos [--smoke]  # fault-injection gate: degrade, never fail
+//! ntr-loadgen --stdio --sessions [--smoke]  # incremental-rerouting session gate
 //! ntr-loadgen --stdio [--nets N] [--size K] [--repeat F] [--workers N]
 //!             [--rate R] [--seed S] [--out FILE] [--serve-bin PATH]
 //! ```
@@ -25,6 +26,15 @@
 //! server: hard failures under the fault plan must make the
 //! availability burn-rate alert fire exactly once, and retiring the
 //! plan must clear it exactly once.
+//!
+//! `--sessions` drives the incremental-rerouting protocol: session
+//! create → mutate → reroute → close cycles where every delta reroute
+//! must answer `ok` via the refactor rung of the decision ladder, the
+//! session counters must balance at the end (created == closed, zero
+//! active), every session op must land in the flight recorder, and an
+//! unknown-handle probe must answer the structured `session` error and
+//! be retained as a flagged journal exemplar. `--sessions --smoke` is
+//! the small-N CI variant.
 //!
 //! `--baseline FILE` points at a previously written
 //! `results/serve_throughput.json`; each phase's latency percentiles are
@@ -50,7 +60,7 @@ use ntr_server::json::Json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ntr-loadgen --stdio [--smoke | --bench | --chaos [--smoke]]\n\
+        "usage: ntr-loadgen --stdio [--smoke | --bench | --chaos [--smoke] | --sessions [--smoke]]\n\
          \x20                [--nets N]      requests to send (default 150)\n\
          \x20                [--size K]      pins per net (default 20)\n\
          \x20                [--repeat F]    fraction of repeated nets 0..1 (default 0.2)\n\
@@ -63,7 +73,12 @@ fn usage() -> ! {
          \n\
          --chaos runs the fault-injection gate (with --smoke: the small CI variant):\n\
          the server is spawned under a 100%-transient-fault NTR_FAULTS plan and every\n\
-         request must still answer ok at a degraded fidelity."
+         request must still answer ok at a degraded fidelity.\n\
+         \n\
+         --sessions runs the incremental-rerouting gate (with --smoke: the small CI\n\
+         variant): create -> mutate -> reroute -> close cycles must all answer ok,\n\
+         delta reroutes must reuse the cached factorization, the session counters\n\
+         must balance in /metrics, and every op must be journaled."
     );
     std::process::exit(2);
 }
@@ -874,6 +889,355 @@ fn chaos_alert_cycle(serve_bin: &PathBuf, seed: u64) -> i32 {
     0
 }
 
+/// The incremental-rerouting gate: drives create → mutate → reroute →
+/// close session cycles against a live server and asserts the session
+/// contract end to end — every op answers `ok`, single move-pin deltas
+/// reroute down the refactor rung (same topology, refreshed
+/// factorization) rather than from scratch, the session counters
+/// balance in the stats and `/metrics` expositions, every session op
+/// lands in the flight recorder as a wide event, and an unknown-handle
+/// probe answers the structured `session` error *and* is retained as a
+/// flagged journal exemplar.
+#[allow(clippy::too_many_lines)]
+fn sessions_gate(serve_bin: &PathBuf, seed: u64, smoke_variant: bool) -> i32 {
+    let label = if smoke_variant {
+        "sessions-smoke"
+    } else {
+        "sessions"
+    };
+    let fail = |why: &str| {
+        eprintln!("{label} FAILED: {why}");
+        1
+    };
+    let (cycles, reroutes_per) = if smoke_variant { (6, 4) } else { (24, 6) };
+    let size = 8usize;
+    let mut child = match spawn_server(serve_bin, 2, QUEUE_DEPTH, None, None) {
+        Ok(child) => child,
+        Err(e) => return fail(&format!("spawn: {e}")),
+    };
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let (tx, rx) = mpsc::channel::<Json>();
+    let reader = std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if let Ok(doc) = Json::parse(&line) {
+                if tx.send(doc).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    let response_timeout = Duration::from_secs(20);
+    let await_id = |want: u64| {
+        await_doc(
+            &rx,
+            |d| d.get("id").and_then(Json::as_f64) == Some(want as f64),
+            response_timeout,
+        )
+    };
+
+    let mut gen = ntr_geom::NetGenerator::new(Layout::date94(), seed);
+    let mut next_id = 0u64;
+    let mut path_counts: HashMap<String, usize> = HashMap::new();
+    let mut reroute_us: Vec<u64> = Vec::new();
+    let mut session_ops = 0usize;
+    let started = Instant::now();
+
+    for cycle in 0..cycles {
+        let net = gen
+            .random_net(size)
+            .expect("layout admits nets of this size");
+        let mut pins: Vec<(f64, f64)> = net.pins().iter().map(|p| (p.x, p.y)).collect();
+        let pins_json = Json::Arr(
+            pins.iter()
+                .map(|&(x, y)| Json::Arr(vec![Json::Num(x), Json::Num(y)]))
+                .collect(),
+        )
+        .to_line();
+
+        next_id += 1;
+        let id = next_id;
+        if writeln!(
+            stdin,
+            r#"{{"op":"session.create","id":{id},"algorithm":"ldrg","params":{{"oracle":"moment"}},"pins":{pins_json}}}"#
+        )
+        .is_err()
+        {
+            return fail("server stdin closed on session.create");
+        }
+        session_ops += 1;
+        let Some(created) = await_id(id) else {
+            return fail("no response to session.create");
+        };
+        if created.get("ok") != Some(&Json::Bool(true)) {
+            return fail(&format!("session.create answered {created}"));
+        }
+        let Some(handle) = created.get("session").and_then(Json::as_f64) else {
+            return fail(&format!("session.create response has no handle: {created}"));
+        };
+        let handle = handle as u64;
+
+        for r in 0..reroutes_per {
+            // Bounce a sink back and forth so the pin set never drifts
+            // far from the layout the net was generated on; pin 0 (the
+            // source) is never moved.
+            let pin = 1 + (cycle + r) % (size - 1);
+            let dx = if (cycle + r) % 2 == 0 { 35.0 } else { -35.0 };
+            let to = (pins[pin].0 + dx, pins[pin].1);
+            pins[pin] = to;
+            next_id += 1;
+            let id = next_id;
+            if writeln!(
+                stdin,
+                r#"{{"op":"session.mutate","id":{id},"session":{handle},"ops":[{{"op":"move_pin","pin":{pin},"to":[{},{}]}}]}}"#,
+                to.0, to.1
+            )
+            .is_err()
+            {
+                return fail("server stdin closed on session.mutate");
+            }
+            session_ops += 1;
+            let Some(mutated) = await_id(id) else {
+                return fail("no response to session.mutate");
+            };
+            if mutated.get("ok") != Some(&Json::Bool(true))
+                || mutated.get("applied").and_then(Json::as_f64) != Some(1.0)
+            {
+                return fail(&format!("session.mutate answered {mutated}"));
+            }
+
+            next_id += 1;
+            let id = next_id;
+            let sent = Instant::now();
+            if writeln!(
+                stdin,
+                r#"{{"op":"session.reroute","id":{id},"session":{handle}}}"#
+            )
+            .is_err()
+            {
+                return fail("server stdin closed on session.reroute");
+            }
+            session_ops += 1;
+            let Some(rerouted) = await_id(id) else {
+                return fail("no response to session.reroute");
+            };
+            reroute_us.push(sent.elapsed().as_micros() as u64);
+            if rerouted.get("ok") != Some(&Json::Bool(true)) {
+                return fail(&format!("session.reroute answered {rerouted}"));
+            }
+            let Some(path) = rerouted.get("path").and_then(Json::as_str) else {
+                return fail(&format!("session.reroute response has no path: {rerouted}"));
+            };
+            *path_counts.entry(path.to_owned()).or_insert(0) += 1;
+        }
+
+        next_id += 1;
+        let id = next_id;
+        if writeln!(
+            stdin,
+            r#"{{"op":"session.close","id":{id},"session":{handle}}}"#
+        )
+        .is_err()
+        {
+            return fail("server stdin closed on session.close");
+        }
+        session_ops += 1;
+        let Some(closed) = await_id(id) else {
+            return fail("no response to session.close");
+        };
+        let closed_n = |key: &str| closed.get(key).and_then(Json::as_f64).unwrap_or(-1.0) as i64;
+        if closed.get("ok") != Some(&Json::Bool(true))
+            || closed_n("mutations") != reroutes_per as i64
+            || closed_n("reroutes") != reroutes_per as i64
+        {
+            return fail(&format!(
+                "session.close final stats are off (want {reroutes_per} mutations and reroutes): {closed}"
+            ));
+        }
+    }
+
+    // The structured-error probe: an unknown handle must answer the
+    // `session` error code, not a crash or a silent drop.
+    next_id += 1;
+    let probe_id = next_id;
+    if writeln!(
+        stdin,
+        r#"{{"op":"session.reroute","id":{probe_id},"session":999983}}"#
+    )
+    .is_err()
+    {
+        return fail("server stdin closed on the unknown-session probe");
+    }
+    session_ops += 1;
+    let Some(probe) = await_id(probe_id) else {
+        return fail("no response to the unknown-session probe");
+    };
+    if probe.get("error").and_then(Json::as_str) != Some("session") {
+        return fail(&format!(
+            "unknown-session probe wanted the structured \"session\" error, got {probe}"
+        ));
+    }
+
+    // End-of-run server-side introspection: stats, metrics, journal.
+    let _ = writeln!(stdin, r#"{{"op":"stats"}}"#);
+    let stats = await_doc(
+        &rx,
+        |d| d.get("op").and_then(Json::as_str) == Some("stats"),
+        response_timeout,
+    );
+    let _ = writeln!(stdin, r#"{{"op":"metrics"}}"#);
+    let metrics = await_doc(
+        &rx,
+        |d| d.get("op").and_then(Json::as_str) == Some("metrics"),
+        response_timeout,
+    );
+    let _ = writeln!(stdin, r#"{{"op":"journal"}}"#);
+    let journal = await_doc(
+        &rx,
+        |d| d.get("op").and_then(Json::as_str) == Some("journal"),
+        response_timeout,
+    );
+    let _ = writeln!(stdin, r#"{{"op":"shutdown"}}"#);
+    drop(stdin);
+    let _ = reader.join();
+    let _ = child.wait();
+
+    let elapsed = started.elapsed().as_secs_f64();
+    reroute_us.sort_unstable();
+    let p50 = reroute_us[reroute_us.len() / 2];
+    println!(
+        "{label}: {cycles} sessions x {reroutes_per} reroutes in {elapsed:.2}s, reroute p50 {p50} us"
+    );
+    let mut paths: Vec<_> = path_counts.iter().collect();
+    paths.sort();
+    for (path, count) in paths {
+        println!("  path {path}: {count}");
+    }
+
+    let mut failures = Vec::new();
+    // Single move-pin deltas keep the topology pattern, so the refactor
+    // rung (not scratch) must answer the overwhelming majority.
+    let total_reroutes = cycles * reroutes_per;
+    let refactors = path_counts.get("refactor").copied().unwrap_or(0);
+    if refactors * 2 < total_reroutes {
+        failures.push(format!(
+            "only {refactors}/{total_reroutes} reroutes took the refactor rung"
+        ));
+    }
+    match &stats {
+        None => failures.push("no stats response from the server".to_owned()),
+        Some(stats) => {
+            let session_stat = |key: &str| {
+                stats
+                    .get("sessions")
+                    .and_then(|s| s.get(key))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(-1.0) as i64
+            };
+            for (key, want) in [
+                ("active", 0),
+                ("created", cycles as i64),
+                ("closed", cycles as i64),
+                ("errors", 1),
+                ("mutations", total_reroutes as i64),
+            ] {
+                if session_stat(key) != want {
+                    failures.push(format!(
+                        "stats sessions.{key} = {}, want {want}",
+                        session_stat(key)
+                    ));
+                }
+            }
+        }
+    }
+    match &metrics {
+        None => failures.push("no metrics exposition from the server".to_owned()),
+        Some(doc) => match doc.get("body").and_then(Json::as_str) {
+            None => failures.push("metrics response has no body".to_owned()),
+            Some(body) => {
+                if let Err(e) = check_exposition(body) {
+                    failures.push(format!("invalid Prometheus exposition: {e}"));
+                }
+                let gauge_value = |metric: &str| {
+                    body.lines()
+                        .find(|l| l.starts_with(metric) && !l.starts_with('#'))
+                        .and_then(|l| l.split_whitespace().nth(1))
+                        .map(ToOwned::to_owned)
+                };
+                for (metric, want) in [
+                    ("ntr_sessions_active ", "0"),
+                    ("ntr_sessions_created_total ", &cycles.to_string()),
+                    ("ntr_session_errors_total ", "1"),
+                    (
+                        "ntr_session_reroutes_refactor_total ",
+                        &refactors.to_string(),
+                    ),
+                ] {
+                    match gauge_value(metric) {
+                        Some(v) if v == want => {}
+                        got => failures.push(format!(
+                            "exposition {} = {got:?}, want {want:?}",
+                            metric.trim_end()
+                        )),
+                    }
+                }
+            }
+        },
+    }
+    match &journal {
+        None => failures.push("no flight-recorder snapshot from the server".to_owned()),
+        Some(journal) => {
+            let session_events =
+                journal
+                    .get("request_events")
+                    .and_then(Json::as_arr)
+                    .map_or(0, |events| {
+                        events
+                            .iter()
+                            .filter(|e| {
+                                e.get("algorithm")
+                                    .and_then(Json::as_str)
+                                    .is_some_and(|a| a.starts_with("session."))
+                            })
+                            .count()
+                    });
+            if session_events != session_ops {
+                failures.push(format!(
+                    "journal holds {session_events} session wide events, want {session_ops}"
+                ));
+            }
+            // The probe's error is flagged, so it must be retained as a
+            // full exemplar (trace + spans) for post-mortem replay.
+            let probe_exemplars = journal
+                .get("exemplar_events")
+                .and_then(Json::as_arr)
+                .map(|exemplars| {
+                    exemplars
+                        .iter()
+                        .filter(|e| {
+                            e.get("outcome").and_then(Json::as_str) == Some("session_error")
+                        })
+                        .count()
+                })
+                .unwrap_or(0);
+            if probe_exemplars == 0 {
+                failures
+                    .push("the unknown-session error left no flagged journal exemplar".to_owned());
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("{label} OK: {session_ops} session ops, counters balanced, all journaled");
+        0
+    } else {
+        for f in &failures {
+            eprintln!("{label} FAILED: {f}");
+        }
+        1
+    }
+}
+
 /// Client-side latency percentiles of one bench phase, as recorded in
 /// the `results/serve_throughput.json` artifact.
 fn latency_percentiles(r: &RunResult) -> Json {
@@ -995,6 +1359,7 @@ fn main() -> std::process::ExitCode {
     let mut smoke_mode = false;
     let mut bench_mode = false;
     let mut chaos_mode = false;
+    let mut sessions_mode = false;
     let mut workload = Workload {
         nets: 150,
         size: 20,
@@ -1014,6 +1379,7 @@ fn main() -> std::process::ExitCode {
             "--smoke" => smoke_mode = true,
             "--bench" => bench_mode = true,
             "--chaos" => chaos_mode = true,
+            "--sessions" => sessions_mode = true,
             "--nets" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => workload.nets = n,
                 _ => usage(),
@@ -1064,6 +1430,8 @@ fn main() -> std::process::ExitCode {
     }
     let code = if chaos_mode {
         chaos(&serve_bin, workload.seed, smoke_mode)
+    } else if sessions_mode {
+        sessions_gate(&serve_bin, workload.seed, smoke_mode)
     } else if smoke_mode {
         smoke(&serve_bin, workload.seed)
     } else if bench_mode {

@@ -22,6 +22,8 @@ fn usage() -> ! {
          \x20              [--workers N]          worker threads (default: one per core)\n\
          \x20              [--queue N]            pending-request capacity (default 64)\n\
          \x20              [--cache N]            result-cache entries (default 1024, 0 disables)\n\
+         \x20              [--session-capacity N] live rerouting sessions admitted (default 64)\n\
+         \x20              [--session-ttl SECS]   idle-session eviction deadline (default 300)\n\
          \x20              [--metrics-addr A:P]   serve GET /metrics, /statusz, /journal,\n\
          \x20                                     /tsdb, /alertz, /profilez here\n\
          \x20              [--journal-out FILE]   dump the flight recorder (JSON-lines) at\n\
@@ -82,6 +84,16 @@ fn main() -> ExitCode {
             "--cache" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.cache_capacity = n,
                 None => usage(),
+            },
+            "--session-capacity" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.session_capacity = n,
+                _ => usage(),
+            },
+            "--session-ttl" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(secs) if secs >= 1 => {
+                    config.session_ttl = std::time::Duration::from_secs(secs);
+                }
+                _ => usage(),
             },
             _ => usage(),
         }

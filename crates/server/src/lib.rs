@@ -81,6 +81,7 @@ pub mod pool;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod sessions;
 pub mod stats;
 pub mod statusz;
 

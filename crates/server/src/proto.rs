@@ -13,6 +13,10 @@
 //! | `{"op":"alerts"}` | `{"ok":true,"op":"alerts","firing":N,"alerts":[...]}` |
 //! | `{"op":"faults","plan":"fail=transient:0.5"}` | `{"ok":true,"op":"faults","plan":...,"injected":N}` |
 //! | `{"op":"journal"}` | `{"ok":true,"op":"journal","request_events":[...],...}` |
+//! | `{"op":"session.create","algorithm":"ldrg","pins":[...]}` | `{"ok":true,"session":7,...}` |
+//! | `{"op":"session.mutate","session":7,"ops":[...]}` | `{"ok":true,"session":7,"pending":N}` |
+//! | `{"op":"session.reroute","session":7}` | `{"ok":true,"session":7,"path":"refactor",...}` |
+//! | `{"op":"session.close","session":7}` | `{"ok":true,"session":7,...per-path counters}` |
 //! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}` then drain & exit |
 //!
 //! `query` reads the embedded TSDB (see [`ntr_obs::tsdb`]): without
@@ -63,9 +67,45 @@
 //! the request's `id` verbatim (any JSON scalar), so clients may pipeline
 //! requests and match replies out of order.
 //!
+//! # Incremental rerouting sessions
+//!
+//! The `session.*` ops expose [`ntr_core::RoutingSession`] — stateful
+//! delta-routing that reuses the previous factorization across requests
+//! (see the session module docs for the decision ladder):
+//!
+//! - `session.create` takes the same net/params layout as `route`
+//!   (algorithm, `params.max_added_edges`, `params.candidates`), routes
+//!   the net from scratch, and answers with a server-assigned numeric
+//!   `session` handle plus the initial route body. Sessions always
+//!   serve at **moment fidelity** — the `oracle` knob is ignored — and
+//!   never degrade, because incremental reroutes must stay equivalent
+//!   to their from-scratch counterparts.
+//! - `session.mutate` applies `"ops"`, an array of delta objects applied
+//!   in order: `{"op":"add_pin","at":[x,y]}`,
+//!   `{"op":"move_pin","pin":3,"to":[x,y]}`,
+//!   `{"op":"remove_pin","pin":3}`, `{"op":"add_edge","a":1,"b":4}`,
+//!   `{"op":"remove_edge","a":1,"b":4}`. Pins are addressed by net pin
+//!   index (0 = source; `remove_pin` shifts later indices down, like
+//!   `Vec::remove`). A rejected op stops the batch; earlier ops in the
+//!   batch stay applied, and the response reports how many were.
+//! - `session.reroute` routes the pending deltas, answering with the
+//!   route body plus `"path"`: which rung of the decision ladder served
+//!   it (`quiescent`, `rank1`, `refactor`, or `scratch`). Accepts
+//!   `budget.deadline_ms` like `route`.
+//! - `session.close` ends the session and answers with its lifetime
+//!   per-path counters.
+//!
+//! Session responses **bypass the result cache** in both directions:
+//! a session's net mutates under it, so its responses are neither
+//! served from nor stored into the content-addressed LRU. Only
+//! quiescent full-net `route` requests are cacheable. An op naming an
+//! unknown or expired session answers with the structured error code
+//! `session` (not a parse error) and increments
+//! `ntr_session_errors_total`.
+//!
 //! Error responses are `{"id":...,"ok":false,"error":CODE,"detail":...}`
 //! with stable machine-readable codes: `parse`, `overloaded`, `deadline`,
-//! `route`.
+//! `route`, `session`.
 
 use std::time::Duration;
 
@@ -85,6 +125,10 @@ pub enum ErrorCode {
     Deadline,
     /// Routing itself failed (bad net, numerical failure).
     Route,
+    /// A `session.*` op was inconsistent with the session table or the
+    /// session's state: unknown/expired handle, invalid delta, or a
+    /// full table.
+    Session,
 }
 
 impl ErrorCode {
@@ -96,6 +140,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Deadline => "deadline",
             ErrorCode::Route => "route",
+            ErrorCode::Session => "session",
         }
     }
 }
@@ -193,11 +238,49 @@ pub enum ProfileSource {
     Sampler,
 }
 
+/// What a `session.*` op asks of a live session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionAction {
+    /// Open a session by routing the request's net from scratch.
+    Create(RouteRequest),
+    /// Apply delta ops, in order, to the session's pending batch.
+    Mutate {
+        /// Server-assigned session handle.
+        session: u64,
+        /// Deltas, applied in order; the first rejection stops the batch.
+        ops: Vec<ntr_core::DeltaOp>,
+    },
+    /// Route the pending deltas through the decision ladder.
+    Reroute {
+        /// Server-assigned session handle.
+        session: u64,
+        /// Per-request deadline, measured from enqueue (combined with
+        /// the session's own cancel token).
+        deadline: Option<Duration>,
+    },
+    /// End the session and report its lifetime counters.
+    Close {
+        /// Server-assigned session handle.
+        session: u64,
+    },
+}
+
+/// A parsed `"op":"session.*"` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRequest {
+    /// Client correlation id, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// The session operation.
+    pub action: SessionAction,
+}
+
 /// Any request the protocol accepts.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Route one net.
     Route(RouteRequest),
+    /// A stateful incremental-rerouting session op.
+    Session(SessionRequest),
     /// Service-level counters snapshot.
     Stats,
     /// Prometheus text exposition of the service's metrics registry.
@@ -233,6 +316,35 @@ pub enum Request {
     Journal,
     /// Graceful shutdown: drain in-flight work, then exit.
     Shutdown,
+}
+
+/// Group-first field lookup — the one helper every grouped v2 surface
+/// resolves fields through: the `params` and `budget` groups of `route`
+/// and `session.create`, and the `budget` group of `session.reroute`.
+/// A field is looked up in its named group first, then at the top
+/// level, so v1 flat spellings keep working and mixed layouts resolve
+/// group-first.
+struct GroupLookup<'a> {
+    doc: &'a Json,
+    group: Option<&'a Json>,
+}
+
+impl<'a> GroupLookup<'a> {
+    /// Binds `group` on `doc`, rejecting a non-object group value.
+    fn new(doc: &'a Json, group: &'static str) -> Result<Self, String> {
+        let g = doc.get(group);
+        if g.is_some_and(|v| !matches!(v, Json::Obj(_))) {
+            return Err(format!("{group} must be an object"));
+        }
+        Ok(Self { doc, group: g })
+    }
+
+    /// The field's value, group-first.
+    fn get(&self, name: &str) -> Option<&'a Json> {
+        self.group
+            .and_then(|g| g.get(name))
+            .or_else(|| self.doc.get(name))
+    }
 }
 
 fn parse_point(v: &Json) -> Result<Point, String> {
@@ -345,100 +457,190 @@ pub fn parse_request(doc: &Json) -> Result<Request, String> {
             };
             Ok(Request::Faults { plan })
         }
-        "route" => {
-            // v2 groups knobs under "params" (search) and "budget"
-            // (resources); the v1 flat layout keeps every knob
-            // top-level. Group-first lookup accepts both.
-            let params = doc.get("params");
-            let in_budget = doc.get("budget");
-            let param = |name: &str| params.and_then(|p| p.get(name)).or_else(|| doc.get(name));
-            let budgeted = |name: &str| {
-                in_budget
-                    .and_then(|b| b.get(name))
-                    .or_else(|| doc.get(name))
-            };
-            if params.is_some_and(|p| !matches!(p, Json::Obj(_))) {
-                return Err("params must be an object".to_owned());
+        "route" => Ok(Request::Route(parse_route(doc)?)),
+        "session.create" => {
+            let req = parse_route(doc)?;
+            Ok(Request::Session(SessionRequest {
+                id: req.id.clone(),
+                action: SessionAction::Create(req),
+            }))
+        }
+        "session.mutate" => {
+            let session = parse_session_handle(doc)?;
+            let ops = doc
+                .get("ops")
+                .and_then(Json::as_arr)
+                .ok_or("session.mutate needs an \"ops\" array of delta objects")?;
+            if ops.is_empty() {
+                return Err("session.mutate needs at least one delta op".to_owned());
             }
-            if in_budget.is_some_and(|b| !matches!(b, Json::Obj(_))) {
-                return Err("budget must be an object".to_owned());
-            }
-            let algorithm = match doc.get("algorithm").and_then(Json::as_str) {
-                None => Algorithm::default(),
-                Some(name) => Algorithm::parse(name).ok_or_else(|| {
-                    format!(
-                        "unknown algorithm {name:?}; expected one of {:?}",
-                        Algorithm::ALL
-                    )
-                })?,
-            };
-            let oracle = match param("oracle").and_then(Json::as_str) {
-                None => OracleKind::default(),
-                Some(name) => {
-                    OracleKind::parse(name).ok_or_else(|| format!("unknown oracle {name:?}"))?
-                }
-            };
-            let deadline = match budgeted("deadline_ms") {
-                None => None,
-                Some(v) => {
-                    let ms = v.as_f64().ok_or("deadline_ms must be a number")?;
-                    if !(ms.is_finite() && ms >= 0.0) {
-                        return Err("deadline_ms must be finite and non-negative".to_owned());
-                    }
-                    Some(Duration::from_secs_f64(ms / 1e3))
-                }
-            };
-            let max_added_edges = match param("max_added_edges") {
-                None => 0,
-                Some(v) => {
-                    let n = v.as_f64().ok_or("max_added_edges must be a number")?;
-                    if !(n.is_finite() && n >= 0.0 && n == n.trunc()) {
-                        return Err("max_added_edges must be a non-negative integer".to_owned());
-                    }
-                    n as usize
-                }
-            };
-            let use_cache = match param("cache") {
-                None => true,
-                Some(v) => v.as_bool().ok_or("cache must be a boolean")?,
-            };
-            let retries = match budgeted("retries") {
-                None => 2,
-                Some(v) => {
-                    let n = v.as_f64().ok_or("retries must be a number")?;
-                    if !(n.is_finite() && (0.0..=100.0).contains(&n) && n == n.trunc()) {
-                        return Err("retries must be an integer in 0..=100".to_owned());
-                    }
-                    n as u32
-                }
-            };
-            let degrade = match budgeted("degrade") {
-                None => true,
-                Some(v) => v.as_bool().ok_or("degrade must be a boolean")?,
-            };
-            let candidates = match param("candidates") {
-                None => CandidateGen::Exhaustive,
-                Some(v) => parse_candidates(v)?,
-            };
-            let pins = parse_pins(doc)?;
-            if pins.len() < 2 {
-                return Err("a net needs at least a source and one sink".to_owned());
-            }
-            Ok(Request::Route(RouteRequest {
+            let ops = ops.iter().map(parse_delta_op).collect::<Result<_, _>>()?;
+            Ok(Request::Session(SessionRequest {
                 id: doc.get("id").cloned(),
-                algorithm,
-                oracle,
-                pins,
-                deadline,
-                max_added_edges,
-                use_cache,
-                retries,
-                degrade,
-                candidates,
+                action: SessionAction::Mutate { session, ops },
+            }))
+        }
+        "session.reroute" => {
+            let session = parse_session_handle(doc)?;
+            let budget = GroupLookup::new(doc, "budget")?;
+            let deadline = parse_deadline(&budget)?;
+            Ok(Request::Session(SessionRequest {
+                id: doc.get("id").cloned(),
+                action: SessionAction::Reroute { session, deadline },
+            }))
+        }
+        "session.close" => {
+            let session = parse_session_handle(doc)?;
+            Ok(Request::Session(SessionRequest {
+                id: doc.get("id").cloned(),
+                action: SessionAction::Close { session },
             }))
         }
         other => Err(format!("unknown op {other:?}")),
     }
+}
+
+/// Parses the net + knobs shared by `route` and `session.create`. The
+/// v2 layout groups knobs under `params` (search) and `budget`
+/// (resources); the v1 flat layout keeps every knob top-level. Both
+/// groups resolve through [`GroupLookup`].
+fn parse_route(doc: &Json) -> Result<RouteRequest, String> {
+    let params = GroupLookup::new(doc, "params")?;
+    let budget = GroupLookup::new(doc, "budget")?;
+    let algorithm = match doc.get("algorithm").and_then(Json::as_str) {
+        None => Algorithm::default(),
+        Some(name) => Algorithm::parse(name).ok_or_else(|| {
+            format!(
+                "unknown algorithm {name:?}; expected one of {:?}",
+                Algorithm::ALL
+            )
+        })?,
+    };
+    let oracle = match params.get("oracle").and_then(Json::as_str) {
+        None => OracleKind::default(),
+        Some(name) => OracleKind::parse(name).ok_or_else(|| format!("unknown oracle {name:?}"))?,
+    };
+    let deadline = parse_deadline(&budget)?;
+    let max_added_edges = match params.get("max_added_edges") {
+        None => 0,
+        Some(v) => {
+            let n = v.as_f64().ok_or("max_added_edges must be a number")?;
+            if !(n.is_finite() && n >= 0.0 && n == n.trunc()) {
+                return Err("max_added_edges must be a non-negative integer".to_owned());
+            }
+            n as usize
+        }
+    };
+    let use_cache = match params.get("cache") {
+        None => true,
+        Some(v) => v.as_bool().ok_or("cache must be a boolean")?,
+    };
+    let retries = match budget.get("retries") {
+        None => 2,
+        Some(v) => {
+            let n = v.as_f64().ok_or("retries must be a number")?;
+            if !(n.is_finite() && (0.0..=100.0).contains(&n) && n == n.trunc()) {
+                return Err("retries must be an integer in 0..=100".to_owned());
+            }
+            n as u32
+        }
+    };
+    let degrade = match budget.get("degrade") {
+        None => true,
+        Some(v) => v.as_bool().ok_or("degrade must be a boolean")?,
+    };
+    let candidates = match params.get("candidates") {
+        None => CandidateGen::Exhaustive,
+        Some(v) => parse_candidates(v)?,
+    };
+    let pins = parse_pins(doc)?;
+    if pins.len() < 2 {
+        return Err("a net needs at least a source and one sink".to_owned());
+    }
+    Ok(RouteRequest {
+        id: doc.get("id").cloned(),
+        algorithm,
+        oracle,
+        pins,
+        deadline,
+        max_added_edges,
+        use_cache,
+        retries,
+        degrade,
+        candidates,
+    })
+}
+
+/// Parses `budget.deadline_ms` (group-first) into a duration.
+fn parse_deadline(budget: &GroupLookup) -> Result<Option<Duration>, String> {
+    match budget.get("deadline_ms") {
+        None => Ok(None),
+        Some(v) => {
+            let ms = v.as_f64().ok_or("deadline_ms must be a number")?;
+            if !(ms.is_finite() && ms >= 0.0) {
+                return Err("deadline_ms must be finite and non-negative".to_owned());
+            }
+            Ok(Some(Duration::from_secs_f64(ms / 1e3)))
+        }
+    }
+}
+
+/// Parses the numeric `"session"` handle of a `session.*` op.
+fn parse_session_handle(doc: &Json) -> Result<u64, String> {
+    let v = doc
+        .get("session")
+        .ok_or("session op needs a numeric \"session\" handle")?;
+    let n = v.as_f64().ok_or("session must be a number")?;
+    if !(n.is_finite() && n >= 0.0 && n == n.trunc()) {
+        return Err("session must be a non-negative integer".to_owned());
+    }
+    Ok(n as u64)
+}
+
+/// Parses a non-negative integer field of a delta op.
+fn parse_pin_index(v: Option<&Json>, what: &str) -> Result<usize, String> {
+    let v = v.ok_or_else(|| format!("{what} is required"))?;
+    let n = v
+        .as_f64()
+        .ok_or_else(|| format!("{what} must be a number"))?;
+    if !(n.is_finite() && n >= 0.0 && n == n.trunc()) {
+        return Err(format!("{what} must be a non-negative integer"));
+    }
+    Ok(n as usize)
+}
+
+/// Parses one entry of a `session.mutate` `"ops"` array.
+fn parse_delta_op(v: &Json) -> Result<ntr_core::DeltaOp, String> {
+    use ntr_core::DeltaOp;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("each delta needs a string \"op\" field")?;
+    Ok(match op {
+        "add_pin" => DeltaOp::AddPin(parse_point(
+            v.get("at").ok_or("add_pin needs \"at\":[x,y]")?,
+        )?),
+        "move_pin" => DeltaOp::MovePin {
+            pin: parse_pin_index(v.get("pin"), "move_pin.pin")?,
+            to: parse_point(v.get("to").ok_or("move_pin needs \"to\":[x,y]")?)?,
+        },
+        "remove_pin" => DeltaOp::RemovePin {
+            pin: parse_pin_index(v.get("pin"), "remove_pin.pin")?,
+        },
+        "add_edge" => DeltaOp::AddEdge {
+            a: parse_pin_index(v.get("a"), "add_edge.a")?,
+            b: parse_pin_index(v.get("b"), "add_edge.b")?,
+        },
+        "remove_edge" => DeltaOp::RemoveEdge {
+            a: parse_pin_index(v.get("a"), "remove_edge.a")?,
+            b: parse_pin_index(v.get("b"), "remove_edge.b")?,
+        },
+        other => {
+            return Err(format!(
+                "unknown delta op {other:?}; expected add_pin, move_pin, remove_pin, add_edge, or remove_edge"
+            ))
+        }
+    })
 }
 
 /// Parses the v2 `"candidates"` group:
@@ -741,6 +943,120 @@ mod tests {
         assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
         assert_eq!(resp.get("error").and_then(Json::as_str), Some("overloaded"));
         assert_eq!(resp.get("id").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn session_ops_parse() {
+        use ntr_core::DeltaOp;
+        let r = parse_request(
+            &Json::parse(
+                r#"{"op":"session.create","id":9,"algorithm":"ldrg","pins":[[0,0],[5,5]]}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let Request::Session(SessionRequest {
+            id,
+            action: SessionAction::Create(req),
+        }) = r
+        else {
+            panic!("expected session.create, got {r:?}");
+        };
+        assert_eq!(id, Some(Json::Num(9.0)));
+        assert_eq!(req.algorithm, Algorithm::Ldrg);
+        assert_eq!(req.pins.len(), 2);
+
+        let r = parse_request(
+            &Json::parse(
+                r#"{"op":"session.mutate","session":3,"ops":[
+                    {"op":"add_pin","at":[1,2]},
+                    {"op":"move_pin","pin":1,"to":[3,4]},
+                    {"op":"remove_pin","pin":2},
+                    {"op":"add_edge","a":0,"b":1},
+                    {"op":"remove_edge","a":1,"b":2}]}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let Request::Session(SessionRequest {
+            action: SessionAction::Mutate { session, ops },
+            ..
+        }) = r
+        else {
+            panic!("expected session.mutate, got {r:?}");
+        };
+        assert_eq!(session, 3);
+        assert_eq!(
+            ops,
+            vec![
+                DeltaOp::AddPin(Point::new(1.0, 2.0)),
+                DeltaOp::MovePin {
+                    pin: 1,
+                    to: Point::new(3.0, 4.0)
+                },
+                DeltaOp::RemovePin { pin: 2 },
+                DeltaOp::AddEdge { a: 0, b: 1 },
+                DeltaOp::RemoveEdge { a: 1, b: 2 },
+            ]
+        );
+
+        let r = parse_request(
+            &Json::parse(r#"{"op":"session.reroute","session":3,"budget":{"deadline_ms":50}}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Session(SessionRequest {
+                id: None,
+                action: SessionAction::Reroute {
+                    session: 3,
+                    deadline: Some(Duration::from_millis(50)),
+                },
+            })
+        );
+        // The flat v1-style spelling resolves through the same helper.
+        let flat = parse_request(
+            &Json::parse(r#"{"op":"session.reroute","session":3,"deadline_ms":50}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(r, flat);
+
+        assert_eq!(
+            parse_request(&Json::parse(r#"{"op":"session.close","session":3}"#).unwrap()).unwrap(),
+            Request::Session(SessionRequest {
+                id: None,
+                action: SessionAction::Close { session: 3 },
+            })
+        );
+    }
+
+    #[test]
+    fn bad_session_requests_are_rejected() {
+        for line in [
+            r#"{"op":"session.mutate","ops":[{"op":"remove_pin","pin":1}]}"#,
+            r#"{"op":"session.mutate","session":"x","ops":[{"op":"remove_pin","pin":1}]}"#,
+            r#"{"op":"session.mutate","session":1}"#,
+            r#"{"op":"session.mutate","session":1,"ops":[]}"#,
+            r#"{"op":"session.mutate","session":1,"ops":[{"op":"teleport_pin"}]}"#,
+            r#"{"op":"session.mutate","session":1,"ops":[{"op":"move_pin","pin":-1,"to":[0,0]}]}"#,
+            r#"{"op":"session.mutate","session":1,"ops":[{"op":"move_pin","pin":1}]}"#,
+            r#"{"op":"session.mutate","session":1,"ops":[{"op":"add_pin","at":[1]}]}"#,
+            r#"{"op":"session.reroute"}"#,
+            r#"{"op":"session.reroute","session":1,"budget":3}"#,
+            r#"{"op":"session.close","session":1.5}"#,
+            r#"{"op":"session.create","pins":[[0,0]]}"#,
+        ] {
+            let doc = Json::parse(line).unwrap();
+            assert!(parse_request(&doc).is_err(), "{line} should be rejected");
+        }
+    }
+
+    #[test]
+    fn session_error_code_is_stable() {
+        assert_eq!(ErrorCode::Session.as_str(), "session");
+        let resp = error_response(None, ErrorCode::Session, "unknown session 7");
+        assert_eq!(resp.get("error").and_then(Json::as_str), Some("session"));
     }
 
     #[test]

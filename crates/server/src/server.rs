@@ -202,6 +202,14 @@ fn handle_line(service: &Arc<Service>, writer: &SharedWriter, line: &str) -> boo
             );
             false
         }
+        Ok(Request::Session(request)) => {
+            let writer = Arc::clone(writer);
+            service.submit_session(
+                request,
+                Box::new(move |response| write_line(&writer, &response)),
+            );
+            false
+        }
     }
 }
 

@@ -26,7 +26,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ntr_circuit::Technology;
-use ntr_core::{CancelToken, FaultPlan, FidelityCosts};
+use ntr_core::{
+    canonical_net_hash, Budget, CancelToken, DegradePolicy, FaultPlan, Fidelity, FidelityCosts,
+    RetryPolicy, RoutingOutcome, RoutingSession,
+};
 use ntr_obs::journal::{self, WideEvent};
 use ntr_obs::slo::{BurnRule, SloEngine, SloSpec};
 use ntr_obs::tsdb::Tsdb;
@@ -36,7 +39,8 @@ use crate::cache::LruCache;
 use crate::engine::{self, EngineError, Resilience};
 use crate::json::Json;
 use crate::pool::{BoundedQueue, PushError};
-use crate::proto::{error_response, ErrorCode, RouteRequest};
+use crate::proto::{error_response, ErrorCode, RouteRequest, SessionAction, SessionRequest};
+use crate::sessions::SessionTable;
 use crate::stats::ServiceStats;
 
 /// Delivers one response back to the requester's transport.
@@ -61,9 +65,15 @@ pub struct ServiceConfig {
     /// [`ntr_obs::slo::default_slos`]).
     pub slos: Vec<SloSpec>,
     /// Cadence of the observability ticker (TSDB registry snapshot +
-    /// SLO evaluation). The 1 s default matches the TSDB's raw
-    /// resolution.
+    /// SLO evaluation + session TTL eviction). The 1 s default matches
+    /// the TSDB's raw resolution.
     pub obs_tick: Duration,
+    /// Live rerouting sessions admitted before `session.create` answers
+    /// the structured `session` error (≥1).
+    pub session_capacity: usize,
+    /// Idle time after which a session is evicted (its cancel token
+    /// trips, so an in-flight reroute for it stops mid-search).
+    pub session_ttl: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +86,8 @@ impl Default for ServiceConfig {
             faults: None,
             slos: ntr_obs::slo::default_slos(),
             obs_tick: Duration::from_secs(1),
+            session_capacity: 64,
+            session_ttl: Duration::from_secs(300),
         }
     }
 }
@@ -93,6 +105,23 @@ struct Job {
     /// response; spans and log lines emitted while the worker routes
     /// this job carry it.
     trace: u64,
+}
+
+/// A queued `session.*` op. Session ops share the route queue — one
+/// backpressure bound, one journal-before-respond chokepoint — and
+/// ops on the same session serialize on the entry's lock, so a mutate
+/// and a reroute racing through different workers stay ordered.
+struct SessionJob {
+    request: SessionRequest,
+    respond: Respond,
+    enqueued: Instant,
+    trace: u64,
+}
+
+/// Everything the bounded queue carries.
+enum Work {
+    Route(Job),
+    Session(SessionJob),
 }
 
 /// A coalesced duplicate waiting on the primary: its own `id`, trace
@@ -133,8 +162,9 @@ fn journal_event(mut event: WideEvent, spans: Vec<ntr_obs::SpanRecord>, slo: &Sl
 /// an [`Arc`] and call [`submit`](Self::submit) from any thread.
 pub struct Service {
     tech: Technology,
-    queue: Arc<BoundedQueue<Job>>,
+    queue: Arc<BoundedQueue<Work>>,
     cache: Arc<Mutex<LruCache<Json>>>,
+    sessions: Arc<SessionTable>,
     inflight: Arc<Inflight>,
     stats: Arc<ServiceStats>,
     resilience: Arc<Resilience>,
@@ -158,6 +188,10 @@ impl Service {
         };
         let queue = Arc::new(BoundedQueue::new(config.queue_depth));
         let cache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
+        let sessions = Arc::new(SessionTable::new(
+            config.session_capacity,
+            config.session_ttl,
+        ));
         let inflight: Arc<Inflight> = Arc::new(Mutex::new(HashMap::new()));
         let stats = Arc::new(ServiceStats::default());
         let resilience = Arc::new(Resilience::with_faults(config.faults.clone()));
@@ -168,6 +202,7 @@ impl Service {
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let cache = Arc::clone(&cache);
+                let sessions = Arc::clone(&sessions);
                 let inflight = Arc::clone(&inflight);
                 let stats = Arc::clone(&stats);
                 let resilience = Arc::clone(&resilience);
@@ -176,7 +211,16 @@ impl Service {
                 std::thread::Builder::new()
                     .name(format!("ntr-worker-{i}"))
                     .spawn(move || {
-                        worker_loop(&queue, &cache, &inflight, &stats, &resilience, &slo, tech)
+                        worker_loop(
+                            &queue,
+                            &cache,
+                            &sessions,
+                            &inflight,
+                            &stats,
+                            &resilience,
+                            &slo,
+                            tech,
+                        );
                     })
                     .expect("spawning a worker thread failed")
             })
@@ -189,6 +233,7 @@ impl Service {
             let stats = Arc::clone(&stats);
             let queue = Arc::clone(&queue);
             let cache = Arc::clone(&cache);
+            let sessions = Arc::clone(&sessions);
             let resilience = Arc::clone(&resilience);
             let tick = config.obs_tick.max(Duration::from_millis(10));
             std::thread::Builder::new()
@@ -197,6 +242,10 @@ impl Service {
                     let (stopped, wake) = &*stop;
                     let mut guard = stopped.lock().expect("obs stop mutex poisoned");
                     while !*guard {
+                        // Idle sessions are reclaimed on the same beat
+                        // the gauges refresh, so `ntr_sessions_active`
+                        // never reports an already-dead session.
+                        stats.sessions_evicted.add(sessions.evict_expired());
                         // Gauges refresh before the snapshot so the
                         // TSDB stores live values, not scrape-stale
                         // ones; alerts evaluate on the same beat.
@@ -205,6 +254,7 @@ impl Service {
                             queue.len(),
                             cache_entries,
                             resilience.faults_injected(),
+                            sessions.len(),
                         );
                         slo.evaluate();
                         tsdb.snapshot_now(stats.registry());
@@ -220,6 +270,7 @@ impl Service {
             tech: config.tech,
             queue,
             cache,
+            sessions,
             inflight,
             stats,
             resilience,
@@ -308,15 +359,56 @@ impl Service {
             enqueued,
             trace,
         };
-        match self.queue.try_push(job) {
+        match self.queue.try_push(Work::Route(job)) {
             Ok(()) => {}
-            Err(PushError::Full(job)) => {
+            Err(PushError::Full(Work::Route(job))) => {
                 self.reject(job, "work queue full, retry later");
             }
-            Err(PushError::Closed(job)) => {
+            Err(PushError::Closed(Work::Route(job))) => {
                 self.reject(job, "service shutting down");
             }
+            Err(_) => unreachable!("push returns the work it was given"),
         }
+    }
+
+    /// Submits one `session.*` op; `respond` is called exactly once.
+    ///
+    /// Session ops go through the same bounded queue as routes (one
+    /// backpressure bound for all work) but never touch the result
+    /// cache or coalescing — a session's net mutates under it, so its
+    /// responses are not content-addressable.
+    pub fn submit_session(&self, request: SessionRequest, respond: Respond) {
+        self.stats.received.inc();
+        let job = SessionJob {
+            request,
+            respond,
+            enqueued: Instant::now(),
+            trace: span::next_trace_id(),
+        };
+        match self.queue.try_push(Work::Session(job)) {
+            Ok(()) => {}
+            Err(PushError::Full(Work::Session(job))) => {
+                self.reject_session(job, "work queue full, retry later");
+            }
+            Err(PushError::Closed(Work::Session(job))) => {
+                self.reject_session(job, "service shutting down");
+            }
+            Err(_) => unreachable!("push returns the work it was given"),
+        }
+    }
+
+    /// Answers `overloaded` to a rejected session op.
+    fn reject_session(&self, job: SessionJob, detail: &str) {
+        self.stats.overloaded.inc();
+        log_warn!("rejecting session op: {detail}");
+        let mut event = base_session_event(&job.request, job.trace);
+        event.outcome = "overloaded";
+        event.total_us = micros(job.enqueued.elapsed());
+        journal_event(event, Vec::new(), &self.slo);
+        (job.respond)(with_trace(
+            error_response(job.request.id.as_ref(), ErrorCode::Overloaded, detail),
+            job.trace,
+        ));
     }
 
     /// Answers `overloaded` to a rejected job and any duplicates that
@@ -354,6 +446,7 @@ impl Service {
             self.queue.len(),
             cache_entries,
             self.resilience.faults_injected(),
+            self.sessions.len(),
         )
     }
 
@@ -366,6 +459,7 @@ impl Service {
             self.queue.len(),
             cache_entries,
             self.resilience.faults_injected(),
+            self.sessions.len(),
         )
     }
 
@@ -416,6 +510,12 @@ impl Service {
     #[must_use]
     pub fn cache_len(&self) -> usize {
         self.cache.lock().expect("cache mutex poisoned").len()
+    }
+
+    /// Live rerouting sessions (the `ntr_sessions_active` gauge).
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
     }
 
     /// Installs (or clears, with `None`) the fault-injection plan for
@@ -478,26 +578,34 @@ fn take_waiters(inflight: &Inflight, key: Option<u64>) -> Vec<Waiter> {
     .unwrap_or_default()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
-    queue: &BoundedQueue<Job>,
+    queue: &BoundedQueue<Work>,
     cache: &Mutex<LruCache<Json>>,
+    sessions: &SessionTable,
     inflight: &Inflight,
     stats: &ServiceStats,
     resilience: &Resilience,
     slo: &SloEngine,
     tech: Technology,
 ) {
-    while let Some(job) = queue.pop() {
+    while let Some(work) = queue.pop() {
         stats.inflight_requests.inc();
         // Everything this worker does for the job — spans and log lines
         // included — carries the trace id assigned at submission.
-        let _trace_guard = span::with_trace_id(job.trace);
+        let trace = match &work {
+            Work::Route(job) => job.trace,
+            Work::Session(job) => job.trace,
+        };
+        let _trace_guard = span::with_trace_id(trace);
         // Tail sampling has to record up front: the capture buffers
         // every span the job emits, and the journal decides afterwards
         // whether the trace was worth keeping (slow / error / degraded).
         let capture = span::capture();
-        let (event, respond, response) =
-            run_job(job, cache, inflight, stats, resilience, slo, tech);
+        let (event, respond, response) = match work {
+            Work::Route(job) => run_job(job, cache, inflight, stats, resilience, slo, tech),
+            Work::Session(job) => run_session(job, sessions, stats, tech),
+        };
         // Journal before responding: a client that has seen the answer
         // can always find the request in `{"op":"journal"}` — no window
         // where the response exists but its wide event does not.
@@ -669,6 +777,362 @@ fn run_job(
         }
     };
     (event, job.respond, response)
+}
+
+/// The wide-event skeleton for a `session.*` op. The op name rides in
+/// the `algorithm` column — one journal schema for all request kinds —
+/// and sessions always serve at moment fidelity.
+fn base_session_event(request: &SessionRequest, trace: u64) -> WideEvent {
+    let pins = match &request.action {
+        SessionAction::Create(req) => req.pins.len() as u64,
+        _ => 0,
+    };
+    WideEvent {
+        trace,
+        pins,
+        algorithm: session_op_name(&request.action),
+        fidelity_requested: Fidelity::Moment.as_str(),
+        ..WideEvent::default()
+    }
+}
+
+fn session_op_name(action: &SessionAction) -> &'static str {
+    match action {
+        SessionAction::Create(_) => "session.create",
+        SessionAction::Mutate { .. } => "session.mutate",
+        SessionAction::Reroute { .. } => "session.reroute",
+        SessionAction::Close { .. } => "session.close",
+    }
+}
+
+/// Answers one dequeued `session.*` op. Same contract as [`run_job`]:
+/// the response is returned, not delivered, so the caller journals the
+/// wide event first.
+fn run_session(
+    job: SessionJob,
+    sessions: &SessionTable,
+    stats: &ServiceStats,
+    tech: Technology,
+) -> (WideEvent, Respond, Json) {
+    let _session_span = span::span("server.session");
+    let id = job.request.id.clone();
+    let mut event = base_session_event(&job.request, job.trace);
+    event.queue_us = micros(job.enqueued.elapsed());
+    let response = match job.request.action {
+        SessionAction::Create(request) => {
+            session_create(&request, id.as_ref(), sessions, stats, tech, &mut event)
+        }
+        SessionAction::Mutate { session, ops } => {
+            session_mutate(session, ops, id.as_ref(), sessions, stats, &mut event)
+        }
+        SessionAction::Reroute { session, deadline } => session_reroute(
+            session,
+            deadline,
+            job.enqueued,
+            id.as_ref(),
+            sessions,
+            stats,
+            &mut event,
+        ),
+        SessionAction::Close { session } => {
+            session_close(session, id.as_ref(), sessions, stats, &mut event)
+        }
+    };
+    event.total_us = micros(job.enqueued.elapsed());
+    (event, job.respond, with_trace(response, job.trace))
+}
+
+/// Counts and journals one structured `session` error.
+fn session_error(
+    stats: &ServiceStats,
+    event: &mut WideEvent,
+    id: Option<&Json>,
+    detail: &str,
+) -> Json {
+    stats.errors.inc();
+    stats.session_errors.inc();
+    event.outcome = "session_error";
+    log_warn!("session op failed: {detail}");
+    error_response(id, ErrorCode::Session, detail)
+}
+
+/// The budget every reroute of a session runs under. Sessions pin
+/// moment fidelity with degradation and fault injection off: the
+/// rank-1/refactor reuse is a moment-engine property, and incremental
+/// answers must stay equivalent to their from-scratch counterparts.
+fn session_budget(request: &RouteRequest, tech: Technology, net_hash: u64) -> Budget {
+    Budget {
+        tech,
+        fidelity: Fidelity::Moment,
+        max_added_edges: request.max_added_edges,
+        parallelism: 1,
+        candidates: request.candidates,
+        cancel: CancelToken::default(),
+        retry: RetryPolicy {
+            max_retries: request.retries,
+            // Deterministic per net: replayed sessions jitter identically.
+            seed: net_hash,
+            ..RetryPolicy::default()
+        },
+        degrade: DegradePolicy {
+            enabled: false,
+            ..DegradePolicy::default()
+        },
+        faults: None,
+    }
+}
+
+/// The route-body fields shared by `session.create` and
+/// `session.reroute` responses (the same shape `route` answers with).
+fn outcome_body(outcome: &RoutingOutcome, algorithm: ntr_core::Algorithm, pins: usize) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("algorithm", Json::str(algorithm.as_str())),
+        ("fidelity", Json::str(outcome.fidelity.as_str())),
+        (
+            "requested_fidelity",
+            Json::str(outcome.requested_fidelity.as_str()),
+        ),
+        ("degraded", Json::Bool(outcome.degraded())),
+        (
+            "degradation_steps",
+            Json::Num(outcome.degradation_steps() as f64),
+        ),
+        ("retries", Json::Num(f64::from(outcome.retries))),
+        ("pins", Json::Num(pins as f64)),
+        ("delay_ns", Json::Num(outcome.final_delay * 1e9)),
+        ("initial_delay_ns", Json::Num(outcome.initial_delay * 1e9)),
+        ("cost_um", Json::Num(outcome.final_cost)),
+        ("edges", Json::Num(outcome.graph.edge_count() as f64)),
+        ("added_edges", Json::Num(outcome.added_edges as f64)),
+        ("tree", Json::Bool(outcome.graph.is_tree())),
+        ("search", Json::str(outcome.stats.to_string())),
+    ])
+}
+
+/// Copies a routed outcome's observability columns into the wide event.
+fn fill_route_event(event: &mut WideEvent, outcome: &RoutingOutcome) {
+    event.fidelity_served = outcome.fidelity.as_str();
+    event.degradation_steps = outcome.degradation_steps() as u32;
+    event.retries = outcome.retries;
+    event.candidates_generated = outcome.stats.candidates_generated;
+    event.candidates_scored = outcome.stats.candidates_scored;
+    event.candidates_pruned = outcome.stats.candidates_pruned;
+    event.ldrg_iterations = outcome.iterations.len() as u32;
+}
+
+fn session_create(
+    request: &RouteRequest,
+    id: Option<&Json>,
+    sessions: &SessionTable,
+    stats: &ServiceStats,
+    tech: Technology,
+    event: &mut WideEvent,
+) -> Json {
+    let net = match engine::build_net(request) {
+        Ok(net) => net,
+        Err(EngineError::Route(detail)) => {
+            stats.errors.inc();
+            event.outcome = "route_error";
+            return error_response(id, ErrorCode::Route, &detail);
+        }
+        Err(EngineError::Cancelled) => unreachable!("net construction cannot be cancelled"),
+    };
+    let net_hash = canonical_net_hash(&net, &tech);
+    event.net_hash = net_hash;
+    let cancel = CancelToken::new();
+    let mut budget = session_budget(request, tech, net_hash);
+    budget.cancel = cancel.clone();
+    let started = Instant::now();
+    let created = RoutingSession::create(&net, request.algorithm, budget);
+    event.route_us = micros(started.elapsed());
+    event.rungs = journal::take_rungs();
+    let (session, outcome) = match created {
+        Ok(pair) => pair,
+        Err(e) => {
+            stats.errors.inc();
+            event.outcome = "route_error";
+            log_warn!("session create failed to route: {e}");
+            return error_response(id, ErrorCode::Route, &e.to_string());
+        }
+    };
+    let pins = session.pins().len();
+    let entry = match sessions.insert(session, cancel) {
+        Ok(entry) => entry,
+        Err(full) => {
+            return session_error(
+                stats,
+                event,
+                id,
+                &format!("session table full ({} live sessions)", full.capacity),
+            );
+        }
+    };
+    stats.sessions_created.inc();
+    stats.completed.inc();
+    fill_route_event(event, &outcome);
+    let mut body = outcome_body(&outcome, request.algorithm, pins);
+    body.set("session", Json::Num(entry.id as f64));
+    body.set("id", id.cloned().unwrap_or(Json::Null));
+    body
+}
+
+fn session_mutate(
+    handle: u64,
+    ops: Vec<ntr_core::DeltaOp>,
+    id: Option<&Json>,
+    sessions: &SessionTable,
+    stats: &ServiceStats,
+    event: &mut WideEvent,
+) -> Json {
+    let Some(entry) = sessions.get(handle) else {
+        return session_error(
+            stats,
+            event,
+            id,
+            &format!("unknown or expired session {handle}"),
+        );
+    };
+    let mut session = entry.session.lock().expect("session mutex poisoned");
+    let total = ops.len();
+    let mut applied = 0usize;
+    let mut rejection = None;
+    for op in ops {
+        match session.mutate(op) {
+            Ok(()) => applied += 1,
+            Err(e) => {
+                rejection = Some(e);
+                break;
+            }
+        }
+    }
+    stats.session_mutations.add(applied as u64);
+    event.pins = session.pins().len() as u64;
+    let pending = session.pending_len();
+    drop(session);
+    if let Some(e) = rejection {
+        // Earlier deltas in the batch stay applied — the client sees
+        // exactly how far the batch got.
+        let mut response = session_error(
+            stats,
+            event,
+            id,
+            &format!("delta {} of {total} rejected: {e}", applied + 1),
+        );
+        response.set("session", Json::Num(handle as f64));
+        response.set("applied", Json::Num(applied as f64));
+        response.set("pending", Json::Num(pending as f64));
+        return response;
+    }
+    stats.completed.inc();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("session", Json::Num(handle as f64)),
+        ("applied", Json::Num(applied as f64)),
+        ("pending", Json::Num(pending as f64)),
+        ("id", id.cloned().unwrap_or(Json::Null)),
+    ])
+}
+
+#[allow(clippy::too_many_arguments)]
+fn session_reroute(
+    handle: u64,
+    deadline: Option<Duration>,
+    enqueued: Instant,
+    id: Option<&Json>,
+    sessions: &SessionTable,
+    stats: &ServiceStats,
+    event: &mut WideEvent,
+) -> Json {
+    let Some(entry) = sessions.get(handle) else {
+        return session_error(
+            stats,
+            event,
+            id,
+            &format!("unknown or expired session {handle}"),
+        );
+    };
+    let mut session = entry.session.lock().expect("session mutex poisoned");
+    event.pins = session.pins().len() as u64;
+    // A per-request deadline shares the session's cancel flag, so close
+    // and TTL eviction still stop a deadline-bearing reroute mid-search.
+    let cancel = deadline.map_or_else(
+        || entry.cancel.clone(),
+        |d| entry.cancel.with_deadline_from(enqueued + d),
+    );
+    session.set_cancel(cancel);
+    let started = Instant::now();
+    let result = session.reroute();
+    event.route_us = micros(started.elapsed());
+    event.rungs = journal::take_rungs();
+    match result {
+        Ok(report) => {
+            stats.record_session_reroute(report.path);
+            stats.completed.inc();
+            fill_route_event(event, &report.outcome);
+            let mut body = outcome_body(&report.outcome, session.algorithm(), session.pins().len());
+            drop(session);
+            body.set("session", Json::Num(handle as f64));
+            body.set("path", Json::str(report.path.as_str()));
+            body.set("id", id.cloned().unwrap_or(Json::Null));
+            body
+        }
+        Err(e) if e.is_cancelled() => {
+            drop(session);
+            stats.deadline_expired.inc();
+            log_debug!("session reroute cancelled");
+            event.outcome = "deadline";
+            error_response(
+                id,
+                ErrorCode::Deadline,
+                "session reroute cancelled (deadline expired or session closed)",
+            )
+        }
+        Err(e) => {
+            drop(session);
+            stats.errors.inc();
+            log_warn!("session reroute failed: {e}");
+            event.outcome = "route_error";
+            error_response(id, ErrorCode::Route, &e.to_string())
+        }
+    }
+}
+
+fn session_close(
+    handle: u64,
+    id: Option<&Json>,
+    sessions: &SessionTable,
+    stats: &ServiceStats,
+    event: &mut WideEvent,
+) -> Json {
+    let Some(entry) = sessions.remove(handle) else {
+        return session_error(
+            stats,
+            event,
+            id,
+            &format!("unknown or expired session {handle}"),
+        );
+    };
+    // Trip the session-wide token first: an in-flight reroute for this
+    // session aborts at its next cancellation check, releasing the lock.
+    entry.cancel.cancel();
+    stats.sessions_closed.inc();
+    stats.completed.inc();
+    let session = entry.session.lock().expect("session mutex poisoned");
+    event.pins = session.pins().len() as u64;
+    let s = session.stats();
+    drop(session);
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("session", Json::Num(handle as f64)),
+        ("mutations", Json::Num(s.mutations as f64)),
+        ("reroutes", Json::Num(s.reroutes as f64)),
+        ("quiescent", Json::Num(s.quiescent as f64)),
+        ("rank1", Json::Num(s.rank1 as f64)),
+        ("refactor", Json::Num(s.refactor as f64)),
+        ("scratch", Json::Num(s.scratch as f64)),
+        ("id", id.cloned().unwrap_or(Json::Null)),
+    ])
 }
 
 /// Stamps the request's trace id onto a response object.

@@ -1,0 +1,214 @@
+//! The bounded session table: live [`RoutingSession`]s addressed by
+//! server-assigned handles.
+//!
+//! Sessions are server state a client can leak, so the table is bounded
+//! two ways: a hard capacity (creates past it answer the structured
+//! `session` error) and a last-use TTL enforced by the service's
+//! observability ticker — an evicted session's cancel token trips, so
+//! any in-flight reroute for it stops at its next cancellation check.
+//!
+//! Session responses bypass the content-addressed result cache in both
+//! directions (a session's net mutates under it; only quiescent
+//! full-net `route` requests are cacheable), so nothing here touches
+//! the LRU.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ntr_core::{CancelToken, RoutingSession};
+
+/// One live session plus its serving-side envelope.
+pub struct SessionEntry {
+    /// Server-assigned handle.
+    pub id: u64,
+    /// The session itself; ops on one session serialize on this lock.
+    pub session: Mutex<RoutingSession>,
+    /// Session-wide cancel token: tripped on close and eviction.
+    pub cancel: CancelToken,
+    last_used: Mutex<Instant>,
+}
+
+impl SessionEntry {
+    /// Marks the session as just used (resets its TTL clock).
+    pub fn touch(&self) {
+        *self.last_used.lock().expect("last_used mutex poisoned") = Instant::now();
+    }
+
+    fn idle_since(&self) -> Instant {
+        *self.last_used.lock().expect("last_used mutex poisoned")
+    }
+}
+
+/// Why a session could not be inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableFull {
+    /// The configured capacity that was hit.
+    pub capacity: usize,
+}
+
+/// The bounded, TTL-evicting session table.
+pub struct SessionTable {
+    inner: Mutex<HashMap<u64, std::sync::Arc<SessionEntry>>>,
+    next_id: AtomicU64,
+    capacity: usize,
+    ttl: Duration,
+}
+
+impl SessionTable {
+    /// A table admitting at most `capacity` sessions, evicting any idle
+    /// longer than `ttl`.
+    #[must_use]
+    pub fn new(capacity: usize, ttl: Duration) -> Self {
+        Self {
+            inner: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            capacity: capacity.max(1),
+            ttl,
+        }
+    }
+
+    /// Live sessions right now (the `ntr_sessions_active` gauge).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("session table poisoned").len()
+    }
+
+    /// Whether the table holds no sessions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits a session, assigning its handle. Expired entries are
+    /// evicted first, so a full table of dead sessions never blocks a
+    /// live client.
+    ///
+    /// # Errors
+    ///
+    /// [`TableFull`] when the capacity is reached by live sessions.
+    pub fn insert(
+        &self,
+        session: RoutingSession,
+        cancel: CancelToken,
+    ) -> Result<std::sync::Arc<SessionEntry>, TableFull> {
+        self.evict_expired();
+        let mut inner = self.inner.lock().expect("session table poisoned");
+        if inner.len() >= self.capacity {
+            return Err(TableFull {
+                capacity: self.capacity,
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = std::sync::Arc::new(SessionEntry {
+            id,
+            session: Mutex::new(session),
+            cancel,
+            last_used: Mutex::new(Instant::now()),
+        });
+        inner.insert(id, std::sync::Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Looks a session up and resets its TTL clock.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<std::sync::Arc<SessionEntry>> {
+        let entry = self
+            .inner
+            .lock()
+            .expect("session table poisoned")
+            .get(&id)
+            .cloned()?;
+        entry.touch();
+        Some(entry)
+    }
+
+    /// Removes a session (the `session.close` path). The caller owns
+    /// tripping the cancel token and reading final stats.
+    #[must_use]
+    pub fn remove(&self, id: u64) -> Option<std::sync::Arc<SessionEntry>> {
+        self.inner
+            .lock()
+            .expect("session table poisoned")
+            .remove(&id)
+    }
+
+    /// Evicts every session idle past the TTL, tripping each one's
+    /// cancel token. Returns how many were evicted. Called by the
+    /// service's observability ticker once per tick.
+    pub fn evict_expired(&self) -> u64 {
+        let now = Instant::now();
+        let mut inner = self.inner.lock().expect("session table poisoned");
+        let dead: Vec<u64> = inner
+            .iter()
+            .filter(|(_, e)| now.duration_since(e.idle_since()) > self.ttl)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &dead {
+            if let Some(entry) = inner.remove(id) {
+                entry.cancel.cancel();
+            }
+        }
+        dead.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntr_circuit::Technology;
+    use ntr_core::{Algorithm, Budget};
+    use ntr_geom::{Layout, NetGenerator};
+
+    fn session() -> RoutingSession {
+        let net = NetGenerator::new(Layout::date94(), 7)
+            .random_net(5)
+            .unwrap();
+        RoutingSession::create(&net, Algorithm::Mst, Budget::new(Technology::date94()))
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn handles_are_distinct_and_lookups_touch() {
+        let table = SessionTable::new(4, Duration::from_secs(60));
+        let a = table.insert(session(), CancelToken::new()).unwrap();
+        let b = table.insert(session(), CancelToken::new()).unwrap();
+        assert_ne!(a.id, b.id);
+        assert_eq!(table.len(), 2);
+        assert!(table.get(a.id).is_some());
+        assert!(table.get(999).is_none());
+        assert!(table.remove(b.id).is_some());
+        assert!(table.get(b.id).is_none());
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_after_evicting_the_dead() {
+        let table = SessionTable::new(2, Duration::from_secs(60));
+        let _a = table.insert(session(), CancelToken::new()).unwrap();
+        let _b = table.insert(session(), CancelToken::new()).unwrap();
+        match table.insert(session(), CancelToken::new()) {
+            Err(full) => assert_eq!(full, TableFull { capacity: 2 }),
+            Ok(_) => panic!("a full table must reject the insert"),
+        }
+    }
+
+    #[test]
+    fn ttl_eviction_trips_the_cancel_token() {
+        let table = SessionTable::new(4, Duration::ZERO);
+        let cancel = CancelToken::new();
+        let entry = table.insert(session(), cancel.clone()).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(table.evict_expired(), 1);
+        assert!(table.is_empty());
+        assert!(cancel.is_cancelled());
+        assert!(entry.cancel.is_cancelled());
+        // A full-capacity table of expired sessions admits a new one.
+        let table = SessionTable::new(1, Duration::ZERO);
+        let _old = table.insert(session(), CancelToken::new()).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(table.insert(session(), CancelToken::new()).is_ok());
+    }
+}

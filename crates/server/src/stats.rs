@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use ntr_core::OracleStats;
+use ntr_core::{OracleStats, ReroutePath};
 use ntr_obs::metrics::{Counter, Gauge, Histogram, MetricsRegistry, WindowedHistogram};
 
 use crate::json::Json;
@@ -109,6 +109,29 @@ pub struct ServiceStats {
     /// Candidate edges spatial pruning skipped (exhaustive universe
     /// minus generated).
     pub candidates_pruned: Arc<Counter>,
+    /// Live incremental-rerouting sessions (refreshed at snapshot time
+    /// from the session table).
+    pub sessions_active: Arc<Gauge>,
+    /// Sessions opened by `session.create`.
+    pub sessions_created: Arc<Counter>,
+    /// Sessions ended by `session.close`.
+    pub sessions_closed: Arc<Counter>,
+    /// Sessions reclaimed by TTL eviction.
+    pub sessions_evicted: Arc<Counter>,
+    /// `session.*` ops rejected with the structured `session` error
+    /// (unknown/expired handle, invalid delta, full table).
+    pub session_errors: Arc<Counter>,
+    /// Delta ops accepted by `session.mutate`.
+    pub session_mutations: Arc<Counter>,
+    /// Session reroutes answered from the cached outcome (no pending
+    /// deltas).
+    pub session_reroutes_quiescent: Arc<Counter>,
+    /// Session reroutes answered by the Sherman–Morrison rank-1 path.
+    pub session_reroutes_rank1: Arc<Counter>,
+    /// Session reroutes answered by same-pattern refactorization.
+    pub session_reroutes_refactor: Arc<Counter>,
+    /// Session reroutes that fell to a from-scratch route.
+    pub session_reroutes_scratch: Arc<Counter>,
     per_algorithm: Mutex<BTreeMap<&'static str, u64>>,
     oracle: Mutex<OracleStats>,
 }
@@ -190,6 +213,44 @@ impl Default for ServiceStats {
                 "ntr_candidates_pruned_total",
                 "Candidate edges skipped by spatial pruning",
             ),
+            sessions_active: registry
+                .gauge("ntr_sessions_active", "Live incremental-rerouting sessions"),
+            sessions_created: counter(
+                "ntr_sessions_created_total",
+                "Sessions opened by session.create",
+            ),
+            sessions_closed: counter(
+                "ntr_sessions_closed_total",
+                "Sessions ended by session.close",
+            ),
+            sessions_evicted: counter(
+                "ntr_sessions_evicted_total",
+                "Sessions reclaimed by TTL eviction",
+            ),
+            session_errors: counter(
+                "ntr_session_errors_total",
+                "Session ops rejected with the structured session error",
+            ),
+            session_mutations: counter(
+                "ntr_session_mutations_total",
+                "Delta ops accepted by session.mutate",
+            ),
+            session_reroutes_quiescent: counter(
+                "ntr_session_reroutes_quiescent_total",
+                "Session reroutes answered from the cached outcome",
+            ),
+            session_reroutes_rank1: counter(
+                "ntr_session_reroutes_rank1_total",
+                "Session reroutes answered by the rank-1 path",
+            ),
+            session_reroutes_refactor: counter(
+                "ntr_session_reroutes_refactor_total",
+                "Session reroutes answered by same-pattern refactorization",
+            ),
+            session_reroutes_scratch: counter(
+                "ntr_session_reroutes_scratch_total",
+                "Session reroutes that fell to a from-scratch route",
+            ),
             started: Instant::now(),
             registry,
             per_algorithm: Mutex::new(BTreeMap::new()),
@@ -228,6 +289,16 @@ impl ServiceStats {
         *merged = merged.merged(search);
     }
 
+    /// Credits one answered session reroute to its decision-ladder path.
+    pub fn record_session_reroute(&self, path: ReroutePath) {
+        match path {
+            ReroutePath::Quiescent => self.session_reroutes_quiescent.inc(),
+            ReroutePath::Rank1 => self.session_reroutes_rank1.inc(),
+            ReroutePath::Refactor => self.session_reroutes_refactor.inc(),
+            ReroutePath::Scratch => self.session_reroutes_scratch.inc(),
+        }
+    }
+
     /// The merged search-cost counters across all completed requests.
     #[must_use]
     pub fn oracle_stats(&self) -> OracleStats {
@@ -252,9 +323,16 @@ impl ServiceStats {
     /// the service, which owns those structures; called before every
     /// exposition render and once a second by the observability ticker
     /// so the TSDB snapshots fresh values.
-    pub fn refresh_gauges(&self, queue_depth: usize, cache_entries: usize, faults_injected: u64) {
+    pub fn refresh_gauges(
+        &self,
+        queue_depth: usize,
+        cache_entries: usize,
+        faults_injected: u64,
+        sessions_active: usize,
+    ) {
         self.queue_depth.set(queue_depth as i64);
         self.cache_entries.set(cache_entries as i64);
+        self.sessions_active.set(sessions_active as i64);
         // Mirror externally owned monotone totals into the registry's
         // counters without ever decrementing them.
         let global = ntr_obs::span::dropped_spans();
@@ -278,8 +356,9 @@ impl ServiceStats {
         queue_depth: usize,
         cache_entries: usize,
         faults_injected: u64,
+        sessions_active: usize,
     ) -> String {
-        self.refresh_gauges(queue_depth, cache_entries, faults_injected);
+        self.refresh_gauges(queue_depth, cache_entries, faults_injected, sessions_active);
         ntr_obs::prometheus::render(&self.registry)
     }
 
@@ -287,7 +366,13 @@ impl ServiceStats {
     /// `cache_entries` come from the service, which owns those
     /// structures.
     #[must_use]
-    pub fn to_json(&self, queue_depth: usize, cache_entries: usize, faults_injected: u64) -> Json {
+    pub fn to_json(
+        &self,
+        queue_depth: usize,
+        cache_entries: usize,
+        faults_injected: u64,
+        sessions_active: usize,
+    ) -> Json {
         self.faults_injected
             .add(faults_injected.saturating_sub(self.faults_injected.get()));
         let load = |c: &Counter| Json::Num(c.get() as f64);
@@ -319,6 +404,21 @@ impl ServiceStats {
             ("faults_injected", load(&self.faults_injected)),
             ("cache_entries", Json::Num(cache_entries as f64)),
             ("queue_depth", Json::Num(queue_depth as f64)),
+            (
+                "sessions",
+                Json::obj(vec![
+                    ("active", Json::Num(sessions_active as f64)),
+                    ("created", load(&self.sessions_created)),
+                    ("closed", load(&self.sessions_closed)),
+                    ("evicted", load(&self.sessions_evicted)),
+                    ("errors", load(&self.session_errors)),
+                    ("mutations", load(&self.session_mutations)),
+                    ("reroutes_quiescent", load(&self.session_reroutes_quiescent)),
+                    ("reroutes_rank1", load(&self.session_reroutes_rank1)),
+                    ("reroutes_refactor", load(&self.session_reroutes_refactor)),
+                    ("reroutes_scratch", load(&self.session_reroutes_scratch)),
+                ]),
+            ),
             ("per_algorithm", per_algorithm),
             ("latency", self.latency.to_json()),
             (
@@ -362,7 +462,7 @@ mod tests {
             true,
             2,
         );
-        let j = s.to_json(2, 1, 5);
+        let j = s.to_json(2, 1, 5, 3);
         assert_eq!(j.get("received").and_then(Json::as_f64), Some(3.0));
         assert_eq!(j.get("completed").and_then(Json::as_f64), Some(1.0));
         assert_eq!(j.get("queue_depth").and_then(Json::as_f64), Some(2.0));
@@ -392,7 +492,7 @@ mod tests {
             1,
         );
         s.inflight_requests.inc();
-        let text = s.prometheus(4, 9, 3);
+        let text = s.prometheus(4, 9, 3, 2);
         check_exposition(&text).unwrap();
         assert!(text.contains("ntr_requests_received_total 5"));
         assert!(text.contains("ntr_queue_depth 4"));
@@ -415,9 +515,9 @@ mod tests {
     #[test]
     fn fault_mirror_never_decrements() {
         let s = ServiceStats::default();
-        let _ = s.prometheus(0, 0, 7);
+        let _ = s.prometheus(0, 0, 7, 0);
         assert_eq!(s.faults_injected.get(), 7);
-        let _ = s.prometheus(0, 0, 4); // stale reading — ignored
+        let _ = s.prometheus(0, 0, 4, 0); // stale reading — ignored
         assert_eq!(s.faults_injected.get(), 7);
     }
 

@@ -3,7 +3,7 @@
 //! and v2 responses must keep the fields v1 clients read.
 
 use ntr_server::json::Json;
-use ntr_server::proto::{parse_request, Request, RouteRequest};
+use ntr_server::proto::{parse_request, Request, RouteRequest, SessionAction, SessionRequest};
 
 fn parse(line: &str) -> RouteRequest {
     let doc = Json::parse(line).unwrap_or_else(|e| panic!("bad test JSON {line:?}: {e}"));
@@ -57,6 +57,94 @@ fn v2_budget_fields_are_not_readable_from_v1_positions_only() {
     assert_eq!(grouped.deadline, Some(std::time::Duration::from_millis(10)));
     assert_eq!(grouped.retries, 5);
     assert!(!grouped.degrade);
+}
+
+fn parse_session(line: &str) -> SessionRequest {
+    let doc = Json::parse(line).unwrap_or_else(|e| panic!("bad test JSON {line:?}: {e}"));
+    match parse_request(&doc) {
+        Ok(Request::Session(req)) => req,
+        other => panic!("{line:?} parsed to {other:?}"),
+    }
+}
+
+#[test]
+fn session_create_accepts_both_net_spellings_and_grouped_params() {
+    // session.create shares route's parser, so the v1 flat and v2
+    // grouped spellings must keep parsing identically under it.
+    let flat = parse_session(
+        r#"{"op":"session.create","algorithm":"h1","oracle":"moment","max_added_edges":2,"pins":[[0,0],[5,5]]}"#,
+    );
+    let grouped = parse_session(
+        r#"{"op":"session.create","algorithm":"h1",
+            "params":{"oracle":"moment","max_added_edges":2},
+            "net":{"source":[0,0],"sinks":[[5,5]]}}"#,
+    );
+    let (SessionAction::Create(a), SessionAction::Create(b)) = (flat.action, grouped.action) else {
+        panic!("both spellings must parse to session.create");
+    };
+    assert_eq!(a, b);
+}
+
+#[test]
+fn session_reroute_deadline_parses_flat_and_grouped() {
+    let flat = parse_session(r#"{"op":"session.reroute","session":4,"deadline_ms":120}"#);
+    let grouped =
+        parse_session(r#"{"op":"session.reroute","session":4,"budget":{"deadline_ms":120}}"#);
+    assert_eq!(flat, grouped);
+    let SessionAction::Reroute { session, deadline } = flat.action else {
+        panic!("expected session.reroute");
+    };
+    assert_eq!(session, 4);
+    assert_eq!(deadline, Some(std::time::Duration::from_millis(120)));
+    // budget.* wins over a stale top-level duplicate, like route.
+    let both = parse_session(
+        r#"{"op":"session.reroute","session":4,"deadline_ms":999,"budget":{"deadline_ms":10}}"#,
+    );
+    let SessionAction::Reroute { deadline, .. } = both.action else {
+        panic!("expected session.reroute");
+    };
+    assert_eq!(deadline, Some(std::time::Duration::from_millis(10)));
+}
+
+#[test]
+fn session_ops_round_trip_through_a_live_service() {
+    use ntr_server::service::{Service, ServiceConfig};
+    use std::sync::mpsc;
+
+    let service = Service::start(&ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let run = |line: String| {
+        let (tx, rx) = mpsc::channel();
+        service.submit_session(parse_session(&line), Box::new(move |r| tx.send(r).unwrap()));
+        rx.recv_timeout(std::time::Duration::from_secs(60)).unwrap()
+    };
+    let created = run(
+        r#"{"op":"session.create","id":1,"algorithm":"ldrg","pins":[[0,0],[3000,0],[0,4000],[2500,2500]]}"#
+            .to_owned(),
+    );
+    assert_eq!(created.get("ok"), Some(&Json::Bool(true)), "{created}");
+    // Session responses keep the v1 route-body fields a client reads.
+    for field in ["delay_ns", "cost_um", "edges", "added_edges", "tree"] {
+        assert!(
+            created.get(field).is_some(),
+            "response lost {field}: {created}"
+        );
+    }
+    let session = created.get("session").and_then(Json::as_f64).unwrap() as u64;
+    let mutated = run(format!(
+        r#"{{"op":"session.mutate","session":{session},"ops":[{{"op":"move_pin","pin":1,"to":[3040,25]}}]}}"#
+    ));
+    assert_eq!(mutated.get("ok"), Some(&Json::Bool(true)), "{mutated}");
+    let rerouted = run(format!(
+        r#"{{"op":"session.reroute","session":{session},"budget":{{"deadline_ms":60000}}}}"#
+    ));
+    assert_eq!(rerouted.get("ok"), Some(&Json::Bool(true)), "{rerouted}");
+    assert!(rerouted.get("path").and_then(Json::as_str).is_some());
+    let closed = run(format!(r#"{{"op":"session.close","session":{session}}}"#));
+    assert_eq!(closed.get("ok"), Some(&Json::Bool(true)), "{closed}");
+    service.shutdown();
 }
 
 #[test]

@@ -298,6 +298,55 @@ impl MomentEngine {
         }
         Ok(Moments::from_parts(mna, dc, orders))
     }
+
+    /// Like [`MomentEngine::moments_with_same_pattern`], but keeps the
+    /// refactored LU: returns a **new engine** for the updated circuit,
+    /// ready to score further [`MomentEngine::wire_moments`] candidates
+    /// against the new values without a from-scratch symbolic
+    /// factorization. This is the numeric-refactorization rung of an
+    /// incremental rerouting session's decision ladder: a `move_pin`
+    /// delta changes element values but not the sparsity pattern, so the
+    /// session swaps in the engine this returns and stays incremental.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::DimensionMismatch`] when the circuit's unknown count
+    /// changed, [`SolveError::PatternMismatch`] when its sparsity pattern
+    /// did (both signal the caller to fall back to from-scratch routing),
+    /// and the usual singularity errors.
+    pub fn refactored_same_pattern(&self, circuit: &Circuit) -> Result<Self, SimError> {
+        let _span = ntr_obs::span("moment.refactor");
+        let mna = Mna::build(circuit)?;
+        let n = mna.unknowns();
+        if n != self.mna.unknowns() {
+            return Err(SimError::Solve(SolveError::DimensionMismatch {
+                expected: self.mna.unknowns(),
+                got: n,
+            }));
+        }
+        let lu = self.lu.refactor_with_same_pattern(mna.a_static())?;
+
+        let mut dc = vec![0.0; n];
+        mna.rhs_at(f64::MAX, &mut dc);
+        lu.solve_in_place(&mut dc)?;
+        let mut orders = Vec::with_capacity(self.orders.len());
+        let mut prev = dc.clone();
+        for _ in 0..self.orders.len() {
+            let mut next = mna.a_dynamic().matvec(&prev)?;
+            for v in &mut next {
+                *v = -*v;
+            }
+            lu.solve_in_place(&mut next)?;
+            orders.push(next.clone());
+            prev = next;
+        }
+        Ok(Self {
+            mna,
+            lu,
+            dc,
+            orders,
+        })
+    }
 }
 
 /// Solves the eliminated chain's tridiagonal system
@@ -449,6 +498,31 @@ mod tests {
             let a = inc.elmore_of_node(sink).unwrap();
             let b = fresh.elmore_of_node(sink).unwrap();
             assert!((a - b).abs() <= 1e-12 * b.abs().max(1e-30), "{a} vs {b}");
+        }
+    }
+
+    /// The engine-returning refactor path must agree with a from-scratch
+    /// engine on the updated circuit, and stay usable for further
+    /// scoring (its cached factors answer `base_probe_moments`).
+    #[test]
+    fn refactored_engine_matches_fresh_engine() {
+        let (g, tech, opts) = star_net();
+        let ex = extract(&g, &tech, &opts).unwrap();
+        let engine = MomentEngine::new(&ex.circuit, 2).unwrap();
+        let (edge_id, _) = g.edges().next().unwrap();
+        let mut patched = ex.clone();
+        patched.rescale_edge_width(edge_id, 2.5).unwrap();
+        let refactored = engine.refactored_same_pattern(&patched.circuit).unwrap();
+        let fresh = MomentEngine::new(&patched.circuit, 2).unwrap();
+        let a = refactored.base_probe_moments(&ex.sink_nodes).unwrap();
+        let b = fresh.base_probe_moments(&ex.sink_nodes).unwrap();
+        for (ra, rb) in a.iter().zip(&b) {
+            assert!(
+                (ra.elmore() - rb.elmore()).abs() <= 1e-12 * rb.elmore().abs().max(1e-30),
+                "{} vs {}",
+                ra.elmore(),
+                rb.elmore()
+            );
         }
     }
 

@@ -11,7 +11,7 @@
 //! Run with: `cargo run --release --example critical_sink`
 
 use non_tree_routing::circuit::Technology;
-use non_tree_routing::core::{ldrg, DelayOracle, LdrgOptions, Objective, TransientOracle};
+use non_tree_routing::core::{ldrg_with, DelayOracle, LdrgOptions, Objective, TransientOracle};
 use non_tree_routing::ert::{elmore_routing_tree, ErtObjective, ErtOptions};
 use non_tree_routing::geom::{Layout, NetGenerator};
 use non_tree_routing::graph::{prim_mst, RoutingGraph};
@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     show("critical-sink ERT", &cs_ert)?;
 
     // CSORG: non-tree edges under the weighted objective.
-    let cs_ldrg = ldrg(
+    let cs_ldrg = ldrg_with(
         &cs_ert,
         &oracle,
         &LdrgOptions {

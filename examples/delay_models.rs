@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example delay_models`
 
 use non_tree_routing::circuit::{extract, ExtractOptions, Technology};
-use non_tree_routing::core::{ldrg, LdrgOptions, TransientOracle};
+use non_tree_routing::core::{ldrg_with, LdrgOptions, TransientOracle};
 use non_tree_routing::ert::steiner_elmore_routing_tree;
 use non_tree_routing::geom::{Layout, NetGenerator};
 use non_tree_routing::spice::{
@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Start from the SERT (Steiner Elmore Routing Tree) and add non-tree
     // wires on top — the strongest construction in the workspace.
     let sert = steiner_elmore_routing_tree(&net, &tech);
-    let routed = ldrg(&sert, &TransientOracle::fast(tech), &LdrgOptions::default())?;
+    let routed = ldrg_with(&sert, &TransientOracle::fast(tech), &LdrgOptions::default())?;
     println!(
         "SERT + LDRG: {} Steiner node(s), {} extra wire(s), cost {:.0} um",
         routed.graph.node_count() - routed.graph.pin_count(),

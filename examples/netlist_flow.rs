@@ -6,7 +6,7 @@
 
 use non_tree_routing::circuit::Technology;
 use non_tree_routing::core::{
-    ldrg, trim_redundant_edges, DelayOracle, LdrgOptions, TransientOracle, TrimOptions,
+    ldrg_with, trim_redundant_edges, DelayOracle, LdrgOptions, TransientOracle, TrimOptions,
 };
 use non_tree_routing::geom::{Layout, NetGenerator, Netlist};
 use non_tree_routing::graph::prim_mst;
@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let (graph, plan) = if mst_delay > timing_target {
             // Critical: add non-tree wires, then recover redundant metal.
-            let routed = ldrg(&mst, &oracle, &LdrgOptions::default())?;
+            let routed = ldrg_with(&mst, &oracle, &LdrgOptions::default())?;
             let trimmed = trim_redundant_edges(&routed.graph, &oracle, &TrimOptions::default())?;
             optimized += 1;
             (trimmed.graph, "LDRG+trim")

@@ -3,7 +3,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use non_tree_routing::circuit::Technology;
-use non_tree_routing::core::{ldrg, LdrgOptions, TransientOracle};
+use non_tree_routing::core::{ldrg_with, LdrgOptions, TransientOracle};
 use non_tree_routing::geom::{Layout, NetGenerator};
 use non_tree_routing::graph::prim_mst;
 
@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Non-tree routing: greedily add the wires that pay for themselves,
     //    judged by transient simulation of the extracted RC circuit.
     let oracle = TransientOracle::fast(Technology::date94());
-    let result = ldrg(&mst, &oracle, &LdrgOptions::default())?;
+    let result = ldrg_with(&mst, &oracle, &LdrgOptions::default())?;
 
     println!(
         "LDRG: {} edge(s) added, delay {:.3} ns -> {:.3} ns ({:.1}% better), cost {:.0} -> {:.0} um (+{:.1}%)",

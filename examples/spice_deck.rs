@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example spice_deck > routing.sp`
 
 use non_tree_routing::circuit::{extract, to_spice_deck, ExtractOptions, Technology};
-use non_tree_routing::core::{ldrg, LdrgOptions, TransientOracle};
+use non_tree_routing::core::{ldrg_with, LdrgOptions, TransientOracle};
 use non_tree_routing::geom::{Layout, NetGenerator};
 use non_tree_routing::graph::prim_mst;
 use non_tree_routing::spice::{sink_delays, SimConfig};
@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Build the non-tree routing.
     let mst = prim_mst(&net);
-    let routed = ldrg(&mst, &TransientOracle::fast(tech), &LdrgOptions::default())?;
+    let routed = ldrg_with(&mst, &TransientOracle::fast(tech), &LdrgOptions::default())?;
 
     // Extract with the accurate distributed model and export.
     let extracted = extract(&routed.graph, &tech, &ExtractOptions::default())?;

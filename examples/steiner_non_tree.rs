@@ -5,7 +5,8 @@
 
 use non_tree_routing::circuit::Technology;
 use non_tree_routing::core::{
-    h1, h2_with, h3_with, ldrg, sldrg, DelayOracle, HeuristicOptions, LdrgOptions, TransientOracle,
+    h1_with, h2_with, h3_with, ldrg_with, sldrg_with, DelayOracle, HeuristicOptions, LdrgOptions,
+    TransientOracle,
 };
 use non_tree_routing::ert::{elmore_routing_tree, ErtOptions};
 use non_tree_routing::geom::{Layout, NetGenerator};
@@ -52,17 +53,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "H3",
         &h3_with(&mst, &tech, &HeuristicOptions::default())?.graph,
     )?;
-    show("H1", &h1(&mst, &oracle, 0)?.graph)?;
-    let ldrg_run = ldrg(&mst, &oracle, &LdrgOptions::default())?;
+    show(
+        "H1",
+        &h1_with(&mst, &oracle, &LdrgOptions::default())?.graph,
+    )?;
+    let ldrg_run = ldrg_with(&mst, &oracle, &LdrgOptions::default())?;
     show("LDRG", &ldrg_run.graph)?;
-    let sldrg_run = sldrg(
+    let sldrg_run = sldrg_with(
         &net,
         &SteinerOptions::default(),
         &oracle,
         &LdrgOptions::default(),
     )?;
     show("SLDRG", &sldrg_run.graph)?;
-    let ert_ldrg = ldrg(&ert, &oracle, &LdrgOptions::default())?;
+    let ert_ldrg = ldrg_with(&ert, &oracle, &LdrgOptions::default())?;
     show("ERT + LDRG", &ert_ldrg.graph)?;
 
     println!(

@@ -24,7 +24,7 @@
 //!
 //! ```
 //! use non_tree_routing::circuit::Technology;
-//! use non_tree_routing::core::{ldrg, LdrgOptions, TransientOracle};
+//! use non_tree_routing::core::{ldrg_with, LdrgOptions, TransientOracle};
 //! use non_tree_routing::geom::{Layout, NetGenerator};
 //! use non_tree_routing::graph::prim_mst;
 //!
@@ -35,7 +35,7 @@
 //! // Start from the minimum spanning tree, then let LDRG add wires.
 //! let mst = prim_mst(&net);
 //! let oracle = TransientOracle::fast(Technology::date94());
-//! let routed = ldrg(&mst, &oracle, &LdrgOptions::default())?;
+//! let routed = ldrg_with(&mst, &oracle, &LdrgOptions::default())?;
 //!
 //! println!(
 //!     "delay {:.2} ns -> {:.2} ns (+{:.0}% wire)",

@@ -6,7 +6,7 @@ use std::error::Error as _;
 
 use non_tree_routing::circuit::{extract, ExtractError, ExtractOptions, Technology};
 use non_tree_routing::core::{
-    ldrg, DelayOracle, LdrgOptions, MomentOracle, OracleError, TransientOracle,
+    ldrg_with, DelayOracle, LdrgOptions, MomentOracle, OracleError, TransientOracle,
 };
 use non_tree_routing::geom::{net_from_str, Layout, Net, NetGenerator, Point};
 use non_tree_routing::graph::{RoutingGraph, TreeView};
@@ -40,7 +40,7 @@ fn disconnection_propagates_through_every_layer() {
     );
 
     // Layer 3: algorithm.
-    let algo_err = ldrg(
+    let algo_err = ldrg_with(
         &graph,
         &TransientOracle::fast(tech),
         &LdrgOptions::default(),

@@ -4,8 +4,9 @@
 
 use non_tree_routing::circuit::{extract, to_spice_deck, ExtractOptions, Technology};
 use non_tree_routing::core::{
-    h1, h2_with, h3_with, horg, ldrg, sldrg, wire_size, DelayOracle, HeuristicOptions, HorgOptions,
-    LdrgOptions, MomentOracle, Objective, TransientOracle, TreeElmoreOracle, WireSizeOptions,
+    h1_with, h2_with, h3_with, horg, ldrg_with, sldrg_with, wire_size, DelayOracle,
+    HeuristicOptions, HorgOptions, LdrgOptions, MomentOracle, Objective, TransientOracle,
+    TreeElmoreOracle, WireSizeOptions,
 };
 use non_tree_routing::ert::{elmore_routing_tree, ErtOptions};
 use non_tree_routing::geom::{Layout, NetGenerator};
@@ -31,7 +32,7 @@ fn ldrg_beats_mst_on_most_random_nets() {
     for _ in 0..trials {
         let net = generator.random_net(10).unwrap();
         let mst = prim_mst(&net);
-        let res = ldrg(&mst, &oracle, &LdrgOptions::default()).unwrap();
+        let res = ldrg_with(&mst, &oracle, &LdrgOptions::default()).unwrap();
         let ratio = res.final_delay() / res.initial_delay;
         delay_sum += ratio;
         cost_sum += res.final_cost() / res.initial_cost;
@@ -74,15 +75,19 @@ fn all_algorithms_produce_valid_routings() {
     assert!(steiner.is_tree());
 
     for graph in [
-        ldrg(&mst, &oracle, &LdrgOptions::default()).unwrap().graph,
-        h1(&mst, &oracle, 0).unwrap().graph,
+        ldrg_with(&mst, &oracle, &LdrgOptions::default())
+            .unwrap()
+            .graph,
+        h1_with(&mst, &oracle, &LdrgOptions::default())
+            .unwrap()
+            .graph,
         h2_with(&mst, &t, &HeuristicOptions::default())
             .unwrap()
             .graph,
         h3_with(&mst, &t, &HeuristicOptions::default())
             .unwrap()
             .graph,
-        sldrg(
+        sldrg_with(
             &net,
             &SteinerOptions::default(),
             &oracle,
@@ -90,7 +95,9 @@ fn all_algorithms_produce_valid_routings() {
         )
         .unwrap()
         .graph,
-        ldrg(&ert, &oracle, &LdrgOptions::default()).unwrap().graph,
+        ldrg_with(&ert, &oracle, &LdrgOptions::default())
+            .unwrap()
+            .graph,
     ] {
         assert!(graph.is_connected());
         let report = oracle.evaluate(&graph).unwrap();
@@ -113,11 +120,14 @@ fn heuristic_quality_ordering_holds_on_average() {
         let net = generator.random_net(15).unwrap();
         let mst = prim_mst(&net);
         let base = oracle.evaluate(&mst).unwrap().max();
-        sum_ldrg += ldrg(&mst, &oracle, &LdrgOptions::default())
+        sum_ldrg += ldrg_with(&mst, &oracle, &LdrgOptions::default())
             .unwrap()
             .final_delay()
             / base;
-        sum_h1 += h1(&mst, &oracle, 0).unwrap().final_delay() / base;
+        sum_h1 += h1_with(&mst, &oracle, &LdrgOptions::default())
+            .unwrap()
+            .final_delay()
+            / base;
         let h2g = h2_with(&mst, &t, &HeuristicOptions::default())
             .unwrap()
             .graph;
@@ -141,7 +151,7 @@ fn some_non_tree_routing_beats_the_ert() {
     for _ in 0..10 {
         let net = generator.random_net(20).unwrap();
         let ert = elmore_routing_tree(&net, &t, &ErtOptions::default()).unwrap();
-        let res = ldrg(&ert, &oracle, &LdrgOptions::default()).unwrap();
+        let res = ldrg_with(&ert, &oracle, &LdrgOptions::default()).unwrap();
         if res.final_delay() < res.initial_delay * (1.0 - 1e-3) {
             beat += 1;
         }
@@ -165,10 +175,10 @@ fn critical_sink_weighting_helps_the_critical_sink() {
         let mut alphas = vec![0.0; net.sink_count()];
         alphas[critical] = 1.0;
 
-        let plain = ldrg(&mst, &oracle, &LdrgOptions::default()).unwrap();
+        let plain = ldrg_with(&mst, &oracle, &LdrgOptions::default()).unwrap();
         sum_plain += oracle.evaluate(&plain.graph).unwrap().per_sink()[critical];
 
-        let weighted = ldrg(
+        let weighted = ldrg_with(
             &mst,
             &oracle,
             &LdrgOptions {
@@ -208,7 +218,7 @@ fn wire_sizing_composes_with_ldrg() {
         .random_net(10)
         .unwrap();
     let mst = prim_mst(&net);
-    let routed = ldrg(&mst, &moment, &LdrgOptions::default()).unwrap();
+    let routed = ldrg_with(&mst, &moment, &LdrgOptions::default()).unwrap();
     let sized = wire_size(&routed.graph, &moment, &WireSizeOptions::default()).unwrap();
     assert!(sized.final_delay <= sized.initial_delay);
 }
@@ -222,7 +232,7 @@ fn deck_export_round_trips_element_counts() {
         .random_net(8)
         .unwrap();
     let mst = prim_mst(&net);
-    let routed = ldrg(&mst, &TransientOracle::fast(t), &LdrgOptions::default()).unwrap();
+    let routed = ldrg_with(&mst, &TransientOracle::fast(t), &LdrgOptions::default()).unwrap();
     let extracted = extract(&routed.graph, &t, &ExtractOptions::default()).unwrap();
     let deck = to_spice_deck(&extracted.circuit, "test", 1e-9, &extracted.sink_nodes);
     let r_lines = deck.lines().filter(|l| l.starts_with('R')).count();
@@ -248,7 +258,7 @@ fn pipeline_is_deterministic() {
             .random_net(10)
             .unwrap();
         let mst = prim_mst(&net);
-        let res = ldrg(&mst, &TransientOracle::fast(t), &LdrgOptions::default()).unwrap();
+        let res = ldrg_with(&mst, &TransientOracle::fast(t), &LdrgOptions::default()).unwrap();
         let extracted = extract(&res.graph, &t, &ExtractOptions::default()).unwrap();
         sink_delays(&extracted, &SimConfig::default()).unwrap()
     };
